@@ -1,0 +1,19 @@
+#pragma once
+
+// Shared driver for the per-figure bench binaries. Each binary is
+//   int main(int argc, char** argv) { return runFigureMain(N, argc, argv); }
+// and regenerates paper figure N as a console table (and optional CSV).
+//
+// Flags: --simtime S   simulated seconds per run (default: Table 1's 100000)
+//        --seed K      base seed (default: the registry's)
+//        --threads T   parallel runs (default: hardware)
+//        --reps R      replications per point, reporting the mean (default 1)
+//        --csv         also print machine-readable CSV after the table
+//        --json        also print the figure as JSON
+//        --quiet       suppress progress on stderr
+
+namespace mci::bench {
+
+int runFigureMain(int figureNumber, int argc, char** argv);
+
+}  // namespace mci::bench

@@ -1,0 +1,6 @@
+// Regenerates paper Figure 16 (see DESIGN.md experiment index).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  return mci::bench::runFigureMain(16, argc, argv);
+}

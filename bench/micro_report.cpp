@@ -1,0 +1,125 @@
+// google-benchmark micro benchmarks for the report formats: how fast the
+// server can build each report and a client can decode it, across database
+// sizes. These are the per-broadcast-period costs of the simulation's inner
+// loop (and of a real MSS implementation).
+
+#include <benchmark/benchmark.h>
+
+#include "db/update_history.hpp"
+#include "report/bs_report.hpp"
+#include "report/sig_report.hpp"
+#include "report/ts_report.hpp"
+#include "sim/random.hpp"
+
+namespace {
+
+using namespace mci;
+
+report::SizeModel sizesFor(std::size_t n) {
+  report::SizeModel m;
+  m.numItems = n;
+  return m;
+}
+
+db::UpdateHistory makeHistory(std::size_t n, std::size_t updates) {
+  db::UpdateHistory h(n);
+  sim::Rng rng(99);
+  double t = 0;
+  for (std::size_t i = 0; i < updates; ++i) {
+    t += rng.exponential(20.0);
+    h.record(static_cast<db::ItemId>(
+                 rng.uniformInt(0, static_cast<std::int64_t>(n) - 1)),
+             t);
+  }
+  return h;
+}
+
+void BM_TsReportBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto h = makeHistory(n, 5000);
+  const auto sizes = sizesFor(n);
+  const double now = h.lastUpdateTime() + 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(report::TsReport::build(h, sizes, now, now - 200));
+  }
+}
+BENCHMARK(BM_TsReportBuild)->Arg(1000)->Arg(10000)->Arg(80000);
+
+void BM_BsReportBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto h = makeHistory(n, 5000);
+  const auto sizes = sizesFor(n);
+  const double now = h.lastUpdateTime() + 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(report::BsReport::build(h, sizes, now));
+  }
+}
+BENCHMARK(BM_BsReportBuild)->Arg(1000)->Arg(10000)->Arg(80000);
+
+void BM_BsDecideRecent(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto h = makeHistory(n, 5000);
+  const double now = h.lastUpdateTime() + 1;
+  const auto r = report::BsReport::build(h, sizesFor(n), now);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(r->decide(now - 20));  // steady-state client
+  }
+}
+BENCHMARK(BM_BsDecideRecent)->Arg(1000)->Arg(10000)->Arg(80000);
+
+void BM_BsDecideAncient(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto h = makeHistory(n, 5000);
+  const double now = h.lastUpdateTime() + 1;
+  const auto r = report::BsReport::build(h, sizesFor(n), now);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(r->decide(1.0));  // long-sleeper salvage
+  }
+}
+BENCHMARK(BM_BsDecideAncient)->Arg(1000)->Arg(10000)->Arg(80000);
+
+void BM_BsWireEncode(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto h = makeHistory(n, 5000);
+  const double now = h.lastUpdateTime() + 1;
+  const auto r = report::BsReport::build(h, sizesFor(n), now);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(report::BsWire::encode(*r));
+  }
+}
+BENCHMARK(BM_BsWireEncode)->Arg(1000)->Arg(10000);
+
+void BM_BsWireDecode(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto h = makeHistory(n, 5000);
+  const double now = h.lastUpdateTime() + 1;
+  const auto r = report::BsReport::build(h, sizesFor(n), now);
+  const auto wire = report::BsWire::encode(*r);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wire.decode(now / 2));
+  }
+}
+BENCHMARK(BM_BsWireDecode)->Arg(1000)->Arg(10000);
+
+void BM_SignatureTableUpdate(benchmark::State& state) {
+  report::SignatureTable table(10000, 512, 4, 1);
+  std::uint32_t v = 0;
+  for (auto _ : state) {
+    table.applyUpdate(1234, v, v + 1);
+    ++v;
+  }
+}
+BENCHMARK(BM_SignatureTableUpdate);
+
+void BM_SigReportBuild(benchmark::State& state) {
+  report::SignatureTable table(10000, 512, 4, 1);
+  const auto sizes = sizesFor(10000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(report::SigReport::build(table, sizes, 100.0));
+  }
+}
+BENCHMARK(BM_SigReportBuild);
+
+}  // namespace
+
+BENCHMARK_MAIN();

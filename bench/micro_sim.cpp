@@ -1,0 +1,112 @@
+// google-benchmark micro benchmarks for the simulation kernel: event queue
+// throughput, channel scheduling, LRU operations, and end-to-end simulated
+// seconds per wall second for a full Table-1 configuration.
+
+#include <benchmark/benchmark.h>
+
+#include "cache/lru_cache.hpp"
+#include "core/simulation.hpp"
+#include "net/link.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace mci;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  sim::Rng rng(1);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (std::size_t i = 0; i < batch; ++i) {
+      q.push(rng.uniform01() * 1000.0, [] {});
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(256)->Arg(4096);
+
+void BM_SimulatorSelfScheduling(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    std::uint64_t ticks = 0;
+    std::function<void()> tick = [&] {
+      if (++ticks < 10000) s.schedule(1.0, tick);
+    };
+    s.schedule(1.0, tick);
+    s.runAll();
+    benchmark::DoNotOptimize(ticks);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_SimulatorSelfScheduling);
+
+void BM_PriorityLinkWithPreemption(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    net::PriorityLink link(s, 10000.0);
+    // 200 bulk transfers with an IR preempting every 20 s — the downlink's
+    // steady-state pattern.
+    for (int i = 0; i < 200; ++i) {
+      link.submit(net::TrafficClass::kBulk, 65536.0, [] {});
+    }
+    for (int i = 1; i <= 60; ++i) {
+      s.scheduleAt(20.0 * i, [&link] {
+        link.submit(net::TrafficClass::kInvalidationReport, 500.0, [] {});
+      });
+    }
+    s.runAll();
+    benchmark::DoNotOptimize(link.deliveredCount(net::TrafficClass::kBulk));
+  }
+}
+BENCHMARK(BM_PriorityLinkWithPreemption);
+
+void BM_LruCacheMixedOps(benchmark::State& state) {
+  cache::LruCache c(200);
+  sim::Rng rng(3);
+  for (auto _ : state) {
+    const auto item = static_cast<db::ItemId>(rng.uniformInt(0, 9999));
+    if (cache::Entry* e = c.find(item); e != nullptr) {
+      c.touch(item);
+      benchmark::DoNotOptimize(e->version);
+    } else {
+      cache::Entry fresh;
+      fresh.item = item;
+      fresh.version = 1;
+      fresh.refTime = 0;
+      benchmark::DoNotOptimize(c.insert(fresh));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LruCacheMixedOps);
+
+void BM_FullSimulation(benchmark::State& state) {
+  // Simulated-seconds-per-wall-second of the complete model at Table 1
+  // scale, per scheme. This is what makes the 100000 s x 12-figure
+  // reproduction a minutes-scale job.
+  const auto kind = static_cast<schemes::SchemeKind>(state.range(0));
+  for (auto _ : state) {
+    core::SimConfig cfg;
+    cfg.scheme = kind;
+    cfg.simTime = 5000.0;
+    cfg.seed = 42;
+    const auto r = core::Simulation(cfg).run();
+    benchmark::DoNotOptimize(r.queriesCompleted);
+  }
+  state.counters["sim_s_per_s"] = benchmark::Counter(
+      5000.0 * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FullSimulation)
+    ->Arg(static_cast<int>(schemes::SchemeKind::kAaw))
+    ->Arg(static_cast<int>(schemes::SchemeKind::kBs))
+    ->Arg(static_cast<int>(schemes::SchemeKind::kTsChecking));
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Regenerates Tables 1 and 2 of the paper: the resolved default system
+// parameters and the query/update pattern definitions, as this library
+// configures them. Cross-checks the derived values (cache capacity, report
+// sizes) the other benches rely on.
+
+#include <cstdio>
+
+#include "core/config.hpp"
+#include "metrics/table.hpp"
+
+int main() {
+  using namespace mci;
+  core::SimConfig cfg;
+  cfg.validate();
+  const report::SizeModel sizes = cfg.sizeModel();
+
+  std::printf("# Table 1. System Parameter Settings (resolved defaults)\n");
+  metrics::Table t1({"Parameter", "Setting"});
+  auto num = [](double v, const char* unit) {
+    return metrics::Table::fmtInt(v) + std::string(" ") + unit;
+  };
+  t1.addRow({"Simulation Time", num(cfg.simTime, "seconds")});
+  t1.addRow({"Number of Clients", num(cfg.numClients, "mobile client hosts")});
+  t1.addRow({"Database Size", "1000 to 80000 data items (default " +
+                                  metrics::Table::fmtInt(cfg.dbSize) + ")"});
+  t1.addRow({"Data Item Size", num(cfg.dataItemBytes, "bytes")});
+  t1.addRow({"Client Buffer Size",
+             metrics::Table::fmt(cfg.clientBufferFrac * 100, 0) +
+                 " % of database size (" +
+                 metrics::Table::fmtInt(cfg.cacheCapacity()) + " items)"});
+  t1.addRow({"Broadcast Period", num(cfg.broadcastPeriod, "seconds")});
+  t1.addRow({"Network Downlink Bandwidth", num(cfg.downlinkBps, "bits per second")});
+  t1.addRow({"Network Uplink Bandwidth", "1 % to 100 % of downlink (default " +
+                                             metrics::Table::fmtInt(cfg.uplinkBps) +
+                                             " bps)"});
+  t1.addRow({"Control Message Size", num(cfg.controlMessageBytes, "bytes")});
+  t1.addRow({"Mean Think Time", num(cfg.meanThinkTime, "seconds")});
+  t1.addRow({"Mean Data Items Ref. by a Query",
+             metrics::Table::fmtInt(cfg.meanItemsPerQuery) +
+                 " data items (see DESIGN.md substitution #2)"});
+  t1.addRow({"Mean Data Items Updated by a Tran.",
+             num(cfg.meanItemsPerUpdate, "data items")});
+  t1.addRow({"Mean Update Arrive Time", num(cfg.meanUpdateInterarrival, "seconds")});
+  t1.addRow({"Mean Disconnect Time", "200 to 8000 seconds (default " +
+                                         metrics::Table::fmtInt(cfg.meanDisconnectTime) +
+                                         ")"});
+  t1.addRow({"Prob. of Client Disc. per Interval", "0.1 to 0.8 (default " +
+                                                       metrics::Table::fmt(cfg.disconnectProb, 1) +
+                                                       ")"});
+  t1.addRow({"Window for Broadcast Invalidation",
+             metrics::Table::fmtInt(cfg.windowIntervals) + " intervals"});
+  std::printf("%s\n", t1.str().c_str());
+
+  std::printf("# Table 2. Query/Update Pattern\n");
+  metrics::Table t2({"Parameter", "UNIFORM", "HOTCOLD"});
+  t2.addRow({"HotQueryBounds", "-", "items 0 to 99 for each client"});
+  t2.addRow({"ColdQueryBounds", "all DB", "remainder of DB"});
+  t2.addRow({"HotQueryProb", "-", metrics::Table::fmt(cfg.hotQuery.hotProb, 1)});
+  t2.addRow({"HotUpdateBounds", "-", "-"});
+  t2.addRow({"ColdUpdateBounds", "all DB", "all DB"});
+  t2.addRow({"HotUpdateProb", "-", "-"});
+  std::printf("%s\n", t2.str().c_str());
+
+  std::printf("# Derived bit-size model (paper formulas, N = %zu)\n",
+              sizes.numItems);
+  metrics::Table t3({"Quantity", "Bits"});
+  t3.addRow({"item id (ceil log2 N)", std::to_string(sizes.itemIdBits())});
+  t3.addRow({"timestamp b_T", std::to_string(sizes.timestampBits)});
+  t3.addRow({"IR(w) with 10 entries", metrics::Table::fmtInt(sizes.tsReportBits(10))});
+  t3.addRow({"IR(BS) = 2N + b_T log2 N", metrics::Table::fmtInt(sizes.bsReportBits())});
+  t3.addRow({"Tlb feedback (AFW/AAW)", metrics::Table::fmtInt(sizes.tlbMessageBits())});
+  t3.addRow({"check request, 200 entries", metrics::Table::fmtInt(sizes.checkRequestBits(200))});
+  t3.addRow({"data item", metrics::Table::fmtInt(sizes.dataItemBits())});
+  t3.addRow({"query request", metrics::Table::fmtInt(sizes.queryRequestBits())});
+  std::printf("%s", t3.str().c_str());
+  return 0;
+}

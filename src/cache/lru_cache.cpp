@@ -1,0 +1,128 @@
+#include "cache/lru_cache.hpp"
+
+#include <cassert>
+
+namespace mci::cache {
+
+LruCache::LruCache(std::size_t capacity, ReplacementPolicy policy,
+                   std::uint64_t randomSeed)
+    : capacity_(capacity), policy_(policy), randState_(randomSeed | 1) {
+  assert(capacity_ >= 1);
+}
+
+Entry LruCache::evictOne() {
+  assert(!order_.empty());
+  auto victim = std::prev(order_.end());  // LRU/FIFO: back of the list
+  if (policy_ == ReplacementPolicy::kRandom) {
+    // xorshift64 walk — deterministic per seed, cheap, index-free.
+    randState_ ^= randState_ << 13;
+    randState_ ^= randState_ >> 7;
+    randState_ ^= randState_ << 17;
+    victim = order_.begin();
+    std::advance(victim, static_cast<long>(randState_ % order_.size()));
+  }
+  Entry out = *victim;
+  if (victim->suspect) --suspects_;
+  index_.erase(victim->item);
+  order_.erase(victim);
+  return out;
+}
+
+std::optional<Entry> LruCache::insert(const Entry& entry) {
+  assert(entry.item != db::kInvalidItem);
+  if (auto it = index_.find(entry.item); it != index_.end()) {
+    if (it->second->suspect) --suspects_;
+    *it->second = entry;
+    if (entry.suspect) ++suspects_;
+    order_.splice(order_.begin(), order_, it->second);
+    return std::nullopt;
+  }
+  std::optional<Entry> evicted;
+  if (index_.size() >= capacity_) evicted = evictOne();
+  order_.push_front(entry);
+  index_.emplace(entry.item, order_.begin());
+  if (entry.suspect) ++suspects_;
+  return evicted;
+}
+
+Entry* LruCache::find(db::ItemId item) {
+  auto it = index_.find(item);
+  return it == index_.end() ? nullptr : &*it->second;
+}
+
+const Entry* LruCache::find(db::ItemId item) const {
+  auto it = index_.find(item);
+  return it == index_.end() ? nullptr : &*it->second;
+}
+
+void LruCache::touch(db::ItemId item) {
+  auto it = index_.find(item);
+  assert(it != index_.end());
+  if (policy_ == ReplacementPolicy::kLru) {
+    order_.splice(order_.begin(), order_, it->second);
+  }
+}
+
+bool LruCache::erase(db::ItemId item) {
+  auto it = index_.find(item);
+  if (it == index_.end()) return false;
+  if (it->second->suspect) --suspects_;
+  order_.erase(it->second);
+  index_.erase(it);
+  return true;
+}
+
+void LruCache::clear() {
+  order_.clear();
+  index_.clear();
+  suspects_ = 0;
+}
+
+std::size_t LruCache::markAllSuspect() {
+  std::size_t marked = 0;
+  for (Entry& e : order_) {
+    if (!e.suspect) {
+      e.suspect = true;
+      ++marked;
+    }
+  }
+  suspects_ += marked;
+  return marked;
+}
+
+std::size_t LruCache::dropSuspects() {
+  std::size_t dropped = 0;
+  for (auto it = order_.begin(); it != order_.end();) {
+    if (it->suspect) {
+      index_.erase(it->item);
+      it = order_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  suspects_ -= dropped;
+  return dropped;
+}
+
+std::size_t LruCache::salvageSuspects(sim::SimTime refTime) {
+  std::size_t salvaged = 0;
+  for (Entry& e : order_) {
+    if (e.suspect) {
+      e.suspect = false;
+      e.refTime = refTime;
+      ++salvaged;
+    }
+  }
+  suspects_ -= salvaged;
+  return salvaged;
+}
+
+void LruCache::clearSuspect(db::ItemId item) {
+  if (Entry* e = find(item); e != nullptr && e->suspect) {
+    e->suspect = false;
+    --suspects_;
+  }
+}
+
+}  // namespace mci::cache

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "db/item.hpp"
+#include "sim/time.hpp"
+
+namespace mci::cache {
+
+/// One cached copy of a data item on a mobile host.
+struct Entry {
+  db::ItemId item{db::kInvalidItem};
+  db::Version version{0};
+  /// The copy is known identical to the server's as of this time (the fetch
+  /// time, or the broadcast time of the report that last salvaged it). A
+  /// report record (o, t) invalidates the entry iff t > refTime.
+  sim::SimTime refTime{0};
+  /// Set when the client reconnects after missing more history than its
+  /// reports cover: the entry may be stale and must not answer queries
+  /// until some mechanism (BS level, extended window, validity report)
+  /// salvages it — or it is dropped.
+  bool suspect{false};
+};
+
+/// Which entry a full cache evicts. The paper fixes LRU (§4); the
+/// alternatives exist for the replacement-policy ablation
+/// (`bench_ablation_replacement`).
+enum class ReplacementPolicy {
+  kLru,     ///< evict the least recently used (paper default)
+  kFifo,    ///< evict the oldest insertion; touch() is a no-op
+  kRandom,  ///< evict a pseudo-random resident
+};
+
+[[nodiscard]] constexpr const char* replacementPolicyName(ReplacementPolicy p) {
+  switch (p) {
+    case ReplacementPolicy::kLru: return "LRU";
+    case ReplacementPolicy::kFifo: return "FIFO";
+    case ReplacementPolicy::kRandom: return "RANDOM";
+  }
+  return "?";
+}
+
+/// The client buffer pool: a cache of data items (paper §4: "cached data
+/// items are managed using an LRU replacement policy", size a percentage
+/// of the database size), with selectable eviction policy.
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity,
+                    ReplacementPolicy policy = ReplacementPolicy::kLru,
+                    std::uint64_t randomSeed = 0x9E3779B9u);
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const { return index_.size(); }
+  [[nodiscard]] bool contains(db::ItemId item) const {
+    return index_.contains(item);
+  }
+
+  /// Inserts (or overwrites) an entry and makes it most-recently-used.
+  /// Returns the evicted entry when the cache was full.
+  std::optional<Entry> insert(const Entry& entry);
+
+  /// Looks up without changing recency. nullptr when absent.
+  [[nodiscard]] Entry* find(db::ItemId item);
+  [[nodiscard]] const Entry* find(db::ItemId item) const;
+
+  /// Marks `item` most-recently-used (call on a cache hit). Under FIFO and
+  /// RANDOM this is a no-op by design.
+  void touch(db::ItemId item);
+
+  [[nodiscard]] ReplacementPolicy policy() const { return policy_; }
+
+  /// Removes `item`; returns true if it was present.
+  bool erase(db::ItemId item);
+
+  /// Drops everything.
+  void clear();
+
+  /// Marks every entry suspect; returns how many were marked.
+  std::size_t markAllSuspect();
+
+  /// Removes every suspect entry; returns how many were removed.
+  std::size_t dropSuspects();
+
+  /// Clears the suspect flag of every entry, setting refTime to `refTime`;
+  /// returns how many entries were salvaged.
+  std::size_t salvageSuspects(sim::SimTime refTime);
+
+  [[nodiscard]] std::size_t suspectCount() const { return suspects_; }
+
+  /// Visits every entry (mutable); visitor may not insert/erase.
+  template <typename F>
+  void forEach(F&& f) {
+    for (Entry& e : order_) f(e);
+  }
+  template <typename F>
+  void forEach(F&& f) const {
+    for (const Entry& e : order_) f(e);
+  }
+
+  /// Clears the suspect flag of `item`'s entry (if present and suspect).
+  void clearSuspect(db::ItemId item);
+
+ private:
+  using List = std::list<Entry>;
+
+  /// Picks and removes the victim entry, updating the index; returns it.
+  Entry evictOne();
+
+  std::size_t capacity_;
+  ReplacementPolicy policy_;
+  std::uint64_t randState_;
+  List order_;  // front = most recently used
+  std::unordered_map<db::ItemId, List::iterator> index_;
+  std::size_t suspects_ = 0;
+};
+
+}  // namespace mci::cache

@@ -1,0 +1,17 @@
+#include "core/aaw_scheme.hpp"
+
+#include <algorithm>
+
+namespace mci::core {
+
+report::ReportPtr AawServerScheme::chooseHelpingReport(
+    std::shared_ptr<const report::BsReport> bs,
+    const std::vector<sim::SimTime>& salvageable, sim::SimTime now) {
+  const sim::SimTime oldest =
+      *std::min_element(salvageable.begin(), salvageable.end());
+  auto extended = report::TsReport::buildExtended(history_, sizes_, now, oldest);
+  if (extended->sizeBits <= bs->sizeBits) return extended;
+  return bs;
+}
+
+}  // namespace mci::core

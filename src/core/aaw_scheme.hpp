@@ -1,0 +1,30 @@
+#pragma once
+
+#include "core/adaptive_common.hpp"
+
+namespace mci::core {
+
+/// Adaptive Invalidation Report with Adjusting Window (paper §3.2).
+///
+/// Like AFW, but when helping reconnecting clients the server first
+/// considers *enlarging the TS window* to the oldest salvageable Tlb: the
+/// extended report IR(w') lists every update since that Tlb plus a
+/// (dummyId, Tlb) marker record, and is broadcast instead of IR(BS)
+/// whenever it is smaller (Figure 4: "if size of IR(BS) >= size of IR(w')
+/// select IR(w')"). For disconnections barely longer than the window this
+/// saves most of the 2N-bit BS cost; for very long ones BS wins.
+class AawServerScheme final : public AdaptiveServerBase {
+ public:
+  using AdaptiveServerBase::AdaptiveServerBase;
+
+ protected:
+  report::ReportPtr chooseHelpingReport(
+      std::shared_ptr<const report::BsReport> bs,
+      const std::vector<sim::SimTime>& salvageable, sim::SimTime now) override;
+};
+
+/// AAW's client algorithm (Figure 4) is AdaptiveClientScheme: the dummy
+/// record is folded into TsReport::covers().
+using AawClientScheme = AdaptiveClientScheme;
+
+}  // namespace mci::core

@@ -1,0 +1,133 @@
+#include "core/adaptive_common.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mci::core {
+
+AdaptiveServerBase::AdaptiveServerBase(const db::UpdateHistory& history,
+                                       const report::SizeModel& sizes,
+                                       double broadcastPeriod,
+                                       int windowIntervals)
+    : history_(history),
+      sizes_(sizes),
+      period_(broadcastPeriod),
+      window_(windowIntervals) {
+  assert(period_ > 0 && window_ >= 1);
+}
+
+std::optional<schemes::ValidityReply> AdaptiveServerBase::onCheckMessage(
+    const schemes::CheckMessage& msg, sim::SimTime /*now*/) {
+  pendingTlbs_.push_back(msg.tlb);
+  ++decisions_.tlbsReceived;
+  return std::nullopt;  // the answer is the next broadcast report
+}
+
+report::ReportPtr AdaptiveServerBase::buildReport(sim::SimTime now) {
+  const sim::SimTime wStart = windowStart(now);
+  if (!pendingTlbs_.empty()) {
+    auto bs = report::BsReport::build(history_, sizes_, now);
+    std::vector<sim::SimTime> salvageable;
+    for (sim::SimTime tlb : pendingTlbs_) {
+      if (tlb < bs->coverageStart()) {
+        ++decisions_.tlbsDeclined;  // older than even BS can express
+      } else if (tlb < wStart) {
+        salvageable.push_back(tlb);
+      }
+      // tlb >= wStart: the regular window already covers this client.
+    }
+    pendingTlbs_.clear();
+    if (!salvageable.empty()) {
+      report::ReportPtr helping = chooseHelpingReport(bs, salvageable, now);
+      if (helping->kind == report::ReportKind::kBitSeq) {
+        ++decisions_.bsReports;
+      } else {
+        ++decisions_.extendedReports;
+      }
+      return helping;
+    }
+  }
+  ++decisions_.tsReports;
+  return report::TsReport::build(history_, sizes_, now, wStart);
+}
+
+schemes::ClientOutcome AdaptiveClientScheme::onReport(
+    const report::Report& r, schemes::ClientContext& ctx) {
+  // --- BS branch (Figures 3/4: "if report type is IR(BS) run BS client
+  // cache invalidation algorithm") ---
+  if (r.kind == report::ReportKind::kBitSeq) {
+    const auto& bs = static_cast<const report::BsReport&>(r);
+    const bool hadSuspects = ctx.cache().suspectCount() > 0;
+    // Salvage decisions must reach back to the pre-gap Tlb, not merely to
+    // the last (uncovering) report the client heard while waiting.
+    const sim::SimTime effective =
+        hadSuspects ? ctx.suspectAsOf() : ctx.lastHeard();
+    schemes::applyBsDecision(bs, effective, ctx);
+    if (ctx.cache().suspectCount() > 0) {
+      // Survivors of the BS decision were provably not updated since the
+      // chosen level's timestamp, hence current as of this report.
+      ctx.salvageAllSuspects(r.broadcastTime);
+    }
+    ctx.clearGapState();
+    ctx.setLastHeard(r.broadcastTime);
+    return {};
+  }
+
+  // --- TS branch (IR(w) and AAW's IR(w')) ---
+  assert(r.kind == report::ReportKind::kTsWindow ||
+         r.kind == report::ReportKind::kTsExtended);
+  const auto& ts = static_cast<const report::TsReport&>(r);
+  const bool hadSuspects = ctx.cache().suspectCount() > 0;
+
+  if (!hadSuspects && ts.covers(ctx.lastHeard())) {
+    applyTsEntries(ts.entries(), ctx);
+    ctx.setLastHeard(r.broadcastTime);
+    return {};
+  }
+
+  if (!hadSuspects) {
+    ctx.markAllSuspect(ctx.lastHeard());
+    if (ctx.cache().suspectCount() == 0) {
+      // Empty cache: nothing to salvage, no reason to bother the uplink.
+      applyTsEntries(ts.entries(), ctx);
+      ctx.clearGapState();
+      ctx.setLastHeard(r.broadcastTime);
+      return {};
+    }
+  }
+
+  // Explicit records always apply, suspects included.
+  applyTsEntries(ts.entries(), ctx);
+
+  if (ts.covers(ctx.suspectAsOf())) {
+    // The window (possibly w', via the dummy record) reaches back past the
+    // gap: every update since the gap was listed, so the remaining
+    // suspects are clean.
+    ctx.salvageAllSuspects(r.broadcastTime);
+    ctx.clearGapState();
+    ctx.setLastHeard(r.broadcastTime);
+    return {};
+  }
+
+  schemes::ClientOutcome out;
+  if (!ctx.checkSent()) {
+    // First uncovered report after the gap: uplink the pre-gap Tlb once
+    // ("and not yet sent Tlb to server = TRUE").
+    out.sendCheck = true;
+    out.check.client = ctx.id();
+    out.check.tlb = ctx.suspectAsOf();
+    out.check.sizeBits = ctx.sizes().tlbMessageBits();
+    ctx.setCheckSent(true);
+    ctx.setSalvagePending(true);
+  } else if (ctx.checkDeliveredAt() < r.broadcastTime) {
+    // The server built this report knowing our Tlb and still did not help:
+    // our gap predates TS(B_n) — nothing can be salvaged.
+    ctx.dropSuspects();
+    ctx.clearGapState();
+  }
+  // else: feedback still in flight; keep waiting.
+  ctx.setLastHeard(r.broadcastTime);
+  return out;
+}
+
+}  // namespace mci::core

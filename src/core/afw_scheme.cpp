@@ -1,0 +1,11 @@
+#include "core/afw_scheme.hpp"
+
+namespace mci::core {
+
+report::ReportPtr AfwServerScheme::chooseHelpingReport(
+    std::shared_ptr<const report::BsReport> bs,
+    const std::vector<sim::SimTime>& /*salvageable*/, sim::SimTime /*now*/) {
+  return bs;  // fixed window: the only helping format is the full BS
+}
+
+}  // namespace mci::core

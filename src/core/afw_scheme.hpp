@@ -1,0 +1,27 @@
+#pragma once
+
+#include "core/adaptive_common.hpp"
+
+namespace mci::core {
+
+/// Adaptive Invalidation Report with Fixed Window (paper §3.1).
+///
+/// The window size never changes: the server answers salvageable
+/// reconnection feedback by broadcasting the full IR(BS) as the next
+/// report, and IR(w) otherwise. "BS is broadcast as the next invalidation
+/// report only if there is at least one client which needs more update
+/// history information than the window w can provide."
+class AfwServerScheme final : public AdaptiveServerBase {
+ public:
+  using AdaptiveServerBase::AdaptiveServerBase;
+
+ protected:
+  report::ReportPtr chooseHelpingReport(
+      std::shared_ptr<const report::BsReport> bs,
+      const std::vector<sim::SimTime>& salvageable, sim::SimTime now) override;
+};
+
+/// AFW's client algorithm (Figure 3) is AdaptiveClientScheme.
+using AfwClientScheme = AdaptiveClientScheme;
+
+}  // namespace mci::core

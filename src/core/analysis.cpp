@@ -1,0 +1,170 @@
+#include "core/analysis.hpp"
+
+#include "schemes/gcore_scheme.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mci::core {
+namespace {
+
+/// Expected invalidation-report bits per period for the configured scheme.
+double expectedReportBits(const SimConfig& cfg, const report::SizeModel& sizes) {
+  // Server-side update stream: items per second entering reports.
+  const double updateRate = cfg.meanItemsPerUpdate / cfg.meanUpdateInterarrival;
+  const double windowSeconds = cfg.windowIntervals * cfg.broadcastPeriod;
+
+  switch (cfg.scheme) {
+    case schemes::SchemeKind::kBs:
+      return sizes.bsReportBits();
+    case schemes::SchemeKind::kSig:
+      return sizes.sigReportBits(cfg.sigSubsets);
+    case schemes::SchemeKind::kAt:
+      return sizes.tsReportBits(static_cast<std::size_t>(
+          updateRate * cfg.broadcastPeriod + 0.5));
+    case schemes::SchemeKind::kDts: {
+      // Cold items linger up to maxWindow intervals; with uniform updates
+      // the per-item window settles near alpha/(lambda_i L). Approximate
+      // the listing horizon by the mean per-item window, bounded by the cap.
+      const double perItemRate = updateRate / static_cast<double>(cfg.dbSize);
+      const double meanWindowIntervals =
+          std::min<double>(cfg.dtsMaxWindow,
+                           std::max<double>(cfg.dtsMinWindow,
+                                            cfg.dtsAlpha /
+                                                (perItemRate *
+                                                 cfg.broadcastPeriod)));
+      return sizes.tsReportBits(static_cast<std::size_t>(
+          updateRate * meanWindowIntervals * cfg.broadcastPeriod + 0.5));
+    }
+    case schemes::SchemeKind::kTs:
+    case schemes::SchemeKind::kTsChecking:
+    case schemes::SchemeKind::kGcore:
+    case schemes::SchemeKind::kAfw:
+    case schemes::SchemeKind::kAaw:
+    default:
+      // Window report; the adaptive schemes broadcast IR(w) almost always
+      // (helping reports are rare), so this is their first-order size too.
+      return sizes.tsReportBits(
+          static_cast<std::size_t>(updateRate * windowSeconds + 0.5));
+  }
+}
+
+}  // namespace
+
+AnalyticModel analyze(const SimConfig& cfg) {
+  const report::SizeModel sizes = cfg.sizeModel();
+  AnalyticModel m;
+
+  // ---- channel side ----
+  m.reportBitsPerPeriod = expectedReportBits(cfg, sizes);
+  m.irShare = std::min(
+      1.0, m.reportBitsPerPeriod / (cfg.broadcastPeriod * cfg.downlinkBps));
+  double dataBps = 0;
+  if (cfg.dataChannelBps.empty()) {
+    dataBps = cfg.downlinkBps * (1.0 - m.irShare);
+  } else {
+    // Dedicated data channels: downloads never compete with reports, but
+    // they also cannot borrow idle broadcast capacity.
+    for (double extra : cfg.dataChannelBps) dataBps += extra;
+  }
+  m.dataCapacityPerSecond = dataBps / sizes.dataItemBits();
+
+  // ---- client side ----
+  // Steady-state hit chance: a hot query finds its item cached when the
+  // buffer holds the (smaller of) hot region / capacity; uniform queries
+  // effectively always miss (the paper's own observation).
+  double hitRatio = 0.0;
+  if (cfg.workload == WorkloadKind::kHotCold) {
+    const double hotSize =
+        static_cast<double>(cfg.hotQuery.hotHi - cfg.hotQuery.hotLo);
+    const double coverage =
+        std::min(1.0, static_cast<double>(cfg.cacheCapacity()) / hotSize);
+    hitRatio = cfg.hotQuery.hotProb * coverage;
+  }
+  m.expectedMissRatio = 1.0 - hitRatio;
+
+  // Gap between queries: think time, or a doze instead (post-query model);
+  // under the interval-coin model each ~L seconds of thinking risks one
+  // coin, giving an equivalent per-query doze probability.
+  double gap = 0;
+  if (cfg.disconnectModel == workload::DisconnectModel::kPostQuery) {
+    gap = (1.0 - cfg.disconnectProb) * cfg.meanThinkTime +
+          cfg.disconnectProb * cfg.meanDisconnectTime;
+  } else {
+    const double coinsPerThink = cfg.meanThinkTime / cfg.broadcastPeriod;
+    const double dozeProb =
+        1.0 - std::pow(1.0 - cfg.disconnectProb, coinsPerThink);
+    gap = cfg.meanThinkTime + dozeProb * cfg.meanDisconnectTime;
+  }
+
+  const double reportWait = cfg.broadcastPeriod / 2.0;
+  const double unqueuedService = m.expectedMissRatio * cfg.meanItemsPerQuery *
+                                 sizes.dataItemBits() / cfg.downlinkBps;
+  m.clientCycleSeconds = gap + reportWait + unqueuedService;
+  m.demandQueriesPerSecond =
+      static_cast<double>(cfg.numClients) / m.clientCycleSeconds;
+
+  // ---- throughput ----
+  const double missesPerQuery = m.expectedMissRatio * cfg.meanItemsPerQuery;
+  const double capacityLimitedQps =
+      missesPerQuery > 0 ? m.dataCapacityPerSecond / missesPerQuery
+                         : m.demandQueriesPerSecond;
+  m.throughputQueriesPerSecond =
+      std::min(m.demandQueriesPerSecond, capacityLimitedQps);
+
+  // ---- uplink validity-checking cost ----
+  // A salvage episode happens when a doze outlasts the window. Post-query:
+  // each completed query dozes with probability p, and the doze exceeds w*L
+  // with probability exp(-wL/disc) (exponential doze). Interval-coin: each
+  // query's preceding think risks ~think/L coins.
+  const double windowSeconds = cfg.windowIntervals * cfg.broadcastPeriod;
+  double dozePerQuery = cfg.disconnectProb;
+  if (cfg.disconnectModel == workload::DisconnectModel::kIntervalCoin) {
+    const double coinsPerThink = cfg.meanThinkTime / cfg.broadcastPeriod;
+    dozePerQuery = 1.0 - std::pow(1.0 - cfg.disconnectProb, coinsPerThink);
+  }
+  const double beyondWindow =
+      std::exp(-windowSeconds / cfg.meanDisconnectTime);
+  m.beyondWindowReconnectsPerSecond =
+      m.throughputQueriesPerSecond * dozePerQuery * beyondWindow;
+
+  switch (cfg.scheme) {
+    case schemes::SchemeKind::kBs:
+    case schemes::SchemeKind::kSig:
+    case schemes::SchemeKind::kDts:
+    case schemes::SchemeKind::kTs:
+    case schemes::SchemeKind::kAt:
+      m.checkBitsPerEpisode = 0;  // pure broadcast
+      break;
+    case schemes::SchemeKind::kTsChecking: {
+      // The check lists every suspect (id, timestamp); occupancy is
+      // bounded by the buffer and by what a client can have fetched.
+      const double occupancy = static_cast<double>(cfg.cacheCapacity());
+      m.checkBitsPerEpisode = sizes.checkRequestBits(
+          static_cast<std::size_t>(occupancy / 2.0));  // mean fill
+      break;
+    }
+    case schemes::SchemeKind::kGcore: {
+      const double groups =
+          std::min<double>(static_cast<double>(cfg.cacheCapacity()) / 2.0,
+                           static_cast<double>(cfg.dbSize) /
+                               static_cast<double>(cfg.gcoreGroupSize));
+      m.checkBitsPerEpisode = static_cast<double>(
+          schemes::gcoreCheckBits(sizes, cfg.gcoreGroupSize,
+                                  static_cast<std::size_t>(groups)));
+      break;
+    }
+    case schemes::SchemeKind::kAfw:
+    case schemes::SchemeKind::kAaw:
+      m.checkBitsPerEpisode = sizes.tlbMessageBits();
+      break;
+  }
+  if (m.throughputQueriesPerSecond > 0) {
+    m.uplinkCheckBitsPerQuery = m.beyondWindowReconnectsPerSecond *
+                                m.checkBitsPerEpisode /
+                                m.throughputQueriesPerSecond;
+  }
+  return m;
+}
+
+}  // namespace mci::core

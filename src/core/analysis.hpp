@@ -1,0 +1,48 @@
+#pragma once
+
+#include "core/config.hpp"
+
+namespace mci::core {
+
+/// First-order closed-form predictions for a configuration — the
+/// back-of-envelope model behind every figure's shape. Used three ways:
+///  * tests cross-check the simulator against it (theory vs. simulation),
+///  * EXPERIMENTS.md cites it to explain magnitudes,
+///  * users can call analyze() to reason about a configuration without
+///    running anything.
+///
+/// The model: each broadcast period of L seconds the downlink first pays
+/// for one invalidation report (scheme-dependent size), and the remainder
+/// carries 8 KB data items. Clients are a closed loop — each cycles through
+/// gap (think or doze), a half-period wait for the next report, and the
+/// fetch of its misses — so the answered-query rate is the smaller of the
+/// demand the population can generate and what the channel can serve.
+struct AnalyticModel {
+  // channel side
+  double reportBitsPerPeriod = 0;  ///< expected IR airtime per period
+  double irShare = 0;              ///< fraction of downlink spent on IRs
+  double dataCapacityPerSecond = 0;  ///< item transfers/s after IR overhead
+
+  // client side
+  double expectedMissRatio = 0;   ///< first-order per-item miss probability
+  double clientCycleSeconds = 0;  ///< gap + report wait + unqueued service
+  double demandQueriesPerSecond = 0;  ///< population query pressure
+
+  // the punchline
+  double throughputQueriesPerSecond = 0;  ///< min(demand, capacity-limited)
+
+  // uplink side (the other figure metric)
+  double beyondWindowReconnectsPerSecond = 0;  ///< salvage episodes/s (population)
+  double checkBitsPerEpisode = 0;   ///< scheme-dependent feedback size
+  double uplinkCheckBitsPerQuery = 0;  ///< predicted Figures 6/8/10/12/14 value
+
+  /// Expected answered queries over a horizon.
+  [[nodiscard]] double predictedQueries(double simTime) const {
+    return throughputQueriesPerSecond * simTime;
+  }
+};
+
+/// Evaluates the model for `cfg`. Deterministic, O(1).
+AnalyticModel analyze(const SimConfig& cfg);
+
+}  // namespace mci::core

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "metrics/collector.hpp"
+#include "net/network.hpp"
+#include "report/report.hpp"
+#include "schemes/scheme.hpp"
+#include "sim/simulator.hpp"
+#include "workload/disconnect.hpp"
+#include "workload/query_generator.hpp"
+
+namespace mci::core {
+
+class Server;
+
+/// A mobile host: the paper's client loop (§4).
+///
+/// Life cycle: think (exponential) → issue a query → wait for the next
+/// invalidation report → let the scheme validate the cache → answer hits
+/// locally, fetch misses via uplink request + downlink transfer → complete
+/// → think again. While thinking, the client may doze (probability p per
+/// broadcast interval, or per completed query — DisconnectModel); while
+/// dozing it hears nothing and answers nothing. On wake it resumes with its
+/// pre-doze Tlb and lets the scheme sort out what survived.
+class Client {
+ public:
+  Client(sim::Simulator& simulator, net::Network& network, Server& server,
+         const report::SizeModel& sizes,
+         std::unique_ptr<schemes::ClientScheme> scheme,
+         workload::QueryGenerator queryGen, workload::Disconnector disconnector,
+         metrics::Collector* collector, schemes::ClientId id,
+         std::size_t cacheCapacity,
+         cache::ReplacementPolicy replacement = cache::ReplacementPolicy::kLru);
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Kicks off the think loop at the current simulated time.
+  void start();
+
+  /// A fully transmitted invalidation report reached this cell; the server
+  /// calls this only for connected clients.
+  void onReportDelivered(const report::ReportPtr& r);
+
+  /// A validity report addressed to this client arrived.
+  void onValidityReply(const schemes::ValidityReply& reply);
+
+  /// A requested data item finished downloading. `readTime` is when the
+  /// server read it from the database (its currency point).
+  void onDataItem(db::ItemId item, db::Version version, sim::SimTime readTime);
+
+  [[nodiscard]] bool connected() const { return connected_; }
+  [[nodiscard]] schemes::ClientId id() const { return ctx_.id(); }
+  [[nodiscard]] schemes::ClientContext& context() { return ctx_; }
+  [[nodiscard]] const schemes::ClientContext& context() const { return ctx_; }
+
+  enum class State {
+    kThinking,        ///< between queries, connected, listening
+    kDozing,          ///< disconnected (power off)
+    kAwaitingReport,  ///< query issued, waiting for the next IR
+    kAwaitingSalvage, ///< query issued, cache validity unresolved
+    kFetching,        ///< misses requested, downloads in flight
+  };
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] std::uint64_t queriesCompleted() const { return completed_; }
+
+ private:
+  void startThink(double duration);
+  void issueQuery();
+  void maybeAnswerQuery();
+  void completeQuery();
+  void beginDoze(bool queryAfterWake);
+  void wake();
+  void sendCheck(const schemes::CheckMessage& msg);
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  Server& server_;
+  std::unique_ptr<schemes::ClientScheme> scheme_;
+  workload::QueryGenerator queryGen_;
+  workload::Disconnector disc_;
+  metrics::Collector* collector_;
+  schemes::ClientContext ctx_;
+
+  State state_ = State::kThinking;
+  bool connected_ = true;
+
+  sim::EventId thinkEvent_ = sim::kInvalidEventId;
+  sim::SimTime thinkDeadline_ = 0;
+
+  sim::SimTime dozeStart_ = 0;
+  bool queryAfterWake_ = false;
+
+  std::vector<db::ItemId> queryItems_;
+  sim::SimTime queryStart_ = 0;
+  std::vector<db::ItemId> pendingFetch_;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace mci::core

@@ -1,0 +1,87 @@
+#include "core/config.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace mci::core {
+
+std::size_t SimConfig::cacheCapacity() const {
+  const auto cap =
+      static_cast<std::size_t>(clientBufferFrac * static_cast<double>(dbSize));
+  return std::max<std::size_t>(cap, 1);
+}
+
+report::SizeModel SimConfig::sizeModel() const {
+  report::SizeModel m;
+  m.numItems = dbSize;
+  m.numClients = numClients;
+  m.timestampBits = timestampBits;
+  m.dataItemBytes = dataItemBytes;
+  m.controlMessageBytes = controlMessageBytes;
+  return m;
+}
+
+void SimConfig::validate() const {
+  auto fail = [](const std::string& what) {
+    throw std::invalid_argument("SimConfig: " + what);
+  };
+  if (simTime <= 0) fail("simTime must be positive");
+  if (warmupTime < 0 || warmupTime >= simTime)
+    fail("warmupTime must be in [0, simTime)");
+  if (numClients == 0) fail("numClients must be >= 1");
+  if (dbSize < 2) fail("dbSize must be >= 2");
+  if (broadcastPeriod <= 0) fail("broadcastPeriod must be positive");
+  if (downlinkBps <= 0 || uplinkBps <= 0) fail("bandwidths must be positive");
+  if (clientBufferFrac <= 0 || clientBufferFrac > 1)
+    fail("clientBufferFrac must be in (0,1]");
+  if (meanThinkTime <= 0) fail("meanThinkTime must be positive");
+  if (meanItemsPerQuery < 1) fail("meanItemsPerQuery must be >= 1");
+  if (meanItemsPerUpdate < 1) fail("meanItemsPerUpdate must be >= 1");
+  if (meanUpdateInterarrival <= 0) fail("meanUpdateInterarrival must be positive");
+  if (meanDisconnectTime <= 0) fail("meanDisconnectTime must be positive");
+  if (disconnectProb < 0 || disconnectProb > 1)
+    fail("disconnectProb must be in [0,1]");
+  if (clientHeterogeneity < 0 || clientHeterogeneity >= 1)
+    fail("clientHeterogeneity must be in [0,1)");
+  if (windowIntervals < 1) fail("windowIntervals must be >= 1");
+  if (workload == WorkloadKind::kHotCold) {
+    if (hotQuery.hotLo >= hotQuery.hotHi) fail("hot query bounds empty");
+    if (hotQuery.hotHi > dbSize) fail("hot query bounds exceed database");
+    if (hotQuery.hotHi - hotQuery.hotLo >= dbSize)
+      fail("cold query region empty");
+  }
+  if (hotColdUpdates) {
+    if (hotUpdate.hotLo >= hotUpdate.hotHi) fail("hot update bounds empty");
+    if (hotUpdate.hotHi > dbSize) fail("hot update bounds exceed database");
+  }
+  for (double bps : dataChannelBps) {
+    if (bps <= 0) fail("data channel bandwidths must be positive");
+  }
+  if (scheme == schemes::SchemeKind::kDts) {
+    if (dtsMinWindow < 1) fail("dtsMinWindow must be >= 1");
+    if (dtsMaxWindow < dtsMinWindow) fail("dtsMaxWindow < dtsMinWindow");
+    if (dtsAlpha <= 0) fail("dtsAlpha must be positive");
+  }
+  if (scheme == schemes::SchemeKind::kGcore && gcoreGroupSize == 0) {
+    fail("gcoreGroupSize must be >= 1");
+  }
+  if (scheme == schemes::SchemeKind::kSig) {
+    if (sigSubsets == 0) fail("sigSubsets must be >= 1");
+    if (sigPerItem < 1) fail("sigPerItem must be >= 1");
+  }
+  if (timestampBits < 1 || timestampBits > 64) fail("timestampBits out of range");
+}
+
+std::string SimConfig::describe() const {
+  std::ostringstream os;
+  os << schemes::schemeName(scheme) << " " << workloadName(workload)
+     << " N=" << dbSize << " C=" << numClients << " L=" << broadcastPeriod
+     << "s w=" << windowIntervals << " buf=" << clientBufferFrac * 100 << "%"
+     << " p=" << disconnectProb << " disc=" << meanDisconnectTime << "s"
+     << " up=" << uplinkBps << "bps down=" << downlinkBps << "bps"
+     << " T=" << simTime << "s seed=" << seed;
+  return os.str();
+}
+
+}  // namespace mci::core

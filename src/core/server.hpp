@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "db/database.hpp"
+#include "metrics/collector.hpp"
+#include "net/network.hpp"
+#include "report/sizing.hpp"
+#include "schemes/scheme.hpp"
+#include "sim/simulator.hpp"
+
+namespace mci::core {
+
+class Client;
+
+/// The Mobile Support Station (paper §2): broadcasts the invalidation
+/// report at exactly T_i = i*L (the report class preempts everything else
+/// on the downlink), answers uplink checking traffic through its scheme,
+/// and serves query requests by queueing one data-item transfer per missed
+/// item on the downlink's FCFS class.
+class Server {
+ public:
+  Server(sim::Simulator& simulator, net::Network& network,
+         const db::Database& database, schemes::ServerScheme& scheme,
+         const report::SizeModel& sizes, metrics::Collector* collector,
+         double broadcastPeriod);
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Registers a client; its id must equal its registration index.
+  void registerClient(Client* client);
+
+  /// Schedules the first broadcast (at t = L).
+  void start();
+
+  /// A client's check/Tlb message finished crossing the uplink.
+  void onCheckMessage(const schemes::CheckMessage& msg);
+
+  /// A client's query request arrived: queue the item downloads.
+  void onQueryRequest(schemes::ClientId client,
+                      const std::vector<db::ItemId>& items);
+
+  [[nodiscard]] std::uint64_t reportsBroadcast() const { return tick_; }
+
+ private:
+  void broadcastTick();
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  const db::Database& db_;
+  schemes::ServerScheme& scheme_;
+  const report::SizeModel& sizes_;
+  metrics::Collector* collector_;
+  double period_;
+  std::vector<Client*> clients_;
+  std::uint64_t tick_ = 0;
+};
+
+}  // namespace mci::core

@@ -1,0 +1,195 @@
+#include "core/simulation.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/aaw_scheme.hpp"
+#include "core/afw_scheme.hpp"
+#include "schemes/at_scheme.hpp"
+#include "schemes/bs_scheme.hpp"
+#include "schemes/dts_scheme.hpp"
+#include "schemes/gcore_scheme.hpp"
+#include "schemes/sig_scheme.hpp"
+#include "schemes/ts_checking_scheme.hpp"
+#include "schemes/ts_scheme.hpp"
+
+namespace mci::core {
+
+Simulation::Simulation(SimConfig cfg)
+    : cfg_(std::move(cfg)),
+      sizes_(cfg_.sizeModel()),
+      db_(cfg_.dbSize),
+      history_(cfg_.dbSize),
+      net_(sim_, cfg_.downlinkBps, cfg_.uplinkBps, cfg_.dataChannelBps),
+      collector_(db_, cfg_.auditStaleReads) {
+  cfg_.validate();
+  collector_.setClientCount(cfg_.numClients);
+
+  if (cfg_.traceCapacity > 0) {
+    trace_.enable(cfg_.traceCapacity);
+    collector_.attachTrace(&sim_, &trace_);
+  }
+
+  const sim::Rng root(cfg_.seed);
+
+  if (cfg_.scheme == schemes::SchemeKind::kSig) {
+    sigTable_ = std::make_unique<report::SignatureTable>(
+        cfg_.dbSize, cfg_.sigSubsets, cfg_.sigPerItem,
+        root.fork("sig-seed").bits() /* stable per run seed */);
+    sigInitialCombined_ = sigTable_->combined();
+  }
+
+  serverScheme_ = makeServerScheme();
+  server_ = std::make_unique<Server>(sim_, net_, db_, *serverScheme_, sizes_,
+                                     &collector_, cfg_.broadcastPeriod);
+
+  // Update workload: Table 2 uses "all DB" for updates in both columns;
+  // hot/cold updates stay available for extension experiments.
+  const workload::AccessPattern updatePattern =
+      cfg_.hotColdUpdates
+          ? workload::AccessPattern::hotCold(cfg_.dbSize, cfg_.hotUpdate)
+          : workload::AccessPattern::uniform(cfg_.dbSize);
+  db::UpdateGenerator::Params up;
+  up.meanInterarrival = cfg_.meanUpdateInterarrival;
+  up.meanItemsPerTxn = cfg_.meanItemsPerUpdate;
+  updateGen_ = std::make_unique<db::UpdateGenerator>(
+      sim_, db_, history_, up,
+      [updatePattern](sim::Rng& rng) { return updatePattern.pick(rng); },
+      root.fork("updates"));
+  if (sigTable_) {
+    updateGen_->setUpdateHook([this](db::ItemId item, sim::SimTime /*now*/) {
+      const db::Version v = db_.currentVersion(item);
+      sigTable_->applyUpdate(item, v - 1, v);
+    });
+  }
+
+  // Client population.
+  const workload::AccessPattern queryPattern =
+      cfg_.workload == WorkloadKind::kHotCold
+          ? workload::AccessPattern::hotCold(cfg_.dbSize, cfg_.hotQuery)
+          : workload::AccessPattern::uniform(cfg_.dbSize);
+  workload::QueryGenerator::Params qp;
+  qp.meanThinkTime = cfg_.meanThinkTime;
+  qp.meanItemsPerQuery = cfg_.meanItemsPerQuery;
+  workload::Disconnector::Params dp;
+  dp.model = cfg_.disconnectModel;
+  dp.probability = cfg_.disconnectProb;
+  dp.meanDuration = cfg_.meanDisconnectTime;
+
+  clients_.reserve(cfg_.numClients);
+  sim::Rng hetero = root.fork("heterogeneity");
+  for (std::size_t i = 0; i < cfg_.numClients; ++i) {
+    const auto id = static_cast<schemes::ClientId>(i);
+    workload::QueryGenerator::Params cqp = qp;
+    workload::Disconnector::Params cdp = dp;
+    if (cfg_.clientHeterogeneity > 0) {
+      const double h = cfg_.clientHeterogeneity;
+      cqp.meanThinkTime *= hetero.uniformReal(1.0 - h, 1.0 + h);
+      cdp.probability =
+          std::min(1.0, cdp.probability * hetero.uniformReal(1.0 - h, 1.0 + h));
+    }
+    auto client = std::make_unique<Client>(
+        sim_, net_, *server_, sizes_, makeClientScheme(),
+        workload::QueryGenerator(queryPattern, cqp, root.fork("query", id)),
+        workload::Disconnector(cdp, root.fork("disc", id)), &collector_, id,
+        cfg_.cacheCapacity(), cfg_.replacement);
+    server_->registerClient(client.get());
+    clients_.push_back(std::move(client));
+  }
+}
+
+Simulation::~Simulation() = default;
+
+std::unique_ptr<schemes::ServerScheme> Simulation::makeServerScheme() {
+  using schemes::SchemeKind;
+  switch (cfg_.scheme) {
+    case SchemeKind::kTs:
+      return std::make_unique<schemes::TsServerScheme>(
+          history_, sizes_, cfg_.broadcastPeriod, cfg_.windowIntervals);
+    case SchemeKind::kAt:
+      return std::make_unique<schemes::AtServerScheme>(history_, sizes_,
+                                                       cfg_.broadcastPeriod);
+    case SchemeKind::kSig:
+      assert(sigTable_ != nullptr);
+      return std::make_unique<schemes::SigServerScheme>(*sigTable_, sizes_);
+    case SchemeKind::kDts: {
+      schemes::DtsServerScheme::Params dts;
+      dts.minWindow = cfg_.dtsMinWindow;
+      dts.maxWindow = cfg_.dtsMaxWindow;
+      dts.alpha = cfg_.dtsAlpha;
+      return std::make_unique<schemes::DtsServerScheme>(
+          history_, db_, sizes_, cfg_.broadcastPeriod, dts);
+    }
+    case SchemeKind::kTsChecking:
+      return std::make_unique<schemes::TsCheckingServerScheme>(
+          history_, db_, sizes_, cfg_.broadcastPeriod, cfg_.windowIntervals);
+    case SchemeKind::kGcore:
+      return std::make_unique<schemes::GcoreServerScheme>(
+          history_, db_, sizes_, cfg_.broadcastPeriod, cfg_.windowIntervals,
+          cfg_.gcoreGroupSize);
+    case SchemeKind::kBs:
+      return std::make_unique<schemes::BsServerScheme>(history_, sizes_);
+    case SchemeKind::kAfw:
+      return std::make_unique<AfwServerScheme>(
+          history_, sizes_, cfg_.broadcastPeriod, cfg_.windowIntervals);
+    case SchemeKind::kAaw:
+      return std::make_unique<AawServerScheme>(
+          history_, sizes_, cfg_.broadcastPeriod, cfg_.windowIntervals);
+  }
+  assert(false && "unknown scheme");
+  return nullptr;
+}
+
+std::unique_ptr<schemes::ClientScheme> Simulation::makeClientScheme() {
+  using schemes::SchemeKind;
+  switch (cfg_.scheme) {
+    case SchemeKind::kTs:
+    case SchemeKind::kAt:
+      return std::make_unique<schemes::TsClientScheme>();
+    case SchemeKind::kSig:
+      assert(sigTable_ != nullptr);
+      return std::make_unique<schemes::SigClientScheme>(
+          *sigTable_, sigInitialCombined_, cfg_.sigVotes);
+    case SchemeKind::kDts:
+      return std::make_unique<schemes::DtsClientScheme>();
+    case SchemeKind::kTsChecking:
+      return std::make_unique<schemes::TsCheckingClientScheme>();
+    case SchemeKind::kGcore:
+      return std::make_unique<schemes::GcoreClientScheme>(cfg_.gcoreGroupSize);
+    case SchemeKind::kBs:
+      return std::make_unique<schemes::BsClientScheme>();
+    case SchemeKind::kAfw:
+    case SchemeKind::kAaw:
+      return std::make_unique<AdaptiveClientScheme>();
+  }
+  assert(false && "unknown scheme");
+  return nullptr;
+}
+
+void Simulation::startProcesses() {
+  if (started_) return;
+  started_ = true;
+  server_->start();
+  updateGen_->start();
+  for (auto& c : clients_) c->start();
+}
+
+void Simulation::runUntil(double t) {
+  startProcesses();
+  sim_.runUntil(t);
+}
+
+metrics::SimResult Simulation::run() {
+  if (cfg_.warmupTime > 0 && sim_.now() < cfg_.warmupTime) {
+    runUntil(cfg_.warmupTime);
+    collector_.resetForMeasurement(net_);
+  }
+  runUntil(cfg_.simTime);
+  return collector_.finalize(cfg_.simTime - cfg_.warmupTime, net_);
+}
+
+metrics::SimResult Simulation::snapshot() const {
+  return collector_.finalize(sim_.now(), net_);
+}
+
+}  // namespace mci::core

@@ -1,0 +1,40 @@
+#include "db/database.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mci::db {
+
+Database::Database(std::size_t numItems) : perItem_(numItems) {
+  assert(numItems > 0);
+}
+
+void Database::applyUpdate(ItemId item, sim::SimTime now) {
+  assert(item < perItem_.size());
+  PerItem& p = perItem_[item];
+  assert(p.updateTimes.empty() || p.updateTimes.back() <= now);
+  ++p.version;
+  p.updateTimes.push_back(now);
+  ++totalUpdates_;
+}
+
+Version Database::currentVersion(ItemId item) const {
+  assert(item < perItem_.size());
+  return perItem_[item].version;
+}
+
+sim::SimTime Database::lastUpdateTime(ItemId item) const {
+  assert(item < perItem_.size());
+  const auto& times = perItem_[item].updateTimes;
+  return times.empty() ? sim::kTimeEpoch : times.back();
+}
+
+Version Database::versionAt(ItemId item, sim::SimTime t) const {
+  assert(item < perItem_.size());
+  const auto& times = perItem_[item].updateTimes;
+  // Count updates with time <= t.
+  const auto it = std::upper_bound(times.begin(), times.end(), t);
+  return static_cast<Version>(it - times.begin());
+}
+
+}  // namespace mci::db

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "db/item.hpp"
+#include "sim/time.hpp"
+
+namespace mci::db {
+
+/// The server's replicated database: N named items, updated only by the
+/// server (paper §2). Besides the current state it keeps each item's full
+/// update-time history so the test suite's stale-read auditor can ask
+/// "what version was item o at time t?" — the ground truth every
+/// invalidation scheme is checked against.
+class Database {
+ public:
+  explicit Database(std::size_t numItems);
+
+  [[nodiscard]] std::size_t size() const { return perItem_.size(); }
+
+  /// Applies an update to `item` at time `now`. Times must be non-decreasing
+  /// across calls.
+  void applyUpdate(ItemId item, sim::SimTime now);
+
+  /// Current version of `item`.
+  [[nodiscard]] Version currentVersion(ItemId item) const;
+
+  /// Time of the last update of `item`; sim::kTimeEpoch if never updated.
+  [[nodiscard]] sim::SimTime lastUpdateTime(ItemId item) const;
+
+  /// Version of `item` as of time `t` (the version produced by the latest
+  /// update with update-time <= t).
+  [[nodiscard]] Version versionAt(ItemId item, sim::SimTime t) const;
+
+  /// Total updates applied across all items.
+  [[nodiscard]] std::uint64_t totalUpdates() const { return totalUpdates_; }
+
+ private:
+  struct PerItem {
+    Version version = 0;
+    std::vector<sim::SimTime> updateTimes;  // ascending
+  };
+  std::vector<PerItem> perItem_;
+  std::uint64_t totalUpdates_ = 0;
+};
+
+}  // namespace mci::db

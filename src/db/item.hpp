@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace mci::db {
+
+/// Identifier of a data item; items are 0-based internally (the paper's
+/// "items 1..100 are hot" becomes ids [0, 100)).
+using ItemId = std::uint32_t;
+
+/// Monotone per-item version counter; bumped on every server update.
+/// Version 0 means "initial value, never updated".
+using Version = std::uint32_t;
+
+inline constexpr ItemId kInvalidItem = ~ItemId{0};
+
+/// One recorded update: which item, when.
+struct UpdateRecord {
+  ItemId item{kInvalidItem};
+  sim::SimTime time{0};
+};
+
+}  // namespace mci::db

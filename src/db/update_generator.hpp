@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "db/database.hpp"
+#include "db/item.hpp"
+#include "db/update_history.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace mci::db {
+
+/// The server's update workload process (paper §4): update transactions are
+/// separated by exponentially distributed interarrival times (mean 100 s);
+/// each transaction touches ~5 items chosen by the update pattern.
+///
+/// Item selection is injected as a picker so the generator does not depend
+/// on the workload-pattern module (Table 2's UNIFORM / HOTCOLD columns both
+/// use "all DB" for updates, but the picker keeps hot-update experiments
+/// possible).
+class UpdateGenerator {
+ public:
+  using ItemPicker = std::function<ItemId(sim::Rng&)>;
+  /// Notified after every applied item update (e.g. to refresh signatures).
+  using UpdateHook = std::function<void(ItemId, sim::SimTime)>;
+
+  struct Params {
+    double meanInterarrival = 100.0;  ///< seconds between transactions
+    double meanItemsPerTxn = 5.0;     ///< mean items updated per transaction
+  };
+
+  UpdateGenerator(sim::Simulator& simulator, Database& database,
+                  UpdateHistory& history, Params params, ItemPicker picker,
+                  sim::Rng rng);
+
+  /// Schedules the first transaction; the process then self-perpetuates
+  /// until the simulation horizon.
+  void start();
+
+  void setUpdateHook(UpdateHook hook) { hook_ = std::move(hook); }
+
+  [[nodiscard]] std::uint64_t transactions() const { return transactions_; }
+  [[nodiscard]] std::uint64_t itemUpdates() const { return itemUpdates_; }
+
+ private:
+  void runTransaction();
+  void scheduleNext();
+
+  sim::Simulator& sim_;
+  Database& db_;
+  UpdateHistory& history_;
+  Params params_;
+  ItemPicker picker_;
+  sim::Rng rng_;
+  UpdateHook hook_;
+  std::uint64_t transactions_ = 0;
+  std::uint64_t itemUpdates_ = 0;
+};
+
+}  // namespace mci::db

@@ -1,0 +1,77 @@
+#include "db/update_history.hpp"
+
+#include <cassert>
+
+namespace mci::db {
+
+UpdateHistory::UpdateHistory(std::size_t numItems) : nodes_(numItems) {}
+
+void UpdateHistory::record(ItemId item, sim::SimTime now) {
+  assert(item < nodes_.size());
+  assert(now >= lastTime_);
+  Node& n = nodes_[item];
+  if (n.linked) {
+    unlink(item);
+  } else {
+    ++distinct_;
+  }
+  n.lastTime = now;
+  pushFront(item);
+  lastTime_ = now;
+}
+
+std::vector<UpdateRecord> UpdateHistory::updatesAfter(sim::SimTime t) const {
+  std::vector<UpdateRecord> out;
+  for (std::uint32_t i = head_; i != kNone; i = nodes_[i].next) {
+    if (nodes_[i].lastTime <= t) break;  // list sorted by lastTime desc
+    out.push_back(UpdateRecord{static_cast<ItemId>(i), nodes_[i].lastTime});
+  }
+  return out;
+}
+
+std::size_t UpdateHistory::countUpdatesAfter(sim::SimTime t) const {
+  std::size_t count = 0;
+  for (std::uint32_t i = head_; i != kNone; i = nodes_[i].next) {
+    if (nodes_[i].lastTime <= t) break;
+    ++count;
+  }
+  return count;
+}
+
+std::vector<UpdateRecord> UpdateHistory::mostRecent(std::size_t k) const {
+  std::vector<UpdateRecord> out;
+  out.reserve(std::min(k, distinct_));
+  for (std::uint32_t i = head_; i != kNone && out.size() < k; i = nodes_[i].next) {
+    out.push_back(UpdateRecord{static_cast<ItemId>(i), nodes_[i].lastTime});
+  }
+  return out;
+}
+
+sim::SimTime UpdateHistory::lastUpdateOf(ItemId item) const {
+  assert(item < nodes_.size());
+  return nodes_[item].linked ? nodes_[item].lastTime : sim::kTimeEpoch;
+}
+
+void UpdateHistory::unlink(ItemId item) {
+  Node& n = nodes_[item];
+  assert(n.linked);
+  if (n.prev != kNone) nodes_[n.prev].next = n.next;
+  if (n.next != kNone) nodes_[n.next].prev = n.prev;
+  if (head_ == item) head_ = n.next;
+  if (tail_ == item) tail_ = n.prev;
+  n.prev = n.next = kNone;
+  n.linked = false;
+}
+
+void UpdateHistory::pushFront(ItemId item) {
+  Node& n = nodes_[item];
+  assert(!n.linked);
+  n.prev = kNone;
+  n.next = head_;
+  if (head_ != kNone) nodes_[head_].prev = item;
+  head_ = item;
+  if (tail_ == kNone) tail_ = item;
+  n.linked = true;
+}
+
+}  // namespace mci::db

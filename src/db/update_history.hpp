@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "db/item.hpp"
+#include "sim/time.hpp"
+
+namespace mci::db {
+
+/// The server's recent-update index: every invalidation report format is a
+/// view over this structure.
+///
+/// Internally a move-to-front intrusive list over item ids. Because
+/// simulated time only moves forward, move-to-front keeps the list exactly
+/// sorted by last-update time, most recent first. That gives us:
+///   * IR(w)      = the prefix with lastUpdate > T - w*L        (TS window)
+///   * IR(w')     = the prefix with lastUpdate > Tlb_min        (AAW extended)
+///   * IR(BS)     = the prefix of length min(N/2, distinct)     (bit-sequences)
+/// each in O(answer size).
+class UpdateHistory {
+ public:
+  explicit UpdateHistory(std::size_t numItems);
+
+  /// Records that `item` was updated at `now` (non-decreasing times).
+  void record(ItemId item, sim::SimTime now);
+
+  /// Number of distinct items ever updated.
+  [[nodiscard]] std::size_t distinctUpdated() const { return distinct_; }
+
+  /// Time of the most recent update anywhere; kTimeEpoch if none.
+  [[nodiscard]] sim::SimTime lastUpdateTime() const { return lastTime_; }
+
+  /// Distinct items with last update strictly after `t`, most recent first.
+  [[nodiscard]] std::vector<UpdateRecord> updatesAfter(sim::SimTime t) const;
+
+  /// Count of distinct items with last update strictly after `t`.
+  [[nodiscard]] std::size_t countUpdatesAfter(sim::SimTime t) const;
+
+  /// The `k` most recently updated distinct items, most recent first
+  /// (fewer if fewer were ever updated).
+  [[nodiscard]] std::vector<UpdateRecord> mostRecent(std::size_t k) const;
+
+  /// Last update time of the given item; kTimeEpoch if never updated.
+  [[nodiscard]] sim::SimTime lastUpdateOf(ItemId item) const;
+
+ private:
+  static constexpr std::uint32_t kNone = ~std::uint32_t{0};
+
+  void unlink(ItemId item);
+  void pushFront(ItemId item);
+
+  struct Node {
+    sim::SimTime lastTime = sim::kTimeEpoch;
+    std::uint32_t prev = kNone;
+    std::uint32_t next = kNone;
+    bool linked = false;
+  };
+  std::vector<Node> nodes_;
+  std::uint32_t head_ = kNone;
+  std::uint32_t tail_ = kNone;
+  std::size_t distinct_ = 0;
+  sim::SimTime lastTime_ = sim::kTimeEpoch;
+};
+
+}  // namespace mci::db

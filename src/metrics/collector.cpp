@@ -1,0 +1,175 @@
+#include "metrics/collector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace mci::metrics {
+
+Collector::Collector(const db::Database& database, bool auditStaleReads)
+    : db_(database), audit_(auditStaleReads) {}
+
+void Collector::attachTrace(const sim::Simulator* simulator,
+                            sim::Trace* traceSink) {
+  traceSim_ = simulator;
+  trace_ = traceSink;
+}
+
+void Collector::trace(sim::TraceCategory category, std::int64_t actor,
+                      std::string message) {
+  if (trace_ == nullptr || traceSim_ == nullptr) return;
+  trace_->record(traceSim_->now(), category, actor, std::move(message));
+}
+
+void Collector::onInvalidate(schemes::ClientId client, db::ItemId item,
+                             db::Version version, sim::SimTime /*now*/) {
+  ++result_.invalidations;
+  const bool wasCurrent = version == db_.currentVersion(item);
+  if (wasCurrent) ++result_.falseInvalidations;
+  trace(sim::TraceCategory::kCache, client,
+        "invalidate item " + std::to_string(item) +
+            (wasCurrent ? " (false: copy was current)" : ""));
+}
+
+void Collector::onCacheDrop(schemes::ClientId client, std::size_t entries,
+                            sim::SimTime /*now*/) {
+  ++result_.cacheDropEvents;
+  result_.entriesDropped += entries;
+  trace(sim::TraceCategory::kCache, client,
+        "drop " + std::to_string(entries) + " entries");
+}
+
+void Collector::onSalvage(schemes::ClientId client, std::size_t entries,
+                          sim::SimTime /*now*/) {
+  result_.entriesSalvaged += entries;
+  trace(sim::TraceCategory::kCache, client,
+        "salvage " + std::to_string(entries) + " entries");
+}
+
+void Collector::setClientCount(std::size_t numClients) {
+  perClient_.assign(numClients, PerClient{});
+}
+
+void Collector::onCacheAnswer(schemes::ClientId client, db::ItemId item,
+                              db::Version version, sim::SimTime validAsOf) {
+  ++result_.cacheHits;
+  ++result_.itemsReferenced;
+  if (client < perClient_.size()) ++perClient_[client].hits;
+  if (version < db_.versionAt(item, validAsOf)) {
+    ++result_.staleReads;
+    if (audit_) {
+      std::fprintf(stderr,
+                   "STALE READ: client %u item %u cached v%u, server had v%u "
+                   "at consistency point %.3f\n",
+                   client, item, version, db_.versionAt(item, validAsOf),
+                   validAsOf);
+      // Not assert(): the invariant must hold in release builds too.
+      std::abort();
+    }
+  }
+}
+
+void Collector::onCacheMiss(schemes::ClientId client) {
+  ++result_.cacheMisses;
+  ++result_.itemsReferenced;
+  if (client < perClient_.size()) ++perClient_[client].misses;
+}
+
+void Collector::onQueryCompleted(schemes::ClientId client,
+                                 double latencySeconds) {
+  ++result_.queriesCompleted;
+  latency_.add(latencySeconds);
+  latencyHist_.add(latencySeconds);
+  if (client < perClient_.size()) ++perClient_[client].queries;
+}
+
+void Collector::resetForMeasurement(const net::Network& net) {
+  const std::size_t clients = perClient_.size();
+  result_ = SimResult{};
+  latency_.reset();
+  latencyHist_ = sim::Histogram(0.0, 5000.0, 500);
+  perClient_.assign(clients, PerClient{});
+  downlinkBaseline_ = net.downlinkUsage();
+  uplinkBaseline_ = net.uplinkUsage();
+  dataBaseline_ = net.dataChannelUsage();
+}
+
+void Collector::onDisconnect() {
+  ++result_.disconnects;
+  trace(sim::TraceCategory::kDoze, -1, "a client dozes off");
+}
+
+void Collector::onReconnect(double dozeSeconds) {
+  result_.dozeSeconds += dozeSeconds;
+  trace(sim::TraceCategory::kDoze, -1,
+        "a client wakes after " + std::to_string(dozeSeconds) + " s");
+}
+
+void Collector::onCheckSent() {
+  ++result_.checksSent;
+  trace(sim::TraceCategory::kCheck, -1, "uplink check/Tlb sent");
+}
+
+void Collector::onClientTx(double bits) { result_.clientTxBits += bits; }
+
+void Collector::onClientRx(double bits) { result_.clientRxBits += bits; }
+
+void Collector::onReportBuilt(report::ReportKind kind) {
+  trace(sim::TraceCategory::kReport, -1,
+        std::string("broadcast ") + report::reportKindName(kind));
+  switch (kind) {
+    case report::ReportKind::kTsWindow: ++result_.reportsTs; break;
+    case report::ReportKind::kTsExtended: ++result_.reportsExtended; break;
+    case report::ReportKind::kBitSeq: ++result_.reportsBs; break;
+    case report::ReportKind::kSignature: ++result_.reportsSig; break;
+  }
+}
+
+void Collector::onValidityReplySent() {
+  ++result_.validityReplies;
+  trace(sim::TraceCategory::kCheck, -1, "validity reply sent");
+}
+
+SimResult Collector::finalize(double simTime, const net::Network& net) const {
+  SimResult r = result_;
+  r.simTime = simTime;
+  r.avgQueryLatency = latency_.mean();
+  r.maxQueryLatency = latency_.max();
+  r.p50QueryLatency = latencyHist_.quantile(0.5);
+  r.p95QueryLatency = latencyHist_.quantile(0.95);
+  r.downlink = net.downlinkUsage().since(downlinkBaseline_);
+  r.uplink = net.uplinkUsage().since(uplinkBaseline_);
+  r.dataChannels = net.dataChannelUsage().since(dataBaseline_);
+
+  if (!perClient_.empty()) {
+    double sum = 0, sumSq = 0;
+    double minQ = 1e300, maxQ = 0;
+    double minH = 1.0, maxH = 0.0, sumH = 0;
+    for (const PerClient& c : perClient_) {
+      const auto q = static_cast<double>(c.queries);
+      sum += q;
+      sumSq += q * q;
+      minQ = std::min(minQ, q);
+      maxQ = std::max(maxQ, q);
+      const std::uint64_t refs = c.hits + c.misses;
+      const double h = refs ? static_cast<double>(c.hits) / refs : 0.0;
+      minH = std::min(minH, h);
+      maxH = std::max(maxH, h);
+      sumH += h;
+    }
+    const auto n = static_cast<double>(perClient_.size());
+    r.clients.minQueries = minQ;
+    r.clients.meanQueries = sum / n;
+    r.clients.maxQueries = maxQ;
+    r.clients.fairness = sumSq > 0 ? (sum * sum) / (n * sumSq) : 1.0;
+    r.clients.minHitRatio = minH;
+    r.clients.meanHitRatio = sumH / n;
+    r.clients.maxHitRatio = maxH;
+  }
+  return r;
+}
+
+}  // namespace mci::metrics

@@ -1,0 +1,141 @@
+#include "metrics/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace mci::metrics {
+namespace {
+
+/// Emits a double without trailing noise; JSON has no Infinity/NaN, so
+/// non-finite values become null.
+std::string num(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+  }
+  return buf;
+}
+
+std::string num(std::uint64_t v) { return std::to_string(v); }
+
+void usage(std::ostringstream& os, const char* key,
+           const net::ChannelUsage& u) {
+  os << '"' << key << "\":{"
+     << "\"irBits\":" << num(u.irBits) << ",\"controlBits\":"
+     << num(u.controlBits) << ",\"bulkBits\":" << num(u.bulkBits)
+     << ",\"irSeconds\":" << num(u.irSeconds) << ",\"controlSeconds\":"
+     << num(u.controlSeconds) << ",\"bulkSeconds\":" << num(u.bulkSeconds)
+     << ",\"irCount\":" << num(u.irCount) << ",\"controlCount\":"
+     << num(u.controlCount) << ",\"bulkCount\":" << num(u.bulkCount) << '}';
+}
+
+}  // namespace
+
+std::string jsonEscape(const std::string& s) {
+  std::ostringstream os;
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  return os.str();
+}
+
+std::string toJson(const SimResult& r) {
+  std::ostringstream os;
+  os << '{';
+  os << "\"simTime\":" << num(r.simTime);
+  os << ",\"queriesCompleted\":" << num(r.queriesCompleted);
+  os << ",\"itemsReferenced\":" << num(r.itemsReferenced);
+  os << ",\"cacheHits\":" << num(r.cacheHits);
+  os << ",\"cacheMisses\":" << num(r.cacheMisses);
+  os << ",\"staleReads\":" << num(r.staleReads);
+  os << ",\"avgQueryLatency\":" << num(r.avgQueryLatency);
+  os << ",\"maxQueryLatency\":" << num(r.maxQueryLatency);
+  os << ",\"p50QueryLatency\":" << num(r.p50QueryLatency);
+  os << ",\"p95QueryLatency\":" << num(r.p95QueryLatency);
+  os << ",\"invalidations\":" << num(r.invalidations);
+  os << ",\"falseInvalidations\":" << num(r.falseInvalidations);
+  os << ",\"cacheDropEvents\":" << num(r.cacheDropEvents);
+  os << ",\"entriesDropped\":" << num(r.entriesDropped);
+  os << ",\"entriesSalvaged\":" << num(r.entriesSalvaged);
+  os << ",\"checksSent\":" << num(r.checksSent);
+  os << ",\"validityReplies\":" << num(r.validityReplies);
+  os << ",\"reportsTs\":" << num(r.reportsTs);
+  os << ",\"reportsExtended\":" << num(r.reportsExtended);
+  os << ",\"reportsBs\":" << num(r.reportsBs);
+  os << ",\"reportsSig\":" << num(r.reportsSig);
+  os << ",\"disconnects\":" << num(r.disconnects);
+  os << ",\"dozeSeconds\":" << num(r.dozeSeconds);
+  os << ",\"clientTxBits\":" << num(r.clientTxBits);
+  os << ",\"clientRxBits\":" << num(r.clientRxBits);
+  os << ",\"clients\":{"
+     << "\"minQueries\":" << num(r.clients.minQueries)
+     << ",\"meanQueries\":" << num(r.clients.meanQueries)
+     << ",\"maxQueries\":" << num(r.clients.maxQueries)
+     << ",\"fairness\":" << num(r.clients.fairness)
+     << ",\"minHitRatio\":" << num(r.clients.minHitRatio)
+     << ",\"meanHitRatio\":" << num(r.clients.meanHitRatio)
+     << ",\"maxHitRatio\":" << num(r.clients.maxHitRatio) << '}';
+  os << ',';
+  usage(os, "downlink", r.downlink);
+  os << ',';
+  usage(os, "uplink", r.uplink);
+  os << ',';
+  usage(os, "dataChannels", r.dataChannels);
+  // derived
+  os << ",\"throughput\":" << num(r.throughput());
+  os << ",\"uplinkCheckBitsPerQuery\":" << num(r.uplinkCheckBitsPerQuery());
+  os << ",\"hitRatio\":" << num(r.hitRatio());
+  os << ",\"energyPerQueryJoules\":" << num(r.energyPerQueryJoules());
+  os << '}';
+  return os.str();
+}
+
+std::string toJson(const FigureData& d) {
+  std::ostringstream os;
+  os << "{\"title\":\"" << jsonEscape(d.title) << "\",\"subtitle\":\""
+     << jsonEscape(d.subtitle) << "\",\"xLabel\":\"" << jsonEscape(d.xLabel)
+     << "\",\"yLabel\":\"" << jsonEscape(d.yLabel) << "\",\"xs\":[";
+  for (std::size_t i = 0; i < d.xs.size(); ++i) {
+    os << (i ? "," : "") << num(d.xs[i]);
+  }
+  os << "],\"series\":[";
+  for (std::size_t s = 0; s < d.series.size(); ++s) {
+    const Series& series = d.series[s];
+    os << (s ? "," : "") << "{\"name\":\"" << jsonEscape(series.name)
+       << "\",\"ys\":[";
+    for (std::size_t i = 0; i < series.ys.size(); ++i) {
+      os << (i ? "," : "") << num(series.ys[i]);
+    }
+    os << ']';
+    if (!series.sds.empty()) {
+      os << ",\"sds\":[";
+      for (std::size_t i = 0; i < series.sds.size(); ++i) {
+        os << (i ? "," : "") << num(series.sds[i]);
+      }
+      os << ']';
+    }
+    os << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace mci::metrics

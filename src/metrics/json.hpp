@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+
+#include "metrics/collector.hpp"
+#include "metrics/series.hpp"
+
+namespace mci::metrics {
+
+/// Machine-readable exports for downstream tooling (plotting, dashboards,
+/// regression tracking). Hand-rolled emitter — the schema is small and a
+/// JSON dependency would be the only third-party library in the tree.
+
+/// Flat object with every SimResult field and the derived metrics.
+[[nodiscard]] std::string toJson(const SimResult& r);
+
+/// {"title": ..., "xs": [...], "series": [{"name", "ys", "sds"?}, ...]}
+[[nodiscard]] std::string toJson(const FigureData& d);
+
+/// JSON string escaping (quotes, backslashes, control characters).
+[[nodiscard]] std::string jsonEscape(const std::string& s);
+
+}  // namespace mci::metrics

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mci::metrics {
+
+/// One line in a figure: a named series of y values over the shared x axis.
+struct Series {
+  std::string name;
+  std::vector<double> ys;
+  /// Per-x standard deviation across replications; empty for single runs.
+  std::vector<double> sds;
+};
+
+/// The data behind one reproduced paper figure, with console / CSV
+/// renderers shared by all bench binaries.
+struct FigureData {
+  std::string title;
+  std::string subtitle;  ///< fixed-parameter line, e.g. "p=0.1, disc=4000s"
+  std::string xLabel;
+  std::string yLabel;
+  std::vector<double> xs;
+  std::vector<Series> series;
+
+  /// Paper-style console table: one row per x, one column per series.
+  [[nodiscard]] std::string toTable(int yPrecision = 1) const;
+
+  /// Machine-readable CSV (header: xLabel,<series names...>).
+  [[nodiscard]] std::string toCsv() const;
+};
+
+}  // namespace mci::metrics

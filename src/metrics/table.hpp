@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mci::metrics {
+
+/// Minimal right-aligned console table used by the bench binaries to print
+/// paper-style result rows.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void addRow(std::vector<std::string> cells);
+
+  /// Renders with a header rule, columns padded to their widest cell.
+  [[nodiscard]] std::string str() const;
+
+  /// Fixed-precision double formatting without trailing noise.
+  static std::string fmt(double v, int precision = 1);
+  static std::string fmtInt(double v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mci::metrics

@@ -1,0 +1,43 @@
+#pragma once
+
+#include "net/link.hpp"
+#include "net/units.hpp"
+#include "sim/simulator.hpp"
+
+namespace mci::net {
+
+/// The server-to-clients broadcast channel.
+///
+/// Physically one PriorityLink; this wrapper names the three uses the model
+/// has for it and keeps their sizes honest:
+///  * broadcastReport  — the periodic IR, class 0 (preempts everything)
+///  * sendValidityReport — per-client reply to a checking request, class 1
+///  * sendData         — a data item download, class 2 (FCFS)
+///
+/// Broadcast semantics (who hears a report) are handled by the server: the
+/// delivery callback fires once, at the end of transmission, and the server
+/// fans it out to every connected client. A disconnected client simply is
+/// not notified — exactly the paper's "if active, listens to the reports".
+class Downlink {
+ public:
+  Downlink(sim::Simulator& simulator, BitsPerSecond bandwidth)
+      : link_(simulator, bandwidth) {}
+
+  void broadcastReport(Bits size, DeliveryFn onDone) {
+    link_.submit(TrafficClass::kInvalidationReport, size, std::move(onDone));
+  }
+  void sendValidityReport(Bits size, DeliveryFn onDone) {
+    link_.submit(TrafficClass::kControl, size, std::move(onDone));
+  }
+  void sendData(Bits size, DeliveryFn onDone) {
+    link_.submit(TrafficClass::kBulk, size, std::move(onDone));
+  }
+
+  [[nodiscard]] const PriorityLink& link() const { return link_; }
+  [[nodiscard]] BitsPerSecond bandwidth() const { return link_.bandwidth(); }
+
+ private:
+  PriorityLink link_;
+};
+
+}  // namespace mci::net

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "net/message.hpp"
+#include "net/units.hpp"
+#include "sim/simulator.hpp"
+
+namespace mci::net {
+
+/// Completion callback: invoked exactly once, at the simulated time the
+/// last bit of the transfer leaves the channel.
+using DeliveryFn = std::function<void()>;
+
+/// A single half-duplex wireless channel with strict priority classes and
+/// preemptive-resume service.
+///
+/// * One transfer is "on the air" at a time; it transmits at the link
+///   bandwidth until finished or preempted.
+/// * A newly submitted transfer of a strictly higher priority class
+///   preempts the current one; the preempted transfer keeps its already
+///   transmitted bits and resumes later (preemptive-resume). This is what
+///   lets invalidation reports start at the exact broadcast boundary
+///   T_i = i*L as the paper's model requires, while long 8 KB data item
+///   transfers are in flight.
+/// * Within a class, service is FIFO.
+///
+/// Accounting: per-class delivered bits and busy seconds, used by the
+/// metrics collector to decompose downlink usage into IR / control / data.
+class PriorityLink {
+ public:
+  PriorityLink(sim::Simulator& simulator, BitsPerSecond bandwidth);
+
+  PriorityLink(const PriorityLink&) = delete;
+  PriorityLink& operator=(const PriorityLink&) = delete;
+
+  /// Queues a transfer of `size` bits in class `cls`; `onDone` fires at
+  /// completion. `size` must be positive.
+  void submit(TrafficClass cls, Bits size, DeliveryFn onDone);
+
+  [[nodiscard]] BitsPerSecond bandwidth() const { return bandwidth_; }
+  [[nodiscard]] bool busy() const { return current_.active; }
+  [[nodiscard]] std::size_t queuedTransfers() const;
+
+  /// Total bits fully delivered in class `cls` so far.
+  [[nodiscard]] Bits deliveredBits(TrafficClass cls) const {
+    return deliveredBits_[static_cast<std::size_t>(cls)];
+  }
+  /// Seconds the channel spent transmitting class `cls` traffic
+  /// (includes the transmitted portion of preempted-then-resumed work).
+  [[nodiscard]] double busySeconds(TrafficClass cls) const;
+  [[nodiscard]] std::uint64_t deliveredCount(TrafficClass cls) const {
+    return deliveredCount_[static_cast<std::size_t>(cls)];
+  }
+
+ private:
+  struct Transfer {
+    TrafficClass cls{TrafficClass::kBulk};
+    Bits remaining{0};
+    DeliveryFn onDone;
+  };
+  struct Current {
+    bool active = false;
+    Transfer transfer;
+    sim::SimTime startedAt = 0;
+    sim::EventId completion = sim::kInvalidEventId;
+  };
+
+  void startNext();
+  void begin(Transfer t);
+  void preemptCurrent();
+  void complete();
+  [[nodiscard]] int highestNonEmptyClass() const;
+
+  sim::Simulator& sim_;
+  BitsPerSecond bandwidth_;
+  std::array<std::deque<Transfer>, kNumTrafficClasses> queues_;
+  Current current_;
+  std::array<Bits, kNumTrafficClasses> deliveredBits_{};
+  std::array<double, kNumTrafficClasses> busySeconds_{};
+  std::array<std::uint64_t, kNumTrafficClasses> deliveredCount_{};
+};
+
+}  // namespace mci::net

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+
+namespace mci::net {
+
+/// Priority classes on the wireless channels, straight from the paper's
+/// network model (§4): "invalidation reports having the highest priority,
+/// checking requests and validity reports coming next, followed by all the
+/// other messages which are of equal priority and served on a first-come
+/// first-served basis."
+enum class TrafficClass : std::uint8_t {
+  kInvalidationReport = 0,  ///< periodic IR broadcasts (downlink only)
+  kControl = 1,             ///< checking requests, Tlb feedback, validity reports
+  kBulk = 2,                ///< query uplinks and data item downloads
+};
+
+inline constexpr int kNumTrafficClasses = 3;
+
+[[nodiscard]] constexpr const char* trafficClassName(TrafficClass c) {
+  switch (c) {
+    case TrafficClass::kInvalidationReport: return "ir";
+    case TrafficClass::kControl: return "control";
+    case TrafficClass::kBulk: return "bulk";
+  }
+  return "?";
+}
+
+}  // namespace mci::net

@@ -1,0 +1,63 @@
+#include "net/network.hpp"
+
+namespace mci::net {
+
+Network::Network(sim::Simulator& simulator, BitsPerSecond downBps,
+                 BitsPerSecond upBps, std::vector<BitsPerSecond> dataBps)
+    : down_(simulator, downBps), up_(simulator, upBps) {
+  data_.reserve(dataBps.size());
+  for (BitsPerSecond bps : dataBps) {
+    data_.push_back(std::make_unique<PriorityLink>(simulator, bps));
+  }
+}
+
+void Network::sendData(Bits size, DeliveryFn onDone) {
+  if (data_.empty()) {
+    down_.sendData(size, std::move(onDone));
+    return;
+  }
+  // Shortest-backlog dispatch across the dedicated channels.
+  PriorityLink* best = data_.front().get();
+  std::size_t bestQueue = best->queuedTransfers() + (best->busy() ? 1 : 0);
+  for (auto& link : data_) {
+    const std::size_t q = link->queuedTransfers() + (link->busy() ? 1 : 0);
+    if (q < bestQueue) {
+      best = link.get();
+      bestQueue = q;
+    }
+  }
+  best->submit(TrafficClass::kBulk, size, std::move(onDone));
+}
+
+ChannelUsage Network::dataChannelUsage() const {
+  ChannelUsage total;
+  for (const auto& link : data_) {
+    const ChannelUsage u = usageOf(*link);
+    total.irBits += u.irBits;
+    total.controlBits += u.controlBits;
+    total.bulkBits += u.bulkBits;
+    total.irSeconds += u.irSeconds;
+    total.controlSeconds += u.controlSeconds;
+    total.bulkSeconds += u.bulkSeconds;
+    total.irCount += u.irCount;
+    total.controlCount += u.controlCount;
+    total.bulkCount += u.bulkCount;
+  }
+  return total;
+}
+
+ChannelUsage Network::usageOf(const PriorityLink& link) {
+  ChannelUsage u;
+  u.irBits = link.deliveredBits(TrafficClass::kInvalidationReport);
+  u.controlBits = link.deliveredBits(TrafficClass::kControl);
+  u.bulkBits = link.deliveredBits(TrafficClass::kBulk);
+  u.irSeconds = link.busySeconds(TrafficClass::kInvalidationReport);
+  u.controlSeconds = link.busySeconds(TrafficClass::kControl);
+  u.bulkSeconds = link.busySeconds(TrafficClass::kBulk);
+  u.irCount = link.deliveredCount(TrafficClass::kInvalidationReport);
+  u.controlCount = link.deliveredCount(TrafficClass::kControl);
+  u.bulkCount = link.deliveredCount(TrafficClass::kBulk);
+  return u;
+}
+
+}  // namespace mci::net

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/downlink.hpp"
+#include "net/uplink.hpp"
+#include "net/units.hpp"
+#include "sim/simulator.hpp"
+
+namespace mci::net {
+
+/// Per-channel usage snapshot, used by the metrics collector at the end of
+/// a run to decompose where the bandwidth went.
+struct ChannelUsage {
+  Bits irBits = 0;        ///< invalidation reports (downlink class 0)
+  Bits controlBits = 0;   ///< checks + validity reports (class 1)
+  Bits bulkBits = 0;      ///< data items / query uplinks (class 2)
+  double irSeconds = 0;
+  double controlSeconds = 0;
+  double bulkSeconds = 0;
+  std::uint64_t irCount = 0;
+  std::uint64_t controlCount = 0;
+  std::uint64_t bulkCount = 0;
+
+  [[nodiscard]] Bits totalBits() const { return irBits + controlBits + bulkBits; }
+
+  /// Component-wise difference (for warmup-baseline subtraction).
+  [[nodiscard]] ChannelUsage since(const ChannelUsage& baseline) const {
+    ChannelUsage d = *this;
+    d.irBits -= baseline.irBits;
+    d.controlBits -= baseline.controlBits;
+    d.bulkBits -= baseline.bulkBits;
+    d.irSeconds -= baseline.irSeconds;
+    d.controlSeconds -= baseline.controlSeconds;
+    d.bulkSeconds -= baseline.bulkSeconds;
+    d.irCount -= baseline.irCount;
+    d.controlCount -= baseline.controlCount;
+    d.bulkCount -= baseline.bulkCount;
+    return d;
+  }
+  [[nodiscard]] double totalSeconds() const {
+    return irSeconds + controlSeconds + bulkSeconds;
+  }
+};
+
+/// One wireless cell: a broadcast downlink plus a shared uplink, the
+/// asymmetric communication environment of the paper.
+///
+/// Multi-channel extension (the paper's §6 future work): optionally, some
+/// downlink capacity is organized as dedicated point-to-point *data
+/// channels*. The broadcast channel then carries only invalidation reports
+/// and validity replies, while item downloads are dispatched onto the data
+/// channel with the shortest backlog. With `dataBps` empty (the default)
+/// the model is exactly the paper's single shared downlink.
+class Network {
+ public:
+  Network(sim::Simulator& simulator, BitsPerSecond downBps, BitsPerSecond upBps,
+          std::vector<BitsPerSecond> dataBps = {});
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  [[nodiscard]] Downlink& downlink() { return down_; }
+  [[nodiscard]] Uplink& uplink() { return up_; }
+  [[nodiscard]] const Downlink& downlink() const { return down_; }
+  [[nodiscard]] const Uplink& uplink() const { return up_; }
+
+  [[nodiscard]] std::size_t dataChannelCount() const { return data_.size(); }
+  [[nodiscard]] const PriorityLink& dataChannel(std::size_t i) const {
+    return *data_.at(i);
+  }
+
+  /// Queues a data item on the best channel: the least-backlogged dedicated
+  /// data channel when any exist, the shared downlink otherwise.
+  void sendData(Bits size, DeliveryFn onDone);
+
+  [[nodiscard]] ChannelUsage downlinkUsage() const { return usageOf(down_.link()); }
+  [[nodiscard]] ChannelUsage uplinkUsage() const { return usageOf(up_.link()); }
+  /// Aggregate usage over all dedicated data channels.
+  [[nodiscard]] ChannelUsage dataChannelUsage() const;
+
+ private:
+  static ChannelUsage usageOf(const PriorityLink& link);
+
+  Downlink down_;
+  Uplink up_;
+  std::vector<std::unique_ptr<PriorityLink>> data_;
+};
+
+}  // namespace mci::net

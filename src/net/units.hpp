@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstdint>
+
+namespace mci::net {
+
+/// Sizes on the wireless channels are accounted in bits, because the
+/// paper's report-size formulas are bit-exact (item ids are ceil(log2 N)
+/// bits, timestamps b_T bits, bit-sequence structures 2N + b_T log2 N).
+using Bits = double;
+
+/// Channel bandwidth in bits per second.
+using BitsPerSecond = double;
+
+inline constexpr Bits bitsFromBytes(std::uint64_t bytes) {
+  return static_cast<Bits>(bytes) * 8.0;
+}
+
+/// Transmission time of `size` bits at `bw` bits per second.
+inline constexpr double transmitSeconds(Bits size, BitsPerSecond bw) {
+  return size / bw;
+}
+
+}  // namespace mci::net

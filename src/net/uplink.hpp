@@ -1,0 +1,51 @@
+#pragma once
+
+#include "net/link.hpp"
+#include "net/units.hpp"
+#include "sim/simulator.hpp"
+
+namespace mci::net {
+
+/// The clients-to-server channel, shared by all clients in the cell.
+///
+/// Two uses:
+///  * sendCheck   — validity-checking traffic (Tlb feedback for the
+///    adaptive schemes, cached-id lists for TS-with-checking), class 1.
+///    Its delivered bits are the numerator of the paper's "uplink
+///    communication cost per query" metric.
+///  * sendRequest — query uplinks asking the server for missed items,
+///    class 2 (FCFS).
+///
+/// In the asymmetric-environment experiments (Figures 15/16) this link's
+/// bandwidth is 1%..10% of the downlink's, which is what makes fat check
+/// messages hurt: they occupy the thin channel and delay everyone's query
+/// uplinks.
+class Uplink {
+ public:
+  Uplink(sim::Simulator& simulator, BitsPerSecond bandwidth)
+      : link_(simulator, bandwidth) {}
+
+  void sendCheck(Bits size, DeliveryFn onDone) {
+    link_.submit(TrafficClass::kControl, size, std::move(onDone));
+  }
+  void sendRequest(Bits size, DeliveryFn onDone) {
+    link_.submit(TrafficClass::kBulk, size, std::move(onDone));
+  }
+
+  /// Total validity-checking bits that crossed the uplink.
+  [[nodiscard]] Bits checkBits() const {
+    return link_.deliveredBits(TrafficClass::kControl);
+  }
+  /// Total query-request bits that crossed the uplink.
+  [[nodiscard]] Bits requestBits() const {
+    return link_.deliveredBits(TrafficClass::kBulk);
+  }
+
+  [[nodiscard]] const PriorityLink& link() const { return link_; }
+  [[nodiscard]] BitsPerSecond bandwidth() const { return link_.bandwidth(); }
+
+ private:
+  PriorityLink link_;
+};
+
+}  // namespace mci::net

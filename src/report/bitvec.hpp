@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mci::report {
+
+/// Fixed-size packed bit vector used by the wire-level Bit-Sequences
+/// encoding. Provides the two primitives BS decoding needs: rank (count of
+/// set bits before a position) and select (position of the k-th set bit).
+class BitVec {
+ public:
+  explicit BitVec(std::size_t bits = 0);
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  void set(std::size_t i);
+  void reset(std::size_t i);
+  [[nodiscard]] bool test(std::size_t i) const;
+
+  /// Number of set bits in the whole vector.
+  [[nodiscard]] std::size_t count() const;
+
+  /// Number of set bits in [0, i).
+  [[nodiscard]] std::size_t rank(std::size_t i) const;
+
+  /// Position of the k-th (0-based) set bit; size() if fewer than k+1 set.
+  [[nodiscard]] std::size_t select(std::size_t k) const;
+
+  /// Positions of all set bits, ascending.
+  [[nodiscard]] std::vector<std::size_t> setPositions() const;
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace mci::report

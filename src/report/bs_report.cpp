@@ -1,0 +1,182 @@
+#include "report/bs_report.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mci::report {
+
+BsReport::BsReport(sim::SimTime now, net::Bits size, std::size_t numItems)
+    : Report(ReportKind::kBitSeq, now, size), numItems_(numItems) {}
+
+std::shared_ptr<const BsReport> BsReport::build(const db::UpdateHistory& history,
+                                                const SizeModel& sizes,
+                                                sim::SimTime now) {
+  const std::size_t n = sizes.numItems;
+  auto report = std::shared_ptr<BsReport>(
+      new BsReport(now, sizes.bsReportBits(), n));
+
+  const std::size_t maxMarked = std::max<std::size_t>(n / 2, 1);
+  // Fetch one extra record: the (N/2+1)-th most recent update time defines
+  // TS(B_n) when more than N/2 distinct items were updated.
+  std::vector<db::UpdateRecord> full = history.mostRecent(maxMarked + 1);
+
+  if (full.empty()) {
+    // Nothing ever updated: TS(B_0) = epoch, every Tlb is "fresh".
+    return report;
+  }
+  report->lastUpdate_ = full.front().time;
+  if (full.size() > maxMarked) {
+    report->coverageStart_ = full[maxMarked].time;
+    full.resize(maxMarked);
+  } else {
+    report->coverageStart_ = sim::kTimeEpoch;
+  }
+
+  // Levels with marked counts N/2, N/4, ..., 1. A level's timestamp is the
+  // last-update time of the first item *not* marked by it (or epoch when it
+  // marks every updated item), so "updated after TS(B_k)" is exactly the
+  // marked set even in the presence of tied transaction timestamps.
+  for (std::size_t m = maxMarked; m >= 1; m /= 2) {
+    Level level{};
+    level.marked = std::min(m, full.size());
+    if (m < full.size()) {
+      level.ts = full[m].time;
+    } else if (m == maxMarked && full.size() == maxMarked &&
+               report->coverageStart_ != sim::kTimeEpoch) {
+      level.ts = report->coverageStart_;
+    } else {
+      level.ts = sim::kTimeEpoch;
+    }
+    report->levels_.push_back(level);
+    if (m == 1) break;
+  }
+  // coverageStart is TS(B_n) by definition.
+  report->coverageStart_ = report->levels_.front().ts;
+
+  report->recency_ = std::move(full);
+  return report;
+}
+
+BsReport::Decision BsReport::decide(sim::SimTime tlb) const {
+  Decision d;
+  if (recency_.empty() || tlb >= lastUpdate_) {
+    d.action = Action::kNothing;
+    return d;
+  }
+  // Choose the smallest marked set whose timestamp is <= tlb. Levels are
+  // ordered largest first, so scan from the back.
+  for (std::size_t i = levels_.size(); i-- > 0;) {
+    if (levels_[i].ts <= tlb) {
+      d.action = Action::kInvalidateSet;
+      d.levelIndex = i;
+      d.marked = std::span<const db::UpdateRecord>(recency_.data(),
+                                                   levels_[i].marked);
+      return d;
+    }
+  }
+  d.action = Action::kDropAll;
+  return d;
+}
+
+BsWire BsWire::encode(const BsReport& report) {
+  BsWire wire;
+  wire.tsB0_ = report.lastUpdateTime();
+
+  const auto& recency = report.recency();
+  const auto& levels = report.levels();
+  if (levels.empty()) {
+    // Degenerate: no levels (empty history) — still emit B_n of N bits,
+    // all zero, timestamped at epoch.
+    WireLevel l;
+    l.bits = BitVec(report.numItems());
+    l.ts = sim::kTimeEpoch;
+    wire.levels_.push_back(std::move(l));
+    return wire;
+  }
+
+  // B_n: one bit per item, marking the level-0 (largest) marked prefix.
+  {
+    WireLevel l;
+    l.bits = BitVec(report.numItems());
+    l.ts = levels[0].ts;
+    for (std::size_t i = 0; i < levels[0].marked; ++i) {
+      l.bits.set(recency[i].item);
+    }
+    wire.levels_.push_back(std::move(l));
+  }
+
+  // Each deeper sequence has one bit per set bit of its predecessor, in
+  // ascending bit-position order, and marks the more recent half.
+  for (std::size_t li = 1; li < levels.size(); ++li) {
+    const WireLevel& prev = wire.levels_.back();
+    const std::size_t prevSet = prev.bits.count();
+    WireLevel l;
+    l.bits = BitVec(prevSet);
+    l.ts = levels[li].ts;
+
+    // An item is marked at this level iff its recency index < marked count.
+    // Its bit position here is the rank of its bit position in prev.
+    for (std::size_t i = 0; i < levels[li].marked; ++i) {
+      // Map the item through all previous levels: position in B_n is the
+      // item id; in deeper levels it is the rank within the predecessor.
+      std::size_t pos = recency[i].item;
+      for (std::size_t dl = 0; dl + 1 < li; ++dl) {
+        pos = wire.levels_[dl].bits.rank(pos);
+      }
+      // pos is now the position in level li-1; this level's bit index is
+      // its rank among set bits of level li-1.
+      l.bits.set(wire.levels_[li - 1].bits.rank(pos));
+    }
+    wire.levels_.push_back(std::move(l));
+  }
+  return wire;
+}
+
+BsWire BsWire::fromParts(std::vector<WireLevel> levels, sim::SimTime tsB0) {
+  BsWire wire;
+  wire.levels_ = std::move(levels);
+  wire.tsB0_ = tsB0;
+  return wire;
+}
+
+BsWire::DecodeResult BsWire::decode(sim::SimTime tlb) const {
+  DecodeResult r;
+  if (tlb >= tsB0_) {
+    r.action = BsReport::Action::kNothing;
+    return r;
+  }
+  // Smallest sequence with ts <= tlb; levels_ ordered B_n first.
+  std::size_t chosen = levels_.size();
+  for (std::size_t i = levels_.size(); i-- > 0;) {
+    if (levels_[i].ts <= tlb) {
+      chosen = i;
+      break;
+    }
+  }
+  if (chosen == levels_.size()) {
+    r.action = BsReport::Action::kDropAll;
+    return r;
+  }
+  r.action = BsReport::Action::kInvalidateSet;
+  // Map every set bit of the chosen sequence back up to item ids via
+  // select() chains.
+  for (std::size_t pos : levels_[chosen].bits.setPositions()) {
+    std::size_t p = pos;
+    for (std::size_t up = chosen; up-- > 0;) {
+      p = levels_[up].bits.select(p);
+    }
+    r.items.push_back(static_cast<db::ItemId>(p));
+  }
+  std::sort(r.items.begin(), r.items.end());
+  return r;
+}
+
+net::Bits BsWire::wireBits(int timestampBits) const {
+  double bits = static_cast<double>(timestampBits);  // B_0's timestamp
+  for (const WireLevel& l : levels_) {
+    bits += static_cast<double>(l.bits.size()) + timestampBits;
+  }
+  return bits;
+}
+
+}  // namespace mci::report

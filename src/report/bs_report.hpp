@@ -1,0 +1,126 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "db/item.hpp"
+#include "db/update_history.hpp"
+#include "report/bitvec.hpp"
+#include "report/report.hpp"
+#include "report/sizing.hpp"
+
+namespace mci::report {
+
+/// Jing et al.'s hierarchical Bit-Sequences report (paper §2.3).
+///
+/// Semantics: a stack of sequences B_n..B_1 plus a dummy B_0. B_n has one
+/// bit per database item and marks the (up to) N/2 most recently updated
+/// items; TS(B_n) is the time after which all marked items were updated.
+/// Each following sequence has one bit per *marked* bit of its predecessor
+/// and marks the more recent half, with its own (later) timestamp. A client
+/// that last listened at Tlb picks the smallest sequence whose timestamp is
+/// <= Tlb and invalidates exactly its marked items; if even TS(B_n) > Tlb
+/// the whole cache is dropped, and if Tlb >= TS(B_0) nothing is stale.
+///
+/// Representation: because the marked sets are nested prefixes of the
+/// "distinct items by last update time, most recent first" order, the
+/// whole structure is equivalent to that recency list plus one cut
+/// timestamp per level. BsReport stores this *snapshot* form, which decides
+/// a client's action in O(level size) instead of O(N); the bit-exact wire
+/// form is available as BsWire (used by the unit/property tests to prove
+/// the two forms equivalent, and by the micro benchmarks). The broadcast
+/// airtime uses the wire size, 2N + b_T log2 N bits, either way.
+class BsReport final : public Report {
+ public:
+  static std::shared_ptr<const BsReport> build(const db::UpdateHistory& history,
+                                               const SizeModel& sizes,
+                                               sim::SimTime now);
+
+  /// One sequence level: it marks the `marked` most recently updated items,
+  /// all updated after `ts`. Ordered largest (B_n) to smallest (B_1).
+  struct Level {
+    std::size_t marked;
+    sim::SimTime ts;
+  };
+
+  enum class Action {
+    kNothing,        ///< Tlb >= TS(B_0): cache untouched
+    kDropAll,        ///< Tlb < TS(B_n): entire cache invalidated
+    kInvalidateSet,  ///< invalidate the marked set of the chosen level
+  };
+
+  struct Decision {
+    Action action{Action::kNothing};
+    /// Items to invalidate (most recent first); empty unless kInvalidateSet.
+    std::span<const db::UpdateRecord> marked;
+    /// Index into levels() of the chosen sequence; meaningful only for
+    /// kInvalidateSet.
+    std::size_t levelIndex{0};
+  };
+
+  /// What a client with the given Tlb must do upon hearing this report.
+  [[nodiscard]] Decision decide(sim::SimTime tlb) const;
+
+  /// TS(B_n): the oldest Tlb this report can still salvage. Clients that
+  /// disconnected before this drop their cache. kTimeEpoch when fewer than
+  /// N/2 distinct items were ever updated (everything salvageable).
+  [[nodiscard]] sim::SimTime coverageStart() const { return coverageStart_; }
+
+  /// TS(B_0): the time after which nothing was updated.
+  [[nodiscard]] sim::SimTime lastUpdateTime() const { return lastUpdate_; }
+
+  /// Distinct items by last update, most recent first (<= N/2 entries).
+  [[nodiscard]] const std::vector<db::UpdateRecord>& recency() const {
+    return recency_;
+  }
+  [[nodiscard]] const std::vector<Level>& levels() const { return levels_; }
+
+  /// Database size this report was built for.
+  [[nodiscard]] std::size_t numItems() const { return numItems_; }
+
+ private:
+  BsReport(sim::SimTime now, net::Bits size, std::size_t numItems);
+
+  std::size_t numItems_;
+  std::vector<db::UpdateRecord> recency_;
+  std::vector<Level> levels_;  // largest marked count first (B_n ... B_1)
+  sim::SimTime coverageStart_ = sim::kTimeEpoch;
+  sim::SimTime lastUpdate_ = sim::kTimeEpoch;
+};
+
+/// Bit-exact wire encoding of a BsReport: real packed bit sequences with
+/// the select-chain decoder. levels()[0] is B_n (N bits).
+class BsWire {
+ public:
+  /// Encodes the snapshot form into actual bit sequences.
+  static BsWire encode(const BsReport& report);
+
+  struct WireLevel {
+    BitVec bits;
+    sim::SimTime ts;
+  };
+
+  /// Reassembles a wire view from decoded parts (ReportCodec).
+  static BsWire fromParts(std::vector<WireLevel> levels, sim::SimTime tsB0);
+
+  struct DecodeResult {
+    BsReport::Action action{BsReport::Action::kNothing};
+    std::vector<db::ItemId> items;  ///< for kInvalidateSet, ascending ids
+  };
+
+  /// Runs the client-side BS algorithm directly on the bits.
+  [[nodiscard]] DecodeResult decode(sim::SimTime tlb) const;
+
+  [[nodiscard]] const std::vector<WireLevel>& levels() const { return levels_; }
+  [[nodiscard]] sim::SimTime tsB0() const { return tsB0_; }
+
+  /// Total payload bits (sequence bits + one timestamp per sequence).
+  [[nodiscard]] net::Bits wireBits(int timestampBits) const;
+
+ private:
+  std::vector<WireLevel> levels_;  // [0] = B_n, descending sizes
+  sim::SimTime tsB0_ = sim::kTimeEpoch;
+};
+
+}  // namespace mci::report

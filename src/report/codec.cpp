@@ -1,0 +1,192 @@
+#include "report/codec.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mci::report {
+namespace {
+
+constexpr int kKindBits = 2;
+constexpr int kCountBits = 24;
+constexpr int kSigCountBits = 16;
+constexpr int kLevelCountBits = 6;
+
+std::uint64_t kindCode(ReportKind k) {
+  switch (k) {
+    case ReportKind::kTsWindow: return 0;
+    case ReportKind::kTsExtended: return 0;  // flagged separately
+    case ReportKind::kBitSeq: return 1;
+    case ReportKind::kSignature: return 2;
+  }
+  return 3;
+}
+
+}  // namespace
+
+void BitWriter::write(std::uint64_t value, int bits) {
+  assert(bits >= 1 && bits <= 64);
+  for (int i = bits - 1; i >= 0; --i) {
+    if (bitCount_ % 8 == 0) bytes_.push_back(0);
+    const std::uint64_t bit = (value >> i) & 1;
+    bytes_.back() |= static_cast<std::uint8_t>(bit << (7 - bitCount_ % 8));
+    ++bitCount_;
+  }
+}
+
+std::uint64_t BitReader::read(int bits) {
+  assert(bits >= 1 && bits <= 64);
+  std::uint64_t value = 0;
+  for (int i = 0; i < bits; ++i) {
+    const std::size_t byte = pos_ / 8;
+    if (byte >= bytes_.size()) {
+      ok_ = false;
+      return 0;
+    }
+    const std::uint64_t bit = (bytes_[byte] >> (7 - pos_ % 8)) & 1;
+    value = (value << 1) | bit;
+    ++pos_;
+  }
+  return value;
+}
+
+std::uint64_t ReportCodec::quantize(sim::SimTime t) const {
+  if (t <= 0) return 0;
+  const double ticks = t / quantum_;
+  const double cap =
+      std::pow(2.0, sizes_.timestampBits) - 1.0;  // saturate, don't wrap
+  return static_cast<std::uint64_t>(std::min(ticks, cap));
+}
+
+sim::SimTime ReportCodec::dequantize(std::uint64_t ticks) const {
+  return static_cast<sim::SimTime>(ticks) * quantum_;
+}
+
+std::vector<std::uint8_t> ReportCodec::encode(const TsReport& r) const {
+  BitWriter w;
+  w.write(kindCode(r.kind), kKindBits);
+  w.write(r.extended() ? 1 : 0, 1);
+  w.write(quantize(r.broadcastTime), sizes_.timestampBits);
+  w.write(quantize(r.coverageStart()), sizes_.timestampBits);
+  w.write(r.entries().size(), kCountBits);
+  for (const db::UpdateRecord& rec : r.entries()) {
+    w.write(rec.item, sizes_.itemIdBits());
+    w.write(quantize(rec.time), sizes_.timestampBits);
+  }
+  return w.finish();
+}
+
+std::shared_ptr<const TsReport> ReportCodec::decodeTs(
+    const std::vector<std::uint8_t>& frame) const {
+  BitReader reader(frame);
+  if (reader.read(kKindBits) != kindCode(ReportKind::kTsWindow)) return nullptr;
+  const bool extended = reader.read(1) != 0;
+  const sim::SimTime now = dequantize(reader.read(sizes_.timestampBits));
+  const sim::SimTime coverage = dequantize(reader.read(sizes_.timestampBits));
+  const auto count = reader.read(kCountBits);
+  std::vector<db::UpdateRecord> entries;
+  entries.reserve(count);
+  for (std::uint64_t i = 0; i < count && reader.ok(); ++i) {
+    db::UpdateRecord rec;
+    rec.item = static_cast<db::ItemId>(reader.read(sizes_.itemIdBits()));
+    rec.time = dequantize(reader.read(sizes_.timestampBits));
+    entries.push_back(rec);
+  }
+  if (!reader.ok()) return nullptr;
+  return TsReport::fromParts(
+      extended ? ReportKind::kTsExtended : ReportKind::kTsWindow, sizes_, now,
+      coverage, std::move(entries));
+}
+
+std::vector<std::uint8_t> ReportCodec::encode(const BsReport& r) const {
+  const BsWire wire = BsWire::encode(r);
+  BitWriter w;
+  w.write(kindCode(ReportKind::kBitSeq), kKindBits);
+  w.write(quantize(r.broadcastTime), sizes_.timestampBits);
+  w.write(quantize(wire.tsB0()), sizes_.timestampBits);
+  w.write(wire.levels().size(), kLevelCountBits);
+  for (const BsWire::WireLevel& level : wire.levels()) {
+    w.write(quantize(level.ts), sizes_.timestampBits);
+    for (std::size_t i = 0; i < level.bits.size(); ++i) {
+      w.write(level.bits.test(i) ? 1 : 0, 1);
+    }
+  }
+  return w.finish();
+}
+
+std::optional<ReportCodec::DecodedBs> ReportCodec::decodeBs(
+    const std::vector<std::uint8_t>& frame) const {
+  BitReader reader(frame);
+  if (reader.read(kKindBits) != kindCode(ReportKind::kBitSeq))
+    return std::nullopt;
+  DecodedBs out;
+  out.broadcastTime = dequantize(reader.read(sizes_.timestampBits));
+  const sim::SimTime tsB0 = dequantize(reader.read(sizes_.timestampBits));
+  const auto levels = reader.read(kLevelCountBits);
+
+  std::vector<BsWire::WireLevel> wireLevels;
+  std::size_t nextLen = sizes_.numItems;  // first sequence: one bit per item
+  for (std::uint64_t li = 0; li < levels && reader.ok(); ++li) {
+    BsWire::WireLevel level;
+    level.ts = dequantize(reader.read(sizes_.timestampBits));
+    level.bits = BitVec(nextLen);
+    for (std::size_t i = 0; i < nextLen && reader.ok(); ++i) {
+      if (reader.read(1) != 0) level.bits.set(i);
+    }
+    nextLen = level.bits.count();  // next sequence's length
+    wireLevels.push_back(std::move(level));
+  }
+  if (!reader.ok()) return std::nullopt;
+  out.wire = BsWire::fromParts(std::move(wireLevels), tsB0);
+  return out;
+}
+
+std::vector<std::uint8_t> ReportCodec::encode(const SigReport& r) const {
+  BitWriter w;
+  w.write(kindCode(ReportKind::kSignature), kKindBits);
+  w.write(quantize(r.broadcastTime), sizes_.timestampBits);
+  w.write(r.combined().size(), kSigCountBits);
+  for (std::uint64_t sig : r.combined()) {
+    // Truncate to the wire width (a real deployment's signature size).
+    w.write(sig & ((sizes_.signatureBits >= 64)
+                       ? ~std::uint64_t{0}
+                       : ((std::uint64_t{1} << sizes_.signatureBits) - 1)),
+            sizes_.signatureBits);
+  }
+  return w.finish();
+}
+
+std::shared_ptr<const SigReport> ReportCodec::decodeSig(
+    const std::vector<std::uint8_t>& frame) const {
+  BitReader reader(frame);
+  if (reader.read(kKindBits) != kindCode(ReportKind::kSignature))
+    return nullptr;
+  const sim::SimTime now = dequantize(reader.read(sizes_.timestampBits));
+  const auto count = reader.read(kSigCountBits);
+  std::vector<std::uint64_t> sigs;
+  sigs.reserve(count);
+  for (std::uint64_t i = 0; i < count && reader.ok(); ++i) {
+    sigs.push_back(reader.read(sizes_.signatureBits));
+  }
+  if (!reader.ok()) return nullptr;
+  return SigReport::fromParts(sizes_, now, std::move(sigs));
+}
+
+std::optional<ReportKind> ReportCodec::peekKind(
+    const std::vector<std::uint8_t>& frame) const {
+  BitReader reader(frame);
+  const std::uint64_t code = reader.read(kKindBits);
+  if (!reader.ok()) return std::nullopt;
+  switch (code) {
+    case 0: {
+      const bool extended = reader.read(1) != 0;
+      if (!reader.ok()) return std::nullopt;
+      return extended ? ReportKind::kTsExtended : ReportKind::kTsWindow;
+    }
+    case 1: return ReportKind::kBitSeq;
+    case 2: return ReportKind::kSignature;
+    default: return std::nullopt;
+  }
+}
+
+}  // namespace mci::report

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "report/bs_report.hpp"
+#include "report/sig_report.hpp"
+#include "report/sizing.hpp"
+#include "report/ts_report.hpp"
+
+namespace mci::report {
+
+/// Bit-granular serialization buffer (MSB-first within each byte). The
+/// invalidation reports are bit-packed on the air — item ids are
+/// ceil(log2 N) bits, not whole bytes — so the codec works at bit
+/// granularity and the byte vector is the padded frame.
+class BitWriter {
+ public:
+  /// Appends the low `bits` bits of `value` (1..64).
+  void write(std::uint64_t value, int bits);
+
+  /// Number of bits written so far.
+  [[nodiscard]] std::size_t bitCount() const { return bitCount_; }
+
+  /// The frame, zero-padded to a whole byte.
+  [[nodiscard]] std::vector<std::uint8_t> finish() const { return bytes_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t bitCount_ = 0;
+};
+
+/// Mirror of BitWriter. Reading past the end is reported via ok().
+class BitReader {
+ public:
+  explicit BitReader(const std::vector<std::uint8_t>& bytes)
+      : bytes_(bytes) {}
+
+  /// Reads `bits` bits (1..64); returns 0 and clears ok() on underrun.
+  std::uint64_t read(int bits);
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] std::size_t bitsRead() const { return pos_; }
+
+ private:
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Wire codec for the invalidation reports.
+///
+/// Timestamps are quantized to `timeQuantumSeconds` ticks in an unsigned
+/// field of SizeModel::timestampBits bits (the default millisecond ticks in
+/// 32 bits span ~49 days of simulated time — far beyond the paper's 10^5 s
+/// horizon). Decoded reports therefore carry quantized times; callers
+/// comparing against originals should allow one quantum of slack.
+///
+/// Frame layouts (field widths from the SizeModel):
+///   TS window:   [kind:2][extended:1][T][coverageStart][count:24]
+///                ([dummyTlb] if extended) then count x ([id][t])
+///   BitSeq:      [kind:2][T][tsB0][levels:6] then per level
+///                [ts][bits...] (first level N bits; each next level has
+///                one bit per set bit of its predecessor)
+///   Signature:   [kind:2][T][count:16] then count x [sig:signatureBits]
+///
+/// The few header bits beyond the paper's idealized size formulas are
+/// bounded by kCodecHeaderSlackBits; a test pins that bound.
+class ReportCodec {
+ public:
+  explicit ReportCodec(const SizeModel& sizes,
+                       double timeQuantumSeconds = 1e-3)
+      : sizes_(sizes), quantum_(timeQuantumSeconds) {}
+
+  static constexpr int kCodecHeaderSlackBits = 128;
+
+  // --- TS window / extended reports ---
+  [[nodiscard]] std::vector<std::uint8_t> encode(const TsReport& r) const;
+  [[nodiscard]] std::shared_ptr<const TsReport> decodeTs(
+      const std::vector<std::uint8_t>& frame) const;
+
+  // --- bit-sequences reports (decodes to the wire view) ---
+  [[nodiscard]] std::vector<std::uint8_t> encode(const BsReport& r) const;
+  struct DecodedBs {
+    sim::SimTime broadcastTime{0};
+    BsWire wire;
+  };
+  [[nodiscard]] std::optional<DecodedBs> decodeBs(
+      const std::vector<std::uint8_t>& frame) const;
+
+  // --- signature reports ---
+  [[nodiscard]] std::vector<std::uint8_t> encode(const SigReport& r) const;
+  [[nodiscard]] std::shared_ptr<const SigReport> decodeSig(
+      const std::vector<std::uint8_t>& frame) const;
+
+  /// Peeks the report kind of a frame (nullopt on garbage).
+  [[nodiscard]] std::optional<ReportKind> peekKind(
+      const std::vector<std::uint8_t>& frame) const;
+
+  [[nodiscard]] std::uint64_t quantize(sim::SimTime t) const;
+  [[nodiscard]] sim::SimTime dequantize(std::uint64_t ticks) const;
+
+ private:
+  const SizeModel& sizes_;
+  double quantum_;
+};
+
+}  // namespace mci::report

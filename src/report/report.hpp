@@ -1,0 +1,46 @@
+#pragma once
+
+#include <memory>
+
+#include "net/units.hpp"
+#include "sim/time.hpp"
+
+namespace mci::report {
+
+/// Wire format of a periodic invalidation report.
+enum class ReportKind {
+  kTsWindow,    ///< IR(w): update history of the last w broadcast intervals
+  kTsExtended,  ///< IR(w'): AAW's enlarged window, marked by a dummy record
+  kBitSeq,      ///< IR(BS): hierarchical bit sequences over the whole DB
+  kSignature,   ///< SIG: combined signatures
+};
+
+[[nodiscard]] constexpr const char* reportKindName(ReportKind k) {
+  switch (k) {
+    case ReportKind::kTsWindow: return "IR(w)";
+    case ReportKind::kTsExtended: return "IR(w')";
+    case ReportKind::kBitSeq: return "IR(BS)";
+    case ReportKind::kSignature: return "IR(SIG)";
+  }
+  return "?";
+}
+
+/// Base of every broadcast invalidation report. Reports are immutable once
+/// built and shared by reference between the server and all listening
+/// clients (the broadcast puts one copy on the air; nobody mutates it).
+struct Report {
+  ReportKind kind;
+  sim::SimTime broadcastTime;  ///< T_i, the report's own timestamp
+  net::Bits sizeBits;          ///< exact airtime cost
+
+  Report(ReportKind k, sim::SimTime t, net::Bits size)
+      : kind(k), broadcastTime(t), sizeBits(size) {}
+  virtual ~Report() = default;
+
+  Report(const Report&) = delete;
+  Report& operator=(const Report&) = delete;
+};
+
+using ReportPtr = std::shared_ptr<const Report>;
+
+}  // namespace mci::report

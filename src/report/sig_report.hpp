@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "db/item.hpp"
+#include "report/report.hpp"
+#include "report/sizing.hpp"
+#include "sim/random.hpp"
+
+namespace mci::report {
+
+/// Signature scheme support (Barbara & Imielinski's SIG, paper §1/[4]).
+///
+/// Every item has a per-version signature (a 64-bit hash of (item,
+/// version)). The server maintains `m` combined signatures, each the XOR of
+/// the signatures of a pseudo-random subset of items; each item belongs to
+/// `f` subsets chosen by hashing (item, j, seed). The periodic report
+/// carries just the m combined values. A client compares them with the
+/// combined values it stored the last time it listened: a subset whose
+/// value changed contains at least one updated item. A cached item is
+/// invalidated when at least `votes` of its f subsets changed — with
+/// votes == f this never misses a genuinely updated item (an update changes
+/// the item's signature, flipping every subset it belongs to; XOR
+/// cancellation needs a 64-bit hash collision), while collateral damage
+/// (valid items sharing subsets with updated ones) produces only false
+/// invalidations, never staleness.
+class SignatureTable {
+ public:
+  /// `subsets` = m combined signatures, `perItem` = f memberships per item.
+  SignatureTable(std::size_t numItems, std::size_t subsets, int perItem,
+                 std::uint64_t seed);
+
+  /// Folds an item's version bump into the combined signatures.
+  void applyUpdate(db::ItemId item, std::uint32_t oldVersion,
+                   std::uint32_t newVersion);
+
+  [[nodiscard]] const std::vector<std::uint64_t>& combined() const {
+    return combined_;
+  }
+  [[nodiscard]] std::size_t numSubsets() const { return combined_.size(); }
+  [[nodiscard]] int membershipsPerItem() const { return perItem_; }
+
+  /// The subset indices `item` belongs to (f of them, possibly repeated
+  /// hash hits deduplicated at construction-time semantics: we keep
+  /// duplicates, XOR-ing twice cancels, so duplicates are avoided by
+  /// re-hashing).
+  [[nodiscard]] std::vector<std::size_t> subsetsOf(db::ItemId item) const;
+
+  /// Per-version item signature (public so clients/tests can recompute).
+  [[nodiscard]] std::uint64_t itemSignature(db::ItemId item,
+                                            std::uint32_t version) const;
+
+ private:
+  std::size_t numItems_;
+  int perItem_;
+  std::uint64_t seed_;
+  std::vector<std::uint64_t> combined_;
+};
+
+/// The broadcast signature report: a snapshot of the combined signatures.
+class SigReport final : public Report {
+ public:
+  static std::shared_ptr<const SigReport> build(const SignatureTable& table,
+                                                const SizeModel& sizes,
+                                                sim::SimTime now);
+
+  /// Reassembles a report from decoded wire parts (ReportCodec).
+  static std::shared_ptr<const SigReport> fromParts(
+      const SizeModel& sizes, sim::SimTime now,
+      std::vector<std::uint64_t> combined);
+
+  [[nodiscard]] const std::vector<std::uint64_t>& combined() const {
+    return combined_;
+  }
+
+ private:
+  SigReport(sim::SimTime now, net::Bits size, std::vector<std::uint64_t> sigs)
+      : Report(ReportKind::kSignature, now, size), combined_(std::move(sigs)) {}
+
+  std::vector<std::uint64_t> combined_;
+};
+
+}  // namespace mci::report

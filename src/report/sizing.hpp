@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "net/units.hpp"
+
+namespace mci::report {
+
+/// Bit-exact size model for everything that crosses the wireless channels,
+/// following the paper's formulas:
+///
+///   |IR(w)|  = n_w * (log2 N + b_T)            (TS window report)
+///   |IR(BS)| = 2N + b_T * log2 N               (bit-sequences report)
+///
+/// plus the sizes the paper fixes in Table 1 (data item 8192 bytes, control
+/// message 512 bytes) and the encodings it leaves implicit (Tlb feedback,
+/// checking requests, validity reports), which we define here and document
+/// in DESIGN.md §4.
+///
+/// Note the asymmetry that drives the whole evaluation: a BS report is
+/// ~2 bits *per database item* every broadcast period, while a TS report
+/// pays ~(log2 N + b_T) bits only per recently *updated* item.
+struct SizeModel {
+  std::size_t numItems = 10000;   ///< N
+  std::size_t numClients = 100;   ///< C
+  int timestampBits = 32;         ///< b_T
+  int signatureBits = 32;         ///< per combined signature (SIG scheme)
+  std::uint64_t dataItemBytes = 8192;
+  std::uint64_t controlMessageBytes = 512;
+
+  /// ceil(log2 N): bits to name an item.
+  [[nodiscard]] int itemIdBits() const;
+  /// ceil(log2 C): bits to name a client (headers of addressed messages).
+  [[nodiscard]] int clientIdBits() const;
+
+  /// TS window report carrying n_w (id, timestamp) pairs, plus the report's
+  /// own timestamp T.
+  [[nodiscard]] net::Bits tsReportBits(std::size_t entries) const;
+
+  /// Extended (AAW) window report: IR(w') entries plus the (dummyId, Tlb)
+  /// marker record.
+  [[nodiscard]] net::Bits extendedReportBits(std::size_t entries) const;
+
+  /// Hierarchical bit-sequences report: ~2N sequence bits plus one
+  /// timestamp per sequence. `levels` = number of sequences incl. B0.
+  [[nodiscard]] net::Bits bsReportBits() const;
+
+  /// Signature report: m combined signatures plus the report timestamp.
+  [[nodiscard]] net::Bits sigReportBits(std::size_t combinedSignatures) const;
+
+  /// Uplink Tlb feedback used by AFW/AAW: client id + one timestamp.
+  [[nodiscard]] net::Bits tlbMessageBits() const;
+
+  /// Uplink checking request of TS-with-checking: client id + the ids and
+  /// validation timestamps of `entries` suspect cached items.
+  [[nodiscard]] net::Bits checkRequestBits(std::size_t entries) const;
+
+  /// Downlink validity report answering a check: client id + the ids of
+  /// `invalid` stale entries.
+  [[nodiscard]] net::Bits validityReportBits(std::size_t invalid) const;
+
+  /// Uplink query request (fixed-size control message, Table 1).
+  [[nodiscard]] net::Bits queryRequestBits() const;
+
+  /// One data item on the downlink (Table 1: 8192 bytes).
+  [[nodiscard]] net::Bits dataItemBits() const;
+};
+
+}  // namespace mci::report

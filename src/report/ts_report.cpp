@@ -1,0 +1,42 @@
+#include "report/ts_report.hpp"
+
+namespace mci::report {
+
+std::shared_ptr<const TsReport> TsReport::build(const db::UpdateHistory& history,
+                                                const SizeModel& sizes,
+                                                sim::SimTime now,
+                                                sim::SimTime windowStart) {
+  std::vector<db::UpdateRecord> entries = history.updatesAfter(windowStart);
+  const net::Bits size = sizes.tsReportBits(entries.size());
+  return std::shared_ptr<const TsReport>(new TsReport(
+      ReportKind::kTsWindow, now, size, windowStart, std::move(entries)));
+}
+
+std::shared_ptr<const TsReport> TsReport::buildFromEntries(
+    const SizeModel& sizes, sim::SimTime now, sim::SimTime coverageStart,
+    std::vector<db::UpdateRecord> entries) {
+  const net::Bits size = sizes.tsReportBits(entries.size());
+  return std::shared_ptr<const TsReport>(new TsReport(
+      ReportKind::kTsWindow, now, size, coverageStart, std::move(entries)));
+}
+
+std::shared_ptr<const TsReport> TsReport::fromParts(
+    ReportKind kind, const SizeModel& sizes, sim::SimTime now,
+    sim::SimTime coverageStart, std::vector<db::UpdateRecord> entries) {
+  const net::Bits size = kind == ReportKind::kTsExtended
+                             ? sizes.extendedReportBits(entries.size())
+                             : sizes.tsReportBits(entries.size());
+  return std::shared_ptr<const TsReport>(
+      new TsReport(kind, now, size, coverageStart, std::move(entries)));
+}
+
+std::shared_ptr<const TsReport> TsReport::buildExtended(
+    const db::UpdateHistory& history, const SizeModel& sizes, sim::SimTime now,
+    sim::SimTime extendStart) {
+  std::vector<db::UpdateRecord> entries = history.updatesAfter(extendStart);
+  const net::Bits size = sizes.extendedReportBits(entries.size());
+  return std::shared_ptr<const TsReport>(new TsReport(
+      ReportKind::kTsExtended, now, size, extendStart, std::move(entries)));
+}
+
+}  // namespace mci::report

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "db/item.hpp"
+#include "db/update_history.hpp"
+#include "report/report.hpp"
+#include "report/sizing.hpp"
+
+namespace mci::report {
+
+/// The TS-style window report IR(w) of Barbara & Imielinski, plus the
+/// paper's AAW extension IR(w').
+///
+/// Contents: the current timestamp T and the list of (o_i, t_i) pairs for
+/// every item whose latest update falls in (T - w*L, T]. An extended report
+/// additionally carries a (dummyId, Tlb) record announcing that the window
+/// actually reaches back to `Tlb` — without spending per-report bits on an
+/// explicit window-size field (paper §3.2).
+class TsReport final : public Report {
+ public:
+  /// Builds the regular IR(w) covering (windowStart, now].
+  static std::shared_ptr<const TsReport> build(const db::UpdateHistory& history,
+                                               const SizeModel& sizes,
+                                               sim::SimTime now,
+                                               sim::SimTime windowStart);
+
+  /// Builds AAW's extended IR(w') covering (extendStart, now] and carrying
+  /// the dummy record (dummyId, extendStart).
+  static std::shared_ptr<const TsReport> buildExtended(
+      const db::UpdateHistory& history, const SizeModel& sizes,
+      sim::SimTime now, sim::SimTime extendStart);
+
+  /// Builds a window report from an explicit record list (used by schemes
+  /// whose inclusion rule is not a single cut-off — e.g. DTS's per-item
+  /// windows). `coverageStart` is the guaranteed floor: every update after
+  /// it must be present in `entries`.
+  static std::shared_ptr<const TsReport> buildFromEntries(
+      const SizeModel& sizes, sim::SimTime now, sim::SimTime coverageStart,
+      std::vector<db::UpdateRecord> entries);
+
+  /// Reassembles a report of the given kind from decoded wire parts
+  /// (ReportCodec's deserializer).
+  static std::shared_ptr<const TsReport> fromParts(
+      ReportKind kind, const SizeModel& sizes, sim::SimTime now,
+      sim::SimTime coverageStart, std::vector<db::UpdateRecord> entries);
+
+  /// Start of the interval this report covers: a client whose Tlb is >=
+  /// coverageStart() can invalidate precisely using this report alone.
+  [[nodiscard]] sim::SimTime coverageStart() const { return coverageStart_; }
+
+  /// True if this is an IR(w') with a dummy record.
+  [[nodiscard]] bool extended() const { return kind == ReportKind::kTsExtended; }
+
+  /// The dummy record's timestamp (== coverageStart()); only for extended
+  /// reports.
+  [[nodiscard]] sim::SimTime dummyTlb() const { return coverageStart_; }
+
+  /// (item, last-update-time) entries, most recent first.
+  [[nodiscard]] const std::vector<db::UpdateRecord>& entries() const {
+    return entries_;
+  }
+
+  /// Whether `tlb` is inside this report's coverage, i.e. the report's
+  /// history suffices for a client that last listened at `tlb`.
+  [[nodiscard]] bool covers(sim::SimTime tlb) const {
+    return tlb >= coverageStart_;
+  }
+
+ private:
+  TsReport(ReportKind k, sim::SimTime now, net::Bits size,
+           sim::SimTime coverageStart, std::vector<db::UpdateRecord> entries)
+      : Report(k, now, size),
+        coverageStart_(coverageStart),
+        entries_(std::move(entries)) {}
+
+  sim::SimTime coverageStart_;
+  std::vector<db::UpdateRecord> entries_;
+};
+
+}  // namespace mci::report

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mci::runner {
+
+/// Tiny argv parser for the bench/example binaries. Accepts
+/// `--key=value`, `--key value` and bare `--flag` forms; unknown keys are
+/// reported by unknownArgs() so binaries can warn instead of silently
+/// ignoring typos.
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string getStr(const std::string& key,
+                                   const std::string& fallback) const;
+  [[nodiscard]] double getDouble(const std::string& key, double fallback) const;
+  [[nodiscard]] std::int64_t getInt(const std::string& key,
+                                    std::int64_t fallback) const;
+
+  /// Keys the caller never queried (call after all getX calls).
+  [[nodiscard]] std::vector<std::string> unknownArgs() const;
+
+ private:
+  struct Arg {
+    std::string key;
+    std::string value;
+    mutable bool consumed = false;
+  };
+  const Arg* findArg(const std::string& key) const;
+  std::vector<Arg> args_;
+};
+
+}  // namespace mci::runner

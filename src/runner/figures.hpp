@@ -1,0 +1,53 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metrics/series.hpp"
+#include "runner/sweep.hpp"
+
+namespace mci::runner {
+
+/// Which y value a figure plots.
+enum class FigureMetric {
+  kThroughput,             ///< "No. of Queries Answered"
+  kUplinkBitsPerQuery,     ///< "Uplink Communication Cost Per Query (bits/query)"
+};
+
+[[nodiscard]] const char* figureMetricLabel(FigureMetric m);
+
+/// A paper figure, fully parameterized: base config, swept axis, metric.
+struct FigureSpec {
+  int number = 0;           ///< 5..16, the paper's figure number
+  std::string title;        ///< e.g. "Figure 5. UNIFORM Workload."
+  std::string subtitle;     ///< the fixed-parameter caption under the plot
+  std::string xLabel;
+  FigureMetric metric{FigureMetric::kThroughput};
+  SweepSpec sweep;
+};
+
+/// The registry of all twelve result figures (5..16), parameterized exactly
+/// as DESIGN.md's experiment index specifies.
+const std::vector<FigureSpec>& paperFigures();
+
+/// Looks up a figure by paper number; aborts on unknown numbers.
+const FigureSpec& figureByNumber(int number);
+
+/// Options shared by the bench binaries.
+struct RunOptions {
+  unsigned threads = 0;       ///< 0 = hardware default
+  double simTime = 0;         ///< 0 = keep the spec's (Table 1: 100000 s)
+  std::uint64_t seed = 0;     ///< 0 = keep the spec's
+  bool quiet = false;         ///< suppress progress dots on stderr
+  /// Independent replications per point (different base seeds); the figure
+  /// reports the mean. 1 = the paper's single-run methodology.
+  unsigned replications = 1;
+};
+
+/// Runs a figure's sweep and shapes the results for printing.
+metrics::FigureData runFigure(const FigureSpec& spec, const RunOptions& opts);
+
+/// Extracts the figure's y metric from one run.
+double figureMetricValue(FigureMetric m, const metrics::SimResult& r);
+
+}  // namespace mci::runner

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "metrics/collector.hpp"
+#include "schemes/factory.hpp"
+
+namespace mci::runner {
+
+/// One finished run inside a sweep.
+struct SweepCell {
+  double x = 0;
+  schemes::SchemeKind scheme{};
+  metrics::SimResult result;
+};
+
+/// Sweep description: run every scheme at every x, starting from `base`
+/// and letting `apply` set the swept parameter.
+struct SweepSpec {
+  core::SimConfig base;
+  std::vector<double> xs;
+  std::vector<schemes::SchemeKind> schemes;
+  /// Applies the x value to the config (e.g. cfg.dbSize = x).
+  std::function<void(core::SimConfig&, double)> apply;
+  /// Seeds differ per x index so points are independent, but are shared
+  /// across schemes at the same x: every scheme faces the *same* workload
+  /// realization (common random numbers — the variance-reduction trick the
+  /// comparison figures rely on).
+  bool commonRandomNumbers = true;
+};
+
+/// Runs the sweep, parallelized over (x, scheme) cells. `threads` = 0 picks
+/// the hardware default. Results are returned in deterministic order: for
+/// each x (outer), each scheme (inner). `progress`, if given, is called
+/// after each finished cell with (done, total) — possibly from worker
+/// threads.
+std::vector<SweepCell> runSweep(
+    const SweepSpec& spec, unsigned threads = 0,
+    const std::function<void(std::size_t, std::size_t)>& progress = {});
+
+}  // namespace mci::runner

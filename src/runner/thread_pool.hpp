@@ -1,0 +1,52 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mci::runner {
+
+/// Fixed-size worker pool for running independent simulations in parallel
+/// (one experiment sweep spawns dozens of runs; each run is a fully
+/// isolated Simulation, so there is no shared mutable state beyond the
+/// result slots the caller owns).
+class ThreadPool {
+ public:
+  /// `threads` = 0 selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Thread-safe.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait();
+
+  [[nodiscard]] unsigned threadCount() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+ private:
+  void workerLoop();
+
+  std::mutex mu_;
+  std::condition_variable taskReady_;
+  std::condition_variable allDone_;
+  std::deque<std::function<void()>> tasks_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs `fn(i)` for i in [0, n) on the pool and waits for completion.
+void parallelFor(ThreadPool& pool, std::size_t n,
+                 const std::function<void(std::size_t)>& fn);
+
+}  // namespace mci::runner

@@ -1,0 +1,23 @@
+#pragma once
+
+#include "schemes/ts_scheme.hpp"
+
+namespace mci::schemes {
+
+/// Amnesic Terminals [4,5]: the report only names items updated since the
+/// *previous* report (window of exactly one broadcast interval). A client
+/// that missed even a single report must drop its whole cache. The
+/// cheapest report on the air and the most brutal on sleepers — the far
+/// end of the trade-off spectrum the adaptive schemes interpolate.
+class AtServerScheme final : public TsServerScheme {
+ public:
+  AtServerScheme(const db::UpdateHistory& history,
+                 const report::SizeModel& sizes, double broadcastPeriod)
+      : TsServerScheme(history, sizes, broadcastPeriod, /*windowIntervals=*/1) {}
+};
+
+/// The client algorithm is the TS algorithm with w = 1; coverage checking
+/// via TsReport::covers() handles the "missed any report → drop" rule.
+using AtClientScheme = TsClientScheme;
+
+}  // namespace mci::schemes

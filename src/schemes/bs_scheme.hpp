@@ -1,0 +1,44 @@
+#pragma once
+
+#include "db/update_history.hpp"
+#include "report/bs_report.hpp"
+#include "schemes/scheme.hpp"
+
+namespace mci::schemes {
+
+/// Bit-Sequences scheme (Jing et al. [13]): the server broadcasts the full
+/// hierarchical bit-sequence structure every period. Needs zero uplink and
+/// salvages caches after arbitrarily long disconnections (up to half the
+/// database updated), but the report costs ~2N bits per period — which is
+/// exactly what kills its throughput at large N in Figures 5/11.
+class BsServerScheme final : public ServerScheme {
+ public:
+  BsServerScheme(const db::UpdateHistory& history,
+                 const report::SizeModel& sizes)
+      : history_(history), sizes_(sizes) {}
+
+  report::ReportPtr buildReport(sim::SimTime now) override;
+  std::optional<ValidityReply> onCheckMessage(const CheckMessage& msg,
+                                              sim::SimTime now) override;
+
+ private:
+  const db::UpdateHistory& history_;
+  const report::SizeModel& sizes_;
+};
+
+/// Client half: Figure 2's algorithm. Never marks suspects — a BS report
+/// resolves any gap on the spot (possibly by dropping everything when the
+/// client predates TS(B_n)).
+class BsClientScheme final : public ClientScheme {
+ public:
+  ClientOutcome onReport(const report::Report& r, ClientContext& ctx) override;
+};
+
+/// Applies a BS decision to the cache. Wire-faithful: a marked item is
+/// invalidated regardless of the cached copy's refTime, because the bit
+/// representation carries no per-item timestamps. Shared with the adaptive
+/// schemes' client half.
+void applyBsDecision(const report::BsReport& bs, sim::SimTime effectiveTlb,
+                     ClientContext& ctx);
+
+}  // namespace mci::schemes

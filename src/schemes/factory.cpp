@@ -1,0 +1,12 @@
+#include "schemes/factory.hpp"
+
+namespace mci::schemes {
+
+std::optional<SchemeKind> parseSchemeName(std::string_view name) {
+  for (SchemeKind k : kAllSchemes) {
+    if (name == schemeName(k)) return k;
+  }
+  return std::nullopt;
+}
+
+}  // namespace mci::schemes

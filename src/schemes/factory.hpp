@@ -1,0 +1,66 @@
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace mci::schemes {
+
+/// Every invalidation scheme the library implements. The paper simulates
+/// the last four; kTs, kAt and kSig are the §1/§2 baselines we additionally
+/// provide (exercised by the ablation benchmarks).
+enum class SchemeKind {
+  kTs,          ///< broadcasting timestamps, no checking [4,5]
+  kAt,          ///< amnesic terminals [4,5]
+  kSig,         ///< signatures [4,5]
+  kDts,         ///< dynamic per-item windows (concretized from [5], §3.2)
+  kTsChecking,  ///< TS with checking / "simple checking" [16]
+  kGcore,       ///< grouped checking in the style of GCORE [16]
+  kBs,          ///< bit-sequences [13]
+  kAfw,         ///< adaptive, fixed window (this paper, §3.1)
+  kAaw,         ///< adaptive, adjusting window (this paper, §3.2)
+};
+
+inline constexpr SchemeKind kAllSchemes[] = {
+    SchemeKind::kTs,  SchemeKind::kAt,  SchemeKind::kSig,
+    SchemeKind::kDts, SchemeKind::kTsChecking, SchemeKind::kGcore,
+    SchemeKind::kBs,  SchemeKind::kAfw, SchemeKind::kAaw,
+};
+
+/// The four schemes in the paper's figures, in the legend's order.
+inline constexpr SchemeKind kPaperSchemes[] = {
+    SchemeKind::kAaw,
+    SchemeKind::kAfw,
+    SchemeKind::kTsChecking,
+    SchemeKind::kBs,
+};
+
+[[nodiscard]] constexpr const char* schemeName(SchemeKind k) {
+  switch (k) {
+    case SchemeKind::kTs: return "TS";
+    case SchemeKind::kAt: return "AT";
+    case SchemeKind::kSig: return "SIG";
+    case SchemeKind::kDts: return "DTS";
+    case SchemeKind::kTsChecking: return "TS-check";
+    case SchemeKind::kGcore: return "GCORE";
+    case SchemeKind::kBs: return "BS";
+    case SchemeKind::kAfw: return "AFW";
+    case SchemeKind::kAaw: return "AAW";
+  }
+  return "?";
+}
+
+/// The figures' legend labels.
+[[nodiscard]] constexpr const char* schemeLegend(SchemeKind k) {
+  switch (k) {
+    case SchemeKind::kAaw: return "adaptive with adjusting window";
+    case SchemeKind::kAfw: return "adaptive with fixed window";
+    case SchemeKind::kTsChecking: return "simple checking";
+    case SchemeKind::kBs: return "bit sequences";
+    default: return schemeName(k);
+  }
+}
+
+/// Parses a scheme name (as printed by schemeName, case-sensitive).
+[[nodiscard]] std::optional<SchemeKind> parseSchemeName(std::string_view name);
+
+}  // namespace mci::schemes

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "report/sig_report.hpp"
+#include "schemes/scheme.hpp"
+
+namespace mci::schemes {
+
+/// Signatures scheme (Barbara & Imielinski's SIG [4,5]): the server
+/// broadcasts m combined signatures each period; clients diff them against
+/// the combined values they stored the last time they listened and
+/// invalidate cached items whose subsets all changed.
+class SigServerScheme final : public ServerScheme {
+ public:
+  /// `table` must be kept current by the update generator's hook.
+  SigServerScheme(const report::SignatureTable& table,
+                  const report::SizeModel& sizes)
+      : table_(table), sizes_(sizes) {}
+
+  report::ReportPtr buildReport(sim::SimTime now) override;
+  std::optional<ValidityReply> onCheckMessage(const CheckMessage& msg,
+                                              sim::SimTime now) override;
+
+ private:
+  const report::SignatureTable& table_;
+  const report::SizeModel& sizes_;
+};
+
+class SigClientScheme final : public ClientScheme {
+ public:
+  /// `votesNeeded` <= 0 means "all f memberships must have changed", the
+  /// only setting that guarantees no stale reads (see SignatureTable docs).
+  /// `initialCombined` is the table's state at t = 0, which all clients
+  /// share (everyone is synchronized before the first update).
+  SigClientScheme(const report::SignatureTable& table,
+                  std::vector<std::uint64_t> initialCombined, int votesNeeded);
+
+  ClientOutcome onReport(const report::Report& r, ClientContext& ctx) override;
+
+ private:
+  const report::SignatureTable& table_;
+  std::vector<std::uint64_t> stored_;
+  int votesNeeded_;
+};
+
+}  // namespace mci::schemes

@@ -1,0 +1,39 @@
+#pragma once
+
+#include "db/database.hpp"
+#include "schemes/ts_scheme.hpp"
+
+namespace mci::schemes {
+
+/// "TS with checking" / "simple checking" (Wu, Yu & Chen [16], as the paper
+/// simulates it): the report is a plain IR(w); a client reconnecting beyond
+/// the window keeps its cache entries as suspects and uplinks a checking
+/// request listing every suspect (id, refTime). The server answers with a
+/// validity report naming the stale ones; the rest are salvaged.
+///
+/// This buys the best throughput in the paper's figures — salvage completes
+/// within the same broadcast interval — at the price of the largest uplink
+/// cost, proportional to the cache size and hence to the database size.
+class TsCheckingServerScheme final : public TsServerScheme {
+ public:
+  TsCheckingServerScheme(const db::UpdateHistory& history,
+                         const db::Database& database,
+                         const report::SizeModel& sizes,
+                         double broadcastPeriod, int windowIntervals)
+      : TsServerScheme(history, sizes, broadcastPeriod, windowIntervals),
+        db_(database) {}
+
+  std::optional<ValidityReply> onCheckMessage(const CheckMessage& msg,
+                                              sim::SimTime now) override;
+
+ private:
+  const db::Database& db_;
+};
+
+class TsCheckingClientScheme final : public ClientScheme {
+ public:
+  ClientOutcome onReport(const report::Report& r, ClientContext& ctx) override;
+  void onValidityReply(const ValidityReply& reply, ClientContext& ctx) override;
+};
+
+}  // namespace mci::schemes

@@ -1,0 +1,42 @@
+#pragma once
+
+#include "db/update_history.hpp"
+#include "report/ts_report.hpp"
+#include "schemes/scheme.hpp"
+
+namespace mci::schemes {
+
+/// Server half of the plain Broadcasting-Timestamps scheme [4,5]: every L
+/// seconds broadcast IR(w), the update history of the last `windowIntervals`
+/// broadcast periods. Ignores uplink checks (there are none).
+class TsServerScheme : public ServerScheme {
+ public:
+  TsServerScheme(const db::UpdateHistory& history,
+                 const report::SizeModel& sizes, double broadcastPeriod,
+                 int windowIntervals);
+
+  report::ReportPtr buildReport(sim::SimTime now) override;
+  std::optional<ValidityReply> onCheckMessage(const CheckMessage& msg,
+                                              sim::SimTime now) override;
+
+ protected:
+  [[nodiscard]] sim::SimTime windowStart(sim::SimTime now) const {
+    const sim::SimTime start = now - window_ * period_;
+    return start > 0 ? start : sim::kTimeEpoch;
+  }
+
+  const db::UpdateHistory& history_;
+  const report::SizeModel& sizes_;
+  double period_;
+  int window_;
+};
+
+/// Client half: the no-checking TS algorithm of Figure 1. If the client's
+/// last heard report is inside the window, invalidate the listed entries;
+/// otherwise the entire cache is dropped — valid items and all.
+class TsClientScheme : public ClientScheme {
+ public:
+  ClientOutcome onReport(const report::Report& r, ClientContext& ctx) override;
+};
+
+}  // namespace mci::schemes

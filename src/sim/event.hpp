@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/time.hpp"
+
+namespace mci::sim {
+
+/// Unique, monotonically increasing identifier for a scheduled event.
+/// Doubles as the FIFO tie-breaker for events scheduled at the same time,
+/// which makes every run fully deterministic.
+using EventId = std::uint64_t;
+
+inline constexpr EventId kInvalidEventId = 0;
+
+/// An event's action. Fired exactly once when the simulation clock reaches
+/// the event's time, unless the event was cancelled first.
+using EventFn = std::function<void()>;
+
+}  // namespace mci::sim

@@ -1,0 +1,81 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace mci::sim {
+
+EventId EventQueue::push(SimTime at, EventFn fn) {
+  assert(std::isfinite(at) && "event time must be finite");
+  const EventId id = nextId_++;
+  heap_.push_back(Node{at, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id == kInvalidEventId || id >= nextId_) return false;
+  // Lazy: remember the id; the node is discarded when it reaches the top.
+  // A second cancel of the same id, or a cancel of an already-fired id,
+  // must return false, so probe the heap for liveness only via the
+  // cancelled set + fired ids being absent from it.
+  if (cancelled_.contains(id)) return false;
+  // Check the id is actually still pending (linear scan is fine: cancels
+  // are rare in our workloads, and the alternative is an index map that
+  // every push/pop must maintain).
+  const bool pending = std::any_of(heap_.begin(), heap_.end(),
+                                   [id](const Node& n) { return n.id == id; });
+  if (!pending) return false;
+  cancelled_.insert(id);
+  --live_;
+  return true;
+}
+
+SimTime EventQueue::nextTime() const {
+  for (const Node& n : heap_) {
+    if (!cancelled_.contains(n.id)) break;
+  }
+  // The top of the heap may be cancelled; we cannot mutate here, so walk
+  // the heap lazily: the min live element is not necessarily heap_[0].
+  // Cheap exact answer: scan. Called rarely (tests / idle checks).
+  SimTime best = kTimeInfinity;
+  for (const Node& n : heap_) {
+    if (cancelled_.contains(n.id)) continue;
+    if (n.time < best) best = n.time;
+  }
+  return best;
+}
+
+SimTime EventQueue::peekTime() {
+  dropCancelledTop();
+  return heap_.empty() ? kTimeInfinity : heap_.front().time;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  dropCancelledTop();
+  assert(!heap_.empty() && "pop() on empty EventQueue");
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Node n = std::move(heap_.back());
+  heap_.pop_back();
+  --live_;
+  return Popped{n.id, n.time, std::move(n.fn)};
+}
+
+void EventQueue::clear() {
+  heap_.clear();
+  cancelled_.clear();
+  live_ = 0;
+}
+
+void EventQueue::dropCancelledTop() {
+  while (!heap_.empty() && cancelled_.contains(heap_.front().id)) {
+    cancelled_.erase(heap_.front().id);
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+}
+
+}  // namespace mci::sim

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/event.hpp"
+#include "sim/time.hpp"
+
+namespace mci::sim {
+
+/// Priority queue of timed events with O(log n) push/pop and O(1) lazy
+/// cancellation. Events at equal times fire in scheduling (FIFO) order,
+/// which keeps simulations deterministic regardless of heap layout.
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `at`. Returns a handle usable with
+  /// cancel(). `at` must be finite.
+  EventId push(SimTime at, EventFn fn);
+
+  /// Cancels a pending event. Returns true if the event was still pending
+  /// (it will not fire); false if it already fired, was already cancelled,
+  /// or never existed.
+  bool cancel(EventId id);
+
+  /// True if no live (non-cancelled) events remain.
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+
+  /// Number of live events.
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  /// Time of the earliest live event; kTimeInfinity when empty.
+  /// O(n) exact scan; intended for tests and idle checks.
+  [[nodiscard]] SimTime nextTime() const;
+
+  /// Time of the earliest live event; kTimeInfinity when empty.
+  /// Amortized O(1): prunes cancelled nodes from the heap top.
+  SimTime peekTime();
+
+  /// Pops and returns the earliest live event. Precondition: !empty().
+  struct Popped {
+    EventId id{kInvalidEventId};
+    SimTime time{0};
+    EventFn fn;
+  };
+  Popped pop();
+
+  /// Removes all events.
+  void clear();
+
+ private:
+  struct Node {
+    SimTime time;
+    EventId id;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Node& a, const Node& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;  // FIFO among equal times
+    }
+  };
+
+  void dropCancelledTop();
+
+  std::vector<Node> heap_;
+  std::unordered_set<EventId> cancelled_;
+  EventId nextId_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace mci::sim

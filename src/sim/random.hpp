@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace mci::sim {
+
+/// xoshiro256** engine (Blackman & Vigna). Small, fast, and decorrelated
+/// streams are easy to derive via SplitMix64 seeding — which is why we use
+/// it instead of std::mt19937_64 for the per-client / per-process streams
+/// of the simulation (100 clients x several processes each).
+///
+/// Satisfies UniformRandomBitGenerator, so it plugs into <random>
+/// distributions when needed.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds deterministically from a single 64-bit value via SplitMix64.
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// SplitMix64 step; used for seeding and for hashing stream tags.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// FNV-1a 64-bit hash of a string tag (for named sub-streams).
+std::uint64_t hashTag(std::string_view tag);
+
+/// A random stream with the distributions the simulation model needs.
+///
+/// Independent decorrelated sub-streams are derived with fork(), so each
+/// model process (per-client think times, disconnection coins, query
+/// pattern picks, server updates, ...) draws from its own stream and the
+/// schedules of different processes never perturb one another. This mirrors
+/// CSIM's per-process streams and is essential for variance-reduced
+/// comparisons between schemes: the same seed yields the same workload
+/// regardless of which invalidation scheme is running.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  /// Derives a decorrelated child stream named by (tag, index).
+  [[nodiscard]] Rng fork(std::string_view tag, std::uint64_t index = 0) const;
+
+  /// Uniform in [0, 1).
+  double uniform01();
+
+  /// Uniform real in [lo, hi).
+  double uniformReal(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Exponential with the given mean (not rate). Requires mean > 0.
+  double exponential(double mean);
+
+  /// Bernoulli trial.
+  bool bernoulli(double p);
+
+  /// Poisson with the given mean, via inversion for small means.
+  int poisson(double mean);
+
+  /// Raw 64 bits.
+  std::uint64_t bits() { return engine_(); }
+
+  /// The seed this stream was created with (diagnostics).
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+ private:
+  Xoshiro256 engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace mci::sim

@@ -1,0 +1,26 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace mci::sim {
+
+EventId Simulator::scheduleAt(SimTime at, EventFn fn) {
+  assert(at >= now_ && "cannot schedule into the past");
+  assert(std::isfinite(at));
+  return queue_.push(at, std::move(fn));
+}
+
+void Simulator::runUntil(SimTime until) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty()) {
+    if (queue_.peekTime() > until) break;
+    EventQueue::Popped ev = queue_.pop();
+    now_ = ev.time;
+    ++fired_;
+    ev.fn();
+  }
+  if (std::isfinite(until) && until > now_) now_ = until;
+}
+
+}  // namespace mci::sim

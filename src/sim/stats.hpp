@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mci::sim {
+
+/// Streaming mean / variance / extrema (Welford's algorithm).
+class Welford {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+  void reset() { *this = Welford{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Time-weighted average of a piecewise-constant signal (e.g. queue length,
+/// number of connected clients). Call set() whenever the value changes.
+class TimeWeighted {
+ public:
+  explicit TimeWeighted(double initial = 0.0, SimTime start = 0.0)
+      : value_(initial), lastChange_(start) {}
+
+  /// Records a value change at time `now` (must be non-decreasing).
+  void set(double value, SimTime now);
+
+  /// Time average over [start, now].
+  [[nodiscard]] double average(SimTime now) const;
+
+  [[nodiscard]] double current() const { return value_; }
+
+ private:
+  double value_;
+  SimTime lastChange_;
+  double weightedSum_ = 0.0;
+  SimTime start_ = lastChange_;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples are clamped
+/// into the first/last bin. Used for latency distributions in the benches.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return total_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& bins() const { return bins_; }
+  [[nodiscard]] double binLow(std::size_t i) const;
+  [[nodiscard]] double binHigh(std::size_t i) const;
+
+  /// Approximate quantile (linear within the bin). q in [0, 1].
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace mci::sim

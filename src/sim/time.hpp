@@ -1,0 +1,19 @@
+#pragma once
+
+#include <limits>
+
+namespace mci::sim {
+
+/// Simulated time in seconds. The paper's model is specified in seconds
+/// (broadcast period L = 20 s, think time 100 s, ...); double gives us
+/// sub-microsecond resolution over the 1e5 s horizon used in the paper.
+using SimTime = double;
+
+/// Sentinel for "never" / "no deadline".
+inline constexpr SimTime kTimeInfinity = std::numeric_limits<SimTime>::infinity();
+
+/// Time before the simulation starts; used as the epoch for "updated never"
+/// and for Tlb values of clients that have not yet heard a report.
+inline constexpr SimTime kTimeEpoch = 0.0;
+
+}  // namespace mci::sim

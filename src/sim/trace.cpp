@@ -1,0 +1,82 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace mci::sim {
+
+void Trace::enable(std::size_t capacity) {
+  capacity_ = std::max<std::size_t>(capacity, 1);
+  ring_.clear();
+  ring_.reserve(capacity_);
+  next_ = 0;
+  recorded_ = 0;
+}
+
+void Trace::disable() {
+  capacity_ = 0;
+  ring_.clear();
+  ring_.shrink_to_fit();
+  next_ = 0;
+}
+
+void Trace::record(SimTime now, TraceCategory category, std::int64_t actor,
+                   std::string message) {
+  if (capacity_ == 0) return;
+  ++recorded_;
+  TraceEvent ev{now, category, actor, std::move(message)};
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(ev));
+  } else {
+    ring_[next_] = std::move(ev);
+    next_ = (next_ + 1) % capacity_;
+  }
+}
+
+std::vector<TraceEvent> Trace::snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_ || capacity_ == 0) {
+    out = ring_;
+  } else {
+    // next_ points at the oldest entry once the ring has wrapped.
+    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(next_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(next_));
+  }
+  return out;
+}
+
+std::vector<TraceEvent> Trace::filter(
+    const std::function<bool(const TraceEvent&)>& pred) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& ev : snapshot()) {
+    if (pred(ev)) out.push_back(ev);
+  }
+  return out;
+}
+
+std::string Trace::format(std::size_t lastN) const {
+  const std::vector<TraceEvent> events = snapshot();
+  const std::size_t start =
+      events.size() > lastN ? events.size() - lastN : 0;
+  std::ostringstream os;
+  for (std::size_t i = start; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    char head[64];
+    std::snprintf(head, sizeof head, "t=%10.3f [%-7s] ", e.time,
+                  traceCategoryName(e.category));
+    os << head;
+    if (e.actor >= 0) {
+      os << "client " << e.actor << ": ";
+    } else {
+      os << "server: ";
+    }
+    os << e.message << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace mci::sim

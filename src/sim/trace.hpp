@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mci::sim {
+
+/// Category of a traced model event. Kept coarse on purpose: the trace is a
+/// debugging instrument, not a metric source (metrics::Collector is).
+enum class TraceCategory : std::uint8_t {
+  kReport,      ///< IR built / delivered
+  kQuery,       ///< query issued / answered / fetched
+  kCache,       ///< invalidation / drop / salvage
+  kDoze,        ///< disconnect / wake
+  kCheck,       ///< uplink check / Tlb / validity reply
+  kChannel,     ///< transfers (verbose)
+};
+
+[[nodiscard]] constexpr const char* traceCategoryName(TraceCategory c) {
+  switch (c) {
+    case TraceCategory::kReport: return "report";
+    case TraceCategory::kQuery: return "query";
+    case TraceCategory::kCache: return "cache";
+    case TraceCategory::kDoze: return "doze";
+    case TraceCategory::kCheck: return "check";
+    case TraceCategory::kChannel: return "channel";
+  }
+  return "?";
+}
+
+/// One traced event.
+struct TraceEvent {
+  SimTime time{0};
+  TraceCategory category{TraceCategory::kReport};
+  std::int64_t actor{-1};  ///< client id, or -1 for the server
+  std::string message;
+};
+
+/// Bounded in-memory trace ring. Disabled (and free) by default; when
+/// enabled it keeps the most recent `capacity` events, which is exactly
+/// what one wants when a property test trips at t=87362: dump the tail.
+///
+///   Trace trace;
+///   trace.enable(4096);
+///   trace.record(now, TraceCategory::kDoze, clientId, "wake after 812s");
+///   ...
+///   for (const auto& e : trace.snapshot()) ...
+class Trace {
+ public:
+  /// Starts recording, keeping the latest `capacity` events.
+  void enable(std::size_t capacity);
+
+  /// Stops recording and clears the buffer.
+  void disable();
+
+  [[nodiscard]] bool enabled() const { return capacity_ > 0; }
+
+  /// Records an event (no-op while disabled).
+  void record(SimTime now, TraceCategory category, std::int64_t actor,
+              std::string message);
+
+  /// Total events ever offered while enabled (including overwritten ones).
+  [[nodiscard]] std::uint64_t recorded() const { return recorded_; }
+
+  /// Events currently retained, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+
+  /// Retained events matching a predicate, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> filter(
+      const std::function<bool(const TraceEvent&)>& pred) const;
+
+  /// Renders the retained tail as "t=... [category] actor: message" lines.
+  [[nodiscard]] std::string format(std::size_t lastN = ~std::size_t{0}) const;
+
+ private:
+  std::size_t capacity_ = 0;
+  std::vector<TraceEvent> ring_;
+  std::size_t next_ = 0;  // ring write position
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace mci::sim

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "db/item.hpp"
+#include "sim/random.hpp"
+
+namespace mci::workload {
+
+/// Table 2's query/update pattern columns. Bounds are half-open item-id
+/// ranges; the paper's "items 1 to 100" is [0, 100) here.
+struct HotColdSpec {
+  db::ItemId hotLo{0};
+  db::ItemId hotHi{100};   ///< exclusive
+  double hotProb{0.8};     ///< probability a pick lands in the hot region
+};
+
+/// Picks item ids according to an access pattern over a database of N
+/// items. UNIFORM: every pick uniform over the whole database. HOTCOLD:
+/// with probability hotProb uniform over the hot region, else uniform over
+/// the remainder of the database (Table 2).
+class AccessPattern {
+ public:
+  static AccessPattern uniform(std::size_t numItems);
+  static AccessPattern hotCold(std::size_t numItems, HotColdSpec spec);
+
+  [[nodiscard]] db::ItemId pick(sim::Rng& rng) const;
+
+  [[nodiscard]] bool isHotCold() const { return hotCold_; }
+  [[nodiscard]] const HotColdSpec& spec() const { return spec_; }
+  [[nodiscard]] std::size_t numItems() const { return numItems_; }
+
+  /// True if `item` is in the hot region (always false for UNIFORM).
+  [[nodiscard]] bool isHot(db::ItemId item) const {
+    return hotCold_ && item >= spec_.hotLo && item < spec_.hotHi;
+  }
+
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  AccessPattern(std::size_t numItems, bool hotCold, HotColdSpec spec);
+
+  std::size_t numItems_;
+  bool hotCold_;
+  HotColdSpec spec_;
+};
+
+}  // namespace mci::workload

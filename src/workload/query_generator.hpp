@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "db/item.hpp"
+#include "sim/random.hpp"
+#include "workload/pattern.hpp"
+
+namespace mci::workload {
+
+/// Per-client query workload (paper §4): read-only queries separated by
+/// exponential think times; each query references a set of distinct items
+/// chosen by the client's access pattern.
+class QueryGenerator {
+ public:
+  struct Params {
+    double meanThinkTime = 100.0;   ///< seconds (Table 1)
+    double meanItemsPerQuery = 1.0; ///< see DESIGN.md substitution #2
+  };
+
+  QueryGenerator(AccessPattern pattern, Params params, sim::Rng rng);
+
+  /// Draws the think time preceding the next query.
+  double thinkTime();
+
+  /// Draws the next query's distinct item set.
+  std::vector<db::ItemId> nextQuery();
+
+  [[nodiscard]] const AccessPattern& pattern() const { return pattern_; }
+  [[nodiscard]] const Params& params() const { return params_; }
+
+ private:
+  AccessPattern pattern_;
+  Params params_;
+  sim::Rng rng_;
+};
+
+}  // namespace mci::workload

@@ -1,0 +1,255 @@
+#include "cache/lru_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <random>
+#include <unordered_map>
+
+namespace mci::cache {
+namespace {
+
+Entry entry(db::ItemId item, double refTime = 0.0, bool suspect = false) {
+  Entry e;
+  e.item = item;
+  e.version = 1;
+  e.refTime = refTime;
+  e.suspect = suspect;
+  return e;
+}
+
+TEST(LruCache, InsertAndFind) {
+  LruCache c(4);
+  EXPECT_FALSE(c.insert(entry(1, 5.0)).has_value());
+  ASSERT_NE(c.find(1), nullptr);
+  EXPECT_DOUBLE_EQ(c.find(1)->refTime, 5.0);
+  EXPECT_EQ(c.find(2), nullptr);
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_TRUE(c.contains(1));
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruCache c(3);
+  c.insert(entry(1));
+  c.insert(entry(2));
+  c.insert(entry(3));
+  const auto evicted = c.insert(entry(4));
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->item, 1u);
+  EXPECT_FALSE(c.contains(1));
+  EXPECT_TRUE(c.contains(4));
+}
+
+TEST(LruCache, TouchProtectsFromEviction) {
+  LruCache c(3);
+  c.insert(entry(1));
+  c.insert(entry(2));
+  c.insert(entry(3));
+  c.touch(1);  // 2 becomes LRU
+  const auto evicted = c.insert(entry(4));
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->item, 2u);
+  EXPECT_TRUE(c.contains(1));
+}
+
+TEST(LruCache, InsertExistingOverwritesAndPromotes) {
+  LruCache c(3);
+  c.insert(entry(1, 1.0));
+  c.insert(entry(2));
+  c.insert(entry(3));
+  EXPECT_FALSE(c.insert(entry(1, 9.0)).has_value());  // no eviction
+  EXPECT_DOUBLE_EQ(c.find(1)->refTime, 9.0);
+  const auto evicted = c.insert(entry(4));
+  EXPECT_EQ(evicted->item, 2u);  // 1 was promoted
+}
+
+TEST(LruCache, EraseRemoves) {
+  LruCache c(3);
+  c.insert(entry(1));
+  EXPECT_TRUE(c.erase(1));
+  EXPECT_FALSE(c.erase(1));
+  EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(LruCache, ClearEmptiesEverything) {
+  LruCache c(3);
+  c.insert(entry(1, 0, true));
+  c.insert(entry(2));
+  c.clear();
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_EQ(c.suspectCount(), 0u);
+}
+
+TEST(LruCache, SuspectCounting) {
+  LruCache c(4);
+  c.insert(entry(1));
+  c.insert(entry(2));
+  EXPECT_EQ(c.suspectCount(), 0u);
+  EXPECT_EQ(c.markAllSuspect(), 2u);
+  EXPECT_EQ(c.suspectCount(), 2u);
+  EXPECT_EQ(c.markAllSuspect(), 0u);  // already suspect
+  c.clearSuspect(1);
+  EXPECT_EQ(c.suspectCount(), 1u);
+  c.clearSuspect(1);  // idempotent
+  EXPECT_EQ(c.suspectCount(), 1u);
+}
+
+TEST(LruCache, EraseSuspectMaintainsCounter) {
+  LruCache c(4);
+  c.insert(entry(1, 0, true));
+  EXPECT_EQ(c.suspectCount(), 1u);
+  c.erase(1);
+  EXPECT_EQ(c.suspectCount(), 0u);
+}
+
+TEST(LruCache, EvictedSuspectMaintainsCounter) {
+  LruCache c(1);
+  c.insert(entry(1, 0, true));
+  c.insert(entry(2));
+  EXPECT_EQ(c.suspectCount(), 0u);
+}
+
+TEST(LruCache, InsertOverSuspectMaintainsCounter) {
+  LruCache c(4);
+  c.insert(entry(1, 0, true));
+  c.insert(entry(1, 5.0, false));  // refetch clears suspicion
+  EXPECT_EQ(c.suspectCount(), 0u);
+  EXPECT_FALSE(c.find(1)->suspect);
+}
+
+TEST(LruCache, DropSuspectsRemovesOnlySuspects) {
+  LruCache c(4);
+  c.insert(entry(1, 0, true));
+  c.insert(entry(2, 0, false));
+  c.insert(entry(3, 0, true));
+  EXPECT_EQ(c.dropSuspects(), 2u);
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_TRUE(c.contains(2));
+  EXPECT_EQ(c.suspectCount(), 0u);
+}
+
+TEST(LruCache, SalvageSuspectsClearsFlagsAndSetsRefTime) {
+  LruCache c(4);
+  c.insert(entry(1, 1.0, true));
+  c.insert(entry(2, 2.0, false));
+  c.insert(entry(3, 3.0, true));
+  EXPECT_EQ(c.salvageSuspects(99.0), 2u);
+  EXPECT_EQ(c.suspectCount(), 0u);
+  EXPECT_DOUBLE_EQ(c.find(1)->refTime, 99.0);
+  EXPECT_DOUBLE_EQ(c.find(2)->refTime, 2.0);  // untouched
+  EXPECT_DOUBLE_EQ(c.find(3)->refTime, 99.0);
+}
+
+TEST(LruCache, ForEachVisitsAll) {
+  LruCache c(4);
+  c.insert(entry(1));
+  c.insert(entry(2));
+  std::size_t count = 0;
+  c.forEach([&](const Entry&) { ++count; });
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(LruCache, CapacityOneBehaves) {
+  LruCache c(1);
+  c.insert(entry(1));
+  const auto evicted = c.insert(entry(2));
+  EXPECT_EQ(evicted->item, 1u);
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(ReplacementPolicy, NamesStable) {
+  EXPECT_STREQ(replacementPolicyName(ReplacementPolicy::kLru), "LRU");
+  EXPECT_STREQ(replacementPolicyName(ReplacementPolicy::kFifo), "FIFO");
+  EXPECT_STREQ(replacementPolicyName(ReplacementPolicy::kRandom), "RANDOM");
+}
+
+TEST(ReplacementPolicy, FifoIgnoresTouches) {
+  LruCache c(3, ReplacementPolicy::kFifo);
+  c.insert(entry(1));
+  c.insert(entry(2));
+  c.insert(entry(3));
+  c.touch(1);  // no-op under FIFO
+  const auto evicted = c.insert(entry(4));
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->item, 1u);  // oldest insertion goes
+}
+
+TEST(ReplacementPolicy, RandomEvictsSomeResidentDeterministically) {
+  LruCache a(3, ReplacementPolicy::kRandom, 7);
+  LruCache b(3, ReplacementPolicy::kRandom, 7);
+  for (db::ItemId i = 1; i <= 3; ++i) {
+    a.insert(entry(i));
+    b.insert(entry(i));
+  }
+  const auto ea = a.insert(entry(4));
+  const auto eb = b.insert(entry(4));
+  ASSERT_TRUE(ea.has_value());
+  ASSERT_TRUE(eb.has_value());
+  EXPECT_EQ(ea->item, eb->item);  // same seed, same victim
+  EXPECT_GE(ea->item, 1u);
+  EXPECT_LE(ea->item, 3u);
+  EXPECT_EQ(a.size(), 3u);
+}
+
+TEST(ReplacementPolicy, RandomSuspectCounterSurvivesEviction) {
+  LruCache c(2, ReplacementPolicy::kRandom, 3);
+  c.insert(entry(1, 0, true));
+  c.insert(entry(2, 0, true));
+  c.insert(entry(3));  // evicts a suspect
+  EXPECT_EQ(c.suspectCount(), 1u);
+  EXPECT_EQ(c.size(), 2u);
+}
+
+// Property: behaves exactly like a reference list-based LRU under random
+// operations.
+TEST(LruCache, RandomizedAgainstReference) {
+  std::mt19937_64 rng(8);
+  for (int round = 0; round < 10; ++round) {
+    const std::size_t cap = 1 + rng() % 16;
+    LruCache c(cap);
+    std::list<db::ItemId> refOrder;  // front = MRU
+    auto refFind = [&](db::ItemId item) {
+      return std::find(refOrder.begin(), refOrder.end(), item);
+    };
+    for (int op = 0; op < 500; ++op) {
+      const auto item = static_cast<db::ItemId>(rng() % 24);
+      switch (rng() % 4) {
+        case 0:
+        case 1: {  // insert
+          const auto evicted = c.insert(entry(item));
+          if (auto it = refFind(item); it != refOrder.end()) {
+            refOrder.erase(it);
+            EXPECT_FALSE(evicted.has_value());
+          } else if (refOrder.size() >= cap) {
+            ASSERT_TRUE(evicted.has_value());
+            EXPECT_EQ(evicted->item, refOrder.back());
+            refOrder.pop_back();
+          } else {
+            EXPECT_FALSE(evicted.has_value());
+          }
+          refOrder.push_front(item);
+          break;
+        }
+        case 2: {  // touch (only when present)
+          if (auto it = refFind(item); it != refOrder.end()) {
+            c.touch(item);
+            refOrder.erase(it);
+            refOrder.push_front(item);
+          }
+          break;
+        }
+        case 3: {  // erase
+          const bool present = refFind(item) != refOrder.end();
+          EXPECT_EQ(c.erase(item), present);
+          if (present) refOrder.erase(refFind(item));
+          break;
+        }
+      }
+      EXPECT_EQ(c.size(), refOrder.size());
+      for (db::ItemId i : refOrder) EXPECT_TRUE(c.contains(i));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mci::cache

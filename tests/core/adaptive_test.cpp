@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include "core/aaw_scheme.hpp"
+#include "core/afw_scheme.hpp"
+#include "schemes/scheme_test_util.hpp"
+
+// The scheme_test_util header lives in tests/schemes; include via relative
+// path from this directory.
+
+namespace mci::core {
+namespace {
+
+using schemes::testutil::ClientHarness;
+
+struct AdaptiveFixture : ::testing::Test {
+  db::UpdateHistory hist{1000};
+  ClientHarness h{1000, 32};
+  AfwServerScheme afw{hist, h.sizes, /*L=*/20.0, /*w=*/10};
+  AawServerScheme aaw{hist, h.sizes, /*L=*/20.0, /*w=*/10};
+  AdaptiveClientScheme client;
+
+  schemes::CheckMessage tlbMsg(double tlb) {
+    schemes::CheckMessage m;
+    m.client = h.ctx.id();
+    m.tlb = tlb;
+    m.sizeBits = h.sizes.tlbMessageBits();
+    return m;
+  }
+};
+
+// ---------------- server halves ----------------
+
+TEST_F(AdaptiveFixture, DefaultReportIsTsWindow) {
+  hist.record(1, 490.0);
+  const auto r = afw.buildReport(500.0);
+  EXPECT_EQ(r->kind, report::ReportKind::kTsWindow);
+  EXPECT_EQ(afw.decisions().tsReports, 1u);
+}
+
+TEST_F(AdaptiveFixture, AfwAnswersSalvageableTlbWithBs) {
+  hist.record(1, 100.0);
+  EXPECT_FALSE(afw.onCheckMessage(tlbMsg(50.0), 480.0).has_value());
+  const auto r = afw.buildReport(500.0);
+  EXPECT_EQ(r->kind, report::ReportKind::kBitSeq);
+  EXPECT_EQ(afw.decisions().bsReports, 1u);
+  EXPECT_EQ(afw.decisions().tlbsReceived, 1u);
+  // The pending list is consumed: the next report is a window again.
+  EXPECT_EQ(afw.buildReport(520.0)->kind, report::ReportKind::kTsWindow);
+}
+
+TEST_F(AdaptiveFixture, TlbInsideWindowDoesNotTriggerHelp) {
+  hist.record(1, 100.0);
+  afw.onCheckMessage(tlbMsg(495.0), 498.0);  // within (500-200, 500]
+  EXPECT_EQ(afw.buildReport(500.0)->kind, report::ReportKind::kTsWindow);
+}
+
+TEST_F(AdaptiveFixture, UnsalvageableTlbIsDeclined) {
+  // Update more than half the database after t=10: TS(Bn) > 10.
+  for (db::ItemId i = 0; i < 600; ++i) hist.record(i, 20.0 + i * 0.1);
+  afw.onCheckMessage(tlbMsg(10.0), 480.0);
+  const auto r = afw.buildReport(500.0);
+  EXPECT_EQ(r->kind, report::ReportKind::kTsWindow);
+  EXPECT_EQ(afw.decisions().tlbsDeclined, 1u);
+}
+
+TEST_F(AdaptiveFixture, AawPrefersSmallExtendedWindow) {
+  // Few updates since the stale Tlb: IR(w') is far smaller than IR(BS).
+  hist.record(1, 100.0);
+  hist.record(2, 200.0);
+  aaw.onCheckMessage(tlbMsg(50.0), 480.0);
+  const auto r = aaw.buildReport(500.0);
+  ASSERT_EQ(r->kind, report::ReportKind::kTsExtended);
+  const auto& ts = static_cast<const report::TsReport&>(*r);
+  EXPECT_DOUBLE_EQ(ts.dummyTlb(), 50.0);
+  EXPECT_TRUE(ts.covers(50.0));
+  EXPECT_EQ(ts.entries().size(), 2u);
+  EXPECT_EQ(aaw.decisions().extendedReports, 1u);
+}
+
+TEST_F(AdaptiveFixture, AawFallsBackToBsWhenExtensionIsHuge) {
+  // So many updates since the old Tlb that listing them costs more than
+  // the whole bit-sequence structure (2N + ...: ~2048 bits at N=1000;
+  // each record is 10+32 bits, so ~50 records tie it).
+  for (int i = 0; i < 200; ++i) {
+    hist.record(static_cast<db::ItemId>(i), 100.0 + i);
+  }
+  aaw.onCheckMessage(tlbMsg(50.0), 480.0);
+  const auto r = aaw.buildReport(500.0);
+  EXPECT_EQ(r->kind, report::ReportKind::kBitSeq);
+  EXPECT_EQ(aaw.decisions().bsReports, 1u);
+}
+
+TEST_F(AdaptiveFixture, AawUsesOldestSalvageableTlb) {
+  hist.record(1, 100.0);
+  aaw.onCheckMessage(tlbMsg(80.0), 470.0);
+  aaw.onCheckMessage(tlbMsg(40.0), 480.0);
+  const auto r = aaw.buildReport(500.0);
+  ASSERT_EQ(r->kind, report::ReportKind::kTsExtended);
+  EXPECT_DOUBLE_EQ(static_cast<const report::TsReport&>(*r).dummyTlb(), 40.0);
+}
+
+// ---------------- client half ----------------
+
+TEST_F(AdaptiveFixture, CoveredClientProcessesNormally) {
+  h.cacheItem(1, 100.0);
+  h.ctx.setLastHeard(480.0);
+  hist.record(1, 490.0);
+  client.onReport(*afw.buildReport(500.0), h.ctx);
+  EXPECT_FALSE(h.ctx.cache().contains(1));
+  EXPECT_EQ(h.ctx.cache().suspectCount(), 0u);
+}
+
+TEST_F(AdaptiveFixture, GapSendsTlbOnce) {
+  h.cacheItem(1, 100.0);
+  h.ctx.setLastHeard(120.0);
+  const auto out1 = client.onReport(*afw.buildReport(500.0), h.ctx);
+  ASSERT_TRUE(out1.sendCheck);
+  EXPECT_TRUE(out1.check.entries.empty());  // Tlb only — a few dozen bits
+  EXPECT_DOUBLE_EQ(out1.check.tlb, 120.0);
+  EXPECT_DOUBLE_EQ(out1.check.sizeBits, h.sizes.tlbMessageBits());
+  EXPECT_TRUE(h.ctx.salvagePending());
+  // Feedback still in flight: no resend on the next uncovered report.
+  const auto out2 = client.onReport(*afw.buildReport(520.0), h.ctx);
+  EXPECT_FALSE(out2.sendCheck);
+  EXPECT_EQ(h.ctx.cache().suspectCount(), 1u);
+}
+
+TEST_F(AdaptiveFixture, HelpingBsReportSalvagesSuspects) {
+  h.cacheItem(1, 100.0);
+  h.cacheItem(2, 100.0);
+  h.ctx.setLastHeard(120.0);
+  hist.record(1, 300.0);  // item 1 stale, item 2 clean
+
+  client.onReport(*afw.buildReport(500.0), h.ctx);  // gap -> Tlb sent
+  afw.onCheckMessage(tlbMsg(120.0), 505.0);
+  h.ctx.setCheckDeliveredAt(505.0);
+  const auto helping = afw.buildReport(520.0);
+  ASSERT_EQ(helping->kind, report::ReportKind::kBitSeq);
+  client.onReport(*helping, h.ctx);
+
+  EXPECT_FALSE(h.ctx.cache().contains(1));
+  ASSERT_TRUE(h.ctx.cache().contains(2));
+  EXPECT_FALSE(h.ctx.cache().find(2)->suspect);
+  EXPECT_FALSE(h.ctx.salvagePending());
+  EXPECT_EQ(h.sink.salvagedEntries, 1u);
+}
+
+TEST_F(AdaptiveFixture, ExtendedReportSalvagesViaDummyRecord) {
+  h.cacheItem(1, 100.0);
+  h.cacheItem(2, 100.0);
+  h.ctx.setLastHeard(120.0);
+  hist.record(1, 300.0);
+
+  client.onReport(*aaw.buildReport(500.0), h.ctx);
+  aaw.onCheckMessage(tlbMsg(120.0), 505.0);
+  h.ctx.setCheckDeliveredAt(505.0);
+  const auto helping = aaw.buildReport(520.0);
+  ASSERT_EQ(helping->kind, report::ReportKind::kTsExtended);
+  client.onReport(*helping, h.ctx);
+
+  EXPECT_FALSE(h.ctx.cache().contains(1));
+  ASSERT_TRUE(h.ctx.cache().contains(2));
+  EXPECT_FALSE(h.ctx.cache().find(2)->suspect);
+  EXPECT_FALSE(h.ctx.salvagePending());
+}
+
+TEST_F(AdaptiveFixture, DeclineDropsSuspects) {
+  // More than half the DB updated: the client's Tlb is hopeless.
+  for (db::ItemId i = 0; i < 600; ++i) hist.record(i, 20.0 + i * 0.1);
+  h.cacheItem(700, 10.0);
+  h.ctx.setLastHeard(10.0);
+
+  const auto out = client.onReport(*afw.buildReport(500.0), h.ctx);
+  ASSERT_TRUE(out.sendCheck);
+  afw.onCheckMessage(out.check, 505.0);
+  h.ctx.setCheckDeliveredAt(505.0);
+  const auto r2 = afw.buildReport(520.0);  // server declines: plain window
+  ASSERT_EQ(r2->kind, report::ReportKind::kTsWindow);
+  client.onReport(*r2, h.ctx);
+  EXPECT_EQ(h.ctx.cache().size(), 0u);  // suspects dropped
+  EXPECT_FALSE(h.ctx.salvagePending());
+}
+
+TEST_F(AdaptiveFixture, ReportBuiltBeforeDeliveryDoesNotDrop) {
+  h.cacheItem(1, 100.0);
+  h.ctx.setLastHeard(120.0);
+  const auto out = client.onReport(*afw.buildReport(500.0), h.ctx);
+  ASSERT_TRUE(out.sendCheck);
+  // The next report (520) was built before our Tlb arrived (525): the
+  // client must keep waiting, not give up.
+  const auto r2 = afw.buildReport(520.0);
+  h.ctx.setCheckDeliveredAt(525.0);
+  client.onReport(*r2, h.ctx);
+  EXPECT_EQ(h.ctx.cache().suspectCount(), 1u);
+  EXPECT_TRUE(h.ctx.salvagePending());
+}
+
+TEST_F(AdaptiveFixture, PiggybackOnAnotherClientsBs) {
+  // A BS report triggered by someone else salvages this client before it
+  // even sends its own Tlb.
+  h.cacheItem(2, 100.0);
+  h.ctx.setLastHeard(120.0);
+  afw.onCheckMessage(tlbMsg(100.0), 490.0);  // some other client's feedback
+  const auto r = afw.buildReport(500.0);
+  ASSERT_EQ(r->kind, report::ReportKind::kBitSeq);
+  const auto out = client.onReport(*r, h.ctx);
+  EXPECT_FALSE(out.sendCheck);  // never needed the uplink
+  EXPECT_TRUE(h.ctx.cache().contains(2));
+  EXPECT_EQ(h.ctx.cache().suspectCount(), 0u);
+}
+
+TEST_F(AdaptiveFixture, EmptyCacheGapStaysQuiet) {
+  h.ctx.setLastHeard(120.0);
+  const auto out = client.onReport(*afw.buildReport(500.0), h.ctx);
+  EXPECT_FALSE(out.sendCheck);
+  EXPECT_FALSE(h.ctx.salvagePending());
+}
+
+TEST_F(AdaptiveFixture, SuspectsStillObeyListedRecords) {
+  // While waiting for help, explicit window records keep invalidating.
+  h.cacheItem(1, 100.0);
+  h.cacheItem(2, 100.0);
+  h.ctx.setLastHeard(120.0);
+  client.onReport(*afw.buildReport(500.0), h.ctx);
+  hist.record(1, 510.0);
+  client.onReport(*afw.buildReport(520.0), h.ctx);
+  EXPECT_FALSE(h.ctx.cache().contains(1));
+  EXPECT_EQ(h.ctx.cache().suspectCount(), 1u);
+}
+
+}  // namespace
+}  // namespace mci::core

@@ -1,0 +1,169 @@
+#include "core/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+
+namespace mci::core {
+namespace {
+
+TEST(Analysis, IrShareGrowsLinearlyForBs) {
+  SimConfig cfg;
+  cfg.scheme = schemes::SchemeKind::kBs;
+  cfg.dbSize = 10000;
+  const auto small = analyze(cfg);
+  cfg.dbSize = 80000;
+  const auto large = analyze(cfg);
+  // 2N bits per 20 s at 10 kbps: ~10% at N=10000, ~80% at N=80000.
+  EXPECT_NEAR(small.irShare, 0.10, 0.02);
+  EXPECT_NEAR(large.irShare, 0.80, 0.03);
+  EXPECT_LT(large.dataCapacityPerSecond, small.dataCapacityPerSecond / 3);
+}
+
+TEST(Analysis, WindowReportsAreCheapAtAnyDatabaseSize) {
+  SimConfig cfg;
+  cfg.scheme = schemes::SchemeKind::kAaw;
+  cfg.dbSize = 80000;
+  const auto m = analyze(cfg);
+  EXPECT_LT(m.irShare, 0.01);
+}
+
+TEST(Analysis, UniformWorkloadMissesEverything) {
+  SimConfig cfg;
+  const auto m = analyze(cfg);
+  EXPECT_DOUBLE_EQ(m.expectedMissRatio, 1.0);
+}
+
+TEST(Analysis, HotColdMissRatioTracksCacheCoverage) {
+  SimConfig cfg;
+  cfg.workload = WorkloadKind::kHotCold;
+  cfg.dbSize = 10000;            // cache 200 >= hot 100: full coverage
+  cfg.hotQuery = {0, 100, 0.8};
+  EXPECT_NEAR(analyze(cfg).expectedMissRatio, 0.2, 1e-9);
+  cfg.dbSize = 2500;             // cache 50 < hot 100: half coverage
+  EXPECT_NEAR(analyze(cfg).expectedMissRatio, 1.0 - 0.8 * 0.5, 1e-9);
+}
+
+TEST(Analysis, DemandReflectsDozeTime) {
+  SimConfig cfg;
+  cfg.disconnectProb = 0.0;
+  const auto active = analyze(cfg);
+  cfg.disconnectProb = 0.5;
+  cfg.meanDisconnectTime = 4000.0;
+  const auto sleepy = analyze(cfg);
+  EXPECT_GT(active.demandQueriesPerSecond,
+            5.0 * sleepy.demandQueriesPerSecond);
+}
+
+TEST(Analysis, ThroughputIsTheBindingConstraint) {
+  SimConfig cfg;  // UNIFORM: capacity-limited at defaults
+  const auto m = analyze(cfg);
+  EXPECT_LE(m.throughputQueriesPerSecond, m.demandQueriesPerSecond + 1e-12);
+  EXPECT_LE(m.throughputQueriesPerSecond * 1.0,
+            m.dataCapacityPerSecond + 1e-12);
+}
+
+// ---- theory vs. simulation ----
+
+struct TheoryVsSim : ::testing::TestWithParam<schemes::SchemeKind> {};
+
+TEST_P(TheoryVsSim, PredictsFullScaleThroughputWithin25Percent) {
+  SimConfig cfg;
+  cfg.scheme = GetParam();
+  cfg.simTime = 50000.0;
+  cfg.dbSize = 10000;
+  cfg.meanDisconnectTime = 400.0;
+  cfg.seed = 23;
+  const double predicted = analyze(cfg).predictedQueries(cfg.simTime);
+  const double measured = Simulation(cfg).run().throughput();
+  EXPECT_NEAR(measured, predicted, 0.25 * predicted)
+      << "predicted " << predicted << ", measured " << measured;
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, TheoryVsSim,
+                         ::testing::Values(schemes::SchemeKind::kAaw,
+                                           schemes::SchemeKind::kTsChecking,
+                                           schemes::SchemeKind::kBs,
+                                           schemes::SchemeKind::kTs),
+                         [](const auto& info) {
+                           std::string n = schemes::schemeName(info.param);
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(Analysis, PredictsTheBsCollapseFactor) {
+  SimConfig cfg;
+  cfg.scheme = schemes::SchemeKind::kBs;
+  cfg.simTime = 50000.0;
+  cfg.meanDisconnectTime = 400.0;
+  cfg.seed = 23;
+
+  cfg.dbSize = 10000;
+  const double pSmall = analyze(cfg).predictedQueries(cfg.simTime);
+  const double mSmall = Simulation(cfg).run().throughput();
+  cfg.dbSize = 80000;
+  const double pLarge = analyze(cfg).predictedQueries(cfg.simTime);
+  const double mLarge = Simulation(cfg).run().throughput();
+
+  const double predictedCollapse = pLarge / pSmall;
+  const double measuredCollapse = mLarge / mSmall;
+  EXPECT_NEAR(measuredCollapse, predictedCollapse, 0.15)
+      << "predicted x" << predictedCollapse << ", measured x"
+      << measuredCollapse;
+}
+
+TEST(Analysis, UplinkPredictionMatchesTheOrdering) {
+  SimConfig cfg;
+  cfg.meanDisconnectTime = 400.0;
+  cfg.scheme = schemes::SchemeKind::kBs;
+  EXPECT_DOUBLE_EQ(analyze(cfg).uplinkCheckBitsPerQuery, 0.0);
+  cfg.scheme = schemes::SchemeKind::kAaw;
+  const double aaw = analyze(cfg).uplinkCheckBitsPerQuery;
+  cfg.scheme = schemes::SchemeKind::kGcore;
+  const double gcore = analyze(cfg).uplinkCheckBitsPerQuery;
+  cfg.scheme = schemes::SchemeKind::kTsChecking;
+  const double check = analyze(cfg).uplinkCheckBitsPerQuery;
+  EXPECT_GT(aaw, 0.0);
+  EXPECT_GT(gcore, aaw);
+  EXPECT_GT(check, gcore);
+}
+
+TEST(Analysis, UplinkPredictionWithinFactorTwoOfSimulation) {
+  SimConfig cfg;
+  cfg.scheme = schemes::SchemeKind::kAaw;
+  cfg.simTime = 50000.0;
+  cfg.meanDisconnectTime = 400.0;
+  cfg.seed = 23;
+  const double predicted = analyze(cfg).uplinkCheckBitsPerQuery;
+  const double measured =
+      Simulation(cfg).run().uplinkCheckBitsPerQuery();
+  EXPECT_GT(measured, predicted / 2.0);
+  EXPECT_LT(measured, predicted * 2.0);
+}
+
+TEST(Analysis, UplinkPredictionGrowsWithDisconnectionProbability) {
+  SimConfig cfg;
+  cfg.scheme = schemes::SchemeKind::kTsChecking;
+  cfg.meanDisconnectTime = 400.0;
+  cfg.disconnectProb = 0.1;
+  const double low = analyze(cfg).uplinkCheckBitsPerQuery;
+  cfg.disconnectProb = 0.8;
+  const double high = analyze(cfg).uplinkCheckBitsPerQuery;
+  EXPECT_GT(high, 3.0 * low);
+}
+
+TEST(Analysis, MultiChannelCapacityAddsUp) {
+  SimConfig cfg;
+  cfg.scheme = schemes::SchemeKind::kBs;
+  cfg.dbSize = 40000;
+  const auto shared = analyze(cfg);
+  cfg.dataChannelBps = {10000.0};
+  const auto split = analyze(cfg);
+  // A dedicated 10 kbps data channel beats the BS-taxed shared channel.
+  EXPECT_GT(split.dataCapacityPerSecond, shared.dataCapacityPerSecond);
+}
+
+}  // namespace
+}  // namespace mci::core

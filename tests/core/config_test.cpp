@@ -1,0 +1,100 @@
+#include "core/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mci::core {
+namespace {
+
+TEST(SimConfig, Table1DefaultsValidate) {
+  SimConfig cfg;
+  EXPECT_NO_THROW(cfg.validate());
+  // Spot-check the Table 1 values.
+  EXPECT_DOUBLE_EQ(cfg.simTime, 100000.0);
+  EXPECT_EQ(cfg.numClients, 100u);
+  EXPECT_DOUBLE_EQ(cfg.broadcastPeriod, 20.0);
+  EXPECT_DOUBLE_EQ(cfg.downlinkBps, 10000.0);
+  EXPECT_EQ(cfg.dataItemBytes, 8192u);
+  EXPECT_EQ(cfg.controlMessageBytes, 512u);
+  EXPECT_DOUBLE_EQ(cfg.meanThinkTime, 100.0);
+  EXPECT_DOUBLE_EQ(cfg.meanUpdateInterarrival, 100.0);
+  EXPECT_DOUBLE_EQ(cfg.meanItemsPerUpdate, 5.0);
+  EXPECT_EQ(cfg.windowIntervals, 10);
+}
+
+TEST(SimConfig, CacheCapacityIsBufferFraction) {
+  SimConfig cfg;
+  cfg.dbSize = 10000;
+  cfg.clientBufferFrac = 0.02;
+  EXPECT_EQ(cfg.cacheCapacity(), 200u);
+  cfg.clientBufferFrac = 0.01;
+  EXPECT_EQ(cfg.cacheCapacity(), 100u);
+  cfg.dbSize = 10;
+  cfg.clientBufferFrac = 0.01;
+  EXPECT_EQ(cfg.cacheCapacity(), 1u);  // never zero
+}
+
+TEST(SimConfig, SizeModelMirrorsConfig) {
+  SimConfig cfg;
+  cfg.dbSize = 4096;
+  cfg.numClients = 64;
+  cfg.timestampBits = 48;
+  const auto m = cfg.sizeModel();
+  EXPECT_EQ(m.numItems, 4096u);
+  EXPECT_EQ(m.numClients, 64u);
+  EXPECT_EQ(m.timestampBits, 48);
+  EXPECT_EQ(m.dataItemBytes, 8192u);
+}
+
+TEST(SimConfig, RejectsBadValues) {
+  auto expectThrow = [](auto mutate) {
+    SimConfig cfg;
+    mutate(cfg);
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  };
+  expectThrow([](SimConfig& c) { c.simTime = 0; });
+  expectThrow([](SimConfig& c) { c.numClients = 0; });
+  expectThrow([](SimConfig& c) { c.dbSize = 1; });
+  expectThrow([](SimConfig& c) { c.broadcastPeriod = -1; });
+  expectThrow([](SimConfig& c) { c.downlinkBps = 0; });
+  expectThrow([](SimConfig& c) { c.uplinkBps = 0; });
+  expectThrow([](SimConfig& c) { c.clientBufferFrac = 0; });
+  expectThrow([](SimConfig& c) { c.clientBufferFrac = 1.5; });
+  expectThrow([](SimConfig& c) { c.meanItemsPerQuery = 0.5; });
+  expectThrow([](SimConfig& c) { c.disconnectProb = -0.1; });
+  expectThrow([](SimConfig& c) { c.disconnectProb = 1.1; });
+  expectThrow([](SimConfig& c) { c.windowIntervals = 0; });
+  expectThrow([](SimConfig& c) { c.timestampBits = 0; });
+  expectThrow([](SimConfig& c) {
+    c.workload = WorkloadKind::kHotCold;
+    c.hotQuery = {50, 50, 0.8};
+  });
+  expectThrow([](SimConfig& c) {
+    c.workload = WorkloadKind::kHotCold;
+    c.dbSize = 50;
+    c.hotQuery = {0, 100, 0.8};
+  });
+  expectThrow([](SimConfig& c) {
+    c.scheme = schemes::SchemeKind::kSig;
+    c.sigSubsets = 0;
+  });
+}
+
+TEST(SimConfig, DescribeMentionsKeyParameters) {
+  SimConfig cfg;
+  cfg.scheme = schemes::SchemeKind::kAfw;
+  cfg.workload = WorkloadKind::kHotCold;
+  const std::string d = cfg.describe();
+  EXPECT_NE(d.find("AFW"), std::string::npos);
+  EXPECT_NE(d.find("HOTCOLD"), std::string::npos);
+  EXPECT_NE(d.find("N=10000"), std::string::npos);
+}
+
+TEST(WorkloadKind, Names) {
+  EXPECT_STREQ(workloadName(WorkloadKind::kUniform), "UNIFORM");
+  EXPECT_STREQ(workloadName(WorkloadKind::kHotCold), "HOTCOLD");
+}
+
+}  // namespace
+}  // namespace mci::core

@@ -1,0 +1,68 @@
+#include "db/database.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mci::db {
+namespace {
+
+TEST(Database, FreshItemsAreVersionZero) {
+  Database db(10);
+  EXPECT_EQ(db.size(), 10u);
+  for (ItemId i = 0; i < 10; ++i) {
+    EXPECT_EQ(db.currentVersion(i), 0u);
+    EXPECT_DOUBLE_EQ(db.lastUpdateTime(i), sim::kTimeEpoch);
+  }
+  EXPECT_EQ(db.totalUpdates(), 0u);
+}
+
+TEST(Database, UpdateBumpsVersionAndTime) {
+  Database db(4);
+  db.applyUpdate(2, 5.0);
+  EXPECT_EQ(db.currentVersion(2), 1u);
+  EXPECT_DOUBLE_EQ(db.lastUpdateTime(2), 5.0);
+  EXPECT_EQ(db.currentVersion(1), 0u);
+  EXPECT_EQ(db.totalUpdates(), 1u);
+}
+
+TEST(Database, VersionAtWalksHistory) {
+  Database db(2);
+  db.applyUpdate(0, 10.0);
+  db.applyUpdate(0, 20.0);
+  db.applyUpdate(0, 30.0);
+  EXPECT_EQ(db.versionAt(0, 5.0), 0u);
+  EXPECT_EQ(db.versionAt(0, 10.0), 1u);  // inclusive at the update instant
+  EXPECT_EQ(db.versionAt(0, 15.0), 1u);
+  EXPECT_EQ(db.versionAt(0, 25.0), 2u);
+  EXPECT_EQ(db.versionAt(0, 30.0), 3u);
+  EXPECT_EQ(db.versionAt(0, 1e9), 3u);
+}
+
+TEST(Database, VersionAtForUntouchedItemIsZero) {
+  Database db(2);
+  EXPECT_EQ(db.versionAt(1, 100.0), 0u);
+}
+
+TEST(Database, IndependentItemHistories) {
+  Database db(3);
+  db.applyUpdate(0, 1.0);
+  db.applyUpdate(1, 2.0);
+  db.applyUpdate(0, 3.0);
+  EXPECT_EQ(db.currentVersion(0), 2u);
+  EXPECT_EQ(db.currentVersion(1), 1u);
+  EXPECT_EQ(db.versionAt(1, 1.5), 0u);
+  EXPECT_EQ(db.totalUpdates(), 3u);
+}
+
+TEST(Database, TiedUpdateTimesAllowed) {
+  // A transaction updates several items at the same instant, and may even
+  // update the same item twice at one instant.
+  Database db(2);
+  db.applyUpdate(0, 5.0);
+  db.applyUpdate(0, 5.0);
+  EXPECT_EQ(db.currentVersion(0), 2u);
+  EXPECT_EQ(db.versionAt(0, 5.0), 2u);
+  EXPECT_EQ(db.versionAt(0, 4.999), 0u);
+}
+
+}  // namespace
+}  // namespace mci::db

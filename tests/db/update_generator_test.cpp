@@ -1,0 +1,119 @@
+#include "db/update_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace mci::db {
+namespace {
+
+struct Fixture {
+  sim::Simulator sim;
+  Database db{100};
+  UpdateHistory history{100};
+};
+
+UpdateGenerator::ItemPicker uniformPicker(std::size_t n) {
+  return [n](sim::Rng& rng) {
+    return static_cast<ItemId>(rng.uniformInt(0, static_cast<std::int64_t>(n) - 1));
+  };
+}
+
+TEST(UpdateGenerator, ProducesUpdatesOverTime) {
+  Fixture f;
+  UpdateGenerator::Params p;
+  p.meanInterarrival = 10.0;
+  p.meanItemsPerTxn = 5.0;
+  UpdateGenerator gen(f.sim, f.db, f.history, p, uniformPicker(100),
+                      sim::Rng(1));
+  gen.start();
+  f.sim.runUntil(10000.0);
+  EXPECT_GT(gen.transactions(), 0u);
+  EXPECT_EQ(f.db.totalUpdates(), gen.itemUpdates());
+  EXPECT_GT(f.history.distinctUpdated(), 0u);
+}
+
+TEST(UpdateGenerator, TransactionRateMatchesMean) {
+  Fixture f;
+  UpdateGenerator::Params p;
+  p.meanInterarrival = 10.0;
+  UpdateGenerator gen(f.sim, f.db, f.history, p, uniformPicker(100),
+                      sim::Rng(2));
+  gen.start();
+  f.sim.runUntil(100000.0);
+  // ~10000 transactions expected.
+  EXPECT_NEAR(static_cast<double>(gen.transactions()), 10000.0, 500.0);
+}
+
+TEST(UpdateGenerator, ItemsPerTransactionMatchesMean) {
+  Fixture f;
+  UpdateGenerator::Params p;
+  p.meanInterarrival = 1.0;
+  p.meanItemsPerTxn = 5.0;
+  UpdateGenerator gen(f.sim, f.db, f.history, p, uniformPicker(100),
+                      sim::Rng(3));
+  gen.start();
+  f.sim.runUntil(20000.0);
+  const double perTxn = static_cast<double>(gen.itemUpdates()) /
+                        static_cast<double>(gen.transactions());
+  EXPECT_NEAR(perTxn, 5.0, 0.2);
+}
+
+TEST(UpdateGenerator, EveryTransactionWritesAtLeastOneItem) {
+  Fixture f;
+  UpdateGenerator::Params p;
+  p.meanInterarrival = 1.0;
+  p.meanItemsPerTxn = 1.0;  // Poisson(0): always exactly one item
+  UpdateGenerator gen(f.sim, f.db, f.history, p, uniformPicker(100),
+                      sim::Rng(4));
+  gen.start();
+  f.sim.runUntil(1000.0);
+  EXPECT_EQ(gen.itemUpdates(), gen.transactions());
+}
+
+TEST(UpdateGenerator, HookSeesEveryUpdate) {
+  Fixture f;
+  UpdateGenerator::Params p;
+  p.meanInterarrival = 5.0;
+  UpdateGenerator gen(f.sim, f.db, f.history, p, uniformPicker(100),
+                      sim::Rng(5));
+  std::uint64_t hookCalls = 0;
+  gen.setUpdateHook([&](ItemId item, sim::SimTime now) {
+    ++hookCalls;
+    // The hook runs after the database applied the update.
+    EXPECT_GT(f.db.currentVersion(item), 0u);
+    EXPECT_DOUBLE_EQ(f.db.lastUpdateTime(item), now);
+  });
+  gen.start();
+  f.sim.runUntil(2000.0);
+  EXPECT_EQ(hookCalls, gen.itemUpdates());
+}
+
+TEST(UpdateGenerator, DeterministicForSameSeed) {
+  auto run = [](std::uint64_t seed) {
+    Fixture f;
+    UpdateGenerator gen(f.sim, f.db, f.history, {}, uniformPicker(100),
+                        sim::Rng(seed));
+    gen.start();
+    f.sim.runUntil(50000.0);
+    return std::pair(gen.transactions(), f.db.totalUpdates());
+  };
+  EXPECT_EQ(run(9), run(9));
+  EXPECT_NE(run(9), run(10));
+}
+
+TEST(UpdateGenerator, PickerControlsTargets) {
+  Fixture f;
+  UpdateGenerator gen(
+      f.sim, f.db, f.history, {},
+      [](sim::Rng&) { return ItemId{42}; }, sim::Rng(6));
+  gen.start();
+  f.sim.runUntil(5000.0);
+  EXPECT_EQ(f.history.distinctUpdated(), 1u);
+  EXPECT_GT(f.db.currentVersion(42), 0u);
+  EXPECT_EQ(f.db.currentVersion(41), 0u);
+}
+
+}  // namespace
+}  // namespace mci::db

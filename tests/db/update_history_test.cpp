@@ -1,0 +1,136 @@
+#include "db/update_history.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <vector>
+
+namespace mci::db {
+namespace {
+
+TEST(UpdateHistory, EmptyHistory) {
+  UpdateHistory h(10);
+  EXPECT_EQ(h.distinctUpdated(), 0u);
+  EXPECT_DOUBLE_EQ(h.lastUpdateTime(), sim::kTimeEpoch);
+  EXPECT_TRUE(h.updatesAfter(0.0).empty());
+  EXPECT_EQ(h.countUpdatesAfter(0.0), 0u);
+  EXPECT_TRUE(h.mostRecent(5).empty());
+}
+
+TEST(UpdateHistory, RecordsMostRecentFirst) {
+  UpdateHistory h(10);
+  h.record(3, 1.0);
+  h.record(7, 2.0);
+  h.record(5, 3.0);
+  const auto recent = h.mostRecent(10);
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_EQ(recent[0].item, 5u);
+  EXPECT_EQ(recent[1].item, 7u);
+  EXPECT_EQ(recent[2].item, 3u);
+  EXPECT_DOUBLE_EQ(recent[0].time, 3.0);
+}
+
+TEST(UpdateHistory, ReUpdateMovesToFront) {
+  UpdateHistory h(10);
+  h.record(1, 1.0);
+  h.record(2, 2.0);
+  h.record(1, 3.0);
+  EXPECT_EQ(h.distinctUpdated(), 2u);
+  const auto recent = h.mostRecent(10);
+  ASSERT_EQ(recent.size(), 2u);
+  EXPECT_EQ(recent[0].item, 1u);
+  EXPECT_DOUBLE_EQ(recent[0].time, 3.0);
+  EXPECT_EQ(recent[1].item, 2u);
+}
+
+TEST(UpdateHistory, UpdatesAfterIsStrict) {
+  UpdateHistory h(10);
+  h.record(1, 10.0);
+  h.record(2, 20.0);
+  EXPECT_EQ(h.updatesAfter(20.0).size(), 0u);  // strictly after
+  EXPECT_EQ(h.updatesAfter(19.9).size(), 1u);
+  EXPECT_EQ(h.updatesAfter(5.0).size(), 2u);
+  EXPECT_EQ(h.countUpdatesAfter(9.9), 2u);
+  EXPECT_EQ(h.countUpdatesAfter(10.0), 1u);
+}
+
+TEST(UpdateHistory, MostRecentTruncates) {
+  UpdateHistory h(10);
+  for (ItemId i = 0; i < 6; ++i) h.record(i, static_cast<double>(i));
+  EXPECT_EQ(h.mostRecent(3).size(), 3u);
+  EXPECT_EQ(h.mostRecent(3)[0].item, 5u);
+  EXPECT_EQ(h.mostRecent(0).size(), 0u);
+}
+
+TEST(UpdateHistory, LastUpdateOf) {
+  UpdateHistory h(5);
+  EXPECT_DOUBLE_EQ(h.lastUpdateOf(3), sim::kTimeEpoch);
+  h.record(3, 7.0);
+  EXPECT_DOUBLE_EQ(h.lastUpdateOf(3), 7.0);
+  h.record(3, 9.0);
+  EXPECT_DOUBLE_EQ(h.lastUpdateOf(3), 9.0);
+}
+
+TEST(UpdateHistory, TiedTimestampsPreserved) {
+  UpdateHistory h(10);
+  h.record(1, 5.0);
+  h.record(2, 5.0);
+  h.record(3, 5.0);
+  const auto recent = h.mostRecent(10);
+  ASSERT_EQ(recent.size(), 3u);
+  // Most recently *recorded* first among ties.
+  EXPECT_EQ(recent[0].item, 3u);
+  EXPECT_EQ(recent[2].item, 1u);
+  EXPECT_EQ(h.updatesAfter(4.999).size(), 3u);
+  EXPECT_EQ(h.updatesAfter(5.0).size(), 0u);
+}
+
+// Property: the history must agree with a brute-force reference model on
+// random update streams.
+TEST(UpdateHistory, RandomizedAgainstReference) {
+  std::mt19937_64 rng(77);
+  for (int round = 0; round < 10; ++round) {
+    const std::size_t n = 50;
+    UpdateHistory h(n);
+    std::map<ItemId, double> ref;  // item -> last update time
+    double t = 0;
+    for (int i = 0; i < 400; ++i) {
+      t += static_cast<double>(rng() % 100) / 10.0;
+      const auto item = static_cast<ItemId>(rng() % n);
+      h.record(item, t);
+      ref[item] = t;
+    }
+    EXPECT_EQ(h.distinctUpdated(), ref.size());
+
+    // Reference order: by last update time desc (ties broken by recency of
+    // record, which the map cannot express — avoid tie times by
+    // construction? they can occur with dt=0; compare as sets per time).
+    const double probe = t * static_cast<double>(rng() % 100) / 100.0;
+    auto got = h.updatesAfter(probe);
+    std::vector<ItemId> gotItems;
+    for (const auto& r : got) {
+      gotItems.push_back(r.item);
+      EXPECT_GT(r.time, probe);
+      EXPECT_DOUBLE_EQ(r.time, ref[r.item]);
+    }
+    std::vector<ItemId> want;
+    for (const auto& [item, time] : ref) {
+      if (time > probe) want.push_back(item);
+    }
+    std::sort(gotItems.begin(), gotItems.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(gotItems, want);
+    EXPECT_EQ(h.countUpdatesAfter(probe), want.size());
+
+    // mostRecent(k) must be sorted by time desc.
+    auto recent = h.mostRecent(20);
+    for (std::size_t i = 1; i < recent.size(); ++i) {
+      EXPECT_GE(recent[i - 1].time, recent[i].time);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mci::db

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+
+namespace mci::core {
+namespace {
+
+SimConfig base() {
+  SimConfig cfg;
+  cfg.simTime = 10000.0;
+  cfg.numClients = 20;
+  cfg.dbSize = 500;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(EndToEnd, ReportsGoOutAtExactPeriods) {
+  auto cfg = base();
+  cfg.scheme = schemes::SchemeKind::kBs;  // the fattest reports
+  cfg.dbSize = 2000;
+  Simulation sim(cfg);
+  sim.runUntil(cfg.simTime);
+  const auto r = sim.snapshot();
+  // 10000 / 20 = 500 reports built; the one built exactly at the horizon
+  // has not finished transmitting, so 499 complete deliveries.
+  EXPECT_EQ(r.downlink.irCount, 499u);
+  // Each completed report cost exactly the BS wire size.
+  const double perReport =
+      r.downlink.irBits / static_cast<double>(r.downlink.irCount);
+  EXPECT_NEAR(perReport, cfg.sizeModel().bsReportBits(), 1.0);
+}
+
+TEST(EndToEnd, QueriesWaitForTheNextReport) {
+  // With no updates, no disconnections and an empty cache, every query
+  // still waits for a report before going uplink, so minimum latency spans
+  // the report wait plus the fetch time.
+  auto cfg = base();
+  cfg.scheme = schemes::SchemeKind::kTs;
+  cfg.disconnectProb = 0.0;
+  cfg.meanUpdateInterarrival = 1e9;  // effectively no updates
+  Simulation sim(cfg);
+  const auto r = Simulation(cfg).run();
+  const double fetchSeconds =
+      cfg.sizeModel().dataItemBits() / cfg.downlinkBps;
+  EXPECT_GE(r.avgQueryLatency, fetchSeconds);
+  EXPECT_EQ(r.staleReads, 0u);
+}
+
+TEST(EndToEnd, CacheWarmsUpAndServesHits) {
+  auto cfg = base();
+  cfg.scheme = schemes::SchemeKind::kAaw;
+  cfg.workload = WorkloadKind::kHotCold;
+  cfg.hotQuery = {0, 20, 0.9};
+  cfg.clientBufferFrac = 0.1;  // 50 entries: hot set fits
+  cfg.disconnectProb = 0.0;
+  cfg.meanUpdateInterarrival = 1e9;
+  const auto r = Simulation(cfg).run();
+  // Hot items are re-read constantly: the hit ratio must approach the hot
+  // probability.
+  EXPECT_GT(r.hitRatio(), 0.5);
+}
+
+TEST(EndToEnd, UpdatesInvalidateCachesUnderContinuousConnection) {
+  auto cfg = base();
+  cfg.scheme = schemes::SchemeKind::kTs;
+  cfg.disconnectProb = 0.0;
+  cfg.workload = WorkloadKind::kHotCold;
+  cfg.hotQuery = {0, 20, 0.9};
+  cfg.clientBufferFrac = 0.1;
+  cfg.meanUpdateInterarrival = 50.0;  // brisk updates
+  const auto r = Simulation(cfg).run();
+  EXPECT_GT(r.invalidations, 0u);
+  EXPECT_EQ(r.staleReads, 0u);
+  // Connected clients processing every window report never false-drop:
+  // every invalidation matches a real update... except items refetched
+  // between the update and the report, which are rare here.
+  EXPECT_LT(r.falseInvalidations, r.invalidations / 10 + 5);
+}
+
+TEST(EndToEnd, ClientStateMachineVisibleThroughAccessors) {
+  auto cfg = base();
+  Simulation sim(cfg);
+  sim.runUntil(500.0);
+  EXPECT_EQ(sim.clientCount(), 20u);
+  std::size_t connected = 0;
+  for (std::size_t i = 0; i < sim.clientCount(); ++i) {
+    if (sim.client(i).connected()) ++connected;
+  }
+  EXPECT_GT(connected, 0u);
+  // Queries have completed somewhere.
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < sim.clientCount(); ++i) {
+    total += sim.client(i).queriesCompleted();
+  }
+  EXPECT_EQ(total, sim.snapshot().queriesCompleted);
+}
+
+TEST(EndToEnd, SaturatedDownlinkBoundsThroughput) {
+  // 8192-byte items over 10 kbps: max ~<time>/6.55 fetches. With a cold
+  // uniform cache, completed queries can never exceed that bound by much.
+  auto cfg = base();
+  cfg.scheme = schemes::SchemeKind::kTs;
+  cfg.dbSize = 5000;
+  cfg.numClients = 100;
+  cfg.disconnectProb = 0.0;
+  const auto r = Simulation(cfg).run();
+  const double maxFetches =
+      cfg.simTime / (cfg.sizeModel().dataItemBits() / cfg.downlinkBps);
+  // Completed item downloads are capped by the channel capacity (misses
+  // themselves can exceed it: the tail is still queued at the horizon).
+  EXPECT_LE(static_cast<double>(r.downlink.bulkCount), maxFetches + 1);
+  EXPECT_GT(static_cast<double>(r.downlink.bulkCount), maxFetches * 0.5);
+  EXPECT_GE(r.cacheMisses, r.downlink.bulkCount);
+}
+
+TEST(EndToEnd, DozeTimeIsSubstantialWhenDisconnectionsAreLong) {
+  auto cfg = base();
+  cfg.disconnectProb = 0.2;
+  cfg.meanDisconnectTime = 1000.0;
+  const auto r = Simulation(cfg).run();
+  EXPECT_GT(r.dozeSeconds, cfg.simTime);  // 20 clients x long dozes
+  EXPECT_EQ(r.staleReads, 0u);
+}
+
+TEST(EndToEnd, WindowSizeChangesTsCoverage) {
+  auto cfg = base();
+  cfg.scheme = schemes::SchemeKind::kTs;
+  cfg.meanDisconnectTime = 300.0;
+  cfg.disconnectProb = 0.3;
+  cfg.windowIntervals = 1;
+  const auto narrow = Simulation(cfg).run();
+  cfg.windowIntervals = 50;  // 1000 s window covers most dozes
+  const auto wide = Simulation(cfg).run();
+  // A wider window drops far fewer caches.
+  EXPECT_LT(wide.entriesDropped, narrow.entriesDropped);
+}
+
+}  // namespace
+}  // namespace mci::core

@@ -1,0 +1,90 @@
+// Automated shape regression for the reproduced figures: each test runs a
+// figure through the real registry (reduced x-grid and population so the
+// suite stays fast) and asserts the qualitative claims the paper makes
+// about that figure. If a refactor bends a curve the wrong way, this is
+// the suite that catches it — at full scale the bench binaries show the
+// same shapes with the Table 1 parameters.
+
+#include <gtest/gtest.h>
+
+#include "runner/figures.hpp"
+
+namespace mci::runner {
+namespace {
+
+constexpr std::size_t kAaw = 0;   // series order = kPaperSchemes
+constexpr std::size_t kAfw = 1;
+constexpr std::size_t kCheck = 2;
+constexpr std::size_t kBs = 3;
+
+metrics::FigureData runReduced(int number, std::vector<double> xs,
+                               double simTime = 20000.0) {
+  FigureSpec spec = figureByNumber(number);
+  spec.sweep.xs = std::move(xs);
+  spec.sweep.base.numClients = 50;
+  RunOptions opts;
+  opts.simTime = simTime;
+  opts.quiet = true;
+  return runFigure(spec, opts);
+}
+
+double first(const metrics::FigureData& d, std::size_t series) {
+  return d.series[series].ys.front();
+}
+double last(const metrics::FigureData& d, std::size_t series) {
+  return d.series[series].ys.back();
+}
+
+TEST(FigureShapes, Fig5_BsCollapsesOthersHold) {
+  const auto d = runReduced(5, {1000, 20000, 60000});
+  EXPECT_LT(last(d, kBs), 0.6 * first(d, kBs));
+  EXPECT_GT(last(d, kAaw), 0.85 * first(d, kAaw));
+  EXPECT_GT(last(d, kCheck), 0.85 * first(d, kCheck));
+  // At the large end the adaptives clearly beat BS.
+  EXPECT_GT(last(d, kAaw), 1.3 * last(d, kBs));
+}
+
+TEST(FigureShapes, Fig6_UplinkOrderingAndBsZero) {
+  const auto d = runReduced(6, {1000, 20000, 60000});
+  for (std::size_t i = 0; i < d.xs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(d.series[kBs].ys[i], 0.0);
+    EXPECT_GT(d.series[kCheck].ys[i], 5.0 * d.series[kAaw].ys[i]);
+    EXPECT_GT(d.series[kAaw].ys[i], 0.0);
+  }
+}
+
+TEST(FigureShapes, Fig8_CheckCostClimbsWithDisconnection) {
+  const auto d = runReduced(8, {0.1, 0.4, 0.8});
+  EXPECT_GT(last(d, kCheck), 2.0 * first(d, kCheck));
+  EXPECT_GT(last(d, kAaw), first(d, kAaw));
+  EXPECT_DOUBLE_EQ(last(d, kBs), 0.0);
+}
+
+TEST(FigureShapes, Fig11_HotColdOrderingWithCacheSizeEffect) {
+  const auto d = runReduced(11, {1000, 10000, 40000}, 30000.0);
+  // Throughput rises from N=1000 (cache < hot region) to N=10000.
+  EXPECT_GT(d.series[kAaw].ys[1], d.series[kAaw].ys[0]);
+  // BS worst at the large end; AAW within 10% of TS-check everywhere.
+  EXPECT_LT(last(d, kBs), last(d, kAaw));
+  for (std::size_t i = 0; i < d.xs.size(); ++i) {
+    EXPECT_GT(d.series[kAaw].ys[i], 0.9 * d.series[kCheck].ys[i]);
+  }
+}
+
+TEST(FigureShapes, Fig15_ThinUplinkCrossover) {
+  const auto d = runReduced(15, {200, 10000}, 30000.0);
+  // At 200 bps the adaptives beat TS-checking; at full bandwidth they are
+  // within a whisker (TS-check may edge ahead).
+  EXPECT_GT(first(d, kAaw), first(d, kCheck));
+  EXPECT_GT(last(d, kCheck), 0.95 * last(d, kAaw));
+  // Thin uplink throttles everyone relative to full bandwidth.
+  EXPECT_LT(first(d, kAaw), 0.8 * last(d, kAaw));
+}
+
+TEST(FigureShapes, Fig16_HotColdCrossoverToo) {
+  const auto d = runReduced(16, {200, 10000}, 30000.0);
+  EXPECT_GT(first(d, kAaw), first(d, kCheck));
+}
+
+}  // namespace
+}  // namespace mci::runner

@@ -1,0 +1,159 @@
+#include "metrics/collector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace mci::metrics {
+namespace {
+
+struct Fixture {
+  db::Database db{100};
+  sim::Simulator sim;
+  net::Network net{sim, 1000.0, 1000.0};
+  Collector collector{db, /*auditStaleReads=*/false};
+};
+
+TEST(Collector, CountsQueryLifecycle) {
+  Fixture f;
+  f.collector.onCacheAnswer(0, 1, 0, 10.0);
+  f.collector.onCacheMiss(0);
+  f.collector.onCacheMiss(0);
+  f.collector.onQueryCompleted(0, 3.0);
+  f.collector.onQueryCompleted(0, 5.0);
+  const auto r = f.collector.finalize(100.0, f.net);
+  EXPECT_EQ(r.queriesCompleted, 2u);
+  EXPECT_EQ(r.cacheHits, 1u);
+  EXPECT_EQ(r.cacheMisses, 2u);
+  EXPECT_EQ(r.itemsReferenced, 3u);
+  EXPECT_DOUBLE_EQ(r.avgQueryLatency, 4.0);
+  EXPECT_DOUBLE_EQ(r.maxQueryLatency, 5.0);
+  EXPECT_NEAR(r.hitRatio(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Collector, ClassifiesFalseInvalidations) {
+  Fixture f;
+  f.db.applyUpdate(3, 10.0);  // version 1
+  // Invalidating version 1 while current is 1: the copy was still good.
+  f.collector.onInvalidate(0, 3, 1, 20.0);
+  // Invalidating version 0: genuinely stale.
+  f.collector.onInvalidate(0, 3, 0, 20.0);
+  const auto r = f.collector.finalize(100.0, f.net);
+  EXPECT_EQ(r.invalidations, 2u);
+  EXPECT_EQ(r.falseInvalidations, 1u);
+}
+
+TEST(Collector, DetectsStaleReads) {
+  Fixture f;
+  f.db.applyUpdate(5, 10.0);
+  f.collector.onCacheAnswer(0, 5, 0, /*validAsOf=*/20.0);  // v0 after update
+  EXPECT_EQ(f.collector.staleReads(), 1u);
+  // A copy at (or above) the consistency-point version is fine.
+  f.collector.onCacheAnswer(0, 5, 1, 20.0);
+  EXPECT_EQ(f.collector.staleReads(), 1u);
+  // Updates after the consistency point are invisible by design.
+  f.db.applyUpdate(5, 30.0);
+  f.collector.onCacheAnswer(0, 5, 1, 20.0);
+  EXPECT_EQ(f.collector.staleReads(), 1u);
+}
+
+TEST(Collector, TracksDropsAndSalvages) {
+  Fixture f;
+  f.collector.onCacheDrop(0, 10, 5.0);
+  f.collector.onCacheDrop(1, 3, 6.0);
+  f.collector.onSalvage(0, 7, 8.0);
+  const auto r = f.collector.finalize(100.0, f.net);
+  EXPECT_EQ(r.cacheDropEvents, 2u);
+  EXPECT_EQ(r.entriesDropped, 13u);
+  EXPECT_EQ(r.entriesSalvaged, 7u);
+}
+
+TEST(Collector, CountsReportKinds) {
+  Fixture f;
+  f.collector.onReportBuilt(report::ReportKind::kTsWindow);
+  f.collector.onReportBuilt(report::ReportKind::kTsWindow);
+  f.collector.onReportBuilt(report::ReportKind::kTsExtended);
+  f.collector.onReportBuilt(report::ReportKind::kBitSeq);
+  f.collector.onReportBuilt(report::ReportKind::kSignature);
+  const auto r = f.collector.finalize(100.0, f.net);
+  EXPECT_EQ(r.reportsTs, 2u);
+  EXPECT_EQ(r.reportsExtended, 1u);
+  EXPECT_EQ(r.reportsBs, 1u);
+  EXPECT_EQ(r.reportsSig, 1u);
+}
+
+TEST(Collector, DisconnectionAccounting) {
+  Fixture f;
+  f.collector.onDisconnect();
+  f.collector.onReconnect(400.0);
+  f.collector.onDisconnect();
+  f.collector.onReconnect(100.0);
+  const auto r = f.collector.finalize(100.0, f.net);
+  EXPECT_EQ(r.disconnects, 2u);
+  EXPECT_DOUBLE_EQ(r.dozeSeconds, 500.0);
+}
+
+TEST(Collector, FinalizeSnapshotsChannels) {
+  Fixture f;
+  f.net.uplink().sendCheck(64.0, [] {});
+  f.net.downlink().broadcastReport(128.0, [] {});
+  f.sim.runAll();
+  f.collector.onCheckSent();
+  f.collector.onQueryCompleted(0, 1.0);
+  const auto r = f.collector.finalize(200.0, f.net);
+  EXPECT_DOUBLE_EQ(r.uplink.controlBits, 64.0);
+  EXPECT_DOUBLE_EQ(r.downlink.irBits, 128.0);
+  EXPECT_DOUBLE_EQ(r.uplinkCheckBitsPerQuery(), 64.0);
+  EXPECT_EQ(r.checksSent, 1u);
+}
+
+TEST(Collector, ClientSpreadSummarizesThePopulation) {
+  Fixture f;
+  f.collector.setClientCount(3);
+  // Client 0: 4 queries, 3 hits / 1 miss. Client 1: 2 queries, all misses.
+  // Client 2: idle.
+  for (int i = 0; i < 3; ++i) f.collector.onCacheAnswer(0, 1, 0, 0.0);
+  f.collector.onCacheMiss(0);
+  for (int i = 0; i < 4; ++i) f.collector.onQueryCompleted(0, 1.0);
+  f.collector.onCacheMiss(1);
+  f.collector.onCacheMiss(1);
+  f.collector.onQueryCompleted(1, 1.0);
+  f.collector.onQueryCompleted(1, 1.0);
+  const auto r = f.collector.finalize(100.0, f.net);
+  EXPECT_DOUBLE_EQ(r.clients.minQueries, 0.0);
+  EXPECT_DOUBLE_EQ(r.clients.maxQueries, 4.0);
+  EXPECT_DOUBLE_EQ(r.clients.meanQueries, 2.0);
+  // Jain: (6)^2 / (3 * (16+4+0)) = 36/60 = 0.6
+  EXPECT_NEAR(r.clients.fairness, 0.6, 1e-12);
+  EXPECT_DOUBLE_EQ(r.clients.minHitRatio, 0.0);
+  EXPECT_DOUBLE_EQ(r.clients.maxHitRatio, 0.75);
+}
+
+TEST(Collector, RadioAccountingFeedsEnergyModel) {
+  Fixture f;
+  f.collector.onClientTx(1000.0);
+  f.collector.onClientRx(50000.0);
+  f.collector.onQueryCompleted(0, 1.0);
+  f.collector.onQueryCompleted(1, 1.0);
+  const auto r = f.collector.finalize(100.0, f.net);
+  EXPECT_DOUBLE_EQ(r.clientTxBits, 1000.0);
+  EXPECT_DOUBLE_EQ(r.clientRxBits, 50000.0);
+  // tx at 1e-5 J/bit + rx at 1e-6 J/bit.
+  EXPECT_NEAR(r.radioEnergyJoules(), 1000 * 1e-5 + 50000 * 1e-6, 1e-12);
+  EXPECT_NEAR(r.energyPerQueryJoules(), r.radioEnergyJoules() / 2.0, 1e-12);
+  // Custom constants.
+  EXPECT_NEAR(r.radioEnergyJoules(2.0, 1.0), 2000.0 + 50000.0, 1e-9);
+}
+
+TEST(SimResult, DerivedMetricsHandleZeroQueries) {
+  SimResult r;
+  EXPECT_DOUBLE_EQ(r.uplinkCheckBitsPerQuery(), 0.0);
+  EXPECT_DOUBLE_EQ(r.uplinkTotalBitsPerQuery(), 0.0);
+  EXPECT_DOUBLE_EQ(r.hitRatio(), 0.0);
+  EXPECT_DOUBLE_EQ(r.downlinkIrFraction(), 0.0);
+  EXPECT_DOUBLE_EQ(r.throughput(), 0.0);
+  EXPECT_DOUBLE_EQ(r.energyPerQueryJoules(), 0.0);
+}
+
+}  // namespace
+}  // namespace mci::metrics

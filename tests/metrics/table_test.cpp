@@ -1,0 +1,66 @@
+#include "metrics/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "metrics/series.hpp"
+
+namespace mci::metrics {
+namespace {
+
+TEST(Table, FormatsAlignedColumns) {
+  Table t({"x", "value"});
+  t.addRow({"1", "10"});
+  t.addRow({"1000", "2"});
+  const std::string out = t.str();
+  EXPECT_NE(out.find("   x  value"), std::string::npos);
+  EXPECT_NE(out.find("1000"), std::string::npos);
+  // Each line ends without trailing spaces beyond cells; header rule exists.
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.addRow({"1"});
+  EXPECT_NO_THROW((void)t.str());
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(3.14159, 0), "3");
+  EXPECT_EQ(Table::fmtInt(12345.6), "12346");
+}
+
+TEST(FigureData, ToTableContainsEverything) {
+  FigureData d;
+  d.title = "Figure 5. UNIFORM Workload.";
+  d.subtitle = "p=0.1";
+  d.xLabel = "Database Size";
+  d.yLabel = "No. of Queries Answered";
+  d.xs = {1000, 2000};
+  d.series = {{"AAW", {10.5, 11.5}}, {"BS", {9.0, 8.0}}};
+  const std::string out = d.toTable(1);
+  EXPECT_NE(out.find("Figure 5"), std::string::npos);
+  EXPECT_NE(out.find("p=0.1"), std::string::npos);
+  EXPECT_NE(out.find("Database Size"), std::string::npos);
+  EXPECT_NE(out.find("AAW"), std::string::npos);
+  EXPECT_NE(out.find("10.5"), std::string::npos);
+  EXPECT_NE(out.find("2000"), std::string::npos);
+}
+
+TEST(FigureData, ToCsvIsMachineReadable) {
+  FigureData d;
+  d.xLabel = "x";
+  d.xs = {1, 2};
+  d.series = {{"a", {3, 4}}, {"b", {5, 6}}};
+  EXPECT_EQ(d.toCsv(), "x,a,b\n1,3,5\n2,4,6\n");
+}
+
+TEST(FigureData, EmptySeriesRenders) {
+  FigureData d;
+  d.xLabel = "x";
+  EXPECT_NO_THROW((void)d.toTable());
+  EXPECT_EQ(d.toCsv(), "x\n");
+}
+
+}  // namespace
+}  // namespace mci::metrics

@@ -1,0 +1,170 @@
+#include "net/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace mci::net {
+namespace {
+
+using sim::Simulator;
+
+TEST(PriorityLink, SingleTransferTakesSizeOverBandwidth) {
+  Simulator s;
+  PriorityLink link(s, 1000.0);  // 1000 bps
+  double doneAt = -1;
+  link.submit(TrafficClass::kBulk, 500.0, [&] { doneAt = s.now(); });
+  s.runAll();
+  EXPECT_DOUBLE_EQ(doneAt, 0.5);
+  EXPECT_DOUBLE_EQ(link.deliveredBits(TrafficClass::kBulk), 500.0);
+  EXPECT_EQ(link.deliveredCount(TrafficClass::kBulk), 1u);
+}
+
+TEST(PriorityLink, FifoWithinClass) {
+  Simulator s;
+  PriorityLink link(s, 100.0);
+  std::vector<int> order;
+  std::vector<double> times;
+  for (int i = 0; i < 3; ++i) {
+    link.submit(TrafficClass::kBulk, 100.0, [&, i] {
+      order.push_back(i);
+      times.push_back(s.now());
+    });
+  }
+  s.runAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(PriorityLink, HigherClassPreemptsAndLowerResumes) {
+  Simulator s;
+  PriorityLink link(s, 100.0);  // 100 bps
+  double bulkDone = -1, irDone = -1;
+  // Bulk transfer of 1000 bits -> nominally 10 s.
+  link.submit(TrafficClass::kBulk, 1000.0, [&] { bulkDone = s.now(); });
+  // At t=4, an IR of 200 bits arrives: preempts for 2 s.
+  s.schedule(4.0, [&] {
+    link.submit(TrafficClass::kInvalidationReport, 200.0,
+                [&] { irDone = s.now(); });
+  });
+  s.runAll();
+  EXPECT_DOUBLE_EQ(irDone, 6.0);    // 4 + 200/100
+  EXPECT_DOUBLE_EQ(bulkDone, 12.0); // 10 + 2 s of preemption
+  // Preemptive-resume: bits are not retransmitted.
+  EXPECT_DOUBLE_EQ(link.deliveredBits(TrafficClass::kBulk), 1000.0);
+  EXPECT_DOUBLE_EQ(link.busySeconds(TrafficClass::kBulk), 10.0);
+  EXPECT_DOUBLE_EQ(link.busySeconds(TrafficClass::kInvalidationReport), 2.0);
+}
+
+TEST(PriorityLink, EqualClassDoesNotPreempt) {
+  Simulator s;
+  PriorityLink link(s, 100.0);
+  std::vector<double> done;
+  link.submit(TrafficClass::kControl, 100.0, [&] { done.push_back(s.now()); });
+  s.schedule(0.5, [&] {
+    link.submit(TrafficClass::kControl, 100.0, [&] { done.push_back(s.now()); });
+  });
+  s.runAll();
+  EXPECT_EQ(done, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(PriorityLink, LowerClassWaitsForAllHigher) {
+  Simulator s;
+  PriorityLink link(s, 100.0);
+  std::vector<std::string> order;
+  link.submit(TrafficClass::kBulk, 100.0, [&] { order.push_back("bulk1"); });
+  link.submit(TrafficClass::kBulk, 100.0, [&] { order.push_back("bulk2"); });
+  s.schedule(0.1, [&] {
+    link.submit(TrafficClass::kControl, 100.0,
+                [&] { order.push_back("control"); });
+    link.submit(TrafficClass::kInvalidationReport, 100.0,
+                [&] { order.push_back("ir"); });
+  });
+  s.runAll();
+  // bulk1 is preempted by ir; then control; then bulk1 resumes; bulk2 last.
+  EXPECT_EQ(order, (std::vector<std::string>{"ir", "control", "bulk1", "bulk2"}));
+}
+
+TEST(PriorityLink, DoublePreemptionAccumulates) {
+  Simulator s;
+  PriorityLink link(s, 100.0);
+  double bulkDone = -1;
+  link.submit(TrafficClass::kBulk, 1000.0, [&] { bulkDone = s.now(); });
+  // Two IRs, at t=2 and t=7, each 100 bits (1 s).
+  s.schedule(2.0, [&] {
+    link.submit(TrafficClass::kInvalidationReport, 100.0, [] {});
+  });
+  s.schedule(7.0, [&] {
+    link.submit(TrafficClass::kInvalidationReport, 100.0, [] {});
+  });
+  s.runAll();
+  EXPECT_DOUBLE_EQ(bulkDone, 12.0);
+  EXPECT_DOUBLE_EQ(link.deliveredBits(TrafficClass::kBulk), 1000.0);
+}
+
+TEST(PriorityLink, PreemptedTransferResumesAtHeadOfItsClass) {
+  Simulator s;
+  PriorityLink link(s, 100.0);
+  std::vector<int> order;
+  link.submit(TrafficClass::kBulk, 500.0, [&] { order.push_back(1); });
+  link.submit(TrafficClass::kBulk, 100.0, [&] { order.push_back(2); });
+  s.schedule(1.0, [&] {
+    link.submit(TrafficClass::kInvalidationReport, 100.0, [] {});
+  });
+  s.runAll();
+  // Transfer 1 (preempted mid-flight) must still finish before transfer 2.
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(PriorityLink, CallbackMaySubmitNewWork) {
+  Simulator s;
+  PriorityLink link(s, 100.0);
+  std::vector<double> done;
+  link.submit(TrafficClass::kBulk, 100.0, [&] {
+    done.push_back(s.now());
+    link.submit(TrafficClass::kBulk, 100.0, [&] { done.push_back(s.now()); });
+  });
+  s.runAll();
+  EXPECT_EQ(done, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(PriorityLink, QueuedTransfersCount) {
+  Simulator s;
+  PriorityLink link(s, 100.0);
+  link.submit(TrafficClass::kBulk, 100.0, [] {});
+  link.submit(TrafficClass::kBulk, 100.0, [] {});
+  link.submit(TrafficClass::kControl, 100.0, [] {});
+  EXPECT_TRUE(link.busy());
+  // One on the air (bulk, then preempted by control? no: control preempts).
+  // After the submits: control preempted bulk -> on air: control; queued:
+  // bulk (partial) + bulk.
+  EXPECT_EQ(link.queuedTransfers(), 2u);
+  s.runAll();
+  EXPECT_FALSE(link.busy());
+  EXPECT_EQ(link.queuedTransfers(), 0u);
+}
+
+TEST(PriorityLink, BusySecondsIncludesInFlightPortion) {
+  Simulator s;
+  PriorityLink link(s, 100.0);
+  link.submit(TrafficClass::kBulk, 1000.0, [] {});
+  s.runUntil(3.0);
+  EXPECT_DOUBLE_EQ(link.busySeconds(TrafficClass::kBulk), 3.0);
+}
+
+TEST(PriorityLink, ImmediatePreemptionAtZeroProgress) {
+  Simulator s;
+  PriorityLink link(s, 100.0);
+  double bulkDone = -1;
+  link.submit(TrafficClass::kBulk, 100.0, [&] { bulkDone = s.now(); });
+  // Preempt at t=0, before any bit is sent.
+  link.submit(TrafficClass::kInvalidationReport, 100.0, [] {});
+  s.runAll();
+  EXPECT_DOUBLE_EQ(bulkDone, 2.0);
+  EXPECT_DOUBLE_EQ(link.deliveredBits(TrafficClass::kBulk), 100.0);
+}
+
+}  // namespace
+}  // namespace mci::net

@@ -1,0 +1,114 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace mci::net {
+namespace {
+
+TEST(Network, ChannelsHaveConfiguredBandwidths) {
+  sim::Simulator s;
+  Network net(s, 10000.0, 100.0);
+  EXPECT_DOUBLE_EQ(net.downlink().bandwidth(), 10000.0);
+  EXPECT_DOUBLE_EQ(net.uplink().bandwidth(), 100.0);
+}
+
+TEST(Network, DownlinkUsageDecomposesByClass) {
+  sim::Simulator s;
+  Network net(s, 1000.0, 1000.0);
+  net.downlink().broadcastReport(100.0, [] {});
+  net.downlink().sendValidityReport(200.0, [] {});
+  net.downlink().sendData(300.0, [] {});
+  s.runAll();
+  const ChannelUsage u = net.downlinkUsage();
+  EXPECT_DOUBLE_EQ(u.irBits, 100.0);
+  EXPECT_DOUBLE_EQ(u.controlBits, 200.0);
+  EXPECT_DOUBLE_EQ(u.bulkBits, 300.0);
+  EXPECT_DOUBLE_EQ(u.totalBits(), 600.0);
+  EXPECT_EQ(u.irCount, 1u);
+  EXPECT_EQ(u.controlCount, 1u);
+  EXPECT_EQ(u.bulkCount, 1u);
+  EXPECT_DOUBLE_EQ(u.totalSeconds(), 0.6);
+}
+
+TEST(Network, UplinkClassifiesCheckVsRequest) {
+  sim::Simulator s;
+  Network net(s, 1000.0, 1000.0);
+  net.uplink().sendCheck(64.0, [] {});
+  net.uplink().sendRequest(4096.0, [] {});
+  s.runAll();
+  EXPECT_DOUBLE_EQ(net.uplink().checkBits(), 64.0);
+  EXPECT_DOUBLE_EQ(net.uplink().requestBits(), 4096.0);
+  const ChannelUsage u = net.uplinkUsage();
+  EXPECT_DOUBLE_EQ(u.controlBits, 64.0);
+  EXPECT_DOUBLE_EQ(u.bulkBits, 4096.0);
+  EXPECT_DOUBLE_EQ(u.irBits, 0.0);
+}
+
+TEST(Network, ReportPreemptsDataOnDownlink) {
+  sim::Simulator s;
+  Network net(s, 100.0, 100.0);
+  double dataDone = -1, irDone = -1;
+  net.downlink().sendData(1000.0, [&] { dataDone = s.now(); });
+  s.schedule(2.0, [&] {
+    net.downlink().broadcastReport(100.0, [&] { irDone = s.now(); });
+  });
+  s.runAll();
+  EXPECT_DOUBLE_EQ(irDone, 3.0);
+  EXPECT_DOUBLE_EQ(dataDone, 11.0);
+}
+
+TEST(Network, NoDataChannelsByDefault) {
+  sim::Simulator s;
+  Network net(s, 1000.0, 1000.0);
+  EXPECT_EQ(net.dataChannelCount(), 0u);
+  // sendData falls through to the shared downlink.
+  net.sendData(100.0, [] {});
+  s.runAll();
+  EXPECT_DOUBLE_EQ(net.downlinkUsage().bulkBits, 100.0);
+  EXPECT_DOUBLE_EQ(net.dataChannelUsage().totalBits(), 0.0);
+}
+
+TEST(Network, DedicatedDataChannelsCarryData) {
+  sim::Simulator s;
+  Network net(s, 1000.0, 1000.0, {500.0, 500.0});
+  EXPECT_EQ(net.dataChannelCount(), 2u);
+  net.sendData(100.0, [] {});
+  s.runAll();
+  EXPECT_DOUBLE_EQ(net.downlinkUsage().bulkBits, 0.0);
+  EXPECT_DOUBLE_EQ(net.dataChannelUsage().bulkBits, 100.0);
+}
+
+TEST(Network, LeastBacklogDispatchBalances) {
+  sim::Simulator s;
+  Network net(s, 1000.0, 1000.0, {500.0, 500.0});
+  for (int i = 0; i < 6; ++i) net.sendData(100.0, [] {});
+  // 3 transfers per channel -> both finish at the same time.
+  s.runAll();
+  EXPECT_DOUBLE_EQ(net.dataChannel(0).deliveredBits(TrafficClass::kBulk),
+                   300.0);
+  EXPECT_DOUBLE_EQ(net.dataChannel(1).deliveredBits(TrafficClass::kBulk),
+                   300.0);
+}
+
+TEST(Network, ReportsStayOnBroadcastChannel) {
+  sim::Simulator s;
+  Network net(s, 1000.0, 1000.0, {500.0});
+  double dataDone = -1, irDone = -1;
+  net.sendData(500.0, [&] { dataDone = s.now(); });
+  net.downlink().broadcastReport(1000.0, [&] { irDone = s.now(); });
+  s.runAll();
+  // Independent channels: the fat report no longer delays the download.
+  EXPECT_DOUBLE_EQ(dataDone, 1.0);
+  EXPECT_DOUBLE_EQ(irDone, 1.0);
+}
+
+TEST(TrafficClassNames, AreStable) {
+  EXPECT_STREQ(trafficClassName(TrafficClass::kInvalidationReport), "ir");
+  EXPECT_STREQ(trafficClassName(TrafficClass::kControl), "control");
+  EXPECT_STREQ(trafficClassName(TrafficClass::kBulk), "bulk");
+}
+
+}  // namespace
+}  // namespace mci::net

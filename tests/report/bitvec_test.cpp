@@ -1,0 +1,116 @@
+#include "report/bitvec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+namespace mci::report {
+namespace {
+
+TEST(BitVec, StartsAllZero) {
+  BitVec v(130);
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_EQ(v.count(), 0u);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_FALSE(v.test(i));
+}
+
+TEST(BitVec, SetAndTest) {
+  BitVec v(100);
+  v.set(0);
+  v.set(63);
+  v.set(64);
+  v.set(99);
+  EXPECT_TRUE(v.test(0));
+  EXPECT_TRUE(v.test(63));
+  EXPECT_TRUE(v.test(64));
+  EXPECT_TRUE(v.test(99));
+  EXPECT_FALSE(v.test(1));
+  EXPECT_EQ(v.count(), 4u);
+}
+
+TEST(BitVec, ResetClearsBit) {
+  BitVec v(10);
+  v.set(5);
+  v.reset(5);
+  EXPECT_FALSE(v.test(5));
+  EXPECT_EQ(v.count(), 0u);
+}
+
+TEST(BitVec, RankCountsBefore) {
+  BitVec v(130);
+  v.set(3);
+  v.set(64);
+  v.set(100);
+  EXPECT_EQ(v.rank(0), 0u);
+  EXPECT_EQ(v.rank(3), 0u);
+  EXPECT_EQ(v.rank(4), 1u);
+  EXPECT_EQ(v.rank(64), 1u);
+  EXPECT_EQ(v.rank(65), 2u);
+  EXPECT_EQ(v.rank(130), 3u);
+}
+
+TEST(BitVec, SelectFindsKthSetBit) {
+  BitVec v(130);
+  v.set(3);
+  v.set(64);
+  v.set(100);
+  EXPECT_EQ(v.select(0), 3u);
+  EXPECT_EQ(v.select(1), 64u);
+  EXPECT_EQ(v.select(2), 100u);
+  EXPECT_EQ(v.select(3), v.size());  // out of range
+}
+
+TEST(BitVec, SetPositionsAscending) {
+  BitVec v(200);
+  v.set(150);
+  v.set(7);
+  v.set(63);
+  EXPECT_EQ(v.setPositions(), (std::vector<std::size_t>{7, 63, 150}));
+}
+
+TEST(BitVec, RankSelectInverse) {
+  // Property: select(rank(p)) == p for every set position p.
+  std::mt19937_64 rng(5);
+  for (int round = 0; round < 10; ++round) {
+    const std::size_t n = 1 + rng() % 500;
+    BitVec v(n);
+    std::set<std::size_t> positions;
+    for (std::size_t i = 0; i < n / 3 + 1; ++i) {
+      const std::size_t p = rng() % n;
+      v.set(p);
+      positions.insert(p);
+    }
+    EXPECT_EQ(v.count(), positions.size());
+    std::size_t k = 0;
+    for (std::size_t p : positions) {
+      EXPECT_EQ(v.rank(p), k);
+      EXPECT_EQ(v.select(k), p);
+      ++k;
+    }
+    // rank over the whole vector equals the count.
+    EXPECT_EQ(v.rank(n), positions.size());
+  }
+}
+
+TEST(BitVec, WordBoundaryEdges) {
+  BitVec v(128);
+  v.set(63);
+  v.set(64);
+  v.set(127);
+  EXPECT_EQ(v.rank(64), 1u);
+  EXPECT_EQ(v.rank(128), 3u);
+  EXPECT_EQ(v.select(2), 127u);
+}
+
+TEST(BitVec, EmptyVector) {
+  BitVec v(0);
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.count(), 0u);
+  EXPECT_EQ(v.rank(0), 0u);
+  EXPECT_EQ(v.select(0), 0u);  // == size()
+  EXPECT_TRUE(v.setPositions().empty());
+}
+
+}  // namespace
+}  // namespace mci::report

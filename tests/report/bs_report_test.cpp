@@ -1,0 +1,196 @@
+#include "report/bs_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <set>
+#include <vector>
+
+namespace mci::report {
+namespace {
+
+SizeModel model(std::size_t n) {
+  SizeModel m;
+  m.numItems = n;
+  return m;
+}
+
+TEST(BsReport, EmptyHistoryInvalidatesNothing) {
+  db::UpdateHistory h(64);
+  const auto r = BsReport::build(h, model(64), 100.0);
+  EXPECT_EQ(r->decide(0.0).action, BsReport::Action::kNothing);
+  EXPECT_EQ(r->decide(50.0).action, BsReport::Action::kNothing);
+  EXPECT_DOUBLE_EQ(r->lastUpdateTime(), sim::kTimeEpoch);
+}
+
+TEST(BsReport, FreshClientSeesNothing) {
+  db::UpdateHistory h(64);
+  h.record(3, 10.0);
+  const auto r = BsReport::build(h, model(64), 100.0);
+  EXPECT_EQ(r->decide(10.0).action, BsReport::Action::kNothing);
+  EXPECT_EQ(r->decide(99.0).action, BsReport::Action::kNothing);
+}
+
+TEST(BsReport, SingleUpdateInvalidatesJustThatItem) {
+  db::UpdateHistory h(64);
+  h.record(3, 50.0);
+  const auto r = BsReport::build(h, model(64), 100.0);
+  const auto d = r->decide(40.0);
+  ASSERT_EQ(d.action, BsReport::Action::kInvalidateSet);
+  ASSERT_EQ(d.marked.size(), 1u);
+  EXPECT_EQ(d.marked[0].item, 3u);
+}
+
+TEST(BsReport, LevelGranularityIsConservative) {
+  db::UpdateHistory h(64);
+  for (db::ItemId i = 0; i < 8; ++i) h.record(i, 10.0 * (i + 1));
+  const auto r = BsReport::build(h, model(64), 100.0);
+  // tlb = 45: items 4..7 updated after. The smallest level covering 45 has
+  // marked count >= 4, possibly more — but never misses one of 4..7.
+  const auto d = r->decide(45.0);
+  ASSERT_EQ(d.action, BsReport::Action::kInvalidateSet);
+  std::set<db::ItemId> marked;
+  for (const auto& rec : d.marked) marked.insert(rec.item);
+  for (db::ItemId i = 4; i < 8; ++i) EXPECT_TRUE(marked.contains(i)) << i;
+}
+
+TEST(BsReport, AncientClientDropsEverything) {
+  const std::size_t n = 16;
+  db::UpdateHistory h(n);
+  // Update more than N/2 distinct items after t=5.
+  for (db::ItemId i = 0; i < 12; ++i) h.record(i, 10.0 + i);
+  const auto r = BsReport::build(h, model(n), 100.0);
+  EXPECT_GT(r->coverageStart(), 5.0);
+  EXPECT_EQ(r->decide(5.0).action, BsReport::Action::kDropAll);
+}
+
+TEST(BsReport, CoverageStartIsEpochWhileFewUpdates) {
+  db::UpdateHistory h(64);
+  for (db::ItemId i = 0; i < 10; ++i) h.record(i, 10.0 + i);  // < N/2 = 32
+  const auto r = BsReport::build(h, model(64), 100.0);
+  EXPECT_DOUBLE_EQ(r->coverageStart(), sim::kTimeEpoch);
+  // Even a never-listened client (Tlb = epoch) salvages: only updated
+  // items are invalidated.
+  const auto d = r->decide(sim::kTimeEpoch);
+  ASSERT_EQ(d.action, BsReport::Action::kInvalidateSet);
+  EXPECT_EQ(d.marked.size(), 10u);
+}
+
+TEST(BsReport, LevelsHalveAndTimestampsDecrease) {
+  const std::size_t n = 64;
+  db::UpdateHistory h(n);
+  for (db::ItemId i = 0; i < 40; ++i) h.record(i, 1.0 + i);
+  const auto r = BsReport::build(h, model(n), 100.0);
+  const auto& levels = r->levels();
+  ASSERT_FALSE(levels.empty());
+  EXPECT_EQ(levels.front().marked, 32u);  // N/2
+  for (std::size_t i = 1; i < levels.size(); ++i) {
+    EXPECT_LT(levels[i].marked, levels[i - 1].marked);
+    EXPECT_GE(levels[i].ts, levels[i - 1].ts);  // smaller sets are fresher
+  }
+  EXPECT_EQ(levels.back().marked, 1u);
+}
+
+TEST(BsReport, SizeUsesPaperFormula) {
+  db::UpdateHistory h(1000);
+  h.record(1, 10.0);
+  const auto r = BsReport::build(h, model(1000), 100.0);
+  EXPECT_DOUBLE_EQ(r->sizeBits, model(1000).bsReportBits());
+}
+
+// ---------- the core property: never keep a stale item ----------
+
+struct RandomHistory {
+  db::UpdateHistory history;
+  std::map<db::ItemId, double> lastUpdate;
+  double endTime = 0;
+
+  explicit RandomHistory(std::size_t n, std::mt19937_64& rng, int updates)
+      : history(n) {
+    double t = 0;
+    for (int i = 0; i < updates; ++i) {
+      t += static_cast<double>(rng() % 50) / 10.0 + 0.1;
+      const auto item = static_cast<db::ItemId>(rng() % n);
+      history.record(item, t);
+      lastUpdate[item] = t;
+    }
+    endTime = t + 1;
+  }
+};
+
+TEST(BsReport, PropertyNeverMissesAnUpdatedItem) {
+  std::mt19937_64 rng(42);
+  for (int round = 0; round < 30; ++round) {
+    const std::size_t n = 8 + rng() % 120;
+    RandomHistory rh(n, rng, static_cast<int>(rng() % 200));
+    const auto r = BsReport::build(rh.history, model(n), rh.endTime);
+
+    for (int probe = 0; probe < 20; ++probe) {
+      const double tlb = rh.endTime * static_cast<double>(rng() % 101) / 100.0;
+      const auto d = r->decide(tlb);
+      std::set<db::ItemId> invalidated;
+      if (d.action == BsReport::Action::kDropAll) continue;  // trivially safe
+      for (const auto& rec : d.marked) invalidated.insert(rec.item);
+      for (const auto& [item, t] : rh.lastUpdate) {
+        if (t > tlb) {
+          EXPECT_TRUE(d.action == BsReport::Action::kInvalidateSet &&
+                      invalidated.contains(item))
+              << "item " << item << " updated at " << t << " missed for tlb "
+              << tlb;
+        }
+      }
+    }
+  }
+}
+
+TEST(BsReport, PropertyWireDecodeMatchesSnapshotDecide) {
+  std::mt19937_64 rng(7);
+  for (int round = 0; round < 25; ++round) {
+    const std::size_t n = 8 + rng() % 200;
+    RandomHistory rh(n, rng, static_cast<int>(rng() % 300));
+    const auto r = BsReport::build(rh.history, model(n), rh.endTime);
+    const BsWire wire = BsWire::encode(*r);
+
+    for (int probe = 0; probe < 15; ++probe) {
+      const double tlb =
+          rh.endTime * static_cast<double>(rng() % 103) / 100.0 - 1.0;
+      const auto d = r->decide(std::max(0.0, tlb));
+      const auto w = wire.decode(std::max(0.0, tlb));
+      EXPECT_EQ(w.action, d.action) << "n=" << n << " tlb=" << tlb;
+      if (d.action == BsReport::Action::kInvalidateSet) {
+        std::vector<db::ItemId> snap;
+        for (const auto& rec : d.marked) snap.push_back(rec.item);
+        std::sort(snap.begin(), snap.end());
+        EXPECT_EQ(w.items, snap);
+      }
+    }
+  }
+}
+
+TEST(BsWire, WireBitsAtMostNominalFormula) {
+  std::mt19937_64 rng(19);
+  for (std::size_t n : {16u, 100u, 1024u}) {
+    RandomHistory rh(n, rng, 2 * static_cast<int>(n));
+    const auto r = BsReport::build(rh.history, model(n), rh.endTime);
+    const BsWire wire = BsWire::encode(*r);
+    // The wire form shrinks when fewer than N/2 items were ever updated;
+    // it never exceeds the nominal structure the airtime model charges.
+    EXPECT_LE(wire.wireBits(32), model(n).bsReportBits() + 64);
+  }
+}
+
+TEST(BsWire, TopLevelHasOneBitPerItem) {
+  db::UpdateHistory h(100);
+  h.record(42, 5.0);
+  const auto r = BsReport::build(h, model(100), 10.0);
+  const BsWire wire = BsWire::encode(*r);
+  ASSERT_FALSE(wire.levels().empty());
+  EXPECT_EQ(wire.levels()[0].bits.size(), 100u);
+  EXPECT_TRUE(wire.levels()[0].bits.test(42));
+  EXPECT_EQ(wire.levels()[0].bits.count(), 1u);
+}
+
+}  // namespace
+}  // namespace mci::report

@@ -1,0 +1,254 @@
+#include "report/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "sim/random.hpp"
+
+namespace mci::report {
+namespace {
+
+SizeModel model(std::size_t n = 1000) {
+  SizeModel m;
+  m.numItems = n;
+  return m;
+}
+
+// ---------------- BitWriter / BitReader ----------------
+
+TEST(BitIo, RoundTripsAssortedWidths) {
+  BitWriter w;
+  w.write(0b101, 3);
+  w.write(0xDEADBEEF, 32);
+  w.write(1, 1);
+  w.write(0x123456789ABCDEFull, 64);
+  const auto frame = w.finish();
+  EXPECT_EQ(w.bitCount(), 3u + 32 + 1 + 64);
+  EXPECT_EQ(frame.size(), (w.bitCount() + 7) / 8);
+
+  BitReader r(frame);
+  EXPECT_EQ(r.read(3), 0b101u);
+  EXPECT_EQ(r.read(32), 0xDEADBEEFu);
+  EXPECT_EQ(r.read(1), 1u);
+  EXPECT_EQ(r.read(64), 0x123456789ABCDEFull);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(BitIo, UnderrunFlagsNotOk) {
+  BitWriter w;
+  w.write(7, 3);
+  const auto frame = w.finish();
+  BitReader r(frame);
+  (void)r.read(3);
+  EXPECT_TRUE(r.ok());
+  (void)r.read(8);  // only padding left
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(BitIo, RandomizedRoundTrip) {
+  std::mt19937_64 rng(3);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<std::pair<std::uint64_t, int>> fields;
+    BitWriter w;
+    for (int i = 0; i < 100; ++i) {
+      const int bits = 1 + static_cast<int>(rng() % 64);
+      const std::uint64_t value =
+          bits == 64 ? rng() : rng() & ((std::uint64_t{1} << bits) - 1);
+      fields.emplace_back(value, bits);
+      w.write(value, bits);
+    }
+    const auto frame = w.finish();
+    BitReader r(frame);
+    for (const auto& [value, bits] : fields) {
+      EXPECT_EQ(r.read(bits), value);
+    }
+    EXPECT_TRUE(r.ok());
+  }
+}
+
+// ---------------- timestamp quantization ----------------
+
+TEST(ReportCodec, QuantizationIsMillisecondAccurate) {
+  const auto sizes = model();
+  ReportCodec codec(sizes);
+  for (double t : {0.0, 0.1234, 99.999, 100000.0}) {
+    EXPECT_NEAR(codec.dequantize(codec.quantize(t)), t, 1e-3) << t;
+  }
+}
+
+TEST(ReportCodec, QuantizationSaturatesInsteadOfWrapping) {
+  SizeModel sizes = model();
+  sizes.timestampBits = 8;  // tiny field: 255 ticks max
+  ReportCodec codec(sizes, 1.0);
+  EXPECT_EQ(codec.quantize(1e9), 255u);
+  EXPECT_EQ(codec.quantize(-5.0), 0u);
+}
+
+// ---------------- TS reports ----------------
+
+TEST(ReportCodec, TsReportRoundTrip) {
+  const auto sizes = model();
+  ReportCodec codec(sizes);
+  db::UpdateHistory h(1000);
+  h.record(17, 55.5);
+  h.record(444, 70.25);
+  const auto original = TsReport::build(h, sizes, 100.0, 40.0);
+
+  const auto frame = codec.encode(*original);
+  EXPECT_EQ(codec.peekKind(frame), ReportKind::kTsWindow);
+  const auto decoded = codec.decodeTs(frame);
+  ASSERT_NE(decoded, nullptr);
+  EXPECT_EQ(decoded->kind, ReportKind::kTsWindow);
+  EXPECT_NEAR(decoded->broadcastTime, 100.0, 1e-3);
+  EXPECT_NEAR(decoded->coverageStart(), 40.0, 1e-3);
+  ASSERT_EQ(decoded->entries().size(), 2u);
+  EXPECT_EQ(decoded->entries()[0].item, 444u);
+  EXPECT_NEAR(decoded->entries()[0].time, 70.25, 1e-3);
+  EXPECT_EQ(decoded->entries()[1].item, 17u);
+  EXPECT_NEAR(decoded->entries()[1].time, 55.5, 1e-3);
+}
+
+TEST(ReportCodec, ExtendedReportKeepsDummySemantics) {
+  const auto sizes = model();
+  ReportCodec codec(sizes);
+  db::UpdateHistory h(1000);
+  h.record(1, 50.0);
+  const auto original = TsReport::buildExtended(h, sizes, 100.0, 30.0);
+  const auto frame = codec.encode(*original);
+  EXPECT_EQ(codec.peekKind(frame), ReportKind::kTsExtended);
+  const auto decoded = codec.decodeTs(frame);
+  ASSERT_NE(decoded, nullptr);
+  EXPECT_TRUE(decoded->extended());
+  EXPECT_NEAR(decoded->dummyTlb(), 30.0, 1e-3);
+  EXPECT_TRUE(decoded->covers(30.001));
+  EXPECT_FALSE(decoded->covers(29.0));
+}
+
+TEST(ReportCodec, TsFrameSizeTracksTheBitModel) {
+  const auto sizes = model(10000);
+  ReportCodec codec(sizes);
+  db::UpdateHistory h(10000);
+  for (db::ItemId i = 0; i < 50; ++i) h.record(i, 10.0 + i);
+  const auto r = TsReport::build(h, sizes, 100.0, 5.0);
+  const auto frame = codec.encode(*r);
+  const double actualBits = static_cast<double>(frame.size()) * 8;
+  EXPECT_GE(actualBits, r->sizeBits);
+  EXPECT_LE(actualBits, r->sizeBits + ReportCodec::kCodecHeaderSlackBits);
+}
+
+// ---------------- BS reports ----------------
+
+TEST(ReportCodec, BsReportRoundTripPreservesDecisions) {
+  const auto sizes = model(256);
+  ReportCodec codec(sizes);
+  db::UpdateHistory h(256);
+  sim::Rng rng(4);
+  double t = 0;
+  for (int i = 0; i < 300; ++i) {
+    t += rng.exponential(3.0);
+    h.record(static_cast<db::ItemId>(rng.uniformInt(0, 255)), t);
+  }
+  const auto original = BsReport::build(h, sizes, t + 1);
+  const auto frame = codec.encode(*original);
+  EXPECT_EQ(codec.peekKind(frame), ReportKind::kBitSeq);
+  const auto decoded = codec.decodeBs(frame);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_NEAR(decoded->broadcastTime, t + 1, 1e-3);
+
+  // The decoded wire must make the same decision as the original for any
+  // Tlb (up to the timestamp quantum, so probe mid-interval points).
+  const BsWire direct = BsWire::encode(*original);
+  for (double probe = 0.5; probe < t; probe += t / 17.0) {
+    const auto a = direct.decode(probe);
+    const auto b = decoded->wire.decode(probe);
+    EXPECT_EQ(a.action, b.action) << probe;
+    EXPECT_EQ(a.items, b.items) << probe;
+  }
+}
+
+TEST(ReportCodec, BsFrameSizeTracksTheWireModel) {
+  const auto sizes = model(1024);
+  ReportCodec codec(sizes);
+  db::UpdateHistory h(1024);
+  for (db::ItemId i = 0; i < 600; ++i) h.record(i, 1.0 + i);
+  const auto r = BsReport::build(h, sizes, 1000.0);
+  const BsWire wire = BsWire::encode(*r);
+  const auto frame = codec.encode(*r);
+  const double actualBits = static_cast<double>(frame.size()) * 8;
+  EXPECT_GE(actualBits, wire.wireBits(sizes.timestampBits) - 8);
+  EXPECT_LE(actualBits, wire.wireBits(sizes.timestampBits) +
+                            ReportCodec::kCodecHeaderSlackBits);
+}
+
+// ---------------- SIG reports ----------------
+
+TEST(ReportCodec, SigReportRoundTripsTruncatedSignatures) {
+  const auto sizes = model(100);
+  ReportCodec codec(sizes);
+  SignatureTable table(100, 16, 3, 5);
+  const auto original = SigReport::build(table, sizes, 60.0);
+  const auto frame = codec.encode(*original);
+  EXPECT_EQ(codec.peekKind(frame), ReportKind::kSignature);
+  const auto decoded = codec.decodeSig(frame);
+  ASSERT_NE(decoded, nullptr);
+  ASSERT_EQ(decoded->combined().size(), 16u);
+  const std::uint64_t mask = (std::uint64_t{1} << sizes.signatureBits) - 1;
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(decoded->combined()[i], original->combined()[i] & mask);
+  }
+}
+
+// ---------------- robustness ----------------
+
+TEST(ReportCodec, RejectsWrongKindAndTruncation) {
+  const auto sizes = model();
+  ReportCodec codec(sizes);
+  db::UpdateHistory h(1000);
+  h.record(1, 5.0);
+  const auto ts = TsReport::build(h, sizes, 100.0, 40.0);
+  auto frame = codec.encode(*ts);
+
+  EXPECT_FALSE(codec.decodeBs(frame).has_value());
+  EXPECT_EQ(codec.decodeSig(frame), nullptr);
+
+  frame.resize(frame.size() / 2);  // truncated mid-record
+  EXPECT_EQ(codec.decodeTs(frame), nullptr);
+
+  const std::vector<std::uint8_t> empty;
+  EXPECT_FALSE(codec.peekKind(empty).has_value());
+}
+
+TEST(ReportCodec, GarbageFramesNeverCrash) {
+  const auto sizes = model(500);
+  ReportCodec codec(sizes);
+  std::mt19937_64 rng(77);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<std::uint8_t> garbage(rng() % 200);
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng());
+    // Whatever the bytes say, the decoders must return cleanly.
+    (void)codec.peekKind(garbage);
+    (void)codec.decodeTs(garbage);
+    (void)codec.decodeBs(garbage);
+    (void)codec.decodeSig(garbage);
+  }
+  SUCCEED();
+}
+
+TEST(ReportCodec, TruncationSweepIsSafe) {
+  const auto sizes = model(128);
+  ReportCodec codec(sizes);
+  db::UpdateHistory h(128);
+  for (db::ItemId i = 0; i < 40; ++i) h.record(i, 1.0 + i);
+  const auto r = BsReport::build(h, sizes, 100.0);
+  const auto full = codec.encode(*r);
+  ASSERT_TRUE(codec.decodeBs(full).has_value());
+  for (std::size_t cut = 0; cut < full.size(); cut += 3) {
+    std::vector<std::uint8_t> frame(full.begin(),
+                                    full.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(codec.decodeBs(frame).has_value()) << "cut=" << cut;
+  }
+}
+
+}  // namespace
+}  // namespace mci::report

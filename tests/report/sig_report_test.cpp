@@ -1,0 +1,95 @@
+#include "report/sig_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+namespace mci::report {
+namespace {
+
+TEST(SignatureTable, MembershipIsDeterministicAndSized) {
+  SignatureTable t(100, 32, 4, 9);
+  for (db::ItemId i = 0; i < 100; ++i) {
+    const auto a = t.subsetsOf(i);
+    const auto b = t.subsetsOf(i);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.size(), 4u);
+    for (std::size_t s : a) EXPECT_LT(s, 32u);
+    // No duplicate memberships (they would XOR-cancel).
+    std::set<std::size_t> uniq(a.begin(), a.end());
+    EXPECT_EQ(uniq.size(), a.size());
+  }
+}
+
+TEST(SignatureTable, ItemSignatureChangesWithVersion) {
+  SignatureTable t(10, 8, 2, 1);
+  EXPECT_NE(t.itemSignature(3, 0), t.itemSignature(3, 1));
+  EXPECT_NE(t.itemSignature(3, 0), t.itemSignature(4, 0));
+  EXPECT_EQ(t.itemSignature(3, 2), t.itemSignature(3, 2));
+}
+
+TEST(SignatureTable, UpdateFlipsExactlyItsSubsets) {
+  SignatureTable t(50, 16, 3, 7);
+  const auto before = t.combined();
+  t.applyUpdate(11, 0, 1);
+  const auto after = t.combined();
+  const auto sets = t.subsetsOf(11);
+  for (std::size_t s = 0; s < after.size(); ++s) {
+    const bool member =
+        std::find(sets.begin(), sets.end(), s) != sets.end();
+    EXPECT_EQ(before[s] != after[s], member) << "subset " << s;
+  }
+}
+
+TEST(SignatureTable, UpdateThenRevertRestoresCombined) {
+  SignatureTable t(50, 16, 3, 7);
+  const auto before = t.combined();
+  t.applyUpdate(11, 0, 1);
+  t.applyUpdate(11, 1, 0);  // XOR round trip
+  EXPECT_EQ(t.combined(), before);
+}
+
+TEST(SignatureTable, ManyUpdatesKeepCombinedConsistent) {
+  // Combined signatures must always equal the XOR over current item
+  // signatures, whatever the update order.
+  const std::size_t n = 64, m = 16;
+  SignatureTable t(n, m, 3, 3);
+  std::vector<std::uint32_t> versions(n, 0);
+  std::mt19937_64 rng(4);
+  for (int i = 0; i < 500; ++i) {
+    const auto item = static_cast<db::ItemId>(rng() % n);
+    t.applyUpdate(item, versions[item], versions[item] + 1);
+    ++versions[item];
+  }
+  std::vector<std::uint64_t> expect(m, 0);
+  for (db::ItemId item = 0; item < n; ++item) {
+    const std::uint64_t sig = t.itemSignature(item, versions[item]);
+    for (std::size_t s : t.subsetsOf(item)) expect[s] ^= sig;
+  }
+  EXPECT_EQ(t.combined(), expect);
+}
+
+TEST(SigReport, SnapshotsCombinedValues) {
+  SignatureTable t(50, 16, 3, 7);
+  SizeModel sizes;
+  sizes.numItems = 50;
+  const auto r = SigReport::build(t, sizes, 40.0);
+  EXPECT_EQ(r->combined(), t.combined());
+  EXPECT_EQ(r->kind, ReportKind::kSignature);
+  EXPECT_DOUBLE_EQ(r->broadcastTime, 40.0);
+  EXPECT_DOUBLE_EQ(r->sizeBits, sizes.sigReportBits(16));
+  // Later table changes must not leak into the snapshot.
+  const auto before = r->combined();
+  t.applyUpdate(1, 0, 1);
+  EXPECT_EQ(r->combined(), before);
+}
+
+TEST(SignatureTable, DifferentSeedsDifferentTables) {
+  SignatureTable a(50, 16, 3, 1);
+  SignatureTable b(50, 16, 3, 2);
+  EXPECT_NE(a.combined(), b.combined());
+}
+
+}  // namespace
+}  // namespace mci::report

@@ -1,0 +1,93 @@
+#include "report/sizing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mci::report {
+namespace {
+
+SizeModel table1Model(std::size_t n) {
+  SizeModel m;
+  m.numItems = n;
+  m.numClients = 100;
+  m.timestampBits = 32;
+  return m;
+}
+
+TEST(SizeModel, ItemIdBitsIsCeilLog2) {
+  EXPECT_EQ(table1Model(2).itemIdBits(), 1);
+  EXPECT_EQ(table1Model(1000).itemIdBits(), 10);
+  EXPECT_EQ(table1Model(1024).itemIdBits(), 10);
+  EXPECT_EQ(table1Model(1025).itemIdBits(), 11);
+  EXPECT_EQ(table1Model(80000).itemIdBits(), 17);
+}
+
+TEST(SizeModel, ClientIdBits) {
+  EXPECT_EQ(table1Model(1000).clientIdBits(), 7);  // 100 clients
+}
+
+TEST(SizeModel, TsReportFormula) {
+  // |IR(w)| = T + n_w (log2 N + b_T)
+  const SizeModel m = table1Model(1024);
+  EXPECT_DOUBLE_EQ(m.tsReportBits(0), 32.0);
+  EXPECT_DOUBLE_EQ(m.tsReportBits(10), 32.0 + 10 * (10 + 32));
+}
+
+TEST(SizeModel, ExtendedReportAddsOneDummyEntry) {
+  const SizeModel m = table1Model(1024);
+  EXPECT_DOUBLE_EQ(m.extendedReportBits(10), m.tsReportBits(11));
+}
+
+TEST(SizeModel, BsReportNearPaperFormula) {
+  // Paper: |IR(BS)| = 2N + b_T log2 N. Our exact sum N + N/2 + ... + 2 is
+  // within N of 2N, plus one timestamp per sequence.
+  for (std::size_t n : {1024u, 10000u, 80000u}) {
+    const SizeModel m = table1Model(n);
+    const double paper =
+        2.0 * static_cast<double>(n) + 32.0 * std::log2(static_cast<double>(n));
+    EXPECT_NEAR(m.bsReportBits(), paper, static_cast<double>(n) * 0.1 + 64)
+        << "N=" << n;
+    // And the BS report must dwarf a typical window report.
+    EXPECT_GT(m.bsReportBits(), m.tsReportBits(20));
+  }
+}
+
+TEST(SizeModel, BsReportGrowsLinearly) {
+  const double small = table1Model(1000).bsReportBits();
+  const double large = table1Model(80000).bsReportBits();
+  EXPECT_GT(large, 60.0 * small / 2.0);  // ~80x items -> ~80x bits
+}
+
+TEST(SizeModel, TlbMessageIsTiny) {
+  const SizeModel m = table1Model(10000);
+  EXPECT_DOUBLE_EQ(m.tlbMessageBits(), 7.0 + 32.0);
+  EXPECT_LT(m.tlbMessageBits(), m.checkRequestBits(10));
+}
+
+TEST(SizeModel, CheckRequestGrowsWithEntries) {
+  const SizeModel m = table1Model(10000);  // idBits = 14
+  EXPECT_DOUBLE_EQ(m.checkRequestBits(0), 7.0);
+  EXPECT_DOUBLE_EQ(m.checkRequestBits(200), 7.0 + 200.0 * (14 + 32));
+}
+
+TEST(SizeModel, ValidityReportBits) {
+  const SizeModel m = table1Model(10000);
+  EXPECT_DOUBLE_EQ(m.validityReportBits(0), 7.0 + 32.0);
+  EXPECT_DOUBLE_EQ(m.validityReportBits(5), 7.0 + 32.0 + 5 * 14.0);
+}
+
+TEST(SizeModel, FixedMessageSizesFromTable1) {
+  const SizeModel m = table1Model(10000);
+  EXPECT_DOUBLE_EQ(m.queryRequestBits(), 512.0 * 8);
+  EXPECT_DOUBLE_EQ(m.dataItemBits(), 8192.0 * 8);
+}
+
+TEST(SizeModel, SigReportBits) {
+  SizeModel m = table1Model(10000);
+  m.signatureBits = 32;
+  EXPECT_DOUBLE_EQ(m.sigReportBits(512), 32.0 + 512.0 * 32.0);
+}
+
+}  // namespace
+}  // namespace mci::report

@@ -1,0 +1,87 @@
+#include "report/ts_report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mci::report {
+namespace {
+
+SizeModel model(std::size_t n = 1000) {
+  SizeModel m;
+  m.numItems = n;
+  return m;
+}
+
+TEST(TsReport, ContainsOnlyWindowUpdates) {
+  db::UpdateHistory h(1000);
+  h.record(1, 10.0);
+  h.record(2, 50.0);
+  h.record(3, 90.0);
+  const auto r = TsReport::build(h, model(), /*now=*/100.0, /*windowStart=*/40.0);
+  ASSERT_EQ(r->entries().size(), 2u);
+  EXPECT_EQ(r->entries()[0].item, 3u);  // most recent first
+  EXPECT_EQ(r->entries()[1].item, 2u);
+  EXPECT_EQ(r->kind, ReportKind::kTsWindow);
+  EXPECT_DOUBLE_EQ(r->broadcastTime, 100.0);
+  EXPECT_DOUBLE_EQ(r->coverageStart(), 40.0);
+}
+
+TEST(TsReport, CoversInsideWindowOnly) {
+  db::UpdateHistory h(1000);
+  const auto r = TsReport::build(h, model(), 100.0, 40.0);
+  EXPECT_TRUE(r->covers(40.0));
+  EXPECT_TRUE(r->covers(99.0));
+  EXPECT_FALSE(r->covers(39.9));
+  EXPECT_FALSE(r->covers(0.0));
+}
+
+TEST(TsReport, SizeMatchesFormula) {
+  db::UpdateHistory h(1000);
+  for (db::ItemId i = 0; i < 7; ++i) h.record(i, 50.0 + i);
+  const auto r = TsReport::build(h, model(1000), 100.0, 40.0);
+  EXPECT_DOUBLE_EQ(r->sizeBits, model(1000).tsReportBits(7));
+}
+
+TEST(TsReport, ReUpdatedItemAppearsOnceWithLatestTime) {
+  db::UpdateHistory h(1000);
+  h.record(5, 50.0);
+  h.record(5, 80.0);
+  const auto r = TsReport::build(h, model(), 100.0, 40.0);
+  ASSERT_EQ(r->entries().size(), 1u);
+  EXPECT_DOUBLE_EQ(r->entries()[0].time, 80.0);
+}
+
+TEST(TsReport, ItemUpdatedBeforeWindowButReUpdatedInsideIsListed) {
+  db::UpdateHistory h(1000);
+  h.record(5, 10.0);  // before window
+  h.record(5, 60.0);  // inside window
+  const auto r = TsReport::build(h, model(), 100.0, 40.0);
+  ASSERT_EQ(r->entries().size(), 1u);
+}
+
+TEST(TsReport, ExtendedReportCarriesDummy) {
+  db::UpdateHistory h(1000);
+  h.record(1, 5.0);
+  h.record(2, 95.0);
+  const auto r = TsReport::buildExtended(h, model(), 100.0, /*extendStart=*/2.0);
+  EXPECT_TRUE(r->extended());
+  EXPECT_EQ(r->kind, ReportKind::kTsExtended);
+  EXPECT_DOUBLE_EQ(r->dummyTlb(), 2.0);
+  EXPECT_EQ(r->entries().size(), 2u);
+  // Extended coverage: a client with Tlb >= 2.0 is covered.
+  EXPECT_TRUE(r->covers(2.0));
+  EXPECT_TRUE(r->covers(50.0));
+  EXPECT_FALSE(r->covers(1.0));
+  // Size pays for the dummy record.
+  EXPECT_DOUBLE_EQ(r->sizeBits, model().extendedReportBits(2));
+}
+
+TEST(TsReport, EmptyWindow) {
+  db::UpdateHistory h(1000);
+  h.record(1, 10.0);
+  const auto r = TsReport::build(h, model(), 100.0, 50.0);
+  EXPECT_TRUE(r->entries().empty());
+  EXPECT_DOUBLE_EQ(r->sizeBits, model().tsReportBits(0));
+}
+
+}  // namespace
+}  // namespace mci::report

@@ -1,0 +1,69 @@
+#include "runner/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace mci::runner {
+namespace {
+
+Cli makeCli(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  storage.insert(storage.begin(), "prog");
+  std::vector<char*> argv;
+  for (auto& s : storage) argv.push_back(s.data());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, ParsesEqualsForm) {
+  auto cli = makeCli({"--simtime=5000", "--seed=7"});
+  EXPECT_DOUBLE_EQ(cli.getDouble("simtime", 0), 5000.0);
+  EXPECT_EQ(cli.getInt("seed", 0), 7);
+}
+
+TEST(Cli, ParsesSpaceForm) {
+  auto cli = makeCli({"--threads", "4"});
+  EXPECT_EQ(cli.getInt("threads", 0), 4);
+}
+
+TEST(Cli, FallbacksWhenAbsent) {
+  auto cli = makeCli({});
+  EXPECT_DOUBLE_EQ(cli.getDouble("simtime", 123.0), 123.0);
+  EXPECT_EQ(cli.getInt("seed", 42), 42);
+  EXPECT_EQ(cli.getStr("mode", "def"), "def");
+  EXPECT_FALSE(cli.has("csv"));
+}
+
+TEST(Cli, BareFlagIsPresent) {
+  auto cli = makeCli({"--csv"});
+  EXPECT_TRUE(cli.has("csv"));
+}
+
+TEST(Cli, BareFlagFollowedByFlag) {
+  auto cli = makeCli({"--csv", "--seed=1"});
+  EXPECT_TRUE(cli.has("csv"));
+  EXPECT_EQ(cli.getInt("seed", 0), 1);
+}
+
+TEST(Cli, StringValues) {
+  auto cli = makeCli({"--workload=HOTCOLD"});
+  EXPECT_EQ(cli.getStr("workload", ""), "HOTCOLD");
+}
+
+TEST(Cli, UnknownArgsReported) {
+  auto cli = makeCli({"--typo=3", "--seed=1"});
+  (void)cli.getInt("seed", 0);
+  const auto unknown = cli.unknownArgs();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(Cli, QueriedArgsNotReportedUnknown) {
+  auto cli = makeCli({"--seed=1"});
+  (void)cli.getInt("seed", 0);
+  EXPECT_TRUE(cli.unknownArgs().empty());
+}
+
+}  // namespace
+}  // namespace mci::runner

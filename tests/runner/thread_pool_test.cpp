@@ -1,0 +1,79 @@
+#include "runner/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace mci::runner {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&] { count.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, WaitOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait();
+  SUCCEED();
+}
+
+TEST(ThreadPool, DefaultsToHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.threadCount(), 1u);
+}
+
+TEST(ThreadPool, TasksMaySubmitMoreTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&] {
+    count.fetch_add(1);
+    pool.submit([&] { count.fetch_add(1); });
+  });
+  pool.wait();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPool, MultipleWaitCycles) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&] { count.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.submit([&] { count.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  parallelFor(pool, 100, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroIterations) {
+  ThreadPool pool(2);
+  parallelFor(pool, 0, [](std::size_t) { FAIL(); });
+  SUCCEED();
+}
+
+TEST(ThreadPool, DestructorJoinsCleanly) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 20; ++i) pool.submit([&] { count.fetch_add(1); });
+    pool.wait();
+  }
+  EXPECT_EQ(count.load(), 20);
+}
+
+}  // namespace
+}  // namespace mci::runner

@@ -1,0 +1,107 @@
+#include "schemes/dts_scheme.hpp"
+
+#include <gtest/gtest.h>
+
+#include "db/database.hpp"
+#include "scheme_test_util.hpp"
+
+namespace mci::schemes {
+namespace {
+
+using testutil::ClientHarness;
+
+struct DtsFixture : ::testing::Test {
+  db::Database db{1000};
+  db::UpdateHistory hist{1000};
+  ClientHarness h;
+  DtsServerScheme::Params params{/*minWindow=*/2, /*maxWindow=*/50,
+                                 /*alpha=*/2.0};
+  DtsServerScheme server{hist, db, h.sizes, 20.0, params};
+  DtsClientScheme client;
+
+  void update(db::ItemId item, double t) {
+    db.applyUpdate(item, t);
+    hist.record(item, t);
+  }
+};
+
+TEST_F(DtsFixture, ColdItemsGetLongWindows) {
+  // Item 1 updated once over 10000 s: rate = 1e-4/s ->
+  // alpha/(rate*L) = 2/(1e-4*20) = 1000, clamped to maxWindow.
+  update(1, 100.0);
+  EXPECT_EQ(server.windowFor(1, 10000.0), 50);
+  // Never-updated items sit at the cap too.
+  EXPECT_EQ(server.windowFor(2, 10000.0), 50);
+}
+
+TEST_F(DtsFixture, HotItemsGetShortWindows) {
+  // 100 updates over 1000 s: rate 0.1/s -> 2/(0.1*20) = 1 -> clamped to min.
+  for (int i = 0; i < 100; ++i) update(7, 10.0 * i);
+  EXPECT_EQ(server.windowFor(7, 1000.0), params.minWindow);
+}
+
+TEST_F(DtsFixture, ColdUpdatesLingerInReports) {
+  update(1, 100.0);  // cold: window = 50 intervals = 1000 s
+  const auto r = server.buildReport(1000.0);
+  const auto& ts = static_cast<const report::TsReport&>(*r);
+  ASSERT_EQ(ts.entries().size(), 1u);  // still listed 900 s later
+  EXPECT_EQ(ts.entries()[0].item, 1u);
+}
+
+TEST_F(DtsFixture, HotUpdatesAgeOutQuickly) {
+  for (int i = 0; i < 100; ++i) update(7, 5.0 * i);  // hot, last at 495
+  // minWindow = 2 intervals = 40 s: at t=600 item 7 is out of its window.
+  const auto r = server.buildReport(600.0);
+  const auto& ts = static_cast<const report::TsReport&>(*r);
+  EXPECT_TRUE(ts.entries().empty());
+}
+
+TEST_F(DtsFixture, CoverageFloorIsMinWindow) {
+  const auto r = server.buildReport(1000.0);
+  const auto& ts = static_cast<const report::TsReport&>(*r);
+  EXPECT_DOUBLE_EQ(ts.coverageStart(), 1000.0 - 2 * 20.0);
+}
+
+TEST_F(DtsFixture, CoveredClientRunsPlainTs) {
+  h.cacheItem(1, 100.0);
+  h.cacheItem(2, 100.0);
+  h.ctx.setLastHeard(980.0);
+  update(1, 990.0);
+  client.onReport(*server.buildReport(1000.0), h.ctx);
+  EXPECT_FALSE(h.ctx.cache().contains(1));
+  EXPECT_TRUE(h.ctx.cache().contains(2));  // unlisted but covered: kept
+}
+
+TEST_F(DtsFixture, SleeperSalvagesListedColdItems) {
+  // Cached at t=100; client slept from 120 to 1000. Item 1 (cold, updated
+  // at 90, before the fetch) is still listed: provably current. Item 2 was
+  // never updated: unlisted, undecidable, dropped.
+  update(1, 90.0);
+  h.cacheItem(1, 100.0);
+  h.cacheItem(2, 100.0);
+  h.ctx.setLastHeard(120.0);
+  client.onReport(*server.buildReport(1000.0), h.ctx);
+  ASSERT_TRUE(h.ctx.cache().contains(1));
+  EXPECT_FALSE(h.ctx.cache().contains(2));
+  // The survivor's refTime advanced to the report.
+  EXPECT_DOUBLE_EQ(h.ctx.cache().find(1)->refTime, 1000.0);
+}
+
+TEST_F(DtsFixture, SleeperDropsListedStaleItems) {
+  h.cacheItem(1, 100.0);
+  h.ctx.setLastHeard(120.0);
+  update(1, 500.0);  // updated during the doze; cold, so still listed
+  client.onReport(*server.buildReport(1000.0), h.ctx);
+  EXPECT_FALSE(h.ctx.cache().contains(1));
+}
+
+TEST_F(DtsFixture, NoUplinkEver) {
+  h.cacheItem(1, 100.0);
+  h.ctx.setLastHeard(120.0);
+  const auto out = client.onReport(*server.buildReport(1000.0), h.ctx);
+  EXPECT_FALSE(out.sendCheck);
+  EXPECT_FALSE(server.onCheckMessage({}, 1000.0).has_value());
+}
+
+}  // namespace
+}  // namespace mci::schemes

@@ -1,0 +1,43 @@
+#include "schemes/factory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace mci::schemes {
+namespace {
+
+TEST(Factory, NamesRoundTrip) {
+  for (SchemeKind k : kAllSchemes) {
+    const auto parsed = parseSchemeName(schemeName(k));
+    ASSERT_TRUE(parsed.has_value()) << schemeName(k);
+    EXPECT_EQ(*parsed, k);
+  }
+}
+
+TEST(Factory, NamesAreUnique) {
+  std::set<std::string> names;
+  for (SchemeKind k : kAllSchemes) names.insert(schemeName(k));
+  EXPECT_EQ(names.size(), std::size(kAllSchemes));
+}
+
+TEST(Factory, UnknownNameRejected) {
+  EXPECT_FALSE(parseSchemeName("bogus").has_value());
+  EXPECT_FALSE(parseSchemeName("").has_value());
+  EXPECT_FALSE(parseSchemeName("aaw").has_value());  // case-sensitive
+}
+
+TEST(Factory, PaperSchemesMatchTheFiguresLegend) {
+  ASSERT_EQ(std::size(kPaperSchemes), 4u);
+  EXPECT_EQ(kPaperSchemes[0], SchemeKind::kAaw);
+  EXPECT_EQ(kPaperSchemes[1], SchemeKind::kAfw);
+  EXPECT_EQ(kPaperSchemes[2], SchemeKind::kTsChecking);
+  EXPECT_EQ(kPaperSchemes[3], SchemeKind::kBs);
+  EXPECT_STREQ(schemeLegend(SchemeKind::kAaw), "adaptive with adjusting window");
+  EXPECT_STREQ(schemeLegend(SchemeKind::kBs), "bit sequences");
+  EXPECT_STREQ(schemeLegend(SchemeKind::kTs), "TS");
+}
+
+}  // namespace
+}  // namespace mci::schemes

@@ -1,0 +1,149 @@
+#include "schemes/gcore_scheme.hpp"
+
+#include <gtest/gtest.h>
+
+#include "db/database.hpp"
+#include "scheme_test_util.hpp"
+
+namespace mci::schemes {
+namespace {
+
+using testutil::ClientHarness;
+
+struct GcoreFixture : ::testing::Test {
+  static constexpr std::size_t kGroupSize = 10;
+  db::Database db{1000};
+  db::UpdateHistory hist{1000};
+  ClientHarness h;
+  GcoreServerScheme server{hist, db, h.sizes, 20.0, 10, kGroupSize};
+  GcoreClientScheme client{kGroupSize};
+
+  void update(db::ItemId item, double t) {
+    db.applyUpdate(item, t);
+    hist.record(item, t);
+  }
+};
+
+TEST_F(GcoreFixture, CoveredClientNeedsNoCheck) {
+  h.cacheItem(1, 100.0);
+  h.ctx.setLastHeard(480.0);
+  const auto out = client.onReport(*server.buildReport(500.0), h.ctx);
+  EXPECT_FALSE(out.sendCheck);
+}
+
+TEST_F(GcoreFixture, CheckAggregatesSuspectsByGroup) {
+  // Items 3, 7 (group 0) and 25 (group 2) with different refTimes.
+  h.cacheItem(3, 110.0);
+  h.cacheItem(7, 90.0);
+  h.cacheItem(25, 120.0);
+  h.ctx.setLastHeard(130.0);
+
+  const auto out = client.onReport(*server.buildReport(500.0), h.ctx);
+  ASSERT_TRUE(out.sendCheck);
+  ASSERT_EQ(out.check.entries.size(), 2u);  // two groups, not three items
+  EXPECT_EQ(out.check.entries[0].item, 0u);
+  EXPECT_DOUBLE_EQ(out.check.entries[0].time, 90.0);  // min refTime in group
+  EXPECT_EQ(out.check.entries[1].item, 2u);
+  EXPECT_DOUBLE_EQ(out.check.entries[1].time, 120.0);
+  EXPECT_DOUBLE_EQ(out.check.sizeBits, gcoreCheckBits(h.sizes, kGroupSize, 2));
+}
+
+TEST_F(GcoreFixture, GroupedCheckIsSmallerThanPerItemWhenClustered) {
+  // 10 suspects in one group: one pair vs ten pairs.
+  EXPECT_LT(gcoreCheckBits(h.sizes, kGroupSize, 1),
+            h.sizes.checkRequestBits(10));
+  // Degenerate case: 10 suspects in 10 different groups buys nothing.
+  EXPECT_GT(gcoreCheckBits(h.sizes, kGroupSize, 10),
+            h.sizes.checkRequestBits(10) * 0.5);
+}
+
+TEST_F(GcoreFixture, ServerAnswersGroupQueries) {
+  update(3, 200.0);   // after the group timestamp -> invalid
+  update(15, 200.0);  // group 1, not asked about
+  CheckMessage msg;
+  msg.client = 7;
+  msg.entries = {{0, 100.0}};  // group 0, oldest refTime 100
+  const auto reply = server.onCheckMessage(msg, 500.0);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->invalid, (std::vector<db::ItemId>{3}));
+  EXPECT_DOUBLE_EQ(reply->asOf, 500.0);
+}
+
+TEST_F(GcoreFixture, ReplySalvagesAndInvalidatesConservatively) {
+  h.cacheItem(3, 110.0);
+  h.cacheItem(7, 90.0);
+  h.ctx.setLastHeard(130.0);
+  update(3, 300.0);  // 3 is genuinely stale; 7 untouched
+
+  const auto out = client.onReport(*server.buildReport(500.0), h.ctx);
+  ASSERT_TRUE(out.sendCheck);
+  auto reply = server.onCheckMessage(out.check, 505.0);
+  ASSERT_TRUE(reply.has_value());
+  reply->epoch = out.check.epoch;
+  client.onValidityReply(*reply, h.ctx);
+
+  EXPECT_FALSE(h.ctx.cache().contains(3));
+  ASSERT_TRUE(h.ctx.cache().contains(7));
+  EXPECT_FALSE(h.ctx.cache().find(7)->suspect);
+  EXPECT_FALSE(h.ctx.salvagePending());
+}
+
+TEST_F(GcoreFixture, GroupGranularityCausesFalseInvalidationsNotStaleness) {
+  // Item 7's refTime (90) drags group 0's timestamp down; item 3 was
+  // updated at 100 and refetched at 110 — current, but listed for the
+  // group query and conservatively tossed.
+  update(3, 100.0);
+  h.cacheItem(3, 110.0);  // fetched after the update: current copy
+  h.cacheItem(7, 90.0);
+  h.ctx.setLastHeard(130.0);
+
+  const auto out = client.onReport(*server.buildReport(500.0), h.ctx);
+  ASSERT_TRUE(out.sendCheck);
+  auto reply = server.onCheckMessage(out.check, 505.0);
+  reply->epoch = out.check.epoch;
+  client.onValidityReply(*reply, h.ctx);
+  EXPECT_FALSE(h.ctx.cache().contains(3));  // false invalidation
+  EXPECT_TRUE(h.ctx.cache().contains(7));
+  EXPECT_TRUE(h.sink.invalidated(3));
+}
+
+TEST_F(GcoreFixture, StaleEpochReplyIgnored) {
+  h.cacheItem(3, 110.0);
+  h.ctx.setLastHeard(130.0);
+  const auto out = client.onReport(*server.buildReport(500.0), h.ctx);
+  ASSERT_TRUE(out.sendCheck);
+  auto reply = server.onCheckMessage(out.check, 505.0);
+  reply->epoch = out.check.epoch + 1;
+  client.onValidityReply(*reply, h.ctx);
+  EXPECT_TRUE(h.ctx.salvagePending());
+  EXPECT_EQ(h.ctx.cache().suspectCount(), 1u);
+}
+
+TEST_F(GcoreFixture, BoundaryGroupAnswered) {
+  // The last group (items 990..999) must clamp at N and answer correctly.
+  update(999, 200.0);
+  CheckMessage msg;
+  msg.entries = {{99, 100.0}};
+  const auto reply = server.onCheckMessage(msg, 500.0);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->invalid, (std::vector<db::ItemId>{999}));
+}
+
+TEST(GcoreSizing, PartialTrailingGroup) {
+  // N = 25, groups of 10 -> 3 groups; the server must clamp group 2 to
+  // items 20..24.
+  db::Database db(25);
+  db::UpdateHistory hist(25);
+  report::SizeModel sizes;
+  sizes.numItems = 25;
+  GcoreServerScheme server(hist, db, sizes, 20.0, 10, 10);
+  db.applyUpdate(24, 50.0);
+  CheckMessage msg;
+  msg.entries = {{2, 10.0}};
+  const auto reply = server.onCheckMessage(msg, 100.0);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->invalid, (std::vector<db::ItemId>{24}));
+}
+
+}  // namespace
+}  // namespace mci::schemes

@@ -1,0 +1,101 @@
+#include "schemes/sig_scheme.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scheme_test_util.hpp"
+
+namespace mci::schemes {
+namespace {
+
+using testutil::ClientHarness;
+
+struct SigFixture : ::testing::Test {
+  ClientHarness h{100, 16};
+  report::SignatureTable table{100, 32, 4, 1234};
+  SigServerScheme server{table, h.sizes};
+  SigClientScheme client{table, table.combined(), /*votesNeeded=*/0};
+  std::vector<db::Version> versions = std::vector<db::Version>(100, 0);
+
+  void update(db::ItemId item) {
+    table.applyUpdate(item, versions[item], versions[item] + 1);
+    ++versions[item];
+  }
+};
+
+TEST_F(SigFixture, BuildsSignatureReports) {
+  const auto r = server.buildReport(20.0);
+  EXPECT_EQ(r->kind, report::ReportKind::kSignature);
+  EXPECT_DOUBLE_EQ(r->sizeBits, h.sizes.sigReportBits(32));
+}
+
+TEST_F(SigFixture, NoChangesNoInvalidations) {
+  h.cacheItem(5, 1.0);
+  client.onReport(*server.buildReport(20.0), h.ctx);
+  EXPECT_TRUE(h.ctx.cache().contains(5));
+  EXPECT_TRUE(h.sink.invalidations.empty());
+}
+
+TEST_F(SigFixture, UpdatedCachedItemIsInvalidated) {
+  h.cacheItem(5, 1.0);
+  update(5);
+  client.onReport(*server.buildReport(20.0), h.ctx);
+  EXPECT_FALSE(h.ctx.cache().contains(5));
+}
+
+TEST_F(SigFixture, UpdateCaughtEvenAfterMissedReports) {
+  // The client diffs against its own stored snapshot, so sleeping through
+  // any number of reports cannot hide an update.
+  h.cacheItem(5, 1.0);
+  update(5);
+  (void)server.buildReport(20.0);  // missed
+  (void)server.buildReport(40.0);  // missed
+  update(9);
+  client.onReport(*server.buildReport(60.0), h.ctx);
+  EXPECT_FALSE(h.ctx.cache().contains(5));
+}
+
+TEST_F(SigFixture, NeverMissesUpdatesAcrossManyRounds) {
+  // Property within the fixture: after each heard report, no cached item
+  // may have a version older than the table's.
+  sim::Rng rng(5);
+  for (int round = 0; round < 50; ++round) {
+    const auto item = static_cast<db::ItemId>(rng.uniformInt(0, 99));
+    h.cacheItem(item, 0.0, versions[item]);
+    const int updates = static_cast<int>(rng.uniformInt(0, 3));
+    for (int u = 0; u < updates; ++u) {
+      update(static_cast<db::ItemId>(rng.uniformInt(0, 99)));
+    }
+    client.onReport(*server.buildReport(20.0 * (round + 1)), h.ctx);
+    h.ctx.cache().forEach([&](const cache::Entry& e) {
+      EXPECT_EQ(e.version, versions[e.item])
+          << "stale survivor: item " << e.item;
+    });
+    // Re-cache survivors' versions stay in sync by construction.
+  }
+}
+
+TEST_F(SigFixture, CollateralInvalidationIsPossibleButBounded) {
+  // Fill the cache with untouched items, update many others: some valid
+  // entries may fall (shared subsets), but with few updates most survive.
+  for (db::ItemId i = 0; i < 10; ++i) h.cacheItem(i, 1.0);
+  update(50);
+  client.onReport(*server.buildReport(20.0), h.ctx);
+  // 4 changed subsets of 32: a valid item dies only if all 4 of its
+  // subsets are among them — rare; at least half the cache must survive.
+  EXPECT_GE(h.ctx.cache().size(), 5u);
+}
+
+TEST_F(SigFixture, LowerVoteThresholdIsMoreAggressive) {
+  SigClientScheme aggressive{table, table.combined(), /*votesNeeded=*/1};
+  for (db::ItemId i = 0; i < 10; ++i) h.cacheItem(i, 1.0);
+  for (db::ItemId i = 40; i < 60; ++i) update(i);
+  aggressive.onReport(*server.buildReport(20.0), h.ctx);
+  const std::size_t afterAggressive = h.ctx.cache().size();
+  // votes=1 invalidates any cached item sharing a single changed subset —
+  // with 20 updated items (~60+ changed subsets of 32, i.e. most of them),
+  // nearly everything goes.
+  EXPECT_LE(afterAggressive, 3u);
+}
+
+}  // namespace
+}  // namespace mci::schemes

@@ -1,0 +1,130 @@
+#include "sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace mci::sim {
+namespace {
+
+TEST(Xoshiro256, DeterministicForSameSeed) {
+  Xoshiro256 a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  const Rng root(7);
+  Rng a = root.fork("clients", 3);
+  Rng b = root.fork("clients", 3);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.bits(), b.bits());
+}
+
+TEST(Rng, ForksWithDifferentTagsDecorrelate) {
+  const Rng root(7);
+  Rng a = root.fork("query", 0);
+  Rng b = root.fork("disc", 0);
+  Rng c = root.fork("query", 1);
+  int abEqual = 0, acEqual = 0;
+  for (int i = 0; i < 64; ++i) {
+    const auto x = a.bits();
+    if (x == b.bits()) ++abEqual;
+    if (x == c.bits()) ++acEqual;
+  }
+  EXPECT_LE(abEqual, 1);
+  EXPECT_LE(acEqual, 1);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng r(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntHitsInclusiveBounds) {
+  Rng r(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.uniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values occur
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+  Rng r(12);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.uniformInt(4, 4), 4);
+}
+
+class RngMomentsTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngMomentsTest, ExponentialMeanMatches) {
+  Rng r(GetParam());
+  const double mean = 100.0;
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(mean);
+  EXPECT_NEAR(sum / n, mean, mean * 0.02);
+}
+
+TEST_P(RngMomentsTest, BernoulliFrequencyMatches) {
+  Rng r(GetParam() + 1);
+  const double p = 0.3;
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(p) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.01);
+}
+
+TEST_P(RngMomentsTest, PoissonMeanMatches) {
+  Rng r(GetParam() + 2);
+  const double mean = 4.0;
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.poisson(mean);
+  EXPECT_NEAR(sum / n, mean, mean * 0.03);
+}
+
+TEST_P(RngMomentsTest, UniformRealMeanMatches) {
+  Rng r(GetParam() + 3);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.uniformReal(10.0, 20.0);
+  EXPECT_NEAR(sum / n, 15.0, 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngMomentsTest,
+                         ::testing::Values(1u, 42u, 31337u, 2026u));
+
+TEST(Rng, PoissonZeroMeanIsZero) {
+  Rng r(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.poisson(0.0), 0);
+}
+
+TEST(Rng, ExponentialIsPositive) {
+  Rng r(4);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(r.exponential(1.0), 0.0);
+}
+
+TEST(HashTag, DistinctTagsDistinctHashes) {
+  EXPECT_NE(hashTag("query"), hashTag("disc"));
+  EXPECT_NE(hashTag("a"), hashTag("b"));
+  EXPECT_EQ(hashTag("same"), hashTag("same"));
+}
+
+}  // namespace
+}  // namespace mci::sim

@@ -1,0 +1,134 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mci::sim {
+namespace {
+
+TEST(Simulator, ClockStartsAtZero) {
+  Simulator s;
+  EXPECT_DOUBLE_EQ(s.now(), 0.0);
+  EXPECT_EQ(s.eventsFired(), 0u);
+}
+
+TEST(Simulator, RunAdvancesClockToEventTimes) {
+  Simulator s;
+  std::vector<double> seen;
+  s.schedule(5.0, [&] { seen.push_back(s.now()); });
+  s.schedule(2.0, [&] { seen.push_back(s.now()); });
+  s.runAll();
+  EXPECT_EQ(seen, (std::vector<double>{2.0, 5.0}));
+  EXPECT_DOUBLE_EQ(s.now(), 5.0);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator s;
+  int fired = 0;
+  s.schedule(1.0, [&] { ++fired; });
+  s.schedule(10.0, [&] { ++fired; });
+  s.runUntil(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(s.now(), 5.0);  // clock advances to the horizon
+  EXPECT_EQ(s.pendingEvents(), 1u);
+}
+
+TEST(Simulator, EventExactlyAtHorizonFires) {
+  Simulator s;
+  bool fired = false;
+  s.schedule(5.0, [&] { fired = true; });
+  s.runUntil(5.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, RunUntilResumesWhereItLeftOff) {
+  Simulator s;
+  std::vector<double> seen;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    s.schedule(t, [&seen, &s] { seen.push_back(s.now()); });
+  }
+  s.runUntil(2.5);
+  EXPECT_EQ(seen.size(), 2u);
+  s.runUntil(10.0);
+  EXPECT_EQ(seen, (std::vector<double>{1.0, 2.0, 3.0, 4.0}));
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator s;
+  std::vector<double> times;
+  // A self-perpetuating process, like the broadcast loop.
+  std::function<void()> tick = [&] {
+    times.push_back(s.now());
+    if (times.size() < 5) s.schedule(10.0, tick);
+  };
+  s.schedule(10.0, tick);
+  s.runAll();
+  EXPECT_EQ(times, (std::vector<double>{10, 20, 30, 40, 50}));
+}
+
+TEST(Simulator, StopHaltsTheLoop) {
+  Simulator s;
+  int fired = 0;
+  s.schedule(1.0, [&] {
+    ++fired;
+    s.stop();
+  });
+  s.schedule(2.0, [&] { ++fired; });
+  s.runAll();
+  EXPECT_EQ(fired, 1);
+  // A later run resumes.
+  s.runAll();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, CancelInsideEvent) {
+  Simulator s;
+  bool fired = false;
+  const EventId victim = s.schedule(5.0, [&] { fired = true; });
+  s.schedule(1.0, [&] { EXPECT_TRUE(s.cancel(victim)); });
+  s.runAll();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, EventsFiredCounts) {
+  Simulator s;
+  for (int i = 0; i < 7; ++i) s.schedule(i, [] {});
+  s.runAll();
+  EXPECT_EQ(s.eventsFired(), 7u);
+}
+
+TEST(Simulator, ScheduleAtAbsoluteTime) {
+  Simulator s;
+  double seen = -1;
+  s.scheduleAt(42.0, [&] { seen = s.now(); });
+  s.runAll();
+  EXPECT_DOUBLE_EQ(seen, 42.0);
+}
+
+TEST(Simulator, ZeroDelayFiresAtCurrentTime) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule(1.0, [&] {
+    order.push_back(1);
+    s.schedule(0.0, [&] { order.push_back(2); });
+  });
+  s.schedule(1.0, [&] { order.push_back(3); });
+  s.runAll();
+  // The zero-delay event lands at t=1 but was scheduled after event 3, so
+  // FIFO puts it last.
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(Simulator, HorizonDoesNotSwallowSameTimeSiblings) {
+  // Two events at the horizon must both fire, in FIFO order.
+  Simulator s;
+  std::vector<int> order;
+  s.schedule(5.0, [&] { order.push_back(1); });
+  s.schedule(5.0, [&] { order.push_back(2); });
+  s.runUntil(5.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+}  // namespace
+}  // namespace mci::sim

@@ -1,0 +1,117 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <vector>
+
+namespace mci::sim {
+namespace {
+
+TEST(Welford, EmptyIsZero) {
+  Welford w;
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(w.sum(), 0.0);
+}
+
+TEST(Welford, SingleSample) {
+  Welford w;
+  w.add(5.0);
+  EXPECT_EQ(w.count(), 1u);
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(w.min(), 5.0);
+  EXPECT_DOUBLE_EQ(w.max(), 5.0);
+}
+
+TEST(Welford, MatchesNaiveComputation) {
+  std::mt19937_64 rng(9);
+  std::uniform_real_distribution<double> dist(-50, 150);
+  std::vector<double> xs(1000);
+  Welford w;
+  for (double& x : xs) {
+    x = dist(rng);
+    w.add(x);
+  }
+  const double mean = std::accumulate(xs.begin(), xs.end(), 0.0) / xs.size();
+  double var = 0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(w.mean(), mean, 1e-9);
+  EXPECT_NEAR(w.variance(), var, 1e-6);
+  EXPECT_NEAR(w.stddev(), std::sqrt(var), 1e-6);
+  EXPECT_DOUBLE_EQ(w.min(), *std::min_element(xs.begin(), xs.end()));
+  EXPECT_DOUBLE_EQ(w.max(), *std::max_element(xs.begin(), xs.end()));
+}
+
+TEST(Welford, ResetClears) {
+  Welford w;
+  w.add(1);
+  w.add(2);
+  w.reset();
+  EXPECT_EQ(w.count(), 0u);
+}
+
+TEST(TimeWeighted, ConstantSignal) {
+  TimeWeighted tw(3.0, 0.0);
+  EXPECT_DOUBLE_EQ(tw.average(10.0), 3.0);
+}
+
+TEST(TimeWeighted, StepSignal) {
+  TimeWeighted tw(0.0, 0.0);
+  tw.set(10.0, 5.0);  // 0 for [0,5), 10 for [5,10)
+  EXPECT_DOUBLE_EQ(tw.average(10.0), 5.0);
+}
+
+TEST(TimeWeighted, MultipleSteps) {
+  TimeWeighted tw(1.0, 0.0);
+  tw.set(2.0, 1.0);
+  tw.set(4.0, 3.0);
+  // 1*1 + 2*2 + 4*1 over 4 seconds = 9/4
+  EXPECT_DOUBLE_EQ(tw.average(4.0), 2.25);
+  EXPECT_DOUBLE_EQ(tw.current(), 4.0);
+}
+
+TEST(TimeWeighted, AverageAtStartIsCurrentValue) {
+  TimeWeighted tw(7.0, 2.0);
+  EXPECT_DOUBLE_EQ(tw.average(2.0), 7.0);
+}
+
+TEST(Histogram, CountsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-3.0);   // clamps into the first bin
+  h.add(100.0);  // clamps into the last bin
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bins().front(), 2u);
+  EXPECT_EQ(h.bins().back(), 2u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.binLow(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.binHigh(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.binLow(4), 8.0);
+}
+
+TEST(Histogram, QuantileOfUniformData) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.0), 0.0, 1.5);
+  EXPECT_NEAR(h.quantile(1.0), 100.0, 1.5);
+}
+
+TEST(Histogram, QuantileEmptyReturnsLow) {
+  Histogram h(5.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+}
+
+}  // namespace
+}  // namespace mci::sim

@@ -1,0 +1,114 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+
+namespace mci::sim {
+namespace {
+
+TEST(Trace, DisabledByDefaultAndFree) {
+  Trace t;
+  EXPECT_FALSE(t.enabled());
+  t.record(1.0, TraceCategory::kQuery, 0, "ignored");
+  EXPECT_EQ(t.recorded(), 0u);
+  EXPECT_TRUE(t.snapshot().empty());
+}
+
+TEST(Trace, RecordsInOrder) {
+  Trace t;
+  t.enable(10);
+  t.record(1.0, TraceCategory::kReport, -1, "a");
+  t.record(2.0, TraceCategory::kCache, 3, "b");
+  const auto events = t.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_DOUBLE_EQ(events[0].time, 1.0);
+  EXPECT_EQ(events[0].message, "a");
+  EXPECT_EQ(events[1].actor, 3);
+  EXPECT_EQ(t.recorded(), 2u);
+}
+
+TEST(Trace, RingKeepsTheNewestEvents) {
+  Trace t;
+  t.enable(3);
+  for (int i = 0; i < 7; ++i) {
+    t.record(i, TraceCategory::kQuery, i, std::to_string(i));
+  }
+  const auto events = t.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].message, "4");
+  EXPECT_EQ(events[1].message, "5");
+  EXPECT_EQ(events[2].message, "6");
+  EXPECT_EQ(t.recorded(), 7u);
+}
+
+TEST(Trace, FilterSelectsByPredicate) {
+  Trace t;
+  t.enable(10);
+  t.record(1.0, TraceCategory::kReport, -1, "r");
+  t.record(2.0, TraceCategory::kCache, 1, "c1");
+  t.record(3.0, TraceCategory::kCache, 2, "c2");
+  const auto cache = t.filter([](const TraceEvent& e) {
+    return e.category == TraceCategory::kCache;
+  });
+  ASSERT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache[0].message, "c1");
+}
+
+TEST(Trace, FormatMentionsActorsAndCategories) {
+  Trace t;
+  t.enable(4);
+  t.record(12.5, TraceCategory::kDoze, 7, "wakes");
+  t.record(13.0, TraceCategory::kReport, -1, "broadcast IR(w)");
+  const std::string out = t.format();
+  EXPECT_NE(out.find("client 7: wakes"), std::string::npos);
+  EXPECT_NE(out.find("server: broadcast IR(w)"), std::string::npos);
+  EXPECT_NE(out.find("[doze"), std::string::npos);
+  // lastN limiting
+  const std::string tail = t.format(1);
+  EXPECT_EQ(tail.find("client 7"), std::string::npos);
+  EXPECT_NE(tail.find("server:"), std::string::npos);
+}
+
+TEST(Trace, DisableClears) {
+  Trace t;
+  t.enable(4);
+  t.record(1.0, TraceCategory::kQuery, 0, "x");
+  t.disable();
+  EXPECT_FALSE(t.enabled());
+  EXPECT_TRUE(t.snapshot().empty());
+}
+
+TEST(Trace, SimulationRoutesModelEventsWhenEnabled) {
+  core::SimConfig cfg;
+  cfg.simTime = 2000.0;
+  cfg.numClients = 10;
+  cfg.dbSize = 200;
+  cfg.traceCapacity = 512;
+  cfg.disconnectProb = 0.3;
+  core::Simulation sim(cfg);
+  sim.runUntil(cfg.simTime);
+  const auto& trace = sim.trace();
+  EXPECT_TRUE(trace.enabled());
+  EXPECT_GT(trace.recorded(), 0u);
+  // Reports were traced.
+  const auto reports = trace.filter([](const TraceEvent& e) {
+    return e.category == TraceCategory::kReport;
+  });
+  EXPECT_FALSE(reports.empty());
+  EXPECT_NE(reports.front().message.find("IR"), std::string::npos);
+}
+
+TEST(Trace, SimulationTraceOffByDefault) {
+  core::SimConfig cfg;
+  cfg.simTime = 500.0;
+  cfg.numClients = 5;
+  cfg.dbSize = 100;
+  core::Simulation sim(cfg);
+  sim.runUntil(cfg.simTime);
+  EXPECT_FALSE(sim.trace().enabled());
+  EXPECT_EQ(sim.trace().recorded(), 0u);
+}
+
+}  // namespace
+}  // namespace mci::sim

@@ -1,0 +1,85 @@
+#include "workload/pattern.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace mci::workload {
+namespace {
+
+TEST(AccessPattern, UniformCoversWholeDatabase) {
+  const auto p = AccessPattern::uniform(50);
+  sim::Rng rng(1);
+  std::map<db::ItemId, int> counts;
+  for (int i = 0; i < 50000; ++i) {
+    const db::ItemId item = p.pick(rng);
+    ASSERT_LT(item, 50u);
+    ++counts[item];
+  }
+  EXPECT_EQ(counts.size(), 50u);
+  for (const auto& [item, count] : counts) {
+    EXPECT_NEAR(count, 1000, 200) << "item " << item;
+  }
+}
+
+TEST(AccessPattern, HotColdRespectsHotProbability) {
+  const auto p = AccessPattern::hotCold(1000, {0, 100, 0.8});
+  sim::Rng rng(2);
+  int hot = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (p.pick(rng) < 100) ++hot;
+  }
+  EXPECT_NEAR(static_cast<double>(hot) / n, 0.8, 0.01);
+}
+
+TEST(AccessPattern, ColdPicksExcludeHotRegion) {
+  // hotProb = 0: every pick must land in the cold remainder.
+  const auto p = AccessPattern::hotCold(200, {50, 100, 0.0});
+  sim::Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    const db::ItemId item = p.pick(rng);
+    EXPECT_TRUE(item < 50 || item >= 100) << item;
+    EXPECT_LT(item, 200u);
+  }
+}
+
+TEST(AccessPattern, ColdPicksAreUniformOverRemainder) {
+  const auto p = AccessPattern::hotCold(20, {5, 10, 0.0});
+  sim::Rng rng(4);
+  std::map<db::ItemId, int> counts;
+  for (int i = 0; i < 30000; ++i) ++counts[p.pick(rng)];
+  EXPECT_EQ(counts.size(), 15u);  // 20 - 5 hot
+  for (const auto& [item, count] : counts) {
+    EXPECT_NEAR(count, 2000, 350) << "item " << item;
+  }
+}
+
+TEST(AccessPattern, HotPicksInsideBounds) {
+  const auto p = AccessPattern::hotCold(1000, {200, 300, 1.0});
+  sim::Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const db::ItemId item = p.pick(rng);
+    EXPECT_GE(item, 200u);
+    EXPECT_LT(item, 300u);
+  }
+}
+
+TEST(AccessPattern, IsHotClassifier) {
+  const auto hc = AccessPattern::hotCold(1000, {0, 100, 0.8});
+  EXPECT_TRUE(hc.isHot(0));
+  EXPECT_TRUE(hc.isHot(99));
+  EXPECT_FALSE(hc.isHot(100));
+  const auto u = AccessPattern::uniform(1000);
+  EXPECT_FALSE(u.isHot(0));
+}
+
+TEST(AccessPattern, DescribeMentionsKind) {
+  EXPECT_NE(AccessPattern::uniform(10).describe().find("UNIFORM"),
+            std::string::npos);
+  EXPECT_NE(AccessPattern::hotCold(100, {0, 10, 0.5}).describe().find("HOTCOLD"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace mci::workload

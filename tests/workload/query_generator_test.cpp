@@ -1,0 +1,74 @@
+#include "workload/query_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mci::workload {
+namespace {
+
+QueryGenerator makeGen(double meanItems, std::uint64_t seed = 1,
+                       std::size_t dbSize = 1000) {
+  QueryGenerator::Params p;
+  p.meanThinkTime = 100.0;
+  p.meanItemsPerQuery = meanItems;
+  return QueryGenerator(AccessPattern::uniform(dbSize), p, sim::Rng(seed));
+}
+
+TEST(QueryGenerator, SingleItemQueriesWhenMeanIsOne) {
+  auto gen = makeGen(1.0);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(gen.nextQuery().size(), 1u);
+  }
+}
+
+TEST(QueryGenerator, ItemsAreDistinctWithinAQuery) {
+  auto gen = makeGen(10.0, 2, 100);
+  for (int i = 0; i < 200; ++i) {
+    const auto q = gen.nextQuery();
+    const std::set<db::ItemId> uniq(q.begin(), q.end());
+    EXPECT_EQ(uniq.size(), q.size());
+  }
+}
+
+TEST(QueryGenerator, MeanItemsPerQueryMatches) {
+  auto gen = makeGen(10.0, 3, 10000);
+  double total = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) total += static_cast<double>(gen.nextQuery().size());
+  EXPECT_NEAR(total / n, 10.0, 0.2);
+}
+
+TEST(QueryGenerator, QueriesNeverEmpty) {
+  auto gen = makeGen(1.0, 4, 2);  // tiny database
+  for (int i = 0; i < 100; ++i) EXPECT_GE(gen.nextQuery().size(), 1u);
+}
+
+TEST(QueryGenerator, ThinkTimeMeanMatches) {
+  auto gen = makeGen(1.0, 5);
+  double total = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) total += gen.thinkTime();
+  EXPECT_NEAR(total / n, 100.0, 2.0);
+}
+
+TEST(QueryGenerator, ItemsComeFromPattern) {
+  QueryGenerator::Params p;
+  p.meanItemsPerQuery = 3.0;
+  QueryGenerator gen(AccessPattern::hotCold(1000, {0, 10, 1.0}), p, sim::Rng(6));
+  for (int i = 0; i < 100; ++i) {
+    for (db::ItemId item : gen.nextQuery()) EXPECT_LT(item, 10u);
+  }
+}
+
+TEST(QueryGenerator, DeterministicPerSeed) {
+  auto a = makeGen(5.0, 7);
+  auto b = makeGen(5.0, 7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.nextQuery(), b.nextQuery());
+    EXPECT_DOUBLE_EQ(a.thinkTime(), b.thinkTime());
+  }
+}
+
+}  // namespace
+}  // namespace mci::workload

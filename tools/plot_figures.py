@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Plot the reproduced paper figures from the bench CSV outputs.
+
+Usage:
+    ./build/bench/bench_all_figures --outdir results
+    python3 tools/plot_figures.py results [outdir]
+
+Reads results/figNN.csv (as written by bench_all_figures or any figure
+bench's --csv output redirected to a file) and writes one PNG per figure.
+Requires matplotlib; exits with a friendly message if it is unavailable.
+"""
+
+import csv
+import pathlib
+import sys
+
+
+def main() -> int:
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib is not installed; install it or use the CSV/JSON "
+              "outputs directly.", file=sys.stderr)
+        return 1
+
+    indir = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "results")
+    outdir = pathlib.Path(sys.argv[2] if len(sys.argv) > 2 else indir)
+    outdir.mkdir(parents=True, exist_ok=True)
+
+    count = 0
+    for path in sorted(indir.glob("fig*.csv")):
+        with path.open() as f:
+            rows = list(csv.reader(f))
+        if len(rows) < 2:
+            continue
+        header, data = rows[0], rows[1:]
+        xs = [float(r[0]) for r in data]
+        fig, ax = plt.subplots(figsize=(6, 4))
+        for col in range(1, len(header)):
+            if header[col].endswith(" sd"):
+                continue  # replication spread: drawn as error bars below
+            ys = [float(r[col]) for r in data]
+            sd_col = None
+            if col + 1 < len(header) and header[col + 1] == header[col] + " sd":
+                sd_col = col + 1
+            if sd_col is not None:
+                sds = [float(r[sd_col]) for r in data]
+                ax.errorbar(xs, ys, yerr=sds, marker="o", capsize=3,
+                            label=header[col])
+            else:
+                ax.plot(xs, ys, marker="o", label=header[col])
+        ax.set_xlabel(header[0])
+        ax.set_title(path.stem)
+        ax.grid(True, alpha=0.3)
+        ax.legend(fontsize=8)
+        fig.tight_layout()
+        out = outdir / (path.stem + ".png")
+        fig.savefig(out, dpi=120)
+        plt.close(fig)
+        print(f"wrote {out}")
+        count += 1
+    if count == 0:
+        print(f"no fig*.csv files found in {indir}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
