@@ -1,0 +1,42 @@
+# Sanitizer configuration for every target in the tree (src, tests, bench,
+# examples). Included from the top-level CMakeLists before any
+# add_subdirectory so the flags apply directory-wide.
+#
+#   MCI_SANITIZE          semicolon-separated sanitizer list. Supported:
+#                           address;undefined   (the asan-ubsan preset)
+#                           thread              (the tsan preset)
+#                         Empty (default) = no instrumentation.
+#
+# Sanitized builds also define MCI_ENABLE_DCHECKS so the expensive
+# MCI_DCHECK invariants (src/core/check.hpp) run exactly where the cheap
+# reproduction of a failure matters most.
+
+set(MCI_SANITIZE "" CACHE STRING
+    "Semicolon-separated sanitizers to enable (address;undefined | thread)")
+
+if(MCI_SANITIZE)
+  set(_mci_known_sanitizers address undefined thread leak)
+  foreach(_san IN LISTS MCI_SANITIZE)
+    if(NOT _san IN_LIST _mci_known_sanitizers)
+      message(FATAL_ERROR "MCI_SANITIZE: unknown sanitizer '${_san}' "
+                          "(supported: ${_mci_known_sanitizers})")
+    endif()
+  endforeach()
+
+  if("thread" IN_LIST MCI_SANITIZE AND "address" IN_LIST MCI_SANITIZE)
+    message(FATAL_ERROR "MCI_SANITIZE: 'thread' and 'address' are mutually "
+                        "exclusive; configure two build trees instead "
+                        "(cmake --preset asan-ubsan / --preset tsan)")
+  endif()
+
+  string(REPLACE ";" "," _mci_sanitize_csv "${MCI_SANITIZE}")
+  add_compile_options(
+    -fsanitize=${_mci_sanitize_csv}
+    -fno-omit-frame-pointer
+    -fno-sanitize-recover=all
+    -g
+  )
+  add_link_options(-fsanitize=${_mci_sanitize_csv})
+  add_compile_definitions(MCI_ENABLE_DCHECKS=1)
+  message(STATUS "mobicache: sanitizers enabled: ${_mci_sanitize_csv}")
+endif()

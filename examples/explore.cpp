@@ -4,7 +4,7 @@
 // closed-form prediction from core/analysis next to the measurement, and —
 // with --trace N — the tail of the model-event trace.
 //
-//   ./explore --scheme AAW --workload HOTCOLD --dbsize 20000 --p 0.3 \
+//   ./explore --scheme AAW --workload HOTCOLD --dbsize 20000 --p 0.3
 //             --disc 2000 --uplink 500 --trace 20
 
 #include <cstdio>

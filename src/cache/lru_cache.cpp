@@ -1,17 +1,31 @@
 #include "cache/lru_cache.hpp"
 
-#include <cassert>
+#include <iterator>
+
+#include "core/check.hpp"
 
 namespace mci::cache {
 
 LruCache::LruCache(std::size_t capacity, ReplacementPolicy policy,
                    std::uint64_t randomSeed)
     : capacity_(capacity), policy_(policy), randState_(randomSeed | 1) {
-  assert(capacity_ >= 1);
+  MCI_CHECK(capacity_ >= 1) << "cache capacity must be at least 1";
+}
+
+bool LruCache::consistent() const {
+  if (index_.size() != order_.size()) return false;
+  if (index_.size() > capacity_) return false;
+  std::size_t suspects = 0;
+  for (auto it = order_.begin(); it != order_.end(); ++it) {
+    const auto idx = index_.find(it->item);
+    if (idx == index_.end() || &*idx->second != &*it) return false;
+    if (it->suspect) ++suspects;
+  }
+  return suspects == suspects_;
 }
 
 Entry LruCache::evictOne() {
-  assert(!order_.empty());
+  MCI_CHECK(!order_.empty()) << "evictOne() on an empty cache";
   auto victim = std::prev(order_.end());  // LRU/FIFO: back of the list
   if (policy_ == ReplacementPolicy::kRandom) {
     // xorshift64 walk — deterministic per seed, cheap, index-free.
@@ -22,19 +36,24 @@ Entry LruCache::evictOne() {
     std::advance(victim, static_cast<long>(randState_ % order_.size()));
   }
   Entry out = *victim;
-  if (victim->suspect) --suspects_;
+  if (victim->suspect) {
+    MCI_CHECK(suspects_ > 0) << "suspect counter underflow on eviction";
+    --suspects_;
+  }
   index_.erase(victim->item);
   order_.erase(victim);
   return out;
 }
 
 std::optional<Entry> LruCache::insert(const Entry& entry) {
-  assert(entry.item != db::kInvalidItem);
+  MCI_CHECK(entry.item != db::kInvalidItem) << "insert() of the invalid item";
   if (auto it = index_.find(entry.item); it != index_.end()) {
     if (it->second->suspect) --suspects_;
     *it->second = entry;
     if (entry.suspect) ++suspects_;
     order_.splice(order_.begin(), order_, it->second);
+    MCI_DCHECK(consistent()) << "cache inconsistent after overwrite of item "
+                             << entry.item;
     return std::nullopt;
   }
   std::optional<Entry> evicted;
@@ -42,6 +61,10 @@ std::optional<Entry> LruCache::insert(const Entry& entry) {
   order_.push_front(entry);
   index_.emplace(entry.item, order_.begin());
   if (entry.suspect) ++suspects_;
+  MCI_CHECK(index_.size() <= capacity_)
+      << "cache over capacity: " << index_.size() << " > " << capacity_;
+  MCI_DCHECK(consistent()) << "cache inconsistent after insert of item "
+                           << entry.item;
   return evicted;
 }
 
@@ -57,7 +80,7 @@ const Entry* LruCache::find(db::ItemId item) const {
 
 void LruCache::touch(db::ItemId item) {
   auto it = index_.find(item);
-  assert(it != index_.end());
+  MCI_CHECK(it != index_.end()) << "touch() of absent item " << item;
   if (policy_ == ReplacementPolicy::kLru) {
     order_.splice(order_.begin(), order_, it->second);
   }
@@ -66,9 +89,13 @@ void LruCache::touch(db::ItemId item) {
 bool LruCache::erase(db::ItemId item) {
   auto it = index_.find(item);
   if (it == index_.end()) return false;
-  if (it->second->suspect) --suspects_;
+  if (it->second->suspect) {
+    MCI_CHECK(suspects_ > 0) << "suspect counter underflow on erase";
+    --suspects_;
+  }
   order_.erase(it->second);
   index_.erase(it);
+  MCI_DCHECK(consistent()) << "cache inconsistent after erase of item " << item;
   return true;
 }
 
@@ -87,6 +114,7 @@ std::size_t LruCache::markAllSuspect() {
     }
   }
   suspects_ += marked;
+  MCI_DCHECK(consistent()) << "cache inconsistent after markAllSuspect";
   return marked;
 }
 
@@ -101,7 +129,11 @@ std::size_t LruCache::dropSuspects() {
       ++it;
     }
   }
+  MCI_CHECK(suspects_ == dropped)
+      << "suspect counter disagrees with flagged entries: counter="
+      << suspects_ << " dropped=" << dropped;
   suspects_ -= dropped;
+  MCI_DCHECK(consistent()) << "cache inconsistent after dropSuspects";
   return dropped;
 }
 
@@ -114,13 +146,18 @@ std::size_t LruCache::salvageSuspects(sim::SimTime refTime) {
       ++salvaged;
     }
   }
+  MCI_CHECK(suspects_ == salvaged)
+      << "suspect counter disagrees with flagged entries: counter="
+      << suspects_ << " salvaged=" << salvaged;
   suspects_ -= salvaged;
+  MCI_DCHECK(consistent()) << "cache inconsistent after salvageSuspects";
   return salvaged;
 }
 
 void LruCache::clearSuspect(db::ItemId item) {
   if (Entry* e = find(item); e != nullptr && e->suspect) {
     e->suspect = false;
+    MCI_CHECK(suspects_ > 0) << "suspect counter underflow on clearSuspect";
     --suspects_;
   }
 }

@@ -107,6 +107,11 @@ class LruCache {
  private:
   using List = std::list<Entry>;
 
+  /// O(n) structural audit used by MCI_DCHECK after every mutation: the
+  /// recency list and the index describe the same entry set, the suspect
+  /// counter matches the flags, and capacity is respected.
+  [[nodiscard]] bool consistent() const;
+
   /// Picks and removes the victim entry, updating the index; returns it.
   Entry evictOne();
 

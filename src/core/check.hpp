@@ -1,0 +1,72 @@
+#pragma once
+
+// Runtime invariant checks for the simulator.
+//
+// MCI_CHECK(cond)  — always-on invariant; cheap O(1) conditions only.
+//                    Failure prints the condition, location, and any
+//                    streamed detail, then aborts. Unlike <cassert> it
+//                    survives NDEBUG, so Release figure runs are audited
+//                    by the same invariants the tests are.
+// MCI_DCHECK(cond) — expensive invariant (linear scans, cross-structure
+//                    consistency). Compiled to a no-op unless
+//                    MCI_ENABLE_DCHECKS is defined, which the build system
+//                    sets for Debug builds and for every sanitizer preset
+//                    (cmake/Sanitizers.cmake).
+//
+// Both accept streamed context:
+//
+//   MCI_CHECK(at >= last_) << "event scheduled in the past: " << at;
+//
+// The message is assembled only on failure; the happy path is one branch.
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace mci::core::detail {
+
+/// Accumulates the failure message; aborts in the destructor, which runs
+/// after every operand of the user's << chain has been appended.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << file << ":" << line << ": MCI_CHECK failed: " << condition
+            << " ";
+  }
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Lowers the precedence of the << chain below ?: so MCI_CHECK can be a
+/// single void expression (the glog voidify trick).
+struct Voidify {
+  void operator&(std::ostream&) const {}
+};
+
+}  // namespace mci::core::detail
+
+#define MCI_CHECK(cond)                                    \
+  (cond) ? (void)0                                         \
+         : ::mci::core::detail::Voidify() &                \
+               ::mci::core::detail::CheckFailure(__FILE__, __LINE__, #cond) \
+                   .stream()
+
+#if defined(MCI_ENABLE_DCHECKS)
+#define MCI_DCHECK(cond) MCI_CHECK(cond)
+#else
+// Dead branch: the condition stays compiled (no unused-variable warnings,
+// typos still break the build) but is never evaluated.
+#define MCI_DCHECK(cond) \
+  while (false) MCI_CHECK(cond)
+#endif

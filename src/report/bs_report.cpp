@@ -1,9 +1,27 @@
 #include "report/bs_report.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "core/check.hpp"
 
 namespace mci::report {
+namespace {
+
+/// Structural invariant of the level stack (B_n ... B_1): marked counts
+/// shrink monotonically, every marked prefix fits the recency list, and the
+/// cut timestamps are non-decreasing (a smaller marked set is a more recent
+/// one). decide()/encode() both index recency_ through these counts.
+bool levelsConsistent(const std::vector<BsReport::Level>& levels,
+                      std::size_t recencySize) {
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    if (levels[i].marked > recencySize) return false;
+    if (i > 0 && levels[i].marked > levels[i - 1].marked) return false;
+    if (i > 0 && levels[i].ts < levels[i - 1].ts) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 BsReport::BsReport(sim::SimTime now, net::Bits size, std::size_t numItems)
     : Report(ReportKind::kBitSeq, now, size), numItems_(numItems) {}
@@ -54,6 +72,15 @@ std::shared_ptr<const BsReport> BsReport::build(const db::UpdateHistory& history
   report->coverageStart_ = report->levels_.front().ts;
 
   report->recency_ = std::move(full);
+  MCI_CHECK(report->lastUpdate_ <= now)
+      << "BS report built at t=" << now << " sees an update at t="
+      << report->lastUpdate_;
+  MCI_CHECK(report->coverageStart_ <= report->lastUpdate_)
+      << "TS(B_n)=" << report->coverageStart_ << " after TS(B_0)="
+      << report->lastUpdate_;
+  MCI_DCHECK(levelsConsistent(report->levels_, report->recency_.size()))
+      << "BS level stack inconsistent (non-nested marks or decreasing "
+         "timestamps)";
   return report;
 }
 
@@ -67,6 +94,9 @@ BsReport::Decision BsReport::decide(sim::SimTime tlb) const {
   // ordered largest first, so scan from the back.
   for (std::size_t i = levels_.size(); i-- > 0;) {
     if (levels_[i].ts <= tlb) {
+      MCI_CHECK(levels_[i].marked <= recency_.size())
+          << "BS level " << i << " marks " << levels_[i].marked
+          << " items but the recency list holds " << recency_.size();
       d.action = Action::kInvalidateSet;
       d.levelIndex = i;
       d.marked = std::span<const db::UpdateRecord>(recency_.data(),
@@ -110,6 +140,9 @@ BsWire BsWire::encode(const BsReport& report) {
   for (std::size_t li = 1; li < levels.size(); ++li) {
     const WireLevel& prev = wire.levels_.back();
     const std::size_t prevSet = prev.bits.count();
+    MCI_CHECK(levels[li].marked <= prevSet)
+        << "BS wire level " << li << " marks " << levels[li].marked
+        << " bits but its predecessor only set " << prevSet;
     WireLevel l;
     l.bits = BitVec(prevSet);
     l.ts = levels[li].ts;

@@ -40,8 +40,8 @@ class BsReport final : public Report {
   /// One sequence level: it marks the `marked` most recently updated items,
   /// all updated after `ts`. Ordered largest (B_n) to smallest (B_1).
   struct Level {
-    std::size_t marked;
-    sim::SimTime ts;
+    std::size_t marked = 0;
+    sim::SimTime ts = sim::kTimeEpoch;
   };
 
   enum class Action {

@@ -1,12 +1,43 @@
 #include "report/ts_report.hpp"
 
+#include <algorithm>
+
+#include "core/check.hpp"
+
 namespace mci::report {
+namespace {
+
+/// The window/coverage invariant every TS-style report promises: it covers
+/// (coverageStart, now], its records all fall inside that interval, and
+/// they are ordered most recent first (the order UpdateHistory serves and
+/// every consumer — AAW window sizing, DTS per-item cuts — relies on).
+bool windowConsistent(sim::SimTime now, sim::SimTime coverageStart,
+                      const std::vector<db::UpdateRecord>& entries) {
+  if (coverageStart > now) return false;
+  const bool inWindow = std::all_of(
+      entries.begin(), entries.end(), [&](const db::UpdateRecord& r) {
+        return r.time > coverageStart && r.time <= now;
+      });
+  const bool newestFirst = std::is_sorted(
+      entries.begin(), entries.end(),
+      [](const db::UpdateRecord& a, const db::UpdateRecord& b) {
+        return a.time > b.time;
+      });
+  return inWindow && newestFirst;
+}
+
+}  // namespace
 
 std::shared_ptr<const TsReport> TsReport::build(const db::UpdateHistory& history,
                                                 const SizeModel& sizes,
                                                 sim::SimTime now,
                                                 sim::SimTime windowStart) {
+  MCI_CHECK(windowStart <= now)
+      << "TS window starts after the report time: start=" << windowStart
+      << " now=" << now;
   std::vector<db::UpdateRecord> entries = history.updatesAfter(windowStart);
+  MCI_DCHECK(windowConsistent(now, windowStart, entries))
+      << "IR(w) records escape the (start, now] window";
   const net::Bits size = sizes.tsReportBits(entries.size());
   return std::shared_ptr<const TsReport>(new TsReport(
       ReportKind::kTsWindow, now, size, windowStart, std::move(entries)));
@@ -15,6 +46,16 @@ std::shared_ptr<const TsReport> TsReport::build(const db::UpdateHistory& history
 std::shared_ptr<const TsReport> TsReport::buildFromEntries(
     const SizeModel& sizes, sim::SimTime now, sim::SimTime coverageStart,
     std::vector<db::UpdateRecord> entries) {
+  // Per-item-window reports (DTS) may carry records older than the
+  // guaranteed floor, so only the floor itself and the "no future updates"
+  // half of the invariant apply here.
+  MCI_CHECK(coverageStart <= now)
+      << "report coverage starts after the report time: start="
+      << coverageStart << " now=" << now;
+  MCI_DCHECK(std::all_of(
+      entries.begin(), entries.end(),
+      [now](const db::UpdateRecord& r) { return r.time <= now; }))
+      << "report carries an update from the future";
   const net::Bits size = sizes.tsReportBits(entries.size());
   return std::shared_ptr<const TsReport>(new TsReport(
       ReportKind::kTsWindow, now, size, coverageStart, std::move(entries)));
@@ -23,6 +64,10 @@ std::shared_ptr<const TsReport> TsReport::buildFromEntries(
 std::shared_ptr<const TsReport> TsReport::fromParts(
     ReportKind kind, const SizeModel& sizes, sim::SimTime now,
     sim::SimTime coverageStart, std::vector<db::UpdateRecord> entries) {
+  MCI_CHECK(kind == ReportKind::kTsWindow || kind == ReportKind::kTsExtended)
+      << "fromParts() of a non-TS report kind";
+  MCI_CHECK(coverageStart <= now)
+      << "decoded report coverage starts after its broadcast time";
   const net::Bits size = kind == ReportKind::kTsExtended
                              ? sizes.extendedReportBits(entries.size())
                              : sizes.tsReportBits(entries.size());
@@ -33,7 +78,12 @@ std::shared_ptr<const TsReport> TsReport::fromParts(
 std::shared_ptr<const TsReport> TsReport::buildExtended(
     const db::UpdateHistory& history, const SizeModel& sizes, sim::SimTime now,
     sim::SimTime extendStart) {
+  MCI_CHECK(extendStart <= now)
+      << "IR(w') window starts after the report time: start=" << extendStart
+      << " now=" << now;
   std::vector<db::UpdateRecord> entries = history.updatesAfter(extendStart);
+  MCI_DCHECK(windowConsistent(now, extendStart, entries))
+      << "IR(w') records escape the (start, now] window";
   const net::Bits size = sizes.extendedReportBits(entries.size());
   return std::shared_ptr<const TsReport>(new TsReport(
       ReportKind::kTsExtended, now, size, extendStart, std::move(entries)));

@@ -1,6 +1,9 @@
 #include "runner/thread_pool.hpp"
 
 #include <algorithm>
+#include <utility>
+
+#include "core/check.hpp"
 
 namespace mci::runner {
 
@@ -19,11 +22,17 @@ ThreadPool::~ThreadPool() {
   }
   taskReady_.notify_all();
   for (std::thread& t : workers_) t.join();
+  MCI_CHECK(active_ == 0) << "worker exited mid-task: " << active_
+                          << " still marked active";
+  MCI_CHECK(tasks_.empty())
+      << tasks_.size() << " task(s) left behind after drain";
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  MCI_CHECK(task != nullptr) << "submit() requires a callable task";
   {
     std::lock_guard<std::mutex> lock(mu_);
+    MCI_CHECK(!stopping_) << "submit() on a ThreadPool being destroyed";
     tasks_.push_back(std::move(task));
   }
   taskReady_.notify_one();
@@ -32,6 +41,11 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait() {
   std::unique_lock<std::mutex> lock(mu_);
   allDone_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+  if (firstError_) {
+    std::exception_ptr err = std::exchange(firstError_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
 }
 
 void ThreadPool::workerLoop() {
@@ -45,10 +59,17 @@ void ThreadPool::workerLoop() {
       tasks_.pop_front();
       ++active_;
     }
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
+      MCI_CHECK(active_ > 0) << "task-accounting underflow";
       --active_;
+      if (error && !firstError_) firstError_ = error;
       if (tasks_.empty() && active_ == 0) allDone_.notify_all();
     }
   }

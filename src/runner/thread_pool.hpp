@@ -3,6 +3,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -14,6 +15,11 @@ namespace mci::runner {
 /// (one experiment sweep spawns dozens of runs; each run is a fully
 /// isolated Simulation, so there is no shared mutable state beyond the
 /// result slots the caller owns).
+///
+/// Exception contract: a task that throws does not kill the worker. The
+/// first exception is captured and rethrown from the next wait() (or
+/// parallelFor()); later ones are dropped. The destructor drains the queue
+/// and swallows any still-pending exception (it cannot throw).
 class ThreadPool {
  public:
   /// `threads` = 0 selects std::thread::hardware_concurrency() (min 1).
@@ -23,10 +29,13 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task. Thread-safe.
+  /// Enqueues a task. Thread-safe. Must not be called after the destructor
+  /// has begun (checked).
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first exception any task raised since the last wait() (clearing it,
+  /// so the pool stays usable).
   void wait();
 
   [[nodiscard]] unsigned threadCount() const {
@@ -42,10 +51,12 @@ class ThreadPool {
   std::deque<std::function<void()>> tasks_;
   std::size_t active_ = 0;
   bool stopping_ = false;
+  std::exception_ptr firstError_;
   std::vector<std::thread> workers_;
 };
 
 /// Runs `fn(i)` for i in [0, n) on the pool and waits for completion.
+/// Rethrows the first exception any iteration raised.
 void parallelFor(ThreadPool& pool, std::size_t n,
                  const std::function<void(std::size_t)>& fn);
 

@@ -1,18 +1,21 @@
 #include "sim/event_queue.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <utility>
+
+#include "core/check.hpp"
 
 namespace mci::sim {
 
 EventId EventQueue::push(SimTime at, EventFn fn) {
-  assert(std::isfinite(at) && "event time must be finite");
+  MCI_CHECK(std::isfinite(at)) << "event time must be finite, got " << at;
   const EventId id = nextId_++;
   heap_.push_back(Node{at, id, std::move(fn)});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++live_;
+  MCI_DCHECK(heap_.size() == live_ + cancelled_.size())
+      << "heap/live/cancelled accounting out of sync after push";
   return id;
 }
 
@@ -29,15 +32,14 @@ bool EventQueue::cancel(EventId id) {
   const bool pending = std::any_of(heap_.begin(), heap_.end(),
                                    [id](const Node& n) { return n.id == id; });
   if (!pending) return false;
+  MCI_CHECK(live_ > 0) << "cancel() of pending event " << id
+                       << " but live count is zero";
   cancelled_.insert(id);
   --live_;
   return true;
 }
 
 SimTime EventQueue::nextTime() const {
-  for (const Node& n : heap_) {
-    if (!cancelled_.contains(n.id)) break;
-  }
   // The top of the heap may be cancelled; we cannot mutate here, so walk
   // the heap lazily: the min live element is not necessarily heap_[0].
   // Cheap exact answer: scan. Called rarely (tests / idle checks).
@@ -56,11 +58,17 @@ SimTime EventQueue::peekTime() {
 
 EventQueue::Popped EventQueue::pop() {
   dropCancelledTop();
-  assert(!heap_.empty() && "pop() on empty EventQueue");
+  MCI_CHECK(!heap_.empty()) << "pop() on empty EventQueue";
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
   Node n = std::move(heap_.back());
   heap_.pop_back();
+  MCI_CHECK(live_ > 0) << "pop() with zero live events but non-empty heap";
   --live_;
+  // Heap-order integrity: everything still queued fires no earlier than
+  // what we just popped, so dispatch times are monotone between pushes.
+  MCI_DCHECK(heap_.empty() || heap_.front().time >= n.time)
+      << "heap order violated: popped t=" << n.time << " but top is t="
+      << heap_.front().time;
   return Popped{n.id, n.time, std::move(n.fn)};
 }
 

@@ -17,7 +17,10 @@ class Xoshiro256 {
   using result_type = std::uint64_t;
 
   /// Seeds deterministically from a single 64-bit value via SplitMix64.
-  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+  /// The seed is mandatory: an implicitly-seeded engine is exactly the
+  /// nondeterminism tools/lint_determinism.py exists to keep out, so there
+  /// is deliberately no default and no default constructor.
+  explicit Xoshiro256(std::uint64_t seed);
 
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return ~result_type{0}; }

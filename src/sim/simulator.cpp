@@ -1,13 +1,15 @@
 #include "sim/simulator.hpp"
 
-#include <cassert>
 #include <cmath>
+
+#include "core/check.hpp"
 
 namespace mci::sim {
 
 EventId Simulator::scheduleAt(SimTime at, EventFn fn) {
-  assert(at >= now_ && "cannot schedule into the past");
-  assert(std::isfinite(at));
+  MCI_CHECK(at >= now_) << "cannot schedule into the past: at=" << at
+                        << " now=" << now_;
+  MCI_CHECK(std::isfinite(at)) << "event time must be finite, got " << at;
   return queue_.push(at, std::move(fn));
 }
 
@@ -16,6 +18,10 @@ void Simulator::runUntil(SimTime until) {
   while (!stopped_ && !queue_.empty()) {
     if (queue_.peekTime() > until) break;
     EventQueue::Popped ev = queue_.pop();
+    // The simulation clock is monotone: scheduleAt refuses past times, so
+    // the earliest pending event can never precede now_.
+    MCI_CHECK(ev.time >= now_)
+        << "clock would run backwards: event t=" << ev.time << " now=" << now_;
     now_ = ev.time;
     ++fired_;
     ev.fn();

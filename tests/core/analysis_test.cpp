@@ -85,8 +85,8 @@ INSTANTIATE_TEST_SUITE_P(Schemes, TheoryVsSim,
                                            schemes::SchemeKind::kTsChecking,
                                            schemes::SchemeKind::kBs,
                                            schemes::SchemeKind::kTs),
-                         [](const auto& info) {
-                           std::string n = schemes::schemeName(info.param);
+                         [](const auto& paramInfo) {
+                           std::string n = schemes::schemeName(paramInfo.param);
                            for (char& c : n) {
                              if (c == '-') c = '_';
                            }

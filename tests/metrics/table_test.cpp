@@ -37,7 +37,7 @@ TEST(FigureData, ToTableContainsEverything) {
   d.xLabel = "Database Size";
   d.yLabel = "No. of Queries Answered";
   d.xs = {1000, 2000};
-  d.series = {{"AAW", {10.5, 11.5}}, {"BS", {9.0, 8.0}}};
+  d.series = {{"AAW", {10.5, 11.5}, {}}, {"BS", {9.0, 8.0}, {}}};
   const std::string out = d.toTable(1);
   EXPECT_NE(out.find("Figure 5"), std::string::npos);
   EXPECT_NE(out.find("p=0.1"), std::string::npos);
@@ -51,7 +51,7 @@ TEST(FigureData, ToCsvIsMachineReadable) {
   FigureData d;
   d.xLabel = "x";
   d.xs = {1, 2};
-  d.series = {{"a", {3, 4}}, {"b", {5, 6}}};
+  d.series = {{"a", {3, 4}, {}}, {"b", {5, 6}, {}}};
   EXPECT_EQ(d.toCsv(), "x,a,b\n1,3,5\n2,4,6\n");
 }
 

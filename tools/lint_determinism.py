@@ -1,0 +1,265 @@
+#!/usr/bin/env python3
+"""Determinism lint: reject nondeterminism sources in src/ and bench/.
+
+Every figure this repository emits must be bit-reproducible per seed
+(ROADMAP.md), so the production sources may not read entropy or wall-clock
+time, and may not let hash-table iteration order leak into results. This
+lint enforces that mechanically; it runs as the `lint_determinism` CTest
+and as a CI step, so a violation fails the build.
+
+Banned patterns
+---------------
+1. C `rand()` / `srand()` / `random()` anywhere.
+2. `std::random_device` outside src/sim/random.* (the one sanctioned
+   entropy wrapper location — currently it uses none).
+3. `std::chrono::*_clock::now()` outside the wall-time allowlist
+   (bench harness timing of *host* runtime is legitimate; simulated time
+   must come from sim::Simulator).
+4. `std::mt19937` / `std::mt19937_64` outside src/sim/random.* — all
+   simulation randomness flows through sim::Rng so streams are explicitly
+   seeded and fork()-decorrelated.
+5. Range-for iteration over a `std::unordered_map` / `std::unordered_set`
+   declared in the same file or its paired header: iteration order is
+   unspecified and must never feed results. (Heuristic, per-file; use an
+   ordered container, sort the output, or suppress.)
+
+Suppressions
+------------
+Append to the offending line (or the line above it):
+
+    // NOLINT-DETERMINISM(<reason>)
+
+A reason is mandatory; bare `NOLINT-DETERMINISM` is itself an error.
+
+Exit status: 0 = clean, 1 = violations found, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+SCAN_DIRS = ("src", "bench")
+EXTENSIONS = {".cpp", ".hpp", ".h", ".cc"}
+
+# Files allowed to construct raw engines / touch entropy primitives.
+RNG_ALLOWLIST = ("src/sim/random.hpp", "src/sim/random.cpp")
+# Files allowed to read host clocks (wall-time measurement of the harness
+# itself, never of simulated quantities).
+WALLTIME_ALLOWLIST = ("src/metrics/walltime.hpp", "src/metrics/walltime.cpp")
+
+SUPPRESS_OK = re.compile(r"NOLINT-DETERMINISM\(.+\)")
+SUPPRESS_BARE = re.compile(r"NOLINT-DETERMINISM(?!\()")
+
+SIMPLE_RULES = [
+    # (regex on comment-stripped code, allowlist, message)
+    (
+        re.compile(r"(?<![\w:])s?rand(om)?\s*\("),
+        (),
+        "C rand()/srand()/random() is banned; use sim::Rng with an explicit seed",
+    ),
+    (
+        re.compile(r"std\s*::\s*random_device"),
+        RNG_ALLOWLIST,
+        "std::random_device outside src/sim/random.* breaks seed reproducibility",
+    ),
+    (
+        re.compile(r"std\s*::\s*chrono\s*::\s*\w*_clock\s*::\s*now"),
+        WALLTIME_ALLOWLIST,
+        "host clock reads are banned outside the wall-time allowlist; "
+        "simulated time comes from sim::Simulator",
+    ),
+    (
+        re.compile(r"std\s*::\s*mt19937(_64)?\b"),
+        RNG_ALLOWLIST,
+        "raw std::mt19937 outside src/sim/random.* — route randomness "
+        "through sim::Rng so every stream is explicitly seeded",
+    ),
+]
+
+UNORDERED_DECL = re.compile(
+    r"std\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<[^;{]*>\s+(\w+)\s*[;{=]"
+)
+RANGE_FOR = re.compile(r"\bfor\s*\([^;)]*:\s*([^)]+)\)")
+
+
+def strip_comments(text: str) -> str:
+    """Blanks out // and /* */ comments and string/char literals, keeping
+    line structure so reported line numbers match the file."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line | block | str | chr
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "str"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "chr"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state in ("str", "chr"):
+            quote = '"' if state == "str" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append(c if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def suppressed(raw_lines: list[str], lineno: int) -> bool:
+    """True if line `lineno` (1-based) or the line above carries a reasoned
+    suppression."""
+    for ln in (lineno, lineno - 1):
+        if 1 <= ln <= len(raw_lines) and SUPPRESS_OK.search(raw_lines[ln - 1]):
+            return True
+    return False
+
+
+def paired_header(path: Path) -> Path | None:
+    if path.suffix == ".cpp":
+        cand = path.with_suffix(".hpp")
+        return cand if cand.exists() else None
+    return None
+
+
+def unordered_names(code: str) -> set[str]:
+    return {m.group(1) for m in UNORDERED_DECL.finditer(code)}
+
+
+def lint_file(root: Path, path: Path) -> list[str]:
+    rel = path.relative_to(root).as_posix()
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    raw_lines = raw.splitlines()
+    code = strip_comments(raw)
+    code_lines = code.splitlines()
+    errors = []
+
+    for ln, raw_line in enumerate(raw_lines, start=1):
+        if SUPPRESS_BARE.search(raw_line) and not SUPPRESS_OK.search(raw_line):
+            errors.append(
+                f"{rel}:{ln}: bare NOLINT-DETERMINISM — a reason is required: "
+                "NOLINT-DETERMINISM(<why this is safe>)"
+            )
+
+    for pattern, allowlist, message in SIMPLE_RULES:
+        if rel in allowlist:
+            continue
+        for ln, line in enumerate(code_lines, start=1):
+            if pattern.search(line) and not suppressed(raw_lines, ln):
+                errors.append(f"{rel}:{ln}: {message}")
+
+    # Heuristic rule 5: range-for over an unordered container declared in
+    # this file or its paired header.
+    names = unordered_names(code)
+    header = paired_header(path)
+    if header is not None:
+        names |= unordered_names(strip_comments(header.read_text(encoding="utf-8", errors="replace")))
+    if names:
+        name_re = re.compile(r"\b(" + "|".join(map(re.escape, sorted(names))) + r")\b")
+        for ln, line in enumerate(code_lines, start=1):
+            m = RANGE_FOR.search(line)
+            if m and name_re.search(m.group(1)) and not suppressed(raw_lines, ln):
+                errors.append(
+                    f"{rel}:{ln}: range-for over unordered container "
+                    f"'{name_re.search(m.group(1)).group(1)}' — iteration order is "
+                    "unspecified; iterate an ordered structure or sort the output "
+                    "(suppress with // NOLINT-DETERMINISM(reason) if order "
+                    "provably cannot reach results)"
+                )
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files to lint (default: every C++ file under src/ and bench/)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="repository root (default: the lint's parent directory)",
+    )
+    args = parser.parse_args()
+    root = args.root.resolve()
+
+    if args.paths:
+        files = []
+        for p in args.paths:
+            f = Path(p).resolve()
+            if f.suffix in EXTENSIONS and f.is_file():
+                files.append(f)
+    else:
+        files = [
+            f
+            for d in SCAN_DIRS
+            for f in sorted((root / d).rglob("*"))
+            if f.suffix in EXTENSIONS and f.is_file()
+        ]
+    if not files:
+        print("lint_determinism: no files to scan", file=sys.stderr)
+        return 2
+
+    all_errors = []
+    for f in files:
+        try:
+            rel_ok = f.is_relative_to(root)
+        except AttributeError:  # < 3.9
+            rel_ok = str(f).startswith(str(root))
+        if not rel_ok:
+            continue
+        all_errors.extend(lint_file(root, f))
+
+    if all_errors:
+        print("\n".join(all_errors))
+        print(
+            f"\nlint_determinism: {len(all_errors)} violation(s) in "
+            f"{len(files)} file(s). See docs/analysis.md for the rule list "
+            "and suppression syntax.",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"lint_determinism: OK ({len(files)} files clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: repo-root .clang-tidy) over the library sources.
+#
+#   tools/run_clang_tidy.sh [build-dir] [file...]
+#
+#   build-dir  a configured build tree containing compile_commands.json
+#              (default: build; every CMake preset exports one).
+#   file...    restrict the run to these files (CI passes the changed set);
+#              default is every .cpp under src/.
+#
+# Environment:
+#   CLANG_TIDY   clang-tidy binary to use (default: first of clang-tidy,
+#                clang-tidy-19..14 found on PATH).
+#   MCI_TIDY_STRICT=1  missing clang-tidy is an error instead of a skip
+#                (CI sets this so the gate cannot silently vanish).
+#
+# Exit: 0 clean or skipped, 1 findings (WarningsAsErrors promotes every
+# warning), 2 setup error.
+
+set -u -o pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+[ $# -gt 0 ] && shift
+
+find_tidy() {
+  if [ -n "${CLANG_TIDY:-}" ]; then
+    command -v "$CLANG_TIDY" && return 0
+    return 1
+  fi
+  local c
+  for c in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 \
+           clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+    command -v "$c" && return 0
+  done
+  return 1
+}
+
+tidy_bin="$(find_tidy)" || {
+  if [ "${MCI_TIDY_STRICT:-0}" = "1" ]; then
+    echo "run_clang_tidy: clang-tidy not found and MCI_TIDY_STRICT=1" >&2
+    exit 2
+  fi
+  echo "run_clang_tidy: clang-tidy not found on PATH; skipping (set" \
+       "MCI_TIDY_STRICT=1 to make this an error)" >&2
+  exit 0
+}
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "run_clang_tidy: $build_dir/compile_commands.json missing —" \
+       "configure first (e.g. cmake --preset dev && use build-dev)" >&2
+  exit 2
+fi
+
+if [ $# -gt 0 ]; then
+  files=("$@")
+else
+  mapfile -t files < <(find "$repo_root/src" -name '*.cpp' | sort)
+fi
+[ "${#files[@]}" -gt 0 ] || { echo "run_clang_tidy: nothing to check"; exit 0; }
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+echo "run_clang_tidy: $tidy_bin, ${#files[@]} file(s), -j$jobs"
+
+printf '%s\0' "${files[@]}" |
+  xargs -0 -n 1 -P "$jobs" "$tidy_bin" -p "$build_dir" --quiet
+status=$?
+
+if [ $status -eq 0 ]; then
+  echo "run_clang_tidy: clean"
+else
+  echo "run_clang_tidy: findings above (WarningsAsErrors: '*')" >&2
+  status=1
+fi
+exit $status
