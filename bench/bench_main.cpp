@@ -1,0 +1,231 @@
+// Standalone perf-regression probe for the simulation kernel. Emits one JSON
+// document (schema "mci-bench-kernel-v1") with:
+//
+//   * event_queue_push_pop/N  — pooled EventQueue throughput (items/s) and
+//                               steady-state heap allocations per item
+//   * simulator_self_schedule — schedule/dispatch round-trips through the
+//                               full Simulator (items/s, allocs per event)
+//   * full_sim/<scheme>       — end-to-end Table-1 configuration, reported
+//                               as simulated seconds per wall second
+//
+// Allocations are counted by replacing the global operator new/delete, so
+// "0 allocs per event in steady state" is a measured fact, not an estimate.
+// `tools/bench_report.py` wraps this binary, merges a baseline run, and
+// enforces the zero-alloc gate in CI.
+//
+// Flags: --out PATH     write JSON here (default: stdout)
+//        --simtime S    simulated seconds per full_sim run (default 5000)
+//        --mintime T    min wall seconds per micro bench (default 0.5)
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "metrics/walltime.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+std::atomic<std::uint64_t> gAllocCount{0};
+}  // namespace
+
+// Counting allocator: every path through the global new/delete pair bumps
+// the counter. Over-aligned allocations fall through to the default aligned
+// operators (nothing in the simulator is over-aligned). GCC pairs the
+// inlined malloc-backed new with the free() below and misreports a
+// mismatch; the pair is consistent by construction.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+void* operator new(std::size_t size) {
+  gAllocCount.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size != 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+namespace {
+
+using namespace mci;
+
+std::uint64_t allocsNow() {
+  return gAllocCount.load(std::memory_order_relaxed);
+}
+
+struct BenchRow {
+  std::string name;
+  // Metric key/value pairs, emitted verbatim into the JSON object.
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+BenchRow benchEventQueuePushPop(std::size_t batch, double minSeconds) {
+  sim::EventQueue q;
+  q.reserve(batch);
+  sim::Rng rng(1);
+  auto onePass = [&] {
+    for (std::size_t i = 0; i < batch; ++i) {
+      q.push(rng.uniform01() * 1000.0, [] {});
+    }
+    while (!q.empty()) q.pop();
+  };
+  onePass();  // warm the pool and the heap high-water mark
+
+  std::uint64_t items = 0;
+  const std::uint64_t allocsBefore = allocsNow();
+  metrics::WallTimer timer;
+  double elapsed = 0.0;
+  do {
+    onePass();
+    items += batch;
+    elapsed = timer.seconds();
+  } while (elapsed < minSeconds);
+  const auto allocs = static_cast<double>(allocsNow() - allocsBefore);
+
+  BenchRow row;
+  row.name = "event_queue_push_pop/" + std::to_string(batch);
+  row.metrics.emplace_back("items_per_s", static_cast<double>(items) / elapsed);
+  row.metrics.emplace_back("allocs_per_item_steady",
+                           allocs / static_cast<double>(items));
+  return row;
+}
+
+BenchRow benchSimulatorSelfSchedule(double minSeconds) {
+  constexpr std::uint64_t kTicksPerRun = 10000;
+  sim::Simulator s;
+  std::uint64_t ticks = 0;
+  // Self-rescheduling callable; 24 bytes, well inside InlineFn's buffer.
+  struct Tick {
+    sim::Simulator* sim;
+    std::uint64_t* ticks;
+    void operator()() const {
+      if (++*ticks % kTicksPerRun != 0) sim->schedule(1.0, Tick{*this});
+    }
+  };
+  auto oneRun = [&] {
+    s.schedule(1.0, Tick{&s, &ticks});
+    s.runAll();
+  };
+  oneRun();  // warm
+
+  std::uint64_t events = 0;
+  const std::uint64_t allocsBefore = allocsNow();
+  metrics::WallTimer timer;
+  double elapsed = 0.0;
+  do {
+    oneRun();
+    events += kTicksPerRun;
+    elapsed = timer.seconds();
+  } while (elapsed < minSeconds);
+  const auto allocs = static_cast<double>(allocsNow() - allocsBefore);
+
+  BenchRow row;
+  row.name = "simulator_self_schedule";
+  row.metrics.emplace_back("items_per_s", static_cast<double>(events) / elapsed);
+  row.metrics.emplace_back("allocs_per_event_steady",
+                           allocs / static_cast<double>(events));
+  return row;
+}
+
+BenchRow benchFullSim(schemes::SchemeKind kind, const char* label,
+                      double simTime) {
+  core::SimConfig cfg;
+  cfg.scheme = kind;
+  cfg.simTime = simTime;
+  cfg.seed = 42;
+  core::Simulation sim(cfg);
+  metrics::WallTimer timer;
+  const std::uint64_t allocsBefore = allocsNow();
+  sim.runUntil(simTime);
+  const double elapsed = timer.seconds();
+  const auto allocs = static_cast<double>(allocsNow() - allocsBefore);
+
+  BenchRow row;
+  row.name = std::string("full_sim/") + label;
+  row.metrics.emplace_back("sim_s_per_wall_s", simTime / elapsed);
+  // Informational: the full model still allocates for fresh reports and
+  // metric series growth; the hard zero-alloc gate applies to the kernel
+  // benches above.
+  row.metrics.emplace_back("allocs_per_sim_s", allocs / simTime);
+  return row;
+}
+
+void writeJson(std::FILE* out, const std::vector<BenchRow>& rows) {
+  std::fprintf(out, "{\n  \"schema\": \"mci-bench-kernel-v1\",\n");
+  std::fprintf(out, "  \"benches\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(out, "    {\"name\": \"%s\"", rows[i].name.c_str());
+    for (const auto& [key, value] : rows[i].metrics) {
+      std::fprintf(out, ", \"%s\": %.6g", key.c_str(), value);
+    }
+    std::fprintf(out, "}%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string outPath;
+  double simTime = 5000.0;
+  double minSeconds = 0.5;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto nextValue = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_main: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--out") {
+      outPath = nextValue();
+    } else if (arg == "--simtime") {
+      simTime = std::atof(nextValue());
+    } else if (arg == "--mintime") {
+      minSeconds = std::atof(nextValue());
+    } else {
+      std::fprintf(stderr, "bench_main: unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<BenchRow> rows;
+  std::fprintf(stderr, "bench_main: event queue ...\n");
+  rows.push_back(benchEventQueuePushPop(256, minSeconds));
+  rows.push_back(benchEventQueuePushPop(4096, minSeconds));
+  std::fprintf(stderr, "bench_main: simulator ...\n");
+  rows.push_back(benchSimulatorSelfSchedule(minSeconds));
+  std::fprintf(stderr, "bench_main: full simulations (simtime=%g) ...\n",
+               simTime);
+  rows.push_back(benchFullSim(schemes::SchemeKind::kAaw, "AAW", simTime));
+  rows.push_back(benchFullSim(schemes::SchemeKind::kBs, "BS", simTime));
+  rows.push_back(
+      benchFullSim(schemes::SchemeKind::kTsChecking, "TS_CHECKING", simTime));
+
+  std::FILE* out = stdout;
+  if (!outPath.empty()) {
+    out = std::fopen(outPath.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "bench_main: cannot open %s\n", outPath.c_str());
+      return 1;
+    }
+  }
+  writeJson(out, rows);
+  if (out != stdout) std::fclose(out);
+  return 0;
+}

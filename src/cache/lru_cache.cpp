@@ -6,19 +6,100 @@
 
 namespace mci::cache {
 
+namespace {
+
+/// Smallest power of two >= n (and >= 16, so tiny caches still probe well).
+std::size_t bucketCountFor(std::size_t capacity) {
+  std::size_t n = 16;
+  while (n < capacity * 2) n <<= 1;
+  return n;
+}
+
+}  // namespace
+
 LruCache::LruCache(std::size_t capacity, ReplacementPolicy policy,
                    std::uint64_t randomSeed)
     : capacity_(capacity), policy_(policy), randState_(randomSeed | 1) {
   MCI_CHECK(capacity_ >= 1) << "cache capacity must be at least 1";
+  const std::size_t buckets = bucketCountFor(capacity_);
+  buckets_.resize(buckets);
+  shift_ = 64;
+  for (std::size_t n = buckets; n > 1; n >>= 1) --shift_;
+}
+
+LruCache::Bucket* LruCache::findBucket(db::ItemId key) {
+  const std::size_t mask = buckets_.size() - 1;
+  std::size_t i = homeSlot(key);
+  for (;;) {
+    Bucket& b = buckets_[i];
+    if (b.key == key) return &b;
+    if (b.key == db::kInvalidItem) return nullptr;
+    i = (i + 1) & mask;
+  }
+}
+
+const LruCache::Bucket* LruCache::findBucket(db::ItemId key) const {
+  const std::size_t mask = buckets_.size() - 1;
+  std::size_t i = homeSlot(key);
+  for (;;) {
+    const Bucket& b = buckets_[i];
+    if (b.key == key) return &b;
+    if (b.key == db::kInvalidItem) return nullptr;
+    i = (i + 1) & mask;
+  }
+}
+
+void LruCache::indexInsert(db::ItemId key, List::iterator it) {
+  // Load factor is <= 50% by construction, so an empty slot always exists.
+  const std::size_t mask = buckets_.size() - 1;
+  std::size_t i = homeSlot(key);
+  while (buckets_[i].key != db::kInvalidItem) {
+    MCI_DCHECK(buckets_[i].key != key) << "indexInsert of present key " << key;
+    i = (i + 1) & mask;
+  }
+  buckets_[i].key = key;
+  buckets_[i].it = it;
+  ++size_;
+}
+
+void LruCache::indexErase(db::ItemId key) {
+  const std::size_t mask = buckets_.size() - 1;
+  std::size_t i = homeSlot(key);
+  while (buckets_[i].key != key) {
+    MCI_CHECK(buckets_[i].key != db::kInvalidItem)
+        << "indexErase of absent key " << key;
+    i = (i + 1) & mask;
+  }
+  // Backward-shift deletion: close the gap by moving later chain members
+  // into it whenever the gap does not sit between a member's home slot and
+  // its current slot (cyclic comparison handles wrap-around).
+  std::size_t j = i;
+  for (;;) {
+    j = (j + 1) & mask;
+    if (buckets_[j].key == db::kInvalidItem) break;
+    const std::size_t home = homeSlot(buckets_[j].key);
+    if (((j - home) & mask) >= ((j - i) & mask)) {
+      buckets_[i] = buckets_[j];
+      i = j;
+    }
+  }
+  buckets_[i].key = db::kInvalidItem;
+  MCI_CHECK(size_ > 0) << "index size underflow on erase";
+  --size_;
 }
 
 bool LruCache::consistent() const {
-  if (index_.size() != order_.size()) return false;
-  if (index_.size() > capacity_) return false;
+  if (size_ != order_.size()) return false;
+  if (size_ > capacity_) return false;
+  std::size_t occupied = 0;
+  for (const Bucket& b : buckets_) {
+    if (b.key != db::kInvalidItem) ++occupied;
+  }
+  if (occupied != size_) return false;
   std::size_t suspects = 0;
   for (auto it = order_.begin(); it != order_.end(); ++it) {
-    const auto idx = index_.find(it->item);
-    if (idx == index_.end() || &*idx->second != &*it) return false;
+    const Bucket* b = findBucket(it->item);
+    if (b == nullptr || &*b->it != &*it) return false;
     if (it->suspect) ++suspects;
   }
   return suspects == suspects_;
@@ -40,68 +121,69 @@ Entry LruCache::evictOne() {
     MCI_CHECK(suspects_ > 0) << "suspect counter underflow on eviction";
     --suspects_;
   }
-  index_.erase(victim->item);
+  indexErase(victim->item);
   order_.erase(victim);
   return out;
 }
 
 std::optional<Entry> LruCache::insert(const Entry& entry) {
   MCI_CHECK(entry.item != db::kInvalidItem) << "insert() of the invalid item";
-  if (auto it = index_.find(entry.item); it != index_.end()) {
-    if (it->second->suspect) --suspects_;
-    *it->second = entry;
+  if (Bucket* b = findBucket(entry.item); b != nullptr) {
+    if (b->it->suspect) --suspects_;
+    *b->it = entry;
     if (entry.suspect) ++suspects_;
-    order_.splice(order_.begin(), order_, it->second);
+    order_.splice(order_.begin(), order_, b->it);
     MCI_DCHECK(consistent()) << "cache inconsistent after overwrite of item "
                              << entry.item;
     return std::nullopt;
   }
   std::optional<Entry> evicted;
-  if (index_.size() >= capacity_) evicted = evictOne();
+  if (size_ >= capacity_) evicted = evictOne();
   order_.push_front(entry);
-  index_.emplace(entry.item, order_.begin());
+  indexInsert(entry.item, order_.begin());
   if (entry.suspect) ++suspects_;
-  MCI_CHECK(index_.size() <= capacity_)
-      << "cache over capacity: " << index_.size() << " > " << capacity_;
+  MCI_CHECK(size_ <= capacity_)
+      << "cache over capacity: " << size_ << " > " << capacity_;
   MCI_DCHECK(consistent()) << "cache inconsistent after insert of item "
                            << entry.item;
   return evicted;
 }
 
 Entry* LruCache::find(db::ItemId item) {
-  auto it = index_.find(item);
-  return it == index_.end() ? nullptr : &*it->second;
+  Bucket* b = findBucket(item);
+  return b == nullptr ? nullptr : &*b->it;
 }
 
 const Entry* LruCache::find(db::ItemId item) const {
-  auto it = index_.find(item);
-  return it == index_.end() ? nullptr : &*it->second;
+  const Bucket* b = findBucket(item);
+  return b == nullptr ? nullptr : &*b->it;
 }
 
 void LruCache::touch(db::ItemId item) {
-  auto it = index_.find(item);
-  MCI_CHECK(it != index_.end()) << "touch() of absent item " << item;
+  Bucket* b = findBucket(item);
+  MCI_CHECK(b != nullptr) << "touch() of absent item " << item;
   if (policy_ == ReplacementPolicy::kLru) {
-    order_.splice(order_.begin(), order_, it->second);
+    order_.splice(order_.begin(), order_, b->it);
   }
 }
 
 bool LruCache::erase(db::ItemId item) {
-  auto it = index_.find(item);
-  if (it == index_.end()) return false;
-  if (it->second->suspect) {
+  Bucket* b = findBucket(item);
+  if (b == nullptr) return false;
+  if (b->it->suspect) {
     MCI_CHECK(suspects_ > 0) << "suspect counter underflow on erase";
     --suspects_;
   }
-  order_.erase(it->second);
-  index_.erase(it);
+  order_.erase(b->it);
+  indexErase(item);
   MCI_DCHECK(consistent()) << "cache inconsistent after erase of item " << item;
   return true;
 }
 
 void LruCache::clear() {
   order_.clear();
-  index_.clear();
+  for (Bucket& b : buckets_) b.key = db::kInvalidItem;
+  size_ = 0;
   suspects_ = 0;
 }
 
@@ -122,7 +204,7 @@ std::size_t LruCache::dropSuspects() {
   std::size_t dropped = 0;
   for (auto it = order_.begin(); it != order_.end();) {
     if (it->suspect) {
-      index_.erase(it->item);
+      indexErase(it->item);
       it = order_.erase(it);
       ++dropped;
     } else {

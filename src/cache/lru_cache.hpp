@@ -4,7 +4,7 @@
 #include <cstdint>
 #include <list>
 #include <optional>
-#include <unordered_map>
+#include <vector>
 
 #include "db/item.hpp"
 #include "sim/time.hpp"
@@ -54,9 +54,9 @@ class LruCache {
                     std::uint64_t randomSeed = 0x9E3779B9u);
 
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
-  [[nodiscard]] std::size_t size() const { return index_.size(); }
+  [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] bool contains(db::ItemId item) const {
-    return index_.contains(item);
+    return findBucket(item) != nullptr;
   }
 
   /// Inserts (or overwrites) an entry and makes it most-recently-used.
@@ -107,6 +107,14 @@ class LruCache {
  private:
   using List = std::list<Entry>;
 
+  /// One slot of the flat open-addressed index. `key == db::kInvalidItem`
+  /// marks an empty slot (insert() rejects that id, so no live entry can
+  /// collide with the marker).
+  struct Bucket {
+    db::ItemId key = db::kInvalidItem;
+    List::iterator it{};
+  };
+
   /// O(n) structural audit used by MCI_DCHECK after every mutation: the
   /// recency list and the index describe the same entry set, the suspect
   /// counter matches the flags, and capacity is respected.
@@ -115,11 +123,32 @@ class LruCache {
   /// Picks and removes the victim entry, updating the index; returns it.
   Entry evictOne();
 
+  /// Fibonacci hash into [0, buckets_.size()): the table is a power of two
+  /// sized at construction (>= 2x capacity), so probe chains stay short and
+  /// the table never rehashes.
+  [[nodiscard]] std::size_t homeSlot(db::ItemId key) const {
+    return static_cast<std::size_t>(
+        (static_cast<std::uint64_t>(key) * 0x9E3779B97F4A7C15ull) >> shift_);
+  }
+
+  /// Linear-probe lookup; nullptr when `key` is absent.
+  [[nodiscard]] Bucket* findBucket(db::ItemId key);
+  [[nodiscard]] const Bucket* findBucket(db::ItemId key) const;
+
+  /// Inserts a key known to be absent.
+  void indexInsert(db::ItemId key, List::iterator it);
+
+  /// Erases a key known to be present, backward-shifting the probe chain
+  /// so lookups never need tombstones.
+  void indexErase(db::ItemId key);
+
   std::size_t capacity_;
   ReplacementPolicy policy_;
   std::uint64_t randState_;
   List order_;  // front = most recently used
-  std::unordered_map<db::ItemId, List::iterator> index_;
+  std::vector<Bucket> buckets_;
+  unsigned shift_;          // 64 - log2(buckets_.size())
+  std::size_t size_ = 0;    // live entries (== order_.size())
   std::size_t suspects_ = 0;
 };
 

@@ -26,8 +26,9 @@ std::optional<schemes::ValidityReply> AdaptiveServerBase::onCheckMessage(
 report::ReportPtr AdaptiveServerBase::buildReport(sim::SimTime now) {
   const sim::SimTime wStart = windowStart(now);
   if (!pendingTlbs_.empty()) {
-    auto bs = report::BsReport::build(history_, sizes_, now);
-    std::vector<sim::SimTime> salvageable;
+    auto bs = builder_.build(history_, sizes_, now);
+    std::vector<sim::SimTime>& salvageable = salvageableScratch_;
+    salvageable.clear();
     for (sim::SimTime tlb : pendingTlbs_) {
       if (tlb < bs->coverageStart()) {
         ++decisions_.tlbsDeclined;  // older than even BS can express

@@ -60,6 +60,8 @@ class AdaptiveServerBase : public schemes::ServerScheme {
 
  private:
   std::vector<sim::SimTime> pendingTlbs_;
+  report::BsBuilder builder_;  // rebroadcasts unchanged histories from cache
+  std::vector<sim::SimTime> salvageableScratch_;  // reused every interval
 };
 
 /// Client half, shared verbatim by AFW and AAW: the report kind dispatch of

@@ -37,7 +37,7 @@ void Client::startThink(double duration) {
 }
 
 void Client::issueQuery() {
-  queryItems_ = queryGen_.nextQuery();
+  queryGen_.nextQuery(queryItems_);
   queryStart_ = sim_.now();
   state_ = State::kAwaitingReport;
 }
@@ -62,7 +62,10 @@ void Client::sendCheck(const schemes::CheckMessage& msg) {
     collector_->onCheckSent();
     collector_->onClientTx(msg.sizeBits);
   }
-  net_.uplink().sendCheck(msg.sizeBits, [this, msg] {
+  // Init-capture: a plain `msg` copy-capture would give the closure a
+  // *const* CheckMessage member (msg is a const&), whose "move" is a
+  // reallocating copy — too big a closure for the inline callback storage.
+  net_.uplink().sendCheck(msg.sizeBits, [this, msg = msg] {
     // Delivery instant: the scheme learns its feedback has landed (for the
     // decline-detection rule) and the server absorbs it.
     scheme_->onCheckDelivered(ctx_, sim_.now());
@@ -76,7 +79,7 @@ void Client::maybeAnswerQuery() {
     state_ = State::kAwaitingSalvage;
     return;
   }
-  std::vector<db::ItemId> misses;
+  pendingFetch_.clear();
   for (db::ItemId item : queryItems_) {
     cache::Entry* e = ctx_.cache().find(item);
     if (e != nullptr && !e->suspect) {
@@ -86,19 +89,21 @@ void Client::maybeAnswerQuery() {
       }
     } else {
       if (collector_) collector_->onCacheMiss(ctx_.id());
-      misses.push_back(item);
+      pendingFetch_.push_back(item);
     }
   }
-  if (misses.empty()) {
+  if (pendingFetch_.empty()) {
     completeQuery();
     return;
   }
   state_ = State::kFetching;
-  pendingFetch_ = misses;
   if (collector_) collector_->onClientTx(ctx_.sizes().queryRequestBits());
+  // pendingFetch_ is stable until this request's delivery callback runs:
+  // onDataItem (the only mutator) fires only for items the server was
+  // already asked for, and the server learns of this query exactly here.
   net_.uplink().sendRequest(
       ctx_.sizes().queryRequestBits(),
-      [this, misses] { server_.onQueryRequest(ctx_.id(), misses); });
+      [this] { server_.onQueryRequest(ctx_.id(), pendingFetch_); });
 }
 
 void Client::onDataItem(db::ItemId item, db::Version version,

@@ -169,6 +169,10 @@ std::unique_ptr<schemes::ClientScheme> Simulation::makeClientScheme() {
 void Simulation::startProcesses() {
   if (started_) return;
   started_ = true;
+  // Steady state carries a handful of pending events per client (think
+  // timer, in-flight messages) plus the broadcast/update ticks; presizing
+  // the pool and heap here keeps the run itself allocation-free.
+  sim_.reserveEvents(4 * cfg_.numClients + 64);
   server_->start();
   updateGen_->start();
   for (auto& c : clients_) c->start();

@@ -1,5 +1,6 @@
 #include "db/update_history.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace mci::db {
@@ -18,15 +19,22 @@ void UpdateHistory::record(ItemId item, sim::SimTime now) {
   n.lastTime = now;
   pushFront(item);
   lastTime_ = now;
+  ++revision_;
 }
 
 std::vector<UpdateRecord> UpdateHistory::updatesAfter(sim::SimTime t) const {
   std::vector<UpdateRecord> out;
+  updatesAfter(t, out);
+  return out;
+}
+
+void UpdateHistory::updatesAfter(sim::SimTime t,
+                                 std::vector<UpdateRecord>& out) const {
+  out.reserve(out.size() + countUpdatesAfter(t));
   for (std::uint32_t i = head_; i != kNone; i = nodes_[i].next) {
     if (nodes_[i].lastTime <= t) break;  // list sorted by lastTime desc
     out.push_back(UpdateRecord{static_cast<ItemId>(i), nodes_[i].lastTime});
   }
-  return out;
 }
 
 std::size_t UpdateHistory::countUpdatesAfter(sim::SimTime t) const {
@@ -40,11 +48,18 @@ std::size_t UpdateHistory::countUpdatesAfter(sim::SimTime t) const {
 
 std::vector<UpdateRecord> UpdateHistory::mostRecent(std::size_t k) const {
   std::vector<UpdateRecord> out;
-  out.reserve(std::min(k, distinct_));
-  for (std::uint32_t i = head_; i != kNone && out.size() < k; i = nodes_[i].next) {
-    out.push_back(UpdateRecord{static_cast<ItemId>(i), nodes_[i].lastTime});
-  }
+  mostRecent(k, out);
   return out;
+}
+
+void UpdateHistory::mostRecent(std::size_t k,
+                               std::vector<UpdateRecord>& out) const {
+  out.reserve(out.size() + std::min(k, distinct_));
+  std::size_t taken = 0;
+  for (std::uint32_t i = head_; i != kNone && taken < k; i = nodes_[i].next) {
+    out.push_back(UpdateRecord{static_cast<ItemId>(i), nodes_[i].lastTime});
+    ++taken;
+  }
 }
 
 sim::SimTime UpdateHistory::lastUpdateOf(ItemId item) const {

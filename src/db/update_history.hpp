@@ -31,8 +31,17 @@ class UpdateHistory {
   /// Time of the most recent update anywhere; kTimeEpoch if none.
   [[nodiscard]] sim::SimTime lastUpdateTime() const { return lastTime_; }
 
+  /// Bumped by every record(). Two reads with the same revision see an
+  /// identical history, so per-interval consumers (the BS report builder)
+  /// can reuse their previous derivation verbatim.
+  [[nodiscard]] std::uint64_t revision() const { return revision_; }
+
   /// Distinct items with last update strictly after `t`, most recent first.
   [[nodiscard]] std::vector<UpdateRecord> updatesAfter(sim::SimTime t) const;
+
+  /// Appends the same records to `out` (scratch-buffer form: the caller
+  /// owns and reuses the vector across intervals). Reserves exactly.
+  void updatesAfter(sim::SimTime t, std::vector<UpdateRecord>& out) const;
 
   /// Count of distinct items with last update strictly after `t`.
   [[nodiscard]] std::size_t countUpdatesAfter(sim::SimTime t) const;
@@ -40,6 +49,9 @@ class UpdateHistory {
   /// The `k` most recently updated distinct items, most recent first
   /// (fewer if fewer were ever updated).
   [[nodiscard]] std::vector<UpdateRecord> mostRecent(std::size_t k) const;
+
+  /// Appends the same records to `out` (scratch-buffer form).
+  void mostRecent(std::size_t k, std::vector<UpdateRecord>& out) const;
 
   /// Last update time of the given item; kTimeEpoch if never updated.
   [[nodiscard]] sim::SimTime lastUpdateOf(ItemId item) const;
@@ -61,6 +73,7 @@ class UpdateHistory {
   std::uint32_t tail_ = kNone;
   std::size_t distinct_ = 0;
   sim::SimTime lastTime_ = sim::kTimeEpoch;
+  std::uint64_t revision_ = 0;
 };
 
 }  // namespace mci::db

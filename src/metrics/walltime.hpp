@@ -1,0 +1,30 @@
+#pragma once
+
+#include <chrono>
+
+namespace mci::metrics {
+
+/// Host wall-clock stopwatch for harness self-measurement (throughput
+/// probes, progress reporting). This is the only sanctioned place to read a
+/// host clock: simulated time always comes from sim::Simulator, and the
+/// determinism lint (`tools/lint_determinism.py`) rejects `*_clock::now()`
+/// everywhere else. Never let a WallTimer reading feed simulation state or
+/// result values — only rates *about* the harness (e.g. sim-seconds per
+/// wall-second in BENCH_kernel.json).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mci::metrics

@@ -3,17 +3,18 @@
 #include <array>
 #include <cstdint>
 #include <deque>
-#include <functional>
 
 #include "net/message.hpp"
 #include "net/units.hpp"
+#include "sim/inline_fn.hpp"
 #include "sim/simulator.hpp"
 
 namespace mci::net {
 
 /// Completion callback: invoked exactly once, at the simulated time the
-/// last bit of the transfer leaves the channel.
-using DeliveryFn = std::function<void()>;
+/// last bit of the transfer leaves the channel. Inline-stored (no heap);
+/// captures must fit sim::InlineFn::kCapacity.
+using DeliveryFn = sim::InlineFn;
 
 /// A single half-duplex wireless channel with strict priority classes and
 /// preemptive-resume service.

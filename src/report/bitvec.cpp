@@ -7,6 +7,11 @@ namespace mci::report {
 
 BitVec::BitVec(std::size_t bits) : size_(bits), words_((bits + 63) / 64, 0) {}
 
+void BitVec::assign(std::size_t bits) {
+  size_ = bits;
+  words_.assign((bits + 63) / 64, 0);  // vector::assign keeps capacity
+}
+
 void BitVec::set(std::size_t i) {
   assert(i < size_);
   words_[i >> 6] |= (std::uint64_t{1} << (i & 63));

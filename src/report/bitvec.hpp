@@ -13,6 +13,11 @@ class BitVec {
  public:
   explicit BitVec(std::size_t bits = 0);
 
+  /// Re-sizes to `bits` bits, all clear, reusing the existing word storage
+  /// (the scratch-buffer path: re-encoding reports every broadcast interval
+  /// without reallocating).
+  void assign(std::size_t bits);
+
   [[nodiscard]] std::size_t size() const { return size_; }
 
   void set(std::size_t i);

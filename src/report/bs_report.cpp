@@ -21,10 +21,32 @@ bool levelsConsistent(const std::vector<BsReport::Level>& levels,
   return true;
 }
 
+/// Shared empty recency list for reports over an empty history, so
+/// recency() never dereferences null.
+const std::shared_ptr<const std::vector<db::UpdateRecord>>& emptyRecency() {
+  static const auto kEmpty =
+      std::make_shared<const std::vector<db::UpdateRecord>>();
+  return kEmpty;
+}
+
 }  // namespace
 
 BsReport::BsReport(sim::SimTime now, net::Bits size, std::size_t numItems)
-    : Report(ReportKind::kBitSeq, now, size), numItems_(numItems) {}
+    : Report(ReportKind::kBitSeq, now, size),
+      numItems_(numItems),
+      recency_(emptyRecency()) {}
+
+BsReport::BsReport(const BsReport& prev, sim::SimTime now)
+    : Report(ReportKind::kBitSeq, now, prev.sizeBits),
+      numItems_(prev.numItems_),
+      recency_(prev.recency_),
+      levels_(prev.levels_),
+      coverageStart_(prev.coverageStart_),
+      lastUpdate_(prev.lastUpdate_) {
+  MCI_CHECK(lastUpdate_ <= now)
+      << "BS report rebroadcast at t=" << now << " sees an update at t="
+      << lastUpdate_;
+}
 
 std::shared_ptr<const BsReport> BsReport::build(const db::UpdateHistory& history,
                                                 const SizeModel& sizes,
@@ -71,22 +93,36 @@ std::shared_ptr<const BsReport> BsReport::build(const db::UpdateHistory& history
   // coverageStart is TS(B_n) by definition.
   report->coverageStart_ = report->levels_.front().ts;
 
-  report->recency_ = std::move(full);
+  report->recency_ =
+      std::make_shared<const std::vector<db::UpdateRecord>>(std::move(full));
   MCI_CHECK(report->lastUpdate_ <= now)
       << "BS report built at t=" << now << " sees an update at t="
       << report->lastUpdate_;
   MCI_CHECK(report->coverageStart_ <= report->lastUpdate_)
       << "TS(B_n)=" << report->coverageStart_ << " after TS(B_0)="
       << report->lastUpdate_;
-  MCI_DCHECK(levelsConsistent(report->levels_, report->recency_.size()))
+  MCI_DCHECK(levelsConsistent(report->levels_, report->recency_->size()))
       << "BS level stack inconsistent (non-nested marks or decreasing "
          "timestamps)";
   return report;
 }
 
+std::shared_ptr<const BsReport> BsBuilder::build(
+    const db::UpdateHistory& history, const SizeModel& sizes,
+    sim::SimTime now) {
+  if (cached_ != nullptr && cachedRevision_ == history.revision() &&
+      cached_->numItems() == sizes.numItems) {
+    ++hits_;
+    return std::shared_ptr<const BsReport>(new BsReport(*cached_, now));
+  }
+  cached_ = BsReport::build(history, sizes, now);
+  cachedRevision_ = history.revision();
+  return cached_;
+}
+
 BsReport::Decision BsReport::decide(sim::SimTime tlb) const {
   Decision d;
-  if (recency_.empty() || tlb >= lastUpdate_) {
+  if (recency_->empty() || tlb >= lastUpdate_) {
     d.action = Action::kNothing;
     return d;
   }
@@ -94,12 +130,12 @@ BsReport::Decision BsReport::decide(sim::SimTime tlb) const {
   // ordered largest first, so scan from the back.
   for (std::size_t i = levels_.size(); i-- > 0;) {
     if (levels_[i].ts <= tlb) {
-      MCI_CHECK(levels_[i].marked <= recency_.size())
+      MCI_CHECK(levels_[i].marked <= recency_->size())
           << "BS level " << i << " marks " << levels_[i].marked
-          << " items but the recency list holds " << recency_.size();
+          << " items but the recency list holds " << recency_->size();
       d.action = Action::kInvalidateSet;
       d.levelIndex = i;
-      d.marked = std::span<const db::UpdateRecord>(recency_.data(),
+      d.marked = std::span<const db::UpdateRecord>(recency_->data(),
                                                    levels_[i].marked);
       return d;
     }
@@ -110,41 +146,45 @@ BsReport::Decision BsReport::decide(sim::SimTime tlb) const {
 
 BsWire BsWire::encode(const BsReport& report) {
   BsWire wire;
-  wire.tsB0_ = report.lastUpdateTime();
+  encodeInto(report, wire);
+  return wire;
+}
+
+void BsWire::encodeInto(const BsReport& report, BsWire& out) {
+  out.tsB0_ = report.lastUpdateTime();
 
   const auto& recency = report.recency();
   const auto& levels = report.levels();
+  // Degenerate (empty history): still emit B_n of N bits, all zero,
+  // timestamped at epoch — hence at least one wire level.
+  const std::size_t numLevels = std::max<std::size_t>(levels.size(), 1);
+  out.levels_.resize(numLevels);  // keeps surviving levels' BitVec storage
+
   if (levels.empty()) {
-    // Degenerate: no levels (empty history) — still emit B_n of N bits,
-    // all zero, timestamped at epoch.
-    WireLevel l;
-    l.bits = BitVec(report.numItems());
-    l.ts = sim::kTimeEpoch;
-    wire.levels_.push_back(std::move(l));
-    return wire;
+    out.levels_[0].bits.assign(report.numItems());
+    out.levels_[0].ts = sim::kTimeEpoch;
+    return;
   }
 
   // B_n: one bit per item, marking the level-0 (largest) marked prefix.
   {
-    WireLevel l;
-    l.bits = BitVec(report.numItems());
+    WireLevel& l = out.levels_[0];
+    l.bits.assign(report.numItems());
     l.ts = levels[0].ts;
     for (std::size_t i = 0; i < levels[0].marked; ++i) {
       l.bits.set(recency[i].item);
     }
-    wire.levels_.push_back(std::move(l));
   }
 
   // Each deeper sequence has one bit per set bit of its predecessor, in
   // ascending bit-position order, and marks the more recent half.
   for (std::size_t li = 1; li < levels.size(); ++li) {
-    const WireLevel& prev = wire.levels_.back();
-    const std::size_t prevSet = prev.bits.count();
+    const std::size_t prevSet = out.levels_[li - 1].bits.count();
     MCI_CHECK(levels[li].marked <= prevSet)
         << "BS wire level " << li << " marks " << levels[li].marked
         << " bits but its predecessor only set " << prevSet;
-    WireLevel l;
-    l.bits = BitVec(prevSet);
+    WireLevel& l = out.levels_[li];
+    l.bits.assign(prevSet);
     l.ts = levels[li].ts;
 
     // An item is marked at this level iff its recency index < marked count.
@@ -154,15 +194,13 @@ BsWire BsWire::encode(const BsReport& report) {
       // item id; in deeper levels it is the rank within the predecessor.
       std::size_t pos = recency[i].item;
       for (std::size_t dl = 0; dl + 1 < li; ++dl) {
-        pos = wire.levels_[dl].bits.rank(pos);
+        pos = out.levels_[dl].bits.rank(pos);
       }
       // pos is now the position in level li-1; this level's bit index is
       // its rank among set bits of level li-1.
-      l.bits.set(wire.levels_[li - 1].bits.rank(pos));
+      l.bits.set(out.levels_[li - 1].bits.rank(pos));
     }
-    wire.levels_.push_back(std::move(l));
   }
-  return wire;
 }
 
 BsWire BsWire::fromParts(std::vector<WireLevel> levels, sim::SimTime tsB0) {

@@ -72,7 +72,7 @@ class BsReport final : public Report {
 
   /// Distinct items by last update, most recent first (<= N/2 entries).
   [[nodiscard]] const std::vector<db::UpdateRecord>& recency() const {
-    return recency_;
+    return *recency_;
   }
   [[nodiscard]] const std::vector<Level>& levels() const { return levels_; }
 
@@ -80,13 +80,41 @@ class BsReport final : public Report {
   [[nodiscard]] std::size_t numItems() const { return numItems_; }
 
  private:
+  friend class BsBuilder;
+
   BsReport(sim::SimTime now, net::Bits size, std::size_t numItems);
+  /// Rebroadcast: same history snapshot, new timestamp. Shares the recency
+  /// list with `prev` instead of re-walking the update history.
+  BsReport(const BsReport& prev, sim::SimTime now);
 
   std::size_t numItems_;
-  std::vector<db::UpdateRecord> recency_;
+  /// Shared so rebroadcasts of an unchanged history are O(levels), not
+  /// O(N/2). Never null (points to an empty vector for an empty history).
+  std::shared_ptr<const std::vector<db::UpdateRecord>> recency_;
   std::vector<Level> levels_;  // largest marked count first (B_n ... B_1)
   sim::SimTime coverageStart_ = sim::kTimeEpoch;
   sim::SimTime lastUpdate_ = sim::kTimeEpoch;
+};
+
+/// Per-server-scheme BS report factory: memoizes on UpdateHistory::
+/// revision(). The paper's Table-1 defaults broadcast every L=20s while
+/// updates arrive ~every 100s, so most intervals rebroadcast an unchanged
+/// history — the cached snapshot is reissued with a fresh timestamp instead
+/// of re-walking the N/2-item recency list. Exact: a BsReport is a pure
+/// function of (history contents, numItems) apart from its broadcastTime.
+class BsBuilder {
+ public:
+  std::shared_ptr<const BsReport> build(const db::UpdateHistory& history,
+                                        const SizeModel& sizes,
+                                        sim::SimTime now);
+
+  /// Rebroadcasts served from the cache (ablation/test introspection).
+  [[nodiscard]] std::uint64_t cacheHits() const { return hits_; }
+
+ private:
+  std::shared_ptr<const BsReport> cached_;
+  std::uint64_t cachedRevision_ = 0;
+  std::uint64_t hits_ = 0;
 };
 
 /// Bit-exact wire encoding of a BsReport: real packed bit sequences with
@@ -96,9 +124,14 @@ class BsWire {
   /// Encodes the snapshot form into actual bit sequences.
   static BsWire encode(const BsReport& report);
 
+  /// Same encoding into an existing wire object, reusing its BitVec word
+  /// storage (per-interval re-encoders keep one BsWire as scratch and
+  /// never reallocate after the first interval).
+  static void encodeInto(const BsReport& report, BsWire& out);
+
   struct WireLevel {
     BitVec bits;
-    sim::SimTime ts;
+    sim::SimTime ts{sim::kTimeEpoch};
   };
 
   /// Reassembles a wire view from decoded parts (ReportCodec).

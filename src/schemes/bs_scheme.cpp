@@ -5,7 +5,7 @@
 namespace mci::schemes {
 
 report::ReportPtr BsServerScheme::buildReport(sim::SimTime now) {
-  return report::BsReport::build(history_, sizes_, now);
+  return builder_.build(history_, sizes_, now);
 }
 
 std::optional<ValidityReply> BsServerScheme::onCheckMessage(

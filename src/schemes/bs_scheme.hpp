@@ -24,6 +24,7 @@ class BsServerScheme final : public ServerScheme {
  private:
   const db::UpdateHistory& history_;
   const report::SizeModel& sizes_;
+  report::BsBuilder builder_;  // rebroadcasts unchanged histories from cache
 };
 
 /// Client half: Figure 2's algorithm. Never marks suspects — a BS report

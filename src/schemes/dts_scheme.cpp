@@ -37,8 +37,11 @@ report::ReportPtr DtsServerScheme::buildReport(sim::SimTime now) {
   // then kept only while inside its own window.
   const sim::SimTime widest =
       std::max(sim::kTimeEpoch, now - params_.maxWindow * period_);
-  std::vector<db::UpdateRecord> kept;
-  for (const db::UpdateRecord& rec : history_.updatesAfter(widest)) {
+  candidateScratch_.clear();
+  history_.updatesAfter(widest, candidateScratch_);
+  std::vector<db::UpdateRecord> kept;  // moved into the report below
+  kept.reserve(candidateScratch_.size());
+  for (const db::UpdateRecord& rec : candidateScratch_) {
     const double wStart = now - windowFor(rec.item, now) * period_;
     if (rec.time > wStart) kept.push_back(rec);
   }
@@ -67,12 +70,14 @@ ClientOutcome DtsClientScheme::onReport(const report::Report& r,
     // Beyond the guaranteed floor: survivors must prove their currency by
     // being listed (their last update is in the report, and applyTsEntries
     // already removed the ones where that update postdates the copy).
-    std::unordered_map<db::ItemId, sim::SimTime> listed;
+    std::unordered_map<db::ItemId, sim::SimTime>& listed = listedScratch_;
+    listed.clear();  // keeps the bucket array across reports
     listed.reserve(ts.entries().size());
     for (const db::UpdateRecord& rec : ts.entries()) {
       listed.emplace(rec.item, rec.time);
     }
-    std::vector<db::ItemId> undecidable;
+    std::vector<db::ItemId>& undecidable = undecidableScratch_;
+    undecidable.clear();
     ctx.cache().forEach([&](const cache::Entry& e) {
       auto it = listed.find(e.item);
       if (it == listed.end()) {

@@ -1,5 +1,8 @@
 #pragma once
 
+#include <unordered_map>
+#include <vector>
+
 #include "db/database.hpp"
 #include "schemes/ts_scheme.hpp"
 
@@ -52,11 +55,18 @@ class DtsServerScheme final : public ServerScheme {
   const report::SizeModel& sizes_;
   double period_;
   Params params_;
+  std::vector<db::UpdateRecord> candidateScratch_;  // reused every interval
 };
 
 class DtsClientScheme final : public ClientScheme {
  public:
   ClientOutcome onReport(const report::Report& r, ClientContext& ctx) override;
+
+ private:
+  // Per-report scratch (lookup/collect only — never iterated), reused
+  // across reports to keep the beyond-the-floor path allocation-free.
+  std::unordered_map<db::ItemId, sim::SimTime> listedScratch_;
+  std::vector<db::ItemId> undecidableScratch_;
 };
 
 }  // namespace mci::schemes

@@ -83,6 +83,7 @@ ClientOutcome GcoreClientScheme::onReport(const report::Report& r,
     out.sendCheck = true;
     out.check.client = ctx.id();
     out.check.tlb = ctx.suspectAsOf();
+    out.check.entries.reserve(groups.size());
     for (const auto& [group, refTime] : groups) {
       out.check.entries.push_back({group, refTime});
     }

@@ -29,7 +29,8 @@ ClientOutcome SigClientScheme::onReport(const report::Report& r,
   const std::vector<std::uint64_t>& fresh = sig.combined();
   assert(fresh.size() == stored_.size());
 
-  std::vector<char> changed(fresh.size(), 0);
+  std::vector<char>& changed = changedScratch_;
+  changed.assign(fresh.size(), 0);
   std::size_t numChanged = 0;
   for (std::size_t i = 0; i < fresh.size(); ++i) {
     if (fresh[i] != stored_[i]) {
@@ -40,7 +41,8 @@ ClientOutcome SigClientScheme::onReport(const report::Report& r,
 
   if (numChanged > 0) {
     // Collect first: invalidation mutates the cache under iteration.
-    std::vector<db::ItemId> toInvalidate;
+    std::vector<db::ItemId>& toInvalidate = invalidateScratch_;
+    toInvalidate.clear();
     ctx.cache().forEach([&](const cache::Entry& e) {
       int votes = 0;
       for (std::size_t s : table_.subsetsOf(e.item)) {
@@ -51,7 +53,7 @@ ClientOutcome SigClientScheme::onReport(const report::Report& r,
     for (db::ItemId item : toInvalidate) ctx.invalidate(item);
   }
 
-  stored_ = fresh;
+  stored_ = fresh;  // element-wise copy into the existing buffer
   ctx.setLastHeard(r.broadcastTime);
   return {};
 }

@@ -43,6 +43,9 @@ class SigClientScheme final : public ClientScheme {
   const report::SignatureTable& table_;
   std::vector<std::uint64_t> stored_;
   int votesNeeded_;
+  // Per-report scratch, reused so the diff/vote pass never reallocates.
+  std::vector<char> changedScratch_;
+  std::vector<db::ItemId> invalidateScratch_;
 };
 
 }  // namespace mci::schemes

@@ -44,6 +44,7 @@ ClientOutcome TsCheckingClientScheme::onReport(const report::Report& r,
     out.sendCheck = true;
     out.check.client = ctx.id();
     out.check.tlb = ctx.suspectAsOf();
+    out.check.entries.reserve(ctx.cache().suspectCount());
     ctx.cache().forEach([&](const cache::Entry& e) {
       if (e.suspect) out.check.entries.push_back({e.item, e.refTime});
     });

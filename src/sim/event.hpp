@@ -1,21 +1,24 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
+#include "sim/inline_fn.hpp"
 #include "sim/time.hpp"
 
 namespace mci::sim {
 
 /// Unique, monotonically increasing identifier for a scheduled event.
 /// Doubles as the FIFO tie-breaker for events scheduled at the same time,
-/// which makes every run fully deterministic.
+/// which makes every run fully deterministic. The low EventQueue::kSlotBits
+/// bits index the queue's node pool; the high bits are the monotone
+/// sequence number, so ordering comparisons work on the raw value.
 using EventId = std::uint64_t;
 
 inline constexpr EventId kInvalidEventId = 0;
 
 /// An event's action. Fired exactly once when the simulation clock reaches
-/// the event's time, unless the event was cancelled first.
-using EventFn = std::function<void()>;
+/// the event's time, unless the event was cancelled first. Stored inline
+/// (no heap) — see InlineFn for the capture-size contract.
+using EventFn = InlineFn;
 
 }  // namespace mci::sim

@@ -8,79 +8,115 @@
 
 namespace mci::sim {
 
+std::uint32_t EventQueue::acquireSlot() {
+  if (freeHead_ != kNoSlot) {
+    const std::uint32_t slot = freeHead_;
+    freeHead_ = pool_[slot].nextFree;
+    pool_[slot].nextFree = kNoSlot;
+    return slot;
+  }
+  MCI_CHECK(pool_.size() < kMaxSlots)
+      << "event pool exhausted: " << pool_.size()
+      << " events pending at once";
+  pool_.emplace_back();
+  return static_cast<std::uint32_t>(pool_.size() - 1);
+}
+
+void EventQueue::releaseSlot(std::uint32_t slot) {
+  Slot& s = pool_[slot];
+  s.id = kInvalidEventId;
+  s.fn.reset();
+  s.nextFree = freeHead_;
+  freeHead_ = slot;
+}
+
 EventId EventQueue::push(SimTime at, EventFn fn) {
   MCI_CHECK(std::isfinite(at)) << "event time must be finite, got " << at;
-  const EventId id = nextId_++;
-  heap_.push_back(Node{at, id, std::move(fn)});
+  const std::uint32_t slot = acquireSlot();
+  ++seq_;
+  MCI_CHECK(seq_ < (EventId{1} << (64 - kSlotBits)))
+      << "event sequence space exhausted after " << seq_ << " pushes";
+  const EventId id = (seq_ << kSlotBits) | slot;
+  pool_[slot].id = id;
+  pool_[slot].fn = std::move(fn);
+  heap_.push_back(HeapEntry{at, id, slot});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++live_;
-  MCI_DCHECK(heap_.size() == live_ + cancelled_.size())
-      << "heap/live/cancelled accounting out of sync after push";
+  MCI_DCHECK(heap_.size() >= live_)
+      << "heap/live accounting out of sync after push";
   return id;
 }
 
 bool EventQueue::cancel(EventId id) {
-  if (id == kInvalidEventId || id >= nextId_) return false;
-  // Lazy: remember the id; the node is discarded when it reaches the top.
-  // A second cancel of the same id, or a cancel of an already-fired id,
-  // must return false, so probe the heap for liveness only via the
-  // cancelled set + fired ids being absent from it.
-  if (cancelled_.contains(id)) return false;
-  // Check the id is actually still pending (linear scan is fine: cancels
-  // are rare in our workloads, and the alternative is an index map that
-  // every push/pop must maintain).
-  const bool pending = std::any_of(heap_.begin(), heap_.end(),
-                                   [id](const Node& n) { return n.id == id; });
-  if (!pending) return false;
+  if (id == kInvalidEventId) return false;
+  const std::uint32_t slot =
+      static_cast<std::uint32_t>(id & (kMaxSlots - 1));
+  // The slot check distinguishes "never existed"; the id check catches
+  // already-fired, already-cancelled, and slot-recycled-by-a-later-push.
+  if (slot >= pool_.size() || pool_[slot].id != id) return false;
   MCI_CHECK(live_ > 0) << "cancel() of pending event " << id
                        << " but live count is zero";
-  cancelled_.insert(id);
+  releaseSlot(slot);  // the heap entry goes stale and is pruned at the top
   --live_;
+  // Idle queue: flush leftover stale entries so heap occupancy returns to
+  // zero (otherwise they'd stack the next burst on top of this one and push
+  // the vector past its live high-water mark).
+  if (live_ == 0) heap_.clear();
   return true;
 }
 
-SimTime EventQueue::nextTime() const {
-  // The top of the heap may be cancelled; we cannot mutate here, so walk
-  // the heap lazily: the min live element is not necessarily heap_[0].
-  // Cheap exact answer: scan. Called rarely (tests / idle checks).
+SimTime EventQueue::nextTimeSlow() const {
+  // Exact scan skipping stale entries; test-only (peekTime() is the O(1)
+  // production path, but it prunes, and const callers cannot).
   SimTime best = kTimeInfinity;
-  for (const Node& n : heap_) {
-    if (cancelled_.contains(n.id)) continue;
-    if (n.time < best) best = n.time;
+  for (const HeapEntry& e : heap_) {
+    if (!entryLive(e)) continue;
+    if (e.time < best) best = e.time;
   }
   return best;
 }
 
 SimTime EventQueue::peekTime() {
-  dropCancelledTop();
+  dropStaleTop();
   return heap_.empty() ? kTimeInfinity : heap_.front().time;
 }
 
 EventQueue::Popped EventQueue::pop() {
-  dropCancelledTop();
+  dropStaleTop();
   MCI_CHECK(!heap_.empty()) << "pop() on empty EventQueue";
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Node n = std::move(heap_.back());
+  const HeapEntry e = heap_.back();
   heap_.pop_back();
   MCI_CHECK(live_ > 0) << "pop() with zero live events but non-empty heap";
+  Slot& s = pool_[e.slot];
+  MCI_DCHECK(s.id == e.id) << "heap top does not own its pool slot";
+  Popped out{e.id, e.time, std::move(s.fn)};
+  releaseSlot(e.slot);
   --live_;
   // Heap-order integrity: everything still queued fires no earlier than
   // what we just popped, so dispatch times are monotone between pushes.
-  MCI_DCHECK(heap_.empty() || heap_.front().time >= n.time)
-      << "heap order violated: popped t=" << n.time << " but top is t="
+  // (Holds for stale entries too: they were pushed before this pop.)
+  MCI_DCHECK(heap_.empty() || heap_.front().time >= e.time)
+      << "heap order violated: popped t=" << e.time << " but top is t="
       << heap_.front().time;
-  return Popped{n.id, n.time, std::move(n.fn)};
+  if (live_ == 0) heap_.clear();  // flush stale leftovers at idle
+  return out;
 }
 
 void EventQueue::clear() {
   heap_.clear();
-  cancelled_.clear();
+  pool_.clear();
+  freeHead_ = kNoSlot;
   live_ = 0;
 }
 
-void EventQueue::dropCancelledTop() {
-  while (!heap_.empty() && cancelled_.contains(heap_.front().id)) {
-    cancelled_.erase(heap_.front().id);
+void EventQueue::reserve(std::size_t events) {
+  heap_.reserve(events);
+  pool_.reserve(events);
+}
+
+void EventQueue::dropStaleTop() {
+  while (!heap_.empty() && !entryLive(heap_.front())) {
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
     heap_.pop_back();
   }

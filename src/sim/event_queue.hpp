@@ -1,7 +1,7 @@
 #pragma once
 
 #include <cstddef>
-#include <unordered_set>
+#include <cstdint>
 #include <vector>
 
 #include "sim/event.hpp"
@@ -9,18 +9,32 @@
 
 namespace mci::sim {
 
-/// Priority queue of timed events with O(log n) push/pop and O(1) lazy
+/// Priority queue of timed events with O(log n) push/pop and O(1)
 /// cancellation. Events at equal times fire in scheduling (FIFO) order,
 /// which keeps simulations deterministic regardless of heap layout.
+///
+/// Storage is a binary heap of 16-byte (time, id, slot) entries over a
+/// free-list pool of callback slots. Cancelled and popped slots go back on
+/// the free list, so in steady state push/pop/cancel never allocate; the
+/// heap and pool only grow to the high-water mark of concurrently pending
+/// events. An event id encodes its pool slot in the low kSlotBits bits and
+/// a monotone sequence number above them — the sequence keeps ids unique
+/// and FIFO-ordered, the slot makes cancel() a single array probe, and a
+/// heap entry whose id no longer matches its slot's is stale (already
+/// cancelled) and is pruned when it surfaces at the top.
 class EventQueue {
  public:
+  /// Low bits of an EventId that address the slot pool: up to ~16.7M events
+  /// pending at once, and 2^40 pushes before the sequence space is spent.
+  static constexpr unsigned kSlotBits = 24;
+
   /// Schedules `fn` at absolute time `at`. Returns a handle usable with
   /// cancel(). `at` must be finite.
   EventId push(SimTime at, EventFn fn);
 
   /// Cancels a pending event. Returns true if the event was still pending
   /// (it will not fire); false if it already fired, was already cancelled,
-  /// or never existed.
+  /// or never existed. O(1).
   bool cancel(EventId id);
 
   /// True if no live (non-cancelled) events remain.
@@ -30,11 +44,12 @@ class EventQueue {
   [[nodiscard]] std::size_t size() const { return live_; }
 
   /// Time of the earliest live event; kTimeInfinity when empty.
-  /// O(n) exact scan; intended for tests and idle checks.
-  [[nodiscard]] SimTime nextTime() const;
+  /// O(n) exact scan over the whole heap — test-only; production idle
+  /// checks go through peekTime().
+  [[nodiscard]] SimTime nextTimeSlow() const;
 
   /// Time of the earliest live event; kTimeInfinity when empty.
-  /// Amortized O(1): prunes cancelled nodes from the heap top.
+  /// Amortized O(1): prunes stale (cancelled) entries from the heap top.
   SimTime peekTime();
 
   /// Pops and returns the earliest live event. Precondition: !empty().
@@ -45,27 +60,54 @@ class EventQueue {
   };
   Popped pop();
 
-  /// Removes all events.
+  /// Removes all events. Keeps the sequence counter (ids stay unique) but
+  /// releases the heap/pool storage.
   void clear();
 
+  /// Pre-sizes the heap and slot pool for `events` concurrently pending
+  /// events, so the first simulation interval does not pay growth
+  /// reallocations either.
+  void reserve(std::size_t events);
+
+  /// Slots ever allocated (pool high-water mark); for pool-reuse tests.
+  [[nodiscard]] std::size_t poolSlots() const { return pool_.size(); }
+
  private:
-  struct Node {
+  static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+  static constexpr std::uint32_t kMaxSlots = std::uint32_t{1} << kSlotBits;
+
+  struct HeapEntry {
     SimTime time;
     EventId id;
-    EventFn fn;
+    std::uint32_t slot;
   };
   struct Later {
-    bool operator()(const Node& a, const Node& b) const {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
       if (a.time != b.time) return a.time > b.time;
-      return a.id > b.id;  // FIFO among equal times
+      return a.id > b.id;  // FIFO among equal times (ids are monotone)
     }
   };
+  struct Slot {
+    EventFn fn;
+    /// Id of the pending event occupying this slot; kInvalidEventId when
+    /// the slot is free (then nextFree links the free list).
+    EventId id = kInvalidEventId;
+    std::uint32_t nextFree = kNoSlot;
+  };
 
-  void dropCancelledTop();
+  [[nodiscard]] std::uint32_t acquireSlot();
+  void releaseSlot(std::uint32_t slot);
+  /// True iff the heap entry still refers to a pending event (its slot was
+  /// not cancelled and not recycled by a later push).
+  [[nodiscard]] bool entryLive(const HeapEntry& e) const {
+    return pool_[e.slot].id == e.id;
+  }
+  void dropStaleTop();
 
-  std::vector<Node> heap_;
-  std::unordered_set<EventId> cancelled_;
-  EventId nextId_ = 1;
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> pool_;
+  std::uint32_t freeHead_ = kNoSlot;
+  EventId seq_ = 0;  // sequence number of the most recent push
   std::size_t live_ = 0;
 };
 

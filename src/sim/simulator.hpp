@@ -52,6 +52,11 @@ class Simulator {
   /// Live events still pending.
   [[nodiscard]] std::size_t pendingEvents() const { return queue_.size(); }
 
+  /// Pre-sizes the event queue's heap and node pool (see EventQueue::
+  /// reserve); call before the first event burst to avoid growth
+  /// reallocations mid-run.
+  void reserveEvents(std::size_t events) { queue_.reserve(events); }
+
  private:
   EventQueue queue_;
   SimTime now_ = 0.0;

@@ -17,9 +17,16 @@ double QueryGenerator::thinkTime() {
 }
 
 std::vector<db::ItemId> QueryGenerator::nextQuery() {
+  std::vector<db::ItemId> items;
+  nextQuery(items);
+  return items;
+}
+
+void QueryGenerator::nextQuery(std::vector<db::ItemId>& out) {
+  std::vector<db::ItemId>& items = out;
+  items.clear();
   // 1 + Poisson(mean-1): at least one item, exact mean.
   const int count = 1 + rng_.poisson(params_.meanItemsPerQuery - 1.0);
-  std::vector<db::ItemId> items;
   items.reserve(static_cast<std::size_t>(count));
   // Draw distinct items; with small counts relative to the region sizes a
   // bounded number of retries suffices, and we fall back to accepting a
@@ -33,7 +40,6 @@ std::vector<db::ItemId> QueryGenerator::nextQuery() {
     }
   }
   if (items.empty()) items.push_back(pattern_.pick(rng_));
-  return items;
 }
 
 }  // namespace mci::workload

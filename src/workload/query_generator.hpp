@@ -26,6 +26,10 @@ class QueryGenerator {
   /// Draws the next query's distinct item set.
   std::vector<db::ItemId> nextQuery();
 
+  /// Same draw into a caller-owned buffer (cleared first), so the client
+  /// loop reuses one vector for every query.
+  void nextQuery(std::vector<db::ItemId>& out);
+
   [[nodiscard]] const AccessPattern& pattern() const { return pattern_; }
   [[nodiscard]] const Params& params() const { return params_; }
 

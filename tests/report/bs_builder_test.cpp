@@ -1,0 +1,122 @@
+// BsBuilder memoization: rebroadcasts of an unchanged history must be
+// byte-for-byte equivalent to a fresh build (only the broadcast timestamp
+// differs), and any history change must invalidate the cache.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "db/update_history.hpp"
+#include "report/bs_report.hpp"
+
+namespace mci::report {
+namespace {
+
+SizeModel model(std::size_t n) {
+  SizeModel m;
+  m.numItems = n;
+  return m;
+}
+
+void expectEquivalent(const BsReport& a, const BsReport& b) {
+  EXPECT_EQ(a.numItems(), b.numItems());
+  EXPECT_DOUBLE_EQ(a.coverageStart(), b.coverageStart());
+  EXPECT_DOUBLE_EQ(a.lastUpdateTime(), b.lastUpdateTime());
+  ASSERT_EQ(a.levels().size(), b.levels().size());
+  for (std::size_t i = 0; i < a.levels().size(); ++i) {
+    EXPECT_EQ(a.levels()[i].marked, b.levels()[i].marked) << "level " << i;
+    EXPECT_DOUBLE_EQ(a.levels()[i].ts, b.levels()[i].ts) << "level " << i;
+  }
+  ASSERT_EQ(a.recency().size(), b.recency().size());
+  for (std::size_t i = 0; i < a.recency().size(); ++i) {
+    EXPECT_EQ(a.recency()[i].item, b.recency()[i].item) << "entry " << i;
+    EXPECT_DOUBLE_EQ(a.recency()[i].time, b.recency()[i].time)
+        << "entry " << i;
+  }
+}
+
+TEST(BsBuilderTest, RebroadcastOfUnchangedHistoryHitsCache) {
+  db::UpdateHistory h(64);
+  for (db::ItemId i = 0; i < 10; ++i) h.record(i, 5.0 * (i + 1));
+  BsBuilder builder;
+  const auto first = builder.build(h, model(64), 100.0);
+  EXPECT_EQ(builder.cacheHits(), 0u);
+  const auto second = builder.build(h, model(64), 120.0);
+  EXPECT_EQ(builder.cacheHits(), 1u);
+  EXPECT_DOUBLE_EQ(second->broadcastTime, 120.0);
+  // The cached rebroadcast shares the recency snapshot.
+  EXPECT_EQ(&first->recency(), &second->recency());
+  expectEquivalent(*first, *second);
+}
+
+TEST(BsBuilderTest, CachedRebroadcastMatchesFreshBuild) {
+  db::UpdateHistory h(128);
+  for (db::ItemId i = 0; i < 40; ++i) h.record(i % 16, 2.0 * (i + 1));
+  BsBuilder builder;
+  (void)builder.build(h, model(128), 90.0);
+  const auto cached = builder.build(h, model(128), 110.0);
+  EXPECT_EQ(builder.cacheHits(), 1u);
+  const auto fresh = BsReport::build(h, model(128), 110.0);
+  EXPECT_DOUBLE_EQ(cached->broadcastTime, fresh->broadcastTime);
+  expectEquivalent(*cached, *fresh);
+  // Decisions agree for every interesting last-heard time.
+  for (double tlb = 0.0; tlb <= 110.0; tlb += 7.0) {
+    const auto dc = cached->decide(tlb);
+    const auto df = fresh->decide(tlb);
+    EXPECT_EQ(dc.action, df.action) << "tlb=" << tlb;
+    EXPECT_EQ(dc.marked.size(), df.marked.size()) << "tlb=" << tlb;
+  }
+}
+
+TEST(BsBuilderTest, HistoryChangeInvalidatesCache) {
+  db::UpdateHistory h(64);
+  h.record(1, 10.0);
+  BsBuilder builder;
+  (void)builder.build(h, model(64), 20.0);
+  h.record(2, 25.0);  // revision bump
+  const auto after = builder.build(h, model(64), 40.0);
+  EXPECT_EQ(builder.cacheHits(), 0u);
+  const auto fresh = BsReport::build(h, model(64), 40.0);
+  expectEquivalent(*after, *fresh);
+  // And the new snapshot caches again.
+  (void)builder.build(h, model(64), 60.0);
+  EXPECT_EQ(builder.cacheHits(), 1u);
+}
+
+TEST(BsBuilderTest, WireEncodingOfCachedReportMatchesFresh) {
+  db::UpdateHistory h(64);
+  for (db::ItemId i = 0; i < 20; ++i) h.record((i * 7) % 32, 3.0 * (i + 1));
+  BsBuilder builder;
+  (void)builder.build(h, model(64), 70.0);
+  const auto cached = builder.build(h, model(64), 85.0);
+  EXPECT_EQ(builder.cacheHits(), 1u);
+  const auto fresh = BsReport::build(h, model(64), 85.0);
+  const BsWire wireCached = BsWire::encode(*cached);
+  const BsWire wireFresh = BsWire::encode(*fresh);
+  ASSERT_EQ(wireCached.levels().size(), wireFresh.levels().size());
+  for (std::size_t l = 0; l < wireCached.levels().size(); ++l) {
+    const auto& wc = wireCached.levels()[l];
+    const auto& wf = wireFresh.levels()[l];
+    EXPECT_DOUBLE_EQ(wc.ts, wf.ts) << "level " << l;
+    ASSERT_EQ(wc.bits.size(), wf.bits.size()) << "level " << l;
+    for (std::size_t b = 0; b < wc.bits.size(); ++b) {
+      ASSERT_EQ(wc.bits.test(b), wf.bits.test(b))
+          << "level " << l << " bit " << b;
+    }
+  }
+  // encodeInto reuses storage and produces the same bits.
+  BsWire scratch;
+  BsWire::encodeInto(*cached, scratch);
+  ASSERT_EQ(scratch.levels().size(), wireFresh.levels().size());
+  for (std::size_t l = 0; l < scratch.levels().size(); ++l) {
+    ASSERT_EQ(scratch.levels()[l].bits.size(),
+              wireFresh.levels()[l].bits.size());
+    for (std::size_t b = 0; b < scratch.levels()[l].bits.size(); ++b) {
+      ASSERT_EQ(scratch.levels()[l].bits.test(b),
+                wireFresh.levels()[l].bits.test(b));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mci::report

@@ -13,7 +13,7 @@ TEST(EventQueue, StartsEmpty) {
   EventQueue q;
   EXPECT_TRUE(q.empty());
   EXPECT_EQ(q.size(), 0u);
-  EXPECT_EQ(q.nextTime(), kTimeInfinity);
+  EXPECT_EQ(q.nextTimeSlow(), kTimeInfinity);
   EXPECT_EQ(q.peekTime(), kTimeInfinity);
 }
 
@@ -100,7 +100,7 @@ TEST(EventQueue, PeekTimeSkipsCancelledTop) {
   q.push(2.0, [] {});
   q.cancel(a);
   EXPECT_DOUBLE_EQ(q.peekTime(), 2.0);
-  EXPECT_DOUBLE_EQ(q.nextTime(), 2.0);
+  EXPECT_DOUBLE_EQ(q.nextTimeSlow(), 2.0);
 }
 
 TEST(EventQueue, ClearRemovesEverything) {

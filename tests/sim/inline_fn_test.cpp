@@ -1,0 +1,108 @@
+#include "sim/inline_fn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace mci::sim {
+namespace {
+
+TEST(InlineFnTest, DefaultConstructedIsDisengaged) {
+  InlineFn fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(InlineFnTest, InvokesStoredCallable) {
+  int calls = 0;
+  InlineFn fn([&calls] { ++calls; });
+  ASSERT_TRUE(static_cast<bool>(fn));
+  fn();
+  fn();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(InlineFnTest, CapturesUpToCapacityByValue) {
+  std::array<std::uint64_t, InlineFn::kCapacity / sizeof(std::uint64_t)> big{};
+  big.fill(7);
+  // Exactly kCapacity bytes of captured state must fit.
+  InlineFn fn([big] {
+    volatile std::uint64_t sink = big[0];
+    (void)sink;
+  });
+  EXPECT_TRUE(static_cast<bool>(fn));
+  fn();
+}
+
+TEST(InlineFnTest, OversizedCaptureIsNotConstructible) {
+  // One word past the buffer: construction must fail at compile time, which
+  // surfaces as is_constructible == false thanks to the requires-clause.
+  struct Oversized {
+    unsigned char bytes[InlineFn::kCapacity + 1];
+    void operator()() const {}
+  };
+  static_assert(!std::is_constructible_v<InlineFn, Oversized>,
+                "captures larger than kCapacity must be rejected");
+  struct Fits {
+    unsigned char bytes[InlineFn::kCapacity];
+    void operator()() const {}
+  };
+  static_assert(std::is_constructible_v<InlineFn, Fits>,
+                "captures of exactly kCapacity must be accepted");
+}
+
+TEST(InlineFnTest, ThrowingMoveIsNotConstructible) {
+  struct ThrowingMove {
+    ThrowingMove() = default;
+    ThrowingMove(ThrowingMove&&) noexcept(false) {}
+    void operator()() const {}
+  };
+  static_assert(!std::is_constructible_v<InlineFn, ThrowingMove>,
+                "InlineFn relocation must be noexcept");
+}
+
+TEST(InlineFnTest, MoveTransfersStateAndDisengagesSource) {
+  int calls = 0;
+  InlineFn a([&calls] { ++calls; });
+  InlineFn b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(InlineFnTest, MoveAssignDestroysPreviousCallable) {
+  auto token = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = token;
+  InlineFn holder([token = std::move(token)] { (void)*token; });
+  EXPECT_FALSE(watch.expired());
+  int calls = 0;
+  holder = InlineFn([&calls] { ++calls; });
+  EXPECT_TRUE(watch.expired()) << "old callable must be destroyed on assign";
+  holder();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(InlineFnTest, ResetDestroysCallable) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  InlineFn fn([token = std::move(token)] { (void)*token; });
+  fn.reset();
+  EXPECT_TRUE(watch.expired());
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(InlineFnTest, MoveOnlyCapturesWork) {
+  auto owned = std::make_unique<int>(9);
+  int seen = 0;
+  InlineFn fn([owned = std::move(owned), &seen] { seen = *owned; });
+  InlineFn moved(std::move(fn));
+  moved();
+  EXPECT_EQ(seen, 9);
+}
+
+}  // namespace
+}  // namespace mci::sim

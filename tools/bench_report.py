@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Perf-regression report: run the kernel bench suite, merge a baseline,
+and enforce the zero-allocation steady-state gate.
+
+Drives `bench_main` (the standalone JSON emitter in bench/) and optionally
+the google-benchmark micro binaries, then writes a single BENCH_kernel.json
+summarising items/sec, simulated-seconds-per-wall-second, and
+allocations-per-event. When `--baseline` points at a previous report (or a
+raw bench_main dump), each metric gains a `speedup` field computed against
+it, so a perf regression is visible as speedup < 1 in review.
+
+Exit status:
+  0  report written, allocation gate passed
+  1  steady-state allocations per event/item exceeded --max-allocs (default 0)
+  2  usage or subprocess error
+
+Typical use (see docs/performance.md):
+
+    cmake --preset release && cmake --build --preset release -j
+    python3 tools/bench_report.py --build build-release --out BENCH_kernel.json
+
+CI (`bench-smoke`) runs the same with `--mintime 0.05` and a short
+`--simtime` so the gate stays cheap.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+
+def run_bench_main(build: Path, mintime: float, simtime: float) -> dict:
+    exe = build / "bench" / "bench_main"
+    if not exe.exists():
+        sys.exit(f"bench_report: {exe} not found — build the repo first")
+    cmd = [str(exe), "--mintime", str(mintime), "--simtime", str(simtime)]
+    print("bench_report: running", " ".join(cmd), file=sys.stderr)
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        sys.exit(f"bench_report: bench_main failed ({proc.returncode})")
+    return json.loads(proc.stdout)
+
+
+def run_google_micro(build: Path, name: str, min_time: float) -> list[dict]:
+    """Runs a google-benchmark binary, tolerating both the old plain-double
+    and the new duration-suffixed --benchmark_min_time syntax."""
+    exe = build / "bench" / name
+    if not exe.exists():
+        print(f"bench_report: {exe} not found; skipping", file=sys.stderr)
+        return []
+    for arg in (f"--benchmark_min_time={min_time}s",
+                f"--benchmark_min_time={min_time}"):
+        cmd = [str(exe), arg, "--benchmark_format=json"]
+        print("bench_report: running", " ".join(cmd), file=sys.stderr)
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode == 0:
+            try:
+                return json.loads(proc.stdout).get("benchmarks", [])
+            except json.JSONDecodeError:
+                break
+    print(f"bench_report: {name} failed under both min_time syntaxes; "
+          "skipping", file=sys.stderr)
+    return []
+
+
+def load_baseline(path: Path) -> dict[str, dict[str, float]]:
+    """Accepts either a previous BENCH_kernel.json or a raw bench_main dump;
+    returns {bench name: {metric: value}}."""
+    doc = json.loads(path.read_text())
+    out: dict[str, dict[str, float]] = {}
+    for row in doc.get("benches", []):
+        name = row.get("name")
+        if not name:
+            continue
+        out[name] = {
+            k: v for k, v in row.items()
+            if isinstance(v, (int, float)) and not isinstance(v, bool)
+        }
+    return out
+
+
+# Metrics where larger is faster; speedup = after / before.
+RATE_METRICS = ("items_per_s", "sim_s_per_wall_s")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument("--build", type=Path, default=Path("build"),
+                        help="build directory containing bench/ binaries")
+    parser.add_argument("--out", type=Path, default=Path("BENCH_kernel.json"))
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="previous BENCH_kernel.json (or raw bench_main "
+                             "output) to compute speedups against")
+    parser.add_argument("--mintime", type=float, default=0.5,
+                        help="min wall seconds per micro bench")
+    parser.add_argument("--simtime", type=float, default=5000.0,
+                        help="simulated seconds per full_sim probe")
+    parser.add_argument("--max-allocs", type=float, default=0.0,
+                        help="max steady-state allocations per event/item "
+                             "before the gate fails (default 0)")
+    parser.add_argument("--skip-google-bench", action="store_true",
+                        help="only run bench_main (e.g. when "
+                             "libbenchmark is unavailable)")
+    args = parser.parse_args()
+
+    kernel = run_bench_main(args.build, args.mintime, args.simtime)
+    benches = list(kernel.get("benches", []))
+
+    micro = []
+    if not args.skip_google_bench:
+        micro = run_google_micro(args.build, "bench_micro_sim", args.mintime)
+
+    baseline = load_baseline(args.baseline) if args.baseline else {}
+    for row in benches:
+        before = baseline.get(row["name"], {})
+        for metric in RATE_METRICS:
+            if metric in row and before.get(metric):
+                row["speedup"] = row[metric] / before[metric]
+
+    report = {
+        "schema": "mci-bench-kernel-v1",
+        "benches": benches,
+        "google_benchmark": [
+            {
+                "name": b.get("name"),
+                "items_per_second": b.get("items_per_second"),
+                "sim_s_per_s": b.get("sim_s_per_s"),
+                "real_time_ns": b.get("real_time"),
+            }
+            for b in micro
+        ],
+        "baseline": str(args.baseline) if args.baseline else None,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"bench_report: wrote {args.out}", file=sys.stderr)
+
+    # The allocation gate: the kernel benches must not allocate in steady
+    # state. full_sim allocs are informational (reports, metric series).
+    failures = []
+    for row in benches:
+        for key in ("allocs_per_item_steady", "allocs_per_event_steady"):
+            if key in row and row[key] > args.max_allocs:
+                failures.append(f"{row['name']}: {key} = {row[key]:.4g} "
+                                f"(max {args.max_allocs:g})")
+    if failures:
+        print("bench_report: allocation gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print("  " + f, file=sys.stderr)
+        return 1
+    print("bench_report: allocation gate passed "
+          f"(<= {args.max_allocs:g} allocs/event)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

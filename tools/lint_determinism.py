@@ -23,11 +23,24 @@ Banned patterns
    unspecified and must never feed results. (Heuristic, per-file; use an
    ordered container, sort the output, or suppress.)
 
+   Note on per-instance *scratch buffers* (the allocation-free kernel
+   pattern, docs/performance.md): member containers that are cleared and
+   refilled every interval are fine as lookup structures — only
+   *iterating* them can leak order. Scratch `std::vector`s never trigger
+   this rule; an unordered scratch map used purely via find()/contains()
+   passes too. If an unordered scratch container genuinely must be
+   iterated order-independently, suppress at the declaration (below).
+
 Suppressions
 ------------
 Append to the offending line (or the line above it):
 
     // NOLINT-DETERMINISM(<reason>)
+
+For rule 5 the suppression may also sit on the container's *declaration*
+(in the header, for members): every range-for over that name in the file
+and its paired source is then exempt, so the reasoning lives once, next
+to the container it justifies.
 
 A reason is mandatory; bare `NOLINT-DETERMINISM` is itself an error.
 
@@ -158,8 +171,16 @@ def paired_header(path: Path) -> Path | None:
     return None
 
 
-def unordered_names(code: str) -> set[str]:
-    return {m.group(1) for m in UNORDERED_DECL.finditer(code)}
+def unordered_names(code: str, raw_lines: list[str]) -> tuple[set[str], set[str]]:
+    """Returns (flagged names, declaration-suppressed names): a reasoned
+    NOLINT-DETERMINISM on the declaration line (or the line above) exempts
+    every range-for over that container in the file and its paired source."""
+    flagged: set[str] = set()
+    exempt: set[str] = set()
+    for m in UNORDERED_DECL.finditer(code):
+        lineno = code.count("\n", 0, m.start()) + 1
+        (exempt if suppressed(raw_lines, lineno) else flagged).add(m.group(1))
+    return flagged, exempt
 
 
 def lint_file(root: Path, path: Path) -> list[str]:
@@ -186,10 +207,15 @@ def lint_file(root: Path, path: Path) -> list[str]:
 
     # Heuristic rule 5: range-for over an unordered container declared in
     # this file or its paired header.
-    names = unordered_names(code)
+    names, exempt = unordered_names(code, raw_lines)
     header = paired_header(path)
     if header is not None:
-        names |= unordered_names(strip_comments(header.read_text(encoding="utf-8", errors="replace")))
+        header_raw = header.read_text(encoding="utf-8", errors="replace")
+        h_names, h_exempt = unordered_names(
+            strip_comments(header_raw), header_raw.splitlines())
+        names |= h_names
+        exempt |= h_exempt
+    names -= exempt
     if names:
         name_re = re.compile(r"\b(" + "|".join(map(re.escape, sorted(names))) + r")\b")
         for ln, line in enumerate(code_lines, start=1):
