@@ -19,17 +19,16 @@ int main(int argc, char** argv) {
   using namespace mci;
   runner::Cli cli(argc, argv);
 
+  if (cli.has("list-schemes")) {
+    std::printf("%s", schemes::schemeListing().c_str());
+    return 0;
+  }
+
   core::SimConfig cfg;
-  const std::string schemeName = cli.getStr("scheme", "AAW");
-  if (auto kind = schemes::parseSchemeName(schemeName)) {
+  if (auto kind = cli.getScheme("scheme", core::SimConfig{}.scheme)) {
     cfg.scheme = *kind;
   } else {
-    std::fprintf(stderr, "unknown scheme '%s'; known:", schemeName.c_str());
-    for (auto k : schemes::kAllSchemes) {
-      std::fprintf(stderr, " %s", schemes::schemeName(k));
-    }
-    std::fprintf(stderr, "\n");
-    return 1;
+    return 1;  // getScheme printed the valid set
   }
   if (cli.getStr("workload", "UNIFORM") == "HOTCOLD") {
     cfg.workload = core::WorkloadKind::kHotCold;

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "db/database.hpp"
+#include "db/update_history.hpp"
+#include "report/sig_report.hpp"
+#include "report/sizing.hpp"
+#include "schemes/scheme.hpp"
+
+namespace mci::core {
+
+/// Builds the server half of the configured invalidation scheme against the
+/// given state. Shared by the discrete-event Simulation and the live
+/// broadcast daemons (src/live/), so both speak from the exact same scheme
+/// code. `sigTable` is required for SchemeKind::kSig and ignored otherwise.
+std::unique_ptr<schemes::ServerScheme> makeServerScheme(
+    const SimConfig& cfg, const db::UpdateHistory& history,
+    const db::Database& db, const report::SizeModel& sizes,
+    report::SignatureTable* sigTable);
+
+/// Builds the client half. For SchemeKind::kSig, `sigTable` must be a table
+/// identical to the server's (same seed/shape) and `sigInitialCombined` the
+/// combined signatures the client should diff its first heard report
+/// against (all-zero for a client joining with an empty cache is safe: a
+/// spurious diff can only invalidate cached items, of which there are none).
+std::unique_ptr<schemes::ClientScheme> makeClientScheme(
+    const SimConfig& cfg, const report::SignatureTable* sigTable,
+    const std::vector<std::uint64_t>& sigInitialCombined);
+
+}  // namespace mci::core

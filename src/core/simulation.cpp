@@ -1,17 +1,8 @@
 #include "core/simulation.hpp"
 
 #include <algorithm>
-#include <cassert>
 
-#include "core/aaw_scheme.hpp"
-#include "core/afw_scheme.hpp"
-#include "schemes/at_scheme.hpp"
-#include "schemes/bs_scheme.hpp"
-#include "schemes/dts_scheme.hpp"
-#include "schemes/gcore_scheme.hpp"
-#include "schemes/sig_scheme.hpp"
-#include "schemes/ts_checking_scheme.hpp"
-#include "schemes/ts_scheme.hpp"
+#include "core/scheme_factory.hpp"
 
 namespace mci::core {
 
@@ -39,7 +30,8 @@ Simulation::Simulation(SimConfig cfg)
     sigInitialCombined_ = sigTable_->combined();
   }
 
-  serverScheme_ = makeServerScheme();
+  serverScheme_ =
+      makeServerScheme(cfg_, history_, db_, sizes_, sigTable_.get());
   server_ = std::make_unique<Server>(sim_, net_, db_, *serverScheme_, sizes_,
                                      &collector_, cfg_.broadcastPeriod);
 
@@ -89,7 +81,8 @@ Simulation::Simulation(SimConfig cfg)
           std::min(1.0, cdp.probability * hetero.uniformReal(1.0 - h, 1.0 + h));
     }
     auto client = std::make_unique<Client>(
-        sim_, net_, *server_, sizes_, makeClientScheme(),
+        sim_, net_, *server_, sizes_,
+        makeClientScheme(cfg_, sigTable_.get(), sigInitialCombined_),
         workload::QueryGenerator(queryPattern, cqp, root.fork("query", id)),
         workload::Disconnector(cdp, root.fork("disc", id)), &collector_, id,
         cfg_.cacheCapacity(), cfg_.replacement);
@@ -99,72 +92,6 @@ Simulation::Simulation(SimConfig cfg)
 }
 
 Simulation::~Simulation() = default;
-
-std::unique_ptr<schemes::ServerScheme> Simulation::makeServerScheme() {
-  using schemes::SchemeKind;
-  switch (cfg_.scheme) {
-    case SchemeKind::kTs:
-      return std::make_unique<schemes::TsServerScheme>(
-          history_, sizes_, cfg_.broadcastPeriod, cfg_.windowIntervals);
-    case SchemeKind::kAt:
-      return std::make_unique<schemes::AtServerScheme>(history_, sizes_,
-                                                       cfg_.broadcastPeriod);
-    case SchemeKind::kSig:
-      assert(sigTable_ != nullptr);
-      return std::make_unique<schemes::SigServerScheme>(*sigTable_, sizes_);
-    case SchemeKind::kDts: {
-      schemes::DtsServerScheme::Params dts;
-      dts.minWindow = cfg_.dtsMinWindow;
-      dts.maxWindow = cfg_.dtsMaxWindow;
-      dts.alpha = cfg_.dtsAlpha;
-      return std::make_unique<schemes::DtsServerScheme>(
-          history_, db_, sizes_, cfg_.broadcastPeriod, dts);
-    }
-    case SchemeKind::kTsChecking:
-      return std::make_unique<schemes::TsCheckingServerScheme>(
-          history_, db_, sizes_, cfg_.broadcastPeriod, cfg_.windowIntervals);
-    case SchemeKind::kGcore:
-      return std::make_unique<schemes::GcoreServerScheme>(
-          history_, db_, sizes_, cfg_.broadcastPeriod, cfg_.windowIntervals,
-          cfg_.gcoreGroupSize);
-    case SchemeKind::kBs:
-      return std::make_unique<schemes::BsServerScheme>(history_, sizes_);
-    case SchemeKind::kAfw:
-      return std::make_unique<AfwServerScheme>(
-          history_, sizes_, cfg_.broadcastPeriod, cfg_.windowIntervals);
-    case SchemeKind::kAaw:
-      return std::make_unique<AawServerScheme>(
-          history_, sizes_, cfg_.broadcastPeriod, cfg_.windowIntervals);
-  }
-  assert(false && "unknown scheme");
-  return nullptr;
-}
-
-std::unique_ptr<schemes::ClientScheme> Simulation::makeClientScheme() {
-  using schemes::SchemeKind;
-  switch (cfg_.scheme) {
-    case SchemeKind::kTs:
-    case SchemeKind::kAt:
-      return std::make_unique<schemes::TsClientScheme>();
-    case SchemeKind::kSig:
-      assert(sigTable_ != nullptr);
-      return std::make_unique<schemes::SigClientScheme>(
-          *sigTable_, sigInitialCombined_, cfg_.sigVotes);
-    case SchemeKind::kDts:
-      return std::make_unique<schemes::DtsClientScheme>();
-    case SchemeKind::kTsChecking:
-      return std::make_unique<schemes::TsCheckingClientScheme>();
-    case SchemeKind::kGcore:
-      return std::make_unique<schemes::GcoreClientScheme>(cfg_.gcoreGroupSize);
-    case SchemeKind::kBs:
-      return std::make_unique<schemes::BsClientScheme>();
-    case SchemeKind::kAfw:
-    case SchemeKind::kAaw:
-      return std::make_unique<AdaptiveClientScheme>();
-  }
-  assert(false && "unknown scheme");
-  return nullptr;
-}
 
 void Simulation::startProcesses() {
   if (started_) return;

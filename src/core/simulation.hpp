@@ -63,9 +63,6 @@ class Simulation {
  private:
   void startProcesses();
 
-  std::unique_ptr<schemes::ServerScheme> makeServerScheme();
-  std::unique_ptr<schemes::ClientScheme> makeClientScheme();
-
   SimConfig cfg_;
   report::SizeModel sizes_;
   sim::Simulator sim_;

@@ -1,0 +1,436 @@
+#include "live/broadcast_server.hpp"
+
+#include <arpa/inet.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <stdexcept>
+#include <utility>
+
+#include "core/scheme_factory.hpp"
+#include "report/bs_report.hpp"
+#include "report/ts_report.hpp"
+
+namespace mci::live {
+namespace {
+
+workload::AccessPattern makeUpdatePattern(const core::SimConfig& cfg) {
+  return cfg.hotColdUpdates
+             ? workload::AccessPattern::hotCold(cfg.dbSize, cfg.hotUpdate)
+             : workload::AccessPattern::uniform(cfg.dbSize);
+}
+
+}  // namespace
+
+BroadcastServer::BroadcastServer(Reactor& reactor, ServerOptions options)
+    : reactor_(reactor),
+      opts_(std::move(options)),
+      clock_(opts_.timeScale),
+      sizes_(opts_.cfg.sizeModel()),
+      db_(opts_.cfg.dbSize),
+      history_(opts_.cfg.dbSize),
+      collector_(db_, opts_.cfg.auditStaleReads),
+      codec_(sizes_),
+      updatePattern_(makeUpdatePattern(opts_.cfg)),
+      updateRng_(sim::Rng(opts_.cfg.seed).fork("updates")),
+      dummyNet_(holderSim_, opts_.cfg.downlinkBps, opts_.cfg.uplinkBps,
+                opts_.cfg.dataChannelBps) {
+  opts_.cfg.validate();
+  if (opts_.timeScale <= 0) {
+    throw std::invalid_argument("timeScale must be positive");
+  }
+  collector_.setClientCount(opts_.cfg.numClients);
+
+  // Same derivation as core::Simulation, so a live SIG run and a sim SIG
+  // run with the same seed use the same subset table.
+  sigSeed_ = sim::Rng(opts_.cfg.seed).fork("sig-seed").bits();
+  if (opts_.cfg.scheme == schemes::SchemeKind::kSig) {
+    sigTable_ = std::make_unique<report::SignatureTable>(
+        opts_.cfg.dbSize, opts_.cfg.sigSubsets, opts_.cfg.sigPerItem,
+        sigSeed_);
+  }
+  scheme_ = core::makeServerScheme(opts_.cfg, history_, db_, sizes_,
+                                   sigTable_.get());
+
+  setupSockets();
+
+  const double wallPeriod = clock_.wallDelay(opts_.cfg.broadcastPeriod);
+  broadcastTimer_ =
+      reactor_.addTimer(wallPeriod, wallPeriod, [this] { broadcastTick(); });
+  scheduleNextUpdate();
+}
+
+BroadcastServer::~BroadcastServer() {
+  reactor_.cancelTimer(broadcastTimer_);
+  reactor_.cancelTimer(updateTimer_);
+  for (auto& [fd, conn] : conns_) {
+    reactor_.removeFd(fd);
+    ::close(fd);
+  }
+  conns_.clear();
+  if (listenFd_ >= 0) {
+    reactor_.removeFd(listenFd_);
+    ::close(listenFd_);
+  }
+  if (udpFd_ >= 0) ::close(udpFd_);
+}
+
+void BroadcastServer::setupSockets() {
+  listenFd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  udpFd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listenFd_ < 0 || udpFd_ < 0) {
+    throw std::runtime_error("live: socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts_.tcpPort);
+  if (::inet_pton(AF_INET, opts_.bindAddress.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("live: bad bind address " + opts_.bindAddress);
+  }
+  if (::bind(listenFd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listenFd_, 128) != 0) {
+    throw std::runtime_error("live: bind/listen failed on " +
+                             opts_.bindAddress);
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listenFd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  tcpPort_ = ntohs(addr.sin_port);
+
+  reactor_.addFd(listenFd_, EPOLLIN, [this](std::uint32_t) { onAcceptable(); });
+}
+
+void BroadcastServer::onAcceptable() {
+  for (;;) {
+    sockaddr_in peer{};
+    socklen_t len = sizeof peer;
+    const int fd = ::accept4(listenFd_, reinterpret_cast<sockaddr*>(&peer),
+                             &len, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or transient error: wait for next event
+    if (opts_.sendBufferBytes > 0) {
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &opts_.sendBufferBytes,
+                   sizeof opts_.sendBufferBytes);
+    }
+    ++stats_.connectionsAccepted;
+    Conn conn;
+    conn.peer = peer;
+    conns_.emplace(fd, std::move(conn));
+    reactor_.addFd(fd, EPOLLIN,
+                   [this, fd](std::uint32_t ev) { onConnEvent(fd, ev); });
+  }
+}
+
+void BroadcastServer::onConnEvent(int fd, std::uint32_t events) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  if ((events & (EPOLLHUP | EPOLLERR)) != 0) {
+    closeConn(fd);
+    return;
+  }
+  if ((events & EPOLLOUT) != 0) {
+    flushConn(fd, it->second);
+    it = conns_.find(fd);
+    if (it == conns_.end()) return;
+  }
+  if ((events & EPOLLIN) == 0) return;
+
+  std::uint8_t buf[65536];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      it->second.in.append(buf, static_cast<std::size_t>(n));
+      if (n < static_cast<ssize_t>(sizeof buf)) break;
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    closeConn(fd);  // orderly EOF or hard error
+    return;
+  }
+
+  while (true) {
+    std::optional<wire::Frame> frame = it->second.in.next();
+    if (!frame) break;
+    handleFrame(fd, it->second, *frame);
+    it = conns_.find(fd);
+    if (it == conns_.end()) return;  // handler closed the connection
+  }
+  stats_.badFrames += it->second.in.badFrames() - it->second.badCounted;
+  it->second.badCounted = it->second.in.badFrames();
+  if (it->second.in.corrupt()) {
+    ++stats_.badFrames;
+    closeConn(fd);
+  }
+}
+
+void BroadcastServer::handleFrame(int fd, Conn& conn,
+                                  const wire::Frame& frame) {
+  switch (frame.header.type) {
+    case wire::FrameType::kHello:
+      if (auto m = wire::decodeHello(frame.payload)) handleHello(fd, conn, *m);
+      return;
+    case wire::FrameType::kQueryRequest:
+      if (!conn.welcomed) return;
+      if (auto m = wire::decodeQueryRequest(frame.payload)) {
+        handleQuery(fd, conn, *m);
+      }
+      return;
+    case wire::FrameType::kCheck:
+      if (!conn.welcomed) return;
+      if (auto m = wire::decodeCheck(frame.payload)) handleCheck(fd, conn, *m);
+      return;
+    case wire::FrameType::kAudit:
+      if (auto m = wire::decodeAudit(frame.payload)) handleAudit(conn, *m);
+      return;
+    case wire::FrameType::kBye:
+      closeConn(fd);
+      return;
+    default:
+      ++stats_.badFrames;  // a type the server never receives
+      return;
+  }
+}
+
+void BroadcastServer::handleHello(int fd, Conn& conn,
+                                  const wire::Hello& hello) {
+  if (conn.welcomed) return;
+  std::uint32_t id = 0;
+  if (!freeIds_.empty()) {
+    id = freeIds_.back();
+    freeIds_.pop_back();
+  } else if (nextId_ < opts_.cfg.numClients) {
+    id = nextId_++;
+  } else {
+    closeConn(fd);  // population full: refuse (the client sees EOF)
+    return;
+  }
+  conn.clientId = id;
+  conn.welcomed = true;
+  conn.audit = hello.audit;
+  conn.udpAddr = conn.peer;
+  conn.udpAddr.sin_port = htons(hello.udpPort);
+
+  const core::SimConfig& cfg = opts_.cfg;
+  wire::Welcome w;
+  w.clientId = id;
+  w.scheme = static_cast<std::uint8_t>(cfg.scheme);
+  w.dbSize = static_cast<std::uint32_t>(cfg.dbSize);
+  w.numClients = static_cast<std::uint32_t>(cfg.numClients);
+  w.cacheCapacity = static_cast<std::uint32_t>(cfg.cacheCapacity());
+  w.timestampBits = static_cast<std::uint8_t>(sizes_.timestampBits);
+  w.signatureBits = static_cast<std::uint8_t>(sizes_.signatureBits);
+  w.dataItemBytes = static_cast<std::uint32_t>(cfg.dataItemBytes);
+  w.controlMessageBytes = static_cast<std::uint32_t>(cfg.controlMessageBytes);
+  w.broadcastPeriod = cfg.broadcastPeriod;
+  w.timeScale = opts_.timeScale;
+  w.windowIntervals = static_cast<std::uint16_t>(cfg.windowIntervals);
+  w.sigSeed = sigSeed_;
+  w.sigSubsets = static_cast<std::uint32_t>(cfg.sigSubsets);
+  w.sigPerItem = static_cast<std::uint8_t>(cfg.sigPerItem);
+  w.sigVotes = cfg.sigVotes;
+  w.gcoreGroupSize = static_cast<std::uint32_t>(cfg.gcoreGroupSize);
+  sendFrame(fd, conn, wire::FrameType::kWelcome, net::TrafficClass::kControl,
+            wire::encodeWelcome(w));
+}
+
+void BroadcastServer::handleQuery(int fd, Conn& conn,
+                                  const wire::QueryRequest& q) {
+  ++stats_.queryRequests;
+  // The copy is read "now", but stamped one tick earlier: an update landing
+  // later within this same millisecond tick gets a strictly newer
+  // timestamp, so the next report invalidates the copy (at worst a false
+  // invalidation, never a hidden stale entry).
+  const std::uint64_t rtick = clock_.nowTick();
+  const sim::SimTime readTime =
+      LiveClock::tickToTime(std::max<std::uint64_t>(rtick, 1) - 1);
+  for (db::ItemId item : q.items) {
+    wire::DataItem d;
+    d.item = item;
+    d.version = db_.currentVersion(item);
+    d.readTime = readTime;
+    sendFrame(fd, conn, wire::FrameType::kDataItem, net::TrafficClass::kBulk,
+              wire::encodeDataItem(d));
+    auto it = conns_.find(fd);
+    if (it == conns_.end()) return;  // send error closed the connection
+  }
+}
+
+void BroadcastServer::handleCheck(int fd, Conn& conn, const wire::Check& c) {
+  ++stats_.checksReceived;
+  schemes::CheckMessage msg;
+  msg.client = conn.clientId;
+  msg.tlb = c.tlb;
+  msg.entries = c.entries;
+  msg.sizeBits = c.sizeBits;
+  msg.epoch = c.epoch;
+
+  const std::uint64_t ctick = clock_.nowTick();
+  // Evaluate against the previous tick: an update that lands later within
+  // this same tick then carries a strictly newer timestamp than anything
+  // this check salvages.
+  const sim::SimTime schemeNow =
+      LiveClock::tickToTime(std::max<std::uint64_t>(ctick, 1) - 1);
+  std::optional<schemes::ValidityReply> reply =
+      scheme_->onCheckMessage(msg, schemeNow);
+
+  // The ack's absorption time backs the client's "a report broadcast
+  // strictly later saw my check" rule, so it must never precede the last
+  // broadcast tick: a report already sent can carry a broadcast tick ahead
+  // of the wall clock (tick-bump rules), and an ack stamped before it would
+  // wrongly claim that report reflected this check.
+  wire::CheckAck ack;
+  ack.epoch = c.epoch;
+  ack.asOf = LiveClock::tickToTime(std::max(ctick, lastBroadcastTick_));
+  sendFrame(fd, conn, wire::FrameType::kCheckAck, net::TrafficClass::kControl,
+            wire::encodeCheckAck(ack));
+  if (conns_.find(fd) == conns_.end()) return;
+
+  if (reply.has_value()) {
+    collector_.onValidityReplySent();
+    wire::ValidityReplyMsg vr;
+    vr.asOf = reply->asOf;
+    vr.epoch = msg.epoch;
+    vr.sizeBits = reply->sizeBits;
+    vr.invalid = std::move(reply->invalid);
+    sendFrame(fd, conn, wire::FrameType::kValidityReply,
+              net::TrafficClass::kControl, wire::encodeValidityReply(vr));
+  }
+}
+
+void BroadcastServer::handleAudit(Conn& conn, const wire::Audit& a) {
+  ++stats_.auditsReceived;
+  if (!conn.welcomed || conn.clientId >= opts_.cfg.numClients) return;
+  // Authoritative stale-read audit: the collector cross-checks the echoed
+  // answer against the real database (out-of-process clients only have a
+  // version-less stub and cannot audit themselves).
+  collector_.onCacheAnswer(conn.clientId, a.item, a.version, a.validAsOf);
+}
+
+void BroadcastServer::closeConn(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  stats_.badFrames += it->second.in.badFrames() - it->second.badCounted;
+  if (it->second.welcomed) freeIds_.push_back(it->second.clientId);
+  reactor_.removeFd(fd);
+  ::close(fd);
+  conns_.erase(it);
+  ++stats_.connectionsClosed;
+}
+
+void BroadcastServer::sendFrame(int fd, Conn& conn, wire::FrameType type,
+                                net::TrafficClass trafficClass,
+                                const std::vector<std::uint8_t>& payload) {
+  const std::uint8_t scheme = type == wire::FrameType::kReport
+                                  ? static_cast<std::uint8_t>(opts_.cfg.scheme)
+                                  : wire::kNoScheme;
+  const std::vector<std::uint8_t> frame =
+      wire::encodeFrame(type, scheme, trafficClass, payload);
+  const std::size_t queued = conn.out.size() - conn.outOff;
+  if (queued + frame.size() > opts_.maxSendQueueBytes) {
+    // Whole-frame drop: a wedged client loses replies (and will resync via
+    // future reports) but can never wedge the daemon.
+    ++stats_.framesDropped;
+    return;
+  }
+  conn.out.insert(conn.out.end(), frame.begin(), frame.end());
+  flushConn(fd, conn);
+}
+
+void BroadcastServer::flushConn(int fd, Conn& conn) {
+  while (conn.outOff < conn.out.size()) {
+    const ssize_t n = ::send(fd, conn.out.data() + conn.outOff,
+                             conn.out.size() - conn.outOff, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.outOff += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!conn.wantWrite) {
+        conn.wantWrite = true;
+        reactor_.modifyFd(fd, EPOLLIN | EPOLLOUT);
+      }
+      return;
+    }
+    closeConn(fd);
+    return;
+  }
+  conn.out.clear();
+  conn.outOff = 0;
+  if (conn.wantWrite) {
+    conn.wantWrite = false;
+    reactor_.modifyFd(fd, EPOLLIN);
+  }
+}
+
+std::vector<std::uint8_t> BroadcastServer::encodeReport(
+    const report::Report& r) {
+  switch (r.kind) {
+    case report::ReportKind::kTsWindow:
+    case report::ReportKind::kTsExtended:
+      return codec_.encode(static_cast<const report::TsReport&>(r));
+    case report::ReportKind::kBitSeq:
+      return codec_.encode(static_cast<const report::BsReport&>(r));
+    case report::ReportKind::kSignature:
+      return codec_.encode(static_cast<const report::SigReport&>(r));
+  }
+  return {};
+}
+
+void BroadcastServer::broadcastTick() {
+  // Strictly increasing broadcast ticks, never before the last update: the
+  // simulator's "updates happen-before the broadcast at the same instant"
+  // ordering, re-established on a wall clock.
+  const std::uint64_t btick =
+      std::max({clock_.nowTick(), lastBroadcastTick_ + 1, lastUpdateTick_});
+  const sim::SimTime t = LiveClock::tickToTime(btick);
+  const report::ReportPtr r = scheme_->buildReport(t);
+  collector_.onReportBuilt(r->kind);
+  lastReportPayload_ = encodeReport(*r);
+  const std::vector<std::uint8_t> frame = wire::encodeFrame(
+      wire::FrameType::kReport, static_cast<std::uint8_t>(opts_.cfg.scheme),
+      net::TrafficClass::kInvalidationReport, lastReportPayload_);
+  for (auto& [fd, conn] : conns_) {
+    if (!conn.welcomed) continue;
+    const ssize_t n = ::sendto(
+        udpFd_, frame.data(), frame.size(), MSG_DONTWAIT,
+        reinterpret_cast<const sockaddr*>(&conn.udpAddr), sizeof conn.udpAddr);
+    if (n < 0) ++stats_.udpSendFailures;
+  }
+  lastBroadcastTick_ = btick;
+  ++stats_.reportsBroadcast;
+}
+
+void BroadcastServer::scheduleNextUpdate() {
+  const double gap = updateRng_.exponential(opts_.cfg.meanUpdateInterarrival);
+  updateTimer_ = reactor_.addTimer(clock_.wallDelay(gap), 0, [this] {
+    runUpdateTransaction();
+    scheduleNextUpdate();
+  });
+}
+
+void BroadcastServer::runUpdateTransaction() {
+  const int count =
+      1 + updateRng_.poisson(opts_.cfg.meanItemsPerUpdate - 1.0);
+  // Updates land strictly after the last broadcast tick, so a report's
+  // coverage cutoff can never equal an update it did not include.
+  const std::uint64_t utick =
+      std::max({clock_.nowTick(), lastUpdateTick_, lastBroadcastTick_ + 1});
+  const sim::SimTime now = LiveClock::tickToTime(utick);
+  for (int i = 0; i < count; ++i) {
+    const db::ItemId item = updatePattern_.pick(updateRng_);
+    db_.applyUpdate(item, now);
+    history_.record(item, now);
+    if (sigTable_) {
+      const db::Version v = db_.currentVersion(item);
+      sigTable_->applyUpdate(item, v - 1, v);
+    }
+    ++stats_.updatesApplied;
+  }
+  lastUpdateTick_ = utick;
+}
+
+}  // namespace mci::live

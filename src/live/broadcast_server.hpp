@@ -1,0 +1,171 @@
+#pragma once
+
+#include <netinet/in.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "db/database.hpp"
+#include "db/update_history.hpp"
+#include "live/clock.hpp"
+#include "live/reactor.hpp"
+#include "live/wire.hpp"
+#include "metrics/collector.hpp"
+#include "net/network.hpp"
+#include "report/codec.hpp"
+#include "report/sig_report.hpp"
+#include "schemes/scheme.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "workload/pattern.hpp"
+
+namespace mci::live {
+
+struct ServerOptions {
+  core::SimConfig cfg;  ///< scheme, db size, update workload, period, seed
+  /// Model seconds per wall second (>= 1 compresses the broadcast period so
+  /// tests run "minutes" of model time in real seconds).
+  double timeScale = 1.0;
+  std::uint16_t tcpPort = 0;  ///< 0 = ephemeral, read back via tcpPort()
+  std::string bindAddress = "127.0.0.1";
+  /// Per-connection TCP send-queue cap. A wedged client that stops reading
+  /// gets whole frames dropped (counted) instead of wedging the daemon.
+  std::size_t maxSendQueueBytes = 1 << 20;
+  /// SO_SNDBUF for accepted connections; 0 keeps the kernel default. Bounds
+  /// kernel memory per client (and lets the wedged-client test fill the
+  /// user-space queue without pushing megabytes through loopback first).
+  int sendBufferBytes = 0;
+};
+
+struct ServerStats {
+  std::uint64_t reportsBroadcast = 0;
+  std::uint64_t framesDropped = 0;    ///< TCP frames dropped on full queues
+  std::uint64_t udpSendFailures = 0;  ///< IR datagrams the kernel refused
+  std::uint64_t connectionsAccepted = 0;
+  std::uint64_t connectionsClosed = 0;
+  std::uint64_t queryRequests = 0;
+  std::uint64_t checksReceived = 0;
+  std::uint64_t auditsReceived = 0;
+  std::uint64_t updatesApplied = 0;
+  std::uint64_t badFrames = 0;
+};
+
+/// The live counterpart of core::Server + db::UpdateGenerator: a daemon that
+/// owns the authoritative database, runs the configured invalidation scheme,
+/// broadcasts one bit-packed IR frame every L model seconds over per-client
+/// UDP (loopback fan-out), and answers query/Tlb/checking uplinks on
+/// per-client TCP connections.
+///
+/// Single-threaded: everything runs on the caller's Reactor. The IR timer
+/// can never block on a slow client — IR goes out as non-blocking UDP
+/// datagrams, and TCP replies ride bounded send queues with whole-frame
+/// drops (ServerStats::framesDropped).
+///
+/// All model timestamps are LiveClock millisecond ticks with three ordering
+/// rules that re-establish, on a wall clock, the same-instant guarantees the
+/// discrete-event simulator gets for free (docs/protocols.md, "Wire
+/// format"): updates land strictly after the last broadcast tick, broadcast
+/// ticks are strictly increasing and never precede the last update, and
+/// check absorption times never precede the last broadcast.
+class BroadcastServer {
+ public:
+  BroadcastServer(Reactor& reactor, ServerOptions options);
+  ~BroadcastServer();
+
+  BroadcastServer(const BroadcastServer&) = delete;
+  BroadcastServer& operator=(const BroadcastServer&) = delete;
+
+  /// The TCP port actually bound (resolves an ephemeral request).
+  [[nodiscard]] std::uint16_t tcpPort() const { return tcpPort_; }
+
+  [[nodiscard]] const ServerStats& stats() const { return stats_; }
+  [[nodiscard]] const metrics::Collector& collector() const {
+    return collector_;
+  }
+  [[nodiscard]] std::uint64_t staleReads() const {
+    return collector_.staleReads();
+  }
+  [[nodiscard]] const db::Database& database() const { return db_; }
+  [[nodiscard]] const core::SimConfig& config() const { return opts_.cfg; }
+  [[nodiscard]] const LiveClock& clock() const { return clock_; }
+  [[nodiscard]] std::size_t connectionCount() const { return conns_.size(); }
+
+  /// Unframed codec bytes of the most recent IR (test hook: the byte-
+  /// identity test compares this against ReportCodec::encode directly).
+  [[nodiscard]] const std::vector<std::uint8_t>& lastReportPayload() const {
+    return lastReportPayload_;
+  }
+
+ private:
+  struct Conn {
+    wire::FrameBuffer in;
+    std::vector<std::uint8_t> out;
+    std::size_t outOff = 0;
+    bool wantWrite = false;
+    bool welcomed = false;
+    bool audit = false;
+    std::uint32_t clientId = 0;
+    std::uint64_t badCounted = 0;  ///< badFrames() already folded into stats
+    sockaddr_in peer{};     ///< TCP peer (IP reused for the UDP downlink)
+    sockaddr_in udpAddr{};  ///< where kReport datagrams go
+  };
+
+  void setupSockets();
+  void onAcceptable();
+  void onConnEvent(int fd, std::uint32_t events);
+  void handleFrame(int fd, Conn& conn, const wire::Frame& frame);
+  void handleHello(int fd, Conn& conn, const wire::Hello& hello);
+  void handleQuery(int fd, Conn& conn, const wire::QueryRequest& q);
+  void handleCheck(int fd, Conn& conn, const wire::Check& c);
+  void handleAudit(Conn& conn, const wire::Audit& a);
+  void closeConn(int fd);
+  void sendFrame(int fd, Conn& conn, wire::FrameType type,
+                 net::TrafficClass trafficClass,
+                 const std::vector<std::uint8_t>& payload);
+  void flushConn(int fd, Conn& conn);
+
+  void broadcastTick();
+  void runUpdateTransaction();
+  void scheduleNextUpdate();
+  [[nodiscard]] std::vector<std::uint8_t> encodeReport(const report::Report& r);
+
+  Reactor& reactor_;
+  ServerOptions opts_;
+  LiveClock clock_;
+  report::SizeModel sizes_;
+  db::Database db_;
+  db::UpdateHistory history_;
+  metrics::Collector collector_;
+  report::ReportCodec codec_;
+  std::unique_ptr<report::SignatureTable> sigTable_;
+  std::uint64_t sigSeed_ = 0;
+  std::unique_ptr<schemes::ServerScheme> scheme_;
+  workload::AccessPattern updatePattern_;
+  sim::Rng updateRng_;
+
+  int listenFd_ = -1;
+  int udpFd_ = -1;
+  std::uint16_t tcpPort_ = 0;
+  std::map<int, Conn> conns_;
+  std::vector<std::uint32_t> freeIds_;  ///< released client ids, reused LIFO
+  std::uint32_t nextId_ = 0;
+
+  Reactor::TimerId broadcastTimer_ = 0;
+  Reactor::TimerId updateTimer_ = 0;
+  std::uint64_t lastUpdateTick_ = 0;
+  std::uint64_t lastBroadcastTick_ = 0;
+  ServerStats stats_;
+  std::vector<std::uint8_t> lastReportPayload_;
+
+  // finalize() support: the collector's channel decomposition needs a
+  // Network; the live daemon has real sockets instead, so an inert model
+  // network (never sent through) stands in.
+  sim::Simulator holderSim_;
+  net::Network dummyNet_;
+};
+
+}  // namespace mci::live

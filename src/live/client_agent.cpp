@@ -1,0 +1,516 @@
+#include "live/client_agent.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <stdexcept>
+#include <utility>
+
+#include "core/scheme_factory.hpp"
+
+namespace mci::live {
+namespace {
+
+int makeNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags < 0 ? -1 : ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+// --- ClientAgent -------------------------------------------------------
+
+ClientAgent::ClientAgent(ClientPool& pool, std::size_t index)
+    : pool_(pool), index_(index) {}
+
+ClientAgent::~ClientAgent() {
+  cancelTimer();
+  if (tcpFd_ >= 0) {
+    pool_.reactor_.removeFd(tcpFd_);
+    ::close(tcpFd_);
+  }
+  if (udpFd_ >= 0) {
+    pool_.reactor_.removeFd(udpFd_);
+    ::close(udpFd_);
+  }
+}
+
+void ClientAgent::connect() {
+  udpFd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  tcpFd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (udpFd_ < 0 || tcpFd_ < 0) {
+    throw std::runtime_error("live agent: socket() failed");
+  }
+
+  sockaddr_in udpAddr{};
+  udpAddr.sin_family = AF_INET;
+  udpAddr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  udpAddr.sin_port = 0;
+  if (::bind(udpFd_, reinterpret_cast<const sockaddr*>(&udpAddr),
+             sizeof udpAddr) != 0) {
+    throw std::runtime_error("live agent: UDP bind failed");
+  }
+  socklen_t len = sizeof udpAddr;
+  ::getsockname(udpFd_, reinterpret_cast<sockaddr*>(&udpAddr), &len);
+  const std::uint16_t udpPort = ntohs(udpAddr.sin_port);
+
+  sockaddr_in server{};
+  server.sin_family = AF_INET;
+  server.sin_port = htons(pool_.opts_.port);
+  if (::inet_pton(AF_INET, pool_.opts_.host.c_str(), &server.sin_addr) != 1) {
+    throw std::runtime_error("live agent: bad host " + pool_.opts_.host);
+  }
+  // Blocking connect (instant on loopback), then non-blocking I/O.
+  if (::connect(tcpFd_, reinterpret_cast<const sockaddr*>(&server),
+                sizeof server) != 0 ||
+      makeNonBlocking(tcpFd_) != 0) {
+    throw std::runtime_error("live agent: connect failed");
+  }
+
+  pool_.reactor_.addFd(tcpFd_, EPOLLIN,
+                       [this](std::uint32_t ev) { onTcp(ev); });
+  pool_.reactor_.addFd(udpFd_, EPOLLIN,
+                       [this](std::uint32_t ev) { onUdp(ev); });
+
+  wire::Hello hello;
+  hello.udpPort = udpPort;
+  hello.audit = pool_.opts_.sendAudit;
+  sendFrame(wire::FrameType::kHello, net::TrafficClass::kControl,
+            wire::encodeHello(hello));
+}
+
+void ClientAgent::shutdown() {
+  if (tcpFd_ < 0) return;
+  shuttingDown_ = true;
+  sendFrame(wire::FrameType::kBye, net::TrafficClass::kControl, {});
+  dropConnection();
+}
+
+void ClientAgent::cancelTimer() {
+  if (timer_ != 0) {
+    pool_.reactor_.cancelTimer(timer_);
+    timer_ = 0;
+  }
+}
+
+void ClientAgent::dropConnection() {
+  cancelTimer();
+  if (tcpFd_ >= 0) {
+    pool_.reactor_.removeFd(tcpFd_);
+    ::close(tcpFd_);
+    tcpFd_ = -1;
+  }
+  if (udpFd_ >= 0) {
+    pool_.reactor_.removeFd(udpFd_);
+    ::close(udpFd_);
+    udpFd_ = -1;
+  }
+  if (!shuttingDown_) ++pool_.stats_.connectionsLost;
+  state_ = State::kIdle;
+}
+
+void ClientAgent::onTcp(std::uint32_t events) {
+  if ((events & (EPOLLHUP | EPOLLERR)) != 0) {
+    dropConnection();
+    return;
+  }
+  if ((events & EPOLLOUT) != 0) flushOut();
+  if (tcpFd_ < 0 || (events & EPOLLIN) == 0) return;
+
+  std::uint8_t buf[65536];
+  for (;;) {
+    const ssize_t n = ::recv(tcpFd_, buf, sizeof buf, 0);
+    if (n > 0) {
+      in_.append(buf, static_cast<std::size_t>(n));
+      if (n < static_cast<ssize_t>(sizeof buf)) break;
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    dropConnection();
+    return;
+  }
+  while (tcpFd_ >= 0) {
+    std::optional<wire::Frame> frame = in_.next();
+    if (!frame) break;
+    handleFrame(*frame);
+  }
+  if (tcpFd_ >= 0 && in_.corrupt()) {
+    ++pool_.stats_.badFrames;
+    dropConnection();
+  }
+}
+
+void ClientAgent::onUdp(std::uint32_t events) {
+  if ((events & EPOLLIN) == 0) return;
+  std::uint8_t buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::recv(udpFd_, buf, sizeof buf, 0);
+    if (n <= 0) return;  // EAGAIN drained, or transient error
+    // A dozing host's radio is off: the datagram is consumed from the
+    // kernel but never heard by the model.
+    if (!radioOn_ || scheme_ == nullptr) continue;
+    std::optional<wire::Frame> frame =
+        wire::decodeFrame(buf, static_cast<std::size_t>(n));
+    if (!frame || frame->header.type != wire::FrameType::kReport) {
+      ++pool_.stats_.badFrames;
+      continue;
+    }
+    onReportPayload(frame->payload);
+    if (tcpFd_ < 0) return;  // report handling may have dropped us
+  }
+}
+
+void ClientAgent::handleFrame(const wire::Frame& frame) {
+  switch (frame.header.type) {
+    case wire::FrameType::kWelcome:
+      if (auto m = wire::decodeWelcome(frame.payload)) onWelcome(*m);
+      return;
+    case wire::FrameType::kDataItem:
+      if (auto m = wire::decodeDataItem(frame.payload)) onDataItem(*m);
+      return;
+    case wire::FrameType::kCheckAck:
+      if (auto m = wire::decodeCheckAck(frame.payload)) {
+        if (scheme_ != nullptr) {
+          pool_.advanceModelTime(m->asOf);
+          scheme_->onCheckDelivered(*ctx_, m->asOf);
+        }
+      }
+      return;
+    case wire::FrameType::kValidityReply:
+      if (auto m = wire::decodeValidityReply(frame.payload)) {
+        onValidityReply(*m);
+      }
+      return;
+    default:
+      ++pool_.stats_.badFrames;
+      return;
+  }
+}
+
+void ClientAgent::onWelcome(const wire::Welcome& w) {
+  if (scheme_ != nullptr) return;
+  clientId_ = w.clientId;
+  pool_.ensureConfigured(w);
+
+  ctx_ = std::make_unique<schemes::ClientContext>(
+      clientId_, w.cacheCapacity, pool_.sizes_, pool_.holderSim_,
+      pool_.collector_.get(), pool_.agentCfg_.replacement);
+  scheme_ = core::makeClientScheme(pool_.agentCfg_, pool_.sigTable_.get(),
+                                   pool_.sigInitial_);
+
+  // Same per-client streams as core::Simulation (root.fork("query", id)):
+  // an agent assigned id k draws the exact query/doze schedule the
+  // simulator's client k draws.
+  const sim::Rng root(pool_.opts_.cfg.seed);
+  workload::QueryGenerator::Params qp;
+  qp.meanThinkTime = pool_.agentCfg_.meanThinkTime;
+  qp.meanItemsPerQuery = pool_.agentCfg_.meanItemsPerQuery;
+  queryGen_.emplace(*pool_.queryPattern_, qp, root.fork("query", clientId_));
+  workload::Disconnector::Params dp;
+  dp.model = pool_.agentCfg_.disconnectModel;
+  dp.probability = pool_.agentCfg_.disconnectProb;
+  dp.meanDuration = pool_.agentCfg_.meanDisconnectTime;
+  disc_.emplace(dp, root.fork("disc", clientId_));
+
+  startThink(queryGen_->thinkTime());
+}
+
+void ClientAgent::onReportPayload(const std::vector<std::uint8_t>& payload) {
+  const report::ReportPtr r = pool_.codec_->decodeAny(payload);
+  if (r == nullptr) {
+    ++pool_.stats_.badFrames;
+    return;
+  }
+  ++pool_.stats_.reportsHeard;
+  pool_.advanceModelTime(r->broadcastTime);
+  pool_.collector_->onClientRx(r->sizeBits);
+  const schemes::ClientOutcome outcome = scheme_->onReport(*r, *ctx_);
+  if (outcome.sendCheck) sendCheck(outcome.check);
+
+  if (state_ == State::kAwaitingReport || state_ == State::kAwaitingSalvage) {
+    maybeAnswerQuery();
+  } else if (state_ == State::kThinking &&
+             disc_->params().model == workload::DisconnectModel::kIntervalCoin &&
+             disc_->shouldDisconnect()) {
+    beginDoze(/*queryAfterWake=*/false);
+  }
+}
+
+void ClientAgent::onDataItem(const wire::DataItem& d) {
+  if (scheme_ == nullptr) return;
+  pool_.advanceModelTime(d.readTime);
+  pool_.collector_->onClientRx(pool_.sizes_.dataItemBits());
+  cache::Entry entry;
+  entry.item = d.item;
+  entry.version = d.version;
+  entry.refTime = d.readTime;
+  entry.suspect = false;
+  ctx_->cache().insert(entry);
+
+  auto it = std::find(pendingFetch_.begin(), pendingFetch_.end(), d.item);
+  if (it != pendingFetch_.end()) pendingFetch_.erase(it);
+  if (state_ == State::kFetching && pendingFetch_.empty()) completeQuery();
+}
+
+void ClientAgent::onValidityReply(const wire::ValidityReplyMsg& vr) {
+  if (scheme_ == nullptr || !radioOn_) return;
+  pool_.advanceModelTime(vr.asOf);
+  pool_.collector_->onClientRx(vr.sizeBits);
+  schemes::ValidityReply reply;
+  reply.client = clientId_;
+  reply.asOf = vr.asOf;
+  reply.invalid = vr.invalid;
+  reply.sizeBits = vr.sizeBits;
+  reply.epoch = vr.epoch;
+  scheme_->onValidityReply(reply, *ctx_);
+  if (state_ == State::kAwaitingReport || state_ == State::kAwaitingSalvage) {
+    maybeAnswerQuery();
+  }
+}
+
+void ClientAgent::startThink(double modelSeconds) {
+  state_ = State::kThinking;
+  thinkDeadline_ = pool_.clock_->nowModel() + modelSeconds;
+  timer_ = pool_.reactor_.addTimer(pool_.clock_->wallDelay(modelSeconds), 0,
+                                   [this] {
+                                     timer_ = 0;
+                                     issueQuery();
+                                   });
+}
+
+void ClientAgent::issueQuery() {
+  if (tcpFd_ < 0 || scheme_ == nullptr) return;
+  queryGen_->nextQuery(queryItems_);
+  queryStart_ = pool_.clock_->nowModel();
+  state_ = State::kAwaitingReport;
+}
+
+void ClientAgent::maybeAnswerQuery() {
+  if (ctx_->salvagePending()) {
+    state_ = State::kAwaitingSalvage;
+    return;
+  }
+  pendingFetch_.clear();
+  for (db::ItemId item : queryItems_) {
+    cache::Entry* e = ctx_->cache().find(item);
+    if (e != nullptr && !e->suspect) {
+      ctx_->cache().touch(item);
+      pool_.collector_->onCacheAnswer(clientId_, item, e->version,
+                                      ctx_->lastHeard());
+      if (pool_.opts_.sendAudit) {
+        wire::Audit a;
+        a.item = item;
+        a.version = e->version;
+        a.validAsOf = ctx_->lastHeard();
+        sendFrame(wire::FrameType::kAudit, net::TrafficClass::kControl,
+                  wire::encodeAudit(a));
+        if (tcpFd_ < 0) return;
+      }
+    } else {
+      pool_.collector_->onCacheMiss(clientId_);
+      pendingFetch_.push_back(item);
+    }
+  }
+  if (pendingFetch_.empty()) {
+    completeQuery();
+    return;
+  }
+  state_ = State::kFetching;
+  pool_.collector_->onClientTx(pool_.sizes_.queryRequestBits());
+  wire::QueryRequest q;
+  q.items = pendingFetch_;
+  sendFrame(wire::FrameType::kQueryRequest, net::TrafficClass::kBulk,
+            wire::encodeQueryRequest(q));
+}
+
+void ClientAgent::completeQuery() {
+  pool_.collector_->onQueryCompleted(clientId_,
+                                     pool_.clock_->nowModel() - queryStart_);
+  ++completed_;
+  queryItems_.clear();
+  if (disc_->params().model == workload::DisconnectModel::kPostQuery &&
+      disc_->shouldDisconnect()) {
+    beginDoze(/*queryAfterWake=*/true);
+  } else {
+    startThink(queryGen_->thinkTime());
+  }
+}
+
+void ClientAgent::beginDoze(bool queryAfterWake) {
+  cancelTimer();
+  radioOn_ = false;
+  state_ = State::kDozing;
+  dozeStart_ = pool_.clock_->nowModel();
+  queryAfterWake_ = queryAfterWake;
+  pool_.collector_->onDisconnect();
+  timer_ = pool_.reactor_.addTimer(pool_.clock_->wallDelay(disc_->duration()),
+                                   0, [this] {
+                                     timer_ = 0;
+                                     wake();
+                                   });
+}
+
+void ClientAgent::wake() {
+  radioOn_ = true;
+  pool_.collector_->onReconnect(pool_.clock_->nowModel() - dozeStart_);
+  scheme_->onWake(*ctx_, pool_.holderSim_.now());
+  if (queryAfterWake_) {
+    issueQuery();
+  } else {
+    const double remaining = std::max(0.0, thinkDeadline_ - dozeStart_);
+    startThink(remaining);
+  }
+}
+
+void ClientAgent::sendCheck(const schemes::CheckMessage& msg) {
+  pool_.collector_->onCheckSent();
+  pool_.collector_->onClientTx(msg.sizeBits);
+  wire::Check c;
+  c.tlb = msg.tlb;
+  c.epoch = msg.epoch;
+  c.sizeBits = msg.sizeBits;
+  c.entries = msg.entries;
+  sendFrame(wire::FrameType::kCheck, net::TrafficClass::kControl,
+            wire::encodeCheck(c));
+}
+
+void ClientAgent::sendFrame(wire::FrameType type,
+                            net::TrafficClass trafficClass,
+                            const std::vector<std::uint8_t>& payload) {
+  if (tcpFd_ < 0) return;
+  const std::vector<std::uint8_t> frame =
+      wire::encodeFrame(type, wire::kNoScheme, trafficClass, payload);
+  out_.insert(out_.end(), frame.begin(), frame.end());
+  flushOut();
+}
+
+void ClientAgent::flushOut() {
+  while (outOff_ < out_.size()) {
+    const ssize_t n = ::send(tcpFd_, out_.data() + outOff_,
+                             out_.size() - outOff_, MSG_NOSIGNAL);
+    if (n > 0) {
+      outOff_ += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!wantWrite_) {
+        wantWrite_ = true;
+        pool_.reactor_.modifyFd(tcpFd_, EPOLLIN | EPOLLOUT);
+      }
+      return;
+    }
+    dropConnection();
+    return;
+  }
+  out_.clear();
+  outOff_ = 0;
+  if (wantWrite_) {
+    wantWrite_ = false;
+    pool_.reactor_.modifyFd(tcpFd_, EPOLLIN);
+  }
+}
+
+// --- ClientPool --------------------------------------------------------
+
+ClientPool::ClientPool(Reactor& reactor, AgentOptions options)
+    : reactor_(reactor),
+      opts_(std::move(options)),
+      dummyNet_(holderSim_, opts_.cfg.downlinkBps, opts_.cfg.uplinkBps,
+                opts_.cfg.dataChannelBps),
+      agentCfg_(opts_.cfg) {}
+
+ClientPool::~ClientPool() = default;
+
+void ClientPool::start() {
+  agents_.reserve(opts_.numAgents);
+  for (std::size_t i = 0; i < opts_.numAgents; ++i) {
+    agents_.push_back(std::make_unique<ClientAgent>(*this, i));
+    agents_.back()->connect();
+  }
+}
+
+void ClientPool::shutdown() {
+  for (auto& a : agents_) a->shutdown();
+}
+
+std::size_t ClientPool::welcomedCount() const {
+  std::size_t n = 0;
+  for (const auto& a : agents_) n += a->welcomed() ? 1 : 0;
+  return n;
+}
+
+std::size_t ClientPool::aliveCount() const {
+  std::size_t n = 0;
+  for (const auto& a : agents_) n += a->connectionAlive() ? 1 : 0;
+  return n;
+}
+
+std::uint64_t ClientPool::queriesCompleted() const {
+  std::uint64_t n = 0;
+  for (const auto& a : agents_) n += a->queriesCompleted();
+  return n;
+}
+
+metrics::SimResult ClientPool::finalize() const {
+  if (!collector_) return metrics::SimResult{};
+  const double modelSeconds = clock_ ? clock_->nowModel() : 0.0;
+  return collector_->finalize(modelSeconds, dummyNet_);
+}
+
+void ClientPool::ensureConfigured(const wire::Welcome& w) {
+  if (configured_) return;
+  configured_ = true;
+
+  agentCfg_ = opts_.cfg;
+  agentCfg_.scheme = static_cast<schemes::SchemeKind>(w.scheme);
+  agentCfg_.dbSize = w.dbSize;
+  agentCfg_.numClients = w.numClients;
+  agentCfg_.broadcastPeriod = w.broadcastPeriod;
+  agentCfg_.windowIntervals = w.windowIntervals;
+  agentCfg_.timestampBits = w.timestampBits;
+  agentCfg_.dataItemBytes = w.dataItemBytes;
+  agentCfg_.controlMessageBytes = w.controlMessageBytes;
+  agentCfg_.sigSubsets = w.sigSubsets;
+  agentCfg_.sigPerItem = w.sigPerItem;
+  agentCfg_.sigVotes = w.sigVotes;
+  agentCfg_.gcoreGroupSize = w.gcoreGroupSize;
+
+  sizes_ = agentCfg_.sizeModel();
+  codec_ = std::make_unique<report::ReportCodec>(sizes_);
+  queryPattern_.emplace(
+      agentCfg_.workload == core::WorkloadKind::kHotCold
+          ? workload::AccessPattern::hotCold(agentCfg_.dbSize,
+                                             agentCfg_.hotQuery)
+          : workload::AccessPattern::uniform(agentCfg_.dbSize));
+  clock_.emplace(w.timeScale);
+
+  if (opts_.auditDb == nullptr) {
+    // Version-less stand-in: versionAt() is always 0, so the local audit
+    // can never fire falsely; real auditing happens server-side via kAudit.
+    dummyDb_ = std::make_unique<db::Database>(agentCfg_.dbSize);
+  }
+  collector_ = std::make_unique<metrics::Collector>(
+      opts_.auditDb != nullptr ? *opts_.auditDb : *dummyDb_,
+      agentCfg_.auditStaleReads);
+  collector_->setClientCount(agentCfg_.numClients);
+
+  if (agentCfg_.scheme == schemes::SchemeKind::kSig) {
+    sigTable_ = std::make_unique<report::SignatureTable>(
+        agentCfg_.dbSize, agentCfg_.sigSubsets, agentCfg_.sigPerItem,
+        w.sigSeed);
+    // Joining with an empty cache: diffing against the table's epoch state
+    // can only produce false invalidations, never hide one.
+    sigInitial_ = sigTable_->combined();
+  }
+}
+
+void ClientPool::advanceModelTime(sim::SimTime t) {
+  if (t > holderSim_.now()) holderSim_.runUntil(t);
+}
+
+}  // namespace mci::live

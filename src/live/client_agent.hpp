@@ -1,0 +1,208 @@
+#pragma once
+
+#include <netinet/in.h>
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "db/database.hpp"
+#include "live/clock.hpp"
+#include "live/reactor.hpp"
+#include "live/wire.hpp"
+#include "metrics/collector.hpp"
+#include "net/network.hpp"
+#include "report/codec.hpp"
+#include "report/sig_report.hpp"
+#include "schemes/scheme.hpp"
+#include "sim/simulator.hpp"
+#include "workload/disconnect.hpp"
+#include "workload/pattern.hpp"
+#include "workload/query_generator.hpp"
+
+namespace mci::live {
+
+struct AgentOptions {
+  /// Client-side knobs: seed, think/query/disconnect workload, replacement
+  /// policy. Scheme, database shape, period, and time scale all arrive in
+  /// the server's Welcome — the agent adapts to whatever daemon it joins.
+  core::SimConfig cfg;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::size_t numAgents = 1;
+  /// Echo every cache answer as a kAudit frame so the server audits it
+  /// against the authoritative database.
+  bool sendAudit = true;
+  /// In-process runs: audit locally against the server's real database.
+  /// nullptr (separate processes) uses a version-less stub — local audits
+  /// then never fire, which is why sendAudit exists.
+  const db::Database* auditDb = nullptr;
+};
+
+struct PoolStats {
+  std::uint64_t reportsHeard = 0;
+  std::uint64_t badFrames = 0;
+  std::uint64_t connectionsLost = 0;  ///< TCP closed other than by shutdown()
+};
+
+class ClientPool;
+
+/// One mobile host speaking the live wire protocol: the state machine of
+/// core::Client (think → query → answer-on-next-report → fetch misses →
+/// doze coin) driven by reactor timers and real sockets instead of
+/// simulator events. Reports arrive on the agent's own UDP socket; queries,
+/// checks and validity replies ride its TCP connection. Dozing is modeled
+/// faithfully: the agent ignores its UDP socket while dozing (the radio is
+/// off) but keeps the TCP connection up.
+class ClientAgent {
+ public:
+  ClientAgent(ClientPool& pool, std::size_t index);
+  ~ClientAgent();
+
+  ClientAgent(const ClientAgent&) = delete;
+  ClientAgent& operator=(const ClientAgent&) = delete;
+
+  /// Connects and sends Hello. Throws std::runtime_error on socket failure.
+  void connect();
+
+  /// Sends Bye and closes (clean shutdown).
+  void shutdown();
+
+  [[nodiscard]] bool welcomed() const { return scheme_ != nullptr; }
+  [[nodiscard]] bool connectionAlive() const { return tcpFd_ >= 0; }
+  [[nodiscard]] std::uint32_t clientId() const { return clientId_; }
+  [[nodiscard]] std::uint64_t queriesCompleted() const { return completed_; }
+
+ private:
+  enum class State {
+    kIdle,       ///< before Welcome
+    kThinking,
+    kAwaitingReport,
+    kAwaitingSalvage,
+    kFetching,
+    kDozing,
+  };
+
+  void onTcp(std::uint32_t events);
+  void onUdp(std::uint32_t events);
+  void handleFrame(const wire::Frame& frame);
+  void onWelcome(const wire::Welcome& w);
+  void onReportPayload(const std::vector<std::uint8_t>& payload);
+  void onDataItem(const wire::DataItem& d);
+  void onValidityReply(const wire::ValidityReplyMsg& vr);
+
+  void startThink(double modelSeconds);
+  void issueQuery();
+  void maybeAnswerQuery();
+  void completeQuery();
+  void beginDoze(bool queryAfterWake);
+  void wake();
+  void sendCheck(const schemes::CheckMessage& msg);
+  void sendFrame(wire::FrameType type, net::TrafficClass trafficClass,
+                 const std::vector<std::uint8_t>& payload);
+  void flushOut();
+  void cancelTimer();
+  void dropConnection();
+
+  ClientPool& pool_;
+  std::size_t index_;
+  int tcpFd_ = -1;
+  int udpFd_ = -1;
+  wire::FrameBuffer in_;
+  std::vector<std::uint8_t> out_;
+  std::size_t outOff_ = 0;
+  bool wantWrite_ = false;
+  bool shuttingDown_ = false;
+
+  std::uint32_t clientId_ = 0;
+  std::unique_ptr<schemes::ClientContext> ctx_;
+  std::unique_ptr<schemes::ClientScheme> scheme_;
+  std::optional<workload::QueryGenerator> queryGen_;
+  std::optional<workload::Disconnector> disc_;
+
+  State state_ = State::kIdle;
+  bool radioOn_ = true;  ///< false while dozing: UDP frames are not heard
+  Reactor::TimerId timer_ = 0;
+  sim::SimTime thinkDeadline_ = 0;  ///< pool-clock model time
+  sim::SimTime dozeStart_ = 0;
+  sim::SimTime queryStart_ = 0;
+  bool queryAfterWake_ = false;
+  std::vector<db::ItemId> queryItems_;
+  std::vector<db::ItemId> pendingFetch_;
+  std::uint64_t completed_ = 0;
+};
+
+/// N ClientAgents sharing one reactor, one metrics collector, and one
+/// decoded-report codec: the live load generator. The pool configures
+/// itself from the first Welcome (sizes, codec, scheme table, time scale),
+/// so `mci_live_client --agents N` needs nothing but host/port/seed.
+class ClientPool {
+ public:
+  ClientPool(Reactor& reactor, AgentOptions options);
+  ~ClientPool();
+
+  ClientPool(const ClientPool&) = delete;
+  ClientPool& operator=(const ClientPool&) = delete;
+
+  /// Connects all agents.
+  void start();
+
+  /// Clean shutdown: every agent sends Bye and closes.
+  void shutdown();
+
+  [[nodiscard]] std::size_t welcomedCount() const;
+  [[nodiscard]] std::size_t aliveCount() const;
+  [[nodiscard]] std::uint64_t queriesCompleted() const;
+  [[nodiscard]] const PoolStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint64_t staleReads() const {
+    return collector_ ? collector_->staleReads() : 0;
+  }
+  [[nodiscard]] const metrics::Collector* collector() const {
+    return collector_.get();
+  }
+
+  /// Model seconds elapsed on the pool clock; 0 until the first Welcome
+  /// (the clock's scale arrives with it).
+  [[nodiscard]] double modelNow() const {
+    return clock_ ? clock_->nowModel() : 0.0;
+  }
+
+  /// Snapshot of the pool's metrics in the simulator's result shape (the
+  /// channel decomposition is empty: radio accounting is tracked, channel
+  /// busy-seconds belong to real kernels now).
+  [[nodiscard]] metrics::SimResult finalize() const;
+
+ private:
+  friend class ClientAgent;
+
+  /// First-Welcome configuration: sizes, codec, patterns, clock, collector.
+  void ensureConfigured(const wire::Welcome& w);
+
+  /// Advances the shared model-time holder (ClientContext::now()) to a
+  /// server timestamp. Monotonic: stale frames never move time backwards.
+  void advanceModelTime(sim::SimTime t);
+
+  Reactor& reactor_;
+  AgentOptions opts_;
+  sim::Simulator holderSim_;
+  std::optional<LiveClock> clock_;  ///< scale arrives in the Welcome
+  std::unique_ptr<db::Database> dummyDb_;
+  std::unique_ptr<metrics::Collector> collector_;
+  net::Network dummyNet_;
+
+  bool configured_ = false;
+  core::SimConfig agentCfg_;  ///< opts_.cfg overlaid with Welcome fields
+  report::SizeModel sizes_;
+  std::unique_ptr<report::ReportCodec> codec_;
+  std::optional<workload::AccessPattern> queryPattern_;
+  std::unique_ptr<report::SignatureTable> sigTable_;
+  std::vector<std::uint64_t> sigInitial_;
+
+  PoolStats stats_;
+  std::vector<std::unique_ptr<ClientAgent>> agents_;
+};
+
+}  // namespace mci::live

@@ -1,0 +1,141 @@
+#include "live/reactor.hpp"
+
+#include <sys/epoll.h>
+#include <sys/timerfd.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdint>
+
+namespace mci::live {
+
+Reactor::Reactor() {
+  epollFd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  timerFd_ = ::timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK | TFD_CLOEXEC);
+  if (epollFd_ >= 0 && timerFd_ >= 0) {
+    ::epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = timerFd_;
+    ::epoll_ctl(epollFd_, EPOLL_CTL_ADD, timerFd_, &ev);
+  }
+}
+
+Reactor::~Reactor() {
+  if (timerFd_ >= 0) ::close(timerFd_);
+  if (epollFd_ >= 0) ::close(epollFd_);
+}
+
+void Reactor::addFd(int fd, std::uint32_t events, FdHandler handler) {
+  ::epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  ::epoll_ctl(epollFd_, EPOLL_CTL_ADD, fd, &ev);
+  fds_[fd] = std::move(handler);
+}
+
+void Reactor::modifyFd(int fd, std::uint32_t events) {
+  ::epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  ::epoll_ctl(epollFd_, EPOLL_CTL_MOD, fd, &ev);
+}
+
+void Reactor::removeFd(int fd) {
+  ::epoll_ctl(epollFd_, EPOLL_CTL_DEL, fd, nullptr);
+  fds_.erase(fd);
+}
+
+Reactor::TimerId Reactor::addTimer(double delaySeconds, double periodSeconds,
+                                   TimerHandler handler) {
+  const TimerId id = nextTimerId_++;
+  const double deadline = nowSeconds() + std::max(0.0, delaySeconds);
+  timers_[id] = Timer{deadline, std::max(0.0, periodSeconds),
+                      std::move(handler)};
+  heap_.emplace_back(deadline, id);
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  armTimerFd();
+  return id;
+}
+
+bool Reactor::cancelTimer(TimerId id) {
+  // Heap entries for `id` become dead and are skipped lazily; no need to
+  // re-arm (the timerfd firing early is a harmless wakeup).
+  return timers_.erase(id) > 0;
+}
+
+void Reactor::armTimerFd() {
+  // Drop dead heap entries so the head is the true earliest deadline.
+  while (!heap_.empty()) {
+    const auto [deadline, id] = heap_.front();
+    const auto it = timers_.find(id);
+    if (it != timers_.end() && it->second.deadline == deadline) break;
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    heap_.pop_back();
+  }
+  ::itimerspec spec{};  // all-zero disarms
+  if (!heap_.empty()) {
+    // Relative delay; timerfd treats {0,0} as disarm, so clamp to 1ns to
+    // make an already-due deadline fire immediately instead of never.
+    const double delta = std::max(0.0, heap_.front().first - nowSeconds());
+    auto ns = static_cast<long>(delta * 1e9);
+    spec.it_value.tv_sec = static_cast<time_t>(ns / 1000000000L);
+    spec.it_value.tv_nsec = std::max(ns % 1000000000L, long{1});
+  }
+  ::timerfd_settime(timerFd_, 0, &spec, nullptr);
+}
+
+void Reactor::fireDueTimers() {
+  std::uint64_t expirations = 0;
+  while (::read(timerFd_, &expirations, sizeof expirations) > 0) {
+  }
+  const double now = nowSeconds();
+  while (!heap_.empty()) {
+    const auto [deadline, id] = heap_.front();
+    const auto it = timers_.find(id);
+    const bool live = it != timers_.end() && it->second.deadline == deadline;
+    if (live && deadline > now) break;
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    heap_.pop_back();
+    if (!live) continue;
+    TimerHandler handler;
+    if (it->second.period > 0) {
+      // Catch up in whole periods so a stalled loop fires once, not a burst.
+      double next = deadline;
+      while (next <= now) next += it->second.period;
+      it->second.deadline = next;
+      heap_.emplace_back(next, id);
+      std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+      handler = it->second.handler;  // copy: the handler may cancel itself
+    } else {
+      handler = std::move(it->second.handler);
+      timers_.erase(it);
+    }
+    handler();
+  }
+  armTimerFd();
+}
+
+void Reactor::runOnce(int timeoutMs) {
+  ::epoll_event events[64];
+  const int n = ::epoll_wait(epollFd_, events, 64, timeoutMs);
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[i].data.fd;
+    if (fd == timerFd_) {
+      fireDueTimers();
+      continue;
+    }
+    // Re-check registration: an earlier handler in this batch may have
+    // removed this fd.
+    const auto it = fds_.find(fd);
+    if (it == fds_.end()) continue;
+    FdHandler handler = it->second;  // copy: handler may remove itself
+    handler(events[i].events);
+  }
+}
+
+void Reactor::run() {
+  running_ = true;
+  while (running_) runOnce(-1);
+}
+
+}  // namespace mci::live

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "metrics/walltime.hpp"
+
+namespace mci::live {
+
+/// Single-threaded epoll event loop with timerfd-driven timers.
+///
+/// One epoll instance multiplexes every socket of a daemon plus exactly one
+/// timerfd, which is re-armed to the earliest deadline of a binary-heap
+/// timer queue — N periodic timers cost one kernel timer, not N. All
+/// callbacks run on the thread inside run()/runOnce(); there is no locking
+/// anywhere in the live subsystem.
+///
+/// Handlers may freely add/remove fds and timers from within a callback
+/// (removal of an fd whose event is already harvested suppresses the
+/// pending dispatch).
+class Reactor {
+ public:
+  using FdHandler = std::function<void(std::uint32_t epollEvents)>;
+  using TimerHandler = std::function<void()>;
+  using TimerId = std::uint64_t;
+
+  Reactor();
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// Registers `fd` for `events` (EPOLLIN / EPOLLOUT / ...). The reactor
+  /// does not own the fd; callers close it after removeFd().
+  void addFd(int fd, std::uint32_t events, FdHandler handler);
+
+  /// Changes the interest mask of a registered fd (handler unchanged).
+  void modifyFd(int fd, std::uint32_t events);
+
+  void removeFd(int fd);
+
+  /// Schedules `handler` to fire `delaySeconds` from now; `periodSeconds`
+  /// > 0 makes it periodic. Returns an id for cancelTimer().
+  TimerId addTimer(double delaySeconds, double periodSeconds,
+                   TimerHandler handler);
+
+  /// Cancels a pending timer. Returns false if it already fired (one-shot)
+  /// or was never valid.
+  bool cancelTimer(TimerId id);
+
+  /// Dispatches until stop() is called from within a handler.
+  void run();
+
+  /// One epoll_wait + dispatch round. `timeoutMs` < 0 waits indefinitely
+  /// (capped by the next timer deadline via the timerfd).
+  void runOnce(int timeoutMs);
+
+  void stop() { running_ = false; }
+
+  /// Wall seconds since the reactor was created (the deadline clock).
+  [[nodiscard]] double nowSeconds() const { return clock_.seconds(); }
+
+  [[nodiscard]] std::size_t fdCount() const { return fds_.size(); }
+  [[nodiscard]] std::size_t timerCount() const { return timers_.size(); }
+
+ private:
+  struct Timer {
+    double deadline = 0;  ///< absolute, in nowSeconds() terms
+    double period = 0;    ///< 0 = one-shot
+    TimerHandler handler;
+  };
+
+  void armTimerFd();
+  void fireDueTimers();
+
+  int epollFd_ = -1;
+  int timerFd_ = -1;
+  bool running_ = false;
+  metrics::WallTimer clock_;
+  std::map<int, FdHandler> fds_;
+  std::map<TimerId, Timer> timers_;
+  /// Min-heap of (deadline, id) with lazy deletion: an entry is live only
+  /// while timers_[id].deadline matches it exactly.
+  std::vector<std::pair<double, TimerId>> heap_;
+  TimerId nextTimerId_ = 1;
+};
+
+}  // namespace mci::live

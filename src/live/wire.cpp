@@ -1,0 +1,339 @@
+#include "live/wire.hpp"
+
+#include <array>
+#include <bit>
+
+#include "report/codec.hpp"
+
+namespace mci::live::wire {
+namespace {
+
+constexpr std::array<std::uint32_t, 256> makeCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kCrcTable = makeCrcTable();
+
+std::uint64_t doubleBits(double v) { return std::bit_cast<std::uint64_t>(v); }
+double bitsDouble(std::uint64_t b) { return std::bit_cast<double>(b); }
+
+std::size_t payloadBytes(std::uint32_t payloadBits) {
+  return (static_cast<std::size_t>(payloadBits) + 7) / 8;
+}
+
+/// Reads a 16/32-bit big-endian field at `off` (bounds already checked).
+std::uint32_t be16(const std::uint8_t* p) {
+  return (std::uint32_t{p[0]} << 8) | p[1];
+}
+std::uint32_t be32(const std::uint8_t* p) {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | p[3];
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t len,
+                    std::uint32_t seed) {
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = kCrcTable[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::vector<std::uint8_t> encodeFrame(FrameType type, std::uint8_t scheme,
+                                      net::TrafficClass trafficClass,
+                                      const std::vector<std::uint8_t>& payload) {
+  const auto payloadBits = static_cast<std::uint32_t>(payload.size() * 8);
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes + payload.size());
+  out.push_back(static_cast<std::uint8_t>(kMagic >> 8));
+  out.push_back(static_cast<std::uint8_t>(kMagic & 0xFF));
+  out.push_back(kVersion);
+  out.push_back(static_cast<std::uint8_t>(type));
+  out.push_back(scheme);
+  out.push_back(static_cast<std::uint8_t>(trafficClass));
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<std::uint8_t>(payloadBits >> shift));
+  }
+  // Checksum field is zero while the digest is computed, then patched in.
+  const std::size_t crcOff = out.size();
+  out.insert(out.end(), 4, 0);
+  out.insert(out.end(), payload.begin(), payload.end());
+  const std::uint32_t crc = crc32(out.data(), out.size());
+  for (int i = 0; i < 4; ++i) {
+    out[crcOff + i] = static_cast<std::uint8_t>(crc >> (24 - 8 * i));
+  }
+  return out;
+}
+
+std::size_t frameSize(const std::uint8_t* data, std::size_t len) {
+  if (len < kHeaderBytes) return 0;
+  if (be16(data) != kMagic) return 0;
+  const std::uint32_t payloadBits = be32(data + 6);
+  const std::size_t bytes = payloadBytes(payloadBits);
+  if (bytes > kMaxPayloadBytes) return 0;
+  return kHeaderBytes + bytes;
+}
+
+std::optional<Frame> decodeFrame(const std::uint8_t* data, std::size_t len) {
+  const std::size_t total = frameSize(data, len);
+  if (total == 0 || len < total) return std::nullopt;
+  Frame f;
+  f.header.version = data[2];
+  if (f.header.version != kVersion) return std::nullopt;
+  f.header.type = static_cast<FrameType>(data[3]);
+  f.header.scheme = data[4];
+  f.header.trafficClass = data[5];
+  f.header.payloadBits = be32(data + 6);
+  f.header.checksum = be32(data + 10);
+
+  // Verify over the frame with the checksum field zeroed, matching the
+  // encoder (header prefix, four zero bytes, payload).
+  static constexpr std::uint8_t kZeros[4] = {0, 0, 0, 0};
+  std::uint32_t crc = crc32(data, 10);
+  crc = crc32(kZeros, 4, crc);
+  crc = crc32(data + kHeaderBytes, total - kHeaderBytes, crc);
+  if (crc != f.header.checksum) return std::nullopt;
+
+  f.payload.assign(data + kHeaderBytes, data + total);
+  return f;
+}
+
+// --- control payloads --------------------------------------------------
+// All use report::BitWriter/BitReader so the whole protocol shares one
+// serialization substrate with the IR codecs.
+
+std::vector<std::uint8_t> encodeHello(const Hello& m) {
+  report::BitWriter w;
+  w.write(m.udpPort, 16);
+  w.write(m.audit ? 1 : 0, 8);
+  return w.finish();
+}
+
+std::optional<Hello> decodeHello(const std::vector<std::uint8_t>& payload) {
+  report::BitReader r(payload);
+  Hello m;
+  m.udpPort = static_cast<std::uint16_t>(r.read(16));
+  m.audit = r.read(8) != 0;
+  if (!r.ok()) return std::nullopt;
+  return m;
+}
+
+std::vector<std::uint8_t> encodeWelcome(const Welcome& m) {
+  report::BitWriter w;
+  w.write(m.clientId, 32);
+  w.write(m.scheme, 8);
+  w.write(m.dbSize, 32);
+  w.write(m.numClients, 32);
+  w.write(m.cacheCapacity, 32);
+  w.write(m.timestampBits, 8);
+  w.write(m.signatureBits, 8);
+  w.write(m.dataItemBytes, 32);
+  w.write(m.controlMessageBytes, 32);
+  w.write(doubleBits(m.broadcastPeriod), 64);
+  w.write(doubleBits(m.timeScale), 64);
+  w.write(m.windowIntervals, 16);
+  w.write(m.sigSeed, 64);
+  w.write(m.sigSubsets, 32);
+  w.write(m.sigPerItem, 8);
+  w.write(static_cast<std::uint32_t>(m.sigVotes), 32);
+  w.write(m.gcoreGroupSize, 32);
+  return w.finish();
+}
+
+std::optional<Welcome> decodeWelcome(const std::vector<std::uint8_t>& payload) {
+  report::BitReader r(payload);
+  Welcome m;
+  m.clientId = static_cast<std::uint32_t>(r.read(32));
+  m.scheme = static_cast<std::uint8_t>(r.read(8));
+  m.dbSize = static_cast<std::uint32_t>(r.read(32));
+  m.numClients = static_cast<std::uint32_t>(r.read(32));
+  m.cacheCapacity = static_cast<std::uint32_t>(r.read(32));
+  m.timestampBits = static_cast<std::uint8_t>(r.read(8));
+  m.signatureBits = static_cast<std::uint8_t>(r.read(8));
+  m.dataItemBytes = static_cast<std::uint32_t>(r.read(32));
+  m.controlMessageBytes = static_cast<std::uint32_t>(r.read(32));
+  m.broadcastPeriod = bitsDouble(r.read(64));
+  m.timeScale = bitsDouble(r.read(64));
+  m.windowIntervals = static_cast<std::uint16_t>(r.read(16));
+  m.sigSeed = r.read(64);
+  m.sigSubsets = static_cast<std::uint32_t>(r.read(32));
+  m.sigPerItem = static_cast<std::uint8_t>(r.read(8));
+  m.sigVotes = static_cast<std::int32_t>(static_cast<std::uint32_t>(r.read(32)));
+  m.gcoreGroupSize = static_cast<std::uint32_t>(r.read(32));
+  if (!r.ok()) return std::nullopt;
+  return m;
+}
+
+std::vector<std::uint8_t> encodeQueryRequest(const QueryRequest& m) {
+  report::BitWriter w;
+  w.write(m.items.size(), 16);
+  for (db::ItemId item : m.items) w.write(item, 32);
+  return w.finish();
+}
+
+std::optional<QueryRequest> decodeQueryRequest(
+    const std::vector<std::uint8_t>& payload) {
+  report::BitReader r(payload);
+  QueryRequest m;
+  const std::uint64_t count = r.read(16);
+  m.items.reserve(count);
+  for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
+    m.items.push_back(static_cast<db::ItemId>(r.read(32)));
+  }
+  if (!r.ok()) return std::nullopt;
+  return m;
+}
+
+std::vector<std::uint8_t> encodeDataItem(const DataItem& m) {
+  report::BitWriter w;
+  w.write(m.item, 32);
+  w.write(m.version, 32);
+  w.write(doubleBits(m.readTime), 64);
+  return w.finish();
+}
+
+std::optional<DataItem> decodeDataItem(
+    const std::vector<std::uint8_t>& payload) {
+  report::BitReader r(payload);
+  DataItem m;
+  m.item = static_cast<db::ItemId>(r.read(32));
+  m.version = static_cast<db::Version>(r.read(32));
+  m.readTime = bitsDouble(r.read(64));
+  if (!r.ok()) return std::nullopt;
+  return m;
+}
+
+std::vector<std::uint8_t> encodeCheck(const Check& m) {
+  report::BitWriter w;
+  w.write(doubleBits(m.tlb), 64);
+  w.write(m.epoch, 64);
+  w.write(doubleBits(m.sizeBits), 64);
+  w.write(m.entries.size(), 24);
+  for (const db::UpdateRecord& e : m.entries) {
+    w.write(e.item, 32);
+    w.write(doubleBits(e.time), 64);
+  }
+  return w.finish();
+}
+
+std::optional<Check> decodeCheck(const std::vector<std::uint8_t>& payload) {
+  report::BitReader r(payload);
+  Check m;
+  m.tlb = bitsDouble(r.read(64));
+  m.epoch = r.read(64);
+  m.sizeBits = bitsDouble(r.read(64));
+  const std::uint64_t count = r.read(24);
+  m.entries.reserve(count);
+  for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
+    db::UpdateRecord e;
+    e.item = static_cast<db::ItemId>(r.read(32));
+    e.time = bitsDouble(r.read(64));
+    m.entries.push_back(e);
+  }
+  if (!r.ok()) return std::nullopt;
+  return m;
+}
+
+std::vector<std::uint8_t> encodeCheckAck(const CheckAck& m) {
+  report::BitWriter w;
+  w.write(m.epoch, 64);
+  w.write(doubleBits(m.asOf), 64);
+  return w.finish();
+}
+
+std::optional<CheckAck> decodeCheckAck(
+    const std::vector<std::uint8_t>& payload) {
+  report::BitReader r(payload);
+  CheckAck m;
+  m.epoch = r.read(64);
+  m.asOf = bitsDouble(r.read(64));
+  if (!r.ok()) return std::nullopt;
+  return m;
+}
+
+std::vector<std::uint8_t> encodeValidityReply(const ValidityReplyMsg& m) {
+  report::BitWriter w;
+  w.write(doubleBits(m.asOf), 64);
+  w.write(m.epoch, 64);
+  w.write(doubleBits(m.sizeBits), 64);
+  w.write(m.invalid.size(), 24);
+  for (db::ItemId item : m.invalid) w.write(item, 32);
+  return w.finish();
+}
+
+std::optional<ValidityReplyMsg> decodeValidityReply(
+    const std::vector<std::uint8_t>& payload) {
+  report::BitReader r(payload);
+  ValidityReplyMsg m;
+  m.asOf = bitsDouble(r.read(64));
+  m.epoch = r.read(64);
+  m.sizeBits = bitsDouble(r.read(64));
+  const std::uint64_t count = r.read(24);
+  m.invalid.reserve(count);
+  for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
+    m.invalid.push_back(static_cast<db::ItemId>(r.read(32)));
+  }
+  if (!r.ok()) return std::nullopt;
+  return m;
+}
+
+std::vector<std::uint8_t> encodeAudit(const Audit& m) {
+  report::BitWriter w;
+  w.write(m.item, 32);
+  w.write(m.version, 32);
+  w.write(doubleBits(m.validAsOf), 64);
+  return w.finish();
+}
+
+std::optional<Audit> decodeAudit(const std::vector<std::uint8_t>& payload) {
+  report::BitReader r(payload);
+  Audit m;
+  m.item = static_cast<db::ItemId>(r.read(32));
+  m.version = static_cast<db::Version>(r.read(32));
+  m.validAsOf = bitsDouble(r.read(64));
+  if (!r.ok()) return std::nullopt;
+  return m;
+}
+
+void FrameBuffer::append(const std::uint8_t* data, std::size_t len) {
+  // Compact before growing so a long-lived connection's buffer does not
+  // creep: everything before off_ is already consumed.
+  if (off_ > 0) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(off_));
+    off_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + len);
+}
+
+std::optional<Frame> FrameBuffer::next() {
+  while (!corrupt_) {
+    const std::size_t avail = buf_.size() - off_;
+    if (avail < kHeaderBytes) return std::nullopt;
+    const std::size_t total = frameSize(buf_.data() + off_, avail);
+    if (total == 0) {
+      corrupt_ = true;
+      return std::nullopt;
+    }
+    if (avail < total) return std::nullopt;
+    std::optional<Frame> f = decodeFrame(buf_.data() + off_, total);
+    off_ += total;
+    if (!f) {
+      ++badFrames_;
+      continue;  // checksum failure: skip this frame, framing is intact
+    }
+    return f;
+  }
+  return std::nullopt;
+}
+
+}  // namespace mci::live::wire

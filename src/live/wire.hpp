@@ -1,0 +1,210 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "db/item.hpp"
+#include "net/message.hpp"
+#include "sim/time.hpp"
+
+namespace mci::live::wire {
+
+/// Versioned frame envelope for the live broadcast protocol. Every message
+/// on the UDP downlink and the per-client TCP connections is one frame:
+///
+///   magic:16  version:8  type:8  scheme:8  class:8  payloadBits:32  crc:32
+///   payload bytes...
+///
+/// 14 header bytes, then ceil(payloadBits / 8) payload bytes. `crc` is
+/// CRC-32 (IEEE, reflected) over the header with the crc field zeroed,
+/// followed by the payload. For kReport frames the payload is *exactly*
+/// the byte sequence report::ReportCodec emits — the simulator's codec and
+/// the wire are byte-identical by construction, and a shared test pins it.
+/// Full field-by-field documentation lives in docs/protocols.md ("Wire
+/// format").
+inline constexpr std::uint16_t kMagic = 0x4D43;  // "MC"
+inline constexpr std::uint8_t kVersion = 1;
+/// `scheme` value for frames not tied to a scheme (control traffic).
+inline constexpr std::uint8_t kNoScheme = 0xFF;
+inline constexpr std::size_t kHeaderBytes = 14;
+/// Sanity bound on ceil(payloadBits/8); a header announcing more is
+/// rejected before any allocation (a corrupted length field must not make
+/// the receiver buffer gigabytes).
+inline constexpr std::size_t kMaxPayloadBytes = 1 << 22;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,       ///< client -> server: my UDP port + flags
+  kWelcome = 2,     ///< server -> client: your id + the run configuration
+  kReport = 3,      ///< server -> clients (UDP): one codec-encoded IR
+  kQueryRequest = 4,///< client -> server: fetch these items
+  kDataItem = 5,    ///< server -> client: item value metadata
+  kCheck = 6,       ///< client -> server: Tlb feedback / checking request
+  kCheckAck = 7,    ///< server -> client: your check was absorbed
+  kValidityReply = 8,///< server -> client: which checked entries are stale
+  kAudit = 9,       ///< client -> server: a cache answer, for stale audit
+  kBye = 10,        ///< client -> server: clean shutdown
+};
+
+struct FrameHeader {
+  std::uint8_t version = kVersion;
+  FrameType type{FrameType::kBye};
+  std::uint8_t scheme = kNoScheme;      ///< schemes::SchemeKind, or kNoScheme
+  std::uint8_t trafficClass = 0;        ///< net::TrafficClass
+  std::uint32_t payloadBits = 0;        ///< payload length (padded to bytes)
+  std::uint32_t checksum = 0;           ///< CRC-32 as described above
+};
+
+struct Frame {
+  FrameHeader header;
+  std::vector<std::uint8_t> payload;
+};
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320). `seed` chains
+/// multi-buffer computation: pass a previous call's return value.
+[[nodiscard]] std::uint32_t crc32(const std::uint8_t* data, std::size_t len,
+                                  std::uint32_t seed = 0);
+
+/// Wraps `payload` in a checksummed frame.
+[[nodiscard]] std::vector<std::uint8_t> encodeFrame(
+    FrameType type, std::uint8_t scheme, net::TrafficClass trafficClass,
+    const std::vector<std::uint8_t>& payload);
+
+/// Total frame size (header + payload) announced by a header, or 0 when
+/// fewer than kHeaderBytes are available or the magic/length is invalid
+/// (callers treat 0-with-enough-bytes as a corrupt stream).
+[[nodiscard]] std::size_t frameSize(const std::uint8_t* data, std::size_t len);
+
+/// Parses and checksum-verifies one complete frame. nullopt on bad magic,
+/// unknown version, length mismatch, or checksum failure.
+[[nodiscard]] std::optional<Frame> decodeFrame(const std::uint8_t* data,
+                                               std::size_t len);
+
+// --- control payload codecs -------------------------------------------
+// Field widths are fixed (not SizeModel-derived) so both ends can parse
+// before configuration is exchanged. Times travel as raw IEEE-754 bits:
+// control timestamps must not lose precision to the report quantizer.
+
+struct Hello {
+  std::uint16_t udpPort = 0;  ///< where this client listens for kReport
+  bool audit = false;         ///< echo cache answers as kAudit frames
+};
+
+/// Server -> client configuration handshake: everything a ClientAgent
+/// needs to build the exact scheme/codec/cache the server simulates with.
+struct Welcome {
+  std::uint32_t clientId = 0;
+  std::uint8_t scheme = 0;  ///< schemes::SchemeKind
+  std::uint32_t dbSize = 0;
+  std::uint32_t numClients = 0;
+  std::uint32_t cacheCapacity = 0;
+  std::uint8_t timestampBits = 32;
+  std::uint8_t signatureBits = 32;
+  std::uint32_t dataItemBytes = 0;
+  std::uint32_t controlMessageBytes = 0;
+  double broadcastPeriod = 0;
+  double timeScale = 1.0;
+  std::uint16_t windowIntervals = 0;
+  std::uint64_t sigSeed = 0;
+  std::uint32_t sigSubsets = 0;
+  std::uint8_t sigPerItem = 0;
+  std::int32_t sigVotes = 0;
+  std::uint32_t gcoreGroupSize = 0;
+};
+
+struct QueryRequest {
+  std::vector<db::ItemId> items;
+};
+
+struct DataItem {
+  db::ItemId item = 0;
+  db::Version version = 0;
+  sim::SimTime readTime = 0;  ///< becomes the cache entry's refTime
+};
+
+/// CheckMessage on the wire (client id is implied by the connection).
+struct Check {
+  sim::SimTime tlb = 0;
+  std::uint64_t epoch = 0;
+  double sizeBits = 0;  ///< model airtime bits, for the radio accounting
+  std::vector<db::UpdateRecord> entries;
+};
+
+struct CheckAck {
+  std::uint64_t epoch = 0;
+  sim::SimTime asOf = 0;  ///< server model time the check was absorbed
+};
+
+struct ValidityReplyMsg {
+  sim::SimTime asOf = 0;
+  std::uint64_t epoch = 0;
+  double sizeBits = 0;
+  std::vector<db::ItemId> invalid;
+};
+
+/// One cache answer, echoed so the *server* can audit staleness against
+/// the authoritative database (out-of-process clients only have a dummy).
+struct Audit {
+  db::ItemId item = 0;
+  db::Version version = 0;
+  sim::SimTime validAsOf = 0;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encodeHello(const Hello& m);
+[[nodiscard]] std::optional<Hello> decodeHello(
+    const std::vector<std::uint8_t>& payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encodeWelcome(const Welcome& m);
+[[nodiscard]] std::optional<Welcome> decodeWelcome(
+    const std::vector<std::uint8_t>& payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encodeQueryRequest(
+    const QueryRequest& m);
+[[nodiscard]] std::optional<QueryRequest> decodeQueryRequest(
+    const std::vector<std::uint8_t>& payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encodeDataItem(const DataItem& m);
+[[nodiscard]] std::optional<DataItem> decodeDataItem(
+    const std::vector<std::uint8_t>& payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encodeCheck(const Check& m);
+[[nodiscard]] std::optional<Check> decodeCheck(
+    const std::vector<std::uint8_t>& payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encodeCheckAck(const CheckAck& m);
+[[nodiscard]] std::optional<CheckAck> decodeCheckAck(
+    const std::vector<std::uint8_t>& payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encodeValidityReply(
+    const ValidityReplyMsg& m);
+[[nodiscard]] std::optional<ValidityReplyMsg> decodeValidityReply(
+    const std::vector<std::uint8_t>& payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encodeAudit(const Audit& m);
+[[nodiscard]] std::optional<Audit> decodeAudit(
+    const std::vector<std::uint8_t>& payload);
+
+/// Incremental reassembler for the TCP byte stream: append whatever the
+/// socket produced, pop complete frames. A frame that fails its checksum is
+/// counted and skipped (the stream stays framed — the length field already
+/// passed the magic check); a byte position where no frame can start marks
+/// the stream corrupt() for good, since framing is lost.
+class FrameBuffer {
+ public:
+  void append(const std::uint8_t* data, std::size_t len);
+
+  /// Next complete, verified frame; nullopt when more bytes are needed or
+  /// the stream is corrupt.
+  [[nodiscard]] std::optional<Frame> next();
+
+  [[nodiscard]] bool corrupt() const { return corrupt_; }
+  [[nodiscard]] std::uint64_t badFrames() const { return badFrames_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t off_ = 0;
+  bool corrupt_ = false;
+  std::uint64_t badFrames_ = 0;
+};
+
+}  // namespace mci::live::wire

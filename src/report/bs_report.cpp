@@ -1,6 +1,7 @@
 #include "report/bs_report.hpp"
 
 #include <algorithm>
+#include <iterator>
 
 #include "core/check.hpp"
 
@@ -104,6 +105,82 @@ std::shared_ptr<const BsReport> BsReport::build(const db::UpdateHistory& history
   MCI_DCHECK(levelsConsistent(report->levels_, report->recency_->size()))
       << "BS level stack inconsistent (non-nested marks or decreasing "
          "timestamps)";
+  return report;
+}
+
+std::shared_ptr<const BsReport> BsReport::fromWire(const BsWire& wire,
+                                                   const SizeModel& sizes,
+                                                   sim::SimTime broadcastTime) {
+  const std::size_t n = wire.levels().empty()
+                            ? sizes.numItems
+                            : wire.levels().front().bits.size();
+  auto report = std::shared_ptr<BsReport>(
+      new BsReport(broadcastTime, sizes.bsReportBits(), n));
+  report->lastUpdate_ = wire.tsB0();
+
+  // Recover each level's marked item set through the same select chains the
+  // wire decoder uses; the sets are nested by construction (level k+1 has
+  // one bit per set bit of level k).
+  const std::vector<BsWire::WireLevel>& wl = wire.levels();
+  std::vector<std::vector<db::ItemId>> ids(wl.size());
+  for (std::size_t li = 0; li < wl.size(); ++li) {
+    ids[li].reserve(wl[li].bits.count());
+    for (std::size_t pos : wl[li].bits.setPositions()) {
+      std::size_t p = pos;
+      for (std::size_t up = li; up-- > 0;) p = wl[up].bits.select(p);
+      ids[li].push_back(static_cast<db::ItemId>(p));
+    }
+    std::sort(ids[li].begin(), ids[li].end());
+  }
+
+  if (wl.empty() || ids.front().empty()) {
+    // Degenerate wire (empty history): no levels, empty recency — decide()
+    // answers kNothing for every Tlb, as the original did.
+    return report;
+  }
+
+  report->levels_.reserve(wl.size());
+  for (const BsWire::WireLevel& level : wl) {
+    Level out{};
+    out.marked = level.bits.count();
+    out.ts = level.ts;
+    report->levels_.push_back(out);
+  }
+  report->coverageStart_ = report->levels_.front().ts;
+
+  // Recency list: each level's marked set must come out as a prefix, so
+  // walk tiers from the deepest (most recently updated) level outward.
+  // Within a tier the original per-item order is not recoverable from the
+  // bits and is irrelevant to decide() — every span it hands out covers
+  // whole tiers — so ascending item id keeps the reconstruction
+  // deterministic. A tier's synthetic time is the next-deeper level's cut
+  // timestamp (TS(B_0) for the deepest tier): the tightest upper bound the
+  // wire carries. Callers must not treat these as real update times.
+  auto recency = std::make_shared<std::vector<db::UpdateRecord>>();
+  recency->reserve(ids.front().size());
+  std::vector<db::ItemId> prev;
+  for (std::size_t li = wl.size(); li-- > 0;) {
+    const sim::SimTime tierTime =
+        li + 1 < wl.size() ? wl[li + 1].ts : wire.tsB0();
+    std::vector<db::ItemId> fresh;
+    fresh.reserve(ids[li].size() - prev.size());
+    std::set_difference(ids[li].begin(), ids[li].end(), prev.begin(),
+                        prev.end(), std::back_inserter(fresh));
+    for (const db::ItemId item : fresh) {
+      db::UpdateRecord rec;
+      rec.item = item;
+      rec.time = tierTime;
+      recency->push_back(rec);
+    }
+    prev = std::move(ids[li]);
+  }
+  report->recency_ = std::move(recency);
+
+  MCI_CHECK(report->coverageStart_ <= report->lastUpdate_)
+      << "BS wire with TS(B_n)=" << report->coverageStart_
+      << " after TS(B_0)=" << report->lastUpdate_;
+  MCI_DCHECK(levelsConsistent(report->levels_, report->recency_->size()))
+      << "reconstructed BS level stack inconsistent";
   return report;
 }
 

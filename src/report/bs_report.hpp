@@ -31,11 +31,25 @@ namespace mci::report {
 /// form is available as BsWire (used by the unit/property tests to prove
 /// the two forms equivalent, and by the micro benchmarks). The broadcast
 /// airtime uses the wire size, 2N + b_T log2 N bits, either way.
+class BsWire;
+
 class BsReport final : public Report {
  public:
   static std::shared_ptr<const BsReport> build(const db::UpdateHistory& history,
                                                const SizeModel& sizes,
                                                sim::SimTime now);
+
+  /// Lifts a decoded wire form back into the snapshot form, so a receiver
+  /// that only has the bits (the live client) can run the same
+  /// BsClientScheme the simulator uses. The reconstruction is
+  /// decision-equivalent to the original report: each level's marked set is
+  /// recovered exactly via the select chains, and decide() consults only
+  /// the level timestamps and those sets. Per-item times inside recency()
+  /// are synthesized (the wire does not carry them) and must not be read by
+  /// callers of fromWire — the client scheme never does.
+  static std::shared_ptr<const BsReport> fromWire(const BsWire& wire,
+                                                  const SizeModel& sizes,
+                                                  sim::SimTime broadcastTime);
 
   /// One sequence level: it marks the `marked` most recently updated items,
   /// all updated after `ts`. Ordered largest (B_n) to smallest (B_1).

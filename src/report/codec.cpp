@@ -52,7 +52,13 @@ std::uint64_t BitReader::read(int bits) {
 
 std::uint64_t ReportCodec::quantize(sim::SimTime t) const {
   if (t <= 0) return 0;
-  const double ticks = t / quantum_;
+  // Round to nearest tick (not floor): times that already sit on the tick
+  // grid — which is all of them in live mode, where the reactor hands out
+  // integral-millisecond model times — survive a quantize/dequantize round
+  // trip exactly even when t/quantum_ lands just below an integer in
+  // floating point. Floor would turn that representation error into a
+  // one-tick-early timestamp, which can hide an invalidation.
+  const double ticks = std::round(t / quantum_);
   const double cap =
       std::pow(2.0, sizes_.timestampBits) - 1.0;  // saturate, don't wrap
   return static_cast<std::uint64_t>(std::min(ticks, cap));
@@ -170,6 +176,25 @@ std::shared_ptr<const SigReport> ReportCodec::decodeSig(
   }
   if (!reader.ok()) return nullptr;
   return SigReport::fromParts(sizes_, now, std::move(sigs));
+}
+
+ReportPtr ReportCodec::decodeAny(
+    const std::vector<std::uint8_t>& frame) const {
+  const std::optional<ReportKind> kind = peekKind(frame);
+  if (!kind) return nullptr;
+  switch (*kind) {
+    case ReportKind::kTsWindow:
+    case ReportKind::kTsExtended:
+      return decodeTs(frame);
+    case ReportKind::kBitSeq: {
+      std::optional<DecodedBs> bs = decodeBs(frame);
+      if (!bs) return nullptr;
+      return BsReport::fromWire(bs->wire, sizes_, bs->broadcastTime);
+    }
+    case ReportKind::kSignature:
+      return decodeSig(frame);
+  }
+  return nullptr;
 }
 
 std::optional<ReportKind> ReportCodec::peekKind(

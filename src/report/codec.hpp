@@ -98,6 +98,15 @@ class ReportCodec {
   [[nodiscard]] std::optional<ReportKind> peekKind(
       const std::vector<std::uint8_t>& frame) const;
 
+  /// Decodes a frame of any kind into the polymorphic Report the client
+  /// schemes consume (BS frames are lifted back into the snapshot form via
+  /// BsReport::fromWire). Returns nullptr on malformed input. This is the
+  /// live receive path: a ClientAgent feeds the decoded report straight to
+  /// ClientScheme::onReport, exactly as the simulator hands over the
+  /// in-memory original.
+  [[nodiscard]] ReportPtr decodeAny(
+      const std::vector<std::uint8_t>& frame) const;
+
   [[nodiscard]] std::uint64_t quantize(sim::SimTime t) const;
   [[nodiscard]] sim::SimTime dequantize(std::uint64_t ticks) const;
 

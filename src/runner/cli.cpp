@@ -1,5 +1,6 @@
 #include "runner/cli.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <string_view>
 
@@ -55,6 +56,20 @@ std::int64_t Cli::getInt(const std::string& key, std::int64_t fallback) const {
   return (a == nullptr || a->value.empty())
              ? fallback
              : std::strtoll(a->value.c_str(), nullptr, 10);
+}
+
+std::optional<schemes::SchemeKind> Cli::getScheme(
+    const std::string& key, schemes::SchemeKind fallback) const {
+  const Arg* a = findArg(key);
+  if (a == nullptr) return fallback;
+  const std::optional<schemes::SchemeKind> parsed =
+      schemes::parseSchemeName(a->value);
+  if (!parsed) {
+    std::fprintf(stderr, "unknown --%s value '%s'; valid schemes: %s\n",
+                 key.c_str(), a->value.c_str(),
+                 schemes::schemeNameList().c_str());
+  }
+  return parsed;
 }
 
 std::vector<std::string> Cli::unknownArgs() const {

@@ -1,8 +1,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
+
+#include "schemes/factory.hpp"
 
 namespace mci::runner {
 
@@ -20,6 +23,14 @@ class Cli {
   [[nodiscard]] double getDouble(const std::string& key, double fallback) const;
   [[nodiscard]] std::int64_t getInt(const std::string& key,
                                     std::int64_t fallback) const;
+
+  /// Parses `--<key>=<name>` through schemes::parseSchemeName. Returns
+  /// `fallback` when the key is absent. A present-but-invalid name prints
+  /// the valid set (schemeNameList) to stderr and returns nullopt — the
+  /// caller should exit nonzero rather than silently running the default
+  /// scheme the user did not ask for.
+  [[nodiscard]] std::optional<schemes::SchemeKind> getScheme(
+      const std::string& key, schemes::SchemeKind fallback) const;
 
   /// Keys the caller never queried (call after all getX calls).
   [[nodiscard]] std::vector<std::string> unknownArgs() const;

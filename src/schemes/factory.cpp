@@ -9,4 +9,23 @@ std::optional<SchemeKind> parseSchemeName(std::string_view name) {
   return std::nullopt;
 }
 
+std::string schemeNameList() {
+  std::string out;
+  for (SchemeKind k : kAllSchemes) {
+    if (!out.empty()) out += ", ";
+    out += schemeName(k);
+  }
+  return out;
+}
+
+std::string schemeListing() {
+  std::string out;
+  for (SchemeKind k : kAllSchemes) {
+    std::string name = schemeName(k);
+    name.resize(10, ' ');  // longest name is "TS-check" (8); align columns
+    out += "  " + name + schemeDescription(k) + "\n";
+  }
+  return out;
+}
+
 }  // namespace mci::schemes

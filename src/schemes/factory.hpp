@@ -1,6 +1,7 @@
 #pragma once
 
 #include <optional>
+#include <string>
 #include <string_view>
 
 namespace mci::schemes {
@@ -60,7 +61,40 @@ inline constexpr SchemeKind kPaperSchemes[] = {
   }
 }
 
+/// One-line description of what each scheme does on the air — the text
+/// behind `--list-schemes` in the binaries.
+[[nodiscard]] constexpr const char* schemeDescription(SchemeKind k) {
+  switch (k) {
+    case SchemeKind::kTs:
+      return "broadcasting timestamps: ids+times updated in the last w*L s";
+    case SchemeKind::kAt:
+      return "amnesic terminals: ids updated in the last interval only";
+    case SchemeKind::kSig:
+      return "combined signatures; client diffs and votes per cached item";
+    case SchemeKind::kDts:
+      return "TS with a per-item window adapted to its update rate";
+    case SchemeKind::kTsChecking:
+      return "TS plus an uplink check so sleepers salvage their cache";
+    case SchemeKind::kGcore:
+      return "group-wise checking (GCORE): one validity bit per group";
+    case SchemeKind::kBs:
+      return "hierarchical bit sequences covering the whole update history";
+    case SchemeKind::kAfw:
+      return "adaptive fixed window: TS normally, BS to answer a Tlb check";
+    case SchemeKind::kAaw:
+      return "adaptive adjusting window: AFW with a demand-driven window";
+  }
+  return "?";
+}
+
 /// Parses a scheme name (as printed by schemeName, case-sensitive).
 [[nodiscard]] std::optional<SchemeKind> parseSchemeName(std::string_view name);
+
+/// `"TS, AT, SIG, ..."` — the valid `--scheme=` values, for error messages.
+[[nodiscard]] std::string schemeNameList();
+
+/// Multi-line `name  description` listing, one scheme per line (the body of
+/// `--list-schemes` output).
+[[nodiscard]] std::string schemeListing();
 
 }  // namespace mci::schemes

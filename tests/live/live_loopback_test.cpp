@@ -1,0 +1,225 @@
+// The live subsystem end to end over real loopback sockets: one
+// BroadcastServer plus a ClientPool of 8 agents sharing a reactor, run for
+// thousands of model seconds at a compressed time scale. The pool audits
+// every cache answer against the server's actual database, so the paper's
+// zero-stale-reads invariant is enforced for real, and the hit ratio is
+// compared against an equivalent discrete-event simulation run.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+#include "live/broadcast_server.hpp"
+#include "live/client_agent.hpp"
+#include "live/wire.hpp"
+#include "report/codec.hpp"
+
+namespace mci::live {
+namespace {
+
+/// Hot/cold workload over a small database with a cache that covers the hot
+/// set: enough hits that the live-vs-sim hit ratio comparison has signal.
+core::SimConfig baseConfig(schemes::SchemeKind scheme) {
+  core::SimConfig cfg;
+  cfg.scheme = scheme;
+  cfg.numClients = 8;
+  cfg.dbSize = 1000;
+  cfg.clientBufferFrac = 0.1;
+  cfg.workload = core::WorkloadKind::kHotCold;
+  cfg.hotQuery = {0, 50, 0.9};
+  cfg.meanThinkTime = 25.0;
+  cfg.meanUpdateInterarrival = 50.0;
+  cfg.simTime = 3000.0;
+  cfg.seed = 1234;
+  return cfg;
+}
+
+/// Runs one server + an 8-agent pool in process for cfg.simTime model
+/// seconds and returns (pool result, server stats are asserted inline).
+metrics::SimResult runLive(const core::SimConfig& cfg, double timeScale) {
+  Reactor reactor;
+  ServerOptions serverOpts;
+  serverOpts.cfg = cfg;
+  serverOpts.timeScale = timeScale;
+  BroadcastServer server(reactor, serverOpts);
+
+  AgentOptions agentOpts;
+  agentOpts.cfg = cfg;  // client-side knobs: workload, think, disconnection
+  agentOpts.port = server.tcpPort();
+  agentOpts.numAgents = cfg.numClients;
+  agentOpts.auditDb = &server.database();  // audit against the real database
+  ClientPool pool(reactor, agentOpts);
+  pool.start();
+
+  reactor.addTimer(0.02, 0.02, [&] {
+    if (pool.modelNow() >= cfg.simTime) {
+      pool.shutdown();
+      reactor.stop();
+    }
+  });
+  reactor.run();
+
+  EXPECT_EQ(pool.welcomedCount(), cfg.numClients);
+  EXPECT_EQ(pool.staleReads(), 0u);
+  EXPECT_EQ(pool.stats().connectionsLost, 0u);
+  EXPECT_GT(pool.stats().reportsHeard, 0u);
+  EXPECT_EQ(server.staleReads(), 0u);
+  EXPECT_EQ(server.stats().framesDropped, 0u);
+  EXPECT_EQ(server.stats().badFrames, 0u);
+  // ~cfg.simTime / broadcastPeriod reports; allow slack for startup.
+  EXPECT_GT(server.stats().reportsBroadcast,
+            static_cast<std::uint64_t>(cfg.simTime / cfg.broadcastPeriod / 2));
+  EXPECT_GT(server.stats().queryRequests, 0u);
+  return pool.finalize();
+}
+
+void expectLiveMatchesSim(schemes::SchemeKind scheme) {
+  const core::SimConfig cfg = baseConfig(scheme);
+  const metrics::SimResult simR = core::Simulation(cfg).run();
+  const metrics::SimResult liveR = runLive(cfg, 500.0);
+
+  EXPECT_EQ(liveR.staleReads, 0u);
+  EXPECT_GT(liveR.queriesCompleted, 100u);
+  // Same workload laws, same seeds per role, but real-time scheduling noise
+  // instead of event-queue determinism: the hit ratios agree statistically,
+  // not exactly.
+  EXPECT_GT(simR.hitRatio(), 0.15) << "config has no signal";
+  EXPECT_NEAR(liveR.hitRatio(), simR.hitRatio(), 0.12)
+      << "live=" << liveR.hitRatio() << " sim=" << simR.hitRatio();
+}
+
+TEST(LiveLoopback, AfwMatchesSimulation) {
+  expectLiveMatchesSim(schemes::SchemeKind::kAfw);
+}
+
+TEST(LiveLoopback, AawMatchesSimulation) {
+  expectLiveMatchesSim(schemes::SchemeKind::kAaw);
+}
+
+/// The broadcast payload on the wire is exactly what report::ReportCodec
+/// emits: decoding the last payload and re-encoding it must reproduce the
+/// bytes bit for bit, for each report family.
+TEST(LiveLoopback, ReportFramesAreByteIdenticalToCodecOutput) {
+  for (const auto scheme :
+       {schemes::SchemeKind::kAaw, schemes::SchemeKind::kBs,
+        schemes::SchemeKind::kSig}) {
+    Reactor reactor;
+    ServerOptions opts;
+    opts.cfg = baseConfig(scheme);
+    opts.cfg.broadcastPeriod = 0.5;
+    opts.timeScale = 200.0;
+    BroadcastServer server(reactor, opts);
+    while (server.stats().reportsBroadcast < 3) reactor.runOnce(20);
+
+    const std::vector<std::uint8_t>& payload = server.lastReportPayload();
+    ASSERT_FALSE(payload.empty());
+    const report::SizeModel sizes = opts.cfg.sizeModel();
+    const report::ReportCodec codec(sizes);
+    const report::ReportPtr decoded = codec.decodeAny(payload);
+    ASSERT_NE(decoded, nullptr) << schemes::schemeName(scheme);
+
+    std::vector<std::uint8_t> reEncoded;
+    switch (decoded->kind) {
+      case report::ReportKind::kTsWindow:
+      case report::ReportKind::kTsExtended:
+        reEncoded =
+            codec.encode(static_cast<const report::TsReport&>(*decoded));
+        break;
+      case report::ReportKind::kBitSeq:
+        reEncoded =
+            codec.encode(static_cast<const report::BsReport&>(*decoded));
+        break;
+      case report::ReportKind::kSignature:
+        reEncoded =
+            codec.encode(static_cast<const report::SigReport&>(*decoded));
+        break;
+    }
+    EXPECT_EQ(reEncoded, payload) << schemes::schemeName(scheme);
+  }
+}
+
+/// A client that stops reading must never stall the broadcast: its TCP
+/// queue caps out and whole frames are dropped (counted) while the IR timer
+/// keeps firing.
+TEST(LiveLoopback, WedgedClientNeverBlocksTheBroadcast) {
+  Reactor reactor;
+  ServerOptions opts;
+  opts.cfg = baseConfig(schemes::SchemeKind::kAaw);
+  opts.cfg.broadcastPeriod = 0.5;
+  opts.timeScale = 100.0;              // 5 ms wall per period
+  opts.maxSendQueueBytes = 1024;       // tiny user-space queue
+  opts.sendBufferBytes = 1024;         // tiny kernel queue
+  BroadcastServer server(reactor, opts);
+
+  // Raw wedged client: shrink the receive window before connecting, say
+  // Hello, then fire query requests and never read a byte of the replies.
+  const int tcp = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(tcp, 0);
+  int rcvbuf = 1024;
+  ::setsockopt(tcp, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof rcvbuf);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.tcpPort());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(tcp, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+
+  // A UDP socket that is bound but never read, so kReport datagrams have a
+  // destination (the kernel just discards them once its buffer fills).
+  const int udp = ::socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(udp, 0);
+  sockaddr_in udpAddr{};
+  udpAddr.sin_family = AF_INET;
+  udpAddr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(udp, reinterpret_cast<sockaddr*>(&udpAddr), sizeof udpAddr),
+            0);
+  socklen_t len = sizeof udpAddr;
+  ASSERT_EQ(::getsockname(udp, reinterpret_cast<sockaddr*>(&udpAddr), &len),
+            0);
+
+  const wire::Hello hello{.udpPort = ntohs(udpAddr.sin_port), .audit = false};
+  const auto helloFrame =
+      wire::encodeFrame(wire::FrameType::kHello, wire::kNoScheme,
+                        net::TrafficClass::kControl, wire::encodeHello(hello));
+  ASSERT_EQ(::send(tcp, helloFrame.data(), helloFrame.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(helloFrame.size()));
+  while (server.stats().connectionsAccepted == 0 ||
+         server.connectionCount() == 0) {
+    reactor.runOnce(10);
+  }
+
+  // Each query pulls 200 DataItem frames (~4 KB) toward a client that will
+  // never drain them; a handful of queries overwhelms both tiny queues.
+  wire::QueryRequest query;
+  for (db::ItemId i = 0; i < 200; ++i) query.items.push_back(i);
+  const auto queryFrame = wire::encodeFrame(
+      wire::FrameType::kQueryRequest, wire::kNoScheme,
+      net::TrafficClass::kControl, wire::encodeQueryRequest(query));
+  for (int q = 0; q < 10; ++q) {
+    (void)::send(tcp, queryFrame.data(), queryFrame.size(), MSG_NOSIGNAL);
+    reactor.runOnce(5);
+  }
+
+  // Drive the reactor across many broadcast periods with the client wedged.
+  const std::uint64_t before = server.stats().reportsBroadcast;
+  const double start = reactor.nowSeconds();
+  while (reactor.nowSeconds() - start < 0.2) reactor.runOnce(10);
+
+  EXPECT_GE(server.stats().reportsBroadcast, before + 20)
+      << "IR timer stalled behind a wedged client";
+  EXPECT_GT(server.stats().framesDropped, 0u)
+      << "full send queue should drop whole frames";
+  EXPECT_EQ(server.connectionCount(), 1u);  // wedged, not evicted
+
+  ::close(tcp);
+  ::close(udp);
+}
+
+}  // namespace
+}  // namespace mci::live

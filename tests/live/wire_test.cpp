@@ -1,0 +1,230 @@
+// Frame envelope and control codecs: round-trips, checksum rejection, and
+// the FrameBuffer reassembler under split/corrupted TCP delivery.
+
+#include "live/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace mci::live::wire {
+namespace {
+
+std::vector<std::uint8_t> somePayload() { return {0xDE, 0xAD, 0xBE, 0xEF}; }
+
+TEST(Crc32, MatchesKnownVector) {
+  // "123456789" -> 0xCBF43926 is the canonical CRC-32/IEEE check value.
+  const char* s = "123456789";
+  EXPECT_EQ(crc32(reinterpret_cast<const std::uint8_t*>(s), 9), 0xCBF43926u);
+}
+
+TEST(Crc32, SeedChainsAcrossBuffers) {
+  const char* s = "123456789";
+  const auto* b = reinterpret_cast<const std::uint8_t*>(s);
+  EXPECT_EQ(crc32(b + 4, 5, crc32(b, 4)), crc32(b, 9));
+}
+
+TEST(Frame, RoundTripsHeaderAndPayload) {
+  const auto bytes = encodeFrame(FrameType::kReport, 3,
+                                 net::TrafficClass::kInvalidationReport,
+                                 somePayload());
+  ASSERT_EQ(bytes.size(), kHeaderBytes + 4);
+  EXPECT_EQ(frameSize(bytes.data(), bytes.size()), bytes.size());
+
+  const auto frame = decodeFrame(bytes.data(), bytes.size());
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->header.type, FrameType::kReport);
+  EXPECT_EQ(frame->header.scheme, 3);
+  EXPECT_EQ(frame->payload, somePayload());
+}
+
+TEST(Frame, EveryFlippedBitFailsTheChecksum) {
+  const auto bytes = encodeFrame(FrameType::kCheck, kNoScheme,
+                                 net::TrafficClass::kControl, somePayload());
+  for (std::size_t i = 0; i < bytes.size() * 8; ++i) {
+    auto bad = bytes;
+    bad[i / 8] ^= static_cast<std::uint8_t>(1u << (i % 8));
+    // A flip may break the magic/version/length (decode fails early) or
+    // only the body (checksum fails); either way nothing decodes.
+    EXPECT_FALSE(decodeFrame(bad.data(), bad.size()).has_value())
+        << "bit " << i;
+  }
+}
+
+TEST(Frame, TruncationNeverDecodes) {
+  const auto bytes = encodeFrame(FrameType::kHello, kNoScheme,
+                                 net::TrafficClass::kControl, somePayload());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(decodeFrame(bytes.data(), len).has_value()) << "len " << len;
+  }
+}
+
+TEST(Frame, OversizedLengthFieldIsRejected) {
+  auto bytes = encodeFrame(FrameType::kBye, kNoScheme,
+                           net::TrafficClass::kControl, {});
+  // Patch payloadBits (bytes 6..9, big-endian) to announce > kMaxPayloadBytes.
+  bytes[6] = 0xFF;
+  bytes[7] = 0xFF;
+  bytes[8] = 0xFF;
+  bytes[9] = 0xFF;
+  EXPECT_EQ(frameSize(bytes.data(), bytes.size()), 0u);
+}
+
+TEST(ControlCodecs, HelloRoundTrip) {
+  const Hello m{.udpPort = 40123, .audit = true};
+  const auto back = decodeHello(encodeHello(m));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->udpPort, m.udpPort);
+  EXPECT_EQ(back->audit, m.audit);
+}
+
+TEST(ControlCodecs, WelcomeRoundTripPreservesEveryField) {
+  Welcome m;
+  m.clientId = 17;
+  m.scheme = 6;
+  m.dbSize = 1000;
+  m.numClients = 250;
+  m.cacheCapacity = 100;
+  m.timestampBits = 32;
+  m.signatureBits = 24;
+  m.dataItemBytes = 1024;
+  m.controlMessageBytes = 64;
+  m.broadcastPeriod = 20.0;
+  m.timeScale = 312.5;
+  m.windowIntervals = 10;
+  m.sigSeed = 0xDEADBEEFCAFEF00Dull;
+  m.sigSubsets = 16;
+  m.sigPerItem = 4;
+  m.sigVotes = -3;
+  m.gcoreGroupSize = 50;
+  const auto back = decodeWelcome(encodeWelcome(m));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->clientId, m.clientId);
+  EXPECT_EQ(back->scheme, m.scheme);
+  EXPECT_EQ(back->dbSize, m.dbSize);
+  EXPECT_EQ(back->numClients, m.numClients);
+  EXPECT_EQ(back->cacheCapacity, m.cacheCapacity);
+  EXPECT_EQ(back->timestampBits, m.timestampBits);
+  EXPECT_EQ(back->signatureBits, m.signatureBits);
+  EXPECT_EQ(back->dataItemBytes, m.dataItemBytes);
+  EXPECT_EQ(back->controlMessageBytes, m.controlMessageBytes);
+  EXPECT_DOUBLE_EQ(back->broadcastPeriod, m.broadcastPeriod);
+  EXPECT_DOUBLE_EQ(back->timeScale, m.timeScale);
+  EXPECT_EQ(back->windowIntervals, m.windowIntervals);
+  EXPECT_EQ(back->sigSeed, m.sigSeed);
+  EXPECT_EQ(back->sigSubsets, m.sigSubsets);
+  EXPECT_EQ(back->sigPerItem, m.sigPerItem);
+  EXPECT_EQ(back->sigVotes, m.sigVotes);
+  EXPECT_EQ(back->gcoreGroupSize, m.gcoreGroupSize);
+}
+
+TEST(ControlCodecs, QueryAndDataItemRoundTrip) {
+  const QueryRequest q{.items = {0, 7, 999, 12345}};
+  const auto qb = decodeQueryRequest(encodeQueryRequest(q));
+  ASSERT_TRUE(qb.has_value());
+  EXPECT_EQ(qb->items, q.items);
+
+  const DataItem d{.item = 42, .version = 1234567, .readTime = 199.999};
+  const auto db = decodeDataItem(encodeDataItem(d));
+  ASSERT_TRUE(db.has_value());
+  EXPECT_EQ(db->item, d.item);
+  EXPECT_EQ(db->version, d.version);
+  EXPECT_DOUBLE_EQ(db->readTime, d.readTime);  // raw bits, no quantizer
+}
+
+TEST(ControlCodecs, CheckRoundTrip) {
+  Check c;
+  c.tlb = 123.456;
+  c.epoch = 9;
+  c.sizeBits = 512.0;
+  c.entries = {{.item = 3, .time = 1.25}, {.item = 8, .time = 99.0}};
+  const auto back = decodeCheck(encodeCheck(c));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_DOUBLE_EQ(back->tlb, c.tlb);
+  EXPECT_EQ(back->epoch, c.epoch);
+  EXPECT_DOUBLE_EQ(back->sizeBits, c.sizeBits);
+  ASSERT_EQ(back->entries.size(), 2u);
+  EXPECT_EQ(back->entries[1].item, 8u);
+  EXPECT_DOUBLE_EQ(back->entries[1].time, 99.0);
+}
+
+TEST(ControlCodecs, CheckAckValidityReplyAuditRoundTrip) {
+  const CheckAck a{.epoch = 4, .asOf = 260.0};
+  const auto ab = decodeCheckAck(encodeCheckAck(a));
+  ASSERT_TRUE(ab.has_value());
+  EXPECT_EQ(ab->epoch, a.epoch);
+  EXPECT_DOUBLE_EQ(ab->asOf, a.asOf);
+
+  const ValidityReplyMsg v{
+      .asOf = 300.0, .epoch = 5, .sizeBits = 96.0, .invalid = {1, 5, 9}};
+  const auto vb = decodeValidityReply(encodeValidityReply(v));
+  ASSERT_TRUE(vb.has_value());
+  EXPECT_DOUBLE_EQ(vb->asOf, v.asOf);
+  EXPECT_EQ(vb->epoch, v.epoch);
+  EXPECT_EQ(vb->invalid, v.invalid);
+
+  const Audit au{.item = 77, .version = 3, .validAsOf = 280.0};
+  const auto aub = decodeAudit(encodeAudit(au));
+  ASSERT_TRUE(aub.has_value());
+  EXPECT_EQ(aub->item, au.item);
+  EXPECT_EQ(aub->version, au.version);
+  EXPECT_DOUBLE_EQ(aub->validAsOf, au.validAsOf);
+}
+
+TEST(FrameBuffer, ReassemblesByteAtATimeDelivery) {
+  const auto f1 = encodeFrame(FrameType::kHello, kNoScheme,
+                              net::TrafficClass::kControl, somePayload());
+  const auto f2 = encodeFrame(FrameType::kBye, kNoScheme,
+                              net::TrafficClass::kControl, {});
+  std::vector<std::uint8_t> stream = f1;
+  stream.insert(stream.end(), f2.begin(), f2.end());
+
+  FrameBuffer buf;
+  std::vector<FrameType> seen;
+  for (const std::uint8_t byte : stream) {
+    buf.append(&byte, 1);
+    while (auto frame = buf.next()) seen.push_back(frame->header.type);
+  }
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], FrameType::kHello);
+  EXPECT_EQ(seen[1], FrameType::kBye);
+  EXPECT_FALSE(buf.corrupt());
+  EXPECT_EQ(buf.badFrames(), 0u);
+}
+
+TEST(FrameBuffer, ChecksumFailureSkipsTheFrameButKeepsFraming) {
+  auto f1 = encodeFrame(FrameType::kHello, kNoScheme,
+                        net::TrafficClass::kControl, somePayload());
+  const auto f2 = encodeFrame(FrameType::kBye, kNoScheme,
+                              net::TrafficClass::kControl, {});
+  f1.back() ^= 0x01;  // corrupt f1's payload; its length field is intact
+  std::vector<std::uint8_t> stream = f1;
+  stream.insert(stream.end(), f2.begin(), f2.end());
+
+  FrameBuffer buf;
+  buf.append(stream.data(), stream.size());
+  const auto frame = buf.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->header.type, FrameType::kBye);
+  EXPECT_EQ(buf.badFrames(), 1u);
+  EXPECT_FALSE(buf.corrupt());
+}
+
+TEST(FrameBuffer, GarbageWhereAFrameMustStartIsStickyCorruption) {
+  FrameBuffer buf;
+  const std::uint8_t garbage[kHeaderBytes] = {0x00, 0x01, 0x02, 0x03};
+  buf.append(garbage, sizeof garbage);
+  EXPECT_FALSE(buf.next().has_value());
+  EXPECT_TRUE(buf.corrupt());
+
+  // Even a pristine frame appended afterwards stays unreadable: framing is
+  // gone and the connection should be dropped.
+  const auto good = encodeFrame(FrameType::kBye, kNoScheme,
+                                net::TrafficClass::kControl, {});
+  buf.append(good.data(), good.size());
+  EXPECT_FALSE(buf.next().has_value());
+  EXPECT_TRUE(buf.corrupt());
+}
+
+}  // namespace
+}  // namespace mci::live::wire

@@ -59,6 +59,27 @@ TEST(Cli, UnknownArgsReported) {
   EXPECT_EQ(unknown[0], "typo");
 }
 
+TEST(Cli, GetSchemeParsesValidNames) {
+  auto cli = makeCli({"--scheme=BS"});
+  const auto kind = cli.getScheme("scheme", schemes::SchemeKind::kAaw);
+  ASSERT_TRUE(kind.has_value());
+  EXPECT_EQ(*kind, schemes::SchemeKind::kBs);
+}
+
+TEST(Cli, GetSchemeFallsBackWhenAbsent) {
+  auto cli = makeCli({});
+  const auto kind = cli.getScheme("scheme", schemes::SchemeKind::kAfw);
+  ASSERT_TRUE(kind.has_value());
+  EXPECT_EQ(*kind, schemes::SchemeKind::kAfw);
+}
+
+TEST(Cli, GetSchemeRejectsTypos) {
+  // A typo'd scheme must not silently run the default: the caller gets
+  // nullopt (and the valid set is printed to stderr) so it can exit.
+  auto cli = makeCli({"--scheme=AWW"});
+  EXPECT_FALSE(cli.getScheme("scheme", schemes::SchemeKind::kAaw).has_value());
+}
+
 TEST(Cli, QueriedArgsNotReportedUnknown) {
   auto cli = makeCli({"--seed=1"});
   (void)cli.getInt("seed", 0);

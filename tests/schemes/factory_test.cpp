@@ -28,6 +28,17 @@ TEST(Factory, UnknownNameRejected) {
   EXPECT_FALSE(parseSchemeName("aaw").has_value());  // case-sensitive
 }
 
+TEST(Factory, NameListAndListingEnumerateEverything) {
+  const std::string list = schemeNameList();
+  const std::string listing = schemeListing();
+  for (SchemeKind k : kAllSchemes) {
+    EXPECT_NE(list.find(schemeName(k)), std::string::npos) << schemeName(k);
+    EXPECT_NE(listing.find(schemeName(k)), std::string::npos) << schemeName(k);
+    EXPECT_NE(listing.find(schemeDescription(k)), std::string::npos)
+        << schemeName(k);
+  }
+}
+
 TEST(Factory, PaperSchemesMatchTheFiguresLegend) {
   ASSERT_EQ(std::size(kPaperSchemes), 4u);
   EXPECT_EQ(kPaperSchemes[0], SchemeKind::kAaw);
