@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
   agentOpts.cfg = serverOpts.cfg;  // same client-side workload knobs
   agentOpts.port = server.tcpPort();
   agentOpts.numAgents = 2;
-  agentOpts.auditDb = &server.database();  // in-process: audit for real
+  agentOpts.auditDbs = {&server.database()};  // in-process: audit for real
   live::ClientPool pool(reactor, agentOpts);
   pool.start();
 

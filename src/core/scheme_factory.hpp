@@ -17,6 +17,12 @@ namespace mci::core {
 /// given state. Shared by the discrete-event Simulation and the live
 /// broadcast daemons (src/live/), so both speak from the exact same scheme
 /// code. `sigTable` is required for SchemeKind::kSig and ignored otherwise.
+///
+/// Scheme instances carry mutable window/feedback state (AFW/AAW windows,
+/// Tlb estimates), so they must never be shared: a sharded cluster builds
+/// one server instance per shard — each shard's adaptation tracks only its
+/// own partition's update stream — and a multi-link client builds one
+/// client instance per downlink it listens on.
 std::unique_ptr<schemes::ServerScheme> makeServerScheme(
     const SimConfig& cfg, const db::UpdateHistory& history,
     const db::Database& db, const report::SizeModel& sizes,

@@ -42,6 +42,12 @@ BroadcastServer::BroadcastServer(Reactor& reactor, ServerOptions options)
   if (opts_.timeScale <= 0) {
     throw std::invalid_argument("timeScale must be positive");
   }
+  if (opts_.shardCount < 1 || opts_.shardCount > ShardMap::kMaxShards) {
+    throw std::invalid_argument("shardCount must be in [1, kMaxShards]");
+  }
+  if (opts_.shardIndex >= opts_.shardCount) {
+    throw std::invalid_argument("shardIndex must be < shardCount");
+  }
   collector_.setClientCount(opts_.cfg.numClients);
 
   // Same derivation as core::Simulation, so a live SIG run and a sim SIG
@@ -56,6 +62,12 @@ BroadcastServer::BroadcastServer(Reactor& reactor, ServerOptions options)
                                    sigTable_.get());
 
   setupSockets();
+
+  // A single-shard daemon is its own cluster; a multi-shard one waits for
+  // the launcher to install the full map before it will welcome anyone.
+  if (opts_.shardCount == 1) {
+    shardMap_ = ShardMap(1, opts_.shardHashSeed, {self_});
+  }
 
   const double wallPeriod = clock_.wallDelay(opts_.cfg.broadcastPeriod);
   broadcastTimer_ =
@@ -102,7 +114,59 @@ void BroadcastServer::setupSockets() {
   ::getsockname(listenFd_, reinterpret_cast<sockaddr*>(&addr), &len);
   tcpPort_ = ntohs(addr.sin_port);
 
+  self_.ipv4 = ntohl(addr.sin_addr.s_addr);
+  self_.tcpPort = tcpPort_;
+
+  if (!opts_.multicastGroup.empty()) {
+    in_addr group{};
+    if (::inet_pton(AF_INET, opts_.multicastGroup.c_str(), &group) != 1 ||
+        (ntohl(group.s_addr) >> 28) != 0xE || opts_.multicastPort == 0) {
+      throw std::runtime_error("live: bad multicast group " +
+                               opts_.multicastGroup);
+    }
+    mcastAddr_.sin_family = AF_INET;
+    mcastAddr_.sin_addr = group;
+    mcastAddr_.sin_port = htons(opts_.multicastPort);
+    // Source datagrams from the bind interface and loop them back so a
+    // same-host cluster (tests, demos) hears its own group traffic.
+    in_addr iface{};
+    iface.s_addr = addr.sin_addr.s_addr;
+    ::setsockopt(udpFd_, IPPROTO_IP, IP_MULTICAST_IF, &iface, sizeof iface);
+    const std::uint8_t loop = 1;
+    const std::uint8_t ttl = 1;
+    ::setsockopt(udpFd_, IPPROTO_IP, IP_MULTICAST_LOOP, &loop, sizeof loop);
+    ::setsockopt(udpFd_, IPPROTO_IP, IP_MULTICAST_TTL, &ttl, sizeof ttl);
+    // Join the group too: local membership guarantees loopback delivery on
+    // stacks that drop groups nobody on the host has joined yet. udpFd_ is
+    // never read, so keep the kernel's copy queue minimal.
+    ip_mreq mreq{};
+    mreq.imr_multiaddr = group;
+    mreq.imr_interface = iface;
+    if (::setsockopt(udpFd_, IPPROTO_IP, IP_ADD_MEMBERSHIP, &mreq,
+                     sizeof mreq) != 0) {
+      throw std::runtime_error("live: IP_ADD_MEMBERSHIP failed for " +
+                               opts_.multicastGroup);
+    }
+    const int tinyBuf = 1;
+    ::setsockopt(udpFd_, SOL_SOCKET, SO_RCVBUF, &tinyBuf, sizeof tinyBuf);
+    multicast_ = true;
+    self_.multicastIpv4 = ntohl(group.s_addr);
+    self_.multicastPort = opts_.multicastPort;
+  }
+
   reactor_.addFd(listenFd_, EPOLLIN, [this](std::uint32_t) { onAcceptable(); });
+}
+
+void BroadcastServer::setShardMap(ShardMap map) {
+  if (!map.valid() || map.shardCount() != opts_.shardCount ||
+      map.hashSeed() != opts_.shardHashSeed) {
+    throw std::invalid_argument("live: shard map does not match this spec");
+  }
+  const ShardEndpoint& slot = map.endpoint(opts_.shardIndex);
+  if (slot.tcpPort != tcpPort_) {
+    throw std::invalid_argument("live: shard map slot is not this daemon");
+  }
+  shardMap_ = std::move(map);
 }
 
 void BroadcastServer::onAcceptable() {
@@ -198,6 +262,10 @@ void BroadcastServer::handleFrame(int fd, Conn& conn,
 void BroadcastServer::handleHello(int fd, Conn& conn,
                                   const wire::Hello& hello) {
   if (conn.welcomed) return;
+  if (!shardMap_.valid()) {
+    closeConn(fd);  // multi-shard daemon not yet given its cluster map
+    return;
+  }
   std::uint32_t id = 0;
   if (!freeIds_.empty()) {
     id = freeIds_.back();
@@ -233,6 +301,8 @@ void BroadcastServer::handleHello(int fd, Conn& conn,
   w.sigPerItem = static_cast<std::uint8_t>(cfg.sigPerItem);
   w.sigVotes = cfg.sigVotes;
   w.gcoreGroupSize = static_cast<std::uint32_t>(cfg.gcoreGroupSize);
+  w.shardIndex = static_cast<std::uint16_t>(opts_.shardIndex);
+  w.shardMap = shardMap_;
   sendFrame(fd, conn, wire::FrameType::kWelcome, net::TrafficClass::kControl,
             wire::encodeWelcome(w));
 }
@@ -248,6 +318,12 @@ void BroadcastServer::handleQuery(int fd, Conn& conn,
   const sim::SimTime readTime =
       LiveClock::tickToTime(std::max<std::uint64_t>(rtick, 1) - 1);
   for (db::ItemId item : q.items) {
+    if (!ownsItem(item)) {
+      // This partition has no truth about the item; serving it would hand
+      // out a frozen version. Refuse (the count flags the routing bug).
+      ++stats_.misroutedItems;
+      continue;
+    }
     wire::DataItem d;
     d.item = item;
     d.version = db_.currentVersion(item);
@@ -264,7 +340,16 @@ void BroadcastServer::handleCheck(int fd, Conn& conn, const wire::Check& c) {
   schemes::CheckMessage msg;
   msg.client = conn.clientId;
   msg.tlb = c.tlb;
-  msg.entries = c.entries;
+  msg.entries.reserve(c.entries.size());
+  for (const db::UpdateRecord& e : c.entries) {
+    // Entries about another shard's items would be judged against a
+    // partition that never updates them (always "valid") — drop them.
+    if (ownsItem(e.item)) {
+      msg.entries.push_back(e);
+    } else {
+      ++stats_.misroutedItems;
+    }
+  }
   msg.sizeBits = c.sizeBits;
   msg.epoch = c.epoch;
 
@@ -304,6 +389,10 @@ void BroadcastServer::handleCheck(int fd, Conn& conn, const wire::Check& c) {
 void BroadcastServer::handleAudit(Conn& conn, const wire::Audit& a) {
   ++stats_.auditsReceived;
   if (!conn.welcomed || conn.clientId >= opts_.cfg.numClients) return;
+  if (!ownsItem(a.item)) {
+    ++stats_.misroutedItems;  // our partition cannot audit a foreign item
+    return;
+  }
   // Authoritative stale-read audit: the collector cross-checks the echoed
   // answer against the real database (out-of-process clients only have a
   // version-less stub and cannot audit themselves).
@@ -393,12 +482,21 @@ void BroadcastServer::broadcastTick() {
   const std::vector<std::uint8_t> frame = wire::encodeFrame(
       wire::FrameType::kReport, static_cast<std::uint8_t>(opts_.cfg.scheme),
       net::TrafficClass::kInvalidationReport, lastReportPayload_);
-  for (auto& [fd, conn] : conns_) {
-    if (!conn.welcomed) continue;
+  if (multicast_) {
+    // One datagram serves every listener of this shard's group.
     const ssize_t n = ::sendto(
         udpFd_, frame.data(), frame.size(), MSG_DONTWAIT,
-        reinterpret_cast<const sockaddr*>(&conn.udpAddr), sizeof conn.udpAddr);
+        reinterpret_cast<const sockaddr*>(&mcastAddr_), sizeof mcastAddr_);
     if (n < 0) ++stats_.udpSendFailures;
+  } else {
+    for (auto& [fd, conn] : conns_) {
+      if (!conn.welcomed) continue;
+      const ssize_t n = ::sendto(udpFd_, frame.data(), frame.size(),
+                                 MSG_DONTWAIT,
+                                 reinterpret_cast<const sockaddr*>(&conn.udpAddr),
+                                 sizeof conn.udpAddr);
+      if (n < 0) ++stats_.udpSendFailures;
+    }
   }
   lastBroadcastTick_ = btick;
   ++stats_.reportsBroadcast;
@@ -421,7 +519,14 @@ void BroadcastServer::runUpdateTransaction() {
       std::max({clock_.nowTick(), lastUpdateTick_, lastBroadcastTick_ + 1});
   const sim::SimTime now = LiveClock::tickToTime(utick);
   for (int i = 0; i < count; ++i) {
+    // Every shard draws the full transaction (same seed, same RNG stream)
+    // and keeps only its own items: the union of the K thinned streams is
+    // exactly the unsharded update stream.
     const db::ItemId item = updatePattern_.pick(updateRng_);
+    if (!ownsItem(item)) {
+      ++stats_.updatesThinned;
+      continue;
+    }
     db_.applyUpdate(item, now);
     history_.record(item, now);
     if (sigTable_) {

@@ -13,6 +13,7 @@
 #include "db/update_history.hpp"
 #include "live/clock.hpp"
 #include "live/reactor.hpp"
+#include "live/shard_map.hpp"
 #include "live/wire.hpp"
 #include "metrics/collector.hpp"
 #include "net/network.hpp"
@@ -39,6 +40,19 @@ struct ServerOptions {
   /// kernel memory per client (and lets the wedged-client test fill the
   /// user-space queue without pushing megabytes through loopback first).
   int sendBufferBytes = 0;
+  /// This daemon's slot in the cluster: it owns exactly the items with
+  /// ShardMap::shardOfItem(item, shardHashSeed, shardCount) == shardIndex,
+  /// applies only their updates, reports only their invalidations, and
+  /// refuses uplink traffic about anyone else's items. The default
+  /// (0 of 1) is the unsharded single-server deployment, bit-for-bit.
+  std::uint32_t shardIndex = 0;
+  std::uint32_t shardCount = 1;
+  std::uint64_t shardHashSeed = ShardMap::kDefaultHashSeed;
+  /// Nonempty = multicast downlink: one kReport datagram to group:port
+  /// serves every client of this shard instead of the per-client fan-out.
+  /// The group also travels in the shard map so clients self-configure.
+  std::string multicastGroup;
+  std::uint16_t multicastPort = 0;
 };
 
 struct ServerStats {
@@ -52,6 +66,13 @@ struct ServerStats {
   std::uint64_t auditsReceived = 0;
   std::uint64_t updatesApplied = 0;
   std::uint64_t badFrames = 0;
+  /// Update-transaction items skipped because another shard owns them (the
+  /// whole cluster draws one shared update stream; each shard keeps 1/K).
+  std::uint64_t updatesThinned = 0;
+  /// Uplink items (query / check entry / audit) owned by another shard.
+  /// A correctly routing client never produces these; they are refused,
+  /// not served, because this shard's partition has no truth about them.
+  std::uint64_t misroutedItems = 0;
 };
 
 /// The live counterpart of core::Server + db::UpdateGenerator: a daemon that
@@ -71,6 +92,16 @@ struct ServerStats {
 /// format"): updates land strictly after the last broadcast tick, broadcast
 /// ticks are strictly increasing and never precede the last update, and
 /// check absorption times never precede the last broadcast.
+///
+/// Sharded deployment: give every daemon the same SimConfig (seed included)
+/// and a distinct (shardIndex, shardCount). All K shards then draw the
+/// *same* update-transaction sequence and each applies only its owned
+/// items, so the union of the K thinned streams is exactly the unsharded
+/// stream — a K-shard cluster is behaviourally the single server, split.
+/// Each shard runs its own L-period IR timer and its own adaptive scheme
+/// instance, so AFW/AAW windows and per-client Tlb feedback are tracked
+/// per shard. The launcher installs the full cluster map via setShardMap()
+/// before clients connect; until then a multi-shard daemon refuses Hellos.
 class BroadcastServer {
  public:
   BroadcastServer(Reactor& reactor, ServerOptions options);
@@ -82,6 +113,25 @@ class BroadcastServer {
   /// The TCP port actually bound (resolves an ephemeral request).
   [[nodiscard]] std::uint16_t tcpPort() const { return tcpPort_; }
 
+  /// The endpoint this daemon would publish for itself in a cluster map
+  /// (bind address + bound TCP port + multicast group when configured).
+  [[nodiscard]] ShardEndpoint selfEndpoint() const { return self_; }
+
+  /// Installs the cluster map this shard hands out in every Welcome. Must
+  /// name shardCount endpoints whose [shardIndex] slot is this daemon and
+  /// carry this daemon's hash seed; throws std::invalid_argument otherwise.
+  /// Single-shard daemons synthesize their own map and need no call.
+  void setShardMap(ShardMap map);
+  [[nodiscard]] const ShardMap& shardMap() const { return shardMap_; }
+  [[nodiscard]] std::uint32_t shardIndex() const { return opts_.shardIndex; }
+  [[nodiscard]] std::uint32_t shardCount() const { return opts_.shardCount; }
+
+  /// True iff this shard's partition contains `item`.
+  [[nodiscard]] bool ownsItem(db::ItemId item) const {
+    return ShardMap::shardOfItem(item, opts_.shardHashSeed,
+                                 opts_.shardCount) == opts_.shardIndex;
+  }
+
   [[nodiscard]] const ServerStats& stats() const { return stats_; }
   [[nodiscard]] const metrics::Collector& collector() const {
     return collector_;
@@ -90,6 +140,9 @@ class BroadcastServer {
     return collector_.staleReads();
   }
   [[nodiscard]] const db::Database& database() const { return db_; }
+  /// Every update this shard applied (item, time), in order — the replay
+  /// pin rebuilds an identical scheme stack from this and compares frames.
+  [[nodiscard]] const db::UpdateHistory& history() const { return history_; }
   [[nodiscard]] const core::SimConfig& config() const { return opts_.cfg; }
   [[nodiscard]] const LiveClock& clock() const { return clock_; }
   [[nodiscard]] std::size_t connectionCount() const { return conns_.size(); }
@@ -150,6 +203,10 @@ class BroadcastServer {
   int listenFd_ = -1;
   int udpFd_ = -1;
   std::uint16_t tcpPort_ = 0;
+  ShardEndpoint self_;
+  ShardMap shardMap_;        ///< invalid until set (multi-shard) or synthesized
+  sockaddr_in mcastAddr_{};  ///< where one-datagram IR fan-out goes
+  bool multicast_ = false;
   std::map<int, Conn> conns_;
   std::vector<std::uint32_t> freeIds_;  ///< released client ids, reused LIFO
   std::uint32_t nextId_ = 0;

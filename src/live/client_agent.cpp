@@ -30,65 +30,125 @@ ClientAgent::ClientAgent(ClientPool& pool, std::size_t index)
 
 ClientAgent::~ClientAgent() {
   cancelTimer();
-  if (tcpFd_ >= 0) {
-    pool_.reactor_.removeFd(tcpFd_);
-    ::close(tcpFd_);
-  }
-  if (udpFd_ >= 0) {
-    pool_.reactor_.removeFd(udpFd_);
-    ::close(udpFd_);
+  for (auto& link : links_) {
+    if (!link) continue;
+    if (link->tcpFd >= 0) {
+      pool_.reactor_.removeFd(link->tcpFd);
+      ::close(link->tcpFd);
+    }
+    if (link->udpFd >= 0) {
+      pool_.reactor_.removeFd(link->udpFd);
+      ::close(link->udpFd);
+    }
   }
 }
 
-void ClientAgent::connect() {
-  udpFd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-  tcpFd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (udpFd_ < 0 || tcpFd_ < 0) {
+int ClientAgent::openDownlinkUdp(std::uint32_t ipv4, std::uint32_t mcastIpv4,
+                                 std::uint16_t mcastPort) {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw std::runtime_error("live agent: socket() failed");
+  sockaddr_in udpAddr{};
+  udpAddr.sin_family = AF_INET;
+  if (mcastIpv4 != 0) {
+    // Multicast downlink: every listener of the shard binds the group port
+    // (shared via SO_REUSEADDR) and joins the group on the shard's
+    // interface — one datagram then reaches them all.
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    udpAddr.sin_addr.s_addr = htonl(INADDR_ANY);
+    udpAddr.sin_port = htons(mcastPort);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&udpAddr),
+               sizeof udpAddr) != 0) {
+      ::close(fd);
+      throw std::runtime_error("live agent: multicast UDP bind failed");
+    }
+    ip_mreq mreq{};
+    mreq.imr_multiaddr.s_addr = htonl(mcastIpv4);
+    mreq.imr_interface.s_addr = htonl(ipv4);
+    if (::setsockopt(fd, IPPROTO_IP, IP_ADD_MEMBERSHIP, &mreq, sizeof mreq) !=
+        0) {
+      ::close(fd);
+      throw std::runtime_error("live agent: multicast join failed");
+    }
+  } else {
+    udpAddr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    udpAddr.sin_port = 0;
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&udpAddr),
+               sizeof udpAddr) != 0) {
+      ::close(fd);
+      throw std::runtime_error("live agent: UDP bind failed");
+    }
+  }
+  return fd;
+}
+
+std::unique_ptr<ClientAgent::Link> ClientAgent::makeLink(
+    std::uint32_t shard, std::uint32_t ipv4, std::uint16_t tcpPort,
+    std::uint32_t mcastIpv4, std::uint16_t mcastPort) {
+  auto link = std::make_unique<Link>();
+  link->shard = shard;
+  link->udpFd = openDownlinkUdp(ipv4, mcastIpv4, mcastPort);
+  link->tcpFd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (link->tcpFd < 0) {
     throw std::runtime_error("live agent: socket() failed");
   }
 
-  sockaddr_in udpAddr{};
-  udpAddr.sin_family = AF_INET;
-  udpAddr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  udpAddr.sin_port = 0;
-  if (::bind(udpFd_, reinterpret_cast<const sockaddr*>(&udpAddr),
-             sizeof udpAddr) != 0) {
-    throw std::runtime_error("live agent: UDP bind failed");
-  }
-  socklen_t len = sizeof udpAddr;
-  ::getsockname(udpFd_, reinterpret_cast<sockaddr*>(&udpAddr), &len);
-  const std::uint16_t udpPort = ntohs(udpAddr.sin_port);
-
   sockaddr_in server{};
   server.sin_family = AF_INET;
-  server.sin_port = htons(pool_.opts_.port);
-  if (::inet_pton(AF_INET, pool_.opts_.host.c_str(), &server.sin_addr) != 1) {
-    throw std::runtime_error("live agent: bad host " + pool_.opts_.host);
-  }
+  server.sin_addr.s_addr = htonl(ipv4);
+  server.sin_port = htons(tcpPort);
   // Blocking connect (instant on loopback), then non-blocking I/O.
-  if (::connect(tcpFd_, reinterpret_cast<const sockaddr*>(&server),
+  if (::connect(link->tcpFd, reinterpret_cast<const sockaddr*>(&server),
                 sizeof server) != 0 ||
-      makeNonBlocking(tcpFd_) != 0) {
+      makeNonBlocking(link->tcpFd) != 0) {
     throw std::runtime_error("live agent: connect failed");
   }
 
-  pool_.reactor_.addFd(tcpFd_, EPOLLIN,
-                       [this](std::uint32_t ev) { onTcp(ev); });
-  pool_.reactor_.addFd(udpFd_, EPOLLIN,
-                       [this](std::uint32_t ev) { onUdp(ev); });
+  Link* lp = link.get();
+  pool_.reactor_.addFd(link->tcpFd, EPOLLIN,
+                       [this, lp](std::uint32_t ev) { onTcp(*lp, ev); });
+  pool_.reactor_.addFd(link->udpFd, EPOLLIN,
+                       [this, lp](std::uint32_t ev) { onUdp(*lp, ev); });
+  return link;
+}
 
+void ClientAgent::sendHello(Link& link) {
+  sockaddr_in udpAddr{};
+  socklen_t len = sizeof udpAddr;
+  ::getsockname(link.udpFd, reinterpret_cast<sockaddr*>(&udpAddr), &len);
   wire::Hello hello;
-  hello.udpPort = udpPort;
+  hello.udpPort = ntohs(udpAddr.sin_port);
   hello.audit = pool_.opts_.sendAudit;
-  sendFrame(wire::FrameType::kHello, net::TrafficClass::kControl,
+  sendFrame(link, wire::FrameType::kHello, net::TrafficClass::kControl,
             wire::encodeHello(hello));
 }
 
+void ClientAgent::connect() {
+  in_addr seed{};
+  if (::inet_pton(AF_INET, pool_.opts_.host.c_str(), &seed) != 1) {
+    throw std::runtime_error("live agent: bad host " + pool_.opts_.host);
+  }
+  links_.push_back(
+      makeLink(kUnknownShard, ntohl(seed.s_addr), pool_.opts_.port, 0, 0));
+  sendHello(*links_.back());
+}
+
 void ClientAgent::shutdown() {
-  if (tcpFd_ < 0) return;
   shuttingDown_ = true;
-  sendFrame(wire::FrameType::kBye, net::TrafficClass::kControl, {});
-  dropConnection();
+  for (auto& link : links_) {
+    if (link && link->tcpFd >= 0) {
+      sendFrame(*link, wire::FrameType::kBye, net::TrafficClass::kControl, {});
+    }
+  }
+  dropAgent();
+}
+
+bool ClientAgent::connectionAlive() const {
+  if (links_.empty()) return false;
+  for (const auto& link : links_) {
+    if (!link || link->tcpFd < 0) return false;
+  }
+  return true;
 }
 
 void ClientAgent::cancelTimer() {
@@ -98,92 +158,99 @@ void ClientAgent::cancelTimer() {
   }
 }
 
-void ClientAgent::dropConnection() {
+void ClientAgent::dropAgent() {
   cancelTimer();
-  if (tcpFd_ >= 0) {
-    pool_.reactor_.removeFd(tcpFd_);
-    ::close(tcpFd_);
-    tcpFd_ = -1;
+  bool hadLive = false;
+  for (auto& link : links_) {
+    if (!link) continue;
+    if (link->tcpFd >= 0) {
+      hadLive = true;
+      pool_.reactor_.removeFd(link->tcpFd);
+      ::close(link->tcpFd);
+      link->tcpFd = -1;
+    }
+    if (link->udpFd >= 0) {
+      pool_.reactor_.removeFd(link->udpFd);
+      ::close(link->udpFd);
+      link->udpFd = -1;
+    }
   }
-  if (udpFd_ >= 0) {
-    pool_.reactor_.removeFd(udpFd_);
-    ::close(udpFd_);
-    udpFd_ = -1;
-  }
-  if (!shuttingDown_) ++pool_.stats_.connectionsLost;
+  // One agent = one host: losing any shard link retires the whole agent
+  // (a real client would re-dial; the load generator just counts it).
+  if (hadLive && !shuttingDown_) ++pool_.stats_.connectionsLost;
   state_ = State::kIdle;
 }
 
-void ClientAgent::onTcp(std::uint32_t events) {
+void ClientAgent::onTcp(Link& link, std::uint32_t events) {
   if ((events & (EPOLLHUP | EPOLLERR)) != 0) {
-    dropConnection();
+    dropAgent();
     return;
   }
-  if ((events & EPOLLOUT) != 0) flushOut();
-  if (tcpFd_ < 0 || (events & EPOLLIN) == 0) return;
+  if ((events & EPOLLOUT) != 0) flushOut(link);
+  if (link.tcpFd < 0 || (events & EPOLLIN) == 0) return;
 
   std::uint8_t buf[65536];
   for (;;) {
-    const ssize_t n = ::recv(tcpFd_, buf, sizeof buf, 0);
+    const ssize_t n = ::recv(link.tcpFd, buf, sizeof buf, 0);
     if (n > 0) {
-      in_.append(buf, static_cast<std::size_t>(n));
+      link.in.append(buf, static_cast<std::size_t>(n));
       if (n < static_cast<ssize_t>(sizeof buf)) break;
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-    dropConnection();
+    dropAgent();
     return;
   }
-  while (tcpFd_ >= 0) {
-    std::optional<wire::Frame> frame = in_.next();
+  while (link.tcpFd >= 0) {
+    std::optional<wire::Frame> frame = link.in.next();
     if (!frame) break;
-    handleFrame(*frame);
+    handleFrame(link, *frame);
   }
-  if (tcpFd_ >= 0 && in_.corrupt()) {
+  if (link.tcpFd >= 0 && link.in.corrupt()) {
     ++pool_.stats_.badFrames;
-    dropConnection();
+    dropAgent();
   }
 }
 
-void ClientAgent::onUdp(std::uint32_t events) {
+void ClientAgent::onUdp(Link& link, std::uint32_t events) {
   if ((events & EPOLLIN) == 0) return;
   std::uint8_t buf[1 << 16];
   for (;;) {
-    const ssize_t n = ::recv(udpFd_, buf, sizeof buf, 0);
+    const ssize_t n = ::recv(link.udpFd, buf, sizeof buf, 0);
     if (n <= 0) return;  // EAGAIN drained, or transient error
     // A dozing host's radio is off: the datagram is consumed from the
     // kernel but never heard by the model.
-    if (!radioOn_ || scheme_ == nullptr) continue;
+    if (!radioOn_ || link.scheme == nullptr) continue;
     std::optional<wire::Frame> frame =
         wire::decodeFrame(buf, static_cast<std::size_t>(n));
     if (!frame || frame->header.type != wire::FrameType::kReport) {
       ++pool_.stats_.badFrames;
       continue;
     }
-    onReportPayload(frame->payload);
-    if (tcpFd_ < 0) return;  // report handling may have dropped us
+    onReportPayload(link, frame->payload);
+    if (link.tcpFd < 0) return;  // report handling may have dropped us
   }
 }
 
-void ClientAgent::handleFrame(const wire::Frame& frame) {
+void ClientAgent::handleFrame(Link& link, const wire::Frame& frame) {
   switch (frame.header.type) {
     case wire::FrameType::kWelcome:
-      if (auto m = wire::decodeWelcome(frame.payload)) onWelcome(*m);
+      if (auto m = wire::decodeWelcome(frame.payload)) onWelcome(link, *m);
       return;
     case wire::FrameType::kDataItem:
-      if (auto m = wire::decodeDataItem(frame.payload)) onDataItem(*m);
+      if (auto m = wire::decodeDataItem(frame.payload)) onDataItem(link, *m);
       return;
     case wire::FrameType::kCheckAck:
       if (auto m = wire::decodeCheckAck(frame.payload)) {
-        if (scheme_ != nullptr) {
+        if (link.scheme != nullptr) {
           pool_.advanceModelTime(m->asOf);
-          scheme_->onCheckDelivered(*ctx_, m->asOf);
+          link.scheme->onCheckDelivered(*link.ctx, m->asOf);
         }
       }
       return;
     case wire::FrameType::kValidityReply:
       if (auto m = wire::decodeValidityReply(frame.payload)) {
-        onValidityReply(*m);
+        onValidityReply(link, *m);
       }
       return;
     default:
@@ -192,57 +259,111 @@ void ClientAgent::handleFrame(const wire::Frame& frame) {
   }
 }
 
-void ClientAgent::onWelcome(const wire::Welcome& w) {
-  if (scheme_ != nullptr) return;
-  clientId_ = w.clientId;
+void ClientAgent::onWelcome(Link& link, const wire::Welcome& w) {
+  if (link.scheme != nullptr) return;
   pool_.ensureConfigured(w);
+  const ShardMap& map = pool_.shardMap();
 
-  ctx_ = std::make_unique<schemes::ClientContext>(
-      clientId_, w.cacheCapacity, pool_.sizes_, pool_.holderSim_,
+  if (link.shard == kUnknownShard) {
+    // The seed Welcome: adopt the sender's slot, take its client id as the
+    // agent's identity, and dial the rest of the cluster.
+    link.shard = w.shardIndex;
+    agentId_ = w.clientId;
+
+    const ShardEndpoint& seedEp = map.endpoint(w.shardIndex);
+    if (seedEp.multicastIpv4 != 0) {
+      // The seed link dialed before the map was known, so its downlink is
+      // unicast — but this shard broadcasts only to its group. Swap in a
+      // group-joined socket; no re-Hello needed, a multicast shard never
+      // uses the Hello's per-client UDP port.
+      pool_.reactor_.removeFd(link.udpFd);
+      ::close(link.udpFd);
+      link.udpFd =
+          openDownlinkUdp(seedEp.ipv4, seedEp.multicastIpv4, seedEp.multicastPort);
+      Link* lp = &link;
+      pool_.reactor_.addFd(link.udpFd, EPOLLIN,
+                           [this, lp](std::uint32_t ev) { onUdp(*lp, ev); });
+    }
+
+    std::vector<std::unique_ptr<Link>> byShard(map.shardCount());
+    byShard[w.shardIndex] = std::move(links_.front());
+    links_ = std::move(byShard);
+    for (std::uint32_t s = 0; s < map.shardCount(); ++s) {
+      if (links_[s]) continue;
+      const ShardEndpoint& ep = map.endpoint(s);
+      links_[s] =
+          makeLink(s, ep.ipv4, ep.tcpPort, ep.multicastIpv4, ep.multicastPort);
+      sendHello(*links_[s]);
+    }
+
+    // Same per-client streams as core::Simulation (root.fork("query", id)):
+    // an agent whose seed identity is k draws the exact query/doze schedule
+    // the simulator's client k draws.
+    const sim::Rng root(pool_.opts_.cfg.seed);
+    workload::QueryGenerator::Params qp;
+    qp.meanThinkTime = pool_.agentCfg_.meanThinkTime;
+    qp.meanItemsPerQuery = pool_.agentCfg_.meanItemsPerQuery;
+    queryGen_.emplace(*pool_.queryPattern_, qp, root.fork("query", agentId_));
+    workload::Disconnector::Params dp;
+    dp.model = pool_.agentCfg_.disconnectModel;
+    dp.probability = pool_.agentCfg_.disconnectProb;
+    dp.meanDuration = pool_.agentCfg_.meanDisconnectTime;
+    disc_.emplace(dp, root.fork("disc", agentId_));
+  } else if (link.shard != w.shardIndex) {
+    dropAgent();  // the map pointed us at a daemon claiming another slot
+    return;
+  }
+
+  link.clientId = w.clientId;
+  // The host's cache splits evenly across its per-shard partitions (the
+  // hash map spreads items uniformly, so equal shares match the load).
+  const std::uint32_t shards = map.shardCount();
+  std::uint32_t share = w.cacheCapacity / shards +
+                        (link.shard < w.cacheCapacity % shards ? 1 : 0);
+  share = std::max<std::uint32_t>(share, 1);
+  link.ctx = std::make_unique<schemes::ClientContext>(
+      link.clientId, share, pool_.sizes_, pool_.holderSim_,
       pool_.collector_.get(), pool_.agentCfg_.replacement);
-  scheme_ = core::makeClientScheme(pool_.agentCfg_, pool_.sigTable_.get(),
-                                   pool_.sigInitial_);
+  link.scheme = core::makeClientScheme(pool_.agentCfg_, pool_.sigTable_.get(),
+                                       pool_.sigInitial_);
 
-  // Same per-client streams as core::Simulation (root.fork("query", id)):
-  // an agent assigned id k draws the exact query/doze schedule the
-  // simulator's client k draws.
-  const sim::Rng root(pool_.opts_.cfg.seed);
-  workload::QueryGenerator::Params qp;
-  qp.meanThinkTime = pool_.agentCfg_.meanThinkTime;
-  qp.meanItemsPerQuery = pool_.agentCfg_.meanItemsPerQuery;
-  queryGen_.emplace(*pool_.queryPattern_, qp, root.fork("query", clientId_));
-  workload::Disconnector::Params dp;
-  dp.model = pool_.agentCfg_.disconnectModel;
-  dp.probability = pool_.agentCfg_.disconnectProb;
-  dp.meanDuration = pool_.agentCfg_.meanDisconnectTime;
-  disc_.emplace(dp, root.fork("disc", clientId_));
-
-  startThink(queryGen_->thinkTime());
+  ++welcomedLinks_;
+  if (welcomedLinks_ == links_.size()) startThink(queryGen_->thinkTime());
 }
 
-void ClientAgent::onReportPayload(const std::vector<std::uint8_t>& payload) {
+void ClientAgent::onReportPayload(Link& link,
+                                  const std::vector<std::uint8_t>& payload) {
   const report::ReportPtr r = pool_.codec_->decodeAny(payload);
   if (r == nullptr) {
     ++pool_.stats_.badFrames;
     return;
   }
   ++pool_.stats_.reportsHeard;
+  if (link.shard < pool_.stats_.reportsHeardPerShard.size()) {
+    ++pool_.stats_.reportsHeardPerShard[link.shard];
+  }
   pool_.advanceModelTime(r->broadcastTime);
   pool_.collector_->onClientRx(r->sizeBits);
-  const schemes::ClientOutcome outcome = scheme_->onReport(*r, *ctx_);
-  if (outcome.sendCheck) sendCheck(outcome.check);
+  const schemes::ClientOutcome outcome = link.scheme->onReport(*r, *link.ctx);
+  if (outcome.sendCheck) {
+    sendCheck(link, outcome.check);
+    if (link.tcpFd < 0) return;
+  }
 
-  if (state_ == State::kAwaitingReport || state_ == State::kAwaitingSalvage) {
-    maybeAnswerQuery();
-  } else if (state_ == State::kThinking &&
+  if (state_ == State::kQuerying) {
+    maybeAnswerLink(link);
+    maybeCompleteQuery();
+  } else if (state_ == State::kThinking && link.shard == 0 &&
              disc_->params().model == workload::DisconnectModel::kIntervalCoin &&
              disc_->shouldDisconnect()) {
+    // Coin on shard 0's reports only: one flip per broadcast interval,
+    // exactly the simulator's cadence, regardless of cluster size.
     beginDoze(/*queryAfterWake=*/false);
   }
 }
 
-void ClientAgent::onDataItem(const wire::DataItem& d) {
-  if (scheme_ == nullptr) return;
+void ClientAgent::onDataItem(Link& link, const wire::DataItem& d) {
+  if (link.scheme == nullptr) return;
   pool_.advanceModelTime(d.readTime);
   pool_.collector_->onClientRx(pool_.sizes_.dataItemBits());
   cache::Entry entry;
@@ -250,26 +371,27 @@ void ClientAgent::onDataItem(const wire::DataItem& d) {
   entry.version = d.version;
   entry.refTime = d.readTime;
   entry.suspect = false;
-  ctx_->cache().insert(entry);
+  link.ctx->cache().insert(entry);
 
-  auto it = std::find(pendingFetch_.begin(), pendingFetch_.end(), d.item);
-  if (it != pendingFetch_.end()) pendingFetch_.erase(it);
-  if (state_ == State::kFetching && pendingFetch_.empty()) completeQuery();
+  auto it = std::find(link.fetch.begin(), link.fetch.end(), d.item);
+  if (it != link.fetch.end()) link.fetch.erase(it);
+  maybeCompleteQuery();
 }
 
-void ClientAgent::onValidityReply(const wire::ValidityReplyMsg& vr) {
-  if (scheme_ == nullptr || !radioOn_) return;
+void ClientAgent::onValidityReply(Link& link, const wire::ValidityReplyMsg& vr) {
+  if (link.scheme == nullptr || !radioOn_) return;
   pool_.advanceModelTime(vr.asOf);
   pool_.collector_->onClientRx(vr.sizeBits);
   schemes::ValidityReply reply;
-  reply.client = clientId_;
+  reply.client = link.clientId;
   reply.asOf = vr.asOf;
   reply.invalid = vr.invalid;
   reply.sizeBits = vr.sizeBits;
   reply.epoch = vr.epoch;
-  scheme_->onValidityReply(reply, *ctx_);
-  if (state_ == State::kAwaitingReport || state_ == State::kAwaitingSalvage) {
-    maybeAnswerQuery();
+  link.scheme->onValidityReply(reply, *link.ctx);
+  if (state_ == State::kQuerying) {
+    maybeAnswerLink(link);
+    maybeCompleteQuery();
   }
 }
 
@@ -284,52 +406,69 @@ void ClientAgent::startThink(double modelSeconds) {
 }
 
 void ClientAgent::issueQuery() {
-  if (tcpFd_ < 0 || scheme_ == nullptr) return;
+  if (!connectionAlive() || !welcomed()) return;
   queryGen_->nextQuery(queryItems_);
   queryStart_ = pool_.clock_->nowModel();
-  state_ = State::kAwaitingReport;
+  state_ = State::kQuerying;
+  // Fan the query out by owner shard; each involved link answers on its
+  // own shard's next report (per-shard consistency point).
+  for (auto& link : links_) {
+    link->items.clear();
+    link->fetch.clear();
+    link->needAnswer = false;
+  }
+  const ShardMap& map = pool_.shardMap();
+  for (db::ItemId item : queryItems_) {
+    Link& link = *links_[map.shardOf(item)];
+    link.items.push_back(item);
+    link.needAnswer = true;
+  }
 }
 
-void ClientAgent::maybeAnswerQuery() {
-  if (ctx_->salvagePending()) {
-    state_ = State::kAwaitingSalvage;
-    return;
-  }
-  pendingFetch_.clear();
-  for (db::ItemId item : queryItems_) {
-    cache::Entry* e = ctx_->cache().find(item);
+void ClientAgent::maybeAnswerLink(Link& link) {
+  if (!link.needAnswer) return;
+  if (link.ctx->salvagePending()) return;  // that shard's reply is in flight
+  link.needAnswer = false;
+  link.fetch.clear();
+  for (db::ItemId item : link.items) {
+    cache::Entry* e = link.ctx->cache().find(item);
     if (e != nullptr && !e->suspect) {
-      ctx_->cache().touch(item);
-      pool_.collector_->onCacheAnswer(clientId_, item, e->version,
-                                      ctx_->lastHeard());
+      link.ctx->cache().touch(item);
+      pool_.collector_->onCacheAnswer(agentId_, item, e->version,
+                                      link.ctx->lastHeard());
       if (pool_.opts_.sendAudit) {
         wire::Audit a;
         a.item = item;
         a.version = e->version;
-        a.validAsOf = ctx_->lastHeard();
-        sendFrame(wire::FrameType::kAudit, net::TrafficClass::kControl,
+        a.validAsOf = link.ctx->lastHeard();
+        sendFrame(link, wire::FrameType::kAudit, net::TrafficClass::kControl,
                   wire::encodeAudit(a));
-        if (tcpFd_ < 0) return;
+        if (link.tcpFd < 0) return;
       }
     } else {
-      pool_.collector_->onCacheMiss(clientId_);
-      pendingFetch_.push_back(item);
+      pool_.collector_->onCacheMiss(agentId_);
+      link.fetch.push_back(item);
     }
   }
-  if (pendingFetch_.empty()) {
-    completeQuery();
-    return;
+  if (!link.fetch.empty()) {
+    pool_.collector_->onClientTx(pool_.sizes_.queryRequestBits());
+    wire::QueryRequest q;
+    q.items = link.fetch;
+    sendFrame(link, wire::FrameType::kQueryRequest, net::TrafficClass::kBulk,
+              wire::encodeQueryRequest(q));
   }
-  state_ = State::kFetching;
-  pool_.collector_->onClientTx(pool_.sizes_.queryRequestBits());
-  wire::QueryRequest q;
-  q.items = pendingFetch_;
-  sendFrame(wire::FrameType::kQueryRequest, net::TrafficClass::kBulk,
-            wire::encodeQueryRequest(q));
+}
+
+void ClientAgent::maybeCompleteQuery() {
+  if (state_ != State::kQuerying) return;
+  for (const auto& link : links_) {
+    if (link->needAnswer || !link->fetch.empty()) return;
+  }
+  completeQuery();
 }
 
 void ClientAgent::completeQuery() {
-  pool_.collector_->onQueryCompleted(clientId_,
+  pool_.collector_->onQueryCompleted(agentId_,
                                      pool_.clock_->nowModel() - queryStart_);
   ++completed_;
   queryItems_.clear();
@@ -358,7 +497,13 @@ void ClientAgent::beginDoze(bool queryAfterWake) {
 void ClientAgent::wake() {
   radioOn_ = true;
   pool_.collector_->onReconnect(pool_.clock_->nowModel() - dozeStart_);
-  scheme_->onWake(*ctx_, pool_.holderSim_.now());
+  // Every shard link slept through its own stretch of reports; each scheme
+  // instance judges its own gap against its shard's windows.
+  for (auto& link : links_) {
+    if (link->scheme != nullptr) {
+      link->scheme->onWake(*link->ctx, pool_.holderSim_.now());
+    }
+  }
   if (queryAfterWake_) {
     issueQuery();
   } else {
@@ -367,7 +512,7 @@ void ClientAgent::wake() {
   }
 }
 
-void ClientAgent::sendCheck(const schemes::CheckMessage& msg) {
+void ClientAgent::sendCheck(Link& link, const schemes::CheckMessage& msg) {
   pool_.collector_->onCheckSent();
   pool_.collector_->onClientTx(msg.sizeBits);
   wire::Check c;
@@ -375,43 +520,43 @@ void ClientAgent::sendCheck(const schemes::CheckMessage& msg) {
   c.epoch = msg.epoch;
   c.sizeBits = msg.sizeBits;
   c.entries = msg.entries;
-  sendFrame(wire::FrameType::kCheck, net::TrafficClass::kControl,
+  sendFrame(link, wire::FrameType::kCheck, net::TrafficClass::kControl,
             wire::encodeCheck(c));
 }
 
-void ClientAgent::sendFrame(wire::FrameType type,
+void ClientAgent::sendFrame(Link& link, wire::FrameType type,
                             net::TrafficClass trafficClass,
                             const std::vector<std::uint8_t>& payload) {
-  if (tcpFd_ < 0) return;
+  if (link.tcpFd < 0) return;
   const std::vector<std::uint8_t> frame =
       wire::encodeFrame(type, wire::kNoScheme, trafficClass, payload);
-  out_.insert(out_.end(), frame.begin(), frame.end());
-  flushOut();
+  link.out.insert(link.out.end(), frame.begin(), frame.end());
+  flushOut(link);
 }
 
-void ClientAgent::flushOut() {
-  while (outOff_ < out_.size()) {
-    const ssize_t n = ::send(tcpFd_, out_.data() + outOff_,
-                             out_.size() - outOff_, MSG_NOSIGNAL);
+void ClientAgent::flushOut(Link& link) {
+  while (link.outOff < link.out.size()) {
+    const ssize_t n = ::send(link.tcpFd, link.out.data() + link.outOff,
+                             link.out.size() - link.outOff, MSG_NOSIGNAL);
     if (n > 0) {
-      outOff_ += static_cast<std::size_t>(n);
+      link.outOff += static_cast<std::size_t>(n);
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      if (!wantWrite_) {
-        wantWrite_ = true;
-        pool_.reactor_.modifyFd(tcpFd_, EPOLLIN | EPOLLOUT);
+      if (!link.wantWrite) {
+        link.wantWrite = true;
+        pool_.reactor_.modifyFd(link.tcpFd, EPOLLIN | EPOLLOUT);
       }
       return;
     }
-    dropConnection();
+    dropAgent();
     return;
   }
-  out_.clear();
-  outOff_ = 0;
-  if (wantWrite_) {
-    wantWrite_ = false;
-    pool_.reactor_.modifyFd(tcpFd_, EPOLLIN);
+  link.out.clear();
+  link.outOff = 0;
+  if (link.wantWrite) {
+    link.wantWrite = false;
+    pool_.reactor_.modifyFd(link.tcpFd, EPOLLIN);
   }
 }
 
@@ -480,6 +625,9 @@ void ClientPool::ensureConfigured(const wire::Welcome& w) {
   agentCfg_.sigVotes = w.sigVotes;
   agentCfg_.gcoreGroupSize = w.gcoreGroupSize;
 
+  shardMap_ = w.shardMap;
+  stats_.reportsHeardPerShard.assign(shardMap_.shardCount(), 0);
+
   sizes_ = agentCfg_.sizeModel();
   codec_ = std::make_unique<report::ReportCodec>(sizes_);
   queryPattern_.emplace(
@@ -489,15 +637,21 @@ void ClientPool::ensureConfigured(const wire::Welcome& w) {
           : workload::AccessPattern::uniform(agentCfg_.dbSize));
   clock_.emplace(w.timeScale);
 
-  if (opts_.auditDb == nullptr) {
-    // Version-less stand-in: versionAt() is always 0, so the local audit
-    // can never fire falsely; real auditing happens server-side via kAudit.
-    dummyDb_ = std::make_unique<db::Database>(agentCfg_.dbSize);
-  }
-  collector_ = std::make_unique<metrics::Collector>(
-      opts_.auditDb != nullptr ? *opts_.auditDb : *dummyDb_,
-      agentCfg_.auditStaleReads);
+  // Version-less stand-in: versionAt() is always 0, so the local audit can
+  // never fire falsely; real auditing happens either through the resolver
+  // below (in-process cluster) or server-side via kAudit.
+  dummyDb_ = std::make_unique<db::Database>(agentCfg_.dbSize);
+  collector_ = std::make_unique<metrics::Collector>(*dummyDb_,
+                                                    agentCfg_.auditStaleReads);
   collector_->setClientCount(agentCfg_.numClients);
+  if (!opts_.auditDbs.empty()) {
+    // Each item's authoritative version history lives on its owner shard.
+    collector_->setDatabaseResolver(
+        [this](db::ItemId item) -> const db::Database* {
+          const std::uint32_t s = shardMap_.shardOf(item);
+          return s < opts_.auditDbs.size() ? opts_.auditDbs[s] : nullptr;
+        });
+  }
 
   if (agentCfg_.scheme == schemes::SchemeKind::kSig) {
     sigTable_ = std::make_unique<report::SignatureTable>(

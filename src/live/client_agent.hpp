@@ -12,6 +12,7 @@
 #include "db/database.hpp"
 #include "live/clock.hpp"
 #include "live/reactor.hpp"
+#include "live/shard_map.hpp"
 #include "live/wire.hpp"
 #include "metrics/collector.hpp"
 #include "net/network.hpp"
@@ -27,23 +28,28 @@ namespace mci::live {
 
 struct AgentOptions {
   /// Client-side knobs: seed, think/query/disconnect workload, replacement
-  /// policy. Scheme, database shape, period, and time scale all arrive in
-  /// the server's Welcome — the agent adapts to whatever daemon it joins.
+  /// policy. Scheme, database shape, period, time scale and the cluster
+  /// shard map all arrive in the server's Welcome — the agent adapts to
+  /// whatever daemon (or cluster) it joins.
   core::SimConfig cfg;
+  /// Seed shard: any one member of the cluster. Its Welcome carries the
+  /// shard map; the agent then connects to every other shard on its own.
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;
   std::size_t numAgents = 1;
-  /// Echo every cache answer as a kAudit frame so the server audits it
-  /// against the authoritative database.
+  /// Echo every cache answer as a kAudit frame (routed to the item's owner
+  /// shard) so the server audits it against the authoritative partition.
   bool sendAudit = true;
-  /// In-process runs: audit locally against the server's real database.
-  /// nullptr (separate processes) uses a version-less stub — local audits
-  /// then never fire, which is why sendAudit exists.
-  const db::Database* auditDb = nullptr;
+  /// In-process runs: audit locally against the real per-shard databases,
+  /// indexed by shard. Empty (separate processes) uses a version-less stub
+  /// — local audits then never fire, which is why sendAudit exists.
+  std::vector<const db::Database*> auditDbs;
 };
 
 struct PoolStats {
   std::uint64_t reportsHeard = 0;
+  /// reportsHeard split by originating shard (sized at configuration).
+  std::vector<std::uint64_t> reportsHeardPerShard;
   std::uint64_t badFrames = 0;
   std::uint64_t connectionsLost = 0;  ///< TCP closed other than by shutdown()
 };
@@ -53,10 +59,18 @@ class ClientPool;
 /// One mobile host speaking the live wire protocol: the state machine of
 /// core::Client (think → query → answer-on-next-report → fetch misses →
 /// doze coin) driven by reactor timers and real sockets instead of
-/// simulator events. Reports arrive on the agent's own UDP socket; queries,
-/// checks and validity replies ride its TCP connection. Dozing is modeled
-/// faithfully: the agent ignores its UDP socket while dozing (the radio is
-/// off) but keeps the TCP connection up.
+/// simulator events. Dozing is modeled faithfully: the agent ignores its
+/// UDP sockets while dozing (the radio is off) but keeps TCP up.
+///
+/// Against a cluster the agent holds one downlink + uplink pair per shard
+/// (discovered from the seed shard's Welcome) and routes by item: queries,
+/// checks and audits go to the owner shard, and each link runs its own
+/// ClientScheme + ClientContext so AFW/AAW windows, Tlb and disconnection
+/// gaps are tracked against that shard's report stream. A query fans out
+/// to every involved shard and completes when each has answered on its own
+/// next report and all fetches drained; cache capacity is split evenly
+/// across the per-shard caches. The doze coin is flipped once per interval
+/// (on shard 0's reports), matching the simulator's per-report flip.
 class ClientAgent {
  public:
   ClientAgent(ClientPool& pool, std::size_t index);
@@ -65,61 +79,97 @@ class ClientAgent {
   ClientAgent(const ClientAgent&) = delete;
   ClientAgent& operator=(const ClientAgent&) = delete;
 
-  /// Connects and sends Hello. Throws std::runtime_error on socket failure.
+  /// Connects to the seed shard and sends Hello; the remaining shards are
+  /// dialed when its Welcome reveals the map. Throws std::runtime_error on
+  /// socket failure (including a refused multicast join).
   void connect();
 
-  /// Sends Bye and closes (clean shutdown).
+  /// Sends Bye on every link and closes (clean shutdown).
   void shutdown();
 
-  [[nodiscard]] bool welcomed() const { return scheme_ != nullptr; }
-  [[nodiscard]] bool connectionAlive() const { return tcpFd_ >= 0; }
-  [[nodiscard]] std::uint32_t clientId() const { return clientId_; }
+  /// True once every shard link has been welcomed.
+  [[nodiscard]] bool welcomed() const {
+    return !links_.empty() && welcomedLinks_ == links_.size();
+  }
+  [[nodiscard]] bool connectionAlive() const;
+  /// The agent's identity: its client id on the seed shard (RNG streams
+  /// and per-client metrics key off this, like a simulator client id).
+  [[nodiscard]] std::uint32_t clientId() const { return agentId_; }
   [[nodiscard]] std::uint64_t queriesCompleted() const { return completed_; }
 
  private:
+  static constexpr std::uint32_t kUnknownShard = 0xFFFFFFFFu;
+
   enum class State {
-    kIdle,       ///< before Welcome
+    kIdle,      ///< before all Welcomes
     kThinking,
-    kAwaitingReport,
-    kAwaitingSalvage,
-    kFetching,
+    kQuerying,  ///< per-link needAnswer/fetch flags carry the progress
     kDozing,
   };
 
-  void onTcp(std::uint32_t events);
-  void onUdp(std::uint32_t events);
-  void handleFrame(const wire::Frame& frame);
-  void onWelcome(const wire::Welcome& w);
-  void onReportPayload(const std::vector<std::uint8_t>& payload);
-  void onDataItem(const wire::DataItem& d);
-  void onValidityReply(const wire::ValidityReplyMsg& vr);
+  /// One shard's connection pair plus the per-shard half of the client
+  /// model: scheme instance, context (cache partition, Tlb, gap state).
+  struct Link {
+    std::uint32_t shard = kUnknownShard;
+    int tcpFd = -1;
+    int udpFd = -1;
+    wire::FrameBuffer in;
+    std::vector<std::uint8_t> out;
+    std::size_t outOff = 0;
+    bool wantWrite = false;
+    std::uint32_t clientId = 0;  ///< this shard's id for us
+    std::unique_ptr<schemes::ClientContext> ctx;
+    std::unique_ptr<schemes::ClientScheme> scheme;
+    bool needAnswer = false;          ///< query items await this shard's report
+    std::vector<db::ItemId> items;    ///< current query's items on this shard
+    std::vector<db::ItemId> fetch;    ///< outstanding fetches on this shard
+  };
+
+  [[nodiscard]] std::unique_ptr<Link> makeLink(std::uint32_t shard,
+                                               std::uint32_t ipv4,
+                                               std::uint16_t tcpPort,
+                                               std::uint32_t mcastIpv4,
+                                               std::uint16_t mcastPort);
+  /// Opens the downlink socket: group-joined when mcastIpv4 != 0, else a
+  /// loopback-bound ephemeral unicast socket. Throws on failure.
+  [[nodiscard]] static int openDownlinkUdp(std::uint32_t ipv4,
+                                           std::uint32_t mcastIpv4,
+                                           std::uint16_t mcastPort);
+  void sendHello(Link& link);
+
+  void onTcp(Link& link, std::uint32_t events);
+  void onUdp(Link& link, std::uint32_t events);
+  void handleFrame(Link& link, const wire::Frame& frame);
+  void onWelcome(Link& link, const wire::Welcome& w);
+  void onReportPayload(Link& link, const std::vector<std::uint8_t>& payload);
+  void onDataItem(Link& link, const wire::DataItem& d);
+  void onValidityReply(Link& link, const wire::ValidityReplyMsg& vr);
 
   void startThink(double modelSeconds);
   void issueQuery();
-  void maybeAnswerQuery();
+  void maybeAnswerLink(Link& link);
+  void maybeCompleteQuery();
   void completeQuery();
   void beginDoze(bool queryAfterWake);
   void wake();
-  void sendCheck(const schemes::CheckMessage& msg);
-  void sendFrame(wire::FrameType type, net::TrafficClass trafficClass,
+  void sendCheck(Link& link, const schemes::CheckMessage& msg);
+  void sendFrame(Link& link, wire::FrameType type,
+                 net::TrafficClass trafficClass,
                  const std::vector<std::uint8_t>& payload);
-  void flushOut();
+  void flushOut(Link& link);
   void cancelTimer();
-  void dropConnection();
+  void dropAgent();
 
   ClientPool& pool_;
   std::size_t index_;
-  int tcpFd_ = -1;
-  int udpFd_ = -1;
-  wire::FrameBuffer in_;
-  std::vector<std::uint8_t> out_;
-  std::size_t outOff_ = 0;
-  bool wantWrite_ = false;
+  /// Indexed by shard once the map is known; a lone unknown-shard entry
+  /// while the seed Welcome is in flight. Heap-allocated so the reactor
+  /// handlers' captured pointers survive the reindexing.
+  std::vector<std::unique_ptr<Link>> links_;
+  std::size_t welcomedLinks_ = 0;
   bool shuttingDown_ = false;
 
-  std::uint32_t clientId_ = 0;
-  std::unique_ptr<schemes::ClientContext> ctx_;
-  std::unique_ptr<schemes::ClientScheme> scheme_;
+  std::uint32_t agentId_ = 0;
   std::optional<workload::QueryGenerator> queryGen_;
   std::optional<workload::Disconnector> disc_;
 
@@ -131,14 +181,14 @@ class ClientAgent {
   sim::SimTime queryStart_ = 0;
   bool queryAfterWake_ = false;
   std::vector<db::ItemId> queryItems_;
-  std::vector<db::ItemId> pendingFetch_;
   std::uint64_t completed_ = 0;
 };
 
 /// N ClientAgents sharing one reactor, one metrics collector, and one
 /// decoded-report codec: the live load generator. The pool configures
-/// itself from the first Welcome (sizes, codec, scheme table, time scale),
-/// so `mci_live_client --agents N` needs nothing but host/port/seed.
+/// itself from the first Welcome (sizes, codec, scheme table, time scale,
+/// shard map), so `mci_live_client --agents N` needs nothing but the seed
+/// shard's host/port and a seed.
 class ClientPool {
  public:
   ClientPool(Reactor& reactor, AgentOptions options);
@@ -163,6 +213,8 @@ class ClientPool {
   [[nodiscard]] const metrics::Collector* collector() const {
     return collector_.get();
   }
+  /// The cluster layout learned from the seed Welcome; invalid before it.
+  [[nodiscard]] const ShardMap& shardMap() const { return shardMap_; }
 
   /// Model seconds elapsed on the pool clock; 0 until the first Welcome
   /// (the clock's scale arrives with it).
@@ -178,11 +230,14 @@ class ClientPool {
  private:
   friend class ClientAgent;
 
-  /// First-Welcome configuration: sizes, codec, patterns, clock, collector.
+  /// First-Welcome configuration: sizes, codec, patterns, clock, collector,
+  /// shard map.
   void ensureConfigured(const wire::Welcome& w);
 
   /// Advances the shared model-time holder (ClientContext::now()) to a
   /// server timestamp. Monotonic: stale frames never move time backwards.
+  /// Per-shard consistency decisions never use this — they key off the
+  /// owning link's own lastHeard/Tlb — so cross-shard clock skew is safe.
   void advanceModelTime(sim::SimTime t);
 
   Reactor& reactor_;
@@ -200,6 +255,7 @@ class ClientPool {
   std::optional<workload::AccessPattern> queryPattern_;
   std::unique_ptr<report::SignatureTable> sigTable_;
   std::vector<std::uint64_t> sigInitial_;
+  ShardMap shardMap_;
 
   PoolStats stats_;
   std::vector<std::unique_ptr<ClientAgent>> agents_;

@@ -12,6 +12,7 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <string>
 
 #include "live/client_agent.hpp"
 #include "metrics/json.hpp"
@@ -79,6 +80,16 @@ int main(int argc, char** argv) {
                 agents, pool.welcomedCount(), r.queriesCompleted, r.cacheHits,
                 r.cacheMisses, r.hitRatio(), pool.stats().reportsHeard,
                 r.checksSent, r.staleReads, pool.stats().connectionsLost);
+    // Shard routing learned from the Welcome: one IR stream per shard,
+    // counted separately so drivers can assert every shard was heard.
+    const auto& perShard = pool.stats().reportsHeardPerShard;
+    std::string counts;
+    for (std::size_t s = 0; s < perShard.size(); ++s) {
+      if (s > 0) counts += ',';
+      counts += std::to_string(perShard[s]);
+    }
+    std::printf("shards=%zu reports_per_shard=%s\n", perShard.size(),
+                counts.c_str());
   }
   const bool ok = pool.welcomedCount() == agents && r.staleReads == 0 &&
                   pool.stats().connectionsLost == 0;

@@ -1,0 +1,126 @@
+#include "live/cluster.hpp"
+
+#include <arpa/inet.h>
+
+#include <stdexcept>
+
+namespace mci::live {
+
+Cluster::Cluster(Reactor& reactor, ClusterOptions options)
+    : opts_(std::move(options)) {
+  if (opts_.shardCount < 1 || opts_.shardCount > ShardMap::kMaxShards) {
+    throw std::invalid_argument("cluster: shardCount must be in [1, kMaxShards]");
+  }
+  if (!opts_.tcpPorts.empty() && opts_.tcpPorts.size() != opts_.shardCount) {
+    throw std::invalid_argument("cluster: need one TCP port per shard");
+  }
+  servers_.reserve(opts_.shardCount);
+  for (std::uint32_t s = 0; s < opts_.shardCount; ++s) {
+    ServerOptions so;
+    so.cfg = opts_.cfg;
+    so.timeScale = opts_.timeScale;
+    so.bindAddress = opts_.bindAddress;
+    so.tcpPort = opts_.tcpPorts.empty() ? 0 : opts_.tcpPorts[s];
+    so.maxSendQueueBytes = opts_.maxSendQueueBytes;
+    so.sendBufferBytes = opts_.sendBufferBytes;
+    so.shardIndex = s;
+    so.shardCount = opts_.shardCount;
+    so.shardHashSeed = opts_.hashSeed;
+    if (!opts_.multicastGroup.empty()) {
+      so.multicastGroup = opts_.multicastGroup;
+      so.multicastPort = static_cast<std::uint16_t>(opts_.multicastBasePort + s);
+    }
+    servers_.push_back(std::make_unique<BroadcastServer>(reactor, so));
+  }
+
+  // Ephemeral ports are resolved now; assemble the map and install it
+  // everywhere so any shard's Welcome teaches a client the whole cluster.
+  std::vector<ShardEndpoint> endpoints;
+  endpoints.reserve(servers_.size());
+  for (const auto& server : servers_) {
+    endpoints.push_back(server->selfEndpoint());
+  }
+  map_ = ShardMap(1, opts_.hashSeed, std::move(endpoints));
+  for (auto& server : servers_) server->setShardMap(map_);
+}
+
+std::vector<const db::Database*> Cluster::auditDbs() const {
+  std::vector<const db::Database*> dbs;
+  dbs.reserve(servers_.size());
+  for (const auto& server : servers_) dbs.push_back(&server->database());
+  return dbs;
+}
+
+ServerStats Cluster::totalStats() const {
+  ServerStats t;
+  for (const auto& server : servers_) {
+    const ServerStats& s = server->stats();
+    t.reportsBroadcast += s.reportsBroadcast;
+    t.framesDropped += s.framesDropped;
+    t.udpSendFailures += s.udpSendFailures;
+    t.connectionsAccepted += s.connectionsAccepted;
+    t.connectionsClosed += s.connectionsClosed;
+    t.queryRequests += s.queryRequests;
+    t.checksReceived += s.checksReceived;
+    t.auditsReceived += s.auditsReceived;
+    t.updatesApplied += s.updatesApplied;
+    t.badFrames += s.badFrames;
+    t.updatesThinned += s.updatesThinned;
+    t.misroutedItems += s.misroutedItems;
+  }
+  return t;
+}
+
+std::uint64_t Cluster::staleReads() const {
+  std::uint64_t n = 0;
+  for (const auto& server : servers_) n += server->staleReads();
+  return n;
+}
+
+std::optional<std::pair<std::string, std::uint16_t>> parseMulticastSpec(
+    const std::string& spec) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size()) {
+    return std::nullopt;
+  }
+  const std::string group = spec.substr(0, colon);
+  const std::string portStr = spec.substr(colon + 1);
+  unsigned long port = 0;
+  for (char c : portStr) {
+    if (c < '0' || c > '9') return std::nullopt;
+    port = port * 10 + static_cast<unsigned long>(c - '0');
+    if (port > 65535) return std::nullopt;
+  }
+  if (port == 0) return std::nullopt;
+  in_addr addr{};
+  if (::inet_pton(AF_INET, group.c_str(), &addr) != 1 ||
+      (ntohl(addr.s_addr) >> 28) != 0xE) {
+    return std::nullopt;  // not an IPv4 multicast (224.0.0.0/4) address
+  }
+  return std::make_pair(group, static_cast<std::uint16_t>(port));
+}
+
+std::optional<std::vector<std::uint16_t>> parsePortList(
+    const std::string& spec) {
+  std::vector<std::uint16_t> ports;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string tok =
+        spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (tok.empty()) return std::nullopt;
+    unsigned long port = 0;
+    for (char c : tok) {
+      if (c < '0' || c > '9') return std::nullopt;
+      port = port * 10 + static_cast<unsigned long>(c - '0');
+      if (port > 65535) return std::nullopt;
+    }
+    if (port == 0) return std::nullopt;
+    ports.push_back(static_cast<std::uint16_t>(port));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return ports;
+}
+
+}  // namespace mci::live

@@ -1,0 +1,122 @@
+// mci_live_cluster: the sharded broadcast launcher. Spawns K
+// BroadcastServers on one reactor, wires them into one cluster (shared
+// update seed, hash shard map installed in every Welcome), and serves
+// clients that route by shard. Pair with mci_live_client pointed at any
+// one shard — the seed Welcome teaches it the rest.
+//
+//   ./mci_live_cluster --shards 3 --scheme AAW --clients 8
+//       --timescale 100 --duration 2400
+//
+// Prints `port=<seed shard port>` then `ports=p0,p1,...` on stdout once
+// listening (drivers parse them). Exits 0 iff no shard audited a stale
+// read.
+
+#include <signal.h>
+#include <sys/epoll.h>
+#include <sys/signalfd.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+#include "live/cluster.hpp"
+#include "runner/cli.hpp"
+#include "schemes/factory.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mci;
+  runner::Cli cli(argc, argv);
+
+  if (cli.has("list-schemes")) {
+    std::printf("%s", schemes::schemeListing().c_str());
+    return 0;
+  }
+
+  live::ClusterOptions opts;
+  if (auto kind = cli.getScheme("scheme", core::SimConfig{}.scheme)) {
+    opts.cfg.scheme = *kind;
+  } else {
+    return 1;  // getScheme printed the valid set
+  }
+  const auto shards = cli.getIntBounded("shards", 1, 1, live::ShardMap::kMaxShards);
+  if (!shards) return 1;  // getIntBounded printed the accepted range
+  opts.shardCount = static_cast<std::uint32_t>(*shards);
+  opts.cfg.numClients = static_cast<std::size_t>(cli.getInt("clients", 8));
+  opts.cfg.dbSize = static_cast<std::size_t>(cli.getInt("dbsize", 1000));
+  opts.cfg.broadcastPeriod = cli.getDouble("period", 20.0);
+  opts.cfg.meanUpdateInterarrival = cli.getDouble("update-gap", 100.0);
+  opts.cfg.meanItemsPerUpdate = cli.getDouble("update-items", 5.0);
+  opts.cfg.windowIntervals = static_cast<int>(cli.getInt("window", 10));
+  opts.cfg.clientBufferFrac =
+      cli.getDouble("bufferfrac", opts.cfg.clientBufferFrac);
+  opts.cfg.seed = static_cast<std::uint64_t>(cli.getInt("seed", 42));
+  opts.timeScale = cli.getDouble("timescale", 1.0);
+  if (cli.has("ports")) {
+    auto ports = live::parsePortList(cli.getStr("ports", ""));
+    if (!ports || ports->size() != opts.shardCount) {
+      std::fprintf(stderr,
+                   "bad --ports value: expected %u comma-separated ports\n",
+                   opts.shardCount);
+      return 1;
+    }
+    opts.tcpPorts = std::move(*ports);
+  }
+  if (cli.has("multicast")) {
+    auto spec = live::parseMulticastSpec(cli.getStr("multicast", ""));
+    if (!spec) {
+      std::fprintf(stderr,
+                   "bad --multicast value '%s': expected <224-239.x.y.z>:"
+                   "<base port> (shard s broadcasts on base port + s)\n",
+                   cli.getStr("multicast", "").c_str());
+      return 1;
+    }
+    opts.multicastGroup = spec->first;
+    opts.multicastBasePort = spec->second;
+  }
+  const double duration = cli.getDouble("duration", 0.0);  // model s; 0 = run
+  for (const auto& unknown : cli.unknownArgs()) {
+    std::fprintf(stderr, "warning: unknown flag --%s\n", unknown.c_str());
+  }
+
+  live::Reactor reactor;
+  live::Cluster cluster(reactor, opts);
+  std::printf("port=%u\n", cluster.seedPort());
+  std::string portList;
+  for (std::uint32_t s = 0; s < cluster.shardCount(); ++s) {
+    if (s > 0) portList += ',';
+    portList += std::to_string(cluster.server(s).tcpPort());
+  }
+  std::printf("ports=%s\n", portList.c_str());
+  std::fflush(stdout);
+
+  // SIGINT/SIGTERM through the reactor: a clean stop, not an abort.
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGINT);
+  sigaddset(&mask, SIGTERM);
+  sigprocmask(SIG_BLOCK, &mask, nullptr);
+  const int sigFd = signalfd(-1, &mask, SFD_NONBLOCK | SFD_CLOEXEC);
+  reactor.addFd(sigFd, EPOLLIN, [&reactor](std::uint32_t) { reactor.stop(); });
+
+  if (duration > 0) {
+    reactor.addTimer(cluster.server(0).clock().wallDelay(duration), 0,
+                     [&reactor] { reactor.stop(); });
+  }
+  reactor.run();
+
+  const live::ServerStats t = cluster.totalStats();
+  std::printf("shards=%u reports=%" PRIu64 " updates=%" PRIu64
+              " thinned=%" PRIu64 " queries=%" PRIu64 " checks=%" PRIu64
+              " audits=%" PRIu64 " accepted=%" PRIu64 " dropped=%" PRIu64
+              " bad=%" PRIu64 " misrouted=%" PRIu64 " stale=%" PRIu64 "\n",
+              cluster.shardCount(), t.reportsBroadcast, t.updatesApplied,
+              t.updatesThinned, t.queryRequests, t.checksReceived,
+              t.auditsReceived, t.connectionsAccepted, t.framesDropped,
+              t.badFrames, t.misroutedItems, cluster.staleReads());
+  for (std::uint32_t s = 0; s < cluster.shardCount(); ++s) {
+    const live::ServerStats& ss = cluster.server(s).stats();
+    std::printf("shard%u_reports=%" PRIu64 " shard%u_updates=%" PRIu64 "\n",
+                s, ss.reportsBroadcast, s, ss.updatesApplied);
+  }
+  return cluster.staleReads() == 0 ? 0 : 1;
+}

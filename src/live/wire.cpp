@@ -130,6 +130,7 @@ std::optional<Hello> decodeHello(const std::vector<std::uint8_t>& payload) {
 
 std::vector<std::uint8_t> encodeWelcome(const Welcome& m) {
   report::BitWriter w;
+  w.write(kWelcomeVersion, 8);
   w.write(m.clientId, 32);
   w.write(m.scheme, 8);
   w.write(m.dbSize, 32);
@@ -147,12 +148,15 @@ std::vector<std::uint8_t> encodeWelcome(const Welcome& m) {
   w.write(m.sigPerItem, 8);
   w.write(static_cast<std::uint32_t>(m.sigVotes), 32);
   w.write(m.gcoreGroupSize, 32);
+  w.write(m.shardIndex, 16);
+  m.shardMap.encodeTo(w);
   return w.finish();
 }
 
 std::optional<Welcome> decodeWelcome(const std::vector<std::uint8_t>& payload) {
   report::BitReader r(payload);
   Welcome m;
+  if (r.read(8) != kWelcomeVersion) return std::nullopt;
   m.clientId = static_cast<std::uint32_t>(r.read(32));
   m.scheme = static_cast<std::uint8_t>(r.read(8));
   m.dbSize = static_cast<std::uint32_t>(r.read(32));
@@ -170,7 +174,11 @@ std::optional<Welcome> decodeWelcome(const std::vector<std::uint8_t>& payload) {
   m.sigPerItem = static_cast<std::uint8_t>(r.read(8));
   m.sigVotes = static_cast<std::int32_t>(static_cast<std::uint32_t>(r.read(32)));
   m.gcoreGroupSize = static_cast<std::uint32_t>(r.read(32));
-  if (!r.ok()) return std::nullopt;
+  m.shardIndex = static_cast<std::uint16_t>(r.read(16));
+  std::optional<ShardMap> map = ShardMap::decodeFrom(r);
+  if (!map || !r.ok()) return std::nullopt;
+  if (m.shardIndex >= map->shardCount()) return std::nullopt;
+  m.shardMap = std::move(*map);
   return m;
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "db/item.hpp"
+#include "live/shard_map.hpp"
 #include "net/message.hpp"
 #include "sim/time.hpp"
 
@@ -90,8 +91,15 @@ struct Hello {
   bool audit = false;         ///< echo cache answers as kAudit frames
 };
 
+/// Payload-format version of the Welcome handshake. v2 added a leading
+/// version byte, the sender's shard index and the embedded cluster shard
+/// map; v1 payloads (no version byte) are no longer accepted.
+inline constexpr std::uint8_t kWelcomeVersion = 2;
+
 /// Server -> client configuration handshake: everything a ClientAgent
-/// needs to build the exact scheme/codec/cache the server simulates with.
+/// needs to build the exact scheme/codec/cache the server simulates with,
+/// plus (v2) the cluster shard map so the client can discover and connect
+/// to every other shard from this one answer.
 struct Welcome {
   std::uint32_t clientId = 0;
   std::uint8_t scheme = 0;  ///< schemes::SchemeKind
@@ -110,6 +118,8 @@ struct Welcome {
   std::uint8_t sigPerItem = 0;
   std::int32_t sigVotes = 0;
   std::uint32_t gcoreGroupSize = 0;
+  std::uint16_t shardIndex = 0;  ///< which shard sent this Welcome
+  ShardMap shardMap;             ///< the whole cluster; valid() always
 };
 
 struct QueryRequest {

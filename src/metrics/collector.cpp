@@ -27,7 +27,9 @@ void Collector::trace(sim::TraceCategory category, std::int64_t actor,
 void Collector::onInvalidate(schemes::ClientId client, db::ItemId item,
                              db::Version version, sim::SimTime /*now*/) {
   ++result_.invalidations;
-  const bool wasCurrent = version == db_.currentVersion(item);
+  const db::Database* truth = dbFor(item);
+  const bool wasCurrent =
+      truth != nullptr && version == truth->currentVersion(item);
   if (wasCurrent) ++result_.falseInvalidations;
   trace(sim::TraceCategory::kCache, client,
         "invalidate item " + std::to_string(item) +
@@ -58,13 +60,15 @@ void Collector::onCacheAnswer(schemes::ClientId client, db::ItemId item,
   ++result_.cacheHits;
   ++result_.itemsReferenced;
   if (client < perClient_.size()) ++perClient_[client].hits;
-  if (version < db_.versionAt(item, validAsOf)) {
+  const db::Database* truth = dbFor(item);
+  if (truth == nullptr) return;
+  if (version < truth->versionAt(item, validAsOf)) {
     ++result_.staleReads;
     if (audit_) {
       std::fprintf(stderr,
                    "STALE READ: client %u item %u cached v%u, server had v%u "
                    "at consistency point %.3f\n",
-                   client, item, version, db_.versionAt(item, validAsOf),
+                   client, item, version, truth->versionAt(item, validAsOf),
                    validAsOf);
       // Not assert(): the invariant must hold in release builds too.
       std::abort();
@@ -170,6 +174,77 @@ SimResult Collector::finalize(double simTime, const net::Network& net) const {
     r.clients.maxHitRatio = maxH;
   }
   return r;
+}
+
+namespace {
+
+net::ChannelUsage addUsage(const net::ChannelUsage& a,
+                           const net::ChannelUsage& b) {
+  net::ChannelUsage s = a;
+  s.irBits += b.irBits;
+  s.controlBits += b.controlBits;
+  s.bulkBits += b.bulkBits;
+  s.irSeconds += b.irSeconds;
+  s.controlSeconds += b.controlSeconds;
+  s.bulkSeconds += b.bulkSeconds;
+  s.irCount += b.irCount;
+  s.controlCount += b.controlCount;
+  s.bulkCount += b.bulkCount;
+  return s;
+}
+
+}  // namespace
+
+SimResult mergeResults(const std::vector<SimResult>& parts) {
+  SimResult m;
+  m.clients.fairness = 0.0;  // default is 1.0; the loop accumulates +=
+  double totalQueries = 0;
+  for (const SimResult& p : parts) {
+    totalQueries += static_cast<double>(p.queriesCompleted);
+  }
+  for (const SimResult& p : parts) {
+    const double w =
+        totalQueries > 0
+            ? static_cast<double>(p.queriesCompleted) / totalQueries
+            : (parts.empty() ? 0.0 : 1.0 / static_cast<double>(parts.size()));
+    m.simTime = std::max(m.simTime, p.simTime);
+    m.queriesCompleted += p.queriesCompleted;
+    m.itemsReferenced += p.itemsReferenced;
+    m.cacheHits += p.cacheHits;
+    m.cacheMisses += p.cacheMisses;
+    m.staleReads += p.staleReads;
+    m.avgQueryLatency += w * p.avgQueryLatency;
+    m.maxQueryLatency = std::max(m.maxQueryLatency, p.maxQueryLatency);
+    m.p50QueryLatency += w * p.p50QueryLatency;
+    m.p95QueryLatency += w * p.p95QueryLatency;
+    m.invalidations += p.invalidations;
+    m.falseInvalidations += p.falseInvalidations;
+    m.cacheDropEvents += p.cacheDropEvents;
+    m.entriesDropped += p.entriesDropped;
+    m.entriesSalvaged += p.entriesSalvaged;
+    m.checksSent += p.checksSent;
+    m.validityReplies += p.validityReplies;
+    m.reportsTs += p.reportsTs;
+    m.reportsExtended += p.reportsExtended;
+    m.reportsBs += p.reportsBs;
+    m.reportsSig += p.reportsSig;
+    m.disconnects += p.disconnects;
+    m.dozeSeconds += p.dozeSeconds;
+    m.clients.minQueries += w * p.clients.minQueries;
+    m.clients.meanQueries += w * p.clients.meanQueries;
+    m.clients.maxQueries += w * p.clients.maxQueries;
+    m.clients.fairness += w * p.clients.fairness;
+    m.clients.minHitRatio += w * p.clients.minHitRatio;
+    m.clients.meanHitRatio += w * p.clients.meanHitRatio;
+    m.clients.maxHitRatio += w * p.clients.maxHitRatio;
+    m.clientTxBits += p.clientTxBits;
+    m.clientRxBits += p.clientRxBits;
+    m.downlink = addUsage(m.downlink, p.downlink);
+    m.uplink = addUsage(m.uplink, p.uplink);
+    m.dataChannels = addUsage(m.dataChannels, p.dataChannels);
+  }
+  if (parts.empty()) m.clients.fairness = 1.0;
+  return m;
 }
 
 }  // namespace mci::metrics

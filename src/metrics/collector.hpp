@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "db/database.hpp"
@@ -136,6 +137,16 @@ class Collector final : public schemes::CacheEventSink {
   /// schemes).
   Collector(const db::Database& database, bool auditStaleReads);
 
+  /// Sharded ground truth: when set, staleness audits consult
+  /// resolver(item) instead of the construction-time database — in a
+  /// cluster each item's authoritative versions live on its owner shard
+  /// only. A resolver returning nullptr skips the audit for that item.
+  /// Resolved databases must outlive the collector.
+  void setDatabaseResolver(
+      std::function<const db::Database*(db::ItemId)> resolver) {
+    resolver_ = std::move(resolver);
+  }
+
   // CacheEventSink
   void onInvalidate(schemes::ClientId client, db::ItemId item,
                     db::Version version, sim::SimTime now) override;
@@ -185,7 +196,12 @@ class Collector final : public schemes::CacheEventSink {
   void trace(sim::TraceCategory category, std::int64_t actor,
              std::string message);
 
+  [[nodiscard]] const db::Database* dbFor(db::ItemId item) const {
+    return resolver_ ? resolver_(item) : &db_;
+  }
+
   const db::Database& db_;
+  std::function<const db::Database*(db::ItemId)> resolver_;
   bool audit_;
   SimResult result_;
   sim::Welford latency_;
@@ -203,5 +219,13 @@ class Collector final : public schemes::CacheEventSink {
   };
   std::vector<PerClient> perClient_;
 };
+
+/// Combines per-shard results into one cluster-wide view: counters and bit
+/// totals sum, latency means are weighted by completed queries, maxes take
+/// the max, and simTime takes the longest shard. Percentiles and the
+/// client-spread block are queries-weighted means of the shard values — an
+/// approximation (the underlying histograms are not mergeable after the
+/// fact), good enough for the launcher's summary line.
+[[nodiscard]] SimResult mergeResults(const std::vector<SimResult>& parts);
 
 }  // namespace mci::metrics

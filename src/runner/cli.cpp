@@ -72,6 +72,32 @@ std::optional<schemes::SchemeKind> Cli::getScheme(
   return parsed;
 }
 
+std::optional<std::int64_t> Cli::getIntBounded(const std::string& key,
+                                               std::int64_t fallback,
+                                               std::int64_t min,
+                                               std::int64_t max) const {
+  const Arg* a = findArg(key);
+  if (a == nullptr) return fallback;
+  char* end = nullptr;
+  const char* s = a->value.c_str();
+  const long long parsed = std::strtoll(s, &end, 10);
+  if (a->value.empty() || end == s || *end != '\0') {
+    std::fprintf(stderr,
+                 "bad --%s value '%s': expected an integer in [%lld, %lld]\n",
+                 key.c_str(), a->value.c_str(), static_cast<long long>(min),
+                 static_cast<long long>(max));
+    return std::nullopt;
+  }
+  if (parsed < min || parsed > max) {
+    std::fprintf(stderr,
+                 "out-of-range --%s value %lld: expected [%lld, %lld]\n",
+                 key.c_str(), parsed, static_cast<long long>(min),
+                 static_cast<long long>(max));
+    return std::nullopt;
+  }
+  return parsed;
+}
+
 std::vector<std::string> Cli::unknownArgs() const {
   std::vector<std::string> out;
   for (const Arg& a : args_) {

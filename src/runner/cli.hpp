@@ -32,6 +32,16 @@ class Cli {
   [[nodiscard]] std::optional<schemes::SchemeKind> getScheme(
       const std::string& key, schemes::SchemeKind fallback) const;
 
+  /// Validated integer: returns `fallback` when the key is absent. A
+  /// present value that is not a decimal integer, or falls outside
+  /// [min, max], prints an actionable message (the offending value and the
+  /// accepted range) to stderr and returns nullopt — same contract as
+  /// getScheme, so `--shards banana` fails loudly instead of running a
+  /// default cluster the user did not ask for.
+  [[nodiscard]] std::optional<std::int64_t> getIntBounded(
+      const std::string& key, std::int64_t fallback, std::int64_t min,
+      std::int64_t max) const;
+
   /// Keys the caller never queried (call after all getX calls).
   [[nodiscard]] std::vector<std::string> unknownArgs() const;
 

@@ -1,9 +1,10 @@
 // The live subsystem end to end over real loopback sockets: one
-// BroadcastServer plus a ClientPool of 8 agents sharing a reactor, run for
-// thousands of model seconds at a compressed time scale. The pool audits
-// every cache answer against the server's actual database, so the paper's
-// zero-stale-reads invariant is enforced for real, and the hit ratio is
-// compared against an equivalent discrete-event simulation run.
+// BroadcastServer (or a sharded Cluster) plus a ClientPool of 8 agents
+// sharing a reactor, run for thousands of model seconds at a compressed
+// time scale. The pool audits every cache answer against the owning
+// shard's actual database, so the paper's zero-stale-reads invariant is
+// enforced for real, and the hit ratio is compared against an equivalent
+// discrete-event simulation run.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -11,14 +12,21 @@
 #include <unistd.h>
 
 #include <cmath>
+#include <memory>
+#include <stdexcept>
 
 #include <gtest/gtest.h>
 
+#include "core/scheme_factory.hpp"
 #include "core/simulation.hpp"
+#include "db/database.hpp"
+#include "db/update_history.hpp"
 #include "live/broadcast_server.hpp"
 #include "live/client_agent.hpp"
+#include "live/cluster.hpp"
 #include "live/wire.hpp"
 #include "report/codec.hpp"
+#include "report/ts_report.hpp"
 
 namespace mci::live {
 namespace {
@@ -53,7 +61,7 @@ metrics::SimResult runLive(const core::SimConfig& cfg, double timeScale) {
   agentOpts.cfg = cfg;  // client-side knobs: workload, think, disconnection
   agentOpts.port = server.tcpPort();
   agentOpts.numAgents = cfg.numClients;
-  agentOpts.auditDb = &server.database();  // audit against the real database
+  agentOpts.auditDbs = {&server.database()};  // audit the real database
   ClientPool pool(reactor, agentOpts);
   pool.start();
 
@@ -219,6 +227,187 @@ TEST(LiveLoopback, WedgedClientNeverBlocksTheBroadcast) {
 
   ::close(tcp);
   ::close(udp);
+}
+
+/// The K=1 shard pin: a daemon carrying an explicit (0 of 1) shard spec —
+/// bit-for-bit the default deployment — must emit exactly the frames the
+/// unsharded scheme stack produces. Rebuilds a fresh scheme over the
+/// daemon's recorded update history and re-derives the last report at its
+/// own broadcast timestamp; the codec bytes must match exactly.
+TEST(LiveLoopback, SingleShardReportsMatchUnshardedSchemeStack) {
+  Reactor reactor;
+  ServerOptions opts;
+  opts.cfg = baseConfig(schemes::SchemeKind::kTs);  // stateless buildReport
+  opts.cfg.broadcastPeriod = 0.5;
+  opts.timeScale = 200.0;
+  opts.shardIndex = 0;
+  opts.shardCount = 1;
+  BroadcastServer server(reactor, opts);
+  while (server.stats().reportsBroadcast < 5 ||
+         server.stats().updatesApplied < 20) {
+    reactor.runOnce(20);
+  }
+  EXPECT_EQ(server.stats().updatesThinned, 0u) << "K=1 owns every item";
+
+  // Capture a report with no updates landed after it (updates always tick
+  // strictly past the last broadcast, so lastUpdateTime() <= broadcastTime
+  // means the history still is exactly what the report was built from).
+  const report::SizeModel sizes = opts.cfg.sizeModel();
+  const report::ReportCodec codec(sizes);
+  std::vector<std::uint8_t> payload;
+  report::ReportPtr decoded;
+  bool quiesced = false;
+  for (int attempt = 0; attempt < 200 && !quiesced; ++attempt) {
+    const std::uint64_t seen = server.stats().reportsBroadcast;
+    while (server.stats().reportsBroadcast == seen) reactor.runOnce(20);
+    payload = server.lastReportPayload();
+    decoded = codec.decodeAny(payload);
+    ASSERT_NE(decoded, nullptr);
+    quiesced = server.history().lastUpdateTime() <= decoded->broadcastTime;
+  }
+  ASSERT_TRUE(quiesced) << "no update-free broadcast in 200 periods";
+  ASSERT_FALSE(payload.empty());
+
+  // Replay the daemon's applied updates (oldest first) into fresh state.
+  db::Database freshDb(opts.cfg.dbSize);
+  db::UpdateHistory freshHistory(opts.cfg.dbSize);
+  const std::vector<db::UpdateRecord> applied =
+      server.history().updatesAfter(sim::kTimeEpoch);
+  for (auto it = applied.rbegin(); it != applied.rend(); ++it) {
+    freshDb.applyUpdate(it->item, it->time);
+    freshHistory.record(it->item, it->time);
+  }
+  const auto scheme =
+      core::makeServerScheme(opts.cfg, freshHistory, freshDb, sizes, nullptr);
+  const report::ReportPtr rebuilt = scheme->buildReport(decoded->broadcastTime);
+  EXPECT_EQ(codec.encode(static_cast<const report::TsReport&>(*rebuilt)),
+            payload);
+}
+
+/// Runs a K-shard Cluster plus an 8-agent pool seeded at shard 0 (routing
+/// learned from the Welcome's shard map) and returns the pool result.
+metrics::SimResult runClusterLive(const core::SimConfig& cfg, double timeScale,
+                                  std::uint32_t shards) {
+  Reactor reactor;
+  ClusterOptions clusterOpts;
+  clusterOpts.cfg = cfg;
+  clusterOpts.timeScale = timeScale;
+  clusterOpts.shardCount = shards;
+  Cluster cluster(reactor, clusterOpts);
+
+  AgentOptions agentOpts;
+  agentOpts.cfg = cfg;
+  agentOpts.port = cluster.seedPort();
+  agentOpts.numAgents = cfg.numClients;
+  agentOpts.auditDbs = cluster.auditDbs();  // audit each shard's partition
+  ClientPool pool(reactor, agentOpts);
+  pool.start();
+
+  reactor.addTimer(0.02, 0.02, [&] {
+    if (pool.modelNow() >= cfg.simTime) {
+      pool.shutdown();
+      reactor.stop();
+    }
+  });
+  reactor.run();
+
+  EXPECT_EQ(pool.welcomedCount(), cfg.numClients);
+  EXPECT_EQ(pool.staleReads(), 0u);
+  EXPECT_EQ(pool.stats().connectionsLost, 0u);
+  EXPECT_EQ(pool.shardMap().shardCount(), shards);
+  EXPECT_EQ(pool.stats().reportsHeardPerShard.size(), shards);
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    EXPECT_GT(pool.stats().reportsHeardPerShard[s], 0u)
+        << "shard " << s << " IR stream never heard";
+  }
+
+  const ServerStats total = cluster.totalStats();
+  EXPECT_EQ(cluster.staleReads(), 0u);
+  EXPECT_EQ(total.misroutedItems, 0u) << "pool routed an item to a wrong shard";
+  EXPECT_EQ(total.badFrames, 0u);
+  EXPECT_GT(total.queryRequests, 0u);
+  if (shards > 1) {
+    // Every shard draws the shared update stream and keeps ~1/K of it.
+    EXPECT_GT(total.updatesThinned, 0u);
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      EXPECT_GT(cluster.server(s).stats().updatesApplied, 0u);
+      EXPECT_GT(cluster.server(s).stats().reportsBroadcast, 0u);
+    }
+  }
+  return pool.finalize();
+}
+
+void expectClusterMatchesSim(schemes::SchemeKind scheme) {
+  const core::SimConfig cfg = baseConfig(scheme);
+  const metrics::SimResult simR = core::Simulation(cfg).run();
+  const metrics::SimResult liveR = runClusterLive(cfg, 500.0, 4);
+
+  EXPECT_EQ(liveR.staleReads, 0u);
+  EXPECT_GT(liveR.queriesCompleted, 100u);
+  // Sharding splits each client's cache across four per-shard slices and
+  // each shard adapts its window against 1/4 of the update stream, but the
+  // workload and invalidation laws are unchanged: the hit ratios agree
+  // statistically with the unsharded simulation.
+  EXPECT_GT(simR.hitRatio(), 0.15) << "config has no signal";
+  EXPECT_NEAR(liveR.hitRatio(), simR.hitRatio(), 0.12)
+      << "cluster=" << liveR.hitRatio() << " sim=" << simR.hitRatio();
+}
+
+TEST(LiveLoopback, FourShardClusterAfwMatchesSimulation) {
+  expectClusterMatchesSim(schemes::SchemeKind::kAfw);
+}
+
+TEST(LiveLoopback, FourShardClusterAawMatchesSimulation) {
+  expectClusterMatchesSim(schemes::SchemeKind::kAaw);
+}
+
+/// Multicast downlink: one datagram per IR serves every agent that joined
+/// the shard's group. Loopback multicast needs kernel support the sandbox
+/// may withhold, so a failed group join skips rather than fails.
+TEST(LiveLoopback, MulticastDownlinkDeliversReports) {
+  core::SimConfig cfg = baseConfig(schemes::SchemeKind::kAaw);
+  cfg.simTime = 600.0;
+
+  Reactor reactor;
+  ServerOptions serverOpts;
+  serverOpts.cfg = cfg;
+  serverOpts.timeScale = 500.0;
+  serverOpts.multicastGroup = "239.255.77.61";
+  serverOpts.multicastPort = 47861;
+  std::unique_ptr<BroadcastServer> server;
+  std::unique_ptr<ClientPool> pool;
+  try {
+    server = std::make_unique<BroadcastServer>(reactor, serverOpts);
+    AgentOptions agentOpts;
+    agentOpts.cfg = cfg;
+    agentOpts.port = server->tcpPort();
+    agentOpts.numAgents = cfg.numClients;
+    agentOpts.auditDbs = {&server->database()};
+    pool = std::make_unique<ClientPool>(reactor, agentOpts);
+    pool->start();
+  } catch (const std::runtime_error& e) {
+    GTEST_SKIP() << "multicast unavailable here: " << e.what();
+  }
+
+  reactor.addTimer(0.02, 0.02, [&] {
+    if (pool->modelNow() >= cfg.simTime) {
+      pool->shutdown();
+      reactor.stop();
+    }
+  });
+  try {
+    reactor.run();  // agents join the group at Welcome time, mid-run
+  } catch (const std::runtime_error& e) {
+    GTEST_SKIP() << "multicast unavailable here: " << e.what();
+  }
+
+  EXPECT_EQ(pool->welcomedCount(), cfg.numClients);
+  EXPECT_GT(pool->stats().reportsHeard, 0u)
+      << "no IR arrived over the multicast group";
+  EXPECT_EQ(pool->staleReads(), 0u);
+  EXPECT_EQ(server->staleReads(), 0u);
+  const metrics::SimResult r = pool->finalize();
+  EXPECT_GT(r.queriesCompleted, 0u);
 }
 
 }  // namespace

@@ -97,6 +97,12 @@ TEST(ControlCodecs, WelcomeRoundTripPreservesEveryField) {
   m.sigPerItem = 4;
   m.sigVotes = -3;
   m.gcoreGroupSize = 50;
+  m.shardIndex = 2;
+  m.shardMap = ShardMap(
+      7, 0x1234'5678'9ABC'DEF0ull,
+      {ShardEndpoint{0x7F000001u, 4242, 0, 0},
+       ShardEndpoint{0x7F000001u, 4243, 0xEFFF2A63u, 5000},
+       ShardEndpoint{0x0A000001u, 4244, 0, 0}});
   const auto back = decodeWelcome(encodeWelcome(m));
   ASSERT_TRUE(back.has_value());
   EXPECT_EQ(back->clientId, m.clientId);
@@ -116,6 +122,24 @@ TEST(ControlCodecs, WelcomeRoundTripPreservesEveryField) {
   EXPECT_EQ(back->sigPerItem, m.sigPerItem);
   EXPECT_EQ(back->sigVotes, m.sigVotes);
   EXPECT_EQ(back->gcoreGroupSize, m.gcoreGroupSize);
+  EXPECT_EQ(back->shardIndex, m.shardIndex);
+  EXPECT_EQ(back->shardMap, m.shardMap);
+}
+
+TEST(ControlCodecs, WelcomeRejectsWrongVersionByte) {
+  Welcome m;
+  m.shardMap = ShardMap::single(ShardEndpoint{0x7F000001u, 4242, 0, 0});
+  std::vector<std::uint8_t> bytes = encodeWelcome(m);
+  ASSERT_FALSE(bytes.empty());
+  bytes[0] ^= 0xFF;  // the version byte leads the payload
+  EXPECT_FALSE(decodeWelcome(bytes).has_value());
+}
+
+TEST(ControlCodecs, WelcomeRejectsShardIndexOutsideTheMap) {
+  Welcome m;
+  m.shardIndex = 3;  // but the map only names one shard
+  m.shardMap = ShardMap::single(ShardEndpoint{0x7F000001u, 4242, 0, 0});
+  EXPECT_FALSE(decodeWelcome(encodeWelcome(m)).has_value());
 }
 
 TEST(ControlCodecs, QueryAndDataItemRoundTrip) {

@@ -155,5 +155,60 @@ TEST(SimResult, DerivedMetricsHandleZeroQueries) {
   EXPECT_DOUBLE_EQ(r.energyPerQueryJoules(), 0.0);
 }
 
+TEST(SimResult, MergeSumsCountersAndWeightsLatenciesByQueries) {
+  SimResult a;
+  a.simTime = 100.0;
+  a.queriesCompleted = 300;
+  a.cacheHits = 200;
+  a.cacheMisses = 100;
+  a.avgQueryLatency = 2.0;
+  a.maxQueryLatency = 9.0;
+  a.clientRxBits = 1000.0;
+  a.downlink.irBits = 64;
+  a.clients.fairness = 1.0;
+
+  SimResult b;
+  b.simTime = 90.0;
+  b.queriesCompleted = 100;
+  b.cacheHits = 20;
+  b.cacheMisses = 80;
+  b.staleReads = 1;
+  b.avgQueryLatency = 6.0;
+  b.maxQueryLatency = 4.0;
+  b.clientRxBits = 500.0;
+  b.downlink.irBits = 36;
+  b.clients.fairness = 0.5;
+
+  const SimResult m = mergeResults({a, b});
+  EXPECT_DOUBLE_EQ(m.simTime, 100.0);  // parts ran concurrently: max, not sum
+  EXPECT_EQ(m.queriesCompleted, 400u);
+  EXPECT_EQ(m.cacheHits, 220u);
+  EXPECT_EQ(m.cacheMisses, 180u);
+  EXPECT_EQ(m.staleReads, 1u);
+  EXPECT_DOUBLE_EQ(m.hitRatio(), 220.0 / 400.0);
+  // avg = (300*2 + 100*6) / 400; max = max of maxes.
+  EXPECT_DOUBLE_EQ(m.avgQueryLatency, 3.0);
+  EXPECT_DOUBLE_EQ(m.maxQueryLatency, 9.0);
+  EXPECT_DOUBLE_EQ(m.clientRxBits, 1500.0);
+  EXPECT_DOUBLE_EQ(m.downlink.irBits, 100.0);
+  EXPECT_DOUBLE_EQ(m.clients.fairness, 0.75 * 1.0 + 0.25 * 0.5);
+}
+
+TEST(SimResult, MergeOfNothingIsTheEmptyResult) {
+  const SimResult m = mergeResults({});
+  EXPECT_EQ(m.queriesCompleted, 0u);
+  EXPECT_DOUBLE_EQ(m.hitRatio(), 0.0);
+  EXPECT_DOUBLE_EQ(m.clients.fairness, 1.0);
+}
+
+TEST(SimResult, MergeWithZeroQueriesEverywhereWeightsEvenly) {
+  SimResult a;
+  a.avgQueryLatency = 2.0;
+  SimResult b;
+  b.avgQueryLatency = 4.0;
+  const SimResult m = mergeResults({a, b});
+  EXPECT_DOUBLE_EQ(m.avgQueryLatency, 3.0);
+}
+
 }  // namespace
 }  // namespace mci::metrics

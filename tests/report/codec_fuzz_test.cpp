@@ -185,6 +185,99 @@ TEST(CodecFuzz, TruncatedFramesAreRejectedNotMisread) {
   }
 }
 
+TEST(CodecFuzz, WelcomeV2ShardMapsRoundTripAndRejectDamage) {
+  sim::Rng rng(kFuzzSeed + 7);
+  for (int round = 0; round < kRounds; ++round) {
+    live::wire::Welcome m;
+    m.clientId = static_cast<std::uint32_t>(rng.bits());
+    m.scheme = static_cast<std::uint8_t>(rng.uniformInt(0, 8));
+    m.dbSize = static_cast<std::uint32_t>(rng.uniformInt(1, 1 << 20));
+    m.cacheCapacity = static_cast<std::uint32_t>(rng.uniformInt(1, 4096));
+    m.broadcastPeriod = randomTickTime(rng, 1u << 20);
+    m.timeScale = 1.0 + static_cast<double>(rng.uniformInt(0, 1000));
+    m.sigSeed = rng.bits();
+
+    const auto shards = static_cast<std::uint32_t>(rng.uniformInt(1, 12));
+    std::vector<live::ShardEndpoint> eps;
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      live::ShardEndpoint ep;
+      ep.ipv4 = static_cast<std::uint32_t>(rng.bits());
+      ep.tcpPort = static_cast<std::uint16_t>(rng.uniformInt(1, 65535));
+      if (rng.bernoulli(0.5)) {
+        ep.multicastIpv4 = 0xE0000000u | (static_cast<std::uint32_t>(rng.bits()) &
+                                          0x0FFFFFFFu);
+        ep.multicastPort = static_cast<std::uint16_t>(rng.uniformInt(1, 65535));
+      }
+      eps.push_back(ep);
+    }
+    m.shardMap = live::ShardMap(static_cast<std::uint32_t>(rng.bits()),
+                                rng.bits(), std::move(eps));
+    m.shardIndex = static_cast<std::uint16_t>(
+        rng.uniformInt(0, static_cast<std::int64_t>(shards) - 1));
+
+    const std::vector<std::uint8_t> bytes = live::wire::encodeWelcome(m);
+    const auto back = live::wire::decodeWelcome(bytes);
+    ASSERT_TRUE(back.has_value()) << "round " << round;
+    EXPECT_EQ(back->shardIndex, m.shardIndex);
+    EXPECT_EQ(back->shardMap, m.shardMap);
+    EXPECT_EQ(live::wire::encodeWelcome(*back), bytes) << "round " << round;
+
+    // Any truncation loses shard-map tail bytes and must be refused — a
+    // client configuring its whole link set from a half map would route
+    // queries to daemons that do not own them.
+    const auto cut = static_cast<std::size_t>(
+        rng.uniformInt(0, static_cast<std::int64_t>(bytes.size()) - 1));
+    const std::vector<std::uint8_t> truncated(bytes.begin(),
+                                              bytes.begin() + cut);
+    EXPECT_FALSE(live::wire::decodeWelcome(truncated).has_value())
+        << "cut=" << cut;
+
+    // A corrupted shard count must be bounded by kMaxShards, not allocated.
+    auto bad = bytes;
+    const auto bit = static_cast<std::size_t>(
+        rng.uniformInt(0, static_cast<std::int64_t>(bad.size()) * 8 - 1));
+    bad[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    if (const auto damaged = live::wire::decodeWelcome(bad)) {
+      EXPECT_LE(damaged->shardMap.shardCount(), live::ShardMap::kMaxShards);
+      EXPECT_LT(damaged->shardIndex, damaged->shardMap.shardCount());
+    }
+  }
+}
+
+TEST(CodecFuzz, FrameBufferResyncsPastACorruptFrameSplitAcrossReads) {
+  const SizeModel sizes = smallSizes();
+  const ReportCodec codec(sizes);
+  const auto r = TsReport::fromParts(ReportKind::kTsWindow, sizes, 60.0, 10.0,
+                                     {{.item = 7, .time = 20.0}});
+  const auto payload = codec.encode(*r);
+  const auto good =
+      live::wire::encodeFrame(live::wire::FrameType::kReport, 0,
+                              net::TrafficClass::kInvalidationReport, payload);
+  auto corrupt = good;
+  ASSERT_FALSE(corrupt.empty());
+  corrupt.back() ^= 0x5A;  // payload damage: checksum fails
+
+  // TCP hands the receiver the corrupt frame in two arbitrary pieces, the
+  // split landing inside the frame; the buffer must hold state across the
+  // reads, reject the reassembled frame on checksum, then resync onto the
+  // good frame that follows.
+  for (std::size_t split = 1; split < corrupt.size(); ++split) {
+    live::wire::FrameBuffer buf;
+    buf.append(corrupt.data(), split);
+    EXPECT_FALSE(buf.next().has_value()) << "half a frame decoded";
+    buf.append(corrupt.data() + split, corrupt.size() - split);
+    buf.append(good.data(), good.size());
+
+    const auto frame = buf.next();
+    ASSERT_TRUE(frame.has_value()) << "split=" << split;
+    EXPECT_EQ(frame->header.type, live::wire::FrameType::kReport);
+    EXPECT_EQ(frame->payload, payload);
+    EXPECT_EQ(buf.badFrames(), 1u);
+    EXPECT_FALSE(buf.corrupt()) << "checksum skip must not poison the stream";
+    EXPECT_FALSE(buf.next().has_value());
+  }
+}
+
 TEST(CodecFuzz, CorruptedWireFramesFailTheHeaderChecksum) {
   sim::Rng rng(kFuzzSeed + 6);
   const SizeModel sizes = smallSizes();

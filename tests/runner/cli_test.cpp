@@ -86,5 +86,37 @@ TEST(Cli, QueriedArgsNotReportedUnknown) {
   EXPECT_TRUE(cli.unknownArgs().empty());
 }
 
+TEST(Cli, GetIntBoundedParsesValidValues) {
+  auto cli = makeCli({"--shards=3", "--shard-index", "2"});
+  EXPECT_EQ(cli.getIntBounded("shards", 1, 1, 1024), 3);
+  EXPECT_EQ(cli.getIntBounded("shard-index", 0, 0, 2), 2);
+}
+
+TEST(Cli, GetIntBoundedFallsBackWhenAbsent) {
+  auto cli = makeCli({});
+  EXPECT_EQ(cli.getIntBounded("shards", 1, 1, 1024), 1);
+  // The fallback is the caller's, not clamped: bounds apply to user input.
+  EXPECT_EQ(cli.getIntBounded("shards", 0, 1, 1024), 0);
+}
+
+TEST(Cli, GetIntBoundedRejectsTypos) {
+  // `--shards banana` must not silently run a default-size cluster: the
+  // caller gets nullopt (and the accepted range is printed to stderr), the
+  // same contract as getScheme.
+  EXPECT_FALSE(
+      makeCli({"--shards=banana"}).getIntBounded("shards", 1, 1, 1024));
+  EXPECT_FALSE(makeCli({"--shards=3x"}).getIntBounded("shards", 1, 1, 1024));
+  EXPECT_FALSE(makeCli({"--shards="}).getIntBounded("shards", 1, 1, 1024));
+}
+
+TEST(Cli, GetIntBoundedRejectsOutOfRangeValues) {
+  EXPECT_FALSE(makeCli({"--shards=0"}).getIntBounded("shards", 1, 1, 1024));
+  EXPECT_FALSE(makeCli({"--shards=1025"}).getIntBounded("shards", 1, 1, 1024));
+  EXPECT_FALSE(
+      makeCli({"--shard-index=-1"}).getIntBounded("shard-index", 0, 0, 3));
+  EXPECT_EQ(makeCli({"--shards=1024"}).getIntBounded("shards", 1, 1, 1024),
+            1024);
+}
+
 }  // namespace
 }  // namespace mci::runner

@@ -1,18 +1,22 @@
 #!/usr/bin/env python3
 """Loopback smoke driver for the live broadcast subsystem.
 
-Starts one mci_live_server daemon, points an mci_live_client load generator
-(N in-process agents) at it for a few simulated minutes of compressed model
-time, and asserts the run was healthy end to end:
+Starts one mci_live_server daemon (or, with --shards K > 1, an
+mci_live_cluster of K sharded daemons), points an mci_live_client load
+generator (N in-process agents) at it for a few simulated minutes of
+compressed model time, and asserts the run was healthy end to end:
 
   * every agent completed the Hello/Welcome handshake,
   * queries completed and some of them were cache hits,
   * zero stale reads audited on either side (the paper's core invariant),
-  * no connection was lost and both processes exited cleanly.
+  * no connection was lost and both processes exited cleanly,
+  * in sharded mode: the client learned the shard map and heard a nonzero
+    IR stream from every shard, and every shard applied updates.
 
 CI runs this against the release build; locally:
 
     python3 tools/live_load.py --build build-release
+    python3 tools/live_load.py --build build-release --shards 3
 """
 
 from __future__ import annotations
@@ -23,14 +27,18 @@ import subprocess
 import sys
 
 
-def parse_kv(line: str) -> dict[str, str]:
-    return dict(tok.split("=", 1) for tok in line.split() if "=" in tok)
+def parse_kv(text: str) -> dict[str, str]:
+    return dict(tok.split("=", 1)
+                for line in text.splitlines()
+                for tok in line.split() if "=" in tok)
 
 
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--build", default="build", help="CMake build directory")
     ap.add_argument("--scheme", default="AAW")
+    ap.add_argument("--shards", type=int, default=1,
+                    help="1 = single mci_live_server; K>1 = mci_live_cluster")
     ap.add_argument("--agents", type=int, default=8)
     ap.add_argument("--dbsize", type=int, default=500)
     ap.add_argument("--duration", type=float, default=600.0,
@@ -41,7 +49,9 @@ def main() -> int:
     args = ap.parse_args()
 
     build = pathlib.Path(args.build)
-    server_bin = build / "src" / "mci_live_server"
+    sharded = args.shards > 1
+    server_bin = build / "src" / ("mci_live_cluster" if sharded
+                                  else "mci_live_server")
     client_bin = build / "src" / "mci_live_client"
     for b in (server_bin, client_bin):
         if not b.exists():
@@ -49,7 +59,9 @@ def main() -> int:
             return 2
 
     # The server outlives the client by a margin so the client's shutdown is
-    # clean (Bye over a live connection), then times out on its own.
+    # clean (Bye over a live connection), then times out on its own. The
+    # margin covers the client's late clock start: its model time begins at
+    # the first Welcome, a beat after the daemon's.
     server_cmd = [
         str(server_bin),
         f"--scheme={args.scheme}",
@@ -57,9 +69,11 @@ def main() -> int:
         f"--dbsize={args.dbsize}",
         "--bufferfrac=0.1",
         f"--timescale={args.timescale}",
-        f"--duration={args.duration + 100.0}",
+        f"--duration={args.duration + 300.0}",
         f"--seed={args.seed}",
     ]
+    if sharded:
+        server_cmd.insert(1, f"--shards={args.shards}")
     print("+", " ".join(server_cmd))
     server = subprocess.Popen(server_cmd, stdout=subprocess.PIPE, text=True)
     try:
@@ -70,6 +84,11 @@ def main() -> int:
             server.kill()
             return 1
         port = int(port_line.split("=", 1)[1])
+        if sharded:
+            # The cluster also announces the full port list; the client only
+            # needs the seed port — the Welcome's shard map teaches the rest.
+            ports_line = server.stdout.readline().strip()
+            print(ports_line)
 
         # Hot/cold queries with a short think time: enough locality that a
         # few model minutes must produce cache hits.
@@ -88,7 +107,7 @@ def main() -> int:
         print(client.stdout, end="")
 
         server_out, _ = server.communicate(
-            timeout=(args.duration + 200.0) / args.timescale + 60)
+            timeout=(args.duration + 400.0) / args.timescale + 60)
         print(server_out, end="")
     except subprocess.TimeoutExpired:
         print("error: timed out waiting for daemons", file=sys.stderr)
@@ -101,8 +120,8 @@ def main() -> int:
     if server.returncode != 0:
         failures.append(f"server exited {server.returncode}")
 
-    stats = parse_kv(client.stdout.splitlines()[0] if client.stdout else "")
-    server_stats = parse_kv(server_out.splitlines()[-1] if server_out else "")
+    stats = parse_kv(client.stdout or "")
+    server_stats = parse_kv(server_out or "")
     checks = [
         ("welcomed", stats.get("welcomed") == str(args.agents)),
         ("queries > 0", int(stats.get("queries", 0)) > 0),
@@ -113,6 +132,21 @@ def main() -> int:
         ("server stale == 0", server_stats.get("stale") == "0"),
         ("server broadcast > 0", int(server_stats.get("reports", 0)) > 0),
     ]
+    if sharded:
+        checks.append(("client learned the shard map",
+                       stats.get("shards") == str(args.shards)))
+        heard = [int(n) for n in
+                 stats.get("reports_per_shard", "").split(",") if n]
+        checks.append(("client heard IRs from every shard",
+                       len(heard) == args.shards and all(n > 0
+                                                         for n in heard)))
+        checks.append(("no misrouted items",
+                       server_stats.get("misrouted") == "0"))
+        for s in range(args.shards):
+            checks.append(
+                (f"shard {s} broadcast IRs and applied updates",
+                 int(server_stats.get(f"shard{s}_reports", 0)) > 0 and
+                 int(server_stats.get(f"shard{s}_updates", 0)) > 0))
     for label, ok in checks:
         print(f"  [{'ok' if ok else 'FAIL'}] {label}")
         if not ok:
