@@ -6,6 +6,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "db/item.hpp"
 #include "sim/time.hpp"
 
@@ -64,12 +65,12 @@ class LruCache {
   std::optional<Entry> insert(const Entry& entry);
 
   /// Looks up without changing recency. nullptr when absent.
-  [[nodiscard]] Entry* find(db::ItemId item);
-  [[nodiscard]] const Entry* find(db::ItemId item) const;
+  [[nodiscard]] MCI_HOT Entry* find(db::ItemId item);
+  [[nodiscard]] MCI_HOT const Entry* find(db::ItemId item) const;
 
   /// Marks `item` most-recently-used (call on a cache hit). Under FIFO and
   /// RANDOM this is a no-op by design.
-  void touch(db::ItemId item);
+  MCI_HOT void touch(db::ItemId item);
 
   [[nodiscard]] ReplacementPolicy policy() const { return policy_; }
 

@@ -1,0 +1,25 @@
+#pragma once
+
+/// Source-level annotations consumed by tools/analyze/mci_analyze.py.
+///
+/// MCI_HOT marks a function as part of the steady-state simulation /
+/// report kernel: the hot-path-alloc rule roots its call-graph walk at
+/// every MCI_HOT function and reports any reachable `new`, malloc-family
+/// call, or growth-capable STL member call. This turns the bench gate's
+/// "0 allocs/event" measurement (docs/performance.md) into a static,
+/// workload-independent contract.
+///
+/// Amortised one-time growth (free-list pools, scratch buffers that reach
+/// a high-water mark) is allowed but must be justified in place:
+///
+///   heap_.push_back(e);  // MCI-ANALYZE-ALLOW(hot-path-alloc): grows to
+///                        // high-water mark only
+///
+/// The annotation is a clang `annotate` attribute, invisible to GCC (which
+/// would warn on unknown attributes under -Werror) and to codegen: it
+/// exists purely in the AST for libclang to read.
+#if defined(__clang__)
+#define MCI_HOT __attribute__((annotate("mci::hot")))
+#else
+#define MCI_HOT
+#endif

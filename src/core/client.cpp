@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/check.hpp"
 #include "core/server.hpp"
 
 namespace mci::core {
@@ -137,7 +138,9 @@ void Client::completeQuery() {
 void Client::beginDoze(bool queryAfterWake) {
   assert(state_ == State::kThinking);
   if (thinkEvent_ != sim::kInvalidEventId) {
-    sim_.cancel(thinkEvent_);
+    // The think handler clears thinkEvent_ before running, so a live id
+    // always names a pending event.
+    MCI_CHECK(sim_.cancel(thinkEvent_)) << "think event already fired";
     thinkEvent_ = sim::kInvalidEventId;
   }
   connected_ = false;

@@ -30,9 +30,11 @@ std::vector<UpdateRecord> UpdateHistory::updatesAfter(sim::SimTime t) const {
 
 void UpdateHistory::updatesAfter(sim::SimTime t,
                                  std::vector<UpdateRecord>& out) const {
-  out.reserve(out.size() + countUpdatesAfter(t));
+  // MCI-ANALYZE-ALLOW(hot-path-alloc): exact reserve into a caller-owned
+  out.reserve(out.size() + countUpdatesAfter(t));  // scratch (high-water)
   for (std::uint32_t i = head_; i != kNone; i = nodes_[i].next) {
     if (nodes_[i].lastTime <= t) break;  // list sorted by lastTime desc
+    // MCI-ANALYZE-ALLOW(hot-path-alloc): within the reserve above
     out.push_back(UpdateRecord{static_cast<ItemId>(i), nodes_[i].lastTime});
   }
 }
@@ -54,9 +56,11 @@ std::vector<UpdateRecord> UpdateHistory::mostRecent(std::size_t k) const {
 
 void UpdateHistory::mostRecent(std::size_t k,
                                std::vector<UpdateRecord>& out) const {
-  out.reserve(out.size() + std::min(k, distinct_));
+  // MCI-ANALYZE-ALLOW(hot-path-alloc): exact reserve into a caller-owned
+  out.reserve(out.size() + std::min(k, distinct_));  // scratch (high-water)
   std::size_t taken = 0;
   for (std::uint32_t i = head_; i != kNone && taken < k; i = nodes_[i].next) {
+    // MCI-ANALYZE-ALLOW(hot-path-alloc): within the reserve above
     out.push_back(UpdateRecord{static_cast<ItemId>(i), nodes_[i].lastTime});
     ++taken;
   }

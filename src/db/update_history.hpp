@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "db/item.hpp"
 #include "sim/time.hpp"
 
@@ -23,7 +24,7 @@ class UpdateHistory {
   explicit UpdateHistory(std::size_t numItems);
 
   /// Records that `item` was updated at `now` (non-decreasing times).
-  void record(ItemId item, sim::SimTime now);
+  MCI_HOT void record(ItemId item, sim::SimTime now);
 
   /// Number of distinct items ever updated.
   [[nodiscard]] std::size_t distinctUpdated() const { return distinct_; }
@@ -41,7 +42,7 @@ class UpdateHistory {
 
   /// Appends the same records to `out` (scratch-buffer form: the caller
   /// owns and reuses the vector across intervals). Reserves exactly.
-  void updatesAfter(sim::SimTime t, std::vector<UpdateRecord>& out) const;
+  MCI_HOT void updatesAfter(sim::SimTime t, std::vector<UpdateRecord>& out) const;
 
   /// Count of distinct items with last update strictly after `t`.
   [[nodiscard]] std::size_t countUpdatesAfter(sim::SimTime t) const;
@@ -51,7 +52,7 @@ class UpdateHistory {
   [[nodiscard]] std::vector<UpdateRecord> mostRecent(std::size_t k) const;
 
   /// Appends the same records to `out` (scratch-buffer form).
-  void mostRecent(std::size_t k, std::vector<UpdateRecord>& out) const;
+  MCI_HOT void mostRecent(std::size_t k, std::vector<UpdateRecord>& out) const;
 
   /// Last update time of the given item; kTimeEpoch if never updated.
   [[nodiscard]] sim::SimTime lastUpdateOf(ItemId item) const;

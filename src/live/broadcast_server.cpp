@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/check.hpp"
 #include "core/scheme_factory.hpp"
 #include "report/bs_report.hpp"
 #include "report/ts_report.hpp"
@@ -76,8 +77,12 @@ BroadcastServer::BroadcastServer(Reactor& reactor, ServerOptions options)
 }
 
 BroadcastServer::~BroadcastServer() {
-  reactor_.cancelTimer(broadcastTimer_);
-  reactor_.cancelTimer(updateTimer_);
+  // Both timers are live here by construction: the broadcast timer is
+  // periodic and the update timer always re-arms itself before returning.
+  MCI_CHECK(reactor_.cancelTimer(broadcastTimer_))
+      << "broadcast timer vanished before shutdown";
+  MCI_CHECK(reactor_.cancelTimer(updateTimer_))
+      << "update timer vanished before shutdown";
   for (auto& [fd, conn] : conns_) {
     reactor_.removeFd(fd);
     ::close(fd);
@@ -205,7 +210,8 @@ void BroadcastServer::onConnEvent(int fd, std::uint32_t events) {
 
   std::uint8_t buf[65536];
   for (;;) {
-    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    // MCI-ANALYZE-ALLOW(reactor-blocking): fd was accept4'd with
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);  // SOCK_NONBLOCK
     if (n > 0) {
       it->second.in.append(buf, static_cast<std::size_t>(n));
       if (n < static_cast<ssize_t>(sizeof buf)) break;
@@ -303,8 +309,10 @@ void BroadcastServer::handleHello(int fd, Conn& conn,
   w.gcoreGroupSize = static_cast<std::uint32_t>(cfg.gcoreGroupSize);
   w.shardIndex = static_cast<std::uint16_t>(opts_.shardIndex);
   w.shardMap = shardMap_;
-  sendFrame(fd, conn, wire::FrameType::kWelcome, net::TrafficClass::kControl,
-            wire::encodeWelcome(w));
+  if (!sendFrame(fd, conn, wire::FrameType::kWelcome,
+                 net::TrafficClass::kControl, wire::encodeWelcome(w))) {
+    return;  // flush failed; the connection (and conn) are already gone
+  }
 }
 
 void BroadcastServer::handleQuery(int fd, Conn& conn,
@@ -328,10 +336,10 @@ void BroadcastServer::handleQuery(int fd, Conn& conn,
     d.item = item;
     d.version = db_.currentVersion(item);
     d.readTime = readTime;
-    sendFrame(fd, conn, wire::FrameType::kDataItem, net::TrafficClass::kBulk,
-              wire::encodeDataItem(d));
-    auto it = conns_.find(fd);
-    if (it == conns_.end()) return;  // send error closed the connection
+    if (!sendFrame(fd, conn, wire::FrameType::kDataItem,
+                   net::TrafficClass::kBulk, wire::encodeDataItem(d))) {
+      return;  // send error closed the connection
+    }
   }
 }
 
@@ -370,9 +378,13 @@ void BroadcastServer::handleCheck(int fd, Conn& conn, const wire::Check& c) {
   wire::CheckAck ack;
   ack.epoch = c.epoch;
   ack.asOf = LiveClock::tickToTime(std::max(ctick, lastBroadcastTick_));
-  sendFrame(fd, conn, wire::FrameType::kCheckAck, net::TrafficClass::kControl,
-            wire::encodeCheckAck(ack));
-  if (conns_.find(fd) == conns_.end()) return;
+  MCI_CHECK(ack.asOf >= LiveClock::tickToTime(lastBroadcastTick_))
+      << "check ack stamped " << ack.asOf << " before last broadcast tick "
+      << lastBroadcastTick_;
+  if (!sendFrame(fd, conn, wire::FrameType::kCheckAck,
+                 net::TrafficClass::kControl, wire::encodeCheckAck(ack))) {
+    return;  // send error closed the connection
+  }
 
   if (reply.has_value()) {
     collector_.onValidityReplySent();
@@ -381,8 +393,11 @@ void BroadcastServer::handleCheck(int fd, Conn& conn, const wire::Check& c) {
     vr.epoch = msg.epoch;
     vr.sizeBits = reply->sizeBits;
     vr.invalid = std::move(reply->invalid);
-    sendFrame(fd, conn, wire::FrameType::kValidityReply,
-              net::TrafficClass::kControl, wire::encodeValidityReply(vr));
+    if (!sendFrame(fd, conn, wire::FrameType::kValidityReply,
+                   net::TrafficClass::kControl,
+                   wire::encodeValidityReply(vr))) {
+      return;  // flush failed; the connection is already gone
+    }
   }
 }
 
@@ -410,7 +425,7 @@ void BroadcastServer::closeConn(int fd) {
   ++stats_.connectionsClosed;
 }
 
-void BroadcastServer::sendFrame(int fd, Conn& conn, wire::FrameType type,
+bool BroadcastServer::sendFrame(int fd, Conn& conn, wire::FrameType type,
                                 net::TrafficClass trafficClass,
                                 const std::vector<std::uint8_t>& payload) {
   const std::uint8_t scheme = type == wire::FrameType::kReport
@@ -421,16 +436,20 @@ void BroadcastServer::sendFrame(int fd, Conn& conn, wire::FrameType type,
   const std::size_t queued = conn.out.size() - conn.outOff;
   if (queued + frame.size() > opts_.maxSendQueueBytes) {
     // Whole-frame drop: a wedged client loses replies (and will resync via
-    // future reports) but can never wedge the daemon.
+    // future reports) but can never wedge the daemon. The connection
+    // itself is still healthy.
     ++stats_.framesDropped;
-    return;
+    return true;
   }
   conn.out.insert(conn.out.end(), frame.begin(), frame.end());
-  flushConn(fd, conn);
+  flushConn(fd, conn);  // on hard error this closeConn()s, invalidating conn
+  return conns_.find(fd) != conns_.end();
 }
 
 void BroadcastServer::flushConn(int fd, Conn& conn) {
   while (conn.outOff < conn.out.size()) {
+    // MCI-ANALYZE-ALLOW(reactor-blocking): fd was accept4'd with
+    // SOCK_NONBLOCK in onAcceptable; send returns EAGAIN, never blocks
     const ssize_t n = ::send(fd, conn.out.data() + conn.outOff,
                              conn.out.size() - conn.outOff, MSG_NOSIGNAL);
     if (n > 0) {

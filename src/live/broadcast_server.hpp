@@ -176,9 +176,14 @@ class BroadcastServer {
   void handleCheck(int fd, Conn& conn, const wire::Check& c);
   void handleAudit(Conn& conn, const wire::Audit& a);
   void closeConn(int fd);
-  void sendFrame(int fd, Conn& conn, wire::FrameType type,
-                 net::TrafficClass trafficClass,
-                 const std::vector<std::uint8_t>& payload);
+  /// Queues (or drops, when the queue is full) one frame and flushes.
+  /// Returns false when the flush hit a hard error and closed the
+  /// connection — `conn` is then dangling and the caller must stop
+  /// touching it. Replaces the old "re-find(fd) after every send"
+  /// convention, which was easy to forget (tools/analyze checked-return).
+  [[nodiscard]] bool sendFrame(int fd, Conn& conn, wire::FrameType type,
+                               net::TrafficClass trafficClass,
+                               const std::vector<std::uint8_t>& payload);
   void flushConn(int fd, Conn& conn);
 
   void broadcastTick();

@@ -153,9 +153,12 @@ class ClientAgent {
   void beginDoze(bool queryAfterWake);
   void wake();
   void sendCheck(Link& link, const schemes::CheckMessage& msg);
-  void sendFrame(Link& link, wire::FrameType type,
-                 net::TrafficClass trafficClass,
-                 const std::vector<std::uint8_t>& payload);
+  /// Queues one frame on the link and flushes. Returns false when the
+  /// flush hit a hard error and dropAgent() already ran (the Link object
+  /// survives with tcpFd == -1, but the caller must stop this exchange).
+  [[nodiscard]] bool sendFrame(Link& link, wire::FrameType type,
+                               net::TrafficClass trafficClass,
+                               const std::vector<std::uint8_t>& payload);
   void flushOut(Link& link);
   void cancelTimer();
   void dropAgent();

@@ -49,7 +49,7 @@ class Reactor {
 
   /// Cancels a pending timer. Returns false if it already fired (one-shot)
   /// or was never valid.
-  bool cancelTimer(TimerId id);
+  [[nodiscard]] bool cancelTimer(TimerId id);
 
   /// Dispatches until stop() is called from within a handler.
   void run();

@@ -4,6 +4,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/check.hpp"
 #include "db/item.hpp"
 
 namespace mci::report {
@@ -65,6 +66,9 @@ class ShardMap {
     return static_cast<std::uint32_t>(shards_.size());
   }
   [[nodiscard]] const ShardEndpoint& endpoint(std::uint32_t shard) const {
+    MCI_CHECK(shard < shards_.size())
+        << "shard index " << shard << " out of range (count="
+        << shards_.size() << ")";
     return shards_[shard];
   }
   [[nodiscard]] const std::vector<ShardEndpoint>& endpoints() const {
@@ -73,7 +77,11 @@ class ShardMap {
 
   /// Owner shard of `item`. Requires valid().
   [[nodiscard]] std::uint32_t shardOf(db::ItemId item) const {
-    return shardOfItem(item, hashSeed_, shardCount());
+    MCI_CHECK(valid()) << "shardOf(" << item << ") on an empty shard map";
+    const std::uint32_t shard = shardOfItem(item, hashSeed_, shardCount());
+    MCI_DCHECK(shard < shardCount())
+        << "hash law produced shard " << shard << " of " << shardCount();
+    return shard;
   }
 
   /// The map's hash law, callable without a map (servers know only their

@@ -3,6 +3,7 @@
 #include <array>
 #include <bit>
 
+#include "core/check.hpp"
 #include "report/codec.hpp"
 
 namespace mci::live::wire {
@@ -30,11 +31,18 @@ std::size_t payloadBytes(std::uint32_t payloadBits) {
 }
 
 /// Reads a 16/32-bit big-endian field at `off` (bounds already checked).
+/// These (and crc32/frameSize/decodeFrame below) are the frame-envelope
+/// trust boundary: the one layer that may touch payload bytes raw, because
+/// it is what establishes the bounds BitReader then enforces for everyone
+/// else (docs/protocols.md, "Wire format").
 std::uint32_t be16(const std::uint8_t* p) {
+  // MCI-ANALYZE-ALLOW(codec-bounds): envelope trust boundary, caller-checked
   return (std::uint32_t{p[0]} << 8) | p[1];
 }
 std::uint32_t be32(const std::uint8_t* p) {
+  // MCI-ANALYZE-ALLOW(codec-bounds): envelope trust boundary, caller-checked
   return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         // MCI-ANALYZE-ALLOW(codec-bounds): envelope trust boundary
          (std::uint32_t{p[2]} << 8) | p[3];
 }
 
@@ -44,6 +52,7 @@ std::uint32_t crc32(const std::uint8_t* data, std::size_t len,
                     std::uint32_t seed) {
   std::uint32_t c = seed ^ 0xFFFFFFFFu;
   for (std::size_t i = 0; i < len; ++i) {
+    // MCI-ANALYZE-ALLOW(codec-bounds): envelope CRC, i < len by loop bound
     c = kCrcTable[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
   }
   return c ^ 0xFFFFFFFFu;
@@ -78,6 +87,7 @@ std::vector<std::uint8_t> encodeFrame(FrameType type, std::uint8_t scheme,
 std::size_t frameSize(const std::uint8_t* data, std::size_t len) {
   if (len < kHeaderBytes) return 0;
   if (be16(data) != kMagic) return 0;
+  // MCI-ANALYZE-ALLOW(codec-bounds): len >= kHeaderBytes checked above
   const std::uint32_t payloadBits = be32(data + 6);
   const std::size_t bytes = payloadBytes(payloadBits);
   if (bytes > kMaxPayloadBytes) return 0;
@@ -87,13 +97,19 @@ std::size_t frameSize(const std::uint8_t* data, std::size_t len) {
 std::optional<Frame> decodeFrame(const std::uint8_t* data, std::size_t len) {
   const std::size_t total = frameSize(data, len);
   if (total == 0 || len < total) return std::nullopt;
+  // Header reads below stay inside [0, kHeaderBytes) <= total <= len,
+  // established by the frameSize() check above: envelope trust boundary.
   Frame f;
-  f.header.version = data[2];
+  f.header.version = data[2];  // MCI-ANALYZE-ALLOW(codec-bounds): see above
   if (f.header.version != kVersion) return std::nullopt;
+  // MCI-ANALYZE-ALLOW(codec-bounds): envelope header, bounds checked above
   f.header.type = static_cast<FrameType>(data[3]);
-  f.header.scheme = data[4];
+  f.header.scheme = data[4];  // MCI-ANALYZE-ALLOW(codec-bounds): see above
+  // MCI-ANALYZE-ALLOW(codec-bounds): envelope header, bounds checked above
   f.header.trafficClass = data[5];
+  // MCI-ANALYZE-ALLOW(codec-bounds): envelope header, bounds checked above
   f.header.payloadBits = be32(data + 6);
+  // MCI-ANALYZE-ALLOW(codec-bounds): envelope header, bounds checked above
   f.header.checksum = be32(data + 10);
 
   // Verify over the frame with the checksum field zeroed, matching the
@@ -101,9 +117,11 @@ std::optional<Frame> decodeFrame(const std::uint8_t* data, std::size_t len) {
   static constexpr std::uint8_t kZeros[4] = {0, 0, 0, 0};
   std::uint32_t crc = crc32(data, 10);
   crc = crc32(kZeros, 4, crc);
+  // MCI-ANALYZE-ALLOW(codec-bounds): len >= total checked on entry
   crc = crc32(data + kHeaderBytes, total - kHeaderBytes, crc);
   if (crc != f.header.checksum) return std::nullopt;
 
+  // MCI-ANALYZE-ALLOW(codec-bounds): len >= total checked on entry
   f.payload.assign(data + kHeaderBytes, data + total);
   return f;
 }
@@ -320,19 +338,30 @@ void FrameBuffer::append(const std::uint8_t* data, std::size_t len) {
     buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(off_));
     off_ = 0;
   }
+  // MCI-ANALYZE-ALLOW(codec-bounds): [data, data+len) is the caller's span
   buf_.insert(buf_.end(), data, data + len);
 }
 
 std::optional<Frame> FrameBuffer::next() {
+  MCI_DCHECK(off_ <= buf_.size())
+      << "FrameBuffer cursor past end: off=" << off_ << " size="
+      << buf_.size();
   while (!corrupt_) {
     const std::size_t avail = buf_.size() - off_;
     if (avail < kHeaderBytes) return std::nullopt;
+    // MCI-ANALYZE-ALLOW(codec-bounds): off_ <= buf_.size(), avail-bounded
     const std::size_t total = frameSize(buf_.data() + off_, avail);
     if (total == 0) {
       corrupt_ = true;
       return std::nullopt;
     }
     if (avail < total) return std::nullopt;
+    // frameSize() promised a full frame no shorter than its header and no
+    // longer than what we buffered; decodeFrame reads exactly [off_, total).
+    MCI_CHECK(total >= kHeaderBytes && off_ + total <= buf_.size())
+        << "frame length " << total << " escapes buffer: off=" << off_
+        << " size=" << buf_.size();
+    // MCI-ANALYZE-ALLOW(codec-bounds): off_ + total <= buf_.size() here
     std::optional<Frame> f = decodeFrame(buf_.data() + off_, total);
     off_ += total;
     if (!f) {

@@ -9,7 +9,8 @@ BitVec::BitVec(std::size_t bits) : size_(bits), words_((bits + 63) / 64, 0) {}
 
 void BitVec::assign(std::size_t bits) {
   size_ = bits;
-  words_.assign((bits + 63) / 64, 0);  // vector::assign keeps capacity
+  // MCI-ANALYZE-ALLOW(hot-path-alloc): vector::assign keeps capacity;
+  words_.assign((bits + 63) / 64, 0);  // grows to high-water mark only
 }
 
 void BitVec::set(std::size_t i) {

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/annotations.hpp"
+
 namespace mci::report {
 
 /// Fixed-size packed bit vector used by the wire-level Bit-Sequences
@@ -16,22 +18,22 @@ class BitVec {
   /// Re-sizes to `bits` bits, all clear, reusing the existing word storage
   /// (the scratch-buffer path: re-encoding reports every broadcast interval
   /// without reallocating).
-  void assign(std::size_t bits);
+  MCI_HOT void assign(std::size_t bits);
 
   [[nodiscard]] std::size_t size() const { return size_; }
 
-  void set(std::size_t i);
+  MCI_HOT void set(std::size_t i);
   void reset(std::size_t i);
-  [[nodiscard]] bool test(std::size_t i) const;
+  [[nodiscard]] MCI_HOT bool test(std::size_t i) const;
 
   /// Number of set bits in the whole vector.
   [[nodiscard]] std::size_t count() const;
 
   /// Number of set bits in [0, i).
-  [[nodiscard]] std::size_t rank(std::size_t i) const;
+  [[nodiscard]] MCI_HOT std::size_t rank(std::size_t i) const;
 
   /// Position of the k-th (0-based) set bit; size() if fewer than k+1 set.
-  [[nodiscard]] std::size_t select(std::size_t k) const;
+  [[nodiscard]] MCI_HOT std::size_t select(std::size_t k) const;
 
   /// Positions of all set bits, ascending.
   [[nodiscard]] std::vector<std::size_t> setPositions() const;

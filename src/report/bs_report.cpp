@@ -235,7 +235,8 @@ void BsWire::encodeInto(const BsReport& report, BsWire& out) {
   // Degenerate (empty history): still emit B_n of N bits, all zero,
   // timestamped at epoch — hence at least one wire level.
   const std::size_t numLevels = std::max<std::size_t>(levels.size(), 1);
-  out.levels_.resize(numLevels);  // keeps surviving levels' BitVec storage
+  // MCI-ANALYZE-ALLOW(hot-path-alloc): keeps surviving levels' BitVec
+  out.levels_.resize(numLevels);  // storage; grows to high-water mark only
 
   if (levels.empty()) {
     out.levels_[0].bits.assign(report.numItems());

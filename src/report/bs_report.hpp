@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "db/item.hpp"
 #include "db/update_history.hpp"
 #include "report/bitvec.hpp"
@@ -141,7 +142,7 @@ class BsWire {
   /// Same encoding into an existing wire object, reusing its BitVec word
   /// storage (per-interval re-encoders keep one BsWire as scratch and
   /// never reallocate after the first interval).
-  static void encodeInto(const BsReport& report, BsWire& out);
+  static MCI_HOT void encodeInto(const BsReport& report, BsWire& out);
 
   struct WireLevel {
     BitVec bits;

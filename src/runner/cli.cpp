@@ -62,7 +62,8 @@ std::optional<schemes::SchemeKind> Cli::getScheme(
     const std::string& key, schemes::SchemeKind fallback) const {
   const Arg* a = findArg(key);
   if (a == nullptr) return fallback;
-  const std::optional<schemes::SchemeKind> parsed =
+  // Non-const so the return moves (performance-no-automatic-move).
+  std::optional<schemes::SchemeKind> parsed =
       schemes::parseSchemeName(a->value);
   if (!parsed) {
     std::fprintf(stderr, "unknown --%s value '%s'; valid schemes: %s\n",

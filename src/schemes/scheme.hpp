@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "cache/lru_cache.hpp"
+#include "core/annotations.hpp"
 #include "db/item.hpp"
 #include "net/units.hpp"
 #include "report/report.hpp"
@@ -196,8 +197,9 @@ class ServerScheme {
 
 /// Applies a TS-style report's explicit records to the cache: every listed
 /// (o, t) with t newer than the cached copy's refTime is stale. Shared by
-/// TS, AT, TS-checking and the adaptive schemes.
-void applyTsEntries(const std::vector<db::UpdateRecord>& entries,
-                    ClientContext& ctx);
+/// TS, AT, TS-checking and the adaptive schemes — the per-report client
+/// kernel, hence MCI_HOT (tools/analyze: nothing it reaches may allocate).
+MCI_HOT void applyTsEntries(const std::vector<db::UpdateRecord>& entries,
+                            ClientContext& ctx);
 
 }  // namespace mci::schemes

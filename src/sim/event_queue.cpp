@@ -18,6 +18,7 @@ std::uint32_t EventQueue::acquireSlot() {
   MCI_CHECK(pool_.size() < kMaxSlots)
       << "event pool exhausted: " << pool_.size()
       << " events pending at once";
+  // MCI-ANALYZE-ALLOW(hot-path-alloc): pool grows to high-water mark only
   pool_.emplace_back();
   return static_cast<std::uint32_t>(pool_.size() - 1);
 }
@@ -39,6 +40,7 @@ EventId EventQueue::push(SimTime at, EventFn fn) {
   const EventId id = (seq_ << kSlotBits) | slot;
   pool_[slot].id = id;
   pool_[slot].fn = std::move(fn);
+  // MCI-ANALYZE-ALLOW(hot-path-alloc): heap grows to high-water mark only
   heap_.push_back(HeapEntry{at, id, slot});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++live_;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "sim/event.hpp"
 #include "sim/time.hpp"
 
@@ -30,12 +31,12 @@ class EventQueue {
 
   /// Schedules `fn` at absolute time `at`. Returns a handle usable with
   /// cancel(). `at` must be finite.
-  EventId push(SimTime at, EventFn fn);
+  MCI_HOT EventId push(SimTime at, EventFn fn);
 
   /// Cancels a pending event. Returns true if the event was still pending
   /// (it will not fire); false if it already fired, was already cancelled,
   /// or never existed. O(1).
-  bool cancel(EventId id);
+  [[nodiscard]] MCI_HOT bool cancel(EventId id);
 
   /// True if no live (non-cancelled) events remain.
   [[nodiscard]] bool empty() const { return live_ == 0; }
@@ -50,7 +51,7 @@ class EventQueue {
 
   /// Time of the earliest live event; kTimeInfinity when empty.
   /// Amortized O(1): prunes stale (cancelled) entries from the heap top.
-  SimTime peekTime();
+  MCI_HOT SimTime peekTime();
 
   /// Pops and returns the earliest live event. Precondition: !empty().
   struct Popped {
@@ -58,7 +59,7 @@ class EventQueue {
     SimTime time{0};
     EventFn fn;
   };
-  Popped pop();
+  MCI_HOT Popped pop();
 
   /// Removes all events. Keeps the sequence counter (ids stay unique) but
   /// releases the heap/pool storage.

@@ -33,7 +33,7 @@ class Simulator {
   EventId scheduleAt(SimTime at, EventFn fn);
 
   /// Cancels a pending event; see EventQueue::cancel.
-  bool cancel(EventId id) { return queue_.cancel(id); }
+  [[nodiscard]] bool cancel(EventId id) { return queue_.cancel(id); }
 
   /// Runs events in time order until the queue is exhausted or the clock
   /// would pass `until`. Events scheduled exactly at `until` do fire.

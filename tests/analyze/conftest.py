@@ -1,0 +1,17 @@
+"""Pytest bootstrap: make tools/analyze importable from the test modules.
+
+The test files also do this themselves (so plain unittest discovery works
+without pytest); keeping it here as well lets pytest collect them from any
+rootdir.
+"""
+
+import os
+import sys
+
+_TOOLS = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "tools",
+    "analyze",
+)
+if _TOOLS not in sys.path:
+    sys.path.insert(0, _TOOLS)

@@ -1,0 +1,24 @@
+// checked-return fixture: every marked statement below must be reported.
+// The stub class names deliberately match the rule's watched (method,
+// class) pairs; result types are primitive so the discarded call sits
+// directly in statement position.
+
+struct Frame {
+  int type = 0;
+};
+
+struct FrameBuffer {
+  Frame* next();
+};
+
+struct EventQueue {
+  bool cancel(unsigned long id);
+};
+
+int decodeFrame(const unsigned char* data, unsigned long len);
+
+void drainBad(FrameBuffer& fb, EventQueue& q, const unsigned char* d) {
+  fb.next();          // BAD: dropped frame — silently unparsed input
+  q.cancel(7);        // BAD: cancel may have missed; caller never knows
+  decodeFrame(d, 8);  // BAD: decode result ignored
+}

@@ -1,0 +1,27 @@
+// checked-return fixture: nothing here may be reported.
+
+struct Frame {
+  int type = 0;
+};
+
+struct FrameBuffer {
+  Frame* next();
+};
+
+struct EventQueue {
+  bool cancel(unsigned long id);
+};
+
+int decodeFrame(const unsigned char* data, unsigned long len);
+
+int drainGood(FrameBuffer& fb, EventQueue& q, const unsigned char* d) {
+  int n = 0;
+  while (Frame* f = fb.next()) {  // OK: result drives the loop
+    ++n;
+    (void)f;
+  }
+  if (!q.cancel(7)) ++n;              // OK: result tested
+  const int rc = decodeFrame(d, 8);   // OK: result bound
+  (void)fb.next();                    // OK: explicit, greppable opt-out
+  return n + rc;
+}

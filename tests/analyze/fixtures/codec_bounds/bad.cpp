@@ -1,0 +1,14 @@
+// codec-bounds fixture: every marked expression below must be reported.
+// This directory is in the rule's scope list alongside src/live/wire.* and
+// src/report/.
+
+extern "C" void* memcpy(void* dst, const void* src, unsigned long n);
+
+unsigned decodeBadHeader(const unsigned char* data, unsigned long len) {
+  if (len < 8) return 0;
+  unsigned v = data[4];                // BAD: raw pointer subscript
+  const unsigned char* p = data + 4;   // BAD: raw pointer arithmetic
+  p += 2;                              // BAD: compound pointer arithmetic
+  memcpy(&v, p, sizeof v);             // BAD: unchecked memcpy
+  return v;
+}

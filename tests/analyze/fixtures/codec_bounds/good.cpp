@@ -1,0 +1,29 @@
+// codec-bounds fixture: nothing here may be reported. Reads go through a
+// bounded cursor (a stand-in for report::BitReader); the pointer-shaped
+// expressions below are the ones the rule must NOT confuse with arithmetic.
+
+struct BitReader {
+  const unsigned char* bytes = nullptr;
+  unsigned long size = 0;
+  unsigned long pos = 0;
+  bool okFlag = true;
+
+  unsigned long read(unsigned bits);
+  bool ok() const { return okFlag; }
+};
+
+unsigned decodeGood(BitReader& r) {
+  const unsigned item = static_cast<unsigned>(r.read(32));
+  const unsigned version = static_cast<unsigned>(r.read(32));
+  if (!r.ok()) return 0;
+  return item + version;  // OK: integer addition, not pointer arithmetic
+}
+
+void pointerShapesThatAreFine(BitReader& r) {
+  const unsigned char* q = r.bytes;
+  q = r.bytes;  // OK: plain pointer assignment (two pointer operands)
+  (void)q;
+  unsigned char scratch[4] = {0, 0, 0, 0};
+  scratch[1] = 1;  // OK: subscript on a real array, not a pointer
+  (void)scratch[1];
+}

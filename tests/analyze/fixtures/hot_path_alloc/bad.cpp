@@ -1,0 +1,31 @@
+// hot-path-alloc fixture: every marked line below must be reported. Uses
+// the real MCI_HOT macro (fixtures parse with -I src) so the annotation
+// spelling is tested end to end.
+
+#include "core/annotations.hpp"
+
+struct Vec {
+  void push_back(int v);
+  int* data();
+};
+
+namespace {
+
+int* growScratch() {
+  return new int[16];  // BAD: 'new' one hop from an MCI_HOT root
+}
+
+}  // namespace
+
+MCI_HOT int hotDirect() {
+  int* p = new int(7);  // BAD: 'new' directly in an MCI_HOT function
+  const int v = *p;
+  delete p;
+  return v;
+}
+
+MCI_HOT void hotTransitive(Vec& out) {
+  out.push_back(1);  // BAD: growth-capable container call in hot code
+  int* s = growScratch();
+  (void)s;
+}

@@ -1,0 +1,31 @@
+// hot-path-alloc fixture: nothing here may be reported.
+
+#include "core/annotations.hpp"
+
+struct Pool {
+  int take();       // pops a recycled slot off a free list
+  void put(int v);  // pushes it back
+};
+
+struct Scratch {
+  void reserve(unsigned long n);
+};
+
+MCI_HOT int hotSteady(Pool& pool) {
+  const int slot = pool.take();  // OK: free-list reuse, no growth names
+  pool.put(slot);
+  return slot;
+}
+
+MCI_HOT void hotWithJustifiedGrowth(Scratch& s) {
+  // MCI-ANALYZE-ALLOW(hot-path-alloc): grows to the high-water mark once
+  s.reserve(64);  // fires in the rule, filtered by the suppression above
+}
+
+// OK: allocates, but no MCI_HOT function reaches it.
+int coldSetup() {
+  int* p = new int(3);
+  const int v = *p;
+  delete p;
+  return v;
+}

@@ -1,0 +1,38 @@
+// ordered-iteration fixture: both range-fors below must be reported. The
+// stub containers live in namespace std so their canonical spellings match
+// the real thing; the alias case is exactly what the old regex lint could
+// not see and this rule exists to catch.
+
+namespace std {
+
+template <typename T>
+struct unordered_set {
+  struct iterator {
+    T* p;
+    T& operator*() const { return *p; }
+    iterator& operator++() {
+      ++p;
+      return *this;
+    }
+    bool operator!=(const iterator& o) const { return p != o.p; }
+  };
+  iterator begin() const { return iterator{nullptr}; }
+  iterator end() const { return iterator{nullptr}; }
+};
+
+}  // namespace std
+
+int sumBad(const std::unordered_set<int>& ids) {
+  int total = 0;
+  for (int id : ids) total += id;  // BAD: unordered iteration order leaks
+  return total;
+}
+
+using IdSet = std::unordered_set<unsigned>;
+
+int sumAliasBad(const IdSet& ids) {
+  int total = 0;
+  // BAD: the alias hides the container textually, not from the type system.
+  for (unsigned id : ids) total += static_cast<int>(id);
+  return total;
+}

@@ -1,0 +1,39 @@
+// ordered-iteration fixture: nothing here may be reported.
+
+namespace std {
+
+template <typename T>
+struct vector {
+  struct iterator {
+    T* p;
+    T& operator*() const { return *p; }
+    iterator& operator++() {
+      ++p;
+      return *this;
+    }
+    bool operator!=(const iterator& o) const { return p != o.p; }
+  };
+  iterator begin() const { return iterator{nullptr}; }
+  iterator end() const { return iterator{nullptr}; }
+};
+
+template <typename T>
+struct unordered_set {
+  bool contains(const T& v) const {
+    (void)v;
+    return false;
+  }
+};
+
+}  // namespace std
+
+int sumGood(const std::vector<int>& xs) {
+  int total = 0;
+  for (int x : xs) total += x;  // OK: vector iteration is ordered
+  return total;
+}
+
+int lookupOnly(const std::unordered_set<int>& ids) {
+  // OK: membership tests never observe iteration order.
+  return ids.contains(42) ? 1 : 0;
+}

@@ -1,0 +1,46 @@
+// reactor-blocking fixture: every marked call below must be reported.
+//
+// Hermetic: no system headers; the syscalls are declared by hand and the
+// Reactor is a stand-in whose shape (name + addFd/addTimer taking a
+// callable) is all the rule keys on.
+
+extern "C" {
+int usleep(unsigned microseconds);
+int poll(void* fds, unsigned long count, int timeoutMs);
+long recv(int fd, void* buf, unsigned long len, int flags);
+}
+
+struct Reactor {
+  template <typename Fn>
+  void addFd(int fd, Fn fn) {
+    (void)fd;
+    (void)fn;
+  }
+  template <typename Fn>
+  void addTimer(double periodSec, Fn fn) {
+    (void)periodSec;
+    (void)fn;
+  }
+};
+
+namespace {
+
+// Reached transitively from the timer callback below.
+void drainSocket(int fd) {
+  char buf[64];
+  recv(fd, buf, sizeof buf, 0);  // BAD: blocking recv, two hops from a root
+}
+
+}  // namespace
+
+void setupBad(Reactor& r) {
+  r.addFd(3, [](int fd) {
+    usleep(1000);  // BAD: always-blocking call in an fd callback
+    char b[8];
+    recv(fd, b, sizeof b, 0);  // BAD: socket read without nonblock evidence
+  });
+  r.addTimer(0.5, [] {
+    poll(nullptr, 0, 100);  // BAD: always-blocking call in a timer callback
+    drainSocket(4);
+  });
+}

@@ -1,0 +1,38 @@
+// reactor-blocking fixture: nothing here may be reported.
+
+extern "C" {
+int usleep(unsigned microseconds);
+long recv(int fd, void* buf, unsigned long len, int flags);
+}
+
+#define MSG_DONTWAIT 0x40
+
+struct Reactor {
+  template <typename Fn>
+  void addFd(int fd, Fn fn) {
+    (void)fd;
+    (void)fn;
+  }
+  template <typename Fn>
+  void addTimer(double periodSec, Fn fn) {
+    (void)periodSec;
+    (void)fn;
+  }
+};
+
+void setupGood(Reactor& r) {
+  r.addFd(3, [](int fd) {
+    char b[8];
+    // OK: the flag on the call line is nonblocking evidence.
+    recv(fd, b, sizeof b, MSG_DONTWAIT);
+  });
+  r.addTimer(0.5, [] {
+    int ticks = 0;  // OK: pure computation
+    ++ticks;
+    (void)ticks;
+  });
+}
+
+// OK: blocks, but is never registered with (nor reachable from) a Reactor
+// callback — the main loop may sleep all it wants.
+void idleOutsideReactor() { usleep(10); }

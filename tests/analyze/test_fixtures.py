@@ -1,0 +1,142 @@
+"""Fixture-corpus tests: each rule fires on its bad.cpp and stays quiet on
+its good.cpp.
+
+Runs mci_analyze.py as a subprocess (the same entry point CI and the CTest
+`analyze` test use) so the exit-code contract is tested too. Skips itself
+when libclang is unavailable — the analyzer's own probe decides, so the
+skip condition can never drift from the production gate.
+"""
+
+import os
+import subprocess
+import sys
+import unittest
+
+_REPO = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+_ANALYZE = os.path.join(_REPO, "tools", "analyze", "mci_analyze.py")
+_FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                         "fixtures")
+
+RULES = [
+    "reactor-blocking",
+    "codec-bounds",
+    "hot-path-alloc",
+    "checked-return",
+    "ordered-iteration",
+]
+
+_probe_result = None
+
+
+def _libclang_available():
+    """One subprocess probe per test run; exit 77 means skip."""
+    global _probe_result
+    if _probe_result is None:
+        proc = subprocess.run(
+            [sys.executable, _ANALYZE, "--list-rules"],
+            capture_output=True, text=True)
+        _probe_result = proc.returncode
+    return _probe_result != 77
+
+
+def _run(rule, fixture):
+    path = os.path.join(_FIXTURES, rule.replace("-", "_"), fixture)
+    return subprocess.run(
+        [sys.executable, _ANALYZE, "--rule", rule, "--no-baseline", path],
+        capture_output=True, text=True, cwd=_REPO)
+
+
+class FixtureCorpusTest(unittest.TestCase):
+    def setUp(self):
+        if not _libclang_available():
+            self.skipTest("libclang unavailable (analyzer probe exited 77)")
+
+    def test_rules_are_all_registered(self):
+        proc = subprocess.run(
+            [sys.executable, _ANALYZE, "--list-rules"],
+            capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        for rule in RULES:
+            self.assertIn(rule, proc.stdout)
+
+    def _assert_fires(self, rule):
+        proc = _run(rule, "bad.cpp")
+        self.assertEqual(
+            proc.returncode, 1,
+            "%s should report findings on bad.cpp\nstdout:\n%s\nstderr:\n%s"
+            % (rule, proc.stdout, proc.stderr))
+        self.assertIn(rule, proc.stdout)
+
+    def _assert_quiet(self, rule):
+        proc = _run(rule, "good.cpp")
+        self.assertEqual(
+            proc.returncode, 0,
+            "%s should be quiet on good.cpp\nstdout:\n%s\nstderr:\n%s"
+            % (rule, proc.stdout, proc.stderr))
+
+    def test_reactor_blocking_fires(self):
+        self._assert_fires("reactor-blocking")
+
+    def test_reactor_blocking_quiet(self):
+        self._assert_quiet("reactor-blocking")
+
+    def test_codec_bounds_fires(self):
+        self._assert_fires("codec-bounds")
+
+    def test_codec_bounds_quiet(self):
+        self._assert_quiet("codec-bounds")
+
+    def test_hot_path_alloc_fires(self):
+        self._assert_fires("hot-path-alloc")
+
+    def test_hot_path_alloc_quiet(self):
+        self._assert_quiet("hot-path-alloc")
+
+    def test_checked_return_fires(self):
+        self._assert_fires("checked-return")
+
+    def test_checked_return_quiet(self):
+        self._assert_quiet("checked-return")
+
+    def test_ordered_iteration_fires(self):
+        self._assert_fires("ordered-iteration")
+
+    def test_ordered_iteration_quiet(self):
+        self._assert_quiet("ordered-iteration")
+
+    def test_transitive_reachability_reported(self):
+        """bad.cpp's two-hop blocking call carries a call-chain note."""
+        proc = _run("reactor-blocking", "bad.cpp")
+        self.assertIn("drainSocket", proc.stdout)
+        self.assertIn("reachable via", proc.stdout)
+
+    def test_alias_seen_through(self):
+        """The typedef'd unordered container (old lint's blind spot) fires."""
+        proc = _run("ordered-iteration", "bad.cpp")
+        self.assertIn("sumAliasBad", proc.stdout)
+
+
+class SkipContractTest(unittest.TestCase):
+    """Exit-code contract checks that run with or without libclang."""
+
+    def test_strict_mode_never_exits_77(self):
+        env = dict(os.environ, MCI_ANALYZE_STRICT="1")
+        proc = subprocess.run(
+            [sys.executable, _ANALYZE, "--list-rules"],
+            capture_output=True, text=True, env=env)
+        self.assertNotEqual(proc.returncode, 77)
+        self.assertIn(proc.returncode, (0, 2))
+
+    def test_unknown_rule_is_setup_error(self):
+        if not _libclang_available():
+            self.skipTest("libclang unavailable (analyzer probe exited 77)")
+        proc = subprocess.run(
+            [sys.executable, _ANALYZE, "--rule", "no-such-rule",
+             os.path.join(_FIXTURES, "codec_bounds", "good.cpp")],
+            capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

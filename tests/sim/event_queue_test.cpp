@@ -90,7 +90,7 @@ TEST(EventQueue, SizeCountsOnlyLiveEvents) {
   const EventId a = q.push(1.0, [] {});
   q.push(2.0, [] {});
   EXPECT_EQ(q.size(), 2u);
-  q.cancel(a);
+  EXPECT_TRUE(q.cancel(a));
   EXPECT_EQ(q.size(), 1u);
 }
 
@@ -98,7 +98,7 @@ TEST(EventQueue, PeekTimeSkipsCancelledTop) {
   EventQueue q;
   const EventId a = q.push(1.0, [] {});
   q.push(2.0, [] {});
-  q.cancel(a);
+  EXPECT_TRUE(q.cancel(a));
   EXPECT_DOUBLE_EQ(q.peekTime(), 2.0);
   EXPECT_DOUBLE_EQ(q.nextTimeSlow(), 2.0);
 }

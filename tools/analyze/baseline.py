@@ -1,0 +1,65 @@
+"""Baseline load/diff/write for mci-analyze (the CodeChecker-style workflow).
+
+The baseline is a checked-in JSON file of finding *keys* (rule|file|symbol|
+message — deliberately no line numbers, so pure reformatting does not churn
+it). CI fails only on findings whose key is absent from the baseline; stale
+baseline entries are reported so the file shrinks as debt is paid down.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Tuple
+
+BASELINE_VERSION = 1
+
+
+def load(path: str) -> Dict[str, str]:
+    """Returns {finding key: justification}; empty when the file is absent."""
+    if not os.path.exists(path):
+        return {}
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            "%s: unsupported baseline version %r" % (path, data.get("version"))
+        )
+    entries = data.get("findings", [])
+    out: Dict[str, str] = {}
+    for e in entries:
+        out[e["key"]] = e.get("why", "")
+    return out
+
+
+def diff(findings, baseline: Dict[str, str]) -> Tuple[list, List[str]]:
+    """Splits findings into (new, stale-baseline-keys).
+
+    ``new`` are findings not covered by the baseline — these fail the build.
+    ``stale`` are baseline keys no current finding matches — these are
+    reported (not fatal) so fixed debt gets deleted from the file.
+    """
+    current_keys = {f.key() for f in findings}
+    new = [f for f in findings if f.key() not in baseline]
+    stale = sorted(k for k in baseline if k not in current_keys)
+    return new, stale
+
+
+def write(path: str, findings, why: str = "baselined pre-existing finding") \
+        -> None:
+    """Writes the full current finding set as the new baseline (the
+    --write-baseline escape hatch; review the diff before committing)."""
+    keys = sorted({f.key() for f in findings})
+    data = {
+        "version": BASELINE_VERSION,
+        "comment": "mci-analyze baseline: finding keys tolerated by CI. "
+        "Keys are line-free (rule|file|symbol|message). Regenerate with "
+        "tools/analyze/mci_analyze.py --write-baseline; prefer fixing or "
+        "MCI-ANALYZE-ALLOW over baselining new findings.",
+        "findings": [{"key": k, "why": why} for k in keys],
+    }
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)

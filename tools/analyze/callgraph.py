@@ -1,0 +1,293 @@
+"""Call-graph construction and budget-bounded reachability.
+
+``CallGraph`` is plain data (testable without libclang); ``CallGraphBuilder``
+walks cindex ASTs to populate it. Nodes are functions/methods/lambdas defined
+in this repo; edges are direct calls. Virtual dispatch and calls through
+std::function are not resolvable statically — rules that need them root the
+walk at the concrete overrides / lambda bodies instead.
+
+Reachability is budget-bounded (node and depth caps) so a pathological graph
+degrades into "truncated" rather than an analyzer hang; the budget is a CLI
+knob (--call-budget / --call-depth).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Dict, List, Optional, Set, Tuple
+
+
+@dataclasses.dataclass
+class CallSite:
+    callee_usr: str  # empty when unresolved
+    callee_name: str
+    file: str  # repo-relative
+    line: int
+    column: int
+
+
+@dataclasses.dataclass
+class Node:
+    usr: str
+    name: str  # display name, e.g. "EventQueue::push"
+    file: str = ""
+    line: int = 0
+    end_line: int = 0
+    hot: bool = False  # carries the mci::hot annotation
+    is_lambda: bool = False
+    calls: List[CallSite] = dataclasses.field(default_factory=list)
+    # CXX_NEW_EXPR locations inside the body (file, line, column).
+    new_exprs: List[Tuple[str, int, int]] = dataclasses.field(
+        default_factory=list
+    )
+
+
+@dataclasses.dataclass
+class Registration:
+    """A call like reactor.addFd(fd, ev, <lambda>) — the lambda becomes a
+    reachability root for the reactor-blocking rule."""
+
+    method: str  # addFd / addTimer
+    receiver_class: str
+    callback_usrs: List[str]  # lambdas passed in the argument list
+    file: str
+    line: int
+
+
+@dataclasses.dataclass
+class ReachResult:
+    reached: Set[str]
+    # usr -> (parent usr, via call site) for reconstructing chains
+    parent: Dict[str, Tuple[str, CallSite]]
+    truncated: bool
+
+
+class CallGraph:
+    def __init__(self) -> None:
+        self.nodes: Dict[str, Node] = {}
+        self.registrations: List[Registration] = []
+
+    def node(self, usr: str) -> Optional[Node]:
+        return self.nodes.get(usr)
+
+    def ensure(self, usr: str, name: str) -> Node:
+        n = self.nodes.get(usr)
+        if n is None:
+            n = Node(usr=usr, name=name)
+            self.nodes[usr] = n
+        return n
+
+    def reachable(self, roots: List[str], budget: int,
+                  max_depth: int) -> ReachResult:
+        """BFS over call edges from ``roots``; stays within repo-defined
+        nodes (edges to undefined callees terminate there)."""
+        reached: Set[str] = set()
+        parent: Dict[str, Tuple[str, CallSite]] = {}
+        truncated = False
+        queue: deque = deque((r, 0) for r in roots if r in self.nodes)
+        reached.update(r for r, _ in queue)
+        while queue:
+            usr, depth = queue.popleft()
+            if depth >= max_depth:
+                truncated = True
+                continue
+            node = self.nodes[usr]
+            for call in node.calls:
+                tgt = call.callee_usr
+                if not tgt or tgt not in self.nodes or tgt in reached:
+                    continue
+                if len(reached) >= budget:
+                    truncated = True
+                    queue.clear()
+                    break
+                reached.add(tgt)
+                parent[tgt] = (usr, call)
+                queue.append((tgt, depth + 1))
+        return ReachResult(reached=reached, parent=parent, truncated=truncated)
+
+    def chain(self, result: ReachResult, usr: str, limit: int = 6) -> str:
+        """Human-readable root→usr call chain for finding notes."""
+        names: List[str] = []
+        cur = usr
+        while cur in result.parent and len(names) < limit:
+            node = self.nodes.get(cur)
+            names.append(node.name if node else cur)
+            cur = result.parent[cur][0]
+        node = self.nodes.get(cur)
+        names.append(node.name if node else cur)
+        return " <- ".join(names)
+
+
+# --------------------------------------------------------------------------
+# cindex AST -> CallGraph
+# --------------------------------------------------------------------------
+
+_FUNCTION_KINDS = None  # initialised per builder (needs the cindex module)
+
+_REGISTRATION_METHODS = {"addFd", "addTimer"}
+
+
+def _lambda_usr(file: str, line: int, column: int) -> str:
+    # Lambdas have no stable USR in libclang; synthesise one from the
+    # definition site (stable enough for a single run).
+    return "lambda@%s:%d:%d" % (file, line, column)
+
+
+class CallGraphBuilder:
+    def __init__(self, ctx) -> None:
+        self.ctx = ctx
+        self.ci = ctx.cindex
+        self.graph = CallGraph()
+        ck = self.ci.CursorKind
+        self._func_kinds = {
+            ck.FUNCTION_DECL,
+            ck.CXX_METHOD,
+            ck.CONSTRUCTOR,
+            ck.DESTRUCTOR,
+            ck.CONVERSION_FUNCTION,
+            ck.FUNCTION_TEMPLATE,
+        }
+
+    # -- public ------------------------------------------------------------
+
+    def add_tu(self, tu) -> None:
+        for child in tu.cursor.get_children():
+            self._visit_toplevel(child)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _in_repo(self, cursor) -> bool:
+        loc = cursor.location
+        return bool(loc.file) and self.ctx.in_repo(loc.file.name)
+
+    def _display_name(self, cursor) -> str:
+        parts = [cursor.spelling or "<anon>"]
+        parent = cursor.semantic_parent
+        ck = self.ci.CursorKind
+        while parent is not None and parent.kind in (
+            ck.CLASS_DECL,
+            ck.STRUCT_DECL,
+            ck.CLASS_TEMPLATE,
+        ):
+            parts.append(parent.spelling)
+            parent = parent.semantic_parent
+        return "::".join(reversed(parts))
+
+    def _visit_toplevel(self, cursor) -> None:
+        ck = self.ci.CursorKind
+        # Skip declarations that live outside the repo (system headers):
+        # their bodies are irrelevant and namespace std is enormous.
+        if not self._in_repo(cursor):
+            return
+        if cursor.kind in (ck.NAMESPACE, ck.CLASS_DECL, ck.STRUCT_DECL,
+                           ck.CLASS_TEMPLATE, ck.UNEXPOSED_DECL,
+                           ck.LINKAGE_SPEC):
+            for child in cursor.get_children():
+                self._visit_toplevel(child)
+            return
+        if cursor.kind in self._func_kinds:
+            if not cursor.is_definition():
+                # Out-of-line definitions inherit MCI_HOT from the header
+                # declaration; record it against the shared USR so the
+                # rule sees it whichever TU parsed first.
+                self._note_annotations(cursor)
+                return
+            self._add_function(cursor)
+
+    def _note_annotations(self, cursor) -> None:
+        ck = self.ci.CursorKind
+        for child in cursor.get_children():
+            if child.kind == ck.ANNOTATE_ATTR and \
+                    child.spelling == "mci::hot":
+                usr = cursor.get_usr()
+                if usr:
+                    node = self.graph.ensure(usr, self._display_name(cursor))
+                    node.hot = True
+
+    def _add_function(self, cursor) -> Node:
+        usr = cursor.get_usr() or _lambda_usr(
+            *self.ctx.location(cursor)
+        )
+        node = self.graph.ensure(usr, self._display_name(cursor))
+        rel, line, _ = self.ctx.location(cursor)
+        node.file, node.line = rel, line
+        ext = cursor.extent
+        node.end_line = ext.end.line if ext and ext.end else line
+        self.ctx.load_suppressions_for(cursor)
+        ck = self.ci.CursorKind
+        for child in cursor.get_children():
+            if child.kind == ck.ANNOTATE_ATTR:
+                if child.spelling == "mci::hot":
+                    node.hot = True
+                continue
+            self._visit_body(child, node)
+        return node
+
+    def _visit_body(self, cursor, node: Node) -> None:
+        ck = self.ci.CursorKind
+        if cursor.kind == ck.LAMBDA_EXPR:
+            lam = self._add_lambda(cursor)
+            # No edge from definer to lambda: defining a callback is not
+            # calling it. Rules root walks at the lambda when appropriate.
+            _ = lam
+            return
+        if cursor.kind in self._func_kinds and cursor.is_definition():
+            # Local classes / nested definitions: independent nodes.
+            self._add_function(cursor)
+            return
+        if cursor.kind == ck.CXX_NEW_EXPR:
+            node.new_exprs.append(self.ctx.location(cursor))
+        elif cursor.kind == ck.CALL_EXPR:
+            self._record_call(cursor, node)
+        for child in cursor.get_children():
+            self._visit_body(child, node)
+
+    def _add_lambda(self, cursor) -> Node:
+        rel, line, col = self.ctx.location(cursor)
+        usr = _lambda_usr(rel, line, col)
+        node = self.graph.ensure(usr, "lambda@%s:%d" % (rel, line))
+        node.is_lambda = True
+        node.file, node.line = rel, line
+        ext = cursor.extent
+        node.end_line = ext.end.line if ext and ext.end else line
+        for child in cursor.get_children():
+            self._visit_body(child, node)
+        return node
+
+    def _record_call(self, cursor, node: Node) -> None:
+        ref = cursor.referenced
+        name = ref.spelling if ref is not None and ref.spelling else (
+            cursor.spelling or ""
+        )
+        usr = ref.get_usr() if ref is not None else ""
+        rel, line, col = self.ctx.location(cursor)
+        node.calls.append(
+            CallSite(callee_usr=usr or "", callee_name=name, file=rel,
+                     line=line, column=col)
+        )
+        if name in _REGISTRATION_METHODS and ref is not None:
+            parent = ref.semantic_parent
+            recv = parent.spelling if parent is not None else ""
+            lambdas = self._collect_lambda_args(cursor)
+            if lambdas:
+                self.graph.registrations.append(
+                    Registration(method=name, receiver_class=recv,
+                                 callback_usrs=lambdas, file=rel, line=line)
+                )
+
+    def _collect_lambda_args(self, call_cursor) -> List[str]:
+        ck = self.ci.CursorKind
+        out: List[str] = []
+
+        def walk(c):
+            if c.kind == ck.LAMBDA_EXPR:
+                rel, line, col = self.ctx.location(c)
+                out.append(_lambda_usr(rel, line, col))
+                return  # nested lambdas belong to the outer lambda's body
+            for ch in c.get_children():
+                walk(ch)
+
+        for child in call_cursor.get_children():
+            walk(child)
+        return out

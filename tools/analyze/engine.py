@@ -1,0 +1,383 @@
+"""Shared infrastructure for the mci-analyze rule engine.
+
+This module owns everything the rules have in common:
+
+  * locating libclang (the graceful-skip contract from run_clang_tidy.sh:
+    a missing toolchain is a notice, not a failure, unless
+    MCI_ANALYZE_STRICT=1),
+  * loading compile_commands.json and normalising its argv lines into
+    something clang can re-parse,
+  * the ``// MCI-ANALYZE-ALLOW(rule): reason`` suppression syntax,
+  * the Finding record and its baseline key (deliberately line-free so a
+    reformat does not invalidate the checked-in baseline).
+
+Everything here except ``ClangLoader`` is pure Python with no libclang
+dependency, so the framework itself stays unit-testable on machines where
+only the rules must skip.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import re
+import shlex
+import sys
+from typing import Dict, List, Optional, Tuple
+
+EXIT_OK = 0
+EXIT_FINDINGS = 1
+EXIT_SETUP_ERROR = 2
+EXIT_SKIPPED = 77  # CTest SKIP_RETURN_CODE; same convention as GNU automake.
+
+
+# --------------------------------------------------------------------------
+# Findings
+# --------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class Finding:
+    """One rule violation at one source location.
+
+    ``message`` must be stable across unrelated edits (no line numbers, no
+    absolute paths) because it participates in the baseline key. Location
+    detail that may drift belongs in ``detail`` instead.
+    """
+
+    rule: str
+    file: str  # repo-relative, posix separators
+    line: int
+    column: int
+    message: str
+    symbol: str = ""  # enclosing function, when known
+    detail: str = ""  # e.g. the call chain that made something reachable
+
+    def key(self) -> str:
+        """Line-number-free identity used for baseline diffing."""
+        return "|".join((self.rule, self.file, self.symbol, self.message))
+
+    def render(self) -> str:
+        loc = "%s:%d:%d" % (self.file, self.line, self.column)
+        sym = (" [in %s]" % self.symbol) if self.symbol else ""
+        out = "%s: %s: %s%s" % (loc, self.rule, self.message, sym)
+        if self.detail:
+            out += "\n    note: %s" % self.detail
+        return out
+
+    def to_json(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+def dedupe(findings: List[Finding]) -> List[Finding]:
+    """Collapses duplicates produced by the same header parsed in many TUs."""
+    seen = set()
+    out = []
+    for f in sorted(findings, key=lambda f: (f.file, f.line, f.column, f.rule)):
+        ident = (f.rule, f.file, f.line, f.column, f.message)
+        if ident in seen:
+            continue
+        seen.add(ident)
+        out.append(f)
+    return out
+
+
+# --------------------------------------------------------------------------
+# Suppressions: // MCI-ANALYZE-ALLOW(rule): reason
+# --------------------------------------------------------------------------
+
+# A suppression must carry a reason, same contract as NOLINT-DETERMINISM in
+# lint_determinism.py: an unexplained allow is itself a finding.
+_ALLOW_RE = re.compile(
+    r"//\s*MCI-ANALYZE-ALLOW\(([A-Za-z0-9_,\-\* ]+)\)\s*(?::\s*(\S.*))?$"
+)
+
+
+class Suppressions:
+    """Per-file index of MCI-ANALYZE-ALLOW comments.
+
+    An allow on line N suppresses matching findings on line N and line N+1
+    (i.e. it may sit on the offending line or on its own line above). The
+    rule list is comma-separated; ``*`` matches every rule.
+    """
+
+    def __init__(self) -> None:
+        # file -> line -> set of rule names allowed there
+        self._by_file: Dict[str, Dict[int, set]] = {}
+        self._loaded: set = set()
+        self.errors: List[Finding] = []
+
+    def load_file(self, path: str, rel: str) -> None:
+        if rel in self._loaded:
+            return
+        self._loaded.add(rel)
+        try:
+            with open(path, "r", encoding="utf-8", errors="replace") as fh:
+                lines = fh.readlines()
+        except OSError:
+            return
+        table = self._by_file.setdefault(rel, {})
+        for lineno, text in enumerate(lines, start=1):
+            m = _ALLOW_RE.search(text)
+            if not m:
+                if "MCI-ANALYZE-ALLOW" in text:
+                    self.errors.append(
+                        Finding(
+                            rule="suppression-syntax",
+                            file=rel,
+                            line=lineno,
+                            column=1,
+                            message="malformed MCI-ANALYZE-ALLOW comment "
+                            "(expected '// MCI-ANALYZE-ALLOW(rule): reason')",
+                        )
+                    )
+                continue
+            rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+            reason = m.group(2)
+            if not reason:
+                self.errors.append(
+                    Finding(
+                        rule="suppression-syntax",
+                        file=rel,
+                        line=lineno,
+                        column=1,
+                        message="MCI-ANALYZE-ALLOW without a reason",
+                    )
+                )
+                continue
+            table.setdefault(lineno, set()).update(rules)
+
+    def is_allowed(self, rule: str, rel: str, line: int) -> bool:
+        table = self._by_file.get(rel)
+        if not table:
+            return False
+        for probe in (line, line - 1):
+            rules = table.get(probe)
+            if rules and (rule in rules or "*" in rules):
+                return True
+        return False
+
+    def filter(self, findings: List[Finding]) -> List[Finding]:
+        return [
+            f
+            for f in findings
+            if not self.is_allowed(f.rule, f.file, f.line)
+        ]
+
+
+# --------------------------------------------------------------------------
+# compile_commands.json
+# --------------------------------------------------------------------------
+
+# Flags that make no sense when re-parsing through libclang (dependency
+# emission, output files) or that gcc accepts and clang rejects.
+_STRIP_WITH_ARG = {"-o", "-MF", "-MT", "-MQ", "-Xclang", "--output"}
+_STRIP_BARE = {"-c", "-MD", "-MMD", "-MP", "-g", "-g3"}
+_STRIP_PREFIX = ("-fconcepts-diagnostics-depth",)
+
+_EXTRA_ARGS = [
+    # The compile db was usually produced by gcc; silence clang-only gripes.
+    "-Wno-unknown-warning-option",
+    "-Wno-unused-command-line-argument",
+]
+
+
+def normalize_command(entry: dict) -> List[str]:
+    """Turns one compile_commands entry into libclang-ready args (no
+    compiler argv[0], no input file, no output flags)."""
+    if "arguments" in entry:
+        argv = list(entry["arguments"])
+    else:
+        argv = shlex.split(entry.get("command", ""))
+    src = entry.get("file", "")
+    args: List[str] = []
+    skip_next = False
+    for i, tok in enumerate(argv):
+        if i == 0:
+            continue  # the compiler itself
+        if skip_next:
+            skip_next = False
+            continue
+        if tok in _STRIP_WITH_ARG:
+            skip_next = True
+            continue
+        if tok in _STRIP_BARE:
+            continue
+        if any(tok.startswith(p) for p in _STRIP_PREFIX):
+            continue
+        if tok == src or os.path.basename(tok) == os.path.basename(src) and (
+            tok.endswith(".cpp") or tok.endswith(".cc") or tok.endswith(".c")
+        ):
+            continue
+        args.append(tok)
+    return args + _EXTRA_ARGS
+
+
+def load_compile_commands(build_dir: str) -> Dict[str, List[str]]:
+    """Returns {absolute source path: normalized clang args}."""
+    path = os.path.join(build_dir, "compile_commands.json")
+    with open(path, "r", encoding="utf-8") as fh:
+        entries = json.load(fh)
+    out: Dict[str, List[str]] = {}
+    for entry in entries:
+        src = entry.get("file", "")
+        if not os.path.isabs(src):
+            src = os.path.join(entry.get("directory", ""), src)
+        out[os.path.normpath(src)] = normalize_command(entry)
+    return out
+
+
+def default_args(repo_root: str, std: str = "c++20") -> List[str]:
+    """Fallback args for files missing from the compile db (headers,
+    fixtures)."""
+    return [
+        "-x",
+        "c++",
+        "-std=" + std,
+        "-I",
+        os.path.join(repo_root, "src"),
+    ] + _EXTRA_ARGS
+
+
+# --------------------------------------------------------------------------
+# libclang loading (the graceful-skip contract)
+# --------------------------------------------------------------------------
+
+
+def load_cindex() -> Tuple[Optional[object], str]:
+    """Tries to import clang.cindex and create an Index.
+
+    Returns (module, "") on success or (None, reason). Honour the reason:
+    the caller decides between exit 77 (skip) and exit 2 (strict CI).
+    """
+    try:
+        import clang.cindex as cindex  # type: ignore
+    except ImportError:
+        return None, "python bindings not installed (pip install libclang)"
+
+    override = os.environ.get("MCI_LIBCLANG")
+    if override:
+        try:
+            cindex.Config.set_library_file(override)
+        except Exception as exc:  # pragma: no cover - config misuse
+            return None, "MCI_LIBCLANG rejected: %s" % exc
+    try:
+        cindex.Index.create()
+        return cindex, ""
+    except Exception as first_err:
+        # The pip 'libclang' wheel bundles its own shared object and finds it
+        # unaided; a distro python3-clang package may need the system lib.
+        import ctypes.util
+
+        lib = ctypes.util.find_library("clang")
+        if lib:
+            try:
+                cindex.Config.loaded = False
+                cindex.Config.set_library_file(lib)
+                cindex.Index.create()
+                return cindex, ""
+            except Exception:
+                pass
+        return None, "libclang shared library not loadable (%s)" % first_err
+
+
+# --------------------------------------------------------------------------
+# Analysis context handed to every rule
+# --------------------------------------------------------------------------
+
+
+class AnalysisContext:
+    """Parsed TUs plus the shared helpers rules need.
+
+    Rules receive exactly one of these per run; expensive artifacts (the
+    call graph) are built lazily on first use and shared between rules.
+    """
+
+    def __init__(self, cindex, repo_root: str, call_budget: int,
+                 call_depth: int) -> None:
+        self.cindex = cindex
+        self.repo_root = os.path.realpath(repo_root)
+        self.call_budget = call_budget
+        self.call_depth = call_depth
+        self.tus: List[Tuple[str, object]] = []  # (abs path, TranslationUnit)
+        self.suppressions = Suppressions()
+        self.parse_errors: List[str] = []
+        self._graph = None
+        self._file_cache: Dict[str, List[str]] = {}
+
+    # -- paths -------------------------------------------------------------
+
+    def rel(self, path: str) -> str:
+        real = os.path.realpath(path)
+        if real.startswith(self.repo_root + os.sep):
+            real = real[len(self.repo_root) + 1:]
+        return real.replace(os.sep, "/")
+
+    def in_repo(self, path: Optional[str]) -> bool:
+        if not path:
+            return False
+        return os.path.realpath(path).startswith(self.repo_root + os.sep)
+
+    def file_lines(self, path: str) -> List[str]:
+        rel = self.rel(path)
+        if rel not in self._file_cache:
+            try:
+                with open(os.path.join(self.repo_root, rel), "r",
+                          encoding="utf-8", errors="replace") as fh:
+                    self._file_cache[rel] = fh.readlines()
+            except OSError:
+                self._file_cache[rel] = []
+        return self._file_cache[rel]
+
+    def extent_text(self, rel: str, start_line: int, end_line: int) -> str:
+        lines = self.file_lines(os.path.join(self.repo_root, rel))
+        return "".join(lines[max(0, start_line - 1):end_line])
+
+    # -- parsing -----------------------------------------------------------
+
+    def parse(self, path: str, args: List[str]) -> bool:
+        try:
+            index = self.cindex.Index.create()
+            tu = index.parse(os.path.realpath(path), args=args)
+        except Exception as exc:
+            self.parse_errors.append("%s: %s" % (path, exc))
+            return False
+        fatal = [
+            d for d in tu.diagnostics
+            if d.severity >= self.cindex.Diagnostic.Error
+        ]
+        if fatal:
+            # Record but keep the TU: rules still work on a partial AST, and
+            # failing hard here would make every new compiler flag a flake.
+            self.parse_errors.append(
+                "%s: %d parse error(s), first: %s"
+                % (path, len(fatal), fatal[0].spelling)
+            )
+        self.tus.append((os.path.realpath(path), tu))
+        self.suppressions.load_file(path, self.rel(path))
+        return True
+
+    # -- cursor helpers ----------------------------------------------------
+
+    def location(self, cursor) -> Tuple[str, int, int]:
+        loc = cursor.location
+        fname = loc.file.name if loc.file else ""
+        return self.rel(fname) if fname else "", loc.line, loc.column
+
+    def load_suppressions_for(self, cursor) -> None:
+        loc = cursor.location
+        if loc.file and self.in_repo(loc.file.name):
+            self.suppressions.load_file(loc.file.name, self.rel(loc.file.name))
+
+    # -- call graph --------------------------------------------------------
+
+    def callgraph(self):
+        if self._graph is None:
+            import callgraph as cg
+
+            builder = cg.CallGraphBuilder(self)
+            for _, tu in self.tus:
+                builder.add_tu(tu)
+            self._graph = builder.graph
+        return self._graph

@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""mci-analyze: libclang rule engine for the project's prose contracts.
+
+Runs AST-level checks that regexes (tools/lint_determinism.py) and the
+compiler cannot express: nothing blocks inside Reactor callbacks, codec
+reads go through the bounded cursor, MCI_HOT paths never allocate,
+send/decode results are consumed, unordered iteration never feeds output.
+
+Exit codes (the run_clang_tidy.sh contract, adapted):
+  0   clean (no findings beyond the baseline)
+  1   new findings
+  2   setup error (also: libclang missing under MCI_ANALYZE_STRICT=1)
+  77  skipped — libclang unavailable (CTest SKIP_RETURN_CODE)
+
+Usage:
+  mci_analyze.py --all                        # every rule over src/
+  mci_analyze.py --rule hot-path-alloc f.cpp  # one rule, explicit files
+  mci_analyze.py --all --write-baseline       # refresh tools/analyze/baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+if _HERE not in sys.path:
+    sys.path.insert(0, _HERE)
+
+import baseline as baseline_mod  # noqa: E402
+import engine  # noqa: E402
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(_HERE))
+_DEFAULT_BASELINE = os.path.join(_HERE, "baseline.json")
+
+# Directories whose TUs are analysed in --all mode. tests/ and bench/ are
+# deliberately out: they may exercise error paths the rules forbid.
+_ALL_PREFIXES = ("src/",)
+
+
+def _skip(reason: str, strict: bool, skip_ok: bool = False) -> int:
+    if strict:
+        print("mci-analyze: ERROR (strict): %s" % reason, file=sys.stderr)
+        return engine.EXIT_SETUP_ERROR
+    print("mci-analyze: SKIPPED: %s" % reason, file=sys.stderr)
+    return engine.EXIT_OK if skip_ok else engine.EXIT_SKIPPED
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(prog="mci_analyze.py",
+                                 description=__doc__.split("\n\n")[0])
+    ap.add_argument("paths", nargs="*",
+                    help="source files to analyse (default: all of src/ "
+                    "from the compile db)")
+    ap.add_argument("--all", action="store_true",
+                    help="run every rule (default when no --rule given)")
+    ap.add_argument("--rule", action="append", default=[],
+                    help="run only this rule (repeatable)")
+    ap.add_argument("--list-rules", action="store_true")
+    ap.add_argument("--build-dir", default=os.path.join(_REPO_ROOT, "build"),
+                    help="directory holding compile_commands.json")
+    ap.add_argument("--baseline", default=_DEFAULT_BASELINE)
+    ap.add_argument("--no-baseline", action="store_true",
+                    help="report every finding (fixture tests)")
+    ap.add_argument("--write-baseline", action="store_true",
+                    help="rewrite the baseline from this run's findings")
+    ap.add_argument("--call-budget", type=int, default=600,
+                    help="max functions visited per reachability walk")
+    ap.add_argument("--call-depth", type=int, default=24,
+                    help="max call-chain depth per reachability walk")
+    ap.add_argument("--std", default="c++20",
+                    help="language standard for files outside the compile db")
+    ap.add_argument("--json", metavar="PATH",
+                    help="also write findings as JSON ('-' = stdout)")
+    ap.add_argument("--skip-exit-zero", action="store_true",
+                    help="exit 0 instead of 77 on a libclang skip (the "
+                    "interactive `--target analyze` wrapper; CTest and CI "
+                    "want the real code)")
+    args = ap.parse_args(argv)
+
+    strict = os.environ.get("MCI_ANALYZE_STRICT", "") == "1"
+
+    cindex, why = engine.load_cindex()
+    if cindex is None:
+        return _skip("libclang unavailable: %s" % why, strict,
+                     args.skip_exit_zero)
+
+    import rules as rules_mod  # needs sys.path; after the skip gate
+
+    if args.list_rules:
+        for name in sorted(rules_mod.ALL_RULES):
+            print("%-18s %s" % (name, rules_mod.ALL_RULES[name].DESCRIPTION))
+        return engine.EXIT_OK
+
+    selected = args.rule or sorted(rules_mod.ALL_RULES)
+    unknown = [r for r in selected if r not in rules_mod.ALL_RULES]
+    if unknown:
+        print("mci-analyze: unknown rule(s): %s (see --list-rules)"
+              % ", ".join(unknown), file=sys.stderr)
+        return engine.EXIT_SETUP_ERROR
+
+    # ---- collect translation units ------------------------------------
+    try:
+        compdb = engine.load_compile_commands(args.build_dir)
+    except OSError:
+        compdb = {}
+    except ValueError as exc:
+        print("mci-analyze: bad compile_commands.json: %s" % exc,
+              file=sys.stderr)
+        return engine.EXIT_SETUP_ERROR
+
+    ctx = engine.AnalysisContext(cindex, _REPO_ROOT,
+                                 call_budget=args.call_budget,
+                                 call_depth=args.call_depth)
+
+    if args.paths:
+        targets = [os.path.realpath(p) for p in args.paths]
+    else:
+        if not compdb:
+            print("mci-analyze: no compile_commands.json under %s and no "
+                  "explicit paths; run cmake -B build first"
+                  % args.build_dir, file=sys.stderr)
+            return engine.EXIT_SETUP_ERROR
+        targets = sorted(
+            path for path in compdb
+            if any(ctx.rel(path).startswith(p) for p in _ALL_PREFIXES)
+        )
+
+    fallback = engine.default_args(_REPO_ROOT, std=args.std)
+    parsed = 0
+    for path in targets:
+        if not os.path.exists(path):
+            print("mci-analyze: no such file: %s" % path, file=sys.stderr)
+            return engine.EXIT_SETUP_ERROR
+        if ctx.parse(path, compdb.get(os.path.normpath(path), fallback)):
+            parsed += 1
+    if parsed == 0:
+        return _skip("no translation units could be parsed", strict,
+                     args.skip_exit_zero)
+    for err in ctx.parse_errors:
+        print("mci-analyze: note: %s" % err, file=sys.stderr)
+
+    # ---- run rules -----------------------------------------------------
+    findings = []
+    for name in selected:
+        findings.extend(rules_mod.ALL_RULES[name].check(ctx))
+    findings = ctx.suppressions.filter(findings)
+    findings.extend(ctx.suppressions.errors)
+    findings = engine.dedupe(findings)
+
+    if args.json:
+        import json as _json
+
+        payload = _json.dumps([f.to_json() for f in findings], indent=2)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(payload + "\n")
+
+    if args.write_baseline:
+        baseline_mod.write(args.baseline, findings)
+        print("mci-analyze: wrote %d finding key(s) to %s"
+              % (len({f.key() for f in findings}), args.baseline))
+        return engine.EXIT_OK
+
+    known = {} if args.no_baseline else baseline_mod.load(args.baseline)
+    new, stale = baseline_mod.diff(findings, known)
+
+    for f in new:
+        print(f.render())
+    baselined = len(findings) - len(new)
+    if baselined:
+        print("mci-analyze: %d finding(s) suppressed by baseline %s"
+              % (baselined, os.path.relpath(args.baseline, _REPO_ROOT)))
+    for key in stale:
+        print("mci-analyze: note: stale baseline entry (fixed? delete it): %s"
+              % key)
+    print("mci-analyze: %d TU(s), %d rule(s), %d new finding(s)"
+          % (parsed, len(selected), len(new)))
+    return engine.EXIT_FINDINGS if new else engine.EXIT_OK
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Rule registry for mci-analyze. Each module exposes RULE_NAME,
+DESCRIPTION and check(ctx) -> [Finding]."""
+
+from rules import (  # noqa: F401
+    checked_return,
+    codec_bounds,
+    hot_path_alloc,
+    ordered_iteration,
+    reactor_blocking,
+)
+
+ALL_RULES = {
+    mod.RULE_NAME: mod
+    for mod in (
+        reactor_blocking,
+        codec_bounds,
+        hot_path_alloc,
+        checked_return,
+        ordered_iteration,
+    )
+}

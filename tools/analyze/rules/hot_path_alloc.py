@@ -1,0 +1,80 @@
+"""hot-path-alloc: nothing reachable from an MCI_HOT function may allocate.
+
+PR 2 made the simulation kernel allocation-free and proved it with a
+counting-allocator bench gate — but only for the workloads the bench runs.
+This rule makes the claim static: functions annotated MCI_HOT (the
+``mci::hot`` clang annotation from src/core/annotations.hpp) are roots, and
+any reachable ``new`` expression, malloc-family call, or growth-capable STL
+member call is a finding. Amortised one-time growth (free-list pools,
+scratch buffers that reach a high-water mark) is justified in place with
+MCI-ANALYZE-ALLOW, keeping every exception audited.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from engine import Finding
+
+RULE_NAME = "hot-path-alloc"
+DESCRIPTION = (
+    "no new/malloc/allocating STL calls reachable from MCI_HOT functions"
+)
+
+ALLOC_FNS = {
+    "malloc", "calloc", "realloc", "aligned_alloc", "posix_memalign",
+    "strdup", "strndup", "operator new", "operator new[]",
+}
+
+# STL members that can grow their container. Receiver types are not
+# resolvable cheaply through cindex, so this is name-based; hits in hot
+# code are exactly what the rule wants a human to look at (and either
+# restructure or MCI-ANALYZE-ALLOW with the amortisation argument).
+STL_GROWTH = {
+    "push_back", "emplace_back", "push_front", "emplace_front", "insert",
+    "emplace", "emplace_hint", "resize", "reserve", "rehash", "append",
+    "assign", "shrink_to_fit", "try_emplace", "insert_or_assign",
+}
+
+
+def check(ctx) -> List[Finding]:
+    graph = ctx.callgraph()
+    roots = [usr for usr, node in graph.nodes.items() if node.hot]
+    if not roots:
+        return []
+    result = graph.reachable(roots, budget=ctx.call_budget,
+                             max_depth=ctx.call_depth)
+    findings: List[Finding] = []
+    for usr in sorted(result.reached):
+        node = graph.node(usr)
+        if node is None:
+            continue
+        chain = graph.chain(result, usr)
+        for (file, line, col) in node.new_exprs:
+            findings.append(
+                Finding(rule=RULE_NAME, file=file, line=line, column=col,
+                        message="'new' expression on an MCI_HOT path",
+                        symbol=node.name,
+                        detail="reachable via %s" % chain)
+            )
+        for site in node.calls:
+            name = site.callee_name
+            if name in ALLOC_FNS:
+                msg = "allocation call '%s' on an MCI_HOT path" % name
+            elif name in STL_GROWTH:
+                msg = ("growth-capable container call '%s' on an MCI_HOT "
+                       "path" % name)
+            else:
+                continue
+            findings.append(
+                Finding(rule=RULE_NAME, file=site.file, line=site.line,
+                        column=site.column, message=msg, symbol=node.name,
+                        detail="reachable via %s" % chain)
+            )
+    if result.truncated:
+        findings.append(
+            Finding(rule=RULE_NAME, file="", line=0, column=0,
+                    message="call-graph walk truncated by budget; raise "
+                    "--call-budget/--call-depth")
+        )
+    return findings

@@ -1,0 +1,88 @@
+"""ordered-iteration: range-for over unordered containers in src/.
+
+Unordered-container iteration order is unspecified and varies across
+libstdc++ versions, hash seeds and load factors; anything it feeds into
+reports, wire frames or JSON output breaks the project's byte-identical
+determinism pin. The old lint_determinism.py rule 5 pattern-matched
+declarations textually and could not see through typedefs, members or
+auto — this rule asks the type system instead and supersedes it (the
+regex script stays as the no-clang fallback for the other rules).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from engine import Finding
+
+RULE_NAME = "ordered-iteration"
+DESCRIPTION = (
+    "range-for over std::unordered_* containers has unspecified order; "
+    "sort or use an ordered container before results leave the function"
+)
+
+_UNORDERED_RE = re.compile(
+    r"\bstd::(?:__[a-z0-9]+::)?unordered_(?:multi)?(?:map|set)\b"
+)
+
+
+def check(ctx) -> List[Finding]:
+    ck = ctx.cindex.CursorKind
+    func_kinds = {
+        ck.FUNCTION_DECL, ck.CXX_METHOD, ck.CONSTRUCTOR, ck.DESTRUCTOR,
+        ck.FUNCTION_TEMPLATE, ck.CONVERSION_FUNCTION, ck.LAMBDA_EXPR,
+    }
+    findings: List[Finding] = []
+    seen = set()
+
+    def range_is_unordered(cursor) -> str:
+        """Returns the offending canonical type spelling, or ''."""
+        # Children of CXX_FOR_RANGE_STMT: loop variable decl, the range
+        # initialiser expression(s), then the body. Checking every
+        # non-statement child's canonical type is robust across clang
+        # versions' exact child layouts.
+        for child in cursor.get_children():
+            if child.kind in (ck.COMPOUND_STMT,):
+                continue
+            try:
+                spelling = child.type.get_canonical().spelling
+            except Exception:
+                continue
+            if spelling and _UNORDERED_RE.search(spelling):
+                return spelling
+        return ""
+
+    def visit(cursor, symbol: str) -> None:
+        loc = cursor.location
+        if loc.file is not None and not ctx.in_repo(loc.file.name):
+            return
+        if cursor.kind in func_kinds and cursor.spelling:
+            symbol = cursor.spelling
+        if cursor.kind == ck.CXX_FOR_RANGE_STMT:
+            rel, line, col = ctx.location(cursor)
+            if rel.startswith("src/") or rel.startswith("tests/analyze/"):
+                offender = range_is_unordered(cursor)
+                if offender:
+                    ctx.suppressions.load_file(
+                        ctx.repo_root + "/" + rel, rel)
+                    ident = (rel, line, col)
+                    if ident not in seen:
+                        seen.add(ident)
+                        short = offender.split("<", 1)[0]
+                        findings.append(
+                            Finding(
+                                rule=RULE_NAME, file=rel, line=line,
+                                column=col,
+                                message="range-for over %s: iteration "
+                                "order is unspecified" % short,
+                                symbol=symbol,
+                            )
+                        )
+        for child in cursor.get_children():
+            visit(child, symbol)
+
+    for _, tu in ctx.tus:
+        for child in tu.cursor.get_children():
+            visit(child, "")
+    return findings

@@ -1,0 +1,118 @@
+"""reactor-blocking: nothing reachable from a live::Reactor callback may
+block.
+
+The paper's central liveness property is that IRs go out every L seconds no
+matter what clients do; the Reactor is single-threaded, so one blocking
+syscall inside any registered callback stalls every timer and every
+connection. Roots are the lambdas passed to Reactor::addFd / addTimer; the
+walk follows direct calls (budget-bounded). Two classes of sink:
+
+  * always-blocking calls (sleep/poll/select/...) — flagged unconditionally;
+  * socket I/O (connect/read/recv/send/...) — flagged unless the call site
+    passes MSG_DONTWAIT or the enclosing function shows nonblocking
+    evidence (SOCK_NONBLOCK / O_NONBLOCK / *_NONBLOCK tokens), the
+    "not provably O_NONBLOCK" heuristic.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from engine import Finding
+
+RULE_NAME = "reactor-blocking"
+DESCRIPTION = (
+    "blocking syscalls reachable from live::Reactor callbacks stall the "
+    "L-period IR broadcast"
+)
+
+# Block regardless of fd flags. epoll_wait belongs here too: the only
+# legitimate caller is the reactor loop itself, which is never a callback.
+ALWAYS_BLOCKING = {
+    "sleep", "usleep", "nanosleep", "clock_nanosleep", "sleep_for",
+    "sleep_until", "poll", "ppoll", "select", "pselect", "epoll_wait",
+    "epoll_pwait", "sigwait", "sigwaitinfo", "wait", "waitpid", "pause",
+    "flock", "fsync", "fdatasync", "system",
+}
+
+# Blocking unless the socket is provably nonblocking.
+SOCKET_IO = {
+    "connect", "accept", "accept4", "read", "recv", "recvfrom", "recvmsg",
+    "write", "send", "sendto", "sendmsg", "readv", "writev",
+}
+
+# Deliberately excludes helper names like makeNonBlocking: calling one
+# later in the function proves nothing about I/O issued before it.
+_NONBLOCK_EVIDENCE = re.compile(
+    r"SOCK_NONBLOCK|O_NONBLOCK|MSG_DONTWAIT|SFD_NONBLOCK|TFD_NONBLOCK"
+    r"|EFD_NONBLOCK"
+)
+
+
+def _call_line_text(ctx, site) -> str:
+    lines = ctx.file_lines(site.file)
+    if 0 < site.line <= len(lines):
+        return lines[site.line - 1]
+    return ""
+
+
+def check(ctx) -> List[Finding]:
+    graph = ctx.callgraph()
+    roots = []
+    root_regs = {}
+    for reg in graph.registrations:
+        if "Reactor" not in reg.receiver_class:
+            continue
+        for usr in reg.callback_usrs:
+            roots.append(usr)
+            root_regs.setdefault(usr, reg)
+    if not roots:
+        return []
+    result = graph.reachable(roots, budget=ctx.call_budget,
+                             max_depth=ctx.call_depth)
+    findings: List[Finding] = []
+    for usr in sorted(result.reached):
+        node = graph.node(usr)
+        if node is None:
+            continue
+        body = ctx.extent_text(node.file, node.line, node.end_line)
+        fn_nonblock = bool(_NONBLOCK_EVIDENCE.search(body))
+        for site in node.calls:
+            name = site.callee_name
+            blocking = name in ALWAYS_BLOCKING
+            if not blocking and name in SOCKET_IO:
+                if fn_nonblock:
+                    continue
+                if "MSG_DONTWAIT" in _call_line_text(ctx, site):
+                    continue
+                blocking = True
+            if not blocking:
+                continue
+            findings.append(
+                Finding(
+                    rule=RULE_NAME,
+                    file=site.file,
+                    line=site.line,
+                    column=site.column,
+                    message="'%s' may block inside a Reactor callback"
+                    % name,
+                    symbol=node.name,
+                    detail="reachable via %s"
+                    % graph.chain(result, usr),
+                )
+            )
+    if result.truncated:
+        # Surface budget exhaustion as its own finding so CI notices an
+        # incomplete walk instead of silently passing.
+        findings.append(
+            Finding(
+                rule=RULE_NAME,
+                file="",
+                line=0,
+                column=0,
+                message="call-graph walk truncated by budget; raise "
+                "--call-budget/--call-depth",
+            )
+        )
+    return findings

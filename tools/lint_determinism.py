@@ -18,29 +18,19 @@ Banned patterns
 4. `std::mt19937` / `std::mt19937_64` outside src/sim/random.* — all
    simulation randomness flows through sim::Rng so streams are explicitly
    seeded and fork()-decorrelated.
-5. Range-for iteration over a `std::unordered_map` / `std::unordered_set`
-   declared in the same file or its paired header: iteration order is
-   unspecified and must never feed results. (Heuristic, per-file; use an
-   ordered container, sort the output, or suppress.)
 
-   Note on per-instance *scratch buffers* (the allocation-free kernel
-   pattern, docs/performance.md): member containers that are cleared and
-   refilled every interval are fine as lookup structures — only
-   *iterating* them can leak order. Scratch `std::vector`s never trigger
-   this rule; an unordered scratch map used purely via find()/contains()
-   passes too. If an unordered scratch container genuinely must be
-   iterated order-independently, suppress at the declaration (below).
+The former rule 5 (range-for over unordered containers) moved to the
+AST-based `ordered-iteration` rule in tools/analyze/mci_analyze.py, which
+sees through typedefs, auto, and members declared in other headers where
+the old per-file regex could not. This script stays as the zero-dependency
+fallback for the remaining token-level rules — they need no type
+information, so regexes are exact for them. See docs/analysis.md.
 
 Suppressions
 ------------
 Append to the offending line (or the line above it):
 
     // NOLINT-DETERMINISM(<reason>)
-
-For rule 5 the suppression may also sit on the container's *declaration*
-(in the header, for members): every range-for over that name in the file
-and its paired source is then exempt, so the reasoning lives once, next
-to the container it justifies.
 
 A reason is mandatory; bare `NOLINT-DETERMINISM` is itself an error.
 
@@ -91,12 +81,6 @@ SIMPLE_RULES = [
         "through sim::Rng so every stream is explicitly seeded",
     ),
 ]
-
-UNORDERED_DECL = re.compile(
-    r"std\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<[^;{]*>\s+(\w+)\s*[;{=]"
-)
-RANGE_FOR = re.compile(r"\bfor\s*\([^;)]*:\s*([^)]+)\)")
-
 
 def strip_comments(text: str) -> str:
     """Blanks out // and /* */ comments and string/char literals, keeping
@@ -164,25 +148,6 @@ def suppressed(raw_lines: list[str], lineno: int) -> bool:
     return False
 
 
-def paired_header(path: Path) -> Path | None:
-    if path.suffix == ".cpp":
-        cand = path.with_suffix(".hpp")
-        return cand if cand.exists() else None
-    return None
-
-
-def unordered_names(code: str, raw_lines: list[str]) -> tuple[set[str], set[str]]:
-    """Returns (flagged names, declaration-suppressed names): a reasoned
-    NOLINT-DETERMINISM on the declaration line (or the line above) exempts
-    every range-for over that container in the file and its paired source."""
-    flagged: set[str] = set()
-    exempt: set[str] = set()
-    for m in UNORDERED_DECL.finditer(code):
-        lineno = code.count("\n", 0, m.start()) + 1
-        (exempt if suppressed(raw_lines, lineno) else flagged).add(m.group(1))
-    return flagged, exempt
-
-
 def lint_file(root: Path, path: Path) -> list[str]:
     rel = path.relative_to(root).as_posix()
     raw = path.read_text(encoding="utf-8", errors="replace")
@@ -205,29 +170,6 @@ def lint_file(root: Path, path: Path) -> list[str]:
             if pattern.search(line) and not suppressed(raw_lines, ln):
                 errors.append(f"{rel}:{ln}: {message}")
 
-    # Heuristic rule 5: range-for over an unordered container declared in
-    # this file or its paired header.
-    names, exempt = unordered_names(code, raw_lines)
-    header = paired_header(path)
-    if header is not None:
-        header_raw = header.read_text(encoding="utf-8", errors="replace")
-        h_names, h_exempt = unordered_names(
-            strip_comments(header_raw), header_raw.splitlines())
-        names |= h_names
-        exempt |= h_exempt
-    names -= exempt
-    if names:
-        name_re = re.compile(r"\b(" + "|".join(map(re.escape, sorted(names))) + r")\b")
-        for ln, line in enumerate(code_lines, start=1):
-            m = RANGE_FOR.search(line)
-            if m and name_re.search(m.group(1)) and not suppressed(raw_lines, ln):
-                errors.append(
-                    f"{rel}:{ln}: range-for over unordered container "
-                    f"'{name_re.search(m.group(1)).group(1)}' — iteration order is "
-                    "unspecified; iterate an ordered structure or sort the output "
-                    "(suppress with // NOLINT-DETERMINISM(reason) if order "
-                    "provably cannot reach results)"
-                )
     return errors
 
 
