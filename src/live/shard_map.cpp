@@ -38,11 +38,14 @@ void ShardMap::encodeTo(report::BitWriter& w) const {
   }
 }
 
-std::optional<ShardMap> ShardMap::decodeFrom(report::BitReader& r) {
+std::optional<ShardMap> ShardMap::decodeFrom(
+    report::BitReader& r, std::optional<std::uint32_t> mustContainIndex) {
   const auto version = static_cast<std::uint32_t>(r.read(32));
   const std::uint64_t hashSeed = r.read(64);
   const std::uint64_t count = r.read(16);
   if (!r.ok() || count == 0 || count > kMaxShards) return std::nullopt;
+  if (mustContainIndex && *mustContainIndex >= count) return std::nullopt;
+  if (!r.fits(count, 32 + 16 + 32 + 16)) return std::nullopt;
   std::vector<ShardEndpoint> shards;
   shards.reserve(count);
   for (std::uint64_t i = 0; i < count && r.ok(); ++i) {

@@ -94,7 +94,12 @@ class ShardMap {
   void encodeTo(report::BitWriter& w) const;
 
   /// Reads a map back; nullopt on underrun or an out-of-range shard count.
-  [[nodiscard]] static std::optional<ShardMap> decodeFrom(report::BitReader& r);
+  /// When `mustContainIndex` is given, a map whose decoded count does not
+  /// cover that index is rejected BEFORE any endpoint is parsed — the
+  /// Welcome v2 shardIndex bound is enforced here, not after the fact.
+  [[nodiscard]] static std::optional<ShardMap> decodeFrom(
+      report::BitReader& r,
+      std::optional<std::uint32_t> mustContainIndex = std::nullopt);
 
   bool operator==(const ShardMap&) const = default;
 

@@ -30,22 +30,6 @@ std::size_t payloadBytes(std::uint32_t payloadBits) {
   return (static_cast<std::size_t>(payloadBits) + 7) / 8;
 }
 
-/// Reads a 16/32-bit big-endian field at `off` (bounds already checked).
-/// These (and crc32/frameSize/decodeFrame below) are the frame-envelope
-/// trust boundary: the one layer that may touch payload bytes raw, because
-/// it is what establishes the bounds BitReader then enforces for everyone
-/// else (docs/protocols.md, "Wire format").
-std::uint32_t be16(const std::uint8_t* p) {
-  // MCI-ANALYZE-ALLOW(codec-bounds): envelope trust boundary, caller-checked
-  return (std::uint32_t{p[0]} << 8) | p[1];
-}
-std::uint32_t be32(const std::uint8_t* p) {
-  // MCI-ANALYZE-ALLOW(codec-bounds): envelope trust boundary, caller-checked
-  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
-         // MCI-ANALYZE-ALLOW(codec-bounds): envelope trust boundary
-         (std::uint32_t{p[2]} << 8) | p[3];
-}
-
 }  // namespace
 
 std::uint32_t crc32(const std::uint8_t* data, std::size_t len,
@@ -86,9 +70,14 @@ std::vector<std::uint8_t> encodeFrame(FrameType type, std::uint8_t scheme,
 
 std::size_t frameSize(const std::uint8_t* data, std::size_t len) {
   if (len < kHeaderBytes) return 0;
-  if (be16(data) != kMagic) return 0;
-  // MCI-ANALYZE-ALLOW(codec-bounds): len >= kHeaderBytes checked above
-  const std::uint32_t payloadBits = be32(data + 6);
+  // The header envelope reads through the same bounded cursor as every
+  // payload codec: the BitReader span is the first kHeaderBytes, so no raw
+  // pointer arithmetic survives in this layer (PR 5's be16/be32 helpers and
+  // their codec-bounds ALLOWs are gone).
+  report::BitReader hdr(data, kHeaderBytes);
+  if (hdr.read(16) != kMagic) return 0;
+  hdr.skip(32);  // version, type, scheme, trafficClass
+  const auto payloadBits = static_cast<std::uint32_t>(hdr.read(32));
   const std::size_t bytes = payloadBytes(payloadBits);
   if (bytes > kMaxPayloadBytes) return 0;
   return kHeaderBytes + bytes;
@@ -97,20 +86,16 @@ std::size_t frameSize(const std::uint8_t* data, std::size_t len) {
 std::optional<Frame> decodeFrame(const std::uint8_t* data, std::size_t len) {
   const std::size_t total = frameSize(data, len);
   if (total == 0 || len < total) return std::nullopt;
-  // Header reads below stay inside [0, kHeaderBytes) <= total <= len,
-  // established by the frameSize() check above: envelope trust boundary.
   Frame f;
-  f.header.version = data[2];  // MCI-ANALYZE-ALLOW(codec-bounds): see above
+  report::BitReader hdr(data, kHeaderBytes);
+  hdr.skip(16);  // magic, already validated by frameSize()
+  f.header.version = static_cast<std::uint8_t>(hdr.read(8));
   if (f.header.version != kVersion) return std::nullopt;
-  // MCI-ANALYZE-ALLOW(codec-bounds): envelope header, bounds checked above
-  f.header.type = static_cast<FrameType>(data[3]);
-  f.header.scheme = data[4];  // MCI-ANALYZE-ALLOW(codec-bounds): see above
-  // MCI-ANALYZE-ALLOW(codec-bounds): envelope header, bounds checked above
-  f.header.trafficClass = data[5];
-  // MCI-ANALYZE-ALLOW(codec-bounds): envelope header, bounds checked above
-  f.header.payloadBits = be32(data + 6);
-  // MCI-ANALYZE-ALLOW(codec-bounds): envelope header, bounds checked above
-  f.header.checksum = be32(data + 10);
+  f.header.type = static_cast<FrameType>(hdr.read(8));
+  f.header.scheme = static_cast<std::uint8_t>(hdr.read(8));
+  f.header.trafficClass = static_cast<std::uint8_t>(hdr.read(8));
+  f.header.payloadBits = static_cast<std::uint32_t>(hdr.read(32));
+  f.header.checksum = static_cast<std::uint32_t>(hdr.read(32));
 
   // Verify over the frame with the checksum field zeroed, matching the
   // encoder (header prefix, four zero bytes, payload).
@@ -193,9 +178,12 @@ std::optional<Welcome> decodeWelcome(const std::vector<std::uint8_t>& payload) {
   m.sigVotes = static_cast<std::int32_t>(static_cast<std::uint32_t>(r.read(32)));
   m.gcoreGroupSize = static_cast<std::uint32_t>(r.read(32));
   m.shardIndex = static_cast<std::uint16_t>(r.read(16));
-  std::optional<ShardMap> map = ShardMap::decodeFrom(r);
+  // The shard index must name a shard of the embedded map; decodeFrom
+  // enforces that against the decoded count before it parses a single
+  // endpoint, so a hostile Welcome cannot make us build a map the index
+  // then escapes.
+  std::optional<ShardMap> map = ShardMap::decodeFrom(r, m.shardIndex);
   if (!map || !r.ok()) return std::nullopt;
-  if (m.shardIndex >= map->shardCount()) return std::nullopt;
   m.shardMap = std::move(*map);
   return m;
 }
@@ -212,6 +200,7 @@ std::optional<QueryRequest> decodeQueryRequest(
   report::BitReader r(payload);
   QueryRequest m;
   const std::uint64_t count = r.read(16);
+  if (!r.fits(count, 32)) return std::nullopt;
   m.items.reserve(count);
   for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
     m.items.push_back(static_cast<db::ItemId>(r.read(32)));
@@ -259,6 +248,7 @@ std::optional<Check> decodeCheck(const std::vector<std::uint8_t>& payload) {
   m.epoch = r.read(64);
   m.sizeBits = bitsDouble(r.read(64));
   const std::uint64_t count = r.read(24);
+  if (!r.fits(count, 32 + 64)) return std::nullopt;
   m.entries.reserve(count);
   for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
     db::UpdateRecord e;
@@ -305,6 +295,7 @@ std::optional<ValidityReplyMsg> decodeValidityReply(
   m.epoch = r.read(64);
   m.sizeBits = bitsDouble(r.read(64));
   const std::uint64_t count = r.read(24);
+  if (!r.fits(count, 32)) return std::nullopt;
   m.invalid.reserve(count);
   for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
     m.invalid.push_back(static_cast<db::ItemId>(r.read(32)));

@@ -36,18 +36,37 @@ void BitWriter::write(std::uint64_t value, int bits) {
 
 std::uint64_t BitReader::read(int bits) {
   assert(bits >= 1 && bits <= 64);
+  if (pos_ + static_cast<std::size_t>(bits) > bits_) {
+    ok_ = false;
+    pos_ = bits_;  // park at the end: later reads keep failing cheaply
+    return 0;
+  }
   std::uint64_t value = 0;
   for (int i = 0; i < bits; ++i) {
-    const std::size_t byte = pos_ / 8;
-    if (byte >= bytes_.size()) {
-      ok_ = false;
-      return 0;
-    }
-    const std::uint64_t bit = (bytes_[byte] >> (7 - pos_ % 8)) & 1;
+    // MCI-ANALYZE-ALLOW(codec-bounds): the cursor IS the bounds
+    // enforcement — pos_ + bits <= bits_ was checked above, so pos_/8
+    // cannot reach past the span handed to the constructor.
+    const std::uint64_t bit = (data_[pos_ / 8] >> (7 - pos_ % 8)) & 1;
     value = (value << 1) | bit;
     ++pos_;
   }
   return value;
+}
+
+void BitReader::skip(int bits) {
+  assert(bits >= 1);
+  if (pos_ + static_cast<std::size_t>(bits) > bits_) {
+    ok_ = false;
+    pos_ = bits_;
+    return;
+  }
+  pos_ += static_cast<std::size_t>(bits);
+}
+
+bool BitReader::fits(std::uint64_t count, int bitsEach) const {
+  assert(bitsEach >= 1);
+  if (!ok_) return false;
+  return count <= (bits_ - pos_) / static_cast<std::size_t>(bitsEach);
 }
 
 std::uint64_t ReportCodec::quantize(sim::SimTime t) const {
@@ -90,6 +109,8 @@ std::shared_ptr<const TsReport> ReportCodec::decodeTs(
   const sim::SimTime now = dequantize(reader.read(sizes_.timestampBits));
   const sim::SimTime coverage = dequantize(reader.read(sizes_.timestampBits));
   const auto count = reader.read(kCountBits);
+  if (!reader.fits(count, sizes_.itemIdBits() + sizes_.timestampBits))
+    return nullptr;
   std::vector<db::UpdateRecord> entries;
   entries.reserve(count);
   for (std::uint64_t i = 0; i < count && reader.ok(); ++i) {
@@ -129,6 +150,7 @@ std::optional<ReportCodec::DecodedBs> ReportCodec::decodeBs(
   out.broadcastTime = dequantize(reader.read(sizes_.timestampBits));
   const sim::SimTime tsB0 = dequantize(reader.read(sizes_.timestampBits));
   const auto levels = reader.read(kLevelCountBits);
+  if (!reader.fits(levels, sizes_.timestampBits)) return std::nullopt;
 
   std::vector<BsWire::WireLevel> wireLevels;
   std::size_t nextLen = sizes_.numItems;  // first sequence: one bit per item
@@ -169,6 +191,7 @@ std::shared_ptr<const SigReport> ReportCodec::decodeSig(
     return nullptr;
   const sim::SimTime now = dequantize(reader.read(sizes_.timestampBits));
   const auto count = reader.read(kSigCountBits);
+  if (!reader.fits(count, sizes_.signatureBits)) return nullptr;
   std::vector<std::uint64_t> sigs;
   sigs.reserve(count);
   for (std::uint64_t i = 0; i < count && reader.ok(); ++i) {

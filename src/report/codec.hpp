@@ -32,19 +32,36 @@ class BitWriter {
 };
 
 /// Mirror of BitWriter. Reading past the end is reported via ok().
+///
+/// The cursor is span-based so the live wire layer can run it directly
+/// over a framed buffer (header bytes, payload slices) without copying
+/// into a vector first. Every read is bounds-checked up front; once the
+/// cursor underruns, ok() stays false and all further reads return 0.
 class BitReader {
  public:
   explicit BitReader(const std::vector<std::uint8_t>& bytes)
-      : bytes_(bytes) {}
+      : BitReader(bytes.data(), bytes.size()) {}
+  BitReader(const std::uint8_t* data, std::size_t len)
+      : data_(data), bits_(len * 8) {}
 
   /// Reads `bits` bits (1..64); returns 0 and clears ok() on underrun.
   std::uint64_t read(int bits);
+
+  /// Advances the cursor without decoding (same underrun handling).
+  void skip(int bits);
+
+  /// True iff `count` more elements of `bitsEach` bits fit in what is
+  /// left. Decoders call this on a just-decoded count before reserving
+  /// or looping — it bounds attacker-controlled counts by the physical
+  /// frame size, which is the wire-taint sanitizer for count fields.
+  [[nodiscard]] bool fits(std::uint64_t count, int bitsEach) const;
 
   [[nodiscard]] bool ok() const { return ok_; }
   [[nodiscard]] std::size_t bitsRead() const { return pos_; }
 
  private:
-  const std::vector<std::uint8_t>& bytes_;
+  const std::uint8_t* data_ = nullptr;
+  std::size_t bits_ = 0;
   std::size_t pos_ = 0;
   bool ok_ = true;
 };

@@ -1,0 +1,91 @@
+// codec-symmetry fixture: three asymmetric encode/decode pairs, one per
+// divergence class. Message names are unique to this file so the findings
+// cannot collide with the real wire messages.
+//
+// The rule is textual — this file never has to compile against the real
+// headers, it only has to speak the BitWriter/BitReader codec idiom.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace fix {
+
+struct BitWriter {
+  void write(std::uint64_t v, int bits);
+  std::vector<std::uint8_t> finish();
+};
+struct BitReader {
+  explicit BitReader(const std::vector<std::uint8_t>& b);
+  std::uint64_t read(int bits);
+  bool ok();
+};
+
+struct FixDropped {
+  std::uint32_t alpha = 0;
+  std::uint16_t beta = 0;
+};
+
+// BAD: the decoder never reads `beta` — a dropped field desyncs every
+// later message on the stream.
+std::vector<std::uint8_t> encodeFixDropped(const FixDropped& m) {
+  BitWriter w;
+  w.write(m.alpha, 32);
+  w.write(m.beta, 16);
+  return w.finish();
+}
+
+std::optional<FixDropped> decodeFixDropped(
+    const std::vector<std::uint8_t>& payload) {
+  BitReader r(payload);
+  FixDropped m;
+  m.alpha = static_cast<std::uint32_t>(r.read(32));
+  if (!r.ok()) return std::nullopt;
+  return m;
+}
+
+struct FixWidth {
+  std::uint32_t gamma = 0;
+};
+
+// BAD: encoder writes 32 bits, decoder reads 16 — a width mismatch shears
+// the field boundary.
+std::vector<std::uint8_t> encodeFixWidth(const FixWidth& m) {
+  BitWriter w;
+  w.write(m.gamma, 32);
+  return w.finish();
+}
+
+std::optional<FixWidth> decodeFixWidth(
+    const std::vector<std::uint8_t>& payload) {
+  BitReader r(payload);
+  FixWidth m;
+  m.gamma = static_cast<std::uint32_t>(r.read(16));
+  if (!r.ok()) return std::nullopt;
+  return m;
+}
+
+struct FixReorder {
+  std::uint16_t first = 0;
+  std::uint16_t second = 0;
+};
+
+// BAD: same fields, same widths, opposite order.
+std::vector<std::uint8_t> encodeFixReorder(const FixReorder& m) {
+  BitWriter w;
+  w.write(m.first, 16);
+  w.write(m.second, 16);
+  return w.finish();
+}
+
+std::optional<FixReorder> decodeFixReorder(
+    const std::vector<std::uint8_t>& payload) {
+  BitReader r(payload);
+  FixReorder m;
+  m.second = static_cast<std::uint16_t>(r.read(16));
+  m.first = static_cast<std::uint16_t>(r.read(16));
+  if (!r.ok()) return std::nullopt;
+  return m;
+}
+
+}  // namespace fix

@@ -1,0 +1,50 @@
+// codec-symmetry fixture: a fully symmetric pair, including a repeated
+// group whose count field links to the loop — the rule must stay quiet.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace fix {
+
+struct BitWriter {
+  void write(std::uint64_t v, int bits);
+  std::vector<std::uint8_t> finish();
+};
+struct BitReader {
+  explicit BitReader(const std::vector<std::uint8_t>& b);
+  std::uint64_t read(int bits);
+  bool ok();
+};
+
+struct FixSymmetric {
+  std::uint32_t alpha = 0;
+  std::uint16_t beta = 0;
+  std::vector<std::uint32_t> items;
+};
+
+std::vector<std::uint8_t> encodeFixSymmetric(const FixSymmetric& m) {
+  BitWriter w;
+  w.write(m.alpha, 32);
+  w.write(m.beta, 16);
+  w.write(m.items.size(), 16);
+  for (std::uint32_t item : m.items) w.write(item, 32);
+  return w.finish();
+}
+
+std::optional<FixSymmetric> decodeFixSymmetric(
+    const std::vector<std::uint8_t>& payload) {
+  BitReader r(payload);
+  FixSymmetric m;
+  m.alpha = static_cast<std::uint32_t>(r.read(32));
+  m.beta = static_cast<std::uint16_t>(r.read(16));
+  const std::uint64_t count = r.read(16);
+  m.items.reserve(count);
+  for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
+    m.items.push_back(static_cast<std::uint32_t>(r.read(32)));
+  }
+  if (!r.ok()) return std::nullopt;
+  return m;
+}
+
+}  // namespace fix

@@ -1,0 +1,66 @@
+// wire-taint fixture: every commented BAD site below must produce exactly
+// one finding. Hermetic: a stub BitReader stands in for report::BitReader
+// (the rule keys on the receiver type name and the read/decode source
+// vocabulary, not on the real headers).
+
+extern "C" void* memcpy(void* dst, const void* src, unsigned long n);
+
+#define MCI_CHECK(cond) ((void)0)
+
+constexpr unsigned long long kMaxItems = 1024;
+
+struct BitReader {
+  unsigned long long read(int bits);
+  bool ok();
+  bool fits(unsigned long long count, int bitsEach);
+};
+
+struct Vec {
+  void resize(unsigned long long n);
+  void reserve(unsigned long long n);
+  void push_back(unsigned v);
+  unsigned& operator[](unsigned long long i);
+  unsigned long long size();
+};
+
+unsigned shardOf(unsigned long long idx);
+
+// BAD 1: decoded value used as a subscript with no guard at all.
+unsigned badUnguardedIndex(BitReader& r, Vec& table) {
+  const unsigned long long idx = r.read(16);
+  return table[idx];  // tainted subscript
+}
+
+// BAD 2: guarded use inside the branch, then re-used unguarded after the
+// branches rejoin — the kill only holds on the guarded edge.
+unsigned badGuardedThenReused(BitReader& r, Vec& table) {
+  const unsigned long long idx = r.read(16);
+  unsigned first = 0;
+  if (idx < kMaxItems) {
+    first = table[idx];  // fine: guarded edge
+  }
+  return first + table[idx];  // tainted subscript after the join
+}
+
+// BAD 3: taint flows through a local copy; the sink names the copy but the
+// chain leads back to the read.
+void badTaintThroughCopy(BitReader& r, Vec& out) {
+  const unsigned long long n = r.read(24);
+  const unsigned long long total = n;
+  out.resize(total);  // tainted size argument
+}
+
+// BAD 4: decoded length handed straight to memcpy.
+void badMemcpyLength(BitReader& r, unsigned char* dst,
+                     const unsigned char* src) {
+  const unsigned long long len = r.read(32);
+  memcpy(dst, src, len);  // tainted copy length
+}
+
+// BAD 5: decoded count bounds a loop with no fits()/constant guard.
+void badLoopBound(BitReader& r, Vec& out) {
+  const unsigned long long count = r.read(16);
+  for (unsigned long long i = 0; i < count; ++i) {  // tainted loop bound
+    out.push_back(static_cast<unsigned>(r.read(32)));
+  }
+}

@@ -1,0 +1,71 @@
+// wire-taint fixture: nothing here may be reported. Each function shows a
+// sanctioned sanitizer for a decoded value: a constant-bound comparison,
+// MCI_CHECK, std::min clamping, and the BitReader fits() guard.
+
+extern "C" void* memcpy(void* dst, const void* src, unsigned long n);
+
+#define MCI_CHECK(cond) ((void)0)
+
+constexpr unsigned long long kMaxItems = 1024;
+constexpr unsigned long long kMaxLen = 4096;
+
+namespace std {
+template <typename T>
+T min(T a, T b);
+}
+
+struct BitReader {
+  unsigned long long read(int bits);
+  bool ok();
+  bool fits(unsigned long long count, int bitsEach);
+};
+
+struct Vec {
+  void resize(unsigned long long n);
+  void reserve(unsigned long long n);
+  void push_back(unsigned v);
+  unsigned& operator[](unsigned long long i);
+  unsigned long long size();
+};
+
+// GOOD: index checked against a constant bound before every use on the
+// guarded edge.
+unsigned goodGuardedIndex(BitReader& r, Vec& table) {
+  const unsigned long long idx = r.read(16);
+  if (idx < kMaxItems) {
+    return table[idx];
+  }
+  return 0;
+}
+
+// GOOD: early-exit guard kills the taint on the fallthrough edge.
+unsigned goodEarlyExit(BitReader& r, Vec& table) {
+  const unsigned long long idx = r.read(16);
+  if (idx >= kMaxItems) return 0;
+  return table[idx];
+}
+
+// GOOD: MCI_CHECK is a hard process-stop bound; the value is clean after.
+void goodCheckedResize(BitReader& r, Vec& out) {
+  const unsigned long long n = r.read(24);
+  MCI_CHECK(n <= kMaxItems);
+  out.resize(n);
+}
+
+// GOOD: std::min against a constant cap yields an untainted length.
+void goodClampedMemcpy(BitReader& r, unsigned char* dst,
+                       const unsigned char* src) {
+  const unsigned long long len = r.read(32);
+  const unsigned long long capped = std::min(len, kMaxLen);
+  memcpy(dst, src, capped);
+}
+
+// GOOD: the fits() guard bounds the count by the physical frame size.
+void goodFitsGuardedLoop(BitReader& r, Vec& out) {
+  const unsigned long long count = r.read(16);
+  if (!r.fits(count, 32)) return;
+  out.reserve(count);
+  for (unsigned long long i = 0; i < count; ++i) {
+    out.push_back(static_cast<unsigned>(r.read(32)));
+  }
+}

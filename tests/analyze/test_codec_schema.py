@@ -1,0 +1,225 @@
+"""Unit tests for the codec-symmetry extractor (tools/analyze/codec_schema).
+
+All pure text: the extractor, the comparator, the schema builder, and the
+docs splicer, plus a run over the real tree asserting every wire message
+round-trips symmetric — the same property the CTest drift gate enforces.
+"""
+
+import os
+import sys
+import unittest
+
+_TOOLS = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "tools",
+    "analyze",
+)
+if _TOOLS not in sys.path:
+    sys.path.insert(0, _TOOLS)
+
+import codec_schema  # noqa: E402
+
+_REPO = os.path.dirname(os.path.dirname(_TOOLS))
+
+
+def _extract(text):
+    out = {}
+    codec_schema.extract_text(text, out, "snippet.cpp")
+    return out
+
+
+_SYMMETRIC = """
+std::vector<std::uint8_t> encodePing(const Ping& m) {
+  report::BitWriter w;
+  w.write(m.token, 32);
+  w.write(m.flags, 8);
+  return w.finish();
+}
+std::optional<Ping> decodePing(const std::vector<std::uint8_t>& payload) {
+  report::BitReader r(payload);
+  Ping m;
+  m.token = static_cast<std::uint32_t>(r.read(32));
+  m.flags = static_cast<std::uint8_t>(r.read(8));
+  if (!r.ok()) return std::nullopt;
+  return m;
+}
+"""
+
+
+class ExtractionTest(unittest.TestCase):
+    def test_simple_fields_with_names_and_widths(self):
+        out = _extract(_SYMMETRIC)
+        self.assertEqual(
+            out["Ping"]["encode"],
+            [{"name": "token", "bits": 32}, {"name": "flags", "bits": 8}])
+        self.assertEqual(out["Ping"]["encode"], out["Ping"]["decode"])
+        self.assertEqual(out["Ping"]["locs"]["encode"][0], "snippet.cpp")
+
+    def test_repeated_group_links_count_to_loop(self):
+        out = _extract("""
+std::vector<std::uint8_t> encodeBatch(const Batch& m) {
+  report::BitWriter w;
+  w.write(m.items.size(), 16);
+  for (db::ItemId item : m.items) w.write(item, 32);
+  return w.finish();
+}
+std::optional<Batch> decodeBatch(const std::vector<std::uint8_t>& payload) {
+  report::BitReader r(payload);
+  Batch m;
+  const std::uint64_t count = r.read(16);
+  m.items.reserve(count);
+  for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
+    m.items.push_back(static_cast<db::ItemId>(r.read(32)));
+  }
+  return m;
+}
+""")
+        self.assertEqual(out["Batch"]["encode"], out["Batch"]["decode"])
+        names = [f["name"] for f in out["Batch"]["encode"]]
+        self.assertEqual(names, ["items.count", "items[]"])
+
+    def test_submessage_wildcard_and_decoder_type(self):
+        out = _extract("""
+std::vector<std::uint8_t> encodeEnvelope(const Envelope& m) {
+  report::BitWriter w;
+  w.write(m.kind, 8);
+  m.shardMap.encodeTo(w);
+  return w.finish();
+}
+std::optional<Envelope> decodeEnvelope(
+    const std::vector<std::uint8_t>& payload) {
+  report::BitReader r(payload);
+  Envelope m;
+  m.kind = static_cast<std::uint8_t>(r.read(8));
+  std::optional<ShardMap> map = ShardMap::decodeFrom(r);
+  if (!map || !r.ok()) return std::nullopt;
+  m.shardMap = std::move(*map);
+  return m;
+}
+""")
+        enc = out["Envelope"]["encode"]
+        dec = out["Envelope"]["decode"]
+        self.assertEqual(enc[1], {"name": "shardMap", "submessage": "*"})
+        self.assertEqual(dec[1], {"name": "shardMap", "submessage": "ShardMap"})
+        self.assertEqual(codec_schema.compare(out), [])
+        schema = codec_schema.build_schema(out)
+        self.assertEqual(
+            schema["messages"]["Envelope"]["fields"][1]["submessage"],
+            "ShardMap")  # wildcard grafted from the decoder
+
+    def test_fits_and_skip_lines_are_not_fields(self):
+        out = _extract("""
+std::optional<Lean> decodeLean(const std::vector<std::uint8_t>& payload) {
+  report::BitReader r(payload);
+  Lean m;
+  const std::uint64_t count = r.read(16);
+  if (!r.fits(count, 32)) return std::nullopt;
+  r.skip(8);
+  return m;
+}
+""")
+        # One pending count read; the fits() guard must not add a field.
+        names = [f["name"] for f in out["Lean"]["decode"]]
+        self.assertNotIn("fits", " ".join(names))
+
+
+class CompareTest(unittest.TestCase):
+    def _mutate(self, decode_repl):
+        return _extract(_SYMMETRIC.replace(decode_repl[0], decode_repl[1]))
+
+    def test_symmetric_pair_is_clean(self):
+        self.assertEqual(codec_schema.compare(_extract(_SYMMETRIC)), [])
+
+    def test_dropped_field_detected(self):
+        out = self._mutate((
+            "m.flags = static_cast<std::uint8_t>(r.read(8));", ""))
+        problems = codec_schema.compare(out)
+        self.assertEqual(len(problems), 1)
+        self.assertIn("never reads", problems[0][1])
+
+    def test_width_mismatch_detected(self):
+        out = self._mutate(("r.read(8)", "r.read(16)"))
+        problems = codec_schema.compare(out)
+        self.assertIn("width mismatch", problems[0][1])
+
+    def test_reorder_detected(self):
+        out = _extract(_SYMMETRIC.replace(
+            "m.token = static_cast<std::uint32_t>(r.read(32));\n"
+            "  m.flags = static_cast<std::uint8_t>(r.read(8));",
+            "m.flags = static_cast<std::uint8_t>(r.read(8));\n"
+            "  m.token = static_cast<std::uint32_t>(r.read(32));"))
+        problems = codec_schema.compare(out)
+        self.assertIn("order/name diverges", problems[0][1])
+
+    def test_one_sided_message_detected(self):
+        out = {}
+        codec_schema.extract_text("""
+std::vector<std::uint8_t> encodeOrphan(const Orphan& m) {
+  report::BitWriter w;
+  w.write(m.x, 8);
+  return w.finish();
+}
+""", out)
+        problems = codec_schema.compare(out)
+        self.assertEqual(problems, [("Orphan", "message has no decoder")])
+
+
+class RealTreeTest(unittest.TestCase):
+    """The production property: every message in src/live is symmetric and
+    the checked-in schema/docs match the code exactly."""
+
+    def setUp(self):
+        self.extracted = codec_schema.extract_paths(
+            _REPO, codec_schema.WIRE_SOURCES)
+
+    def test_every_wire_message_is_symmetric(self):
+        self.assertEqual(codec_schema.compare(self.extracted), [])
+        msgs = set(self.extracted) - set(codec_schema.ENVELOPE_MESSAGES)
+        for expected in ("Hello", "Welcome", "QueryRequest", "DataItem",
+                         "Check", "CheckAck", "ValidityReply", "Audit",
+                         "ShardMap"):
+            self.assertIn(expected, msgs)
+
+    def test_welcome_embeds_the_shard_map_as_submessage(self):
+        schema = codec_schema.build_schema(self.extracted)
+        welcome = schema["messages"]["Welcome"]["fields"]
+        self.assertEqual(welcome[-1],
+                         {"name": "shardMap", "submessage": "ShardMap"})
+
+    def test_checked_in_schema_and_docs_match_the_code(self):
+        import json
+        schema = codec_schema.build_schema(self.extracted)
+        with open(os.path.join(_REPO, codec_schema.SCHEMA_PATH)) as fh:
+            self.assertEqual(json.load(fh), schema,
+                             "docs/wire_schema.json is stale: run "
+                             "tools/analyze/codec_schema.py --write")
+        with open(os.path.join(_REPO, codec_schema.DOCS_PATH)) as fh:
+            text = fh.read()
+        rendered = codec_schema.render_docs(schema)
+        self.assertIn(rendered, text,
+                      "docs/protocols.md generated block is stale: run "
+                      "tools/analyze/codec_schema.py --write")
+
+
+class DocsTest(unittest.TestCase):
+    def test_render_and_splice_round_trip(self):
+        schema = codec_schema.build_schema(_extract(_SYMMETRIC))
+        rendered = codec_schema.render_docs(schema)
+        self.assertIn("#### Ping", rendered)
+        self.assertIn("| 0 | `token` | 32 bits |", rendered)
+        doc = "intro\n%s\nold\n%s\noutro" % (
+            codec_schema.DOCS_BEGIN, codec_schema.DOCS_END)
+        spliced = codec_schema._splice_docs(doc, rendered)
+        self.assertIsNotNone(spliced)
+        self.assertIn("intro", spliced)
+        self.assertIn("outro", spliced)
+        self.assertNotIn("old", spliced)
+        # Idempotent: splicing again changes nothing.
+        self.assertEqual(codec_schema._splice_docs(spliced, rendered), spliced)
+
+    def test_splice_refuses_unmarked_docs(self):
+        self.assertIsNone(codec_schema._splice_docs("no markers here", "x"))
+
+
+if __name__ == "__main__":
+    unittest.main()

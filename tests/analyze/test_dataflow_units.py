@@ -1,0 +1,250 @@
+"""Unit tests for the dataflow layer (engine.Cfg, reaching_defs,
+solve_taint) over hand-built CFGs — no libclang required.
+
+The statement IR is neutral: these tests pin the solver semantics the
+wire-taint rule relies on (edge-sensitive guard kills, tainted-bound
+non-kills, join merges, copy chains, strong updates, MCI_CHECK kills)
+independently of how callgraph.TaintLowering produces the IR.
+"""
+
+import os
+import sys
+import unittest
+
+_TOOLS = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "tools",
+    "analyze",
+)
+if _TOOLS not in sys.path:
+    sys.path.insert(0, _TOOLS)
+
+import engine  # noqa: E402
+from engine import Cfg, Def, Guard, Sink, Stmt  # noqa: E402
+
+
+def _read_def(path, sid_desc="BitReader::read"):
+    return Def(path=path, has_source=True, source_desc=sid_desc)
+
+
+def _subscript(*paths):
+    return Sink(kind="subscript", desc="table[%s]" % ",".join(paths),
+                paths=paths)
+
+
+class StraightLineTaintTest(unittest.TestCase):
+    def test_source_reaches_sink_with_chain(self):
+        # s1: idx = r.read(16);  s2: return table[idx];
+        cfg = Cfg()
+        cfg.add(Stmt(sid=1, defs=(_read_def("idx"),)))
+        cfg.add(Stmt(sid=2, uses=("idx",), sinks=(_subscript("idx"),)))
+        cfg.edge(1, 2)
+        result = engine.solve_taint(cfg)
+        self.assertFalse(result.truncated)
+        self.assertEqual(len(result.hits), 1)
+        hit = result.hits[0]
+        self.assertEqual(hit.tainted_path, "idx")
+        self.assertEqual(hit.chain, (1, 2))
+
+    def test_untainted_value_is_quiet(self):
+        cfg = Cfg()
+        cfg.add(Stmt(sid=1, defs=(Def(path="idx"),)))  # no source, no uses
+        cfg.add(Stmt(sid=2, uses=("idx",), sinks=(_subscript("idx"),)))
+        cfg.edge(1, 2)
+        self.assertEqual(engine.solve_taint(cfg).hits, [])
+
+    def test_direct_sink_needs_no_variable(self):
+        # buf[r.read(8)]: the sink itself holds the source.
+        cfg = Cfg()
+        cfg.add(Stmt(sid=1, sinks=(
+            Sink(kind="subscript", desc="buf[r.read(8)]", direct=True),)))
+        result = engine.solve_taint(cfg)
+        self.assertEqual(len(result.hits), 1)
+        self.assertEqual(result.hits[0].chain, (1,))
+
+
+class GuardEdgeTest(unittest.TestCase):
+    def _branch_cfg(self, guards, sink_on="true"):
+        # s1: n = read; s2: if (...) [guards]; s3: sink on one edge;
+        # s4: join.
+        cfg = Cfg()
+        cfg.add(Stmt(sid=1, defs=(_read_def("n"),)))
+        cfg.add(Stmt(sid=2, uses=("n",), guards=guards))
+        cfg.add(Stmt(sid=3, uses=("n",), sinks=(_subscript("n"),)))
+        cfg.add(Stmt(sid=4))
+        cfg.edge(1, 2)
+        cfg.edge(2, 3, sink_on)
+        cfg.edge(2, 4, "false" if sink_on == "true" else "true")
+        cfg.edge(3, 4)
+        return cfg
+
+    def test_guard_kills_taint_on_its_edge(self):
+        # if (n < kMax) { table[n]; } — clean on the true edge.
+        guards = (Guard(kills=("n",), edge="true"),)
+        self.assertEqual(engine.solve_taint(self._branch_cfg(guards)).hits, [])
+
+    def test_unguarded_edge_still_fires(self):
+        # if (n < kMax) {} else { table[n]; } — the false edge was never
+        # sanitized.
+        guards = (Guard(kills=("n",), edge="true"),)
+        cfg = self._branch_cfg(guards, sink_on="false")
+        self.assertEqual(len(engine.solve_taint(cfg).hits), 1)
+
+    def test_tainted_bound_does_not_sanitize(self):
+        # if (n < m) where m is itself decoded: no kill on either edge.
+        cfg = Cfg()
+        cfg.add(Stmt(sid=1, defs=(_read_def("n"), _read_def("m"))))
+        cfg.add(Stmt(sid=2, uses=("n", "m"), guards=(
+            Guard(kills=("n",), edge="true", bound_paths=("m",)),)))
+        cfg.add(Stmt(sid=3, uses=("n",), sinks=(_subscript("n"),)))
+        cfg.edge(1, 2)
+        cfg.edge(2, 3, "true")
+        self.assertEqual(len(engine.solve_taint(cfg).hits), 1)
+
+    def test_guarded_then_reused_after_join_fires(self):
+        # The PR's motivating bug shape: kill inside the branch, re-use
+        # after the join — the unguarded path re-taints the join state.
+        cfg = Cfg()
+        cfg.add(Stmt(sid=1, defs=(_read_def("idx"),)))
+        cfg.add(Stmt(sid=2, uses=("idx",), guards=(
+            Guard(kills=("idx",), edge="true"),)))
+        cfg.add(Stmt(sid=3, uses=("idx",), sinks=(_subscript("idx"),)))  # then
+        cfg.add(Stmt(sid=4, uses=("idx",), sinks=(_subscript("idx"),)))  # join
+        cfg.edge(1, 2)
+        cfg.edge(2, 3, "true")
+        cfg.edge(2, 4, "false")
+        cfg.edge(3, 4)
+        hits = engine.solve_taint(cfg).hits
+        self.assertEqual([h.stmt.sid for h in hits], [4])
+
+
+class TransferTest(unittest.TestCase):
+    def test_copy_propagates_taint_and_extends_chain(self):
+        # n = read; total = n; resize(total)
+        cfg = Cfg()
+        cfg.add(Stmt(sid=1, defs=(_read_def("n"),)))
+        cfg.add(Stmt(sid=2, defs=(Def(path="total", uses=("n",)),)))
+        cfg.add(Stmt(sid=3, uses=("total",), sinks=(
+            Sink(kind="size-arg", desc="out.resize(total)",
+                 paths=("total",)),)))
+        cfg.edge(1, 2)
+        cfg.edge(2, 3)
+        hits = engine.solve_taint(cfg).hits
+        self.assertEqual(len(hits), 1)
+        self.assertEqual(hits[0].chain, (1, 2, 3))
+        self.assertEqual(hits[0].tainted_path, "total")
+
+    def test_strong_update_untaints(self):
+        # n = read; n = 0; table[n] — the overwrite cleans the path.
+        cfg = Cfg()
+        cfg.add(Stmt(sid=1, defs=(_read_def("n"),)))
+        cfg.add(Stmt(sid=2, defs=(Def(path="n"),)))
+        cfg.add(Stmt(sid=3, uses=("n",), sinks=(_subscript("n"),)))
+        cfg.edge(1, 2)
+        cfg.edge(2, 3)
+        self.assertEqual(engine.solve_taint(cfg).hits, [])
+
+    def test_statement_kill_models_check_macro(self):
+        # n = read; MCI_CHECK(n <= kMax); resize(n)
+        cfg = Cfg()
+        cfg.add(Stmt(sid=1, defs=(_read_def("n"),)))
+        cfg.add(Stmt(sid=2, kills=("n",)))
+        cfg.add(Stmt(sid=3, uses=("n",), sinks=(
+            Sink(kind="size-arg", desc="resize(n)", paths=("n",)),)))
+        cfg.edge(1, 2)
+        cfg.edge(2, 3)
+        self.assertEqual(engine.solve_taint(cfg).hits, [])
+
+    def test_field_extension_aliases_the_base(self):
+        # m = decode(...); use of m.items.count is tainted via m.
+        cfg = Cfg()
+        cfg.add(Stmt(sid=1, defs=(_read_def("m", "decodeWelcome"),)))
+        cfg.add(Stmt(sid=2, uses=("m.count",), sinks=(
+            Sink(kind="loop-bound", desc="i < m.count",
+                 paths=("m.count",)),)))
+        cfg.edge(1, 2)
+        self.assertEqual(len(engine.solve_taint(cfg).hits), 1)
+
+    def test_loop_reaches_fixpoint(self):
+        # while (i < n) { i = i + 1; } with tainted n: terminates, flags
+        # the loop bound once.
+        cfg = Cfg()
+        cfg.add(Stmt(sid=1, defs=(_read_def("n"), Def(path="i"))))
+        cfg.add(Stmt(sid=2, uses=("i", "n"), sinks=(
+            Sink(kind="loop-bound", desc="i < n", paths=("n",)),)))
+        cfg.add(Stmt(sid=3, defs=(Def(path="i", uses=("i",)),)))
+        cfg.add(Stmt(sid=4))
+        cfg.edge(1, 2)
+        cfg.edge(2, 3, "true")
+        cfg.edge(3, 2)
+        cfg.edge(2, 4, "false")
+        result = engine.solve_taint(cfg)
+        self.assertFalse(result.truncated)
+        self.assertEqual(len(result.hits), 1)
+        self.assertEqual(result.hits[0].sink.kind, "loop-bound")
+
+
+class ReachingDefsTest(unittest.TestCase):
+    def test_joins_merge_and_strong_updates_replace(self):
+        # s1: x = ...; branch; s2: x = ...; s4(join): both defs of x reach
+        # but only the latest on each path.
+        cfg = Cfg()
+        cfg.add(Stmt(sid=1, defs=(Def(path="x"),)))
+        cfg.add(Stmt(sid=2, defs=(Def(path="x"),)))
+        cfg.add(Stmt(sid=3))
+        cfg.add(Stmt(sid=4, uses=("x",)))
+        cfg.edge(1, 2, "true")
+        cfg.edge(1, 3, "false")
+        cfg.edge(2, 4)
+        cfg.edge(3, 4)
+        ins = engine.reaching_defs(cfg)
+        self.assertEqual(ins[4]["x"], {1, 2})
+        self.assertEqual(ins[2]["x"], {1})
+
+    def test_unreachable_nodes_have_no_state(self):
+        cfg = Cfg()
+        cfg.add(Stmt(sid=1, defs=(Def(path="x"),)))
+        cfg.add(Stmt(sid=2))  # no edge from 1
+        ins = engine.reaching_defs(cfg)
+        self.assertEqual(ins[2], {})
+
+
+class HelperTest(unittest.TestCase):
+    def test_paths_alias(self):
+        self.assertTrue(engine.paths_alias("m", "m.items"))
+        self.assertTrue(engine.paths_alias("m.items", "m"))
+        self.assertTrue(engine.paths_alias("n", "n"))
+        self.assertFalse(engine.paths_alias("m", "map"))
+
+    def test_check_macro_kills_extracts_bounded_side(self):
+        # The FrameBuffer::next guard: `total` is bounded by the <= clause.
+        self.assertIn("total", engine.check_macro_kills(
+            "MCI_CHECK(total >= kHeaderBytes && off_ + total <= buf_.size())"))
+        self.assertIn("n", engine.check_macro_kills("MCI_CHECK(n <= kMax)"))
+        self.assertIn(
+            "count", engine.check_macro_kills("MCI_CHECK(kMax >= count)"))
+        # Shifts must not parse as comparisons.
+        self.assertEqual(
+            engine.check_macro_kills('MCI_CHECK(x) << "msg: " << (a << 2)'),
+            (),
+        )
+
+    def test_to_sarif_shape(self):
+        finding = engine.Finding(rule="wire-taint", file="src/a.cpp", line=3,
+                                 column=1, message="tainted index",
+                                 symbol="f", detail="source -> sink")
+        log = engine.to_sarif([finding], {"wire-taint": "desc"})
+        self.assertEqual(log["version"], "2.1.0")
+        run = log["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        self.assertEqual(rules[0]["id"], "wire-taint")
+        result = run["results"][0]
+        self.assertEqual(result["ruleId"], "wire-taint")
+        loc = result["locations"][0]["physicalLocation"]
+        self.assertEqual(loc["artifactLocation"]["uri"], "src/a.cpp")
+        self.assertEqual(loc["region"]["startLine"], 3)
+        self.assertIn("source -> sink", result["message"]["text"])
+
+
+if __name__ == "__main__":
+    unittest.main()

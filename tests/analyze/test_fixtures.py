@@ -2,9 +2,11 @@
 its good.cpp.
 
 Runs mci_analyze.py as a subprocess (the same entry point CI and the CTest
-`analyze` test use) so the exit-code contract is tested too. Skips itself
-when libclang is unavailable — the analyzer's own probe decides, so the
-skip condition can never drift from the production gate.
+`analyze_*` tests use) so the exit-code contract is tested too. The
+clang-dependent cases skip themselves when libclang is unavailable — the
+analyzer's own `--probe-libclang` gate decides, so the skip condition can
+never drift from the production gate. codec-symmetry is textual and its
+cases run everywhere.
 """
 
 import os
@@ -24,6 +26,8 @@ RULES = [
     "hot-path-alloc",
     "checked-return",
     "ordered-iteration",
+    "wire-taint",
+    "codec-symmetry",
 ]
 
 _probe_result = None
@@ -34,7 +38,7 @@ def _libclang_available():
     global _probe_result
     if _probe_result is None:
         proc = subprocess.run(
-            [sys.executable, _ANALYZE, "--list-rules"],
+            [sys.executable, _ANALYZE, "--probe-libclang"],
             capture_output=True, text=True)
         _probe_result = proc.returncode
     return _probe_result != 77
@@ -47,7 +51,28 @@ def _run(rule, fixture):
         capture_output=True, text=True, cwd=_REPO)
 
 
-class FixtureCorpusTest(unittest.TestCase):
+class FixtureCaseMixin:
+    def _assert_fires(self, rule, expect=()):
+        proc = _run(rule, "bad.cpp")
+        self.assertEqual(
+            proc.returncode, 1,
+            "%s should report findings on bad.cpp\nstdout:\n%s\nstderr:\n%s"
+            % (rule, proc.stdout, proc.stderr))
+        self.assertIn(rule, proc.stdout)
+        for needle in expect:
+            self.assertIn(needle, proc.stdout)
+
+    def _assert_quiet(self, rule):
+        proc = _run(rule, "good.cpp")
+        self.assertEqual(
+            proc.returncode, 0,
+            "%s should be quiet on good.cpp\nstdout:\n%s\nstderr:\n%s"
+            % (rule, proc.stdout, proc.stderr))
+
+
+class FixtureCorpusTest(unittest.TestCase, FixtureCaseMixin):
+    """Clang-dependent rules: skip as a block without libclang."""
+
     def setUp(self):
         if not _libclang_available():
             self.skipTest("libclang unavailable (analyzer probe exited 77)")
@@ -59,21 +84,6 @@ class FixtureCorpusTest(unittest.TestCase):
         self.assertEqual(proc.returncode, 0, proc.stderr)
         for rule in RULES:
             self.assertIn(rule, proc.stdout)
-
-    def _assert_fires(self, rule):
-        proc = _run(rule, "bad.cpp")
-        self.assertEqual(
-            proc.returncode, 1,
-            "%s should report findings on bad.cpp\nstdout:\n%s\nstderr:\n%s"
-            % (rule, proc.stdout, proc.stderr))
-        self.assertIn(rule, proc.stdout)
-
-    def _assert_quiet(self, rule):
-        proc = _run(rule, "good.cpp")
-        self.assertEqual(
-            proc.returncode, 0,
-            "%s should be quiet on good.cpp\nstdout:\n%s\nstderr:\n%s"
-            % (rule, proc.stdout, proc.stderr))
 
     def test_reactor_blocking_fires(self):
         self._assert_fires("reactor-blocking")
@@ -116,21 +126,71 @@ class FixtureCorpusTest(unittest.TestCase):
         proc = _run("ordered-iteration", "bad.cpp")
         self.assertIn("sumAliasBad", proc.stdout)
 
+    def test_wire_taint_fires_on_every_seeded_bug(self):
+        """All five seeded flows report, each exactly once."""
+        proc = _run("wire-taint", "bad.cpp")
+        self.assertEqual(
+            proc.returncode, 1,
+            "wire-taint should fire on bad.cpp\nstdout:\n%s\nstderr:\n%s"
+            % (proc.stdout, proc.stderr))
+        for fn in ("badUnguardedIndex", "badGuardedThenReused",
+                   "badTaintThroughCopy", "badMemcpyLength", "badLoopBound"):
+            self.assertEqual(
+                proc.stdout.count("[in %s]" % fn), 1,
+                "%s should report exactly once\nstdout:\n%s"
+                % (fn, proc.stdout))
+
+    def test_wire_taint_findings_carry_source_chains(self):
+        proc = _run("wire-taint", "bad.cpp")
+        self.assertIn("BitReader::read", proc.stdout)
+        self.assertIn("source -> sink", proc.stdout)
+
+    def test_wire_taint_quiet(self):
+        self._assert_quiet("wire-taint")
+
+
+class CodecSymmetryFixtureTest(unittest.TestCase, FixtureCaseMixin):
+    """codec-symmetry is textual: these run without libclang."""
+
+    def test_fires_on_dropped_field_width_and_reorder(self):
+        proc = _run("codec-symmetry", "bad.cpp")
+        self.assertEqual(
+            proc.returncode, 1,
+            "codec-symmetry should fire on bad.cpp\nstdout:\n%s\nstderr:\n%s"
+            % (proc.stdout, proc.stderr))
+        for msg in ("FixDropped", "FixWidth", "FixReorder"):
+            self.assertIn(msg, proc.stdout)
+
+    def test_quiet_on_symmetric_pair(self):
+        self._assert_quiet("codec-symmetry")
+
 
 class SkipContractTest(unittest.TestCase):
     """Exit-code contract checks that run with or without libclang."""
 
-    def test_strict_mode_never_exits_77(self):
+    def test_strict_mode_probe_never_exits_77(self):
         env = dict(os.environ, MCI_ANALYZE_STRICT="1")
         proc = subprocess.run(
-            [sys.executable, _ANALYZE, "--list-rules"],
+            [sys.executable, _ANALYZE, "--probe-libclang"],
             capture_output=True, text=True, env=env)
         self.assertNotEqual(proc.returncode, 77)
         self.assertIn(proc.returncode, (0, 2))
 
+    def test_list_rules_is_libclang_free(self):
+        proc = subprocess.run(
+            [sys.executable, _ANALYZE, "--list-rules"],
+            capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_clang_rule_selection_skips_without_libclang(self):
+        if _libclang_available():
+            self.skipTest("libclang present: the skip path is unreachable")
+        proc = _run("wire-taint", "bad.cpp")
+        self.assertEqual(proc.returncode, 77,
+                         "clang-dependent selections must keep the skip "
+                         "contract, not partially succeed")
+
     def test_unknown_rule_is_setup_error(self):
-        if not _libclang_available():
-            self.skipTest("libclang unavailable (analyzer probe exited 77)")
         proc = subprocess.run(
             [sys.executable, _ANALYZE, "--rule", "no-such-rule",
              os.path.join(_FIXTURES, "codec_bounds", "good.cpp")],

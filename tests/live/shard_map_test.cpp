@@ -121,6 +121,30 @@ TEST(ShardMap, DecodeRejectsTruncationAndZeroOrHugeCounts) {
   }
 }
 
+TEST(ShardMap, DecodeRejectsUncoveredIndexBeforeParsingEndpoints) {
+  // Welcome v2 hands decodeFrom the shardIndex it just read so a map that
+  // cannot contain it is refused on the count alone — before a single
+  // endpoint is parsed or the shards vector is reserved. The cursor
+  // position proves the early exit: exactly the version/seed/count header
+  // (32+64+16 bits) is consumed on rejection.
+  const ShardMap map = mapOf(3);
+  report::BitWriter w;
+  map.encodeTo(w);
+  const std::vector<std::uint8_t> bytes = w.finish();
+
+  {
+    report::BitReader r(bytes);
+    EXPECT_FALSE(ShardMap::decodeFrom(r, 3).has_value());
+    EXPECT_EQ(r.bitsRead(), 32u + 64u + 16u) << "endpoints were parsed";
+  }
+  {
+    report::BitReader r(bytes);
+    const auto back = ShardMap::decodeFrom(r, 2);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, map);
+  }
+}
+
 TEST(ShardMap, SingleSynthesizesTheUnshardedDeployment) {
   const ShardEndpoint self{0x7F000001u, 4242, 0, 0};
   const ShardMap map = ShardMap::single(self);

@@ -46,6 +46,59 @@ TEST(BitIo, UnderrunFlagsNotOk) {
   EXPECT_FALSE(r.ok());
 }
 
+TEST(BitIo, SpanConstructorReadsRawBuffers) {
+  // The live wire layer runs the cursor straight over framed bytes
+  // (header slices) without copying into a vector first.
+  const std::uint8_t raw[] = {0x4D, 0x43, 0xA5};
+  BitReader r(raw, sizeof raw);
+  EXPECT_EQ(r.read(16), 0x4D43u);
+  EXPECT_EQ(r.read(8), 0xA5u);
+  EXPECT_TRUE(r.ok());
+  (void)r.read(1);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(BitIo, SkipAdvancesWithoutDecodingAndUnderrunsLikeRead) {
+  BitWriter w;
+  w.write(0xFFFF, 16);
+  w.write(0x2A, 8);
+  const auto frame = w.finish();
+  BitReader r(frame);
+  r.skip(16);
+  EXPECT_EQ(r.bitsRead(), 16u);
+  EXPECT_EQ(r.read(8), 0x2Au);
+  EXPECT_TRUE(r.ok());
+  r.skip(1);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(BitIo, FitsBoundsCountsByRemainingBits) {
+  BitWriter w;
+  w.write(3, 16);        // a count field
+  w.write(0, 3 * 10);    // three 10-bit elements
+  const auto frame = w.finish();
+  BitReader r(frame);
+  const std::uint64_t count = r.read(16);
+  EXPECT_TRUE(r.fits(count, 10));
+  EXPECT_FALSE(r.fits(count + 1, 10));  // 32 bits left: no 4th element
+  EXPECT_FALSE(r.fits(~std::uint64_t{0}, 64));  // no overflow on huge counts
+  (void)r.read(64);  // underrun
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.fits(0, 1)) << "a dead cursor fits nothing";
+}
+
+TEST(BitIo, UnderrunParksTheCursorAtTheEnd) {
+  BitWriter w;
+  w.write(1, 8);
+  const auto frame = w.finish();
+  BitReader r(frame);
+  (void)r.read(64);  // underrun: returns 0, ok() false
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.bitsRead(), 8u);  // parked, not pushed past the span
+  EXPECT_EQ(r.read(8), 0u);     // and it stays failed
+  EXPECT_FALSE(r.ok());
+}
+
 TEST(BitIo, RandomizedRoundTrip) {
   std::mt19937_64 rng(3);
   for (int round = 0; round < 20; ++round) {

@@ -14,8 +14,11 @@ knob (--call-budget / --call-depth).
 from __future__ import annotations
 
 import dataclasses
+import re
 from collections import deque
 from typing import Dict, List, Optional, Set, Tuple
+
+import engine
 
 
 @dataclasses.dataclass
@@ -291,3 +294,790 @@ class CallGraphBuilder:
         for child in call_cursor.get_children():
             walk(child)
         return out
+
+
+# --------------------------------------------------------------------------
+# cindex AST -> engine.Cfg (the wire-taint statement lowering)
+# --------------------------------------------------------------------------
+
+# Names for libclang's BinaryOperator enum (bindings >= 17); the token scan
+# below is the fallback for older pins that don't expose opcodes at all.
+_BINOP_NAMES = {
+    "LT": "<", "GT": ">", "LE": "<=", "GE": ">=", "EQ": "==", "NE": "!=",
+    "LAnd": "&&", "LOr": "||", "Assign": "=",
+}
+_OP_TOKENS = {
+    "<", ">", "<=", ">=", "==", "!=", "&&", "||", "=",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=",
+}
+_CMP_OPS = {"<", ">", "<=", ">=", "==", "!="}
+_CONST_NAME_RE = re.compile(r"^k[A-Z]")
+
+
+@dataclasses.dataclass
+class ExprInfo:
+    """What an expression contributes to the taint IR: the access paths it
+    reads, whether a taint source appears inside it, and any sinks."""
+
+    paths: Tuple[str, ...] = ()
+    has_source: bool = False
+    source_desc: str = ""
+    sinks: Tuple[engine.Sink, ...] = ()
+
+    def merge(self, other: "ExprInfo") -> "ExprInfo":
+        return ExprInfo(
+            paths=self.paths + tuple(
+                p for p in other.paths if p not in self.paths
+            ),
+            has_source=self.has_source or other.has_source,
+            source_desc=self.source_desc or other.source_desc,
+            sinks=self.sinks + other.sinks,
+        )
+
+
+@dataclasses.dataclass
+class FunctionCfg:
+    name: str
+    file: str
+    line: int
+    cfg: engine.Cfg
+
+
+class _LoopFrame:
+    """Break/continue routing while lowering a loop or switch body."""
+
+    def __init__(self, cont_target: Optional[int]) -> None:
+        self.breaks: List[Tuple[int, str]] = []
+        self.cont_target = cont_target
+
+
+class TaintLowering:
+    """Lowers one function definition into an engine.Cfg for solve_taint.
+
+    The lowering is deliberately approximate where libclang is weak
+    (macro-expanded MCI_CHECKs, FOR_STMT child positions, opcodes on old
+    bindings): approximations always degrade toward *keeping* taint, never
+    toward inventing sanitization — except the textual MCI_CHECK kill,
+    which is what the macro means."""
+
+    def __init__(self, ctx,
+                 vocab: engine.TaintVocab = engine.DEFAULT_TAINT_VOCAB) \
+            -> None:
+        self.ctx = ctx
+        self.ci = ctx.cindex
+        self.vocab = vocab
+        self._check_re = re.compile(
+            r"^\s*(?:%s)\s*\(" % "|".join(vocab.check_macros)
+        )
+
+    # -- public ------------------------------------------------------------
+
+    def lower(self, func_cursor) -> engine.Cfg:
+        self.cfg = engine.Cfg()
+        self._sid = 0
+        ck = self.ci.CursorKind
+        body = None
+        for child in func_cursor.get_children():
+            if child.kind == ck.COMPOUND_STMT:
+                body = child
+        if body is not None:
+            self._lower_stmt(body, None)
+        return self.cfg
+
+    # -- statements --------------------------------------------------------
+
+    def _new_sid(self) -> int:
+        self._sid += 1
+        return self._sid
+
+    def _text(self, cursor) -> str:
+        rel, line, _ = self.ctx.location(cursor)
+        if not rel:
+            return ""
+        ext = cursor.extent
+        end = ext.end.line if ext and ext.end else line
+        text = self.ctx.extent_text(rel, line, end)
+        return " ".join(text.split())
+
+    def _add(self, cursor, **kw) -> int:
+        rel, line, col = self.ctx.location(cursor)
+        stmt = engine.Stmt(sid=self._new_sid(), line=line, column=col,
+                           text=self._text(cursor)[:160], **kw)
+        self.cfg.add(stmt)
+        return stmt.sid
+
+    def _link(self, ends: List[Tuple[int, str]], entry: int) -> None:
+        for sid, label in ends:
+            self.cfg.edge(sid, entry, label)
+
+    def _seq(self, cursors, frame) -> Tuple[Optional[int],
+                                            List[Tuple[int, str]]]:
+        entry: Optional[int] = None
+        ends: List[Tuple[int, str]] = []
+        for c in cursors:
+            e, nends = self._lower_stmt(c, frame)
+            if e is None:
+                continue
+            if entry is None:
+                entry = e
+            else:
+                self._link(ends, e)
+            ends = nends
+        return entry, ends
+
+    def _lower_stmt(self, c, frame) -> Tuple[Optional[int],
+                                             List[Tuple[int, str]]]:
+        ck = self.ci.CursorKind
+        kind = c.kind
+        text = self._text(c)
+        if self._check_re.match(text):
+            # MCI_CHECK(cond) << ...: the process dies unless cond holds, so
+            # everything downstream may rely on it. The condition is macro
+            # text, not reliable AST — kill textually.
+            sid = self._add(c, kills=engine.check_macro_kills(text))
+            return sid, [(sid, "")]
+        if kind == ck.COMPOUND_STMT:
+            return self._seq(c.get_children(), frame)
+        if kind == ck.NULL_STMT:
+            return None, []
+        if kind == ck.DECL_STMT:
+            return self._decl_stmt(c)
+        if kind == ck.IF_STMT:
+            return self._if_stmt(c, frame)
+        if kind == ck.WHILE_STMT:
+            return self._while_stmt(c, frame)
+        if kind == ck.DO_STMT:
+            return self._do_stmt(c, frame)
+        if kind == ck.FOR_STMT:
+            return self._for_stmt(c, frame)
+        if kind == ck.CXX_FOR_RANGE_STMT:
+            return self._range_for_stmt(c, frame)
+        if kind == ck.SWITCH_STMT:
+            return self._switch_stmt(c, frame)
+        if kind in (ck.CASE_STMT, ck.DEFAULT_STMT, ck.LABEL_STMT):
+            kids = list(c.get_children())
+            return self._lower_stmt(kids[-1], frame) if kids else (None, [])
+        if kind == ck.RETURN_STMT:
+            kids = list(c.get_children())
+            info = self._expr(kids[0]) if kids else ExprInfo()
+            sid = self._add(c, uses=info.paths, sinks=info.sinks)
+            return sid, []
+        if kind == ck.BREAK_STMT:
+            sid = self._add(c)
+            if frame is not None:
+                frame.breaks.append((sid, ""))
+            return sid, []
+        if kind == ck.CONTINUE_STMT:
+            sid = self._add(c)
+            if frame is not None and frame.cont_target is not None:
+                self.cfg.edge(sid, frame.cont_target, "")
+            return sid, []
+        # Everything else: one node carrying the statement's defs/sinks.
+        return self._expr_stmt(c)
+
+    def _decl_stmt(self, c) -> Tuple[int, List[Tuple[int, str]]]:
+        ck = self.ci.CursorKind
+        defs: List[engine.Def] = []
+        sinks: List[engine.Sink] = []
+        for var in c.get_children():
+            if var.kind != ck.VAR_DECL:
+                continue
+            init = None
+            for ch in var.get_children():
+                if ch.kind not in (ck.TYPE_REF, ck.NAMESPACE_REF,
+                                   ck.TEMPLATE_REF, ck.ANNOTATE_ATTR):
+                    init = ch
+            if init is None:
+                continue
+            info = self._expr(init)
+            sinks.extend(info.sinks)
+            if info.has_source or info.paths:
+                defs.append(engine.Def(
+                    path=var.spelling, uses=info.paths,
+                    has_source=info.has_source,
+                    source_desc=info.source_desc))
+            else:
+                defs.append(engine.Def(path=var.spelling))
+        sid = self._add(c, defs=tuple(defs), sinks=tuple(sinks))
+        return sid, [(sid, "")]
+
+    def _expr_stmt(self, c) -> Tuple[Optional[int], List[Tuple[int, str]]]:
+        ck = self.ci.CursorKind
+        kind = c.kind
+        defs: Tuple[engine.Def, ...] = ()
+        if kind in (ck.BINARY_OPERATOR, ck.COMPOUND_ASSIGNMENT_OPERATOR):
+            op = self._binop(c)
+            kids = list(c.get_children())
+            if len(kids) == 2 and (op == "=" or op.endswith("=")
+                                   and op not in _CMP_OPS):
+                lhs_info = self._expr(kids[0])
+                rhs_info = self._expr(kids[1])
+                lhs = self._peel(kids[0])
+                sinks = lhs_info.sinks + rhs_info.sinks
+                if lhs.kind in (ck.DECL_REF_EXPR, ck.MEMBER_REF_EXPR) \
+                        and lhs_info.paths:
+                    uses = rhs_info.paths
+                    if kind == ck.COMPOUND_ASSIGNMENT_OPERATOR:
+                        uses = lhs_info.paths + uses
+                    defs = (engine.Def(
+                        path=lhs_info.paths[0], uses=uses,
+                        has_source=rhs_info.has_source,
+                        source_desc=rhs_info.source_desc),)
+                    sid = self._add(c, defs=defs, sinks=sinks)
+                    return sid, [(sid, "")]
+                # Element / deref store: weak update, no strong def.
+                sid = self._add(
+                    c, uses=lhs_info.paths + rhs_info.paths, sinks=sinks)
+                return sid, [(sid, "")]
+        info = self._expr(c)
+        sid = self._add(c, uses=info.paths, sinks=info.sinks)
+        return sid, [(sid, "")]
+
+    def _cond_node(self, cond, loop: bool):
+        ck = self.ci.CursorKind
+        if cond.kind == ck.VAR_DECL:  # if (auto x = expr)
+            init = None
+            for ch in cond.get_children():
+                if ch.kind not in (ck.TYPE_REF, ck.NAMESPACE_REF,
+                                   ck.TEMPLATE_REF):
+                    init = ch
+            info = self._expr(init) if init is not None else ExprInfo()
+            sid = self._add(cond, defs=(engine.Def(
+                path=cond.spelling, uses=info.paths,
+                has_source=info.has_source,
+                source_desc=info.source_desc),), sinks=info.sinks)
+            return sid
+        info, guards = self._condition(cond, loop=loop)
+        return self._add(cond, uses=info.paths, sinks=info.sinks,
+                         guards=tuple(guards))
+
+    def _if_stmt(self, c, frame):
+        kids = list(c.get_children())
+        if len(kids) < 2:
+            return self._expr_stmt(c)
+        cond_sid = self._cond_node(kids[0], loop=False)
+        then_entry, then_ends = self._lower_stmt(kids[1], frame)
+        ends: List[Tuple[int, str]] = list(then_ends)
+        if then_entry is not None:
+            self.cfg.edge(cond_sid, then_entry, "true")
+        else:
+            ends.append((cond_sid, "true"))
+        if len(kids) >= 3:
+            else_entry, else_ends = self._lower_stmt(kids[2], frame)
+            if else_entry is not None:
+                self.cfg.edge(cond_sid, else_entry, "false")
+                ends.extend(else_ends)
+            else:
+                ends.append((cond_sid, "false"))
+        else:
+            ends.append((cond_sid, "false"))
+        return cond_sid, ends
+
+    def _while_stmt(self, c, frame):
+        kids = list(c.get_children())
+        if len(kids) < 2:
+            return self._expr_stmt(c)
+        cond_sid = self._cond_node(kids[0], loop=True)
+        inner = _LoopFrame(cont_target=cond_sid)
+        body_entry, body_ends = self._lower_stmt(kids[-1], inner)
+        if body_entry is not None:
+            self.cfg.edge(cond_sid, body_entry, "true")
+            self._link(body_ends, cond_sid)
+        else:
+            self.cfg.edge(cond_sid, cond_sid, "true")
+        return cond_sid, [(cond_sid, "false")] + inner.breaks
+
+    def _do_stmt(self, c, frame):
+        kids = list(c.get_children())
+        if len(kids) < 2:
+            return self._expr_stmt(c)
+        inner = _LoopFrame(cont_target=None)
+        body_entry, body_ends = self._lower_stmt(kids[0], inner)
+        cond_sid = self._cond_node(kids[1], loop=True)
+        inner.cont_target = cond_sid
+        if body_entry is None:
+            body_entry = cond_sid
+        else:
+            self._link(body_ends, cond_sid)
+        self.cfg.edge(cond_sid, body_entry, "true")
+        return body_entry, [(cond_sid, "false")] + inner.breaks
+
+    def _classify_for_children(self, kids):
+        """FOR_STMT children are positional with absent parts simply
+        missing; classify init/cond/inc structurally (body is last)."""
+        ck = self.ci.CursorKind
+        body = kids[-1]
+        init = cond = inc = None
+        for k in kids[:-1]:
+            if k.kind == ck.DECL_STMT:
+                init = k
+            elif k.kind in (ck.UNARY_OPERATOR,
+                            ck.COMPOUND_ASSIGNMENT_OPERATOR):
+                inc = k
+            elif k.kind == ck.BINARY_OPERATOR and self._binop(k) == "=":
+                init = k
+            elif cond is None:
+                cond = k
+            else:
+                inc = k
+        return init, cond, inc, body
+
+    def _for_stmt(self, c, frame):
+        kids = list(c.get_children())
+        if not kids:
+            return None, []
+        init, cond, inc, body = self._classify_for_children(kids)
+        init_entry, init_ends = (self._lower_stmt(init, frame)
+                                 if init is not None else (None, []))
+        if cond is not None:
+            cond_sid = self._cond_node(cond, loop=True)
+        else:
+            cond_sid = self._add(c, text="for(;;)")
+        if init_entry is not None:
+            self._link(init_ends, cond_sid)
+            entry = init_entry
+        else:
+            entry = cond_sid
+        inner = _LoopFrame(cont_target=None)
+        body_entry, body_ends = self._lower_stmt(body, inner)
+        inc_sid = None
+        if inc is not None:
+            inc_sid, inc_ends = self._expr_stmt(inc)
+            self._link(inc_ends, cond_sid)
+        back_target = inc_sid if inc_sid is not None else cond_sid
+        inner.cont_target = back_target
+        label = "true" if cond is not None else ""
+        if body_entry is not None:
+            self.cfg.edge(cond_sid, body_entry, label)
+            self._link(body_ends, back_target)
+        else:
+            self.cfg.edge(cond_sid, back_target, label)
+        ends = inner.breaks[:]
+        if cond is not None:
+            ends.append((cond_sid, "false"))
+        return entry, ends
+
+    def _range_for_stmt(self, c, frame):
+        ck = self.ci.CursorKind
+        kids = list(c.get_children())
+        if not kids:
+            return None, []
+        body = kids[-1]
+        var = None
+        range_info = ExprInfo()
+        for k in kids[:-1]:
+            if k.kind == ck.VAR_DECL and var is None:
+                var = k
+                for ch in k.get_children():
+                    if ch.kind not in (ck.TYPE_REF, ck.NAMESPACE_REF,
+                                       ck.TEMPLATE_REF):
+                        range_info = range_info.merge(self._expr(ch))
+            else:
+                range_info = range_info.merge(self._expr(k))
+        defs = ()
+        if var is not None:
+            defs = (engine.Def(path=var.spelling, uses=range_info.paths,
+                               has_source=range_info.has_source,
+                               source_desc=range_info.source_desc),)
+        head = self._add(c, defs=defs, uses=range_info.paths,
+                         sinks=range_info.sinks)
+        inner = _LoopFrame(cont_target=head)
+        body_entry, body_ends = self._lower_stmt(body, inner)
+        if body_entry is not None:
+            self.cfg.edge(head, body_entry, "")
+            self._link(body_ends, head)
+        return head, [(head, "")] + inner.breaks
+
+    def _switch_stmt(self, c, frame):
+        kids = list(c.get_children())
+        if len(kids) < 2:
+            return self._expr_stmt(c)
+        info = self._expr(kids[0])
+        cond_sid = self._add(c, uses=info.paths, sinks=info.sinks)
+        inner = _LoopFrame(cont_target=frame.cont_target
+                           if frame is not None else None)
+        body_entry, body_ends = self._lower_stmt(kids[1], inner)
+        ends = list(body_ends) + inner.breaks + [(cond_sid, "")]
+        if body_entry is not None:
+            self.cfg.edge(cond_sid, body_entry, "")
+        return cond_sid, ends
+
+    # -- operators ---------------------------------------------------------
+
+    def _binop(self, cursor) -> str:
+        try:  # libclang >= 17 bindings expose the opcode directly
+            op = cursor.binary_operator
+            name = getattr(op, "name", "")
+            if name and name != "Invalid":
+                return _BINOP_NAMES.get(name, name)
+        except (AttributeError, ValueError):
+            pass
+        kids = list(cursor.get_children())
+        if len(kids) != 2:
+            return ""
+        try:
+            end = kids[0].extent.end.offset
+            for tok in cursor.get_tokens():
+                if tok.extent.start.offset >= end \
+                        and tok.spelling in _OP_TOKENS:
+                    return tok.spelling
+        except Exception:
+            pass
+        return ""
+
+    def _unop(self, cursor) -> str:
+        try:
+            tok = next(iter(cursor.get_tokens()), None)
+            return tok.spelling if tok is not None else ""
+        except Exception:
+            return ""
+
+    def _peel(self, cursor):
+        """Strips parens / implicit casts / explicit casts."""
+        ck = self.ci.CursorKind
+        transparent = {
+            ck.UNEXPOSED_EXPR, ck.PAREN_EXPR, ck.CSTYLE_CAST_EXPR,
+            ck.CXX_STATIC_CAST_EXPR, ck.CXX_REINTERPRET_CAST_EXPR,
+            ck.CXX_CONST_CAST_EXPR, ck.CXX_FUNCTIONAL_CAST_EXPR,
+        }
+        while cursor.kind in transparent:
+            kids = [k for k in cursor.get_children()
+                    if k.kind not in (ck.TYPE_REF, ck.NAMESPACE_REF,
+                                      ck.TEMPLATE_REF)]
+            if len(kids) != 1:
+                return cursor
+            cursor = kids[0]
+        return cursor
+
+    # -- expressions -------------------------------------------------------
+
+    def _expr(self, cursor) -> ExprInfo:
+        if cursor is None:
+            return ExprInfo()
+        ck = self.ci.CursorKind
+        cursor = self._peel(cursor)
+        kind = cursor.kind
+
+        if kind == ck.DECL_REF_EXPR:
+            ref = cursor.referenced
+            name = cursor.spelling
+            if not name or _CONST_NAME_RE.match(name):
+                return ExprInfo()  # kMax*-style constants are never tainted
+            if ref is not None and ref.kind in (
+                    ck.ENUM_CONSTANT_DECL, ck.FUNCTION_DECL, ck.CXX_METHOD,
+                    ck.FUNCTION_TEMPLATE, ck.NON_TYPE_TEMPLATE_PARAMETER):
+                return ExprInfo()
+            return ExprInfo(paths=(name,))
+
+        if kind == ck.MEMBER_REF_EXPR:
+            ref = cursor.referenced
+            kids = [k for k in cursor.get_children()
+                    if k.kind not in (ck.TYPE_REF, ck.NAMESPACE_REF,
+                                      ck.TEMPLATE_REF)]
+            if ref is not None and ref.kind in (ck.CXX_METHOD,
+                                                ck.FUNCTION_TEMPLATE):
+                # Method reference: contributes the receiver, not a field.
+                return self._expr(kids[0]) if kids else ExprInfo()
+            if not kids or self._peel(kids[0]).kind == ck.CXX_THIS_EXPR:
+                name = cursor.spelling
+                return ExprInfo(paths=(name,)) if name else ExprInfo()
+            base = self._expr(kids[0])
+            name = cursor.spelling
+            if base.paths and name:
+                paths = tuple(b + "." + name for b in base.paths)
+            else:
+                paths = base.paths
+            return ExprInfo(paths=paths, has_source=base.has_source,
+                            source_desc=base.source_desc, sinks=base.sinks)
+
+        if kind == ck.ARRAY_SUBSCRIPT_EXPR:
+            kids = list(cursor.get_children())
+            base = self._expr(kids[0]) if kids else ExprInfo()
+            idx = self._expr(kids[1]) if len(kids) > 1 else ExprInfo()
+            sinks = base.sinks + idx.sinks
+            if idx.paths or idx.has_source:
+                sinks += (engine.Sink(
+                    kind="subscript",
+                    desc="subscript index %s" % (
+                        ", ".join(idx.paths) or "<decoded value>"),
+                    paths=idx.paths, direct=idx.has_source
+                    and not idx.paths),)
+            return ExprInfo(paths=base.paths + idx.paths,
+                            has_source=base.has_source or idx.has_source,
+                            source_desc=base.source_desc or idx.source_desc,
+                            sinks=sinks)
+
+        if kind == ck.CALL_EXPR:
+            return self._call(cursor)
+
+        if kind in (ck.UNARY_OPERATOR, ck.CXX_UNARY_EXPR):
+            kids = list(cursor.get_children())
+            return self._expr(kids[0]) if kids else ExprInfo()
+
+        if kind in (ck.BINARY_OPERATOR, ck.COMPOUND_ASSIGNMENT_OPERATOR,
+                    ck.CONDITIONAL_OPERATOR, ck.INIT_LIST_EXPR,
+                    ck.CXX_THROW_EXPR, ck.PACK_EXPANSION_EXPR):
+            info = ExprInfo()
+            for k in cursor.get_children():
+                info = info.merge(self._expr(k))
+            return info
+
+        if kind in (ck.INTEGER_LITERAL, ck.FLOATING_LITERAL,
+                    ck.STRING_LITERAL, ck.CHARACTER_LITERAL,
+                    ck.CXX_BOOL_LITERAL_EXPR, ck.CXX_NULL_PTR_LITERAL_EXPR,
+                    ck.CXX_THIS_EXPR, ck.LAMBDA_EXPR):
+            return ExprInfo()
+
+        # Default: merge children (covers constructor exprs, etc.).
+        info = ExprInfo()
+        for k in cursor.get_children():
+            if k.kind in (ck.TYPE_REF, ck.NAMESPACE_REF, ck.TEMPLATE_REF):
+                continue
+            info = info.merge(self._expr(k))
+        return info
+
+    def _call(self, cursor) -> ExprInfo:
+        ck = self.ci.CursorKind
+        v = self.vocab
+        ref = cursor.referenced
+        name = cursor.spelling or (ref.spelling if ref is not None else "")
+        kids = list(cursor.get_children())
+        args = list(cursor.get_arguments())
+        is_member = bool(kids) and kids[0].kind == ck.MEMBER_REF_EXPR
+
+        recv_info = ExprInfo()
+        recv_type = ""
+        if is_member:
+            rkids = [k for k in kids[0].get_children()
+                     if k.kind not in (ck.TYPE_REF, ck.NAMESPACE_REF,
+                                       ck.TEMPLATE_REF)]
+            if rkids:
+                recv_info = self._expr(rkids[0])
+                try:
+                    recv_type = rkids[0].type.spelling or ""
+                except Exception:
+                    recv_type = ""
+
+        arg_infos = [self._expr(a) for a in args]
+        child_sinks: Tuple[engine.Sink, ...] = recv_info.sinks
+        for ai in arg_infos:
+            child_sinks += ai.sinks
+
+        def union(infos, extra_sinks=()):
+            out = ExprInfo(sinks=tuple(extra_sinks))
+            for i in infos:
+                out = out.merge(i)
+            return out
+
+        if name == "operator[]" and arg_infos:
+            idx = arg_infos[-1]
+            base = union(arg_infos[:-1] + [recv_info])
+            sinks = child_sinks
+            if idx.paths or idx.has_source:
+                sinks += (engine.Sink(
+                    kind="subscript",
+                    desc="subscript index %s" % (
+                        ", ".join(idx.paths) or "<decoded value>"),
+                    paths=idx.paths,
+                    direct=idx.has_source and not idx.paths),)
+            return ExprInfo(paths=base.paths + idx.paths,
+                            has_source=base.has_source or idx.has_source,
+                            source_desc=base.source_desc or idx.source_desc,
+                            sinks=sinks)
+
+        if name in v.copy_len_fns and len(arg_infos) >= 3:
+            ln = arg_infos[2]
+            sinks = child_sinks
+            if ln.paths or ln.has_source:
+                sinks += (engine.Sink(
+                    kind="copy-length",
+                    desc="%s length %s" % (
+                        name, ", ".join(ln.paths) or "<decoded value>"),
+                    paths=ln.paths,
+                    direct=ln.has_source and not ln.paths),)
+            merged = union(arg_infos + [recv_info])
+            return ExprInfo(paths=merged.paths, has_source=merged.has_source,
+                            source_desc=merged.source_desc, sinks=sinks)
+
+        if is_member and name in v.size_methods:
+            merged = union(arg_infos)
+            sinks = child_sinks
+            if merged.paths or merged.has_source:
+                sinks += (engine.Sink(
+                    kind="size-arg",
+                    desc="%s(%s) size" % (
+                        name, ", ".join(merged.paths) or "<decoded value>"),
+                    paths=merged.paths,
+                    direct=merged.has_source and not merged.paths),)
+            return ExprInfo(paths=(), sinks=sinks)
+
+        if name in v.index_call_fns:
+            merged = union(arg_infos)
+            sinks = child_sinks
+            if merged.paths or merged.has_source:
+                sinks += (engine.Sink(
+                    kind="shard-index",
+                    desc="%s(%s) index" % (
+                        name, ", ".join(merged.paths) or "<decoded value>"),
+                    paths=merged.paths,
+                    direct=merged.has_source and not merged.paths),)
+            merged = union(arg_infos + [recv_info])
+            return ExprInfo(paths=merged.paths, has_source=merged.has_source,
+                            source_desc=merged.source_desc, sinks=sinks)
+
+        if name in v.clamp_fns and arg_infos:
+            # std::min(x, bound): clamped iff some operand is a constant or
+            # otherwise untainted-by-construction expression.
+            if any(not ai.paths and not ai.has_source for ai in arg_infos):
+                return ExprInfo(sinks=child_sinks)
+            return union(arg_infos, child_sinks)
+
+        if name in v.guard_fns:
+            return ExprInfo(sinks=child_sinks)  # bool predicate, untainted
+
+        if name in v.source_methods and is_member:
+            hint = v.source_receiver_hint.lower()
+            if not recv_type or hint in recv_type.lower():
+                return ExprInfo(
+                    has_source=True,
+                    source_desc="%s::%s" % (v.source_receiver_hint, name),
+                    sinks=child_sinks)
+
+        if any(name.startswith(p) for p in v.source_prefixes):
+            merged = union(arg_infos + [recv_info])
+            return ExprInfo(paths=merged.paths, has_source=True,
+                            source_desc="%s()" % name, sinks=child_sinks)
+
+        merged = union(arg_infos + [recv_info])
+        return ExprInfo(paths=merged.paths, has_source=merged.has_source,
+                        source_desc=merged.source_desc, sinks=child_sinks)
+
+    # -- conditions --------------------------------------------------------
+
+    def _condition(self, cursor, loop: bool) \
+            -> Tuple[ExprInfo, List[engine.Guard]]:
+        ck = self.ci.CursorKind
+        cursor = self._peel(cursor)
+        kind = cursor.kind
+
+        if kind == ck.UNARY_OPERATOR and self._unop(cursor) == "!":
+            kids = list(cursor.get_children())
+            if kids:
+                info, guards = self._condition(kids[0], loop=loop)
+                flipped = [dataclasses.replace(
+                    g, edge="false" if g.edge == "true" else "true")
+                    for g in guards]
+                return info, flipped
+            return ExprInfo(), []
+
+        if kind == ck.BINARY_OPERATOR:
+            op = self._binop(cursor)
+            kids = list(cursor.get_children())
+            if len(kids) == 2 and op in ("&&", "||"):
+                li, lg = self._condition(kids[0], loop=loop)
+                ri, rg = self._condition(kids[1], loop=loop)
+                keep = "true" if op == "&&" else "false"
+                # On the kept edge both operands' outcomes are known; on the
+                # other edge either operand may be responsible — keep nothing.
+                guards = [g for g in lg + rg if g.edge == keep]
+                return li.merge(ri), guards
+            if len(kids) == 2 and op in _CMP_OPS:
+                li = self._expr(kids[0])
+                ri = self._expr(kids[1])
+                info = li.merge(ri)
+                guards: List[engine.Guard] = []
+
+                def bounded(side, bound, edge):
+                    if side.paths:
+                        guards.append(engine.Guard(
+                            kills=side.paths, edge=edge,
+                            bound_paths=bound.paths))
+
+                if op in ("<", "<="):
+                    bounded(li, ri, "true")   # a < b  => a bounded by b
+                    bounded(ri, li, "false")  # !(a<b) => b <= a
+                elif op in (">", ">="):
+                    bounded(ri, li, "true")
+                    bounded(li, ri, "false")
+                elif op == "==":
+                    bounded(li, ri, "true")
+                    bounded(ri, li, "true")
+                elif op == "!=":
+                    bounded(li, ri, "false")
+                    bounded(ri, li, "false")
+                if loop:
+                    # The bound side of a loop comparison is a trip count:
+                    # tainted iteration counts are the classic decode DoS.
+                    bound = ri if op in ("<", "<=") else (
+                        li if op in (">", ">=") else None)
+                    if bound is not None and (bound.paths
+                                              or bound.has_source):
+                        info = ExprInfo(
+                            paths=info.paths, has_source=info.has_source,
+                            source_desc=info.source_desc,
+                            sinks=info.sinks + (engine.Sink(
+                                kind="loop-bound",
+                                desc="loop bound %s" % (
+                                    ", ".join(bound.paths)
+                                    or "<decoded value>"),
+                                paths=bound.paths,
+                                direct=bound.has_source
+                                and not bound.paths),))
+                return info, guards
+            info = self._expr(cursor)
+            return info, []
+
+        if kind == ck.CALL_EXPR:
+            name = cursor.spelling
+            if name in self.vocab.guard_fns:
+                args = list(cursor.get_arguments())
+                if args:
+                    first = self._expr(args[0])
+                    info = self._expr(cursor)
+                    if first.paths:
+                        return info, [engine.Guard(kills=first.paths,
+                                                   edge="true")]
+                    return info, []
+            info = self._expr(cursor)
+            return info, []
+
+        info = self._expr(cursor)
+        return info, []
+
+
+def lower_functions(ctx, scope_check,
+                    vocab: engine.TaintVocab = engine.DEFAULT_TAINT_VOCAB) \
+        -> List[FunctionCfg]:
+    """Lowers every repo function definition whose file satisfies
+    ``scope_check(rel)`` across all parsed TUs, deduped by definition site."""
+    ci = ctx.cindex
+    ck = ci.CursorKind
+    func_kinds = {
+        ck.FUNCTION_DECL, ck.CXX_METHOD, ck.CONSTRUCTOR, ck.DESTRUCTOR,
+        ck.CONVERSION_FUNCTION, ck.FUNCTION_TEMPLATE,
+    }
+    lowering = TaintLowering(ctx, vocab)
+    out: List[FunctionCfg] = []
+    seen: Set[Tuple[str, int, str]] = set()
+
+    def visit(cursor):
+        loc = cursor.location
+        if loc.file is not None and not ctx.in_repo(loc.file.name):
+            return
+        if cursor.kind in func_kinds and cursor.is_definition():
+            rel, line, _ = ctx.location(cursor)
+            if rel and scope_check(rel):
+                key = (rel, line, cursor.spelling)
+                if key not in seen:
+                    seen.add(key)
+                    ctx.load_suppressions_for(cursor)
+                    out.append(FunctionCfg(
+                        name=cursor.spelling, file=rel, line=line,
+                        cfg=lowering.lower(cursor)))
+        for child in cursor.get_children():
+            visit(child)
+
+    for _, tu in ctx.tus:
+        for child in tu.cursor.get_children():
+            visit(child)
+    return out

@@ -24,7 +24,7 @@ import os
 import re
 import shlex
 import sys
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 EXIT_OK = 0
 EXIT_FINDINGS = 1
@@ -336,27 +336,39 @@ class AnalysisContext:
 
     # -- parsing -----------------------------------------------------------
 
-    def parse(self, path: str, args: List[str]) -> bool:
+    def parse_detached(self, path: str, args: List[str]):
+        """Parses one TU without touching shared state: returns
+        (tu-or-None, error-or-empty). Safe to call from worker threads
+        (libclang releases the GIL; each call gets its own Index) — the
+        caller commits results in a deterministic order afterwards."""
         try:
             index = self.cindex.Index.create()
             tu = index.parse(os.path.realpath(path), args=args)
         except Exception as exc:
-            self.parse_errors.append("%s: %s" % (path, exc))
-            return False
+            return None, "%s: %s" % (path, exc)
         fatal = [
             d for d in tu.diagnostics
             if d.severity >= self.cindex.Diagnostic.Error
         ]
         if fatal:
-            # Record but keep the TU: rules still work on a partial AST, and
+            # Report but keep the TU: rules still work on a partial AST, and
             # failing hard here would make every new compiler flag a flake.
-            self.parse_errors.append(
-                "%s: %d parse error(s), first: %s"
-                % (path, len(fatal), fatal[0].spelling)
-            )
+            return tu, "%s: %d parse error(s), first: %s" % (
+                path, len(fatal), fatal[0].spelling)
+        return tu, ""
+
+    def commit_tu(self, path: str, tu, err: str) -> bool:
+        if err:
+            self.parse_errors.append(err)
+        if tu is None:
+            return False
         self.tus.append((os.path.realpath(path), tu))
         self.suppressions.load_file(path, self.rel(path))
         return True
+
+    def parse(self, path: str, args: List[str]) -> bool:
+        tu, err = self.parse_detached(path, args)
+        return self.commit_tu(path, tu, err)
 
     # -- cursor helpers ----------------------------------------------------
 
@@ -381,3 +393,372 @@ class AnalysisContext:
                 builder.add_tu(tu)
             self._graph = builder.graph
         return self._graph
+
+
+# --------------------------------------------------------------------------
+# Dataflow layer: statement IR, CFG, def-use chains, and the taint solver
+#
+# Everything below is pure Python over a neutral statement IR, so the
+# flow-sensitive machinery is unit-testable without libclang
+# (tests/analyze/test_dataflow_units.py). callgraph.TaintLowering is the
+# libclang front-end that lowers a function body into this IR.
+# --------------------------------------------------------------------------
+
+
+def paths_alias(a: str, b: str) -> bool:
+    """True when two access paths may name the same storage: exact match,
+    or one is a field extension of the other (``m`` vs ``m.items``)."""
+    return a == b or a.startswith(b + ".") or b.startswith(a + ".")
+
+
+def any_alias(path: str, state: Dict[str, tuple]) -> Optional[str]:
+    """First key of ``state`` aliasing ``path`` (exact match preferred)."""
+    if path in state:
+        return path
+    for key in state:
+        if paths_alias(path, key):
+            return key
+    return None
+
+
+@dataclasses.dataclass(frozen=True)
+class Def:
+    """One definition inside a statement: ``path = f(uses)``.
+
+    ``has_source`` marks a taint source appearing directly in the defining
+    expression (a ``BitReader::read`` / ``decode*`` call result)."""
+
+    path: str
+    uses: Tuple[str, ...] = ()
+    has_source: bool = False
+    source_desc: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class Sink:
+    """A taint-sensitive position inside a statement.
+
+    ``paths`` are the access paths feeding the sensitive operand;
+    ``direct`` means a source call sits in the operand itself (no variable
+    in between, e.g. ``buf[r.read(8)]``)."""
+
+    kind: str  # subscript | copy-length | size-arg | loop-bound | shard-index
+    desc: str
+    paths: Tuple[str, ...] = ()
+    direct: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class Guard:
+    """A sanitizing condition attached to a branch statement: on the
+    ``edge`` ('true'/'false') successor, taint on every path in ``kills``
+    dies — provided every path in ``bound_paths`` (the other side of the
+    comparison) is itself untainted at that point. A comparison against a
+    tainted bound sanitizes nothing."""
+
+    kills: Tuple[str, ...]
+    edge: str  # 'true' | 'false'
+    bound_paths: Tuple[str, ...] = ()
+
+
+@dataclasses.dataclass
+class Stmt:
+    """One statement of the lowered IR."""
+
+    sid: int
+    line: int = 0
+    column: int = 0
+    text: str = ""
+    defs: Tuple[Def, ...] = ()
+    uses: Tuple[str, ...] = ()
+    sinks: Tuple[Sink, ...] = ()
+    kills: Tuple[str, ...] = ()  # unconditional from here on (MCI_CHECK)
+    guards: Tuple[Guard, ...] = ()  # meaningful on branch statements only
+
+
+@dataclasses.dataclass
+class CfgNode:
+    stmt: Stmt
+    # (successor node id, edge label); label '' for unconditional edges,
+    # 'true'/'false' for branch edges (guards key off the label).
+    succs: List[Tuple[int, str]] = dataclasses.field(default_factory=list)
+
+
+class Cfg:
+    """A per-function control-flow graph over Stmt nodes. Node ids are the
+    statement sids; ``entry`` is the first node executed."""
+
+    def __init__(self) -> None:
+        self.nodes: Dict[int, CfgNode] = {}
+        self.entry: Optional[int] = None
+
+    def add(self, stmt: Stmt) -> CfgNode:
+        node = CfgNode(stmt=stmt)
+        self.nodes[stmt.sid] = node
+        if self.entry is None:
+            self.entry = stmt.sid
+        return node
+
+    def edge(self, src: int, dst: int, label: str = "") -> None:
+        pair = (dst, label)
+        if pair not in self.nodes[src].succs:
+            self.nodes[src].succs.append(pair)
+
+    def preds(self) -> Dict[int, List[Tuple[int, str]]]:
+        out: Dict[int, List[Tuple[int, str]]] = {nid: [] for nid in self.nodes}
+        for nid, node in self.nodes.items():
+            for dst, label in node.succs:
+                out[dst].append((nid, label))
+        return out
+
+
+# -- def-use (reaching definitions) ----------------------------------------
+
+
+def reaching_defs(cfg: Cfg, max_steps: int = 0) -> Dict[int, Dict[str, Set[int]]]:
+    """Classic reaching-definitions over the CFG: for each node, the set of
+    def sids per access path that may reach its entry. Used for chain
+    reconstruction and directly unit-tested as the def-use layer."""
+    if cfg.entry is None:
+        return {}
+    max_steps = max_steps or 64 * max(1, len(cfg.nodes))
+    ins: Dict[int, Dict[str, Set[int]]] = {nid: {} for nid in cfg.nodes}
+    work = [cfg.entry]
+    steps = 0
+    while work and steps < max_steps:
+        steps += 1
+        nid = work.pop(0)
+        node = cfg.nodes[nid]
+        out = {p: set(s) for p, s in ins[nid].items()}
+        for d in node.stmt.defs:
+            out[d.path] = {node.stmt.sid}  # strong update
+        for dst, _label in node.succs:
+            tgt = ins[dst]
+            changed = False
+            for path, sids in out.items():
+                have = tgt.setdefault(path, set())
+                if not sids <= have:
+                    have.update(sids)
+                    changed = True
+            if changed and dst not in work:
+                work.append(dst)
+    return ins
+
+
+# -- taint solver ----------------------------------------------------------
+
+
+@dataclasses.dataclass
+class SinkHit:
+    """A sink reached by tainted data, with the statement chain that
+    carried the taint from its source."""
+
+    sink: Sink
+    stmt: Stmt
+    chain: Tuple[int, ...]  # sids, source first, sink last
+    tainted_path: str = ""  # "" when sink.direct
+
+
+@dataclasses.dataclass
+class TaintResult:
+    hits: List[SinkHit]
+    truncated: bool
+
+
+def _transfer(stmt: Stmt, state: Dict[str, tuple]) -> Dict[str, tuple]:
+    out = dict(state)
+    for killed in stmt.kills:
+        for key in [k for k in out if paths_alias(k, killed)]:
+            del out[key]
+    for d in stmt.defs:
+        feeder = None
+        for use in d.uses:
+            feeder = any_alias(use, out)
+            if feeder:
+                break
+        # Strong update: the old value of the path (and its fields) is gone.
+        for key in [k for k in out
+                    if k == d.path or k.startswith(d.path + ".")]:
+            del out[key]
+        if d.has_source:
+            out[d.path] = (stmt.sid,)
+        elif feeder is not None:
+            out[d.path] = state.get(feeder, ()) + (stmt.sid,)
+    return out
+
+
+def _apply_guards(stmt: Stmt, label: str,
+                  state: Dict[str, tuple]) -> Dict[str, tuple]:
+    out = state
+    for g in stmt.guards:
+        if g.edge != label:
+            continue
+        if any(any_alias(b, out) for b in g.bound_paths):
+            continue  # comparing against a tainted bound sanitizes nothing
+        killed = [k for k in out
+                  if any(paths_alias(k, p) for p in g.kills)]
+        if killed:
+            out = dict(out)
+            for key in killed:
+                del out[key]
+    return out
+
+
+def solve_taint(cfg: Cfg, seed: Optional[Dict[str, tuple]] = None,
+                max_steps: int = 0) -> TaintResult:
+    """Flow-sensitive taint propagation to a fixpoint.
+
+    State: access path -> origin chain (tuple of sids, source first). The
+    lattice per path is untainted < tainted; merge at joins is set union
+    over paths (first chain wins — chains are diagnostics, not semantics).
+    Guards kill taint on the sanitized branch edge only, so a bound checked
+    inside one ``if`` does not launder later unguarded uses."""
+    if cfg.entry is None:
+        return TaintResult(hits=[], truncated=False)
+    max_steps = max_steps or 64 * max(1, len(cfg.nodes))
+    ins: Dict[int, Dict[str, tuple]] = {cfg.entry: dict(seed or {})}
+    work = [cfg.entry]
+    steps = 0
+    truncated = False
+    while work:
+        if steps >= max_steps:
+            truncated = True
+            break
+        steps += 1
+        nid = work.pop(0)
+        node = cfg.nodes[nid]
+        out = _transfer(node.stmt, ins.get(nid, {}))
+        for dst, label in node.succs:
+            edge_state = _apply_guards(node.stmt, label, out)
+            tgt = ins.setdefault(dst, {})
+            changed = False
+            for path, chain in edge_state.items():
+                if path not in tgt:
+                    tgt[path] = chain
+                    changed = True
+            if changed and dst not in work:
+                work.append(dst)
+
+    hits: List[SinkHit] = []
+    seen = set()
+    for nid in sorted(cfg.nodes):
+        node = cfg.nodes[nid]
+        if not node.stmt.sinks:
+            continue
+        state = ins.get(nid)
+        if state is None:
+            continue  # unreachable
+        for sink in node.stmt.sinks:
+            ident = (nid, sink.kind, sink.desc)
+            if ident in seen:
+                continue
+            if sink.direct:
+                seen.add(ident)
+                hits.append(SinkHit(sink=sink, stmt=node.stmt,
+                                    chain=(nid,), tainted_path=""))
+                continue
+            for path in sink.paths:
+                key = any_alias(path, state)
+                if key is not None:
+                    seen.add(ident)
+                    hits.append(SinkHit(sink=sink, stmt=node.stmt,
+                                        chain=state[key] + (nid,),
+                                        tainted_path=path))
+                    break
+    return TaintResult(hits=hits, truncated=truncated)
+
+
+# -- the wire-taint vocabulary ---------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class TaintVocab:
+    """What counts as a source, sink, and sanitizer for the wire-taint
+    rule. Plain data so the lowering (callgraph.TaintLowering), the rule
+    and the docs table all share one definition."""
+
+    source_methods: Tuple[str, ...] = ("read",)
+    source_receiver_hint: str = "BitReader"
+    source_prefixes: Tuple[str, ...] = ("decode",)
+    copy_len_fns: Tuple[str, ...] = ("memcpy", "memmove", "memset", "bcopy")
+    size_methods: Tuple[str, ...] = ("resize", "reserve", "assign")
+    index_call_fns: Tuple[str, ...] = ("shardOf", "shardOfItem", "endpoint")
+    clamp_fns: Tuple[str, ...] = ("min", "clamp")
+    guard_fns: Tuple[str, ...] = ("fits",)
+    check_macros: Tuple[str, ...] = ("MCI_CHECK", "MCI_DCHECK")
+
+
+DEFAULT_TAINT_VOCAB = TaintVocab()
+
+
+def to_sarif(findings: List[Finding], descriptions: Optional[Dict[str, str]]
+             = None) -> dict:
+    """Findings as a SARIF 2.1.0 log (what CI uploads so findings annotate
+    the PR diff). Paths are repo-relative against SRCROOT."""
+    descriptions = descriptions or {}
+    rule_ids = sorted({f.rule for f in findings})
+    results = []
+    for f in findings:
+        text = f.message
+        if f.symbol:
+            text += " [in %s]" % f.symbol
+        if f.detail:
+            text += "\n" + f.detail
+        results.append({
+            "ruleId": f.rule,
+            "level": "error",
+            "message": {"text": text},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": f.file,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": max(1, f.line),
+                        "startColumn": max(1, f.column),
+                    },
+                },
+            }],
+        })
+    driver = {
+        "name": "mci-analyze",
+        "informationUri": "https://example.invalid/mci-analyze",
+        "rules": [
+            {"id": rid,
+             "shortDescription": {"text": descriptions.get(rid, rid)}}
+            for rid in rule_ids
+        ],
+    }
+    return {
+        "$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                   "master/Schemata/sarif-schema-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": driver},
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            "results": results,
+        }],
+    }
+
+
+# MCI_CHECK(...) conditions are macro text, not AST we can rely on across
+# libclang versions; extract simple upper-bound comparisons textually.
+# ``a <= b`` / ``a < b`` / ``a == b`` kill a; ``a >= b`` / ``a > b`` kill b.
+_CHECK_CMP_RE = re.compile(
+    r"([A-Za-z_][\w>.\-]*?)\s*(<=|>=|==|(?<![<>=!])<(?![<=])|"
+    r"(?<![<>=!-])>(?![>=]))\s*([A-Za-z_][\w>.\-]*|\d+)"
+)
+
+
+def check_macro_kills(text: str) -> Tuple[str, ...]:
+    """Access paths sanitized by an MCI_CHECK-style statement's condition
+    (the statement aborts unless the condition holds, so fallthrough code
+    may rely on it)."""
+    kills = []
+    for lhs, op, rhs in _CHECK_CMP_RE.findall(text):
+        target = lhs if op in ("<", "<=", "==") else rhs
+        target = target.replace("->", ".")
+        if re.fullmatch(r"[A-Za-z_][\w.]*", target):
+            kills.append(target)
+    return tuple(kills)

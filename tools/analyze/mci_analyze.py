@@ -4,7 +4,9 @@
 Runs AST-level checks that regexes (tools/lint_determinism.py) and the
 compiler cannot express: nothing blocks inside Reactor callbacks, codec
 reads go through the bounded cursor, MCI_HOT paths never allocate,
-send/decode results are consumed, unordered iteration never feeds output.
+send/decode results are consumed, unordered iteration never feeds output,
+decoded wire values are bounds-checked before use (wire-taint dataflow),
+and encode/decode field sequences stay symmetric (codec-symmetry).
 
 Exit codes (the run_clang_tidy.sh contract, adapted):
   0   clean (no findings beyond the baseline)
@@ -12,9 +14,13 @@ Exit codes (the run_clang_tidy.sh contract, adapted):
   2   setup error (also: libclang missing under MCI_ANALYZE_STRICT=1)
   77  skipped — libclang unavailable (CTest SKIP_RETURN_CODE)
 
+Rules marked REQUIRES_CLANG = False (codec-symmetry) are textual and run
+even without libclang; a run selecting only those never skips.
+
 Usage:
   mci_analyze.py --all                        # every rule over src/
   mci_analyze.py --rule hot-path-alloc f.cpp  # one rule, explicit files
+  mci_analyze.py --all --jobs 8 --sarif out.sarif
   mci_analyze.py --all --write-baseline       # refresh tools/analyze/baseline.json
 """
 
@@ -23,6 +29,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import time
 
 _HERE = os.path.dirname(os.path.abspath(__file__))
 if _HERE not in sys.path:
@@ -47,6 +54,45 @@ def _skip(reason: str, strict: bool, skip_ok: bool = False) -> int:
     return engine.EXIT_OK if skip_ok else engine.EXIT_SKIPPED
 
 
+def _requires_clang(mod) -> bool:
+    return getattr(mod, "REQUIRES_CLANG", True)
+
+
+def _default_targets(ctx) -> list:
+    """Fallback file scan for clang-free runs without a compile db."""
+    out = []
+    for prefix in _ALL_PREFIXES:
+        for root, _dirs, files in os.walk(
+                os.path.join(_REPO_ROOT, prefix.rstrip("/"))):
+            for name in sorted(files):
+                if name.endswith((".cpp", ".cc", ".hpp", ".h")):
+                    out.append(os.path.join(root, name))
+    return sorted(out)
+
+
+def _parse_targets(ctx, targets, compdb, fallback, jobs: int) -> int:
+    """Parses every target TU, with --jobs worker threads when asked.
+    Results are committed in target order so TU order (and therefore
+    finding order) is deterministic regardless of parallelism."""
+    argv_of = {
+        path: compdb.get(os.path.normpath(path), fallback)
+        for path in targets
+    }
+    if jobs <= 1 or len(targets) <= 1:
+        results = [ctx.parse_detached(p, argv_of[p]) for p in targets]
+    else:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            results = list(pool.map(
+                lambda p: ctx.parse_detached(p, argv_of[p]), targets))
+    parsed = 0
+    for path, (tu, err) in zip(targets, results):
+        if ctx.commit_tu(path, tu, err):
+            parsed += 1
+    return parsed
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(prog="mci_analyze.py",
                                  description=__doc__.split("\n\n")[0])
@@ -58,6 +104,9 @@ def main(argv=None) -> int:
     ap.add_argument("--rule", action="append", default=[],
                     help="run only this rule (repeatable)")
     ap.add_argument("--list-rules", action="store_true")
+    ap.add_argument("--probe-libclang", action="store_true",
+                    help="exit 0 if libclang loads, else the usual skip "
+                    "contract (test harness gate)")
     ap.add_argument("--build-dir", default=os.path.join(_REPO_ROOT, "build"),
                     help="directory holding compile_commands.json")
     ap.add_argument("--baseline", default=_DEFAULT_BASELINE)
@@ -65,6 +114,9 @@ def main(argv=None) -> int:
                     help="report every finding (fixture tests)")
     ap.add_argument("--write-baseline", action="store_true",
                     help="rewrite the baseline from this run's findings")
+    ap.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="parse translation units with N threads "
+                    "(libclang releases the GIL during parse)")
     ap.add_argument("--call-budget", type=int, default=600,
                     help="max functions visited per reachability walk")
     ap.add_argument("--call-depth", type=int, default=24,
@@ -73,6 +125,8 @@ def main(argv=None) -> int:
                     help="language standard for files outside the compile db")
     ap.add_argument("--json", metavar="PATH",
                     help="also write findings as JSON ('-' = stdout)")
+    ap.add_argument("--sarif", metavar="PATH",
+                    help="write NEW findings (post-baseline) as SARIF 2.1.0")
     ap.add_argument("--skip-exit-zero", action="store_true",
                     help="exit 0 instead of 77 on a libclang skip (the "
                     "interactive `--target analyze` wrapper; CTest and CI "
@@ -81,17 +135,23 @@ def main(argv=None) -> int:
 
     strict = os.environ.get("MCI_ANALYZE_STRICT", "") == "1"
 
-    cindex, why = engine.load_cindex()
-    if cindex is None:
-        return _skip("libclang unavailable: %s" % why, strict,
-                     args.skip_exit_zero)
-
-    import rules as rules_mod  # needs sys.path; after the skip gate
+    import rules as rules_mod  # clang-free by itself (needs sys.path)
 
     if args.list_rules:
         for name in sorted(rules_mod.ALL_RULES):
-            print("%-18s %s" % (name, rules_mod.ALL_RULES[name].DESCRIPTION))
+            mod = rules_mod.ALL_RULES[name]
+            tag = "" if _requires_clang(mod) else " [no-libclang]"
+            print("%-18s %s%s" % (name, mod.DESCRIPTION, tag))
         return engine.EXIT_OK
+
+    cindex, why = engine.load_cindex()
+
+    if args.probe_libclang:
+        if cindex is not None:
+            print("mci-analyze: libclang available")
+            return engine.EXIT_OK
+        return _skip("libclang unavailable: %s" % why, strict,
+                     args.skip_exit_zero)
 
     selected = args.rule or sorted(rules_mod.ALL_RULES)
     unknown = [r for r in selected if r not in rules_mod.ALL_RULES]
@@ -99,6 +159,16 @@ def main(argv=None) -> int:
         print("mci-analyze: unknown rule(s): %s (see --list-rules)"
               % ", ".join(unknown), file=sys.stderr)
         return engine.EXIT_SETUP_ERROR
+
+    # A run containing any clang-dependent rule keeps the historical skip
+    # contract when libclang is missing: partially running and exiting 0
+    # would let CI silently lose coverage. Only a selection made up purely
+    # of textual rules proceeds without libclang.
+    need_clang = any(_requires_clang(rules_mod.ALL_RULES[r])
+                     for r in selected)
+    if cindex is None and need_clang:
+        return _skip("libclang unavailable: %s" % why, strict,
+                     args.skip_exit_zero)
 
     # ---- collect translation units ------------------------------------
     try:
@@ -116,35 +186,45 @@ def main(argv=None) -> int:
 
     if args.paths:
         targets = [os.path.realpath(p) for p in args.paths]
-    else:
-        if not compdb:
-            print("mci-analyze: no compile_commands.json under %s and no "
-                  "explicit paths; run cmake -B build first"
-                  % args.build_dir, file=sys.stderr)
-            return engine.EXIT_SETUP_ERROR
+    elif compdb:
         targets = sorted(
             path for path in compdb
             if any(ctx.rel(path).startswith(p) for p in _ALL_PREFIXES)
         )
+    elif cindex is None:
+        targets = _default_targets(ctx)  # textual rules need no compile db
+    else:
+        print("mci-analyze: no compile_commands.json under %s and no "
+              "explicit paths; run cmake -B build first"
+              % args.build_dir, file=sys.stderr)
+        return engine.EXIT_SETUP_ERROR
 
-    fallback = engine.default_args(_REPO_ROOT, std=args.std)
-    parsed = 0
     for path in targets:
         if not os.path.exists(path):
             print("mci-analyze: no such file: %s" % path, file=sys.stderr)
             return engine.EXIT_SETUP_ERROR
-        if ctx.parse(path, compdb.get(os.path.normpath(path), fallback)):
-            parsed += 1
-    if parsed == 0:
-        return _skip("no translation units could be parsed", strict,
-                     args.skip_exit_zero)
-    for err in ctx.parse_errors:
-        print("mci-analyze: note: %s" % err, file=sys.stderr)
+    ctx.targets = [ctx.rel(p) for p in targets]
+
+    parsed = 0
+    parse_secs = 0.0
+    if cindex is not None:
+        fallback = engine.default_args(_REPO_ROOT, std=args.std)
+        t0 = time.monotonic()
+        parsed = _parse_targets(ctx, targets, compdb, fallback,
+                                max(1, args.jobs))
+        parse_secs = time.monotonic() - t0
+        if parsed == 0:
+            return _skip("no translation units could be parsed", strict,
+                         args.skip_exit_zero)
+        for err in ctx.parse_errors:
+            print("mci-analyze: note: %s" % err, file=sys.stderr)
 
     # ---- run rules -----------------------------------------------------
+    t0 = time.monotonic()
     findings = []
     for name in selected:
         findings.extend(rules_mod.ALL_RULES[name].check(ctx))
+    rule_secs = time.monotonic() - t0
     findings = ctx.suppressions.filter(findings)
     findings.extend(ctx.suppressions.errors)
     findings = engine.dedupe(findings)
@@ -168,6 +248,15 @@ def main(argv=None) -> int:
     known = {} if args.no_baseline else baseline_mod.load(args.baseline)
     new, stale = baseline_mod.diff(findings, known)
 
+    if args.sarif:
+        import json as _json
+
+        descriptions = {name: rules_mod.ALL_RULES[name].DESCRIPTION
+                        for name in rules_mod.ALL_RULES}
+        with open(args.sarif, "w", encoding="utf-8") as fh:
+            _json.dump(engine.to_sarif(new, descriptions), fh, indent=2)
+            fh.write("\n")
+
     for f in new:
         print(f.render())
     baselined = len(findings) - len(new)
@@ -177,8 +266,10 @@ def main(argv=None) -> int:
     for key in stale:
         print("mci-analyze: note: stale baseline entry (fixed? delete it): %s"
               % key)
-    print("mci-analyze: %d TU(s), %d rule(s), %d new finding(s)"
-          % (parsed, len(selected), len(new)))
+    print("mci-analyze: %d TU(s) in %.2fs (jobs=%d), %d rule(s) in %.2fs, "
+          "%d new finding(s)"
+          % (parsed, parse_secs, max(1, args.jobs), len(selected),
+             rule_secs, len(new)))
     return engine.EXIT_FINDINGS if new else engine.EXIT_OK
 
 

@@ -4,9 +4,11 @@ DESCRIPTION and check(ctx) -> [Finding]."""
 from rules import (  # noqa: F401
     checked_return,
     codec_bounds,
+    codec_symmetry,
     hot_path_alloc,
     ordered_iteration,
     reactor_blocking,
+    wire_taint,
 )
 
 ALL_RULES = {
@@ -17,5 +19,15 @@ ALL_RULES = {
         hot_path_alloc,
         checked_return,
         ordered_iteration,
+        wire_taint,
+        codec_symmetry,
     )
 }
+
+# Rules that work without libclang (textual extraction); mci_analyze runs
+# these even when the cindex gate would otherwise skip.
+SYNTACTIC_RULES = tuple(sorted(
+    name for name, mod in ALL_RULES.items()
+    if not getattr(mod, "REQUIRES_CLANG", True)
+))
+DATAFLOW_RULES = ("wire-taint", "codec-symmetry")

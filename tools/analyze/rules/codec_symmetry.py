@@ -1,0 +1,53 @@
+"""codec-symmetry: every wire message's encoder and decoder must agree
+field-for-field (name, width, order).
+
+Pure-text rule (REQUIRES_CLANG = False): the field sequences are
+extracted by tools/analyze/codec_schema.py from the stylized
+BitWriter/BitReader codec idiom, so this gate runs even on machines
+where the libclang rules skip. The same extraction feeds the checked-in
+docs/wire_schema.json and the generated tables in docs/protocols.md
+(drift on either fails `codec_schema.py --check`).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+from engine import Finding
+
+RULE_NAME = "codec-symmetry"
+DESCRIPTION = (
+    "encode/decode field sequences (name, width, order) must match for "
+    "every wire message"
+)
+REQUIRES_CLANG = False
+
+SCOPE_PREFIXES = (
+    "src/live/wire.",
+    "src/live/shard_map.",
+    "tests/analyze/fixtures/codec_symmetry/",  # the rule's own test corpus
+)
+
+
+def _in_scope(rel: str) -> bool:
+    return any(rel.startswith(p) for p in SCOPE_PREFIXES)
+
+
+def check(ctx) -> List[Finding]:
+    import codec_schema
+
+    rels = [r for r in getattr(ctx, "targets", []) if _in_scope(r)]
+    extracted = codec_schema.extract_paths(ctx.repo_root, rels)
+    for rel in rels:
+        ctx.suppressions.load_file(os.path.join(ctx.repo_root, rel), rel)
+
+    findings: List[Finding] = []
+    for msg, why in codec_schema.compare(extracted):
+        locs = extracted.get(msg, {}).get("locs", {})
+        rel, line = locs.get("decode") or locs.get("encode") or ("", 0)
+        findings.append(Finding(
+            rule=RULE_NAME, file=rel, line=line, column=1,
+            message=why, symbol=msg,
+        ))
+    return findings

@@ -1,0 +1,89 @@
+"""wire-taint: untrusted wire bytes must be bounds-checked before they
+become indices, lengths, or allocation sizes.
+
+Intraprocedural, flow-sensitive taint analysis over the decode paths.
+Sources are ``BitReader::read`` results and ``decode*`` call results;
+sinks are subscripts, ``memcpy``-family lengths, container
+``resize``/``reserve``/``assign`` sizes, loop bounds, and
+``shardOf``/``endpoint`` indices; sanitizers are comparisons against a
+constant or ``kMax*`` bound, ``MCI_CHECK``, ``std::min`` clamps and
+``BitReader::fits`` — with taint killed only on the guarded branch edge,
+so a bound checked in one ``if`` does not launder a later unguarded use.
+Findings carry the source -> sink statement chain.
+
+The CFG construction and fixpoint solver live in engine.py (pure Python,
+unit-tested without libclang); callgraph.TaintLowering is the cindex
+front-end that feeds them.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import engine
+from engine import Finding
+
+RULE_NAME = "wire-taint"
+DESCRIPTION = (
+    "decoded wire values must be bounds-checked before use as an index, "
+    "length, size, or loop bound"
+)
+REQUIRES_CLANG = True
+
+SCOPE_PREFIXES = (
+    "src/live/wire.",
+    "src/live/shard_map.",
+    "src/report/codec.",
+    "tests/analyze/fixtures/wire_taint/",  # the rule's own test corpus
+)
+
+_SINK_MESSAGES = {
+    "subscript": "tainted wire value used as a subscript index",
+    "copy-length": "tainted wire value used as a raw copy length",
+    "size-arg": "tainted wire value sized a container without a bound check",
+    "loop-bound": "tainted wire value used as a loop bound",
+    "shard-index": "tainted wire value used as a shard/endpoint index",
+}
+
+
+def _in_scope(rel: str) -> bool:
+    return any(rel.startswith(p) for p in SCOPE_PREFIXES)
+
+
+def _chain_note(fn, hit) -> str:
+    parts: List[str] = []
+    for sid in hit.chain:
+        stmt = fn.cfg.nodes[sid].stmt
+        frag = stmt.text if len(stmt.text) <= 60 else stmt.text[:57] + "..."
+        parts.append("%s:%d `%s`" % (fn.file, stmt.line, frag))
+    label = "source -> sink: " if len(parts) > 1 else "sink: "
+    return label + " ; ".join(parts)
+
+
+def check(ctx) -> List[Finding]:
+    import callgraph as cg
+
+    functions = cg.lower_functions(ctx, _in_scope)
+    findings: List[Finding] = []
+    for fn in functions:
+        result = engine.solve_taint(fn.cfg)
+        for hit in result.hits:
+            message = _SINK_MESSAGES.get(
+                hit.sink.kind, "tainted wire value reaches a sink")
+            what = hit.tainted_path or "<decoded value>"
+            findings.append(Finding(
+                rule=RULE_NAME,
+                file=fn.file,
+                line=hit.stmt.line,
+                column=hit.stmt.column,
+                message="%s: %s (%s)" % (message, what, hit.sink.desc),
+                symbol=fn.name,
+                detail=_chain_note(fn, hit),
+            ))
+        if result.truncated:
+            findings.append(Finding(
+                rule=RULE_NAME, file=fn.file, line=fn.line, column=1,
+                message="taint fixpoint truncated; review manually",
+                symbol=fn.name,
+            ))
+    return findings
