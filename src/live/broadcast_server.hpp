@@ -14,6 +14,7 @@
 #include "live/clock.hpp"
 #include "live/reactor.hpp"
 #include "live/shard_map.hpp"
+#include "live/udp_batch.hpp"
 #include "live/wire.hpp"
 #include "metrics/collector.hpp"
 #include "net/network.hpp"
@@ -59,6 +60,11 @@ struct ServerStats {
   std::uint64_t reportsBroadcast = 0;
   std::uint64_t framesDropped = 0;    ///< TCP frames dropped on full queues
   std::uint64_t udpSendFailures = 0;  ///< IR datagrams the kernel refused
+  /// Kernel entries the IR fan-out cost (one per sendto, one per sendmmsg
+  /// batch). With sendmmsg, syscalls/tick is O(clients / batch), not
+  /// O(clients) — bench_live gates the ratio.
+  std::uint64_t udpSendSyscalls = 0;
+  std::uint64_t udpDatagramsSent = 0;  ///< IR datagrams the kernel accepted
   std::uint64_t connectionsAccepted = 0;
   std::uint64_t connectionsClosed = 0;
   std::uint64_t queryRequests = 0;
@@ -187,9 +193,14 @@ class BroadcastServer {
   void flushConn(int fd, Conn& conn);
 
   void broadcastTick();
+  /// Unicast IR fan-out of the arena frame: sendmmsg batches when the
+  /// kernel has them, the classic per-socket sendto loop otherwise.
+  void fanOutReport();
   void runUpdateTransaction();
   void scheduleNextUpdate();
-  [[nodiscard]] std::vector<std::uint8_t> encodeReport(const report::Report& r);
+  /// Appends the codec bytes of `r` to `w` (an arena writer on the tick
+  /// path). Byte-identical to ReportCodec::encode of the same report.
+  MCI_HOT void encodeReportInto(const report::Report& r, report::BitWriter& w);
 
   Reactor& reactor_;
   ServerOptions opts_;
@@ -221,6 +232,12 @@ class BroadcastServer {
   std::uint64_t lastUpdateTick_ = 0;
   std::uint64_t lastBroadcastTick_ = 0;
   ServerStats stats_;
+  /// The tick's IR frame, encoded once and shared by every destination;
+  /// buffer capacity is reused across ticks.
+  wire::FrameArena reportArena_;
+  report::BsWire bsScratch_;  ///< BS wire levels, reused across ticks
+  UdpBatchSender batchSender_;
+  std::vector<const sockaddr_in*> batchAddrs_;  ///< reused per tick
   std::vector<std::uint8_t> lastReportPayload_;
 
   // finalize() support: the collector's channel decomposition needs a

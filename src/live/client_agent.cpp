@@ -4,9 +4,11 @@
 #include <fcntl.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <cerrno>
 #include <stdexcept>
 #include <utility>
@@ -226,23 +228,48 @@ void ClientAgent::onTcp(Link& link, std::uint32_t events) {
 
 void ClientAgent::onUdp(Link& link, std::uint32_t events) {
   if ((events & EPOLLIN) == 0) return;
+  if (Reactor::supportsBatchedUdp() && !pool_.udpRecvFellBack_) {
+    // Batched drain: one recvmmsg pulls up to kBatch datagrams through the
+    // pool's shared buffers, so a tick-burst of reports costs O(batches)
+    // kernel entries. ENOSYS at runtime (probe raced a seccomp filter)
+    // stickily reroutes the whole pool to the classic loop below.
+    for (;;) {
+      bool fellBack = false;
+      const int n = pool_.udpReceiver_.receive(link.udpFd, fellBack);
+      ++pool_.stats_.udpRecvSyscalls;
+      if (fellBack) {
+        pool_.udpRecvFellBack_ = true;
+        break;
+      }
+      if (n == 0) return;  // drained
+      for (int i = 0; i < n; ++i) {
+        const UdpBatchReceiver::Datagram d = pool_.udpReceiver_.datagram(i);
+        if (!handleUdpDatagram(link, d.data, d.len)) return;
+      }
+    }
+  }
   std::uint8_t buf[1 << 16];
   for (;;) {
     // MCI-ANALYZE-ALLOW(reactor-blocking): udpFd is SOCK_NONBLOCK
     const ssize_t n = ::recv(link.udpFd, buf, sizeof buf, 0);
+    ++pool_.stats_.udpRecvSyscalls;
     if (n <= 0) return;  // EAGAIN drained, or transient error
-    // A dozing host's radio is off: the datagram is consumed from the
-    // kernel but never heard by the model.
-    if (!radioOn_ || link.scheme == nullptr) continue;
-    std::optional<wire::Frame> frame =
-        wire::decodeFrame(buf, static_cast<std::size_t>(n));
-    if (!frame || frame->header.type != wire::FrameType::kReport) {
-      ++pool_.stats_.badFrames;
-      continue;
-    }
-    onReportPayload(link, frame->payload);
-    if (link.tcpFd < 0) return;  // report handling may have dropped us
+    if (!handleUdpDatagram(link, buf, static_cast<std::size_t>(n))) return;
   }
+}
+
+bool ClientAgent::handleUdpDatagram(Link& link, const std::uint8_t* data,
+                                    std::size_t len) {
+  // A dozing host's radio is off: the datagram is consumed from the
+  // kernel but never heard by the model.
+  if (!radioOn_ || link.scheme == nullptr) return true;
+  std::optional<wire::Frame> frame = wire::decodeFrame(data, len);
+  if (!frame || frame->header.type != wire::FrameType::kReport) {
+    ++pool_.stats_.badFrames;
+    return true;
+  }
+  onReportPayload(link, frame->payload);
+  return link.tcpFd >= 0;  // report handling may have dropped us
 }
 
 void ClientAgent::handleFrame(Link& link, const wire::Frame& frame) {
@@ -422,6 +449,7 @@ void ClientAgent::issueQuery() {
   if (!connectionAlive() || !welcomed()) return;
   queryGen_->nextQuery(queryItems_);
   queryStart_ = pool_.clock_->nowModel();
+  queryStartWall_ = pool_.reactor_.nowSeconds();
   state_ = State::kQuerying;
   // Fan the query out by owner shard; each involved link answers on its
   // own shard's next report (per-shard consistency point).
@@ -486,6 +514,9 @@ void ClientAgent::maybeCompleteQuery() {
 void ClientAgent::completeQuery() {
   pool_.collector_->onQueryCompleted(agentId_,
                                      pool_.clock_->nowModel() - queryStart_);
+  const double wallSec = pool_.reactor_.nowSeconds() - queryStartWall_;
+  pool_.stats_.queryLatencyUs.record(
+      wallSec > 0 ? static_cast<std::uint64_t>(wallSec * 1e6) : 0);
   ++completed_;
   queryItems_.clear();
   if (disc_->params().model == workload::DisconnectModel::kPostQuery &&
@@ -546,9 +577,45 @@ bool ClientAgent::sendFrame(Link& link, wire::FrameType type,
                             net::TrafficClass trafficClass,
                             const std::vector<std::uint8_t>& payload) {
   if (link.tcpFd < 0) return false;
-  const std::vector<std::uint8_t> frame =
-      wire::encodeFrame(type, wire::kNoScheme, trafficClass, payload);
-  link.out.insert(link.out.end(), frame.begin(), frame.end());
+  const std::array<std::uint8_t, wire::kHeaderBytes> hdr =
+      wire::encodeFrameHeader(type, wire::kNoScheme, trafficClass, payload);
+  const std::size_t frameBytes = hdr.size() + payload.size();
+  if (link.outOff >= link.out.size()) {
+    // Empty-queue fast path: scatter/gather the header and payload to the
+    // socket from their own buffers; only an unsent tail is queued.
+    std::array<iovec, 2> iov{};
+    iov[0].iov_base = const_cast<std::uint8_t*>(hdr.data());
+    iov[0].iov_len = hdr.size();
+    iov[1].iov_base = const_cast<std::uint8_t*>(payload.data());
+    iov[1].iov_len = payload.size();
+    msghdr msg{};
+    msg.msg_iov = iov.data();
+    msg.msg_iovlen = payload.empty() ? 1 : 2;
+    // MCI-ANALYZE-ALLOW(reactor-blocking): tcpFd is O_NONBLOCK (makeLink)
+    const ssize_t n = ::sendmsg(link.tcpFd, &msg, MSG_NOSIGNAL);
+    if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+      dropAgent();
+      return false;
+    }
+    const std::size_t sent = n > 0 ? static_cast<std::size_t>(n) : 0;
+    if (sent == frameBytes) return true;
+    if (sent < hdr.size()) {
+      link.out.insert(link.out.end(), hdr.begin() + sent, hdr.end());
+      link.out.insert(link.out.end(), payload.begin(), payload.end());
+    } else {
+      link.out.insert(
+          link.out.end(),
+          payload.begin() + static_cast<std::ptrdiff_t>(sent - hdr.size()),
+          payload.end());
+    }
+    if (!link.wantWrite) {
+      link.wantWrite = true;
+      pool_.reactor_.modifyFd(link.tcpFd, EPOLLIN | EPOLLOUT);
+    }
+    return true;
+  }
+  link.out.insert(link.out.end(), hdr.begin(), hdr.end());
+  link.out.insert(link.out.end(), payload.begin(), payload.end());
   flushOut(link);  // on hard error this runs dropAgent(), zeroing tcpFd
   return link.tcpFd >= 0;
 }

@@ -13,8 +13,10 @@
 #include "live/clock.hpp"
 #include "live/reactor.hpp"
 #include "live/shard_map.hpp"
+#include "live/udp_batch.hpp"
 #include "live/wire.hpp"
 #include "metrics/collector.hpp"
+#include "metrics/hist.hpp"
 #include "net/network.hpp"
 #include "report/codec.hpp"
 #include "report/sig_report.hpp"
@@ -52,6 +54,12 @@ struct PoolStats {
   std::vector<std::uint64_t> reportsHeardPerShard;
   std::uint64_t badFrames = 0;
   std::uint64_t connectionsLost = 0;  ///< TCP closed other than by shutdown()
+  /// Kernel entries spent draining UDP downlinks (one per recvmmsg batch
+  /// or per fallback recv). bench_live divides by reports heard.
+  std::uint64_t udpRecvSyscalls = 0;
+  /// Wall-clock query latency (issue -> complete), microseconds. p50/p99/
+  /// p999 via Hist::pct — the live latency SLO surface.
+  metrics::Hist queryLatencyUs;
 };
 
 class ClientPool;
@@ -139,6 +147,10 @@ class ClientAgent {
 
   void onTcp(Link& link, std::uint32_t events);
   void onUdp(Link& link, std::uint32_t events);
+  /// Decode + dispatch one downlink datagram. False when report handling
+  /// dropped this agent (the caller must stop draining).
+  bool handleUdpDatagram(Link& link, const std::uint8_t* data,
+                         std::size_t len);
   void handleFrame(Link& link, const wire::Frame& frame);
   void onWelcome(Link& link, const wire::Welcome& w);
   void onReportPayload(Link& link, const std::vector<std::uint8_t>& payload);
@@ -182,6 +194,7 @@ class ClientAgent {
   sim::SimTime thinkDeadline_ = 0;  ///< pool-clock model time
   sim::SimTime dozeStart_ = 0;
   sim::SimTime queryStart_ = 0;
+  double queryStartWall_ = 0;  ///< reactor seconds; feeds queryLatencyUs
   bool queryAfterWake_ = false;
   std::vector<db::ItemId> queryItems_;
   std::uint64_t completed_ = 0;
@@ -261,6 +274,11 @@ class ClientPool {
   ShardMap shardMap_;
 
   PoolStats stats_;
+  /// Shared recvmmsg drain buffer (one per pool, not per agent) plus the
+  /// sticky runtime fallback: a single ENOSYS routes every later drain to
+  /// the per-datagram recv loop.
+  UdpBatchReceiver udpReceiver_;
+  bool udpRecvFellBack_ = false;
   std::vector<std::unique_ptr<ClientAgent>> agents_;
 };
 

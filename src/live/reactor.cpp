@@ -7,7 +7,11 @@
 #include <cmath>
 #include <cstdint>
 
+#include "live/udp_batch.hpp"
+
 namespace mci::live {
+
+bool Reactor::supportsBatchedUdp() { return UdpBatchSender::available(); }
 
 Reactor::Reactor() {
   epollFd_ = ::epoll_create1(EPOLL_CLOEXEC);

@@ -1,5 +1,6 @@
 #include "live/wire.hpp"
 
+#include <algorithm>
 #include <array>
 #include <bit>
 
@@ -42,30 +43,86 @@ std::uint32_t crc32(const std::uint8_t* data, std::size_t len,
   return c ^ 0xFFFFFFFFu;
 }
 
+std::array<std::uint8_t, kHeaderBytes> encodeFrameHeader(
+    FrameType type, std::uint8_t scheme, net::TrafficClass trafficClass,
+    std::span<const std::uint8_t> payload) {
+  const auto payloadBits = static_cast<std::uint32_t>(payload.size() * 8);
+  std::array<std::uint8_t, kHeaderBytes> hdr{};
+  hdr[0] = static_cast<std::uint8_t>(kMagic >> 8);
+  hdr[1] = static_cast<std::uint8_t>(kMagic & 0xFF);
+  hdr[2] = kVersion;
+  hdr[3] = static_cast<std::uint8_t>(type);
+  hdr[4] = scheme;
+  hdr[5] = static_cast<std::uint8_t>(trafficClass);
+  for (int i = 0; i < 4; ++i) {
+    hdr[6 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(payloadBits >> (24 - 8 * i));
+  }
+  // Checksum field is zero while the digest is computed, then patched in.
+  std::uint32_t crc = crc32(hdr.data(), kHeaderBytes);
+  crc = crc32(payload.data(), payload.size(), crc);
+  for (int i = 0; i < 4; ++i) {
+    hdr[10 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(crc >> (24 - 8 * i));
+  }
+  return hdr;
+}
+
 std::vector<std::uint8_t> encodeFrame(FrameType type, std::uint8_t scheme,
                                       net::TrafficClass trafficClass,
                                       const std::vector<std::uint8_t>& payload) {
-  const auto payloadBits = static_cast<std::uint32_t>(payload.size() * 8);
-  std::vector<std::uint8_t> out;
-  out.reserve(kHeaderBytes + payload.size());
-  out.push_back(static_cast<std::uint8_t>(kMagic >> 8));
-  out.push_back(static_cast<std::uint8_t>(kMagic & 0xFF));
-  out.push_back(kVersion);
-  out.push_back(static_cast<std::uint8_t>(type));
-  out.push_back(scheme);
-  out.push_back(static_cast<std::uint8_t>(trafficClass));
-  for (int shift = 24; shift >= 0; shift -= 8) {
-    out.push_back(static_cast<std::uint8_t>(payloadBits >> shift));
-  }
-  // Checksum field is zero while the digest is computed, then patched in.
-  const std::size_t crcOff = out.size();
-  out.insert(out.end(), 4, 0);
-  out.insert(out.end(), payload.begin(), payload.end());
-  const std::uint32_t crc = crc32(out.data(), out.size());
-  for (int i = 0; i < 4; ++i) {
-    out[crcOff + i] = static_cast<std::uint8_t>(crc >> (24 - 8 * i));
-  }
+  const std::array<std::uint8_t, kHeaderBytes> hdr =
+      encodeFrameHeader(type, scheme, trafficClass, payload);
+  // Sized construction + copy (not reserve + insert): GCC 12 -O3 misreads
+  // the empty-payload insert as a memmove past the end and -Werror trips.
+  std::vector<std::uint8_t> out(kHeaderBytes + payload.size());
+  std::copy(hdr.begin(), hdr.end(), out.begin());
+  std::copy(payload.begin(), payload.end(),
+            out.begin() + static_cast<std::ptrdiff_t>(kHeaderBytes));
   return out;
+}
+
+report::BitWriter FrameArena::begin(FrameType type, std::uint8_t scheme,
+                                    net::TrafficClass trafficClass) {
+  buf_.clear();
+  // MCI-ANALYZE-ALLOW(hot-path-alloc): buf_ keeps its capacity across
+  // begin()/finish() cycles — steady-state ticks allocate nothing.
+  buf_.reserve(kHeaderBytes);
+  buf_.push_back(static_cast<std::uint8_t>(kMagic >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(kMagic & 0xFF));
+  buf_.push_back(kVersion);
+  buf_.push_back(static_cast<std::uint8_t>(type));
+  buf_.push_back(scheme);
+  buf_.push_back(static_cast<std::uint8_t>(trafficClass));
+  // payloadBits and crc are zero until finish() patches them; the zeros
+  // are exactly what the CRC is computed over, matching encodeFrame.
+  buf_.insert(buf_.end(), 8, 0);
+  return report::BitWriter(buf_);
+}
+
+void FrameArena::finish(const report::BitWriter& w) {
+  MCI_CHECK(buf_.size() >= kHeaderBytes) << "finish() before begin()";
+  MCI_CHECK((w.bitCount() + 7) / 8 == buf_.size() - kHeaderBytes)
+      << "finish() with a writer not produced by begin()";
+  // The length field counts the zero-padded whole bytes the writer emitted
+  // (not the raw bit count), keeping the header byte-identical to
+  // encodeFrame() over the padded codec payload.
+  const auto payloadBits =
+      static_cast<std::uint32_t>((buf_.size() - kHeaderBytes) * 8);
+  for (int i = 0; i < 4; ++i) {
+    buf_[6 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(payloadBits >> (24 - 8 * i));
+  }
+  const std::uint32_t crc = crc32(buf_.data(), buf_.size());
+  for (int i = 0; i < 4; ++i) {
+    buf_[10 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(crc >> (24 - 8 * i));
+  }
+}
+
+std::span<const std::uint8_t> FrameArena::payload() const {
+  MCI_CHECK(buf_.size() >= kHeaderBytes) << "payload() before begin()";
+  return {buf_.data() + kHeaderBytes, buf_.size() - kHeaderBytes};
 }
 
 std::size_t frameSize(const std::uint8_t* data, std::size_t len) {

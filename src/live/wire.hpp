@@ -1,12 +1,16 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "db/item.hpp"
 #include "live/shard_map.hpp"
 #include "net/message.hpp"
+#include "report/codec.hpp"
 #include "sim/time.hpp"
 
 namespace mci::live::wire {
@@ -70,6 +74,42 @@ struct Frame {
 [[nodiscard]] std::vector<std::uint8_t> encodeFrame(
     FrameType type, std::uint8_t scheme, net::TrafficClass trafficClass,
     const std::vector<std::uint8_t>& payload);
+
+/// Just the 14 header bytes for a frame carrying `payload` (the CRC still
+/// covers header-with-zeroed-crc followed by the payload, so the bytes are
+/// exactly the first kHeaderBytes of encodeFrame's output). Scatter/gather
+/// send paths use this to put header and payload on the wire from their own
+/// buffers without assembling a contiguous frame first.
+[[nodiscard]] std::array<std::uint8_t, kHeaderBytes> encodeFrameHeader(
+    FrameType type, std::uint8_t scheme, net::TrafficClass trafficClass,
+    std::span<const std::uint8_t> payload);
+
+/// Encode-once frame buffer for the per-tick IR fan-out. begin() starts a
+/// frame and hands back a report::BitWriter that appends payload bits
+/// directly after the 14 header bytes; finish() patches the length and CRC
+/// fields in place. The byte buffer's capacity survives across ticks, so a
+/// steady-state tick allocates nothing, and every destination of the tick
+/// (per-client unicast, sendmmsg batches, the multicast group) shares the
+/// same finished bytes instead of each getting its own frame vector.
+class FrameArena {
+ public:
+  /// Starts a frame, discarding any previous one (capacity retained).
+  [[nodiscard]] MCI_HOT report::BitWriter begin(
+      FrameType type, std::uint8_t scheme, net::TrafficClass trafficClass);
+
+  /// Patches payloadBits and CRC; `w` must be the writer begin() returned.
+  /// The frame bytes stay valid until the next begin().
+  MCI_HOT void finish(const report::BitWriter& w);
+
+  [[nodiscard]] const std::uint8_t* data() const { return buf_.data(); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] std::span<const std::uint8_t> frame() const { return buf_; }
+  /// The unframed payload slice of the finished frame (codec bytes).
+  [[nodiscard]] std::span<const std::uint8_t> payload() const;
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
 
 /// Total frame size (header + payload) announced by a header, or 0 when
 /// fewer than kHeaderBytes are available or the magic/length is invalid

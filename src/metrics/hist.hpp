@@ -1,0 +1,92 @@
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "core/annotations.hpp"
+
+namespace mci::metrics {
+
+/// Fixed-footprint latency histogram with log2 buckets: record() is one
+/// increment (no allocation, safe on the reactor hot path), pct() walks 65
+/// buckets and interpolates linearly inside the matched power-of-two
+/// range. Resolution is therefore ~half the value — the right trade for
+/// tail percentiles (p99/p999) of live per-query latencies, where the
+/// interesting signal is orders of magnitude, not microsecond exactness.
+///
+/// sim::Histogram (linear bins over a fixed range) stays the tool for
+/// model-time distributions with known bounds; Hist covers unbounded
+/// wall-clock measurements.
+class Hist {
+ public:
+  MCI_HOT void record(std::uint64_t value) {
+    ++count_;
+    sum_ += value;
+    max_ = std::max(max_, value);
+    ++buckets_[bucketOf(value)];
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  /// Value at percentile `p` (0..100). 0 when empty. pct(50)/pct(99)/
+  /// pct(99.9) are the live-stats p50/p99/p999.
+  [[nodiscard]] std::uint64_t pct(double p) const {
+    if (count_ == 0) return 0;
+    const double clamped = std::clamp(p, 0.0, 100.0);
+    // 1-based rank of the percentile sample.
+    const auto target = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(clamped / 100.0 *
+                                      static_cast<double>(count_) +
+                                      0.5));
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+      if (buckets_[b] == 0) continue;
+      if (cum + buckets_[b] < target) {
+        cum += buckets_[b];
+        continue;
+      }
+      const std::uint64_t lo = bucketLow(b);
+      const std::uint64_t hi = std::min(bucketHigh(b), max_);
+      if (hi <= lo) return lo;
+      // Interpolate by rank within the bucket.
+      const double frac = static_cast<double>(target - cum - 1) /
+                          static_cast<double>(buckets_[b]);
+      return lo + static_cast<std::uint64_t>(
+                      frac * static_cast<double>(hi - lo));
+    }
+    return max_;
+  }
+
+  void reset() { *this = Hist{}; }
+
+ private:
+  /// 0 -> bucket 0; v in [2^(k), 2^(k+1)) -> bucket k+1. 65 buckets cover
+  /// the whole uint64 range.
+  [[nodiscard]] static std::size_t bucketOf(std::uint64_t v) {
+    return v == 0 ? 0
+                  : static_cast<std::size_t>(64 - std::countl_zero(v));
+  }
+  [[nodiscard]] static std::uint64_t bucketLow(std::size_t b) {
+    return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+  }
+  [[nodiscard]] static std::uint64_t bucketHigh(std::size_t b) {
+    if (b == 0) return 0;
+    if (b >= 64) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << b) - 1;
+  }
+
+  std::array<std::uint64_t, 65> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace mci::metrics

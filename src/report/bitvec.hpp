@@ -2,11 +2,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/annotations.hpp"
 
 namespace mci::report {
+
+class BitReader;
 
 /// Fixed-size packed bit vector used by the wire-level Bit-Sequences
 /// encoding. Provides the two primitives BS decoding needs: rank (count of
@@ -38,7 +41,18 @@ class BitVec {
   /// Positions of all set bits, ascending.
   [[nodiscard]] std::vector<std::size_t> setPositions() const;
 
+  /// The packed 64-bit word storage (bit i lives in word i/64, bit i%64).
+  /// Bits at positions >= size() in the last word are always zero — every
+  /// mutator maintains that, and the bulk serialization paths rely on it.
+  [[nodiscard]] std::span<const std::uint64_t> words() const {
+    return words_;
+  }
+
  private:
+  /// BitReader::readBitVec fills words_ directly (masking the tail word)
+  /// instead of calling set() once per wire bit.
+  friend class BitReader;
+
   std::size_t size_ = 0;
   std::vector<std::uint64_t> words_;
 };

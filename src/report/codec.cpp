@@ -1,6 +1,7 @@
 #include "report/codec.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <cmath>
 
@@ -22,15 +23,90 @@ std::uint64_t kindCode(ReportKind k) {
   return 3;
 }
 
+/// kBitReverse[b] is b with its 8 bits mirrored. The wire is MSB-first
+/// within each byte while BitVec packs LSB-first within each word, so
+/// moving a word of packed bits to or from the wire in ascending position
+/// order is a per-byte bit reversal — no byte swap, no shifting loop.
+constexpr std::array<std::uint8_t, 256> kBitReverse = [] {
+  std::array<std::uint8_t, 256> table{};
+  for (int b = 0; b < 256; ++b) {
+    std::uint8_t r = 0;
+    for (int i = 0; i < 8; ++i) {
+      r = static_cast<std::uint8_t>((r << 1) | ((b >> i) & 1));
+    }
+    table[static_cast<std::size_t>(b)] = r;
+  }
+  return table;
+}();
+
+/// Mirrors all 64 bits of `w` (bit 0 <-> bit 63). Eight table lookups.
+std::uint64_t bitReverse64(std::uint64_t w) {
+  std::uint64_t r = 0;
+  for (int b = 0; b < 8; ++b) {
+    r = (r << 8) | kBitReverse[(w >> (8 * b)) & 0xFF];
+  }
+  return r;
+}
+
 }  // namespace
 
 void BitWriter::write(std::uint64_t value, int bits) {
   assert(bits >= 1 && bits <= 64);
-  for (int i = bits - 1; i >= 0; --i) {
-    if (bitCount_ % 8 == 0) bytes_.push_back(0);
-    const std::uint64_t bit = (value >> i) & 1;
-    bytes_.back() |= static_cast<std::uint8_t>(bit << (7 - bitCount_ % 8));
-    ++bitCount_;
+  if (bits < 64) value &= (std::uint64_t{1} << bits) - 1;
+  std::vector<std::uint8_t>& out = target();
+  while (bits > 0) {
+    // MCI-ANALYZE-ALLOW(hot-path-alloc): frame buffers are reused across
+    // ticks (arena / lastReportPayload_ keep capacity) — high-water only.
+    if (bitCount_ % 8 == 0) out.push_back(0);
+    const int avail = 8 - static_cast<int>(bitCount_ % 8);
+    const int chunk = std::min(avail, bits);
+    // The top `chunk` remaining bits land just below the byte's write
+    // cursor (MSB-first), exactly where the old single-bit loop put them.
+    const auto piece = static_cast<std::uint8_t>(
+        (value >> (bits - chunk)) & ((std::uint64_t{1} << chunk) - 1));
+    out.back() |= static_cast<std::uint8_t>(piece << (avail - chunk));
+    bitCount_ += static_cast<std::size_t>(chunk);
+    bits -= chunk;
+  }
+}
+
+void BitWriter::writeBitVec(const BitVec& bits) {
+  const std::size_t n = bits.size();
+  if (n == 0) return;
+  const std::span<const std::uint64_t> words = bits.words();
+  const std::size_t fullWords = n / 64;
+  const std::size_t tailBits = n % 64;
+  if (bitCount_ % 8 == 0) {
+    // Byte-aligned fast path: each source word becomes eight output bytes,
+    // each the bit-reversal of the corresponding word byte (ascending
+    // positions are LSB-first in the word, MSB-first on the wire).
+    std::vector<std::uint8_t>& out = target();
+    // MCI-ANALYZE-ALLOW(hot-path-alloc): grows the reused frame buffer to
+    // its high-water mark only, same as the write() appends.
+    out.reserve(out.size() + (n + 7) / 8);
+    for (std::size_t wi = 0; wi < fullWords; ++wi) {
+      const std::uint64_t w = words[wi];
+      for (int b = 0; b < 8; ++b) {
+        // MCI-ANALYZE-ALLOW(hot-path-alloc): within the reserve above.
+        out.push_back(kBitReverse[(w >> (8 * b)) & 0xFF]);
+      }
+    }
+    bitCount_ += fullWords * 64;
+    if (tailBits != 0) {
+      // First-emitted bit must be the MSB of the written field.
+      write(bitReverse64(words[fullWords]) >> (64 - tailBits),
+            static_cast<int>(tailBits));
+    }
+  } else {
+    // Unaligned writer: write() is byte-chunked, so a reversed whole word
+    // is still <= 9 byte ops instead of 64 single-bit appends.
+    for (std::size_t wi = 0; wi < fullWords; ++wi) {
+      write(bitReverse64(words[wi]), 64);
+    }
+    if (tailBits != 0) {
+      write(bitReverse64(words[fullWords]) >> (64 - tailBits),
+            static_cast<int>(tailBits));
+    }
   }
 }
 
@@ -42,15 +118,67 @@ std::uint64_t BitReader::read(int bits) {
     return 0;
   }
   std::uint64_t value = 0;
-  for (int i = 0; i < bits; ++i) {
+  int remaining = bits;
+  while (remaining > 0) {
+    const int avail = 8 - static_cast<int>(pos_ % 8);
+    const int chunk = std::min(avail, remaining);
     // MCI-ANALYZE-ALLOW(codec-bounds): the cursor IS the bounds
     // enforcement — pos_ + bits <= bits_ was checked above, so pos_/8
     // cannot reach past the span handed to the constructor.
-    const std::uint64_t bit = (data_[pos_ / 8] >> (7 - pos_ % 8)) & 1;
-    value = (value << 1) | bit;
-    ++pos_;
+    const std::uint8_t byte = data_[pos_ / 8];
+    const std::uint64_t piece =
+        (byte >> (avail - chunk)) & ((std::uint64_t{1} << chunk) - 1);
+    value = (value << chunk) | piece;
+    pos_ += static_cast<std::size_t>(chunk);
+    remaining -= chunk;
   }
   return value;
+}
+
+void BitReader::readBitVec(BitVec& out, std::size_t bits) {
+  // Overflow-safe underrun check before the resize: `bits` is typically an
+  // attacker-reachable length, so it must be bounded by the physical frame
+  // before it sizes anything.
+  if (!ok_ || bits > bits_ - pos_) {
+    ok_ = false;
+    pos_ = bits_;
+    out.assign(0);
+    return;
+  }
+  out.assign(bits);
+  const std::size_t fullWords = bits / 64;
+  const std::size_t tailBits = bits % 64;
+  if (pos_ % 8 == 0) {
+    // Byte-aligned fast path: mirror of writeBitVec — reassemble each
+    // word from eight bit-reversed wire bytes.
+    // MCI-ANALYZE-ALLOW(codec-bounds): bits <= bits_ - pos_ was checked
+    // above, so src stays inside the constructor's span.
+    const std::uint8_t* src = data_ + pos_ / 8;
+    for (std::size_t wi = 0; wi < fullWords; ++wi) {
+      std::uint64_t w = 0;
+      for (int b = 0; b < 8; ++b) {
+        // MCI-ANALYZE-ALLOW(codec-bounds): same span bound as above.
+        w |= static_cast<std::uint64_t>(kBitReverse[src[8 * wi + b]])
+             << (8 * b);
+      }
+      out.words_[wi] = w;
+    }
+    pos_ += fullWords * 64;
+    if (tailBits != 0) {
+      // read() returns the first wire bit as the field's MSB; shifting it
+      // to bit 63 and mirroring puts wire bit i at word bit i.
+      out.words_[fullWords] =
+          bitReverse64(read(static_cast<int>(tailBits)) << (64 - tailBits));
+    }
+  } else {
+    for (std::size_t wi = 0; wi < fullWords; ++wi) {
+      out.words_[wi] = bitReverse64(read(64));
+    }
+    if (tailBits != 0) {
+      out.words_[fullWords] =
+          bitReverse64(read(static_cast<int>(tailBits)) << (64 - tailBits));
+    }
+  }
 }
 
 void BitReader::skip(int bits) {
@@ -89,6 +217,11 @@ sim::SimTime ReportCodec::dequantize(std::uint64_t ticks) const {
 
 std::vector<std::uint8_t> ReportCodec::encode(const TsReport& r) const {
   BitWriter w;
+  encodeInto(r, w);
+  return w.finish();
+}
+
+void ReportCodec::encodeInto(const TsReport& r, BitWriter& w) const {
   w.write(kindCode(r.kind), kKindBits);
   w.write(r.extended() ? 1 : 0, 1);
   w.write(quantize(r.broadcastTime), sizes_.timestampBits);
@@ -98,7 +231,6 @@ std::vector<std::uint8_t> ReportCodec::encode(const TsReport& r) const {
     w.write(rec.item, sizes_.itemIdBits());
     w.write(quantize(rec.time), sizes_.timestampBits);
   }
-  return w.finish();
 }
 
 std::shared_ptr<const TsReport> ReportCodec::decodeTs(
@@ -126,19 +258,28 @@ std::shared_ptr<const TsReport> ReportCodec::decodeTs(
 }
 
 std::vector<std::uint8_t> ReportCodec::encode(const BsReport& r) const {
-  const BsWire wire = BsWire::encode(r);
   BitWriter w;
+  BsWire scratch;
+  encodeInto(r, scratch, w);
+  return w.finish();
+}
+
+void ReportCodec::encodeInto(const BsReport& r, BsWire& scratch,
+                             BitWriter& w) const {
+  BsWire::encodeInto(r, scratch);
+  encodeWire(scratch, r.broadcastTime, w);
+}
+
+void ReportCodec::encodeWire(const BsWire& wire, sim::SimTime broadcastTime,
+                             BitWriter& w) const {
   w.write(kindCode(ReportKind::kBitSeq), kKindBits);
-  w.write(quantize(r.broadcastTime), sizes_.timestampBits);
+  w.write(quantize(broadcastTime), sizes_.timestampBits);
   w.write(quantize(wire.tsB0()), sizes_.timestampBits);
   w.write(wire.levels().size(), kLevelCountBits);
   for (const BsWire::WireLevel& level : wire.levels()) {
     w.write(quantize(level.ts), sizes_.timestampBits);
-    for (std::size_t i = 0; i < level.bits.size(); ++i) {
-      w.write(level.bits.test(i) ? 1 : 0, 1);
-    }
+    w.writeBitVec(level.bits);
   }
-  return w.finish();
 }
 
 std::optional<ReportCodec::DecodedBs> ReportCodec::decodeBs(
@@ -157,10 +298,8 @@ std::optional<ReportCodec::DecodedBs> ReportCodec::decodeBs(
   for (std::uint64_t li = 0; li < levels && reader.ok(); ++li) {
     BsWire::WireLevel level;
     level.ts = dequantize(reader.read(sizes_.timestampBits));
-    level.bits = BitVec(nextLen);
-    for (std::size_t i = 0; i < nextLen && reader.ok(); ++i) {
-      if (reader.read(1) != 0) level.bits.set(i);
-    }
+    if (!reader.fits(nextLen, 1)) return std::nullopt;
+    reader.readBitVec(level.bits, nextLen);
     nextLen = level.bits.count();  // next sequence's length
     wireLevels.push_back(std::move(level));
   }
@@ -171,6 +310,11 @@ std::optional<ReportCodec::DecodedBs> ReportCodec::decodeBs(
 
 std::vector<std::uint8_t> ReportCodec::encode(const SigReport& r) const {
   BitWriter w;
+  encodeInto(r, w);
+  return w.finish();
+}
+
+void ReportCodec::encodeInto(const SigReport& r, BitWriter& w) const {
   w.write(kindCode(ReportKind::kSignature), kKindBits);
   w.write(quantize(r.broadcastTime), sizes_.timestampBits);
   w.write(r.combined().size(), kSigCountBits);
@@ -181,7 +325,6 @@ std::vector<std::uint8_t> ReportCodec::encode(const SigReport& r) const {
                        : ((std::uint64_t{1} << sizes_.signatureBits) - 1)),
             sizes_.signatureBits);
   }
-  return w.finish();
 }
 
 std::shared_ptr<const SigReport> ReportCodec::decodeSig(
@@ -233,8 +376,8 @@ std::optional<ReportKind> ReportCodec::peekKind(
     }
     case 1: return ReportKind::kBitSeq;
     case 2: return ReportKind::kSignature;
-    default: return std::nullopt;
   }
+  return std::nullopt;
 }
 
 }  // namespace mci::report

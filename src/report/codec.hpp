@@ -4,6 +4,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "report/bs_report.hpp"
 #include "report/sig_report.hpp"
 #include "report/sizing.hpp"
@@ -15,19 +16,45 @@ namespace mci::report {
 /// invalidation reports are bit-packed on the air — item ids are
 /// ceil(log2 N) bits, not whole bytes — so the codec works at bit
 /// granularity and the byte vector is the padded frame.
+///
+/// write() moves whole bytes per iteration (<= 9 byte ops for a 64-bit
+/// field, not 64 single-bit ops), and writeBitVec() moves whole 64-bit
+/// words of a packed bit vector with one masked tail — the BS wire levels
+/// serialize at memory bandwidth instead of a bit at a time. Both paths
+/// emit the exact byte stream the original single-bit loop produced
+/// (golden-frame tests pin this).
 class BitWriter {
  public:
+  /// Appends to internal storage; finish() returns the frame.
+  BitWriter() = default;
+
+  /// Appends to `external` instead (starting at its current end). The live
+  /// frame arena uses this to encode a payload directly after the frame
+  /// header with no intermediate payload vector. finish() must not be
+  /// called in this mode; the external buffer IS the output.
+  explicit BitWriter(std::vector<std::uint8_t>& external)
+      : out_(&external) {}
+
   /// Appends the low `bits` bits of `value` (1..64).
-  void write(std::uint64_t value, int bits);
+  MCI_HOT void write(std::uint64_t value, int bits);
+
+  /// Appends all `bits.size()` bits of `bits` in ascending position order,
+  /// word-at-a-time (byte-identical to `for i: write(bits.test(i), 1)`).
+  MCI_HOT void writeBitVec(const BitVec& bits);
 
   /// Number of bits written so far.
   [[nodiscard]] std::size_t bitCount() const { return bitCount_; }
 
-  /// The frame, zero-padded to a whole byte.
-  [[nodiscard]] std::vector<std::uint8_t> finish() const { return bytes_; }
+  /// The frame, zero-padded to a whole byte (internal mode only).
+  [[nodiscard]] std::vector<std::uint8_t> finish() const { return own_; }
 
  private:
-  std::vector<std::uint8_t> bytes_;
+  [[nodiscard]] std::vector<std::uint8_t>& target() {
+    return out_ != nullptr ? *out_ : own_;
+  }
+
+  std::vector<std::uint8_t> own_;
+  std::vector<std::uint8_t>* out_ = nullptr;  ///< external mode when set
   std::size_t bitCount_ = 0;
 };
 
@@ -45,7 +72,13 @@ class BitReader {
       : data_(data), bits_(len * 8) {}
 
   /// Reads `bits` bits (1..64); returns 0 and clears ok() on underrun.
-  std::uint64_t read(int bits);
+  MCI_HOT std::uint64_t read(int bits);
+
+  /// Reads `bits` bits into `out` (resized to `bits`, positions ascending),
+  /// word-at-a-time; the mirror of BitWriter::writeBitVec. On underrun the
+  /// cursor parks at the end, ok() clears, and `out` is left empty — the
+  /// bound is checked before `bits` sizes anything.
+  MCI_HOT void readBitVec(BitVec& out, std::size_t bits);
 
   /// Advances the cursor without decoding (same underrun handling).
   void skip(int bits);
@@ -94,11 +127,23 @@ class ReportCodec {
 
   // --- TS window / extended reports ---
   [[nodiscard]] std::vector<std::uint8_t> encode(const TsReport& r) const;
+  MCI_HOT void encodeInto(const TsReport& r, BitWriter& w) const;
   [[nodiscard]] std::shared_ptr<const TsReport> decodeTs(
       const std::vector<std::uint8_t>& frame) const;
 
   // --- bit-sequences reports (decodes to the wire view) ---
   [[nodiscard]] std::vector<std::uint8_t> encode(const BsReport& r) const;
+  /// Zero-copy variant: `scratch` is the caller's reusable BsWire (its
+  /// BitVec word storage survives across broadcast intervals), `w` is
+  /// typically a frame-arena writer. Byte-identical to encode().
+  MCI_HOT void encodeInto(const BsReport& r, BsWire& scratch,
+                          BitWriter& w) const;
+  /// The serialization half of encodeInto: writes an already-built wire
+  /// view. encodeInto == BsWire::encodeInto(r, scratch) + this; callers
+  /// holding a prebuilt BsWire (replay tools, bench_live) skip the level
+  /// construction.
+  MCI_HOT void encodeWire(const BsWire& wire, sim::SimTime broadcastTime,
+                          BitWriter& w) const;
   struct DecodedBs {
     sim::SimTime broadcastTime{0};
     BsWire wire;
@@ -108,6 +153,7 @@ class ReportCodec {
 
   // --- signature reports ---
   [[nodiscard]] std::vector<std::uint8_t> encode(const SigReport& r) const;
+  MCI_HOT void encodeInto(const SigReport& r, BitWriter& w) const;
   [[nodiscard]] std::shared_ptr<const SigReport> decodeSig(
       const std::vector<std::uint8_t>& frame) const;
 

@@ -6,6 +6,7 @@ reachability over synthetic graphs. The fixture corpus (test_fixtures.py)
 is where libclang itself gets exercised.
 """
 
+import json
 import os
 import sys
 import tempfile
@@ -118,6 +119,32 @@ class BaselineTest(unittest.TestCase):
 
     def test_missing_baseline_is_empty(self):
         self.assertEqual(baseline.load("/nonexistent/baseline.json"), {})
+
+    def test_hot_path_alloc_entries_are_rejected_on_load(self):
+        # Tick-path allocation findings must be fixed or ALLOW'd at the
+        # site — a baseline entry hides them repo-wide, so load() refuses.
+        hot = _finding(rule="hot-path-alloc", symbol="encodeWire",
+                       message="'new' expression on an MCI_HOT path")
+        with tempfile.TemporaryDirectory() as d:
+            path = os.path.join(d, "baseline.json")
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump({"version": baseline.BASELINE_VERSION,
+                           "findings": [{"key": hot.key(), "why": "no"}]},
+                          fh)
+            with self.assertRaisesRegex(ValueError, "hot-path-alloc"):
+                baseline.load(path)
+
+    def test_write_refuses_to_baseline_hot_path_alloc(self):
+        hot = _finding(rule="hot-path-alloc", symbol="f",
+                       message="allocation call 'malloc' on an MCI_HOT path")
+        ordinary = _finding(rule="checked-return", symbol="g",
+                            message="unchecked")
+        with tempfile.TemporaryDirectory() as d:
+            path = os.path.join(d, "baseline.json")
+            baseline.write(path, [hot, ordinary])
+            known = baseline.load(path)  # must stay loadable
+        self.assertIn(ordinary.key(), known)
+        self.assertNotIn(hot.key(), known)
 
 
 class NormalizeCommandTest(unittest.TestCase):

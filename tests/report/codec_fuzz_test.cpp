@@ -74,6 +74,72 @@ TEST(BitPackingFuzz, ReadingPastTheEndClearsOkInsteadOfCrashing) {
   }
 }
 
+TEST(BitPackingFuzz, BulkBitVecWritesInterleavedWithScalarsRoundTrip) {
+  // The word-at-a-time writeBitVec/readBitVec paths, at every alignment the
+  // scalar writes before them can produce: random interleavings of scalar
+  // fields and bit vectors of random width/density must read back exactly,
+  // and the byte stream must be what the per-bit path would have emitted
+  // (codec_word_test pins that; here we shake the alignment space).
+  sim::Rng rng(kFuzzSeed + 8);
+  for (int round = 0; round < kRounds; ++round) {
+    BitWriter w;
+    struct Op {
+      bool isVec;
+      std::uint64_t value;
+      int bits;
+      BitVec vec;
+    };
+    std::vector<Op> ops;
+    const int n = static_cast<int>(rng.uniformInt(1, 30));
+    for (int i = 0; i < n; ++i) {
+      Op op;
+      op.isVec = rng.bernoulli(0.5);
+      if (op.isVec) {
+        const auto len =
+            static_cast<std::size_t>(rng.uniformInt(0, 300));
+        const double density = rng.uniform01();
+        op.vec.assign(len);
+        for (std::size_t b = 0; b < len; ++b) {
+          if (rng.uniform01() < density) op.vec.set(b);
+        }
+        w.writeBitVec(op.vec);
+      } else {
+        op.bits = static_cast<int>(rng.uniformInt(1, 64));
+        op.value = rng.bits();
+        w.write(op.value, op.bits);
+      }
+      ops.push_back(std::move(op));
+    }
+    const std::vector<std::uint8_t> bytes = w.finish();
+
+    BitReader r(bytes);
+    for (const Op& op : ops) {
+      if (op.isVec) {
+        BitVec back;
+        r.readBitVec(back, op.vec.size());
+        ASSERT_TRUE(r.ok()) << "round " << round;
+        ASSERT_EQ(back.size(), op.vec.size());
+        for (std::size_t b = 0; b < back.size(); ++b) {
+          ASSERT_EQ(back.test(b), op.vec.test(b))
+              << "round " << round << " bit " << b;
+        }
+      } else {
+        const std::uint64_t mask =
+            op.bits == 64 ? ~0ull : ((1ull << op.bits) - 1);
+        ASSERT_EQ(r.read(op.bits), op.value & mask) << "round " << round;
+      }
+    }
+    EXPECT_EQ(r.bitsRead(), w.bitCount());
+
+    // Asking for one bit past the padded byte stream must fail cleanly
+    // from whatever alignment the round ended on.
+    BitVec overrun;
+    r.readBitVec(overrun, bytes.size() * 8 - r.bitsRead() + 1);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(overrun.size(), 0u);
+  }
+}
+
 TEST(CodecFuzz, TsReportsRoundTripByteForByte) {
   sim::Rng rng(kFuzzSeed + 2);
   const SizeModel sizes = smallSizes();

@@ -10,9 +10,22 @@ from __future__ import annotations
 
 import json
 import os
+import sys
 from typing import Dict, List, Tuple
 
 BASELINE_VERSION = 1
+
+# Rules whose findings may never be baselined. A hot-path allocation is a
+# real perf defect on the per-tick fan-out: it is either fixed, or the
+# amortisation argument is written at the allocation site with
+# MCI-ANALYZE-ALLOW where reviewers of that code will see it. A baseline
+# entry (keyed repo-wide, line-free) would silently cover future
+# allocations in the same function too.
+NEVER_BASELINE = frozenset({"hot-path-alloc"})
+
+
+def _rule_of(key: str) -> str:
+    return key.split("|", 1)[0]
 
 
 def load(path: str) -> Dict[str, str]:
@@ -29,6 +42,14 @@ def load(path: str) -> Dict[str, str]:
     out: Dict[str, str] = {}
     for e in entries:
         out[e["key"]] = e.get("why", "")
+    banned = sorted(k for k in out if _rule_of(k) in NEVER_BASELINE)
+    if banned:
+        raise ValueError(
+            "%s: rule(s) %s may not be baselined — fix the finding or "
+            "justify it at the site with MCI-ANALYZE-ALLOW. Offending "
+            "keys:\n  %s"
+            % (path, ", ".join(sorted(NEVER_BASELINE)), "\n  ".join(banned))
+        )
     return out
 
 
@@ -48,8 +69,21 @@ def diff(findings, baseline: Dict[str, str]) -> Tuple[list, List[str]]:
 def write(path: str, findings, why: str = "baselined pre-existing finding") \
         -> None:
     """Writes the full current finding set as the new baseline (the
-    --write-baseline escape hatch; review the diff before committing)."""
+    --write-baseline escape hatch; review the diff before committing).
+
+    NEVER_BASELINE findings are skipped with a warning — writing them
+    would produce a file load() refuses — and stay live for the next run.
+    """
     keys = sorted({f.key() for f in findings})
+    skipped = [k for k in keys if _rule_of(k) in NEVER_BASELINE]
+    if skipped:
+        print(
+            "baseline: refusing to baseline %d %s finding(s); fix or "
+            "MCI-ANALYZE-ALLOW them instead"
+            % (len(skipped), "/".join(sorted(NEVER_BASELINE))),
+            file=sys.stderr,
+        )
+        keys = [k for k in keys if _rule_of(k) not in NEVER_BASELINE]
     data = {
         "version": BASELINE_VERSION,
         "comment": "mci-analyze baseline: finding keys tolerated by CI. "

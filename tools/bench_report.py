@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
-"""Perf-regression report: run the kernel bench suite, merge a baseline,
-and enforce the zero-allocation steady-state gate.
+"""Perf-regression report: run the bench suites, merge baselines, and
+enforce the steady-state allocation and live hot-path gates.
 
 Drives `bench_main` (the standalone JSON emitter in bench/) and optionally
 the google-benchmark micro binaries, then writes a single BENCH_kernel.json
@@ -9,18 +9,29 @@ allocations-per-event. When `--baseline` points at a previous report (or a
 raw bench_main dump), each metric gains a `speedup` field computed against
 it, so a perf regression is visible as speedup < 1 in review.
 
+With `--live-out` it additionally drives `bench_live` (schema
+"mci-bench-live-v1": word-at-a-time codec speedups, sendmmsg fan-out
+syscall counts, loopback server+pool latency percentiles) and enforces the
+live gates: machine-independent ratios (speedup_vs_bitloop on the BS
+codec, syscall_reduction on the fan-out) must clear their hard floors and
+must not regress more than --gate-tolerance (default 15%) against
+`--live-baseline` (the committed BENCH_live.json). Wall-clock metrics are
+reported but never gated — only ratios and counts survive a runner change.
+
 Exit status:
-  0  report written, allocation gate passed
-  1  steady-state allocations per event/item exceeded --max-allocs (default 0)
+  0  report(s) written, all gates passed
+  1  allocation gate or a live ratio gate failed
   2  usage or subprocess error
 
 Typical use (see docs/performance.md):
 
     cmake --preset release && cmake --build --preset release -j
     python3 tools/bench_report.py --build build-release --out BENCH_kernel.json
+    python3 tools/bench_report.py --build build-release \\
+        --live-out BENCH_live.json --live-baseline BENCH_live.json
 
-CI (`bench-smoke`) runs the same with `--mintime 0.05` and a short
-`--simtime` so the gate stays cheap.
+CI (`bench-smoke`, `bench-live-smoke`) runs the same with `--mintime 0.05`
+and a short `--simtime` so the gates stay cheap.
 """
 
 from __future__ import annotations
@@ -32,8 +43,11 @@ import sys
 from pathlib import Path
 
 
-def run_bench_main(build: Path, mintime: float, simtime: float) -> dict:
-    exe = build / "bench" / "bench_main"
+def run_bench_binary(build: Path, name: str, mintime: float,
+                     simtime: float) -> dict:
+    """Runs one of the standalone JSON emitters (bench_main, bench_live);
+    both speak the same --mintime/--simtime flags and row shape."""
+    exe = build / "bench" / name
     if not exe.exists():
         sys.exit(f"bench_report: {exe} not found — build the repo first")
     cmd = [str(exe), "--mintime", str(mintime), "--simtime", str(simtime)]
@@ -41,7 +55,7 @@ def run_bench_main(build: Path, mintime: float, simtime: float) -> dict:
     proc = subprocess.run(cmd, capture_output=True, text=True)
     if proc.returncode != 0:
         sys.stderr.write(proc.stderr)
-        sys.exit(f"bench_report: bench_main failed ({proc.returncode})")
+        sys.exit(f"bench_report: {name} failed ({proc.returncode})")
     return json.loads(proc.stdout)
 
 
@@ -86,6 +100,50 @@ def load_baseline(path: Path) -> dict[str, dict[str, float]]:
 # Metrics where larger is faster; speedup = after / before.
 RATE_METRICS = ("items_per_s", "sim_s_per_wall_s")
 
+# Live hot-path ratio gates: (bench name, metric) -> hard floor. These are
+# machine-independent — in-run ratios against a reference implementation or
+# kernel-entry counts — so they hold on any runner with sendmmsg. Each is
+# additionally held to within --gate-tolerance of the committed baseline.
+LIVE_GATES = {
+    ("encode_bs/65536", "speedup_vs_bitloop"): 3.0,
+    ("encode_sig/1024", "speedup_vs_bitloop"): 1.5,
+    ("udp_fanout/64", "syscall_reduction"): 5.0,
+    ("live_pool/64", "udp_syscall_reduction"): 5.0,
+}
+
+
+def check_live_gates(benches: list[dict],
+                     baseline: dict[str, dict[str, float]],
+                     tolerance: float) -> list[str]:
+    failures = []
+    rows = {row.get("name"): row for row in benches}
+    for (name, metric), floor in LIVE_GATES.items():
+        row = rows.get(name)
+        if row is None or metric not in row:
+            failures.append(f"{name}: {metric} missing from bench_live output")
+            continue
+        value = row[metric]
+        if value < floor:
+            failures.append(
+                f"{name}: {metric} = {value:.3g} below hard floor {floor:g}")
+        before = baseline.get(name, {}).get(metric)
+        if before and value < before * (1.0 - tolerance):
+            failures.append(
+                f"{name}: {metric} = {value:.3g} regressed >"
+                f"{tolerance:.0%} vs baseline {before:.3g}")
+    return failures
+
+
+def check_alloc_gate(benches: list[dict], max_allocs: float) -> list[str]:
+    """Kernel and live steady-state loops must not allocate."""
+    failures = []
+    for row in benches:
+        for key in ("allocs_per_item_steady", "allocs_per_event_steady"):
+            if key in row and row[key] > max_allocs:
+                failures.append(f"{row['name']}: {key} = {row[key]:.4g} "
+                                f"(max {max_allocs:g})")
+    return failures
+
 
 def main() -> int:
     parser = argparse.ArgumentParser(
@@ -107,53 +165,93 @@ def main() -> int:
     parser.add_argument("--skip-google-bench", action="store_true",
                         help="only run bench_main (e.g. when "
                              "libbenchmark is unavailable)")
+    parser.add_argument("--live-out", type=Path, default=None,
+                        help="also run bench_live and write its report "
+                             "here (enables the live ratio gates)")
+    parser.add_argument("--live-baseline", type=Path, default=None,
+                        help="previous BENCH_live.json to hold the gated "
+                             "ratios against")
+    parser.add_argument("--live-simtime", type=float, default=300.0,
+                        help="model seconds for the live_pool probe")
+    parser.add_argument("--gate-tolerance", type=float, default=0.15,
+                        help="allowed relative regression on gated live "
+                             "ratios vs --live-baseline (default 0.15)")
+    parser.add_argument("--skip-kernel", action="store_true",
+                        help="only run the live suite (requires --live-out)")
     args = parser.parse_args()
+    if args.skip_kernel and not args.live_out:
+        parser.error("--skip-kernel requires --live-out")
 
-    kernel = run_bench_main(args.build, args.mintime, args.simtime)
-    benches = list(kernel.get("benches", []))
+    benches: list[dict] = []
+    if not args.skip_kernel:
+        kernel = run_bench_binary(args.build, "bench_main", args.mintime,
+                                  args.simtime)
+        benches = list(kernel.get("benches", []))
 
     micro = []
-    if not args.skip_google_bench:
+    if not args.skip_kernel and not args.skip_google_bench:
         micro = run_google_micro(args.build, "bench_micro_sim", args.mintime)
 
-    baseline = load_baseline(args.baseline) if args.baseline else {}
-    for row in benches:
-        before = baseline.get(row["name"], {})
-        for metric in RATE_METRICS:
-            if metric in row and before.get(metric):
-                row["speedup"] = row[metric] / before[metric]
+    live_benches: list[dict] = []
+    live_baseline: dict[str, dict[str, float]] = {}
+    if args.live_out:
+        live = run_bench_binary(args.build, "bench_live", args.mintime,
+                                args.live_simtime)
+        live_benches = list(live.get("benches", []))
+        if args.live_baseline and args.live_baseline.exists():
+            live_baseline = load_baseline(args.live_baseline)
 
-    report = {
-        "schema": "mci-bench-kernel-v1",
-        "benches": benches,
-        "google_benchmark": [
-            {
-                "name": b.get("name"),
-                "items_per_second": b.get("items_per_second"),
-                "sim_s_per_s": b.get("sim_s_per_s"),
-                "real_time_ns": b.get("real_time"),
-            }
-            for b in micro
-        ],
-        "baseline": str(args.baseline) if args.baseline else None,
-    }
-    args.out.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"bench_report: wrote {args.out}", file=sys.stderr)
+    baseline = load_baseline(args.baseline) if args.baseline else {}
+    for rows, base in ((benches, baseline), (live_benches, live_baseline)):
+        for row in rows:
+            before = base.get(row["name"], {})
+            for metric in RATE_METRICS:
+                if metric in row and before.get(metric):
+                    row["speedup"] = row[metric] / before[metric]
+
+    if not args.skip_kernel:
+        report = {
+            "schema": "mci-bench-kernel-v1",
+            "benches": benches,
+            "google_benchmark": [
+                {
+                    "name": b.get("name"),
+                    "items_per_second": b.get("items_per_second"),
+                    "sim_s_per_s": b.get("sim_s_per_s"),
+                    "real_time_ns": b.get("real_time"),
+                }
+                for b in micro
+            ],
+            "baseline": str(args.baseline) if args.baseline else None,
+        }
+        args.out.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"bench_report: wrote {args.out}", file=sys.stderr)
+
+    if args.live_out:
+        live_report = {
+            "schema": "mci-bench-live-v1",
+            "benches": live_benches,
+            "baseline": str(args.live_baseline)
+            if args.live_baseline else None,
+        }
+        args.live_out.write_text(json.dumps(live_report, indent=2) + "\n")
+        print(f"bench_report: wrote {args.live_out}", file=sys.stderr)
 
     # The allocation gate: the kernel benches must not allocate in steady
     # state. full_sim allocs are informational (reports, metric series).
-    failures = []
-    for row in benches:
-        for key in ("allocs_per_item_steady", "allocs_per_event_steady"):
-            if key in row and row[key] > args.max_allocs:
-                failures.append(f"{row['name']}: {key} = {row[key]:.4g} "
-                                f"(max {args.max_allocs:g})")
+    failures = check_alloc_gate(benches + live_benches, args.max_allocs)
+    if args.live_out:
+        failures += check_live_gates(live_benches, live_baseline,
+                                     args.gate_tolerance)
     if failures:
-        print("bench_report: allocation gate FAILED:", file=sys.stderr)
+        print("bench_report: gates FAILED:", file=sys.stderr)
         for f in failures:
             print("  " + f, file=sys.stderr)
         return 1
-    print("bench_report: allocation gate passed "
+    gates = "allocation gate"
+    if args.live_out:
+        gates += " + live ratio gates"
+    print(f"bench_report: {gates} passed "
           f"(<= {args.max_allocs:g} allocs/event)", file=sys.stderr)
     return 0
 
