@@ -1,6 +1,7 @@
 #include "live/broadcast_server.hpp"
 
 #include <arpa/inet.h>
+#include <netinet/tcp.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
 #include <sys/uio.h>
@@ -188,6 +189,10 @@ void BroadcastServer::onAcceptable() {
       ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &opts_.sendBufferBytes,
                    sizeof opts_.sendBufferBytes);
     }
+    // DataItem fills and check acks must beat the next broadcast; Nagle
+    // would park these small frames behind the client's delayed ACK.
+    const int nodelay = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof nodelay);
     ++stats_.connectionsAccepted;
     Conn conn;
     conn.peer = peer;
@@ -572,9 +577,12 @@ void BroadcastServer::fanOutReport() {
   if (Reactor::supportsBatchedUdp()) {
     batchAddrs_.clear();
     for (auto& [fd, conn] : conns_) {
-      if (!conn.welcomed) continue;
-      // MCI-ANALYZE-ALLOW(hot-path-alloc): grows to the connection count's
-      // high-water mark only; cleared (capacity kept) every tick.
+      // Port 0 is the Hello's opt-out: a multiplexing endpoint (swarm) or
+      // multicast client that has no per-connection downlink of its own.
+      if (!conn.welcomed || conn.udpAddr.sin_port == 0) continue;
+      // Grows to the connection count's high-water mark only; cleared
+      // (capacity kept) every tick.
+      // MCI-ANALYZE-ALLOW(hot-path-alloc): scratch high-water capacity
       batchAddrs_.push_back(&conn.udpAddr);
     }
     const UdpBatchSender::Result res = batchSender_.sendToMany(
@@ -588,7 +596,7 @@ void BroadcastServer::fanOutReport() {
     // per-socket loop so this tick still goes out.
   }
   for (auto& [fd, conn] : conns_) {
-    if (!conn.welcomed) continue;
+    if (!conn.welcomed || conn.udpAddr.sin_port == 0) continue;
     ++stats_.udpSendSyscalls;
     const ssize_t n = ::sendto(
         udpFd_, reportArena_.data(), reportArena_.size(), MSG_DONTWAIT,

@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <fcntl.h>
+#include <netinet/tcp.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
 #include <sys/uio.h>
@@ -95,6 +96,12 @@ std::unique_ptr<ClientAgent::Link> ClientAgent::makeLink(
   if (link->tcpFd < 0) {
     throw std::runtime_error("live agent: socket() failed");
   }
+  // Queries and checks are small, latency-bound frames; disable Nagle so
+  // a fill round trip stays sub-millisecond instead of stretching past a
+  // broadcast period behind the peer's delayed ACK.
+  const int nodelay = 1;
+  ::setsockopt(link->tcpFd, IPPROTO_TCP, TCP_NODELAY, &nodelay,
+               sizeof nodelay);
 
   sockaddr_in server{};
   server.sin_family = AF_INET;
@@ -406,12 +413,20 @@ void ClientAgent::onDataItem(Link& link, const wire::DataItem& d) {
   if (link.scheme == nullptr) return;
   pool_.advanceModelTime(d.readTime);
   pool_.collector_->onClientRx(pool_.sizes_.dataItemBits());
-  cache::Entry entry;
-  entry.item = d.item;
-  entry.version = d.version;
-  entry.refTime = d.readTime;
-  entry.suspect = false;
-  link.ctx->cache().insert(entry);
+  // Cache the copy only if it is no older than the shard's consistency
+  // point. The TCP reply and the UDP report stream are unordered: a report
+  // processed between the fetch and this reply may have listed an update
+  // for the item while it was still absent (a no-op invalidation), so a
+  // copy read before lastHeard cannot be trusted — drop it and let the
+  // next query miss again.
+  if (d.readTime >= link.ctx->lastHeard()) {
+    cache::Entry entry;
+    entry.item = d.item;
+    entry.version = d.version;
+    entry.refTime = d.readTime;
+    entry.suspect = false;
+    link.ctx->cache().insert(entry);
+  }
 
   auto it = std::find(link.fetch.begin(), link.fetch.end(), d.item);
   if (it != link.fetch.end()) link.fetch.erase(it);

@@ -140,10 +140,11 @@ std::size_t frameSize(const std::uint8_t* data, std::size_t len) {
   return kHeaderBytes + bytes;
 }
 
-std::optional<Frame> decodeFrame(const std::uint8_t* data, std::size_t len) {
+std::optional<FrameView> decodeFrameView(const std::uint8_t* data,
+                                         std::size_t len) {
   const std::size_t total = frameSize(data, len);
   if (total == 0 || len < total) return std::nullopt;
-  Frame f;
+  FrameView f;
   report::BitReader hdr(data, kHeaderBytes);
   hdr.skip(16);  // magic, already validated by frameSize()
   f.header.version = static_cast<std::uint8_t>(hdr.read(8));
@@ -164,7 +165,17 @@ std::optional<Frame> decodeFrame(const std::uint8_t* data, std::size_t len) {
   if (crc != f.header.checksum) return std::nullopt;
 
   // MCI-ANALYZE-ALLOW(codec-bounds): len >= total checked on entry
-  f.payload.assign(data + kHeaderBytes, data + total);
+  f.payload = std::span<const std::uint8_t>(data + kHeaderBytes,
+                                            total - kHeaderBytes);
+  return f;
+}
+
+std::optional<Frame> decodeFrame(const std::uint8_t* data, std::size_t len) {
+  std::optional<FrameView> v = decodeFrameView(data, len);
+  if (!v) return std::nullopt;
+  Frame f;
+  f.header = v->header;
+  f.payload.assign(v->payload.begin(), v->payload.end());
   return f;
 }
 
@@ -245,10 +256,17 @@ std::optional<Welcome> decodeWelcome(const std::vector<std::uint8_t>& payload) {
   return m;
 }
 
+void encodeQueryRequestInto(std::span<const db::ItemId> items,
+                            report::BitWriter& w) {
+  MCI_DCHECK(items.size() <= 0xFFFF)
+      << "QueryRequest overflows the 16-bit count: " << items.size();
+  w.write(items.size(), 16);
+  for (db::ItemId item : items) w.write(item, 32);
+}
+
 std::vector<std::uint8_t> encodeQueryRequest(const QueryRequest& m) {
   report::BitWriter w;
-  w.write(m.items.size(), 16);
-  for (db::ItemId item : m.items) w.write(item, 32);
+  encodeQueryRequestInto(m.items, w);
   return w.finish();
 }
 
@@ -285,8 +303,7 @@ std::optional<DataItem> decodeDataItem(
   return m;
 }
 
-std::vector<std::uint8_t> encodeCheck(const Check& m) {
-  report::BitWriter w;
+void encodeCheckInto(const Check& m, report::BitWriter& w) {
   w.write(doubleBits(m.tlb), 64);
   w.write(m.epoch, 64);
   w.write(doubleBits(m.sizeBits), 64);
@@ -295,6 +312,11 @@ std::vector<std::uint8_t> encodeCheck(const Check& m) {
     w.write(e.item, 32);
     w.write(doubleBits(e.time), 64);
   }
+}
+
+std::vector<std::uint8_t> encodeCheck(const Check& m) {
+  report::BitWriter w;
+  encodeCheckInto(m, w);
   return w.finish();
 }
 
@@ -390,7 +412,7 @@ void FrameBuffer::append(const std::uint8_t* data, std::size_t len) {
   buf_.insert(buf_.end(), data, data + len);
 }
 
-std::optional<Frame> FrameBuffer::next() {
+std::optional<FrameView> FrameBuffer::nextView() {
   MCI_DCHECK(off_ <= buf_.size())
       << "FrameBuffer cursor past end: off=" << off_ << " size="
       << buf_.size();
@@ -405,12 +427,12 @@ std::optional<Frame> FrameBuffer::next() {
     }
     if (avail < total) return std::nullopt;
     // frameSize() promised a full frame no shorter than its header and no
-    // longer than what we buffered; decodeFrame reads exactly [off_, total).
+    // longer than what we buffered; the decoder reads exactly [off_, total).
     MCI_CHECK(total >= kHeaderBytes && off_ + total <= buf_.size())
         << "frame length " << total << " escapes buffer: off=" << off_
         << " size=" << buf_.size();
     // MCI-ANALYZE-ALLOW(codec-bounds): off_ + total <= buf_.size() here
-    std::optional<Frame> f = decodeFrame(buf_.data() + off_, total);
+    std::optional<FrameView> f = decodeFrameView(buf_.data() + off_, total);
     off_ += total;
     if (!f) {
       ++badFrames_;
@@ -419,6 +441,15 @@ std::optional<Frame> FrameBuffer::next() {
     return f;
   }
   return std::nullopt;
+}
+
+std::optional<Frame> FrameBuffer::next() {
+  std::optional<FrameView> v = nextView();
+  if (!v) return std::nullopt;
+  Frame f;
+  f.header = v->header;
+  f.payload.assign(v->payload.begin(), v->payload.end());
+  return f;
 }
 
 }  // namespace mci::live::wire

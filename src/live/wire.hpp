@@ -65,6 +65,17 @@ struct Frame {
   std::vector<std::uint8_t> payload;
 };
 
+/// A decoded frame whose payload still lives in the caller's (or a
+/// FrameBuffer's) storage: the allocation-free twin of Frame. The span is
+/// valid only as long as the underlying buffer — consume before the next
+/// append()/receive. The swarm mux processes every steady-state frame
+/// (kReport, kDataItem, kCheckAck) through views, which is what makes its
+/// per-client-tick allocation count zero.
+struct FrameView {
+  FrameHeader header;
+  std::span<const std::uint8_t> payload;
+};
+
 /// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320). `seed` chains
 /// multi-buffer computation: pass a previous call's return value.
 [[nodiscard]] std::uint32_t crc32(const std::uint8_t* data, std::size_t len,
@@ -121,14 +132,25 @@ class FrameArena {
 [[nodiscard]] std::optional<Frame> decodeFrame(const std::uint8_t* data,
                                                std::size_t len);
 
+/// decodeFrame without the payload copy: same validation, the returned
+/// view's payload aliases [data + kHeaderBytes, ...). decodeFrame is
+/// implemented on top of this.
+[[nodiscard]] MCI_HOT std::optional<FrameView> decodeFrameView(
+    const std::uint8_t* data, std::size_t len);
+
 // --- control payload codecs -------------------------------------------
 // Field widths are fixed (not SizeModel-derived) so both ends can parse
 // before configuration is exchanged. Times travel as raw IEEE-754 bits:
 // control timestamps must not lose precision to the report quantizer.
 
 struct Hello {
-  std::uint16_t udpPort = 0;  ///< where this client listens for kReport
-  bool audit = false;         ///< echo cache answers as kAudit frames
+  /// Where this client listens for kReport. 0 opts out of the unicast IR
+  /// fan-out entirely: the server skips this connection when broadcasting.
+  /// Multiplexing endpoints (the swarm's extra uplink connections, which
+  /// share one downlink socket per shard) and multicast shards (where the
+  /// group, not the Hello, names the downlink) send 0.
+  std::uint16_t udpPort = 0;
+  bool audit = false;  ///< echo cache answers as kAudit frames
 };
 
 /// Payload-format version of the Welcome handshake. v2 added a leading
@@ -210,6 +232,13 @@ struct Audit {
 
 [[nodiscard]] std::vector<std::uint8_t> encodeQueryRequest(
     const QueryRequest& m);
+/// Appends the QueryRequest payload for `items` to `w` (typically a
+/// FrameArena writer): the allocation-free encoder the swarm mux batches
+/// many clients' fetches through. encodeQueryRequest routes through this,
+/// so the two can never drift. Requires items.size() <= 65535 (the wire's
+/// 16-bit count); callers split larger batches.
+MCI_HOT void encodeQueryRequestInto(std::span<const db::ItemId> items,
+                                    report::BitWriter& w);
 [[nodiscard]] std::optional<QueryRequest> decodeQueryRequest(
     const std::vector<std::uint8_t>& payload);
 
@@ -218,6 +247,10 @@ struct Audit {
     const std::vector<std::uint8_t>& payload);
 
 [[nodiscard]] std::vector<std::uint8_t> encodeCheck(const Check& m);
+/// Appends the Check payload to `w`; encodeCheck routes through this. The
+/// adaptive Tlb feedback (empty `entries`) is the swarm's steady uplink
+/// shape, sent through a FrameArena without allocating.
+MCI_HOT void encodeCheckInto(const Check& m, report::BitWriter& w);
 [[nodiscard]] std::optional<Check> decodeCheck(
     const std::vector<std::uint8_t>& payload);
 
@@ -246,6 +279,12 @@ class FrameBuffer {
   /// Next complete, verified frame; nullopt when more bytes are needed or
   /// the stream is corrupt.
   [[nodiscard]] std::optional<Frame> next();
+
+  /// next() without the payload copy: the view aliases the internal buffer
+  /// and stays valid until the next append() (nextView/next only advance
+  /// the cursor). Same skip-bad-frame and corruption semantics; next() is
+  /// implemented on top of this.
+  [[nodiscard]] MCI_HOT std::optional<FrameView> nextView();
 
   [[nodiscard]] bool corrupt() const { return corrupt_; }
   [[nodiscard]] std::uint64_t badFrames() const { return badFrames_; }

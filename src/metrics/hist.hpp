@@ -65,6 +65,22 @@ class Hist {
     return max_;
   }
 
+  /// Folds another histogram into this one. Exact for count/sum/max and for
+  /// every bucket population — log2 buckets are position-aligned, so a
+  /// merge of per-cohort histograms yields the same pct() answers as one
+  /// histogram that had seen every sample (up to the shared in-bucket
+  /// interpolation). This is how the swarm emulator aggregates per-cohort
+  /// AoI/latency p50/p99/p999 into run-level stats without a shared
+  /// histogram on the hot path.
+  void merge(const Hist& other) {
+    count_ += other.count_;
+    sum_ += other.sum_;
+    max_ = std::max(max_, other.max_);
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+      buckets_[b] += other.buckets_[b];
+    }
+  }
+
   void reset() { *this = Hist{}; }
 
  private:

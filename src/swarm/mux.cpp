@@ -1,0 +1,541 @@
+#include "swarm/mux.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "net/message.hpp"
+
+namespace mci::swarm {
+namespace {
+
+int makeNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return -1;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+UplinkMux::UplinkMux(live::Reactor& reactor, SwarmSink& sink, Options opts)
+    : reactor_(reactor), sink_(sink), opts_(std::move(opts)) {
+  MCI_CHECK(opts_.endpointsPerShard >= 1);
+  MCI_CHECK(opts_.maxItemsPerQueryFrame >= 1 &&
+            opts_.maxItemsPerQueryFrame <= 0xFFFF);
+}
+
+UplinkMux::~UplinkMux() { closeAll(); }
+
+std::uint16_t UplinkMux::boundPort(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return 0;
+  }
+  return ntohs(addr.sin_port);
+}
+
+int UplinkMux::openDownlinkUdp(std::uint32_t ipv4, std::uint32_t mcastIpv4,
+                               std::uint16_t mcastPort) {
+  const int fd =
+      ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw std::runtime_error("swarm mux: UDP socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  if (mcastIpv4 != 0) {
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    addr.sin_port = htons(mcastPort);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+        0) {
+      ::close(fd);
+      throw std::runtime_error("swarm mux: multicast UDP bind failed");
+    }
+    ip_mreq mreq{};
+    mreq.imr_multiaddr.s_addr = htonl(mcastIpv4);
+    mreq.imr_interface.s_addr = htonl(ipv4);
+    if (::setsockopt(fd, IPPROTO_IP, IP_ADD_MEMBERSHIP, &mreq,
+                     sizeof mreq) != 0) {
+      ::close(fd);
+      throw std::runtime_error("swarm mux: multicast join failed");
+    }
+  } else {
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+        0) {
+      ::close(fd);
+      throw std::runtime_error("swarm mux: UDP bind failed");
+    }
+  }
+  // The whole swarm's IR stream funnels through one socket per shard;
+  // give the kernel room for a tick burst that the engine is still
+  // chewing on (best effort — the cap may clamp it).
+  const int rcvbuf = 1 << 21;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof rcvbuf);
+  return fd;
+}
+
+std::unique_ptr<UplinkMux::Conn> UplinkMux::dialConn(std::uint32_t shard,
+                                                     std::uint32_t endpoint,
+                                                     std::uint32_t ipv4,
+                                                     std::uint16_t tcpPort) {
+  auto conn = std::make_unique<Conn>();
+  conn->shard = shard;
+  conn->endpoint = endpoint;
+  conn->fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (conn->fd < 0) throw std::runtime_error("swarm mux: socket() failed");
+  // Fetch frames are small and latency-bound: without TCP_NODELAY, Nagle
+  // holds them behind the peer's delayed ACK and a loopback round trip
+  // stretches to tens of milliseconds — a whole broadcast period at high
+  // time scales, turning every miss fill into a late (discarded) copy.
+  const int one = 1;
+  ::setsockopt(conn->fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+  sockaddr_in server{};
+  server.sin_family = AF_INET;
+  server.sin_addr.s_addr = htonl(ipv4);
+  server.sin_port = htons(tcpPort);
+  // Blocking connect (instant on loopback), then non-blocking I/O — the
+  // same deliberate exception ClientAgent::makeLink documents.
+  // MCI-ANALYZE-ALLOW(reactor-blocking): loopback connect, one RTT
+  if (::connect(conn->fd, reinterpret_cast<const sockaddr*>(&server),
+                sizeof server) != 0 ||
+      makeNonBlocking(conn->fd) != 0) {
+    ::close(conn->fd);
+    throw std::runtime_error("swarm mux: connect failed");
+  }
+
+  Conn* cp = conn.get();
+  reactor_.addFd(conn->fd, EPOLLIN,
+                 [this, cp](std::uint32_t ev) { onTcp(*cp, ev); });
+  return conn;
+}
+
+void UplinkMux::sendHello(Conn& conn, std::uint16_t udpPort) {
+  live::wire::Hello h;
+  h.udpPort = udpPort;
+  h.audit = false;  // the swarm audits locally against the real databases
+  const std::vector<std::uint8_t> payload = live::wire::encodeHello(h);
+  const auto frame =
+      live::wire::encodeFrame(live::wire::FrameType::kHello,
+                              live::wire::kNoScheme,
+                              net::TrafficClass::kControl, payload);
+  conn.out.insert(conn.out.end(), frame.begin(), frame.end());
+  flushOut(conn);
+}
+
+void UplinkMux::connect() {
+  in_addr seed{};
+  if (::inet_pton(AF_INET, opts_.host.c_str(), &seed) != 1) {
+    throw std::runtime_error("swarm mux: bad host " + opts_.host);
+  }
+  // Seed link at slot 0 until the Welcome names its shard; its downlink is
+  // unicast-bound now and swapped if the shard turns out to be multicast.
+  auto link = std::make_unique<Link>();
+  link->shard = kUnknownShard;
+  link->udpFd = openDownlinkUdp(ntohl(seed.s_addr), 0, 0);
+  Link* lp = link.get();
+  reactor_.addFd(link->udpFd, EPOLLIN,
+                 [this, lp](std::uint32_t ev) { onUdp(*lp, ev); });
+  link->conns.push_back(dialConn(kUnknownShard, 0, ntohl(seed.s_addr),
+                                 opts_.port));
+  const std::uint16_t port = boundPort(link->udpFd);
+  links_.push_back(std::move(link));
+  sendHello(*links_.front()->conns.front(), port);
+}
+
+void UplinkMux::buildCluster(const live::wire::Welcome& w) {
+  map_ = w.shardMap;
+  const std::uint32_t shards = map_.shardCount();
+  MCI_CHECK(shards >= 1);
+
+  std::unique_ptr<Link> seedLink = std::move(links_.front());
+  links_.clear();
+  links_.resize(shards);
+  seedLink->shard = w.shardIndex;
+  seedLink->conns.front()->shard = w.shardIndex;
+
+  const live::ShardEndpoint& seedEp = map_.endpoint(w.shardIndex);
+  if (seedEp.multicastIpv4 != 0) {
+    // The seed downlink was dialed unicast before the map was known, but
+    // this shard only broadcasts to its group: swap in a joined socket.
+    reactor_.removeFd(seedLink->udpFd);
+    ::close(seedLink->udpFd);
+    seedLink->udpFd = openDownlinkUdp(seedEp.ipv4, seedEp.multicastIpv4,
+                                      seedEp.multicastPort);
+    Link* lp = seedLink.get();
+    reactor_.addFd(seedLink->udpFd, EPOLLIN,
+                   [this, lp](std::uint32_t ev) { onUdp(*lp, ev); });
+  }
+  links_[w.shardIndex] = std::move(seedLink);
+
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    const live::ShardEndpoint& ep = map_.endpoint(s);
+    if (links_[s] == nullptr) {
+      auto link = std::make_unique<Link>();
+      link->shard = s;
+      link->udpFd = openDownlinkUdp(ep.ipv4, ep.multicastIpv4,
+                                    ep.multicastPort);
+      Link* lp = link.get();
+      reactor_.addFd(link->udpFd, EPOLLIN,
+                     [this, lp](std::uint32_t ev) { onUdp(*lp, ev); });
+      links_[s] = std::move(link);
+    }
+    Link& link = *links_[s];
+    const bool multicast = ep.multicastIpv4 != 0;
+    const std::uint16_t downlinkPort =
+        multicast ? 0 : boundPort(link.udpFd);
+    for (std::uint32_t e =
+             static_cast<std::uint32_t>(link.conns.size());
+         e < opts_.endpointsPerShard; ++e) {
+      link.conns.push_back(dialConn(s, e, ep.ipv4, ep.tcpPort));
+      // Endpoint 0 owns the shard's one downlink; every other endpoint
+      // opts out of the unicast fan-out with port 0 (see wire::Hello).
+      sendHello(*link.conns.back(), e == 0 ? downlinkPort : 0);
+    }
+  }
+}
+
+void UplinkMux::handleWelcome(Conn& conn, const live::wire::Welcome& w) {
+  if (conn.welcomed) return;
+  conn.welcomed = true;
+  ++welcomedConns_;
+  if (!sawWelcome_) {
+    sawWelcome_ = true;
+    sink_.onWelcome(w);   // configure the engine before any report lands
+    buildCluster(w);      // seed conn counted above; dials the rest
+  }
+  const std::size_t want = static_cast<std::size_t>(map_.shardCount()) *
+                           opts_.endpointsPerShard;
+  if (!ready_ && map_.valid() && welcomedConns_ == want) {
+    ready_ = true;
+    sink_.onMuxReady();
+  }
+}
+
+void UplinkMux::onUdp(Link& link, std::uint32_t events) {
+  if (opts_.allocProbe == nullptr) {
+    onUdpIo(link, events);
+    return;
+  }
+  const std::uint64_t before = opts_.allocProbe();
+  onUdpIo(link, events);
+  stats_.hotAllocs += opts_.allocProbe() - before;
+}
+
+void UplinkMux::onTcp(Conn& conn, std::uint32_t events) {
+  if (opts_.allocProbe == nullptr) {
+    onTcpIo(conn, events);
+    return;
+  }
+  const std::uint64_t before = opts_.allocProbe();
+  onTcpIo(conn, events);
+  stats_.hotAllocs += opts_.allocProbe() - before;
+}
+
+void UplinkMux::onUdpIo(Link& link, std::uint32_t events) {
+  if ((events & EPOLLIN) == 0) return;
+  if (live::Reactor::supportsBatchedUdp() && !udpRecvFellBack_) {
+    for (;;) {
+      bool fellBack = false;
+      const int n = udpReceiver_.receive(link.udpFd, fellBack);
+      ++stats_.udpRecvSyscalls;
+      if (fellBack) {
+        udpRecvFellBack_ = true;
+        break;
+      }
+      if (n == 0) return;  // drained
+      for (int i = 0; i < n; ++i) {
+        const live::UdpBatchReceiver::Datagram d = udpReceiver_.datagram(i);
+        handleDatagram(link, d.data, d.len);
+      }
+    }
+  }
+  std::uint8_t buf[1 << 16];
+  for (;;) {
+    // MCI-ANALYZE-ALLOW(reactor-blocking): udpFd is SOCK_NONBLOCK
+    const ssize_t n = ::recv(link.udpFd, buf, sizeof buf, 0);
+    ++stats_.udpRecvSyscalls;
+    if (n <= 0) return;  // EAGAIN drained, or transient error
+    handleDatagram(link, buf, static_cast<std::size_t>(n));
+  }
+}
+
+void UplinkMux::handleDatagram(Link& link, const std::uint8_t* data,
+                               std::size_t len) {
+  const std::optional<live::wire::FrameView> f =
+      live::wire::decodeFrameView(data, len);
+  if (!f || f->header.type != live::wire::FrameType::kReport) {
+    ++stats_.badFrames;
+    return;
+  }
+  if (link.shard == kUnknownShard) {
+    // A report raced the seed Welcome; without the map there is no engine
+    // configuration to apply it to. The next tick repeats the news.
+    ++stats_.ignoredFrames;
+    return;
+  }
+  ++stats_.reportsHeard;
+  sink_.onReportPayload(link.shard, f->payload.data(), f->payload.size());
+}
+
+void UplinkMux::onTcpIo(Conn& conn, std::uint32_t events) {
+  if (conn.fd < 0) return;
+  if ((events & EPOLLOUT) != 0) flushOut(conn);
+  if (conn.fd < 0 || (events & EPOLLIN) == 0) return;
+  std::uint8_t buf[1 << 16];
+  for (;;) {
+    // MCI-ANALYZE-ALLOW(reactor-blocking): fd is O_NONBLOCK (dialConn)
+    const ssize_t n = ::recv(conn.fd, buf, sizeof buf, 0);
+    if (n == 0) {
+      dropConn(conn);
+      return;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      dropConn(conn);
+      return;
+    }
+    conn.in.append(buf, static_cast<std::size_t>(n));
+    while (auto f = conn.in.nextView()) {
+      handleFrameView(conn, *f);
+      if (conn.fd < 0) return;
+    }
+    if (conn.in.corrupt()) {
+      dropConn(conn);
+      return;
+    }
+  }
+}
+
+void UplinkMux::handleFrameView(Conn& conn, const live::wire::FrameView& f) {
+  using live::wire::FrameType;
+  switch (f.header.type) {
+    case FrameType::kWelcome: {
+      // Handshake path: the allocating decoder is fine here.
+      const std::vector<std::uint8_t> payload(f.payload.begin(),
+                                              f.payload.end());
+      if (auto w = live::wire::decodeWelcome(payload)) {
+        handleWelcome(conn, *w);
+      } else {
+        ++stats_.badFrames;
+      }
+      return;
+    }
+    case FrameType::kDataItem: {
+      // [item:32][version:32][readTime:64 raw double] — parsed in place.
+      report::BitReader r(f.payload.data(), f.payload.size());
+      const auto item = static_cast<db::ItemId>(r.read(32));
+      const auto version = static_cast<db::Version>(r.read(32));
+      const double readTime = std::bit_cast<double>(r.read(64));
+      if (!r.ok()) {
+        ++stats_.badFrames;
+        return;
+      }
+      if (conn.fetchQueue.empty()) {
+        ++stats_.badFrames;  // reply with no outstanding request
+        return;
+      }
+      const PendingFetch pf = conn.fetchQueue.front();
+      conn.fetchQueue.pop();
+      MCI_CHECK(pf.item == item)
+          << "swarm mux: fetch reply out of order (sent " << pf.item
+          << ", got " << item << ") on shard " << conn.shard << " endpoint "
+          << conn.endpoint;
+      ++stats_.dataItems;
+      sink_.onDataItem(conn.shard, pf.client, item, version, pf.tick,
+                       static_cast<Tick>(readTime * 1000.0 + 0.5));
+      return;
+    }
+    case FrameType::kCheckAck: {
+      // [epoch:64][asOf:64 raw double]
+      report::BitReader r(f.payload.data(), f.payload.size());
+      r.skip(64);  // epoch: adaptive feedback does not use it
+      const double asOf = std::bit_cast<double>(r.read(64));
+      if (!r.ok()) {
+        ++stats_.badFrames;
+        return;
+      }
+      if (conn.ackQueue.empty()) {
+        ++stats_.badFrames;
+        return;
+      }
+      const std::uint32_t client = conn.ackQueue.front();
+      conn.ackQueue.pop();
+      sink_.onCheckAck(conn.shard, client,
+                       static_cast<Tick>(asOf * 1000.0 + 0.5));
+      return;
+    }
+    default:
+      // kValidityReply (checking schemes only) and anything else the
+      // adaptive swarm has no use for.
+      ++stats_.ignoredFrames;
+      return;
+  }
+}
+
+void UplinkMux::queueFetch(std::uint32_t shard, std::uint32_t client,
+                           db::ItemId item, Tick tick) {
+  Link& link = *links_[shard];
+  Conn& conn = *link.conns[client % opts_.endpointsPerShard];
+  if (conn.fd < 0) return;  // endpoint died; the run is already unsound
+  // staged grows to the per-tick miss high-water mark only; cleared
+  // (capacity kept) every flush
+  // MCI-ANALYZE-ALLOW(hot-path-alloc): scratch high-water capacity
+  conn.staged.push_back(item);
+  conn.fetchQueue.push({client, item, tick});
+}
+
+void UplinkMux::flushFetches() {
+  for (auto& link : links_) {
+    for (auto& connPtr : link->conns) {
+      Conn& conn = *connPtr;
+      if (conn.staged.empty()) continue;
+      std::size_t off = 0;
+      while (off < conn.staged.size() && conn.fd >= 0) {
+        const std::size_t n = std::min<std::size_t>(
+            conn.staged.size() - off, opts_.maxItemsPerQueryFrame);
+        report::BitWriter w =
+            arena_.begin(live::wire::FrameType::kQueryRequest,
+                         live::wire::kNoScheme, net::TrafficClass::kBulk);
+        live::wire::encodeQueryRequestInto(
+            std::span<const db::ItemId>(conn.staged.data() + off, n), w);
+        arena_.finish(w);
+        ++stats_.queryFramesSent;
+        stats_.fetchesSent += n;
+        if (!sendArena(conn)) break;
+        off += n;
+      }
+      conn.staged.clear();
+    }
+  }
+}
+
+void UplinkMux::sendCheck(std::uint32_t shard, std::uint32_t client,
+                          double tlbSeconds, double sizeBits) {
+  Link& link = *links_[shard];
+  Conn& conn = *link.conns[client % opts_.endpointsPerShard];
+  if (conn.fd < 0) return;
+  live::wire::Check c;
+  c.tlb = tlbSeconds;
+  c.epoch = 0;  // FIFO correlation; the adaptive check carries no epoch
+  c.sizeBits = sizeBits;
+  report::BitWriter w =
+      arena_.begin(live::wire::FrameType::kCheck, live::wire::kNoScheme,
+                   net::TrafficClass::kControl);
+  live::wire::encodeCheckInto(c, w);
+  arena_.finish(w);
+  conn.ackQueue.push(client);
+  ++stats_.checksSent;
+  (void)sendArena(conn);
+}
+
+bool UplinkMux::sendArena(Conn& conn) {
+  if (conn.fd < 0) return false;
+  if (conn.outOff >= conn.out.size()) {
+    // Empty-queue fast path: write the arena frame straight to the socket.
+    // MCI-ANALYZE-ALLOW(reactor-blocking): fd is O_NONBLOCK (dialConn)
+    const ssize_t n = ::send(conn.fd, arena_.data(), arena_.size(),
+                             MSG_NOSIGNAL);
+    if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+      dropConn(conn);
+      return false;
+    }
+    const std::size_t sent = n > 0 ? static_cast<std::size_t>(n) : 0;
+    if (sent == arena_.size()) return true;
+    conn.out.clear();
+    conn.outOff = 0;
+    // MCI-ANALYZE-ALLOW(hot-path-alloc): backlog high-water mark only
+    conn.out.insert(conn.out.end(), arena_.data() + sent,
+                    arena_.data() + arena_.size());
+  } else {
+    // MCI-ANALYZE-ALLOW(hot-path-alloc): backlog high-water mark only
+    conn.out.insert(conn.out.end(), arena_.data(),
+                    arena_.data() + arena_.size());
+  }
+  if (!conn.wantWrite) {
+    conn.wantWrite = true;
+    reactor_.modifyFd(conn.fd, EPOLLIN | EPOLLOUT);
+  }
+  return conn.fd >= 0;
+}
+
+void UplinkMux::flushOut(Conn& conn) {
+  while (conn.fd >= 0 && conn.outOff < conn.out.size()) {
+    // MCI-ANALYZE-ALLOW(reactor-blocking): fd is O_NONBLOCK (dialConn)
+    const ssize_t n = ::send(conn.fd, conn.out.data() + conn.outOff,
+                             conn.out.size() - conn.outOff, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      dropConn(conn);
+      return;
+    }
+    conn.outOff += static_cast<std::size_t>(n);
+  }
+  if (conn.outOff >= conn.out.size()) {
+    conn.out.clear();
+    conn.outOff = 0;
+    if (conn.wantWrite) {
+      conn.wantWrite = false;
+      reactor_.modifyFd(conn.fd, EPOLLIN);
+    }
+  }
+}
+
+void UplinkMux::dropConn(Conn& conn) {
+  if (conn.fd < 0) return;
+  reactor_.removeFd(conn.fd);
+  ::close(conn.fd);
+  conn.fd = -1;
+  if (!shuttingDown_) {
+    ++stats_.connectionsLost;
+    sink_.onConnectionLost(conn.shard);
+  }
+}
+
+void UplinkMux::shutdown() {
+  shuttingDown_ = true;
+  const auto bye = live::wire::encodeFrame(live::wire::FrameType::kBye,
+                                           live::wire::kNoScheme,
+                                           net::TrafficClass::kControl, {});
+  for (auto& link : links_) {
+    for (auto& connPtr : link->conns) {
+      Conn& conn = *connPtr;
+      if (conn.fd < 0) continue;
+      // Best-effort Bye; the close right after is the real goodbye.
+      (void)::send(conn.fd, bye.data(), bye.size(), MSG_NOSIGNAL);
+    }
+  }
+  closeAll();
+}
+
+void UplinkMux::closeAll() {
+  for (auto& link : links_) {
+    if (link == nullptr) continue;
+    for (auto& connPtr : link->conns) {
+      if (connPtr->fd >= 0) {
+        reactor_.removeFd(connPtr->fd);
+        ::close(connPtr->fd);
+        connPtr->fd = -1;
+      }
+    }
+    if (link->udpFd >= 0) {
+      reactor_.removeFd(link->udpFd);
+      ::close(link->udpFd);
+      link->udpFd = -1;
+    }
+  }
+}
+
+}  // namespace mci::swarm

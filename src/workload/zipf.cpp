@@ -1,0 +1,40 @@
+#include "workload/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mci::workload {
+
+ZipfGenerator::ZipfGenerator(std::size_t numItems, double theta)
+    : n_(numItems), theta_(theta) {
+  if (n_ < 1) throw std::invalid_argument("zipf: numItems must be >= 1");
+  if (theta_ < 0.0 || theta_ >= 1.0) {
+    throw std::invalid_argument("zipf: theta must be in [0, 1)");
+  }
+  cdf_.resize(n_);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < n_; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k + 1), theta_);
+    cdf_[k] = sum;
+  }
+  zetan_ = sum;
+  // Normalize so the last bucket closes exactly at 1: a uniform draw can
+  // never fall off the table however the rounding went.
+  for (double& c : cdf_) c /= zetan_;
+  cdf_.back() = 1.0;
+}
+
+db::ItemId ZipfGenerator::pick(sim::Rng& rng) const {
+  const double u = rng.uniform01();
+  const std::size_t rank = static_cast<std::size_t>(
+      std::upper_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+  return static_cast<db::ItemId>(std::min(rank, n_ - 1));
+}
+
+double ZipfGenerator::probability(std::size_t rank) const {
+  if (rank >= n_) return 0.0;
+  return 1.0 / std::pow(static_cast<double>(rank + 1), theta_) / zetan_;
+}
+
+}  // namespace mci::workload

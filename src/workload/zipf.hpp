@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "db/item.hpp"
+#include "sim/random.hpp"
+
+namespace mci::workload {
+
+/// Zipf(theta) item-popularity generator over ranks [0, numItems): rank 0
+/// is the most popular item, rank k is drawn with probability proportional
+/// to 1/(k+1)^theta. theta = 0 degenerates to uniform; theta -> 1
+/// approaches the classic harmonic Zipf. Sampling is exact inverse-CDF:
+/// the cumulative table is built once at construction, pick() is one
+/// branchless-ish binary search and draws exactly one uniform from the
+/// caller's stream, so swarm clients can share one generator while keeping
+/// their per-client RNG streams decorrelated. (Gray et al.'s closed-form
+/// inversion — SIGMOD '94, the YCSB generator — is exact only for the top
+/// two ranks; its few-percent mid-head bias fails distribution-shape
+/// gates, so the exact table wins here.)
+class ZipfGenerator {
+ public:
+  /// Requires numItems >= 1 and theta in [0, 1).
+  ZipfGenerator(std::size_t numItems, double theta);
+
+  /// Draws one rank; consumes exactly one uniform01() from `rng`.
+  [[nodiscard]] db::ItemId pick(sim::Rng& rng) const;
+
+  /// Analytic probability of rank `k` (distribution-shape tests).
+  [[nodiscard]] double probability(std::size_t rank) const;
+
+  [[nodiscard]] std::size_t numItems() const { return n_; }
+  [[nodiscard]] double theta() const { return theta_; }
+
+ private:
+  std::size_t n_;
+  double theta_;
+  double zetan_;             ///< zeta(n, theta)
+  std::vector<double> cdf_;  ///< cdf_[k] = P[rank <= k], cdf_[n-1] == 1
+};
+
+}  // namespace mci::workload

@@ -1,0 +1,100 @@
+#include "workload/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace mci::workload {
+namespace {
+
+TEST(ZipfGenerator, AnalyticProbabilitiesSumToOne) {
+  for (const double theta : {0.0, 0.5, 0.99}) {
+    const ZipfGenerator z(500, theta);
+    double sum = 0;
+    for (std::size_t k = 0; k < z.numItems(); ++k) sum += z.probability(k);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "theta=" << theta;
+  }
+}
+
+TEST(ZipfGenerator, ProbabilityIsMonotoneNonIncreasingInRank) {
+  const ZipfGenerator z(1000, 0.8);
+  for (std::size_t k = 1; k < z.numItems(); ++k) {
+    EXPECT_LE(z.probability(k), z.probability(k - 1)) << "rank " << k;
+  }
+}
+
+TEST(ZipfGenerator, ThetaZeroIsUniform) {
+  const ZipfGenerator z(250, 0.0);
+  for (std::size_t k = 0; k < z.numItems(); ++k) {
+    EXPECT_NEAR(z.probability(k), 1.0 / 250.0, 1e-12);
+  }
+}
+
+TEST(ZipfGenerator, PicksStayInRange) {
+  const ZipfGenerator z(37, 0.9);
+  sim::Rng rng(123);
+  for (int i = 0; i < 20000; ++i) {
+    const db::ItemId item = z.pick(rng);
+    ASSERT_LT(item, 37u);
+  }
+}
+
+TEST(ZipfGenerator, SingleItemAlwaysRankZero) {
+  const ZipfGenerator z(1, 0.7);
+  sim::Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z.pick(rng), 0u);
+}
+
+TEST(ZipfGenerator, DeterministicForEqualSeeds) {
+  const ZipfGenerator z(1000, 0.6);
+  sim::Rng a(99);
+  sim::Rng b(99);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(z.pick(a), z.pick(b));
+}
+
+// The empirical pick frequency of every head rank must track the analytic
+// law: that is the property the swarm's workload knob is sold on.
+TEST(ZipfGenerator, EmpiricalHeadFrequenciesMatchAnalytic) {
+  const std::size_t n = 200;
+  const ZipfGenerator z(n, 0.8);
+  sim::Rng rng(2024);
+  const int draws = 400000;
+  std::vector<int> count(n, 0);
+  for (int i = 0; i < draws; ++i) ++count[z.pick(rng)];
+  for (std::size_t k = 0; k < 10; ++k) {
+    const double expect = z.probability(k);
+    const double got = static_cast<double>(count[k]) / draws;
+    // 5 sigma of a binomial proportion around the analytic value.
+    const double tol = 5.0 * std::sqrt(expect * (1 - expect) / draws);
+    EXPECT_NEAR(got, expect, tol) << "rank " << k;
+  }
+}
+
+// Skew sanity: a hotter theta concentrates more mass on the top ranks.
+TEST(ZipfGenerator, HigherThetaIsMoreSkewed) {
+  const ZipfGenerator cold(1000, 0.2);
+  const ZipfGenerator hot(1000, 0.95);
+  double coldHead = 0;
+  double hotHead = 0;
+  for (std::size_t k = 0; k < 10; ++k) {
+    coldHead += cold.probability(k);
+    hotHead += hot.probability(k);
+  }
+  EXPECT_GT(hotHead, coldHead * 2);
+}
+
+TEST(ZipfGenerator, PickConsumesExactlyOneUniform) {
+  const ZipfGenerator z(100, 0.5);
+  sim::Rng a(7);
+  sim::Rng b(7);
+  (void)z.pick(a);
+  (void)b.uniform01();
+  // After one draw each, the streams must be in lockstep again.
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.uniform01(), b.uniform01());
+}
+
+}  // namespace
+}  // namespace mci::workload

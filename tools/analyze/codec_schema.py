@@ -40,8 +40,9 @@ WIRE_SOURCES = ("src/live/wire.cpp", "src/live/shard_map.cpp")
 
 # Messages excluded from pairing: the frame envelope has a hand-rolled
 # byte-level encoder (encodeFrame does not use BitWriter), so its decoder
-# is not expected to have a BitWriter mirror.
-ENVELOPE_MESSAGES = ("Frame",)
+# is not expected to have a BitWriter mirror. FrameView is the in-place
+# decode of that same envelope (decodeFrameView), not a message of its own.
+ENVELOPE_MESSAGES = ("Frame", "FrameView")
 
 SCHEMA_PATH = "docs/wire_schema.json"
 DOCS_PATH = "docs/protocols.md"
@@ -50,7 +51,13 @@ DOCS_BEGIN = ("<!-- BEGIN GENERATED: wire-schema "
 DOCS_END = "<!-- END GENERATED: wire-schema -->"
 
 _ENCODE_FN_RE = re.compile(
-    r"std::vector<std::uint8_t>\s+encode(\w+)\s*\(")
+    r"std::vector<std::uint8_t>\s+encode(\w+?)(?:Into)?\s*\(")
+# Arena-style encoders write into a caller-supplied BitWriter so the hot
+# path can reuse one frame buffer (the swarm mux); the allocating
+# encodeX() wrapper delegates to encodeXInto() and writes no fields of
+# its own.
+_ENCODE_INTO_RE = re.compile(
+    r"void\s+encode(\w+)Into\s*\(")
 _ENCODE_TO_RE = re.compile(
     r"void\s+(\w+)::encodeTo\s*\(\s*report::BitWriter&")
 _DECODE_FN_RE = re.compile(
@@ -137,6 +144,7 @@ def _function_bodies(text: str) -> List[Tuple[str, str, str, int]]:
     ``text``; role is 'encode' or 'decode'."""
     out: List[Tuple[str, str, str, int]] = []
     for regex, role in ((_ENCODE_FN_RE, "encode"),
+                        (_ENCODE_INTO_RE, "encode"),
                         (_ENCODE_TO_RE, "encode"),
                         (_DECODE_FN_RE, "decode")):
         for m in regex.finditer(text):
@@ -319,6 +327,10 @@ def extract_text(text: str, into: Dict[str, Dict[str, List[dict]]],
         else:
             _parse_decoder(body, acc)
         sides = into.setdefault(msg, {})
+        if not acc.fields and sides.get(role):
+            # A delegating wrapper (encodeX -> encodeXInto) writes no
+            # fields itself; keep the side that does.
+            continue
         sides[role] = acc.fields
         sides.setdefault("locs", {})[role] = (rel, line)
 

@@ -81,6 +81,33 @@ def run_google_micro(build: Path, name: str, min_time: float) -> list[dict]:
     return []
 
 
+def run_swarm(build: Path, clients: int, simtime: float,
+              timescale: float) -> list[dict]:
+    """Runs the mci_swarm harness (swarm emulator vs equivalent-seed
+    ClientPool) in its committed gate configuration and returns its bench
+    rows for the live report. The model knobs are pinned here so the
+    hit_ratio_parity number is comparable across machines and runs: only
+    population size, horizon and time scale are runner-adjustable."""
+    exe = build / "src" / "mci_swarm"
+    if not exe.exists():
+        sys.exit(f"bench_report: {exe} not found — build the repo first")
+    cmd = [str(exe),
+           "--swarm-clients", str(clients),
+           "--simtime", str(simtime),
+           "--timescale", str(timescale),
+           "--dbsize", "1000",
+           "--bufferfrac", "0.1",
+           "--hotcold",
+           "--parity-agents", "8",
+           "--seed", "7"]
+    print("bench_report: running", " ".join(cmd), file=sys.stderr)
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        sys.exit(f"bench_report: mci_swarm failed ({proc.returncode})")
+    return list(json.loads(proc.stdout).get("benches", []))
+
+
 def load_baseline(path: Path) -> dict[str, dict[str, float]]:
     """Accepts either a previous BENCH_kernel.json or a raw bench_main dump;
     returns {bench name: {metric: value}}."""
@@ -134,6 +161,43 @@ def check_live_gates(benches: list[dict],
     return failures
 
 
+# Swarm fidelity gates, applied to every "swarm/<clients>" row. All three
+# are machine-independent: parity is a ratio of two hit ratios from the
+# same process, allocations are counted per client-tick, and stale reads
+# are audited against the in-process authoritative databases.
+SWARM_PARITY_FLOOR = 0.85        # min(hit)/max(hit) vs the agent pool
+SWARM_MAX_ALLOCS_PER_TICK = 0.01  # steady-state mux-callback allocations
+SWARM_BASELINE_METRICS = ("hit_ratio_parity", "clients_per_s")
+
+
+def check_swarm_gates(benches: list[dict],
+                      baseline: dict[str, dict[str, float]],
+                      tolerance: float) -> list[str]:
+    failures = []
+    for row in benches:
+        name = row.get("name", "")
+        if not name.startswith("swarm/"):
+            continue
+        parity = row.get("hit_ratio_parity", 0.0)
+        if parity < SWARM_PARITY_FLOOR:
+            failures.append(
+                f"{name}: hit_ratio_parity = {parity:.3f} below floor "
+                f"{SWARM_PARITY_FLOOR:g}")
+        allocs = row.get("allocs_per_client_tick", -1.0)
+        if allocs < 0 or allocs > SWARM_MAX_ALLOCS_PER_TICK:
+            failures.append(
+                f"{name}: allocs_per_client_tick = {allocs:.4g} "
+                f"(max {SWARM_MAX_ALLOCS_PER_TICK:g})")
+        if row.get("stale_reads", 0) != 0:
+            failures.append(f"{name}: stale_reads = {row['stale_reads']:g}")
+        before = baseline.get(name, {}).get("hit_ratio_parity")
+        if before and parity < before * (1.0 - tolerance):
+            failures.append(
+                f"{name}: hit_ratio_parity = {parity:.3f} regressed >"
+                f"{tolerance:.0%} vs baseline {before:.3f}")
+    return failures
+
+
 def check_alloc_gate(benches: list[dict], max_allocs: float) -> list[str]:
     """Kernel and live steady-state loops must not allocate."""
     failures = []
@@ -178,9 +242,22 @@ def main() -> int:
                              "ratios vs --live-baseline (default 0.15)")
     parser.add_argument("--skip-kernel", action="store_true",
                         help="only run the live suite (requires --live-out)")
+    parser.add_argument("--swarm", action="store_true",
+                        help="also run mci_swarm (swarm-vs-pool parity and "
+                             "allocs-per-client-tick gates); the row is "
+                             "merged into the --live-out report")
+    parser.add_argument("--swarm-clients", type=int, default=100000,
+                        help="emulated swarm population (default 100000)")
+    parser.add_argument("--swarm-simtime", type=float, default=2400.0,
+                        help="model seconds for the swarm and parity "
+                             "phases (default 2400)")
+    parser.add_argument("--swarm-timescale", type=float, default=60.0,
+                        help="model seconds per wall second (default 60)")
     args = parser.parse_args()
     if args.skip_kernel and not args.live_out:
         parser.error("--skip-kernel requires --live-out")
+    if args.swarm and not args.live_out:
+        parser.error("--swarm requires --live-out")
 
     benches: list[dict] = []
     if not args.skip_kernel:
@@ -198,6 +275,10 @@ def main() -> int:
         live = run_bench_binary(args.build, "bench_live", args.mintime,
                                 args.live_simtime)
         live_benches = list(live.get("benches", []))
+        if args.swarm:
+            live_benches += run_swarm(args.build, args.swarm_clients,
+                                      args.swarm_simtime,
+                                      args.swarm_timescale)
         if args.live_baseline and args.live_baseline.exists():
             live_baseline = load_baseline(args.live_baseline)
 
@@ -243,6 +324,9 @@ def main() -> int:
     if args.live_out:
         failures += check_live_gates(live_benches, live_baseline,
                                      args.gate_tolerance)
+    if args.swarm:
+        failures += check_swarm_gates(live_benches, live_baseline,
+                                      args.gate_tolerance)
     if failures:
         print("bench_report: gates FAILED:", file=sys.stderr)
         for f in failures:
