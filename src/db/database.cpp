@@ -18,6 +18,22 @@ void Database::applyUpdate(ItemId item, sim::SimTime now) {
   ++totalUpdates_;
 }
 
+void Database::installSnapshot(ItemId item,
+                               const std::vector<sim::SimTime>& times) {
+  assert(item < perItem_.size());
+  assert(std::is_sorted(times.begin(), times.end()));
+  PerItem& p = perItem_[item];
+  if (p.updateTimes.size() >= times.size()) return;  // local already newer
+  totalUpdates_ += times.size() - p.updateTimes.size();
+  p.updateTimes = times;
+  p.version = static_cast<Version>(times.size());
+}
+
+const std::vector<sim::SimTime>& Database::updateTimes(ItemId item) const {
+  assert(item < perItem_.size());
+  return perItem_[item].updateTimes;
+}
+
 Version Database::currentVersion(ItemId item) const {
   assert(item < perItem_.size());
   return perItem_[item].version;

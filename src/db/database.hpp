@@ -23,6 +23,17 @@ class Database {
   /// across calls.
   void applyUpdate(ItemId item, sim::SimTime now);
 
+  /// Replaces `item`'s state with an authoritative snapshot (reshard
+  /// handoff): the full ascending update-time list from the old owner. The
+  /// version is the list's length — the invariant applyUpdate maintains.
+  /// Keeps the local state when it is already at least as new (an update
+  /// the old owner applied before freezing always wins over none).
+  void installSnapshot(ItemId item, const std::vector<sim::SimTime>& times);
+
+  /// The full ascending update-time list for `item` (reshard handoff
+  /// source side; empty if never updated).
+  [[nodiscard]] const std::vector<sim::SimTime>& updateTimes(ItemId item) const;
+
   /// Current version of `item`.
   [[nodiscard]] Version currentVersion(ItemId item) const;
 

@@ -22,6 +22,41 @@ void UpdateHistory::record(ItemId item, sim::SimTime now) {
   ++revision_;
 }
 
+void UpdateHistory::spliceRecord(ItemId item, sim::SimTime t) {
+  assert(item < nodes_.size());
+  if (t == sim::kTimeEpoch) return;  // never updated: nothing to splice
+  Node& n = nodes_[item];
+  if (n.linked) {
+    if (n.lastTime >= t) return;  // the local record is already newer
+    unlink(item);
+  } else {
+    ++distinct_;
+  }
+  n.lastTime = t;
+  // Find the insertion point from the oldest end: times ascend walking
+  // tail -> head, and handoff times are old, so this stays a short walk.
+  std::uint32_t after = tail_;
+  while (after != kNone && nodes_[after].lastTime < t) {
+    after = nodes_[after].prev;
+  }
+  if (after == kNone) {
+    pushFront(item);
+  } else {
+    Node& a = nodes_[after];
+    n.prev = after;
+    n.next = a.next;
+    if (a.next != kNone) {
+      nodes_[a.next].prev = item;
+    } else {
+      tail_ = item;
+    }
+    a.next = item;
+    n.linked = true;
+  }
+  lastTime_ = std::max(lastTime_, t);
+  ++revision_;
+}
+
 std::vector<UpdateRecord> UpdateHistory::updatesAfter(sim::SimTime t) const {
   std::vector<UpdateRecord> out;
   updatesAfter(t, out);

@@ -26,6 +26,15 @@ class UpdateHistory {
   /// Records that `item` was updated at `now` (non-decreasing times).
   MCI_HOT void record(ItemId item, sim::SimTime now);
 
+  /// Splices a migrated item's last-update time into the list at its
+  /// sorted position (reshard handoff: `t` is usually OLDER than
+  /// lastUpdateTime(), which record() forbids). Walks from the tail, so a
+  /// splice costs O(items newer than t counted from the oldest) — cheap for
+  /// the old times a handoff carries. If the item is already listed with a
+  /// newer time, keeps the newer one. kTimeEpoch times are ignored (the
+  /// item was never updated; there is nothing to answer gaps about).
+  void spliceRecord(ItemId item, sim::SimTime t);
+
   /// Number of distinct items ever updated.
   [[nodiscard]] std::size_t distinctUpdated() const { return distinct_; }
 

@@ -1,6 +1,7 @@
 #include "live/broadcast_server.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/tcp.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
@@ -10,6 +11,7 @@
 #include <algorithm>
 #include <array>
 #include <cerrno>
+#include <cmath>
 #include <span>
 #include <stdexcept>
 #include <utility>
@@ -33,7 +35,7 @@ workload::AccessPattern makeUpdatePattern(const core::SimConfig& cfg) {
 BroadcastServer::BroadcastServer(Reactor& reactor, ServerOptions options)
     : reactor_(reactor),
       opts_(std::move(options)),
-      clock_(opts_.timeScale),
+      clock_(opts_.clock ? *opts_.clock : LiveClock(opts_.timeScale)),
       sizes_(opts_.cfg.sizeModel()),
       db_(opts_.cfg.dbSize),
       history_(opts_.cfg.dbSize),
@@ -92,6 +94,13 @@ BroadcastServer::~BroadcastServer() {
     ::close(fd);
   }
   conns_.clear();
+  for (auto& ch : handoffChannels_) {
+    if (ch->fd >= 0) {
+      reactor_.removeFd(ch->fd);
+      ::close(ch->fd);
+    }
+  }
+  handoffChannels_.clear();
   if (listenFd_ >= 0) {
     reactor_.removeFd(listenFd_);
     ::close(listenFd_);
@@ -167,14 +176,30 @@ void BroadcastServer::setupSockets() {
 }
 
 void BroadcastServer::setShardMap(ShardMap map) {
-  if (!map.valid() || map.shardCount() != opts_.shardCount ||
-      map.hashSeed() != opts_.shardHashSeed) {
-    throw std::invalid_argument("live: shard map does not match this spec");
+  if (!map.valid()) {
+    throw std::invalid_argument("live: refusing an invalid shard map");
   }
-  const ShardEndpoint& slot = map.endpoint(opts_.shardIndex);
-  if (slot.tcpPort != tcpPort_) {
-    throw std::invalid_argument("live: shard map slot is not this daemon");
+  if (shardMap_.valid() && map.version() < shardMap_.version()) {
+    throw std::invalid_argument("live: shard map version went backwards");
   }
+  // Find our slot by endpoint identity, not by the constructed index: a
+  // reshard cutover may hand a daemon a map with a different count, seed,
+  // or slot for it. Adopting the slot re-parameterizes ownsItem() so the
+  // spec-based hash law and the installed map can never disagree.
+  std::uint32_t selfIndex = kNoShard;
+  for (std::uint32_t s = 0; s < map.shardCount(); ++s) {
+    const ShardEndpoint& e = map.endpoint(s);
+    if (e.ipv4 == self_.ipv4 && e.tcpPort == tcpPort_) {
+      selfIndex = s;
+      break;
+    }
+  }
+  if (selfIndex == kNoShard) {
+    throw std::invalid_argument("live: no shard map slot is this daemon");
+  }
+  opts_.shardIndex = selfIndex;
+  opts_.shardCount = map.shardCount();
+  opts_.shardHashSeed = map.hashSeed();
   shardMap_ = std::move(map);
 }
 
@@ -264,6 +289,15 @@ void BroadcastServer::handleFrame(int fd, Conn& conn,
     case wire::FrameType::kAudit:
       if (auto m = wire::decodeAudit(frame.payload)) handleAudit(conn, *m);
       return;
+    case wire::FrameType::kHandoff:
+      // Peer-to-peer, not client traffic: the backfill stream arrives on a
+      // plain accepted connection that never Hellos.
+      if (auto m = wire::decodeHandoff(frame.payload)) {
+        handleHandoff(fd, conn, *m);
+      } else {
+        ++stats_.badFrames;
+      }
+      return;
     case wire::FrameType::kBye:
       closeConn(fd);
       return;
@@ -276,8 +310,10 @@ void BroadcastServer::handleFrame(int fd, Conn& conn,
 void BroadcastServer::handleHello(int fd, Conn& conn,
                                   const wire::Hello& hello) {
   if (conn.welcomed) return;
-  if (!shardMap_.valid()) {
-    closeConn(fd);  // multi-shard daemon not yet given its cluster map
+  if (!shardMap_.valid() || retired_) {
+    // Multi-shard daemon not yet given its cluster map, or a shard the
+    // incoming epoch removes: either way, nothing to welcome anyone into.
+    closeConn(fd);
     return;
   }
   std::uint32_t id = 0;
@@ -335,10 +371,19 @@ void BroadcastServer::handleQuery(int fd, Conn& conn,
       LiveClock::tickToTime(std::max<std::uint64_t>(rtick, 1) - 1);
   for (db::ItemId item : q.items) {
     if (!ownsItem(item)) {
-      // This partition has no truth about the item; serving it would hand
-      // out a frozen version. Refuse (the count flags the routing bug).
-      ++stats_.misroutedItems;
-      continue;
+      if (graceOwns(item)) {
+        // Mid-reshard grace: the client has not flipped yet, and the item
+        // is frozen for the whole window — the previous owner's partition
+        // is still the truth. Serve it rather than drop the query.
+        ++stats_.graceServed;
+      } else {
+        // This partition has no truth about the item; serving it would
+        // hand out a frozen version. Refuse, and tell the straggler which
+        // epoch it missed (the count flags a genuine routing bug).
+        ++stats_.misroutedItems;
+        if (!reannounceMap(fd, conn)) return;  // send error closed the conn
+        continue;
+      }
     }
     wire::DataItem d;
     d.item = item;
@@ -360,7 +405,8 @@ void BroadcastServer::handleCheck(int fd, Conn& conn, const wire::Check& c) {
   for (const db::UpdateRecord& e : c.entries) {
     // Entries about another shard's items would be judged against a
     // partition that never updates them (always "valid") — drop them.
-    if (ownsItem(e.item)) {
+    // Grace-owned entries are frozen, so the old partition's verdict holds.
+    if (ownsItem(e.item) || graceOwns(e.item)) {
       msg.entries.push_back(e);
     } else {
       ++stats_.misroutedItems;
@@ -412,7 +458,7 @@ void BroadcastServer::handleCheck(int fd, Conn& conn, const wire::Check& c) {
 void BroadcastServer::handleAudit(Conn& conn, const wire::Audit& a) {
   ++stats_.auditsReceived;
   if (!conn.welcomed || conn.clientId >= opts_.cfg.numClients) return;
-  if (!ownsItem(a.item)) {
+  if (!ownsItem(a.item) && !graceOwns(a.item)) {
     ++stats_.misroutedItems;  // our partition cannot audit a foreign item
     return;
   }
@@ -630,6 +676,14 @@ void BroadcastServer::runUpdateTransaction() {
     // and keeps only its own items: the union of the K thinned streams is
     // exactly the unsharded update stream.
     const db::ItemId item = updatePattern_.pick(updateRng_);
+    // Freeze window: a migrating item is immutable on EVERY shard between
+    // beginReshard and finishReshard, which is what makes the handed-off
+    // snapshot authoritative and grace service correct. The whole cluster
+    // skips the same draws, so the shared update stream stays aligned.
+    if (freezeActive_ && migrates(item)) {
+      ++stats_.updatesFrozen;
+      continue;
+    }
     if (!ownsItem(item)) {
       ++stats_.updatesThinned;
       continue;
@@ -643,6 +697,314 @@ void BroadcastServer::runUpdateTransaction() {
     ++stats_.updatesApplied;
   }
   lastUpdateTick_ = utick;
+}
+
+// --- resharding ------------------------------------------------------------
+
+void BroadcastServer::beginReshard(const ShardMap& oldMap,
+                                   const ShardMap& newMap) {
+  MCI_CHECK(!freezeActive_) << "beginReshard with a reshard already active";
+  MCI_CHECK(oldMap.valid() && newMap.valid()) << "beginReshard needs two maps";
+  MCI_CHECK(newMap.version() > oldMap.version())
+      << "reshard must advance the epoch (" << oldMap.version() << " -> "
+      << newMap.version() << ")";
+  reshardOld_ = oldMap;
+  reshardNew_ = newMap;
+  // A joiner has no installed map yet: it owned nothing under the old epoch
+  // and never grace-serves. Everyone else freezes from its old-map slot.
+  oldSelfIndex_ = shardMap_.valid() ? opts_.shardIndex : kNoShard;
+  freezeActive_ = true;
+}
+
+void BroadcastServer::startHandoff(std::function<void()> onDone) {
+  MCI_CHECK(freezeActive_) << "startHandoff outside a reshard";
+  MCI_CHECK(!handoffDone_) << "startHandoff called twice";
+  handoffDone_ = std::move(onDone);
+
+  // Which new-map slot is us (kNoShard when the new map removes us)? We
+  // never stream to ourselves — items we keep need no handoff.
+  std::uint32_t newSelfIndex = kNoShard;
+  for (std::uint32_t s = 0; s < reshardNew_.shardCount(); ++s) {
+    const ShardEndpoint& e = reshardNew_.endpoint(s);
+    if (e.ipv4 == self_.ipv4 && e.tcpPort == tcpPort_) {
+      newSelfIndex = s;
+      break;
+    }
+  }
+
+  // Bucket every item we own under the OLD map whose owner changes by its
+  // new owner. Never-updated items still get a (count=0) frame: the stream
+  // must carry a deterministic last=1 marker per destination.
+  std::vector<std::vector<db::ItemId>> byDst(reshardNew_.shardCount());
+  if (oldSelfIndex_ != kNoShard) {
+    for (db::ItemId item = 0; item < db_.size(); ++item) {
+      if (reshardOld_.shardOf(item) != oldSelfIndex_) continue;
+      const std::uint32_t dst = reshardNew_.shardOf(item);
+      if (!migrates(item) || dst == newSelfIndex) continue;
+      byDst[dst].push_back(item);
+    }
+  }
+
+  for (std::uint32_t dst = 0; dst < byDst.size(); ++dst) {
+    if (byDst[dst].empty()) continue;
+    auto ch = std::make_unique<HandoffChannel>();
+    ch->dstShard = dst;
+    const ShardEndpoint& e = reshardNew_.endpoint(dst);
+    ch->fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(e.ipv4);
+    addr.sin_port = htons(e.tcpPort);
+    // MCI-ANALYZE-ALLOW(reactor-blocking): loopback connect to a sibling
+    // daemon completes in the handshake RTT; a one-off per reshard, not a
+    // steady-state path. Nonblocking from here on.
+    if (ch->fd < 0 || ::connect(ch->fd, reinterpret_cast<sockaddr*>(&addr),
+                                sizeof addr) != 0) {
+      if (ch->fd >= 0) ::close(ch->fd);
+      ch->fd = -1;
+      ch->done = true;
+      ++stats_.handoffFailures;
+      handoffChannels_.push_back(std::move(ch));
+      continue;
+    }
+    ::fcntl(ch->fd, F_SETFL, ::fcntl(ch->fd, F_GETFL, 0) | O_NONBLOCK);
+    const int nodelay = 1;
+    ::setsockopt(ch->fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof nodelay);
+
+    // Queue the whole stream up front (the unbounded channel buffer IS the
+    // migration; see HandoffChannel) and let the reactor drain it.
+    for (std::size_t i = 0; i < byDst[dst].size(); ++i) {
+      const db::ItemId item = byDst[dst][i];
+      wire::Handoff h;
+      h.mapVersion = reshardNew_.version();
+      h.sourceShard = static_cast<std::uint16_t>(oldSelfIndex_);
+      h.last = i + 1 == byDst[dst].size() ? 1 : 0;
+      h.item = item;
+      h.updateTimes = db_.updateTimes(item);
+      report::BitWriter w =
+          controlArena_.begin(wire::FrameType::kHandoff, wire::kNoScheme,
+                              net::TrafficClass::kBulk);
+      wire::encodeHandoffInto(h, w);
+      controlArena_.finish(w);
+      ch->out.insert(ch->out.end(), controlArena_.data(),
+                     controlArena_.data() + controlArena_.size());
+      ++ch->itemsQueued;
+      ++stats_.handoffItemsSent;
+    }
+
+    HandoffChannel* cp = ch.get();
+    handoffChannels_.push_back(std::move(ch));
+    reactor_.addFd(cp->fd, EPOLLIN | EPOLLOUT,
+                   [this, cp](std::uint32_t ev) { onHandoffChannel(*cp, ev); });
+  }
+
+  finishHandoffIfDone();  // fires onDone synchronously when nothing migrates
+}
+
+void BroadcastServer::onHandoffChannel(HandoffChannel& ch,
+                                       std::uint32_t events) {
+  if (ch.done) return;
+  if ((events & (EPOLLHUP | EPOLLERR)) != 0) {
+    closeHandoffChannel(ch, true);
+    finishHandoffIfDone();
+    return;
+  }
+  if ((events & EPOLLOUT) != 0) {
+    while (ch.outOff < ch.out.size()) {
+      // MCI-ANALYZE-ALLOW(reactor-blocking): fd set O_NONBLOCK at connect
+      const ssize_t n = ::send(ch.fd, ch.out.data() + ch.outOff,
+                               ch.out.size() - ch.outOff, MSG_NOSIGNAL);
+      if (n > 0) {
+        ch.outOff += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      closeHandoffChannel(ch, true);
+      finishHandoffIfDone();
+      return;
+    }
+    if (ch.outOff >= ch.out.size()) {
+      ch.out.clear();
+      ch.outOff = 0;
+      reactor_.modifyFd(ch.fd, EPOLLIN);  // stream sent; wait for the ack
+    }
+  }
+  if ((events & EPOLLIN) == 0) return;
+  std::uint8_t buf[4096];
+  for (;;) {
+    // MCI-ANALYZE-ALLOW(reactor-blocking): fd set O_NONBLOCK at connect
+    const ssize_t n = ::recv(ch.fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      ch.in.append(buf, static_cast<std::size_t>(n));
+      if (n < static_cast<ssize_t>(sizeof buf)) break;
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    closeHandoffChannel(ch, true);  // EOF before the ack: stream lost
+    finishHandoffIfDone();
+    return;
+  }
+  while (std::optional<wire::Frame> frame = ch.in.next()) {
+    if (frame->header.type != wire::FrameType::kHandoffAck) continue;
+    std::optional<wire::HandoffAck> ack = wire::decodeHandoffAck(frame->payload);
+    const bool ok = ack && ack->mapVersion == reshardNew_.version() &&
+                    ack->itemsReceived >= ch.itemsQueued;
+    closeHandoffChannel(ch, !ok);
+    finishHandoffIfDone();
+    return;
+  }
+}
+
+void BroadcastServer::closeHandoffChannel(HandoffChannel& ch, bool failed) {
+  if (ch.fd >= 0) {
+    reactor_.removeFd(ch.fd);
+    ::close(ch.fd);
+    ch.fd = -1;
+  }
+  ch.done = true;
+  if (failed) ++stats_.handoffFailures;
+}
+
+void BroadcastServer::finishHandoffIfDone() {
+  if (!handoffDone_) return;
+  for (const auto& ch : handoffChannels_) {
+    if (!ch->done) return;
+  }
+  // The callback typically advances the coordinator, which may start new
+  // phases; clear first so re-entry can never double-fire.
+  std::function<void()> cb = std::move(handoffDone_);
+  handoffDone_ = nullptr;
+  cb();
+}
+
+void BroadcastServer::handleHandoff(int fd, Conn& conn,
+                                    const wire::Handoff& h) {
+  if (!freezeActive_ || h.mapVersion != reshardNew_.version()) {
+    // A stream from an epoch this daemon is not migrating toward — count
+    // and drop; the source's ack timeout-by-failure path flags it.
+    ++stats_.badFrames;
+    return;
+  }
+  const db::Version before = db_.currentVersion(h.item);
+  db_.installSnapshot(h.item, h.updateTimes);
+  const db::Version after = db_.currentVersion(h.item);
+  if (after > before) {
+    // Splice the item's last update time into the history ring so helping
+    // reports can answer the migrated item's Tlb gap, and bump the update
+    // tick so this shard's next broadcast orders after the spliced past.
+    const sim::SimTime last = h.updateTimes.back();
+    history_.spliceRecord(h.item, last);
+    lastUpdateTick_ = std::max<std::uint64_t>(
+        lastUpdateTick_,
+        static_cast<std::uint64_t>(std::llround(last * 1000.0)));
+    if (sigTable_) {
+      for (db::Version v = before + 1; v <= after; ++v) {
+        sigTable_->applyUpdate(h.item, v - 1, v);
+      }
+    }
+  }
+  ++conn.handoffReceived;
+  ++stats_.handoffItemsReceived;
+  if (h.last != 0) {
+    wire::HandoffAck ack;
+    ack.mapVersion = h.mapVersion;
+    ack.itemsReceived = conn.handoffReceived;
+    if (!sendFrame(fd, conn, wire::FrameType::kHandoffAck,
+                   net::TrafficClass::kControl,
+                   wire::encodeHandoffAck(ack))) {
+      return;  // send error closed the connection
+    }
+  }
+}
+
+void BroadcastServer::cutoverReshard() {
+  MCI_CHECK(freezeActive_) << "cutoverReshard outside a reshard";
+  setShardMap(reshardNew_);
+  graceActive_ = true;
+  announceMapUpdate(shardMap_);
+}
+
+void BroadcastServer::retireReshard() {
+  MCI_CHECK(freezeActive_) << "retireReshard outside a reshard";
+  retired_ = true;
+  graceActive_ = true;
+  announceMapUpdate(reshardNew_);
+}
+
+void BroadcastServer::finishReshard() {
+  freezeActive_ = false;
+  graceActive_ = false;
+  oldSelfIndex_ = kNoShard;
+  handoffChannels_.clear();  // all done (or failed) by now
+}
+
+void BroadcastServer::announceMapUpdate(const ShardMap& map) {
+  wire::MapUpdate mu;
+  mu.shardMap = map;
+  const std::vector<std::uint8_t> payload = wire::encodeMapUpdate(mu);
+
+  // TCP: one frame per welcomed uplink. Collect the fds first — a send
+  // error closes its connection, which would invalidate a live iterator.
+  std::vector<int> fds;
+  fds.reserve(conns_.size());
+  for (auto& [fd, conn] : conns_) {
+    conn.mapReannounced = false;  // new epoch: re-arm one-shot corrections
+    if (conn.welcomed) fds.push_back(fd);
+  }
+  for (int fd : fds) {
+    auto it = conns_.find(fd);
+    if (it == conns_.end()) continue;
+    ++stats_.mapUpdatesSent;
+    if (!sendFrame(fd, it->second, wire::FrameType::kMapUpdate,
+                   net::TrafficClass::kControl, payload)) {
+      continue;  // that connection is gone; keep announcing to the rest
+    }
+  }
+
+  // IR downlink: one datagram so dozing clients (radio on, uplink closed)
+  // hear the flip the moment they wake into the broadcast stream.
+  report::BitWriter w = controlArena_.begin(
+      wire::FrameType::kMapUpdate, wire::kNoScheme,
+      net::TrafficClass::kControl);
+  wire::encodeMapUpdateInto(mu, w);
+  controlArena_.finish(w);
+  if (multicast_) {
+    ++stats_.udpSendSyscalls;
+    ++stats_.mapUpdatesSent;
+    const ssize_t n = ::sendto(
+        udpFd_, controlArena_.data(), controlArena_.size(), MSG_DONTWAIT,
+        reinterpret_cast<const sockaddr*>(&mcastAddr_), sizeof mcastAddr_);
+    if (n < 0) {
+      ++stats_.udpSendFailures;
+    } else {
+      ++stats_.udpDatagramsSent;
+    }
+  } else {
+    for (auto& [fd, conn] : conns_) {
+      if (!conn.welcomed || conn.udpAddr.sin_port == 0) continue;
+      ++stats_.udpSendSyscalls;
+      ++stats_.mapUpdatesSent;
+      const ssize_t n = ::sendto(
+          udpFd_, controlArena_.data(), controlArena_.size(), MSG_DONTWAIT,
+          reinterpret_cast<const sockaddr*>(&conn.udpAddr),
+          sizeof conn.udpAddr);
+      if (n < 0) {
+        ++stats_.udpSendFailures;
+      } else {
+        ++stats_.udpDatagramsSent;
+      }
+    }
+  }
+}
+
+bool BroadcastServer::reannounceMap(int fd, Conn& conn) {
+  if (conn.mapReannounced || !shardMap_.valid()) return true;
+  conn.mapReannounced = true;
+  ++stats_.mapReannounces;
+  wire::MapUpdate mu;
+  mu.shardMap = shardMap_;
+  return sendFrame(fd, conn, wire::FrameType::kMapUpdate,
+                   net::TrafficClass::kControl, wire::encodeMapUpdate(mu));
 }
 
 }  // namespace mci::live

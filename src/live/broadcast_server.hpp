@@ -3,8 +3,10 @@
 #include <netinet/in.h>
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -54,6 +56,11 @@ struct ServerOptions {
   /// The group also travels in the shard map so clients self-configure.
   std::string multicastGroup;
   std::uint16_t multicastPort = 0;
+  /// Model-time anchor. A daemon grown into a running cluster must share
+  /// the cluster's model clock (LiveClock copies share their wall epoch),
+  /// or its broadcast/update ticks would restart from zero and violate the
+  /// cross-shard tick ordering every client assumes. Absent = fresh clock.
+  std::optional<LiveClock> clock;
 };
 
 struct ServerStats {
@@ -79,6 +86,19 @@ struct ServerStats {
   /// A correctly routing client never produces these; they are refused,
   /// not served, because this shard's partition has no truth about them.
   std::uint64_t misroutedItems = 0;
+  // --- resharding ---
+  /// Update-transaction items skipped because their owner differs between
+  /// the outgoing and incoming maps of an active reshard (freeze window:
+  /// migrating items are immutable from beginReshard to finishReshard).
+  std::uint64_t updatesFrozen = 0;
+  std::uint64_t handoffItemsSent = 0;      ///< kHandoff frames streamed out
+  std::uint64_t handoffItemsReceived = 0;  ///< kHandoff frames absorbed
+  std::uint64_t handoffFailures = 0;       ///< backfill channels that died
+  /// Uplink items served from the previous epoch's partition during the
+  /// post-cutover grace window (clients mid-flip; frozen, so still true).
+  std::uint64_t graceServed = 0;
+  std::uint64_t mapUpdatesSent = 0;   ///< kMapUpdate announce frames
+  std::uint64_t mapReannounces = 0;   ///< one-shot corrections on misroute
 };
 
 /// The live counterpart of core::Server + db::UpdateGenerator: a daemon that
@@ -123,11 +143,45 @@ class BroadcastServer {
   /// (bind address + bound TCP port + multicast group when configured).
   [[nodiscard]] ShardEndpoint selfEndpoint() const { return self_; }
 
-  /// Installs the cluster map this shard hands out in every Welcome. Must
-  /// name shardCount endpoints whose [shardIndex] slot is this daemon and
-  /// carry this daemon's hash seed; throws std::invalid_argument otherwise.
-  /// Single-shard daemons synthesize their own map and need no call.
+  /// Installs the cluster map this shard hands out in every Welcome. Some
+  /// slot must name this daemon's endpoint (bind address + TCP port), and
+  /// the version may never go backwards; throws std::invalid_argument
+  /// otherwise. The daemon adopts the map's (index, count, hashSeed) as its
+  /// ownership spec — this is how a reshard cutover re-parameterizes a
+  /// running shard. Single-shard daemons synthesize their own map and need
+  /// no call.
   void setShardMap(ShardMap map);
+
+  // --- resharding (driven by live::ReshardCoordinator) ---
+  /// Enters the freeze window of the oldMap -> newMap transition: update-
+  /// transaction items whose owner differs between the maps are skipped
+  /// (ServerStats::updatesFrozen) so every migrating item is immutable from
+  /// the first handoff byte until finishReshard(). Called on EVERY member,
+  /// joiners included (a joiner's shardMap_ is still invalid; it owns
+  /// nothing under the old map and freezes everything it will own).
+  void beginReshard(const ShardMap& oldMap, const ShardMap& newMap);
+  /// Streams every item this shard owns under the OLD map whose new owner
+  /// differs, as kHandoff frames over a loopback TCP channel per
+  /// destination (snapshot + history tail for the Tlb-gap splice).
+  /// `onDone` fires once every destination acked its stream — possibly
+  /// synchronously, when nothing migrates from here.
+  void startHandoff(std::function<void()> onDone);
+  /// Point of no return for a surviving member: installs the new map,
+  /// announces it as kMapUpdate on every welcomed uplink and once on the
+  /// IR downlink, and opens the grace window — queries/checks/audits for
+  /// items owned under the OLD map keep being served from the frozen
+  /// partition until finishReshard(), so no client query is ever dropped
+  /// mid-flip.
+  void cutoverReshard();
+  /// Cutover for a shard the new map removes: announce + grace, but the
+  /// new map (which has no slot for this daemon) is never installed, and
+  /// no further Hello is welcomed.
+  void retireReshard();
+  /// Closes the freeze + grace windows. From here, uplink traffic about
+  /// items this shard does not own gets one kMapUpdate re-announce per
+  /// connection (ServerStats::mapReannounces) instead of grace service.
+  void finishReshard();
+  [[nodiscard]] bool reshardActive() const { return freezeActive_; }
   [[nodiscard]] const ShardMap& shardMap() const { return shardMap_; }
   [[nodiscard]] std::uint32_t shardIndex() const { return opts_.shardIndex; }
   [[nodiscard]] std::uint32_t shardCount() const { return opts_.shardCount; }
@@ -169,8 +223,24 @@ class BroadcastServer {
     bool audit = false;
     std::uint32_t clientId = 0;
     std::uint64_t badCounted = 0;  ///< badFrames() already folded into stats
+    std::uint32_t handoffReceived = 0;  ///< kHandoff frames on this conn
+    bool mapReannounced = false;  ///< one-shot misroute correction spent
     sockaddr_in peer{};     ///< TCP peer (IP reused for the UDP downlink)
     sockaddr_in udpAddr{};  ///< where kReport datagrams go
+  };
+
+  /// Outbound backfill stream of one reshard: all kHandoff frames for one
+  /// destination shard, queued up front (unbounded on purpose — the stream
+  /// IS the migration; the per-client send cap must not drop it) and
+  /// drained by the reactor until the destination's kHandoffAck.
+  struct HandoffChannel {
+    int fd = -1;
+    std::uint32_t dstShard = 0;
+    std::uint32_t itemsQueued = 0;
+    std::vector<std::uint8_t> out;
+    std::size_t outOff = 0;
+    wire::FrameBuffer in;  ///< ack direction
+    bool done = false;
   };
 
   void setupSockets();
@@ -181,7 +251,27 @@ class BroadcastServer {
   void handleQuery(int fd, Conn& conn, const wire::QueryRequest& q);
   void handleCheck(int fd, Conn& conn, const wire::Check& c);
   void handleAudit(Conn& conn, const wire::Audit& a);
+  void handleHandoff(int fd, Conn& conn, const wire::Handoff& h);
   void closeConn(int fd);
+
+  /// True iff `item`'s owner differs between the active reshard's maps.
+  [[nodiscard]] bool migrates(db::ItemId item) const {
+    return reshardOld_.shardOf(item) != reshardNew_.shardOf(item);
+  }
+  /// True iff this shard owned `item` under the outgoing map and the grace
+  /// window is open: the frozen partition may still serve it.
+  [[nodiscard]] bool graceOwns(db::ItemId item) const {
+    return graceActive_ && oldSelfIndex_ != kNoShard &&
+           reshardOld_.shardOf(item) == oldSelfIndex_;
+  }
+  /// Post-grace misroute correction: one kMapUpdate on this connection.
+  /// Returns false when the send closed the connection.
+  [[nodiscard]] bool reannounceMap(int fd, Conn& conn);
+  /// kMapUpdate to every welcomed uplink + one datagram on the IR downlink.
+  void announceMapUpdate(const ShardMap& map);
+  void onHandoffChannel(HandoffChannel& ch, std::uint32_t events);
+  void closeHandoffChannel(HandoffChannel& ch, bool failed);
+  void finishHandoffIfDone();
   /// Queues (or drops, when the queue is full) one frame and flushes.
   /// Returns false when the flush hit a hard error and closed the
   /// connection — `conn` is then dangling and the caller must stop
@@ -226,6 +316,18 @@ class BroadcastServer {
   std::map<int, Conn> conns_;
   std::vector<std::uint32_t> freeIds_;  ///< released client ids, reused LIFO
   std::uint32_t nextId_ = 0;
+
+  // --- resharding state ---
+  static constexpr std::uint32_t kNoShard = 0xFFFFFFFFu;
+  ShardMap reshardOld_;  ///< outgoing map of the active reshard
+  ShardMap reshardNew_;  ///< incoming map of the active reshard
+  bool freezeActive_ = false;  ///< beginReshard .. finishReshard
+  bool graceActive_ = false;   ///< cutover/retire .. finishReshard
+  bool retired_ = false;       ///< the new map removed this shard
+  std::uint32_t oldSelfIndex_ = kNoShard;  ///< our index in reshardOld_
+  std::vector<std::unique_ptr<HandoffChannel>> handoffChannels_;
+  std::function<void()> handoffDone_;
+  wire::FrameArena controlArena_;  ///< kMapUpdate/kHandoff encode-once
 
   Reactor::TimerId broadcastTimer_ = 0;
   Reactor::TimerId updateTimer_ = 0;

@@ -34,15 +34,17 @@ ClientAgent::ClientAgent(ClientPool& pool, std::size_t index)
 
 ClientAgent::~ClientAgent() {
   cancelTimer();
-  for (auto& link : links_) {
-    if (!link) continue;
-    if (link->tcpFd >= 0) {
-      pool_.reactor_.removeFd(link->tcpFd);
-      ::close(link->tcpFd);
-    }
-    if (link->udpFd >= 0) {
-      pool_.reactor_.removeFd(link->udpFd);
-      ::close(link->udpFd);
+  for (auto* linkSet : {&links_, &draining_}) {
+    for (auto& link : *linkSet) {
+      if (!link) continue;
+      if (link->tcpFd >= 0) {
+        pool_.reactor_.removeFd(link->tcpFd);
+        ::close(link->tcpFd);
+      }
+      if (link->udpFd >= 0) {
+        pool_.reactor_.removeFd(link->udpFd);
+        ::close(link->udpFd);
+      }
     }
   }
 }
@@ -91,6 +93,8 @@ std::unique_ptr<ClientAgent::Link> ClientAgent::makeLink(
     std::uint32_t mcastIpv4, std::uint16_t mcastPort) {
   auto link = std::make_unique<Link>();
   link->shard = shard;
+  link->ipv4 = ipv4;
+  link->tcpPort = tcpPort;
   link->udpFd = openDownlinkUdp(ipv4, mcastIpv4, mcastPort);
   link->tcpFd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (link->tcpFd < 0) {
@@ -181,18 +185,20 @@ void ClientAgent::cancelTimer() {
 void ClientAgent::dropAgent() {
   cancelTimer();
   bool hadLive = false;
-  for (auto& link : links_) {
-    if (!link) continue;
-    if (link->tcpFd >= 0) {
-      hadLive = true;
-      pool_.reactor_.removeFd(link->tcpFd);
-      ::close(link->tcpFd);
-      link->tcpFd = -1;
-    }
-    if (link->udpFd >= 0) {
-      pool_.reactor_.removeFd(link->udpFd);
-      ::close(link->udpFd);
-      link->udpFd = -1;
+  for (auto* linkSet : {&links_, &draining_}) {
+    for (auto& link : *linkSet) {
+      if (!link) continue;
+      if (link->tcpFd >= 0) {
+        if (!link->draining) hadLive = true;
+        pool_.reactor_.removeFd(link->tcpFd);
+        ::close(link->tcpFd);
+        link->tcpFd = -1;
+      }
+      if (link->udpFd >= 0) {
+        pool_.reactor_.removeFd(link->udpFd);
+        ::close(link->udpFd);
+        link->udpFd = -1;
+      }
     }
   }
   // One agent = one host: losing any shard link retires the whole agent
@@ -271,7 +277,22 @@ bool ClientAgent::handleUdpDatagram(Link& link, const std::uint8_t* data,
   // kernel but never heard by the model.
   if (!radioOn_ || link.scheme == nullptr) return true;
   std::optional<wire::Frame> frame = wire::decodeFrame(data, len);
-  if (!frame || frame->header.type != wire::FrameType::kReport) {
+  if (!frame) {
+    ++pool_.stats_.badFrames;
+    return true;
+  }
+  if (frame->header.type == wire::FrameType::kMapUpdate) {
+    // The IR downlink's epoch announce: awake clients flip immediately;
+    // dozing ones (returned above) flip via TCP or on the misroute
+    // re-announce after waking.
+    if (auto m = wire::decodeMapUpdate(frame->payload)) {
+      pool_.onMapUpdate(m->shardMap);
+    } else {
+      ++pool_.stats_.badFrames;
+    }
+    return link.tcpFd >= 0;  // the flip may have drained this link
+  }
+  if (frame->header.type != wire::FrameType::kReport) {
     ++pool_.stats_.badFrames;
     return true;
   }
@@ -300,6 +321,16 @@ void ClientAgent::handleFrame(Link& link, const wire::Frame& frame) {
         onValidityReply(link, *m);
       }
       return;
+    case wire::FrameType::kMapUpdate:
+      // Epoch announce on the uplink: processed even while dozing (the
+      // radio gates UDP only), so a host that sleeps through a reshard
+      // wakes already pointed at the new cluster.
+      if (auto m = wire::decodeMapUpdate(frame.payload)) {
+        pool_.onMapUpdate(m->shardMap);
+      } else {
+        ++pool_.stats_.badFrames;
+      }
+      return;
     default:
       ++pool_.stats_.badFrames;
       return;
@@ -307,11 +338,20 @@ void ClientAgent::handleFrame(Link& link, const wire::Frame& frame) {
 }
 
 void ClientAgent::onWelcome(Link& link, const wire::Welcome& w) {
+  // A Welcome racing the flip that drained its link: the daemon is no
+  // longer part of this agent's epoch, so its slot claim means nothing.
+  if (link.draining) return;
   if (link.scheme != nullptr) return;
   pool_.ensureConfigured(w);
   const ShardMap& map = pool_.shardMap();
 
   if (link.shard == kUnknownShard) {
+    if (w.shardIndex >= map.shardCount()) {
+      // The seed's slot is gone: a reshard retired it between our connect
+      // and its Welcome. Too early to flip gracefully — retire the agent.
+      dropAgent();
+      return;
+    }
     // The seed Welcome: adopt the sender's slot, take its client id as the
     // agent's identity, and dial the rest of the cluster.
     link.shard = w.shardIndex;
@@ -356,6 +396,7 @@ void ClientAgent::onWelcome(Link& link, const wire::Welcome& w) {
     dp.probability = pool_.agentCfg_.disconnectProb;
     dp.meanDuration = pool_.agentCfg_.meanDisconnectTime;
     disc_.emplace(dp, root.fork("disc", agentId_));
+    mapVersion_ = map.version();
   } else if (link.shard != w.shardIndex) {
     dropAgent();  // the map pointed us at a daemon claiming another slot
     return;
@@ -374,8 +415,34 @@ void ClientAgent::onWelcome(Link& link, const wire::Welcome& w) {
   link.scheme = core::makeClientScheme(pool_.agentCfg_, pool_.sigTable_.get(),
                                        pool_.sigInitial_);
 
+  // Copies that migrated here before this link was welcomed were parked in
+  // pendingMigrate_; adopt the ones this partition owns. They enter as
+  // suspects as of the pre-flip consistency point and run the ordinary
+  // gap/salvage cycle before any of them can answer a query.
+  if (!pendingMigrate_.empty()) {
+    bool adopted = false;
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < pendingMigrate_.size(); ++i) {
+      cache::Entry e = pendingMigrate_[i];
+      if (map.shardOf(e.item) == link.shard) {
+        e.suspect = true;
+        link.ctx->cache().insert(e);
+        adopted = true;
+      } else {
+        pendingMigrate_[keep++] = e;
+      }
+    }
+    pendingMigrate_.resize(keep);
+    if (adopted) {
+      link.ctx->markAllSuspect(pendingMigrateAsOf_);
+      link.ctx->restartGapCycle();
+    }
+  }
+
   ++welcomedLinks_;
-  if (welcomedLinks_ == links_.size()) startThink(queryGen_->thinkTime());
+  if (welcomedLinks_ == links_.size() && state_ == State::kIdle) {
+    startThink(queryGen_->thinkTime());
+  }
 }
 
 void ClientAgent::onReportPayload(Link& link,
@@ -461,7 +528,13 @@ void ClientAgent::startThink(double modelSeconds) {
 }
 
 void ClientAgent::issueQuery() {
-  if (!connectionAlive() || !welcomed()) return;
+  if (!connectionAlive()) return;
+  if (!welcomed()) {
+    // Mid-flip: joiner links are dialed but not yet welcomed. Retry on a
+    // short timer instead of stalling the state machine forever.
+    startThink(0.01);
+    return;
+  }
   queryGen_->nextQuery(queryItems_);
   queryStart_ = pool_.clock_->nowModel();
   queryStartWall_ = pool_.reactor_.nowSeconds();
@@ -523,6 +596,11 @@ void ClientAgent::maybeCompleteQuery() {
   for (const auto& link : links_) {
     if (link->needAnswer || !link->fetch.empty()) return;
   }
+  // A flip mid-query leaves its in-flight legs on the drained links; the
+  // retiring daemons grace-serve them to completion before the fds close.
+  for (const auto& link : draining_) {
+    if (link->tcpFd >= 0 && (link->needAnswer || !link->fetch.empty())) return;
+  }
   completeQuery();
 }
 
@@ -534,6 +612,7 @@ void ClientAgent::completeQuery() {
       wallSec > 0 ? static_cast<std::uint64_t>(wallSec * 1e6) : 0);
   ++completed_;
   queryItems_.clear();
+  closeDrainingLinks();  // no query in flight: drained links can close now
   if (disc_->params().model == workload::DisconnectModel::kPostQuery &&
       disc_->shouldDisconnect()) {
     beginDoze(/*queryAfterWake=*/true);
@@ -662,6 +741,145 @@ void ClientAgent::flushOut(Link& link) {
   }
 }
 
+void ClientAgent::applyShardMap(const ShardMap& map) {
+  // Before the seed Welcome there is nothing to flip: ensureConfigured has
+  // not run and the seed's Welcome will carry the post-reshard map anyway.
+  if (!queryGen_) return;
+  if (map.version() <= mapVersion_) return;
+  mapVersion_ = map.version();
+
+  // The pre-flip consistency point: the oldest per-partition lastHeard
+  // bounds every update a migrated copy could have missed on its old
+  // owner's report stream. Migrated entries become suspect as of this
+  // time, so the salvage/gap machinery treats the epoch switch exactly
+  // like a doze that started at preTlb.
+  sim::SimTime preTlb = sim::kTimeInfinity;
+  for (const auto& l : links_) {
+    if (l && l->ctx) preTlb = std::min(preTlb, l->ctx->lastHeard());
+  }
+  if (preTlb == sim::kTimeInfinity) preTlb = sim::kTimeEpoch;
+
+  // Re-key the links by endpoint identity: a surviving daemon keeps its
+  // connection (and cache partition) even if its shard index changed;
+  // endpoints that left the map drain instead of closing abruptly.
+  std::vector<std::unique_ptr<Link>> byShard(map.shardCount());
+  for (auto& l : links_) {
+    if (!l) continue;
+    bool placed = false;
+    for (std::uint32_t s = 0; s < map.shardCount(); ++s) {
+      const ShardEndpoint& ep = map.endpoint(s);
+      if (!byShard[s] && ep.ipv4 == l->ipv4 && ep.tcpPort == l->tcpPort) {
+        l->shard = s;
+        byShard[s] = std::move(l);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      l->shard = kUnknownShard;
+      l->draining = true;
+      draining_.push_back(std::move(l));
+    }
+  }
+  links_ = std::move(byShard);
+  welcomedLinks_ = 0;
+  for (const auto& l : links_) {
+    if (l && l->scheme != nullptr) ++welcomedLinks_;
+  }
+
+  // Dial the joiners. Any socket failure retires the agent, same as a
+  // broken link (a real client would re-dial; the harness counts it).
+  for (std::uint32_t s = 0; s < map.shardCount(); ++s) {
+    if (links_[s]) continue;
+    const ShardEndpoint& ep = map.endpoint(s);
+    try {
+      links_[s] =
+          makeLink(s, ep.ipv4, ep.tcpPort, ep.multicastIpv4, ep.multicastPort);
+    } catch (const std::runtime_error&) {
+      dropAgent();
+      return;
+    }
+    sendHello(*links_[s]);
+    if (links_[s]->tcpFd < 0) return;  // hello failed; dropAgent() ran
+  }
+
+  // Destination gap anchors must be computed before any insertion:
+  // markAllSuspect overwrites suspectAsOf, and if a partition already has
+  // an active gap we must keep its (older) anchor rather than raise it.
+  std::vector<sim::SimTime> dstAsOf(map.shardCount(), preTlb);
+  for (std::uint32_t s = 0; s < map.shardCount(); ++s) {
+    const Link& l = *links_[s];
+    if (l.ctx && l.ctx->cache().suspectCount() > 0) {
+      dstAsOf[s] = std::min(dstAsOf[s], l.ctx->suspectAsOf());
+    }
+  }
+
+  // Migrate cached copies whose owner changed. Two passes per source cache
+  // (forEach forbids mutation): collect movers, then erase them.
+  std::vector<cache::Entry> moved;
+  std::vector<db::ItemId> evict;
+  for (auto* linkSet : {&links_, &draining_}) {
+    for (auto& l : *linkSet) {
+      if (!l || !l->ctx) continue;
+      evict.clear();
+      l->ctx->cache().forEach([&](const cache::Entry& e) {
+        if (l->draining || map.shardOf(e.item) != l->shard) {
+          moved.push_back(e);
+          evict.push_back(e.item);
+        }
+      });
+      for (db::ItemId item : evict) l->ctx->cache().erase(item);
+    }
+  }
+
+  pendingMigrateAsOf_ = preTlb;
+  std::vector<bool> touched(map.shardCount(), false);
+  for (cache::Entry e : moved) {
+    // The copy itself is kept — that is the whole point of handoff — but
+    // it may have missed an update listed only in its old owner's reports,
+    // so it re-enters as a suspect and must survive a salvage round (the
+    // new owner's spliced history answers it) before serving again.
+    e.suspect = true;
+    const std::uint32_t owner = map.shardOf(e.item);
+    Link& dst = *links_[owner];
+    if (dst.ctx) {
+      dst.ctx->cache().insert(e);
+      touched[owner] = true;
+    } else {
+      pendingMigrate_.push_back(e);  // joiner: adopted when its Welcome lands
+    }
+  }
+  for (std::uint32_t s = 0; s < map.shardCount(); ++s) {
+    if (!touched[s]) continue;
+    links_[s]->ctx->markAllSuspect(dstAsOf[s]);
+    links_[s]->ctx->restartGapCycle();
+  }
+
+  // Drained links close once no query leg is in flight on them; mid-query
+  // they stay open so the retiring daemon can grace-serve the answers.
+  if (state_ != State::kQuerying) closeDrainingLinks();
+}
+
+void ClientAgent::closeDrainingLinks() {
+  // No Bye frames here: a drained daemon may already be gone, and a send
+  // failure would retire the whole agent. The Link objects stay allocated
+  // (reactor handlers up the stack may still hold references); only the
+  // fds close.
+  for (auto& link : draining_) {
+    if (!link) continue;
+    if (link->tcpFd >= 0) {
+      pool_.reactor_.removeFd(link->tcpFd);
+      ::close(link->tcpFd);
+      link->tcpFd = -1;
+    }
+    if (link->udpFd >= 0) {
+      pool_.reactor_.removeFd(link->udpFd);
+      ::close(link->udpFd);
+      link->udpFd = -1;
+    }
+  }
+}
+
 // --- ClientPool --------------------------------------------------------
 
 ClientPool::ClientPool(Reactor& reactor, AgentOptions options)
@@ -763,6 +981,21 @@ void ClientPool::ensureConfigured(const wire::Welcome& w) {
     // can only produce false invalidations, never hide one.
     sigInitial_ = sigTable_->combined();
   }
+}
+
+void ClientPool::onMapUpdate(const ShardMap& map) {
+  ++stats_.mapUpdatesHeard;
+  if (!configured_ || !map.valid()) return;
+  if (map.version() <= shardMap_.version()) {
+    ++stats_.staleMapUpdates;  // duplicate or replayed announce; ignore
+    return;
+  }
+  shardMap_ = map;
+  stats_.reportsHeardPerShard.resize(map.shardCount(), 0);
+  ++stats_.epochSwitches;
+  // Flip every agent now, in one callback: no reactor iteration ever sees
+  // the pool's map and an agent's link vector disagree on shard count.
+  for (auto& a : agents_) a->applyShardMap(map);
 }
 
 void ClientPool::advanceModelTime(sim::SimTime t) {

@@ -54,6 +54,9 @@ struct PoolStats {
   std::vector<std::uint64_t> reportsHeardPerShard;
   std::uint64_t badFrames = 0;
   std::uint64_t connectionsLost = 0;  ///< TCP closed other than by shutdown()
+  std::uint64_t mapUpdatesHeard = 0;  ///< kMapUpdate frames (TCP or IR)
+  std::uint64_t staleMapUpdates = 0;  ///< announces at or below our epoch
+  std::uint64_t epochSwitches = 0;    ///< shard-map flips actually applied
   /// Kernel entries spent draining UDP downlinks (one per recvmmsg batch
   /// or per fallback recv). bench_live divides by reports heard.
   std::uint64_t udpRecvSyscalls = 0;
@@ -99,6 +102,14 @@ class ClientAgent {
   [[nodiscard]] bool welcomed() const {
     return !links_.empty() && welcomedLinks_ == links_.size();
   }
+
+  /// Flips this agent onto a newer cluster epoch (pool-driven, atomic per
+  /// agent): surviving endpoints keep their connections, removed ones
+  /// drain, joiners are dialed, and cached copies migrate to their new
+  /// owner partitions as suspects — revalidated (or dropped) through the
+  /// ordinary gap/salvage cycle, never served stale. No-op for announces
+  /// at or below the epoch already applied.
+  void applyShardMap(const ShardMap& map);
   [[nodiscard]] bool connectionAlive() const;
   /// The agent's identity: its client id on the seed shard (RNG streams
   /// and per-client metrics key off this, like a simulator client id).
@@ -119,6 +130,9 @@ class ClientAgent {
   /// model: scheme instance, context (cache partition, Tlb, gap state).
   struct Link {
     std::uint32_t shard = kUnknownShard;
+    std::uint32_t ipv4 = 0;       ///< endpoint identity: survives reshards
+    std::uint16_t tcpPort = 0;    ///< (a shard's index may change; this not)
+    bool draining = false;        ///< endpoint left the map; finish + close
     int tcpFd = -1;
     int udpFd = -1;
     wire::FrameBuffer in;
@@ -174,6 +188,7 @@ class ClientAgent {
   void flushOut(Link& link);
   void cancelTimer();
   void dropAgent();
+  void closeDrainingLinks();
 
   ClientPool& pool_;
   std::size_t index_;
@@ -181,6 +196,16 @@ class ClientAgent {
   /// while the seed Welcome is in flight. Heap-allocated so the reactor
   /// handlers' captured pointers survive the reindexing.
   std::vector<std::unique_ptr<Link>> links_;
+  /// Links whose endpoint a reshard removed. Their fds close as soon as no
+  /// query is in flight on them, but the Link objects live until agent
+  /// destruction: a flip can run inside a frame handler that still holds a
+  /// reference into the very link being drained.
+  std::vector<std::unique_ptr<Link>> draining_;
+  /// Copies bound for a joiner partition whose Welcome has not arrived
+  /// yet; inserted (as suspects, as of pendingMigrateAsOf_) at Welcome.
+  std::vector<cache::Entry> pendingMigrate_;
+  sim::SimTime pendingMigrateAsOf_ = 0;
+  std::uint32_t mapVersion_ = 0;  ///< epoch this agent's links reflect
   std::size_t welcomedLinks_ = 0;
   bool shuttingDown_ = false;
 
@@ -249,6 +274,11 @@ class ClientPool {
   /// First-Welcome configuration: sizes, codec, patterns, clock, collector,
   /// shard map.
   void ensureConfigured(const wire::Welcome& w);
+
+  /// A kMapUpdate landed on any agent's downlink or uplink: adopt the map
+  /// if it advances the epoch and flip every agent atomically (no reactor
+  /// iteration sees the pool's map and an agent's links disagree in size).
+  void onMapUpdate(const ShardMap& map);
 
   /// Advances the shared model-time holder (ClientContext::now()) to a
   /// server timestamp. Monotonic: stale frames never move time backwards.

@@ -88,8 +88,10 @@ int main(int argc, char** argv) {
       if (s > 0) counts += ',';
       counts += std::to_string(perShard[s]);
     }
-    std::printf("shards=%zu reports_per_shard=%s\n", perShard.size(),
-                counts.c_str());
+    std::printf("shards=%zu reports_per_shard=%s epoch_switches=%" PRIu64
+                " map_updates=%" PRIu64 "\n",
+                perShard.size(), counts.c_str(), pool.stats().epochSwitches,
+                pool.stats().mapUpdatesHeard);
   }
   const bool ok = pool.welcomedCount() == agents && r.staleReads == 0 &&
                   pool.stats().connectionsLost == 0;

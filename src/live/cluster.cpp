@@ -4,10 +4,12 @@
 
 #include <stdexcept>
 
+#include "core/check.hpp"
+
 namespace mci::live {
 
 Cluster::Cluster(Reactor& reactor, ClusterOptions options)
-    : opts_(std::move(options)) {
+    : reactor_(reactor), opts_(std::move(options)) {
   if (opts_.shardCount < 1 || opts_.shardCount > ShardMap::kMaxShards) {
     throw std::invalid_argument("cluster: shardCount must be in [1, kMaxShards]");
   }
@@ -67,8 +69,102 @@ ServerStats Cluster::totalStats() const {
     t.badFrames += s.badFrames;
     t.updatesThinned += s.updatesThinned;
     t.misroutedItems += s.misroutedItems;
+    t.udpSendSyscalls += s.udpSendSyscalls;
+    t.udpDatagramsSent += s.udpDatagramsSent;
+    t.updatesFrozen += s.updatesFrozen;
+    t.handoffItemsSent += s.handoffItemsSent;
+    t.handoffItemsReceived += s.handoffItemsReceived;
+    t.handoffFailures += s.handoffFailures;
+    t.graceServed += s.graceServed;
+    t.mapUpdatesSent += s.mapUpdatesSent;
+    t.mapReannounces += s.mapReannounces;
   }
   return t;
+}
+
+void Cluster::grow(std::uint32_t add, std::function<void()> onDone) {
+  MCI_CHECK(!reshardInProgress()) << "cluster: reshard already in progress";
+  MCI_CHECK(add >= 1) << "cluster: grow needs at least one shard";
+  const auto oldCount = static_cast<std::uint32_t>(servers_.size());
+  MCI_CHECK(oldCount + add <= ShardMap::kMaxShards)
+      << "cluster: grow past kMaxShards";
+  for (std::uint32_t i = 0; i < add; ++i) {
+    ServerOptions so;
+    so.cfg = opts_.cfg;
+    so.timeScale = opts_.timeScale;
+    so.bindAddress = opts_.bindAddress;
+    so.tcpPort = 0;  // joiners always bind ephemeral ports
+    so.maxSendQueueBytes = opts_.maxSendQueueBytes;
+    so.sendBufferBytes = opts_.sendBufferBytes;
+    so.shardIndex = oldCount + i;
+    so.shardCount = oldCount + add;
+    so.shardHashSeed = map_.hashSeed();
+    // Joiners must share the incumbents' model clock, or their ticks would
+    // restart at zero and break cross-shard timestamp ordering.
+    so.clock = servers_.front()->clock();
+    if (!opts_.multicastGroup.empty()) {
+      so.multicastGroup = opts_.multicastGroup;
+      so.multicastPort =
+          static_cast<std::uint16_t>(opts_.multicastBasePort + oldCount + i);
+    }
+    servers_.push_back(std::make_unique<BroadcastServer>(reactor_, so));
+  }
+  std::vector<ShardEndpoint> endpoints;
+  endpoints.reserve(servers_.size());
+  for (const auto& server : servers_) {
+    endpoints.push_back(server->selfEndpoint());
+  }
+  startReshard(ShardMap(map_.version() + 1, map_.hashSeed(),
+                        std::move(endpoints)),
+               0, std::move(onDone));
+}
+
+void Cluster::shrink(std::uint32_t remove, std::function<void()> onDone) {
+  MCI_CHECK(!reshardInProgress()) << "cluster: reshard already in progress";
+  MCI_CHECK(remove >= 1 && remove < servers_.size())
+      << "cluster: shrink must leave at least one shard";
+  // Removal is always the highest indices: the survivors keep their slots,
+  // so only items hashed to removed slots (or rehashed onto them) move.
+  std::vector<ShardEndpoint> endpoints;
+  endpoints.reserve(servers_.size() - remove);
+  for (std::size_t s = 0; s < servers_.size() - remove; ++s) {
+    endpoints.push_back(servers_[s]->selfEndpoint());
+  }
+  startReshard(ShardMap(map_.version() + 1, map_.hashSeed(),
+                        std::move(endpoints)),
+               remove, std::move(onDone));
+}
+
+void Cluster::rebalance(std::function<void()> onDone) {
+  MCI_CHECK(!reshardInProgress()) << "cluster: reshard already in progress";
+  std::vector<ShardEndpoint> endpoints;
+  endpoints.reserve(servers_.size());
+  for (const auto& server : servers_) {
+    endpoints.push_back(server->selfEndpoint());
+  }
+  // A golden-ratio step through seed space: deterministic, and far enough
+  // from the old seed that the partition actually reshuffles.
+  const std::uint64_t newSeed = map_.hashSeed() + 0x9E3779B97F4A7C15ull;
+  startReshard(ShardMap(map_.version() + 1, newSeed, std::move(endpoints)),
+               0, std::move(onDone));
+}
+
+void Cluster::startReshard(ShardMap newMap, std::uint32_t retireCount,
+                           std::function<void()> onDone) {
+  std::vector<BroadcastServer*> members;
+  members.reserve(servers_.size());
+  for (const auto& server : servers_) members.push_back(server.get());
+  coordinator_ = std::make_unique<ReshardCoordinator>(
+      reactor_, std::move(members), map_, newMap, ReshardOptions{},
+      [this, newMap, retireCount, cb = std::move(onDone)] {
+        map_ = newMap;
+        // Retired daemons served their grace window; drop them now. Their
+        // dtors close every remaining uplink (clients see EOF and have
+        // already flipped to the new epoch).
+        for (std::uint32_t i = 0; i < retireCount; ++i) servers_.pop_back();
+        if (cb) cb();
+      });
+  coordinator_->start();
 }
 
 std::uint64_t Cluster::staleReads() const {

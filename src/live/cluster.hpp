@@ -10,6 +10,7 @@
 #include "core/config.hpp"
 #include "live/broadcast_server.hpp"
 #include "live/reactor.hpp"
+#include "live/reshard.hpp"
 #include "live/shard_map.hpp"
 
 namespace mci::live {
@@ -71,10 +72,36 @@ class Cluster {
   /// Sum of per-shard audited stale reads (must stay 0).
   [[nodiscard]] std::uint64_t staleReads() const;
 
+  // --- elastic membership (one transition at a time) -----------------------
+  /// Adds `add` shards on ephemeral ports: new daemons are constructed
+  /// sharing the cluster's model clock, the next-epoch map (same hash seed,
+  /// appended endpoints) is computed, and a ReshardCoordinator drives
+  /// freeze -> handoff -> cutover -> grace -> finish. `onDone` fires once
+  /// the new epoch is installed cluster-wide.
+  void grow(std::uint32_t add, std::function<void()> onDone = nullptr);
+  /// Removes the `remove` highest-indexed shards: they hand off everything
+  /// they own, announce the new map, refuse new Hellos, and are destroyed
+  /// once the transition finishes.
+  void shrink(std::uint32_t remove, std::function<void()> onDone = nullptr);
+  /// Same membership, new hash seed: every item whose owner changes under
+  /// the reseeded law migrates. The elastic path's shuffle primitive.
+  void rebalance(std::function<void()> onDone = nullptr);
+  [[nodiscard]] bool reshardInProgress() const {
+    return coordinator_ &&
+           coordinator_->phase() != ReshardCoordinator::Phase::kDone;
+  }
+  /// The installed map's version — bumps by one per completed transition.
+  [[nodiscard]] std::uint32_t epoch() const { return map_.version(); }
+
  private:
+  void startReshard(ShardMap newMap, std::uint32_t retireCount,
+                    std::function<void()> onDone);
+
+  Reactor& reactor_;
   ClusterOptions opts_;
   ShardMap map_;
   std::vector<std::unique_ptr<BroadcastServer>> servers_;
+  std::unique_ptr<ReshardCoordinator> coordinator_;
 };
 
 /// Parses "group:port" (e.g. "239.1.2.3:9000"); nullopt with no colon, a

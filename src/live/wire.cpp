@@ -401,6 +401,76 @@ std::optional<Audit> decodeAudit(const std::vector<std::uint8_t>& payload) {
   return m;
 }
 
+void encodeMapUpdateInto(const MapUpdate& m, report::BitWriter& w) {
+  m.shardMap.encodeTo(w);
+}
+
+std::vector<std::uint8_t> encodeMapUpdate(const MapUpdate& m) {
+  report::BitWriter w;
+  encodeMapUpdateInto(m, w);
+  return w.finish();
+}
+
+std::optional<MapUpdate> decodeMapUpdate(
+    const std::vector<std::uint8_t>& payload, std::uint32_t minVersion) {
+  report::BitReader r(payload);
+  MapUpdate m;
+  auto map = ShardMap::decodeFrom(r, std::nullopt, minVersion);
+  if (!map || !r.ok()) return std::nullopt;
+  m.shardMap = std::move(*map);
+  return m;
+}
+
+void encodeHandoffInto(const Handoff& m, report::BitWriter& w) {
+  w.write(m.mapVersion, 32);
+  w.write(m.sourceShard, 16);
+  w.write(m.last, 8);
+  w.write(m.item, 32);
+  w.write(m.updateTimes.size(), 32);
+  for (const sim::SimTime t : m.updateTimes) w.write(doubleBits(t), 64);
+}
+
+std::vector<std::uint8_t> encodeHandoff(const Handoff& m) {
+  report::BitWriter w;
+  encodeHandoffInto(m, w);
+  return w.finish();
+}
+
+std::optional<Handoff> decodeHandoff(
+    const std::vector<std::uint8_t>& payload) {
+  report::BitReader r(payload);
+  Handoff m;
+  m.mapVersion = static_cast<std::uint32_t>(r.read(32));
+  m.sourceShard = static_cast<std::uint16_t>(r.read(16));
+  m.last = static_cast<std::uint8_t>(r.read(8));
+  m.item = static_cast<db::ItemId>(r.read(32));
+  const std::uint64_t count = r.read(32);
+  if (!r.fits(count, 64)) return std::nullopt;
+  m.updateTimes.reserve(count);
+  for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
+    m.updateTimes.push_back(bitsDouble(r.read(64)));
+  }
+  if (!r.ok()) return std::nullopt;
+  return m;
+}
+
+std::vector<std::uint8_t> encodeHandoffAck(const HandoffAck& m) {
+  report::BitWriter w;
+  w.write(m.mapVersion, 32);
+  w.write(m.itemsReceived, 32);
+  return w.finish();
+}
+
+std::optional<HandoffAck> decodeHandoffAck(
+    const std::vector<std::uint8_t>& payload) {
+  report::BitReader r(payload);
+  HandoffAck m;
+  m.mapVersion = static_cast<std::uint32_t>(r.read(32));
+  m.itemsReceived = static_cast<std::uint32_t>(r.read(32));
+  if (!r.ok()) return std::nullopt;
+  return m;
+}
+
 void FrameBuffer::append(const std::uint8_t* data, std::size_t len) {
   // Compact before growing so a long-lived connection's buffer does not
   // creep: everything before off_ is already consumed.

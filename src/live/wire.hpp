@@ -49,6 +49,9 @@ enum class FrameType : std::uint8_t {
   kValidityReply = 8,///< server -> client: which checked entries are stale
   kAudit = 9,       ///< client -> server: a cache answer, for stale audit
   kBye = 10,        ///< client -> server: clean shutdown
+  kMapUpdate = 11,  ///< server -> clients: shard map epoch N+1 (reshard)
+  kHandoff = 12,    ///< shard -> shard: one migrating item + history tail
+  kHandoffAck = 13, ///< shard -> shard: backfill stream fully absorbed
 };
 
 struct FrameHeader {
@@ -222,6 +225,34 @@ struct Audit {
   sim::SimTime validAsOf = 0;
 };
 
+/// Epoch announce: the authoritative shard map for the next epoch. Sent on
+/// every welcomed uplink at reshard cutover and once on the IR downlink; a
+/// client installs it iff `shardMap.version()` exceeds its installed epoch
+/// (ShardMap::decodeFrom's minVersion guard rejects replays).
+struct MapUpdate {
+  ShardMap shardMap;
+};
+
+/// One migrating item of a shard→shard backfill stream: the authoritative
+/// snapshot (its full update-time list, ascending; version == count) the
+/// new owner installs, and whose tail it splices into its UpdateHistory so
+/// Tlb-gap checks for the item keep working across the epoch switch.
+/// `last == 1` marks the stream's final frame; the receiver acks the whole
+/// stream with one HandoffAck.
+struct Handoff {
+  std::uint32_t mapVersion = 0;   ///< target epoch (the new map's version)
+  std::uint16_t sourceShard = 0;  ///< sender's shard index in the OLD map
+  std::uint8_t last = 0;          ///< 1 on the stream's final frame
+  db::ItemId item = 0;
+  std::vector<sim::SimTime> updateTimes;  ///< ascending update times
+};
+
+/// Destination's receipt for one whole backfill stream.
+struct HandoffAck {
+  std::uint32_t mapVersion = 0;
+  std::uint32_t itemsReceived = 0;
+};
+
 [[nodiscard]] std::vector<std::uint8_t> encodeHello(const Hello& m);
 [[nodiscard]] std::optional<Hello> decodeHello(
     const std::vector<std::uint8_t>& payload);
@@ -265,6 +296,24 @@ MCI_HOT void encodeCheckInto(const Check& m, report::BitWriter& w);
 
 [[nodiscard]] std::vector<std::uint8_t> encodeAudit(const Audit& m);
 [[nodiscard]] std::optional<Audit> decodeAudit(
+    const std::vector<std::uint8_t>& payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encodeMapUpdate(const MapUpdate& m);
+/// Arena variant for the cutover fan-out: encode once, send to every conn.
+void encodeMapUpdateInto(const MapUpdate& m, report::BitWriter& w);
+/// `minVersion` forwards the stale-epoch replay guard to
+/// ShardMap::decodeFrom: an announce older than the installed epoch fails
+/// to decode at all.
+[[nodiscard]] std::optional<MapUpdate> decodeMapUpdate(
+    const std::vector<std::uint8_t>& payload, std::uint32_t minVersion = 0);
+
+[[nodiscard]] std::vector<std::uint8_t> encodeHandoff(const Handoff& m);
+void encodeHandoffInto(const Handoff& m, report::BitWriter& w);
+[[nodiscard]] std::optional<Handoff> decodeHandoff(
+    const std::vector<std::uint8_t>& payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encodeHandoffAck(const HandoffAck& m);
+[[nodiscard]] std::optional<HandoffAck> decodeHandoffAck(
     const std::vector<std::uint8_t>& payload);
 
 /// Incremental reassembler for the TCP byte stream: append whatever the

@@ -32,6 +32,15 @@
 //   --parity-simtime S  pool-phase model seconds (default: simtime — the
 //                       comparison is only fair at equal cache warmth)
 //   --json PATH         write the JSON document here (default: stdout)
+//   --reshard           grow the live cluster mid-run (epoch switch): at
+//                       --reshard-at (default 0.4) of simtime the cluster
+//                       adds --reshard-grow shards (default 2) while the
+//                       swarm keeps querying. The parity pool still runs
+//                       at the ORIGINAL shard count — it is the no-reshard
+//                       control the post-switch hit ratio is gated
+//                       against. The row is named "swarm-reshard/<N>" and
+//                       soundness additionally requires the epoch switch
+//                       to have been heard and completed.
 
 #include <atomic>
 #include <cstdint>
@@ -102,14 +111,27 @@ void writeJson(std::FILE* out, const std::vector<BenchRow>& rows) {
   std::fprintf(out, "  ]\n}\n");
 }
 
+struct ReshardPlan {
+  bool enabled = false;
+  std::uint32_t growBy = 2;
+  double atFrac = 0.4;    ///< of simTime; the grow is kicked off here
+  double tailFrac = 0.5;  ///< hit-ratio tail window starts here (post-switch)
+};
+
 struct SwarmPhaseResult {
   swarm::SwarmStats stats;
+  swarm::MuxStats mux;
   metrics::Hist aoiMs;
   metrics::Hist latencyMs;
   double wallSeconds = 0;
   double allocsPerClientTick = 0;
   double meanOccupancy = 0;
   std::size_t memoryBytes = 0;
+  std::uint32_t shardsFinal = 0;
+  /// Hit ratio over [tailFrac * simTime, simTime) — on a reshard run this
+  /// window opens after the epoch switch, so it is the post-switch figure
+  /// the acceptance gate compares against a control run's same window.
+  double tailHitRatio = -1.0;
   bool sound = false;
 };
 
@@ -117,7 +139,8 @@ struct SwarmPhaseResult {
 /// model seconds elapse on the report stream.
 SwarmPhaseResult runSwarm(const core::SimConfig& cfg, double timeScale,
                           std::uint32_t shards,
-                          const swarm::SwarmOptions& swarmTemplate) {
+                          const swarm::SwarmOptions& swarmTemplate,
+                          const ReshardPlan& plan) {
   live::Reactor reactor;
   live::ClusterOptions co;
   co.cfg = cfg;
@@ -132,7 +155,16 @@ SwarmPhaseResult runSwarm(const core::SimConfig& cfg, double timeScale,
   swarm::SwarmOptions so = swarmTemplate;
   so.cfg = cfg;
   so.port = cluster.seedPort();
-  so.auditDbs = cluster.auditDbs();
+  if (plan.enabled) {
+    // A reshard adds shards the startup snapshot cannot know; resolve the
+    // audit database against the live cluster at answer time instead.
+    so.auditDbResolver = [&cluster](std::uint32_t s) -> const db::Database* {
+      return s < cluster.shardCount() ? &cluster.server(s).database()
+                                      : nullptr;
+    };
+  } else {
+    so.auditDbs = cluster.auditDbs();
+  }
   // The server shares this process's heap, so the gate samples the global
   // counter around swarm callbacks only (MuxStats::hotAllocs), not across
   // wall time.
@@ -146,6 +178,11 @@ SwarmPhaseResult runSwarm(const core::SimConfig& cfg, double timeScale,
   std::uint64_t warmTicks = 0;
   bool warmMarked = false;
   bool timedOut = false;
+  bool growStarted = false;
+  bool growDone = false;
+  bool tailMarked = false;
+  std::uint64_t tailHits = 0;
+  std::uint64_t tailMisses = 0;
   reactor.addTimer(0.02, 0.02, [&] {
     if (!em.ready()) {
       if (timer.seconds() > 60.0) {  // connect stall guard
@@ -158,6 +195,20 @@ SwarmPhaseResult runSwarm(const core::SimConfig& cfg, double timeScale,
       warmMarked = true;
       warmAllocs = em.mux().stats().hotAllocs;
       warmTicks = em.stats().clientTicks;
+    }
+    if (plan.enabled && !growStarted &&
+        em.modelNow() >= cfg.simTime * plan.atFrac) {
+      growStarted = true;
+      cluster.grow(plan.growBy, [&cluster, &growDone] {
+        growDone = true;
+        std::fprintf(stderr, "mci_swarm: reshard done — epoch=%u shards=%u\n",
+                     cluster.epoch(), cluster.shardCount());
+      });
+    }
+    if (!tailMarked && em.modelNow() >= cfg.simTime * plan.tailFrac) {
+      tailMarked = true;
+      tailHits = em.stats().cacheHits;
+      tailMisses = em.stats().cacheMisses;
     }
     if (em.modelNow() >= cfg.simTime) {
       em.shutdown();
@@ -172,10 +223,19 @@ SwarmPhaseResult runSwarm(const core::SimConfig& cfg, double timeScale,
   for (const auto o : em.state().occupancy) occ += o;
   r.meanOccupancy = static_cast<double>(occ) / em.state().clients;
   r.stats = em.stats();
+  r.mux = em.mux().stats();
   r.aoiMs = em.aoiHistMs();
   r.latencyMs = em.latencyHistMs();
   r.wallSeconds = timer.seconds();
   r.memoryBytes = em.memoryBytes();
+  r.shardsFinal = cluster.shardCount();
+  if (tailMarked) {
+    const std::uint64_t th = r.stats.cacheHits - tailHits;
+    const std::uint64_t tm = r.stats.cacheMisses - tailMisses;
+    if (th + tm > 0) {
+      r.tailHitRatio = static_cast<double>(th) / static_cast<double>(th + tm);
+    }
+  }
   const std::uint64_t steadyTicks = r.stats.clientTicks - warmTicks;
   r.allocsPerClientTick =
       !warmMarked || steadyTicks == 0
@@ -185,17 +245,24 @@ SwarmPhaseResult runSwarm(const core::SimConfig& cfg, double timeScale,
   r.sound = !timedOut && em.ready() && !em.mux().anyConnectionLost() &&
             r.stats.reportsProcessed > 0 && r.stats.queriesCompleted > 0 &&
             r.stats.staleReads == 0 && cluster.staleReads() == 0;
+  if (plan.enabled) {
+    // The transition itself is part of the soundness claim: the grow must
+    // have started, completed on the cluster, and been applied by the mux.
+    r.sound = r.sound && growStarted && growDone && r.mux.epochSwitches >= 1;
+  }
   if (!r.sound) {
     std::fprintf(
         stderr,
         "mci_swarm: swarm phase unsound (timeout=%d ready=%d lost=%llu "
-        "reports=%llu queries=%llu stale=%llu/%llu)\n",
+        "reports=%llu queries=%llu stale=%llu/%llu grow=%d/%d switches=%llu)\n",
         timedOut ? 1 : 0, em.ready() ? 1 : 0,
         static_cast<unsigned long long>(em.mux().stats().connectionsLost),
         static_cast<unsigned long long>(r.stats.reportsProcessed),
         static_cast<unsigned long long>(r.stats.queriesCompleted),
         static_cast<unsigned long long>(r.stats.staleReads),
-        static_cast<unsigned long long>(cluster.staleReads()));
+        static_cast<unsigned long long>(cluster.staleReads()),
+        growStarted ? 1 : 0, growDone ? 1 : 0,
+        static_cast<unsigned long long>(r.mux.epochSwitches));
   }
   return r;
 }
@@ -307,6 +374,10 @@ int main(int argc, char** argv) {
   // comparison would gate nothing.
   const double paritySimtime = cli.getDouble("parity-simtime", cfg.simTime);
   const std::string jsonPath = cli.getStr("json", "");
+  ReshardPlan plan;
+  plan.enabled = cli.has("reshard");
+  plan.growBy = static_cast<std::uint32_t>(cli.getInt("reshard-grow", 2));
+  plan.atFrac = cli.getDouble("reshard-at", 0.4);
 
   if (zipfTheta >= 0.0 && parityAgents > 0) {
     // The pool draws from the configured UNIFORM/HOTCOLD pattern; a Zipf
@@ -327,7 +398,7 @@ int main(int argc, char** argv) {
                "%s, %.0f model s @ x%.0f\n",
                clients, shards, endpoints, schemes::schemeName(cfg.scheme),
                cfg.simTime, timeScale);
-  const SwarmPhaseResult sw = runSwarm(cfg, timeScale, shards, so);
+  const SwarmPhaseResult sw = runSwarm(cfg, timeScale, shards, so, plan);
   if (!sw.sound) return 1;
 
   PoolPhaseResult pool;
@@ -351,17 +422,20 @@ int main(int argc, char** argv) {
           : std::min(hitSwarm, hitPool) / std::max(hitSwarm, hitPool);
 
   BenchRow row;
-  row.name = "swarm/" + std::to_string(clients);
+  row.name = (plan.enabled ? "swarm-reshard/" : "swarm/") +
+             std::to_string(clients);
   auto put = [&row](const char* k, double v) {
     row.metrics.emplace_back(k, v);
   };
   put("clients", clients);
   put("shards", shards);
+  if (plan.enabled) put("shards_final", sw.shardsFinal);
   put("endpoints", endpoints);
   put("queries_completed", static_cast<double>(sw.stats.queriesCompleted));
   put("hit_ratio_swarm", hitSwarm);
   put("hit_ratio_pool", hitPool);
   put("hit_ratio_parity", parity);
+  put("hit_ratio_tail", sw.tailHitRatio);
   put("stale_reads", static_cast<double>(sw.stats.staleReads));
   put("reports_processed", static_cast<double>(sw.stats.reportsProcessed));
   put("client_ticks", static_cast<double>(sw.stats.clientTicks));
@@ -380,6 +454,12 @@ int main(int argc, char** argv) {
   put("dozes", static_cast<double>(sw.stats.dozes));
   put("model_s_per_wall_s",
       sw.wallSeconds > 0 ? cfg.simTime / sw.wallSeconds : 0.0);
+  if (plan.enabled) {
+    put("epoch_switches", static_cast<double>(sw.mux.epochSwitches));
+    put("map_updates_heard", static_cast<double>(sw.mux.mapUpdatesHeard));
+    put("late_fetches_dropped",
+        static_cast<double>(sw.stats.lateFetchesDropped));
+  }
 
   std::FILE* out = stdout;
   if (!jsonPath.empty()) {

@@ -75,10 +75,11 @@ void SwarmEmulator::onWelcome(const live::wire::Welcome& w) {
   }
 
   const std::uint32_t shards = w.shardMap.shardCount();
-  if (!opts_.auditDbs.empty()) {
+  if (!opts_.auditDbResolver && !opts_.auditDbs.empty()) {
     MCI_CHECK(opts_.auditDbs.size() == shards)
         << "auditDbs must have one database per shard";
   }
+  cacheCapacity_ = w.cacheCapacity;
   state_.configure(opts_.clients, shards,
                    static_cast<std::uint32_t>(cfg_.dbSize), w.cacheCapacity,
                    cfg_.seed);
@@ -252,10 +253,16 @@ void SwarmEmulator::applyTsClient(std::uint32_t c, std::uint32_t s, Tick now,
     return;
   }
   if (!state_.checkSent.get(idx)) {
-    mux_->sendCheck(s, c, live::LiveClock::tickToTime(state_.suspectAsOf[idx]),
-                    tlbBits_);
-    state_.checkSent.set(idx);
-    state_.salvagePending.set(idx);
+    // A mid-flip joiner endpoint may not be welcomed yet: nothing was
+    // sent, leave both flags clear and retry on the next report. Suspects
+    // stay unanswerable-as-hits meanwhile (answerShard treats them as
+    // misses), so correctness is unaffected.
+    if (mux_->sendCheck(s, c,
+                        live::LiveClock::tickToTime(state_.suspectAsOf[idx]),
+                        tlbBits_)) {
+      state_.checkSent.set(idx);
+      state_.salvagePending.set(idx);
+    }
   } else if (state_.checkDeliveredAt[idx] < now) {
     // The server absorbed our Tlb before building this report and still
     // did not cover us: the explicit decline. Drop the suspects.
@@ -301,7 +308,9 @@ void SwarmEmulator::answerShard(std::uint32_t c, std::uint32_t s, Tick now) {
   const std::size_t csIdx = state_.cs(c, s);
   const live::ShardMap& map = mux_->shardMap();
   const db::Database* truth =
-      opts_.auditDbs.empty() ? nullptr : opts_.auditDbs[s];
+      opts_.auditDbResolver
+          ? opts_.auditDbResolver(s)
+          : (s < opts_.auditDbs.size() ? opts_.auditDbs[s] : nullptr);
   const std::uint32_t n = state_.queryCount[c];
   for (std::uint32_t i = 0; i < n; ++i) {
     const db::ItemId item = state_.queryItems[base + i];
@@ -452,8 +461,14 @@ void SwarmEmulator::onDataItem(std::uint32_t shard, std::uint32_t client,
   // consistency point, where a later legitimately-short extended report
   // could wrongly salvage it. Drop the late copy instead (the next query
   // simply misses again). ClientAgent::onDataItem applies the same rule.
-  if (readTick >= state_.lastHeard[state_.cs(client, shard)]) {
-    state_.insert(client, shard, item, fetchTick, version);
+  // File the copy under the item's *current* owner, not the conn's shard
+  // tag: during a reshard a reply can come back on a draining conn whose
+  // shard left the map, or for an item whose owner changed since the miss
+  // went out. Pre-flip the two are identical.
+  const std::uint32_t owner = mux_->shardMap().shardOf(item);
+  (void)shard;
+  if (readTick >= state_.lastHeard[state_.cs(client, owner)]) {
+    state_.insert(client, owner, item, fetchTick, version);
   } else {
     ++stats_.lateFetchesDropped;
   }
@@ -469,11 +484,80 @@ void SwarmEmulator::onCheckAck(std::uint32_t shard, std::uint32_t client,
                                Tick asOfTick) {
   // onCheckDelivered: stamp the ack; the next uncovering report compares
   // checkDeliveredAt against its broadcast tick to detect the decline.
+  if (shard >= state_.shards) return;  // drained ack; the shard left the map
   state_.checkDeliveredAt[state_.cs(client, shard)] = asOfTick;
 }
 
 void SwarmEmulator::onConnectionLost(std::uint32_t shard) {
   (void)shard;  // surfaced via mux().anyConnectionLost() soundness checks
+}
+
+void SwarmEmulator::onMapUpdate(const live::ShardMap& oldMap,
+                                const live::ShardMap& newMap) {
+  if (!configured_) return;
+  const std::uint32_t oldShards = state_.shards;
+  const std::uint32_t newShards = newMap.shardCount();
+
+  // Pre-flip Tlb per client: the most conservative instant every old
+  // partition is provably consistent at — min over shards of lastHeard,
+  // folding in suspectAsOf where a gap cycle is already running. Every
+  // update a client could have missed around the switch is listed by some
+  // new-owner report (or resolvable via its spliced history) after this
+  // instant, so suspect-as-of-preTlb plus one ordinary gap cycle per
+  // partition is exactly the ClientAgent::applyShardMap argument, swept.
+  std::vector<Tick> preTlb(state_.clients, 0);
+  for (std::uint32_t c = 0; c < state_.clients; ++c) {
+    Tick t = kNeverTick;
+    for (std::uint32_t s = 0; s < oldShards; ++s) {
+      const std::size_t idx = state_.cs(c, s);
+      Tick v = state_.lastHeard[idx];
+      if (state_.suspectCount[idx] > 0) {
+        v = std::min(v, state_.suspectAsOf[idx]);
+      }
+      t = std::min(t, v);
+    }
+    preTlb[c] = t == kNeverTick ? 0 : t;
+  }
+
+  state_.resizeShards(
+      newShards, cacheCapacity_,
+      [&newMap](db::ItemId item) { return newMap.shardOf(item); });
+
+  for (std::uint32_t c = 0; c < state_.clients; ++c) {
+    for (std::uint32_t s = 0; s < newShards; ++s) {
+      const std::size_t idx = state_.cs(c, s);
+      if (s >= oldShards) state_.lastHeard[idx] = preTlb[c];
+      state_.checkDeliveredAt[idx] = kNeverTick;
+      if (state_.markAllSuspectPartition(c, s) > 0) {
+        state_.suspectAsOf[idx] = preTlb[c];
+        state_.salvagePending.set(idx);
+      } else {
+        state_.suspectAsOf[idx] = 0;
+        state_.salvagePending.clear(idx);
+      }
+    }
+    // Remap an in-flight query's owed-answer mask from old owners to new.
+    // Per-item answered state is not tracked, so an already-answered item
+    // sharing its new shard with a still-owed one is answered again — a
+    // harmless double count, never a dropped or stale answer.
+    if (state_.state[c] == ClientState::kAwaiting) {
+      const std::uint32_t oldMask = state_.needAnswer[c];
+      std::uint32_t mask = 0;
+      if (oldMask != 0) {
+        const std::size_t base =
+            static_cast<std::size_t>(c) * SwarmState::kMaxQueryItems;
+        const std::uint32_t n = state_.queryCount[c];
+        for (std::uint32_t i = 0; i < n; ++i) {
+          const db::ItemId item = state_.queryItems[base + i];
+          if ((oldMask >> oldMap.shardOf(item) & 1u) != 0) {
+            mask |= 1u << newMap.shardOf(item);
+          }
+        }
+      }
+      state_.needAnswer[c] = mask;
+      if (mask == 0 && pendingFetch_[c] == 0) completeQuery(c, lastTick_);
+    }
+  }
 }
 
 }  // namespace mci::swarm

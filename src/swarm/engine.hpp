@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -39,6 +40,11 @@ struct SwarmOptions {
   /// In-process runs: audit every cache hit against the authoritative
   /// per-shard databases (indexed by shard). Empty = no audit.
   std::vector<const db::Database*> auditDbs;
+  /// Elastic runs: resolves the authoritative database for a shard index
+  /// under the *current* epoch (a reshard adds shards auditDbs cannot
+  /// know). When set it replaces auditDbs entirely; nullptr = skip audit
+  /// for that shard.
+  std::function<const db::Database*(std::uint32_t)> auditDbResolver;
   /// Forwarded to UplinkMux::Options::allocProbe (hot-path alloc gate).
   std::uint64_t (*allocProbe)() = nullptr;
 };
@@ -142,6 +148,8 @@ class SwarmEmulator final : public SwarmSink {
   void onCheckAck(std::uint32_t shard, std::uint32_t client,
                   Tick asOfTick) override;
   void onConnectionLost(std::uint32_t shard) override;
+  void onMapUpdate(const live::ShardMap& oldMap,
+                   const live::ShardMap& newMap) override;
 
  private:
   [[nodiscard]] MCI_HOT db::ItemId pickItem(sim::Rng& rng) const;
@@ -179,6 +187,7 @@ class SwarmEmulator final : public SwarmSink {
   SwarmState state_;
   std::vector<std::uint32_t> pendingFetch_;  ///< outstanding items, per client
   Tick lastTick_ = 0;
+  std::uint32_t cacheCapacity_ = 0;  ///< from Welcome; reused at reshard
 
   // Shared decode scratch for the current TS report (capacity reused).
   std::vector<db::ItemId> entryItem_;

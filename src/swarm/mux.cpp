@@ -222,6 +222,9 @@ void UplinkMux::handleWelcome(Conn& conn, const live::wire::Welcome& w) {
     ready_ = true;
     sink_.onMuxReady();
   }
+  // A joiner conn may have accumulated staged fetches while its handshake
+  // was in flight (the server drops queries from un-welcomed conns).
+  flushConnStaged(conn);
 }
 
 void UplinkMux::onUdp(Link& link, std::uint32_t events) {
@@ -259,6 +262,9 @@ void UplinkMux::onUdpIo(Link& link, std::uint32_t events) {
       for (int i = 0; i < n; ++i) {
         const live::UdpBatchReceiver::Datagram d = udpReceiver_.datagram(i);
         handleDatagram(link, d.data, d.len);
+        // A kMapUpdate in this batch may have retired the link (reshard
+        // shrink): its downlink is already closed, drop the rest.
+        if (link.udpFd < 0) return;
       }
     }
   }
@@ -269,6 +275,7 @@ void UplinkMux::onUdpIo(Link& link, std::uint32_t events) {
     ++stats_.udpRecvSyscalls;
     if (n <= 0) return;  // EAGAIN drained, or transient error
     handleDatagram(link, buf, static_cast<std::size_t>(n));
+    if (link.udpFd < 0) return;  // retired by a kMapUpdate just handled
   }
 }
 
@@ -276,7 +283,23 @@ void UplinkMux::handleDatagram(Link& link, const std::uint8_t* data,
                                std::size_t len) {
   const std::optional<live::wire::FrameView> f =
       live::wire::decodeFrameView(data, len);
-  if (!f || f->header.type != live::wire::FrameType::kReport) {
+  if (!f) {
+    ++stats_.badFrames;
+    return;
+  }
+  if (f->header.type == live::wire::FrameType::kMapUpdate) {
+    // Epoch announce piggybacked on the IR downlink. Control path: the
+    // allocating decoder is fine here.
+    const std::vector<std::uint8_t> payload(f->payload.begin(),
+                                            f->payload.end());
+    if (auto m = live::wire::decodeMapUpdate(payload)) {
+      applyMapUpdate(m->shardMap);
+    } else {
+      ++stats_.badFrames;
+    }
+    return;
+  }
+  if (f->header.type != live::wire::FrameType::kReport) {
     ++stats_.badFrames;
     return;
   }
@@ -356,6 +379,7 @@ void UplinkMux::handleFrameView(Conn& conn, const live::wire::FrameView& f) {
       ++stats_.dataItems;
       sink_.onDataItem(conn.shard, pf.client, item, version, pf.tick,
                        static_cast<Tick>(readTime * 1000.0 + 0.5));
+      maybeCloseDrained(conn);
       return;
     }
     case FrameType::kCheckAck: {
@@ -375,6 +399,18 @@ void UplinkMux::handleFrameView(Conn& conn, const live::wire::FrameView& f) {
       conn.ackQueue.pop();
       sink_.onCheckAck(conn.shard, client,
                        static_cast<Tick>(asOf * 1000.0 + 0.5));
+      maybeCloseDrained(conn);
+      return;
+    }
+    case FrameType::kMapUpdate: {
+      // Per-conn announce (cutover push or misroute re-announce).
+      const std::vector<std::uint8_t> payload(f.payload.begin(),
+                                              f.payload.end());
+      if (auto m = live::wire::decodeMapUpdate(payload)) {
+        applyMapUpdate(m->shardMap);
+      } else {
+        ++stats_.badFrames;
+      }
       return;
     }
     default:
@@ -399,34 +435,37 @@ void UplinkMux::queueFetch(std::uint32_t shard, std::uint32_t client,
 
 void UplinkMux::flushFetches() {
   for (auto& link : links_) {
-    for (auto& connPtr : link->conns) {
-      Conn& conn = *connPtr;
-      if (conn.staged.empty()) continue;
-      std::size_t off = 0;
-      while (off < conn.staged.size() && conn.fd >= 0) {
-        const std::size_t n = std::min<std::size_t>(
-            conn.staged.size() - off, opts_.maxItemsPerQueryFrame);
-        report::BitWriter w =
-            arena_.begin(live::wire::FrameType::kQueryRequest,
-                         live::wire::kNoScheme, net::TrafficClass::kBulk);
-        live::wire::encodeQueryRequestInto(
-            std::span<const db::ItemId>(conn.staged.data() + off, n), w);
-        arena_.finish(w);
-        ++stats_.queryFramesSent;
-        stats_.fetchesSent += n;
-        if (!sendArena(conn)) break;
-        off += n;
-      }
-      conn.staged.clear();
-    }
+    for (auto& connPtr : link->conns) flushConnStaged(*connPtr);
   }
 }
 
-void UplinkMux::sendCheck(std::uint32_t shard, std::uint32_t client,
+void UplinkMux::flushConnStaged(Conn& conn) {
+  if (conn.staged.empty()) return;
+  if (!conn.welcomed) return;  // server drops queries pre-Welcome; hold the
+                               // batch, handleWelcome re-invokes us
+  std::size_t off = 0;
+  while (off < conn.staged.size() && conn.fd >= 0) {
+    const std::size_t n = std::min<std::size_t>(
+        conn.staged.size() - off, opts_.maxItemsPerQueryFrame);
+    report::BitWriter w =
+        arena_.begin(live::wire::FrameType::kQueryRequest,
+                     live::wire::kNoScheme, net::TrafficClass::kBulk);
+    live::wire::encodeQueryRequestInto(
+        std::span<const db::ItemId>(conn.staged.data() + off, n), w);
+    arena_.finish(w);
+    ++stats_.queryFramesSent;
+    stats_.fetchesSent += n;
+    if (!sendArena(conn)) break;
+    off += n;
+  }
+  conn.staged.clear();
+}
+
+bool UplinkMux::sendCheck(std::uint32_t shard, std::uint32_t client,
                           double tlbSeconds, double sizeBits) {
   Link& link = *links_[shard];
   Conn& conn = *link.conns[client % opts_.endpointsPerShard];
-  if (conn.fd < 0) return;
+  if (conn.fd < 0 || !conn.welcomed) return false;
   live::wire::Check c;
   c.tlb = tlbSeconds;
   c.epoch = 0;  // FIFO correlation; the adaptive check carries no epoch
@@ -439,6 +478,100 @@ void UplinkMux::sendCheck(std::uint32_t shard, std::uint32_t client,
   conn.ackQueue.push(client);
   ++stats_.checksSent;
   (void)sendArena(conn);
+  return true;
+}
+
+void UplinkMux::applyMapUpdate(const live::ShardMap& map) {
+  ++stats_.mapUpdatesHeard;
+  if (!sawWelcome_ || !map_.valid()) return;  // seed Welcome carries the map
+  if (!map.valid() || map.version() <= map_.version()) {
+    ++stats_.staleMapUpdates;
+    return;
+  }
+  const live::ShardMap old = map_;
+  map_ = map;
+  ++stats_.epochSwitches;
+
+  const std::uint32_t newCount = map_.shardCount();
+  // Re-key surviving links by endpoint identity; every cluster transition
+  // keeps survivor indices stable, but matching on (ipv4, tcpPort) stays
+  // correct even if that law ever changes.
+  std::vector<std::unique_ptr<Link>> byShard(newCount);
+  for (std::size_t oldS = 0; oldS < links_.size(); ++oldS) {
+    std::unique_ptr<Link>& l = links_[oldS];
+    if (l == nullptr) continue;
+    const live::ShardEndpoint& oldEp =
+        old.endpoint(static_cast<std::uint32_t>(oldS));
+    bool placed = false;
+    for (std::uint32_t s = 0; s < newCount && !placed; ++s) {
+      const live::ShardEndpoint& ep = map_.endpoint(s);
+      if (byShard[s] == nullptr && ep.ipv4 == oldEp.ipv4 &&
+          ep.tcpPort == oldEp.tcpPort) {
+        l->shard = s;
+        for (auto& c : l->conns) c->shard = s;
+        byShard[s] = std::move(l);
+        placed = true;
+      }
+    }
+    if (!placed) {
+      // Endpoint retired: the IR downlink dies now, uplink conns drain
+      // their in-flight replies (grace-served by the retiring daemon).
+      l->shard = kUnknownShard;
+      if (l->udpFd >= 0) {
+        reactor_.removeFd(l->udpFd);
+        ::close(l->udpFd);
+        l->udpFd = -1;
+      }
+      for (auto& c : l->conns) {
+        c->draining = true;
+        maybeCloseDrained(*c);
+      }
+      drainingLinks_.push_back(std::move(l));
+    }
+  }
+  links_ = std::move(byShard);
+
+  // Dial joiners. In-process loopback: dialConn's failure throw aborts the
+  // run, same contract as the initial connect().
+  for (std::uint32_t s = 0; s < newCount; ++s) {
+    if (links_[s] != nullptr) continue;
+    const live::ShardEndpoint& ep = map_.endpoint(s);
+    auto link = std::make_unique<Link>();
+    link->shard = s;
+    link->udpFd = openDownlinkUdp(ep.ipv4, ep.multicastIpv4,
+                                  ep.multicastPort);
+    Link* lp = link.get();
+    reactor_.addFd(link->udpFd, EPOLLIN,
+                   [this, lp](std::uint32_t ev) { onUdp(*lp, ev); });
+    links_[s] = std::move(link);
+    Link& lnk = *links_[s];
+    const bool multicast = ep.multicastIpv4 != 0;
+    const std::uint16_t downlinkPort =
+        multicast ? 0 : boundPort(lnk.udpFd);
+    for (std::uint32_t e = 0; e < opts_.endpointsPerShard; ++e) {
+      lnk.conns.push_back(dialConn(s, e, ep.ipv4, ep.tcpPort));
+      sendHello(*lnk.conns.back(), e == 0 ? downlinkPort : 0);
+    }
+  }
+
+  // Drained conns no longer count toward readiness; joiners re-welcome.
+  welcomedConns_ = 0;
+  for (const auto& link : links_) {
+    for (const auto& c : link->conns) {
+      if (c->welcomed) ++welcomedConns_;
+    }
+  }
+
+  sink_.onMapUpdate(old, map_);
+}
+
+void UplinkMux::maybeCloseDrained(Conn& conn) {
+  if (!conn.draining || conn.fd < 0) return;
+  if (!conn.fetchQueue.empty() || !conn.ackQueue.empty()) return;
+  // Quiet close, no Bye: the retiring daemon may already be gone.
+  reactor_.removeFd(conn.fd);
+  ::close(conn.fd);
+  conn.fd = -1;
 }
 
 bool UplinkMux::sendArena(Conn& conn) {
@@ -498,7 +631,9 @@ void UplinkMux::dropConn(Conn& conn) {
   reactor_.removeFd(conn.fd);
   ::close(conn.fd);
   conn.fd = -1;
-  if (!shuttingDown_) {
+  // A draining conn's EOF is the retiring daemon going away on schedule,
+  // not a failure.
+  if (!shuttingDown_ && !conn.draining) {
     ++stats_.connectionsLost;
     sink_.onConnectionLost(conn.shard);
   }
@@ -521,19 +656,21 @@ void UplinkMux::shutdown() {
 }
 
 void UplinkMux::closeAll() {
-  for (auto& link : links_) {
-    if (link == nullptr) continue;
-    for (auto& connPtr : link->conns) {
-      if (connPtr->fd >= 0) {
-        reactor_.removeFd(connPtr->fd);
-        ::close(connPtr->fd);
-        connPtr->fd = -1;
+  for (auto* linkSet : {&links_, &drainingLinks_}) {
+    for (auto& link : *linkSet) {
+      if (link == nullptr) continue;
+      for (auto& connPtr : link->conns) {
+        if (connPtr->fd >= 0) {
+          reactor_.removeFd(connPtr->fd);
+          ::close(connPtr->fd);
+          connPtr->fd = -1;
+        }
       }
-    }
-    if (link->udpFd >= 0) {
-      reactor_.removeFd(link->udpFd);
-      ::close(link->udpFd);
-      link->udpFd = -1;
+      if (link->udpFd >= 0) {
+        reactor_.removeFd(link->udpFd);
+        ::close(link->udpFd);
+        link->udpFd = -1;
+      }
     }
   }
 }

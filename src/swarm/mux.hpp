@@ -43,6 +43,15 @@ class SwarmSink {
                           Tick asOfTick) = 0;
   /// A TCP endpoint died (other than by shutdown()).
   virtual void onConnectionLost(std::uint32_t shard) = 0;
+  /// The cluster advanced to a newer shard-map epoch and the mux has
+  /// already re-keyed its links (survivors kept, removed drained, joiners
+  /// dialed). The engine must now migrate its per-(client, shard) state to
+  /// the new partition law. Default: ignore (single-epoch sinks).
+  virtual void onMapUpdate(const live::ShardMap& oldMap,
+                           const live::ShardMap& newMap) {
+    (void)oldMap;
+    (void)newMap;
+  }
 };
 
 struct MuxStats {
@@ -55,6 +64,9 @@ struct MuxStats {
   std::uint64_t dataItems = 0;
   std::uint64_t checksSent = 0;
   std::uint64_t connectionsLost = 0;
+  std::uint64_t mapUpdatesHeard = 0;  ///< kMapUpdate frames (any conn/downlink)
+  std::uint64_t staleMapUpdates = 0;  ///< announces at or below our epoch
+  std::uint64_t epochSwitches = 0;    ///< shard-map flips actually applied
   /// Allocations observed by Options::allocProbe inside the mux's reactor
   /// callbacks (the entire swarm hot path, engine included) — the gated
   /// figure. The in-process server shares the global heap counter, so the
@@ -184,9 +196,12 @@ class UplinkMux {
   MCI_HOT void flushFetches();
 
   /// Sends one adaptive Tlb-feedback check (empty entry list) for
-  /// `client` to `shard`, on the client's endpoint.
-  MCI_HOT void sendCheck(std::uint32_t shard, std::uint32_t client,
-                         double tlbSeconds, double sizeBits);
+  /// `client` to `shard`, on the client's endpoint. False when the
+  /// endpoint is dead or not yet welcomed (mid-flip joiner): nothing was
+  /// sent or queued, so the caller should simply retry on a later report.
+  [[nodiscard]] MCI_HOT bool sendCheck(std::uint32_t shard,
+                                       std::uint32_t client,
+                                       double tlbSeconds, double sizeBits);
 
  private:
   static constexpr std::uint32_t kUnknownShard = 0xFFFFFFFFu;
@@ -203,6 +218,10 @@ class UplinkMux {
     std::uint32_t shard = kUnknownShard;
     std::uint32_t endpoint = 0;
     bool welcomed = false;
+    /// Endpoint left the map in a reshard: closes once both correlation
+    /// queues drain (in-flight replies are grace-served by the retiring
+    /// daemon). Never counted as a lost connection.
+    bool draining = false;
     live::wire::FrameBuffer in;
     std::vector<std::uint8_t> out;  ///< unsent tail; high-water capacity
     std::size_t outOff = 0;
@@ -238,6 +257,15 @@ class UplinkMux {
                               std::size_t len);
   MCI_HOT void handleFrameView(Conn& conn, const live::wire::FrameView& f);
   void handleWelcome(Conn& conn, const live::wire::Welcome& w);
+  /// A kMapUpdate landed (TCP frame or IR datagram): if it advances the
+  /// epoch, re-key links_ by endpoint identity, drain removed shards, dial
+  /// joiners, then hand the engine the old/new pair via Sink::onMapUpdate.
+  void applyMapUpdate(const live::ShardMap& map);
+  /// Sends conn's staged fetch batch if the conn is welcomed; otherwise
+  /// leaves it staged (handleWelcome flushes it when the handshake lands).
+  MCI_HOT void flushConnStaged(Conn& conn);
+  /// Closes a draining conn once both correlation queues are empty.
+  void maybeCloseDrained(Conn& conn);
 
   /// Sends the arena's finished frame on `conn` (direct write, queue the
   /// unsent tail). Returns false when the connection died.
@@ -251,6 +279,11 @@ class UplinkMux {
   Options opts_;
 
   std::vector<std::unique_ptr<Link>> links_;  ///< by shard once map known
+  /// Links whose endpoint a reshard removed. Downlinks close immediately;
+  /// uplink conns drain their reply queues first. Link objects live until
+  /// mux destruction — a flip can run inside a handler still holding a
+  /// reference into the very link being retired.
+  std::vector<std::unique_ptr<Link>> drainingLinks_;
   live::ShardMap map_;
   std::size_t welcomedConns_ = 0;
   bool ready_ = false;

@@ -72,6 +72,65 @@ void SwarmState::configure(std::uint32_t numClients, std::uint32_t numShards,
   checkSent.assign(ncs, false);
 }
 
+void SwarmState::resizeShards(
+    std::uint32_t numShards, std::uint32_t cacheCapacity,
+    const std::function<std::uint32_t(db::ItemId)>& ownerOf) {
+  MCI_CHECK(numShards >= 1 && numShards <= 32)
+      << "swarm needAnswer mask holds at most 32 shards";
+  const std::uint32_t oldShards = shards;
+  const std::uint32_t oldSlots = slotsPerClient;
+  std::vector<db::ItemId> oldItem = std::move(slotItem);
+  std::vector<Tick> oldRef = std::move(slotRef);
+  std::vector<db::Version> oldVersion = std::move(slotVersion);
+  std::vector<Tick> oldLastHeard = std::move(lastHeard);
+
+  shards = numShards;
+  shardSlotOff.assign(shards + 1, 0);
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    std::uint32_t share = cacheCapacity / shards +
+                          (s < cacheCapacity % shards ? 1u : 0u);
+    share = std::max<std::uint32_t>(share, 1);
+    MCI_CHECK(share <= 0xFFFF) << "per-shard cache share exceeds uint16";
+    shardSlotOff[s + 1] = shardSlotOff[s] + share;
+  }
+  slotsPerClient = shardSlotOff[shards];
+
+  const std::size_t nc = clients;
+  const std::size_t ncs = nc * shards;
+  const std::size_t nslots = nc * slotsPerClient;
+  slotItem.assign(nslots, kEmptySlot);
+  slotRef.assign(nslots, 0);
+  slotVersion.assign(nslots, 0);
+  slotSuspect.assign(nslots, false);
+  slotUsed.assign(nslots, false);
+  if (presenceEnabled) {
+    presence.assign(static_cast<std::uint64_t>(clients) * dbSize, false);
+  }
+  clockHand.assign(ncs, 0);
+  occupancy.assign(ncs, 0);
+  suspectCount.assign(ncs, 0);
+  lastHeard.assign(ncs, 0);
+  suspectAsOf.assign(ncs, 0);
+  checkDeliveredAt.assign(ncs, kNeverTick);
+  salvagePending.assign(ncs, false);
+  checkSent.assign(ncs, false);
+
+  const std::uint32_t survivors = std::min(oldShards, shards);
+  for (std::uint32_t c = 0; c < clients; ++c) {
+    for (std::uint32_t s = 0; s < survivors; ++s) {
+      lastHeard[cs(c, s)] =
+          oldLastHeard[static_cast<std::size_t>(c) * oldShards + s];
+    }
+    const std::size_t base = static_cast<std::size_t>(c) * oldSlots;
+    for (std::uint32_t slot = 0; slot < oldSlots; ++slot) {
+      const db::ItemId item = oldItem[base + slot];
+      if (item == kEmptySlot) continue;
+      insert(c, ownerOf(item), item, oldRef[base + slot],
+             oldVersion[base + slot]);
+    }
+  }
+}
+
 int SwarmState::findSlot(std::uint32_t c, std::uint32_t s,
                          db::ItemId item) const {
   if (presenceEnabled && !presence.get(presenceIndex(c, item))) return -1;

@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/annotations.hpp"
@@ -129,6 +130,18 @@ struct SwarmState {
   void configure(std::uint32_t numClients, std::uint32_t numShards,
                  std::uint32_t databaseSize, std::uint32_t cacheCapacity,
                  std::uint64_t seed);
+
+  /// Re-partitions for a new shard count mid-run (reshard epoch flip).
+  /// Per-client scalars and RNG streams survive untouched; cache slots are
+  /// laid out fresh for the new split and every surviving entry is
+  /// re-inserted into the partition `ownerOf(item)` names (CLOCK eviction
+  /// absorbs overflow into now-smaller shares). Per-(client, shard) scheme
+  /// state is zeroed for surviving indices except lastHeard, which carries
+  /// over — surviving endpoints keep their indices across every cluster
+  /// transition. The caller re-establishes suspect/gap state wholesale.
+  /// Cold path (one call per epoch switch); the std::function is fine.
+  void resizeShards(std::uint32_t numShards, std::uint32_t cacheCapacity,
+                    const std::function<std::uint32_t(db::ItemId)>& ownerOf);
 
   // --- indexing helpers ---
   [[nodiscard]] std::size_t cs(std::uint32_t c, std::uint32_t s) const {

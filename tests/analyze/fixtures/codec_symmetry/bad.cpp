@@ -88,4 +88,34 @@ std::optional<FixReorder> decodeFixReorder(
   return m;
 }
 
+struct FixSub {
+  std::uint32_t v = 0;
+  auto encodeTo(BitWriter& w) const -> void;
+  static auto decodeFrom(BitReader& r) -> std::optional<FixSub>;
+};
+
+struct FixSubDropped {
+  FixSub fixSub;
+  std::uint32_t tail = 0;
+};
+
+// BAD: the encoder delegates a whole submessage (the MapUpdate shape) but
+// the decoder never re-enters through FixSub::decodeFrom — every field of
+// the embedded message shears into `tail`.
+std::vector<std::uint8_t> encodeFixSubDropped(const FixSubDropped& m) {
+  BitWriter w;
+  m.fixSub.encodeTo(w);
+  w.write(m.tail, 32);
+  return w.finish();
+}
+
+std::optional<FixSubDropped> decodeFixSubDropped(
+    const std::vector<std::uint8_t>& payload) {
+  BitReader r(payload);
+  FixSubDropped m;
+  m.tail = static_cast<std::uint32_t>(r.read(32));
+  if (!r.ok()) return std::nullopt;
+  return m;
+}
+
 }  // namespace fix

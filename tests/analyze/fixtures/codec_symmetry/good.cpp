@@ -15,6 +15,7 @@ struct BitReader {
   explicit BitReader(const std::vector<std::uint8_t>& b);
   std::uint64_t read(int bits);
   bool ok();
+  bool fits(std::uint64_t count, int bitsEach);
 };
 
 struct FixSymmetric {
@@ -42,6 +43,69 @@ std::optional<FixSymmetric> decodeFixSymmetric(
   m.items.reserve(count);
   for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
     m.items.push_back(static_cast<std::uint32_t>(r.read(32)));
+  }
+  if (!r.ok()) return std::nullopt;
+  return m;
+}
+
+// Submessage delegation, the MapUpdate shape: the encoder hands the whole
+// field to its encodeTo and the decoder re-enters through a one-line
+// Type::decodeFrom assignment. Both sides resolve to the same field name
+// ("fixMap"), so the rule must pair them and stay quiet. The method
+// declarations use trailing return types on purpose: spelled the classic
+// way they would match the decoder-definition regex and register a
+// phantom message.
+struct FixMap {
+  std::uint32_t version = 0;
+  auto encodeTo(BitWriter& w) const -> void;
+  static auto decodeFrom(BitReader& r) -> std::optional<FixMap>;
+};
+
+struct FixMapWrap {
+  FixMap fixMap;
+};
+
+std::vector<std::uint8_t> encodeFixMapWrap(const FixMapWrap& m) {
+  BitWriter w;
+  m.fixMap.encodeTo(w);
+  return w.finish();
+}
+
+std::optional<FixMapWrap> decodeFixMapWrap(
+    const std::vector<std::uint8_t>& payload) {
+  BitReader r(payload);
+  FixMapWrap m;
+  auto map = FixMap::decodeFrom(r);
+  if (!map || !r.ok()) return std::nullopt;
+  m.fixMap = std::move(*map);
+  return m;
+}
+
+// Length-prefixed wide-element stream, the Handoff shape: a 32-bit count
+// fronting 64-bit elements behind a fits() guard. Symmetric; quiet.
+struct FixStream {
+  std::uint32_t item = 0;
+  std::vector<std::uint64_t> times;
+};
+
+std::vector<std::uint8_t> encodeFixStream(const FixStream& m) {
+  BitWriter w;
+  w.write(m.item, 32);
+  w.write(m.times.size(), 32);
+  for (std::uint64_t t : m.times) w.write(t, 64);
+  return w.finish();
+}
+
+std::optional<FixStream> decodeFixStream(
+    const std::vector<std::uint8_t>& payload) {
+  BitReader r(payload);
+  FixStream m;
+  m.item = static_cast<std::uint32_t>(r.read(32));
+  const std::uint64_t count = r.read(32);
+  if (!r.fits(count, 64)) return std::nullopt;
+  m.times.reserve(count);
+  for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
+    m.times.push_back(r.read(64));
   }
   if (!r.ok()) return std::nullopt;
   return m;

@@ -64,3 +64,11 @@ void badLoopBound(BitReader& r, Vec& out) {
     out.push_back(static_cast<unsigned>(r.read(32)));
   }
 }
+
+// BAD 6: the Handoff stream shape, minus its guard — a 32-bit element
+// count reserved straight off the wire. A lying count reserves gigabytes
+// before the first element is even read.
+void badHandoffReserve(BitReader& r, Vec& times) {
+  const unsigned long long count = r.read(32);
+  times.reserve(count);  // tainted reservation
+}

@@ -69,3 +69,14 @@ void goodFitsGuardedLoop(BitReader& r, Vec& out) {
     out.push_back(static_cast<unsigned>(r.read(32)));
   }
 }
+
+// GOOD: the Handoff decode shape — a 32-bit stream count fronting 64-bit
+// update times, bounded by fits() before the reserve and the loop.
+void goodHandoffStream(BitReader& r, Vec& times) {
+  const unsigned long long count = r.read(32);
+  if (!r.fits(count, 64)) return;
+  times.reserve(count);
+  for (unsigned long long i = 0; i < count; ++i) {
+    times.push_back(static_cast<unsigned>(r.read(64)));
+  }
+}

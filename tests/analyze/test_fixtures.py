@@ -127,14 +127,15 @@ class FixtureCorpusTest(unittest.TestCase, FixtureCaseMixin):
         self.assertIn("sumAliasBad", proc.stdout)
 
     def test_wire_taint_fires_on_every_seeded_bug(self):
-        """All five seeded flows report, each exactly once."""
+        """All six seeded flows report, each exactly once."""
         proc = _run("wire-taint", "bad.cpp")
         self.assertEqual(
             proc.returncode, 1,
             "wire-taint should fire on bad.cpp\nstdout:\n%s\nstderr:\n%s"
             % (proc.stdout, proc.stderr))
         for fn in ("badUnguardedIndex", "badGuardedThenReused",
-                   "badTaintThroughCopy", "badMemcpyLength", "badLoopBound"):
+                   "badTaintThroughCopy", "badMemcpyLength", "badLoopBound",
+                   "badHandoffReserve"):
             self.assertEqual(
                 proc.stdout.count("[in %s]" % fn), 1,
                 "%s should report exactly once\nstdout:\n%s"
@@ -158,7 +159,7 @@ class CodecSymmetryFixtureTest(unittest.TestCase, FixtureCaseMixin):
             proc.returncode, 1,
             "codec-symmetry should fire on bad.cpp\nstdout:\n%s\nstderr:\n%s"
             % (proc.stdout, proc.stderr))
-        for msg in ("FixDropped", "FixWidth", "FixReorder"):
+        for msg in ("FixDropped", "FixWidth", "FixReorder", "FixSubDropped"):
             self.assertIn(msg, proc.stdout)
 
     def test_quiet_on_symmetric_pair(self):

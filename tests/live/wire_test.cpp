@@ -195,6 +195,93 @@ TEST(ControlCodecs, CheckAckValidityReplyAuditRoundTrip) {
   EXPECT_DOUBLE_EQ(aub->validAsOf, au.validAsOf);
 }
 
+TEST(ReshardCodecs, MapUpdateRoundTripAndStaleEpochRefusal) {
+  MapUpdate m;
+  m.shardMap = ShardMap(
+      4, 0xFEED'FACE'CAFE'BEEFull,
+      {ShardEndpoint{0x7F000001u, 4000, 0, 0},
+       ShardEndpoint{0x7F000001u, 4001, 0xEFFF2A63u, 5001},
+       ShardEndpoint{0x0A00002Au, 4002, 0, 0}});
+  const std::vector<std::uint8_t> bytes = encodeMapUpdate(m);
+
+  const auto back = decodeMapUpdate(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->shardMap, m.shardMap);
+
+  // A client already on epoch 5 refuses this epoch-4 announce outright
+  // (replayed or reordered MapUpdate frames must never roll a map back).
+  EXPECT_FALSE(decodeMapUpdate(bytes, 5).has_value());
+  // The announce for the epoch it is on still decodes (dedup is the
+  // caller's job; refusing it would break the post-grace re-announce).
+  EXPECT_TRUE(decodeMapUpdate(bytes, 4).has_value());
+
+  for (std::size_t cut = 0; cut + 1 < bytes.size(); cut += 5) {
+    const std::vector<std::uint8_t> shorter(bytes.begin(),
+                                            bytes.begin() + cut);
+    EXPECT_FALSE(decodeMapUpdate(shorter).has_value()) << "cut=" << cut;
+  }
+}
+
+TEST(ReshardCodecs, HandoffRoundTripPreservesTheHistoryTail) {
+  Handoff m;
+  m.mapVersion = 7;
+  m.sourceShard = 3;
+  m.last = 1;
+  m.item = 424242;
+  m.updateTimes = {1.5, 99.25, 1203.0625};  // ascending, version == count
+  const auto back = decodeHandoff(encodeHandoff(m));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->mapVersion, m.mapVersion);
+  EXPECT_EQ(back->sourceShard, m.sourceShard);
+  EXPECT_EQ(back->last, m.last);
+  EXPECT_EQ(back->item, m.item);
+  ASSERT_EQ(back->updateTimes.size(), 3u);
+  EXPECT_DOUBLE_EQ(back->updateTimes[0], 1.5);
+  EXPECT_DOUBLE_EQ(back->updateTimes[2], 1203.0625);
+
+  // A never-updated item migrates as an empty stream entry: count == 0.
+  Handoff empty;
+  empty.mapVersion = 7;
+  empty.item = 9;
+  const auto eb = decodeHandoff(encodeHandoff(empty));
+  ASSERT_TRUE(eb.has_value());
+  EXPECT_TRUE(eb->updateTimes.empty());
+  EXPECT_EQ(eb->last, 0);
+}
+
+TEST(ReshardCodecs, HandoffRejectsTruncationAndLyingCount) {
+  Handoff m;
+  m.mapVersion = 2;
+  m.item = 5;
+  m.updateTimes = {10.0, 20.0};
+  const std::vector<std::uint8_t> bytes = encodeHandoff(m);
+  for (std::size_t cut = 0; cut + 1 < bytes.size(); ++cut) {
+    const std::vector<std::uint8_t> shorter(bytes.begin(),
+                                            bytes.begin() + cut);
+    EXPECT_FALSE(decodeHandoff(shorter).has_value()) << "cut=" << cut;
+  }
+
+  // Patch the 32-bit count (after mapVersion:32 + sourceShard:16 + last:8
+  // + item:32 = 11 bytes) to announce far more doubles than the payload
+  // holds: the fits() guard must refuse before reserving anything.
+  auto lying = bytes;
+  lying[11] = 0xFF;
+  lying[12] = 0xFF;
+  lying[13] = 0xFF;
+  lying[14] = 0xFF;
+  EXPECT_FALSE(decodeHandoff(lying).has_value());
+}
+
+TEST(ReshardCodecs, HandoffAckRoundTrip) {
+  const HandoffAck a{.mapVersion = 9, .itemsReceived = 123456};
+  const auto back = decodeHandoffAck(encodeHandoffAck(a));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->mapVersion, a.mapVersion);
+  EXPECT_EQ(back->itemsReceived, a.itemsReceived);
+
+  EXPECT_FALSE(decodeHandoffAck({0x01, 0x02}).has_value());
+}
+
 TEST(FrameBuffer, ReassemblesByteAtATimeDelivery) {
   const auto f1 = encodeFrame(FrameType::kHello, kNoScheme,
                               net::TrafficClass::kControl, somePayload());

@@ -82,12 +82,14 @@ def run_google_micro(build: Path, name: str, min_time: float) -> list[dict]:
 
 
 def run_swarm(build: Path, clients: int, simtime: float,
-              timescale: float) -> list[dict]:
+              timescale: float, reshard: bool = False) -> list[dict]:
     """Runs the mci_swarm harness (swarm emulator vs equivalent-seed
     ClientPool) in its committed gate configuration and returns its bench
     rows for the live report. The model knobs are pinned here so the
     hit_ratio_parity number is comparable across machines and runs: only
-    population size, horizon and time scale are runner-adjustable."""
+    population size, horizon and time scale are runner-adjustable. With
+    ``reshard`` the run starts on 4 shards and grows to 6 live at 40% of
+    the horizon (the "swarm-reshard/<clients>" row)."""
     exe = build / "src" / "mci_swarm"
     if not exe.exists():
         sys.exit(f"bench_report: {exe} not found — build the repo first")
@@ -100,6 +102,8 @@ def run_swarm(build: Path, clients: int, simtime: float,
            "--hotcold",
            "--parity-agents", "8",
            "--seed", "7"]
+    if reshard:
+        cmd += ["--shards", "4", "--reshard"]
     print("bench_report: running", " ".join(cmd), file=sys.stderr)
     proc = subprocess.run(cmd, capture_output=True, text=True)
     if proc.returncode != 0:
@@ -161,13 +165,17 @@ def check_live_gates(benches: list[dict],
     return failures
 
 
-# Swarm fidelity gates, applied to every "swarm/<clients>" row. All three
-# are machine-independent: parity is a ratio of two hit ratios from the
-# same process, allocations are counted per client-tick, and stale reads
-# are audited against the in-process authoritative databases.
+# Swarm fidelity gates, applied to every "swarm/<clients>" and
+# "swarm-reshard/<clients>" row. All three are machine-independent: parity
+# is a ratio of two hit ratios from the same process, allocations are
+# counted per client-tick, and stale reads are audited against the
+# in-process authoritative databases. Reshard rows additionally prove the
+# epoch switch actually happened and hold the post-switch AoI tail against
+# their baseline (the transition must not leave clients serving old news).
 SWARM_PARITY_FLOOR = 0.85        # min(hit)/max(hit) vs the agent pool
 SWARM_MAX_ALLOCS_PER_TICK = 0.01  # steady-state mux-callback allocations
 SWARM_BASELINE_METRICS = ("hit_ratio_parity", "clients_per_s")
+SWARM_RESHARD_BASELINE_METRICS = ("hit_ratio_parity", "hit_ratio_tail")
 
 
 def check_swarm_gates(benches: list[dict],
@@ -176,7 +184,8 @@ def check_swarm_gates(benches: list[dict],
     failures = []
     for row in benches:
         name = row.get("name", "")
-        if not name.startswith("swarm/"):
+        reshard = name.startswith("swarm-reshard/")
+        if not name.startswith("swarm/") and not reshard:
             continue
         parity = row.get("hit_ratio_parity", 0.0)
         if parity < SWARM_PARITY_FLOOR:
@@ -190,11 +199,32 @@ def check_swarm_gates(benches: list[dict],
                 f"(max {SWARM_MAX_ALLOCS_PER_TICK:g})")
         if row.get("stale_reads", 0) != 0:
             failures.append(f"{name}: stale_reads = {row['stale_reads']:g}")
-        before = baseline.get(name, {}).get("hit_ratio_parity")
-        if before and parity < before * (1.0 - tolerance):
-            failures.append(
-                f"{name}: hit_ratio_parity = {parity:.3f} regressed >"
-                f"{tolerance:.0%} vs baseline {before:.3f}")
+        if reshard:
+            if row.get("epoch_switches", 0) < 1:
+                failures.append(f"{name}: epoch_switches = "
+                                f"{row.get('epoch_switches', 0):g} (the map "
+                                f"flip never reached the swarm)")
+            if row.get("shards_final", 0) <= row.get("shards", 0):
+                failures.append(f"{name}: shards_final = "
+                                f"{row.get('shards_final', 0):g} did not "
+                                f"grow past {row.get('shards', 0):g}")
+            # aoi_p99 is a latency: lower is better, so the regression
+            # check inverts (a rise past tolerance fails).
+            aoi = row.get("aoi_p99_ms", 0.0)
+            aoi_before = baseline.get(name, {}).get("aoi_p99_ms")
+            if aoi_before and aoi > aoi_before * (1.0 + tolerance):
+                failures.append(
+                    f"{name}: aoi_p99_ms = {aoi:.3g} regressed >"
+                    f"{tolerance:.0%} vs baseline {aoi_before:.3g}")
+        metrics = (SWARM_RESHARD_BASELINE_METRICS if reshard
+                   else ("hit_ratio_parity",))
+        for metric in metrics:
+            value = row.get(metric, 0.0)
+            before = baseline.get(name, {}).get(metric)
+            if before and value < before * (1.0 - tolerance):
+                failures.append(
+                    f"{name}: {metric} = {value:.3f} regressed >"
+                    f"{tolerance:.0%} vs baseline {before:.3f}")
     return failures
 
 
@@ -253,11 +283,18 @@ def main() -> int:
                              "phases (default 2400)")
     parser.add_argument("--swarm-timescale", type=float, default=60.0,
                         help="model seconds per wall second (default 60)")
+    parser.add_argument("--swarm-reshard", action="store_true",
+                        help="also run the live 4->6 shard grow under the "
+                             "swarm (epoch-switch parity, stale and AoI "
+                             "gates); merged into the --live-out report")
+    parser.add_argument("--swarm-reshard-clients", type=int, default=50000,
+                        help="population for the reshard run (default "
+                             "50000)")
     args = parser.parse_args()
     if args.skip_kernel and not args.live_out:
         parser.error("--skip-kernel requires --live-out")
-    if args.swarm and not args.live_out:
-        parser.error("--swarm requires --live-out")
+    if (args.swarm or args.swarm_reshard) and not args.live_out:
+        parser.error("--swarm/--swarm-reshard requires --live-out")
 
     benches: list[dict] = []
     if not args.skip_kernel:
@@ -279,6 +316,11 @@ def main() -> int:
             live_benches += run_swarm(args.build, args.swarm_clients,
                                       args.swarm_simtime,
                                       args.swarm_timescale)
+        if args.swarm_reshard:
+            live_benches += run_swarm(args.build,
+                                      args.swarm_reshard_clients,
+                                      args.swarm_simtime,
+                                      args.swarm_timescale, reshard=True)
         if args.live_baseline and args.live_baseline.exists():
             live_baseline = load_baseline(args.live_baseline)
 

@@ -13,18 +13,33 @@ compressed model time, and asserts the run was healthy end to end:
   * in sharded mode: the client learned the shard map and heard a nonzero
     IR stream from every shard, and every shard applied updates.
 
+With --reshard (needs --shards > 1) the cluster additionally walks a
+scripted grow -> rebalance -> shrink membership sequence mid-run while the
+agents keep querying, and the driver asserts every epoch transition
+completed, zero stale reads and zero dropped frames across all of them,
+zero handoff failures, and that the client followed every epoch switch.
+
 CI runs this against the release build; locally:
 
     python3 tools/live_load.py --build build-release
     python3 tools/live_load.py --build build-release --shards 3
+    python3 tools/live_load.py --build build-release --shards 4 --reshard
 """
 
 from __future__ import annotations
 
 import argparse
 import pathlib
+import re
 import subprocess
 import sys
+
+# Model-second script for --reshard: grow 4 -> 6, reshuffle the hash law,
+# shrink back to 4. Transitions must be spaced wider than the cutover
+# grace window (0.5 wall s = timescale/2 model s) plus handoff time, or
+# the later steps land while the earlier reshard is still in flight.
+RESHARD_SCRIPT = "grow2@60,rebalance@150,shrink2@240"
+RESHARD_MIN_DURATION = 400.0
 
 
 def parse_kv(text: str) -> dict[str, str]:
@@ -46,7 +61,15 @@ def main() -> int:
     ap.add_argument("--timescale", type=float, default=100.0,
                     help="model seconds per wall second")
     ap.add_argument("--seed", type=int, default=42)
+    ap.add_argument("--reshard", action="store_true",
+                    help="walk a scripted grow -> rebalance -> shrink "
+                         "sequence mid-run (requires --shards > 1)")
     args = ap.parse_args()
+    if args.reshard and args.shards <= 1:
+        ap.error("--reshard requires --shards > 1")
+    if args.reshard and args.duration < RESHARD_MIN_DURATION:
+        ap.error(f"--reshard needs --duration >= {RESHARD_MIN_DURATION:g} "
+                 f"(script runs through model second 240 plus grace)")
 
     build = pathlib.Path(args.build)
     sharded = args.shards > 1
@@ -74,6 +97,8 @@ def main() -> int:
     ]
     if sharded:
         server_cmd.insert(1, f"--shards={args.shards}")
+    if args.reshard:
+        server_cmd.append(f"--reshard={RESHARD_SCRIPT}")
     print("+", " ".join(server_cmd))
     server = subprocess.Popen(server_cmd, stdout=subprocess.PIPE, text=True)
     try:
@@ -147,6 +172,33 @@ def main() -> int:
                 (f"shard {s} broadcast IRs and applied updates",
                  int(server_stats.get(f"shard{s}_reports", 0)) > 0 and
                  int(server_stats.get(f"shard{s}_updates", 0)) > 0))
+    if args.reshard:
+        # Per-transition announce lines are `epoch=N shards=K` alone on a
+        # line; the final stats line spells epoch= mid-line and is not
+        # matched. grow2 -> rebalance -> shrink2 from K shards must walk
+        # epochs 2, 3, 4 through K+2, K+2, K shards — in that order.
+        transitions = [(int(e), int(s)) for e, s in
+                       re.findall(r"^epoch=(\d+) shards=(\d+)$",
+                                  server_out or "", re.M)]
+        expect = [(2, args.shards + 2), (3, args.shards + 2),
+                  (4, args.shards)]
+        checks += [
+            ("all three epoch transitions completed in order",
+             transitions == expect),
+            ("no transition refused or overlapped",
+             "reshard=busy" not in (server_out or "") and
+             "reshard=refused" not in (server_out or "")),
+            ("zero handoff failures",
+             server_stats.get("handoff_failed") == "0"),
+            ("items were handed off",
+             int(server_stats.get("handoff_recv", 0)) > 0),
+            ("map updates announced",
+             int(server_stats.get("map_updates", 0)) > 0),
+            ("zero dropped frames across transitions",
+             server_stats.get("dropped") == "0"),
+            ("client followed every epoch switch",
+             stats.get("epoch_switches") == "3"),
+        ]
     for label, ok in checks:
         print(f"  [{'ok' if ok else 'FAIL'}] {label}")
         if not ok:
