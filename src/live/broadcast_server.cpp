@@ -68,6 +68,7 @@ BroadcastServer::BroadcastServer(Reactor& reactor, ServerOptions options)
   scheme_ = core::makeServerScheme(opts_.cfg, history_, db_, sizes_,
                                    sigTable_.get());
 
+  owner_ = reactor_.makeOwner();
   setupSockets();
 
   // A single-shard daemon is its own cluster; a multi-shard one waits for
@@ -77,8 +78,8 @@ BroadcastServer::BroadcastServer(Reactor& reactor, ServerOptions options)
   }
 
   const double wallPeriod = clock_.wallDelay(opts_.cfg.broadcastPeriod);
-  broadcastTimer_ =
-      reactor_.addTimer(wallPeriod, wallPeriod, [this] { broadcastTick(); });
+  broadcastTimer_ = reactor_.addTimer(wallPeriod, wallPeriod,
+                                      [this] { broadcastTick(); }, owner_);
   scheduleNextUpdate();
 }
 
@@ -90,22 +91,25 @@ BroadcastServer::~BroadcastServer() {
   MCI_CHECK(reactor_.cancelTimer(updateTimer_))
       << "update timer vanished before shutdown";
   for (auto& [fd, conn] : conns_) {
-    reactor_.removeFd(fd);
+    reactor_.removeFd(conn.reg);
     ::close(fd);
   }
   conns_.clear();
   for (auto& ch : handoffChannels_) {
     if (ch->fd >= 0) {
-      reactor_.removeFd(ch->fd);
+      reactor_.removeFd(ch->reg);
       ::close(ch->fd);
     }
   }
   handoffChannels_.clear();
   if (listenFd_ >= 0) {
-    reactor_.removeFd(listenFd_);
+    reactor_.removeFd(listenReg_);
     ::close(listenFd_);
   }
   if (udpFd_ >= 0) ::close(udpFd_);
+  // Last: every registration tagged with owner_ is gone; a debug build
+  // aborts here if the teardown above ever regresses.
+  reactor_.retireOwner(owner_);
 }
 
 void BroadcastServer::setupSockets() {
@@ -172,7 +176,8 @@ void BroadcastServer::setupSockets() {
     self_.multicastPort = opts_.multicastPort;
   }
 
-  reactor_.addFd(listenFd_, EPOLLIN, [this](std::uint32_t) { onAcceptable(); });
+  listenReg_ = reactor_.addFd(
+      listenFd_, EPOLLIN, [this](std::uint32_t) { onAcceptable(); }, owner_);
 }
 
 void BroadcastServer::setShardMap(ShardMap map) {
@@ -221,9 +226,10 @@ void BroadcastServer::onAcceptable() {
     ++stats_.connectionsAccepted;
     Conn conn;
     conn.peer = peer;
-    conns_.emplace(fd, std::move(conn));
-    reactor_.addFd(fd, EPOLLIN,
-                   [this, fd](std::uint32_t ev) { onConnEvent(fd, ev); });
+    const auto emplaced = conns_.emplace(fd, std::move(conn));
+    emplaced.first->second.reg = reactor_.addFd(
+        fd, EPOLLIN, [this, fd](std::uint32_t ev) { onConnEvent(fd, ev); },
+        owner_);
   }
 }
 
@@ -473,7 +479,7 @@ void BroadcastServer::closeConn(int fd) {
   if (it == conns_.end()) return;
   stats_.badFrames += it->second.in.badFrames() - it->second.badCounted;
   if (it->second.welcomed) freeIds_.push_back(it->second.clientId);
-  reactor_.removeFd(fd);
+  reactor_.removeFd(it->second.reg);
   ::close(fd);
   conns_.erase(it);
   ++stats_.connectionsClosed;
@@ -657,10 +663,13 @@ void BroadcastServer::fanOutReport() {
 
 void BroadcastServer::scheduleNextUpdate() {
   const double gap = updateRng_.exponential(opts_.cfg.meanUpdateInterarrival);
-  updateTimer_ = reactor_.addTimer(clock_.wallDelay(gap), 0, [this] {
-    runUpdateTransaction();
-    scheduleNextUpdate();
-  });
+  updateTimer_ = reactor_.addTimer(
+      clock_.wallDelay(gap), 0,
+      [this] {
+        runUpdateTransaction();
+        scheduleNextUpdate();
+      },
+      owner_);
 }
 
 void BroadcastServer::runUpdateTransaction() {
@@ -794,8 +803,9 @@ void BroadcastServer::startHandoff(std::function<void()> onDone) {
 
     HandoffChannel* cp = ch.get();
     handoffChannels_.push_back(std::move(ch));
-    reactor_.addFd(cp->fd, EPOLLIN | EPOLLOUT,
-                   [this, cp](std::uint32_t ev) { onHandoffChannel(*cp, ev); });
+    cp->reg = reactor_.addFd(
+        cp->fd, EPOLLIN | EPOLLOUT,
+        [this, cp](std::uint32_t ev) { onHandoffChannel(*cp, ev); }, owner_);
   }
 
   finishHandoffIfDone();  // fires onDone synchronously when nothing migrates
@@ -857,7 +867,7 @@ void BroadcastServer::onHandoffChannel(HandoffChannel& ch,
 
 void BroadcastServer::closeHandoffChannel(HandoffChannel& ch, bool failed) {
   if (ch.fd >= 0) {
-    reactor_.removeFd(ch.fd);
+    reactor_.removeFd(ch.reg);
     ::close(ch.fd);
     ch.fd = -1;
   }

@@ -223,6 +223,7 @@ class BroadcastServer {
     bool audit = false;
     std::uint32_t clientId = 0;
     std::uint64_t badCounted = 0;  ///< badFrames() already folded into stats
+    Reactor::FdHandle reg;  ///< this conn's reactor registration
     std::uint32_t handoffReceived = 0;  ///< kHandoff frames on this conn
     bool mapReannounced = false;  ///< one-shot misroute correction spent
     sockaddr_in peer{};     ///< TCP peer (IP reused for the UDP downlink)
@@ -235,6 +236,7 @@ class BroadcastServer {
   /// drained by the reactor until the destination's kHandoffAck.
   struct HandoffChannel {
     int fd = -1;
+    Reactor::FdHandle reg;  ///< backfill socket's reactor registration
     std::uint32_t dstShard = 0;
     std::uint32_t itemsQueued = 0;
     std::vector<std::uint8_t> out;
@@ -293,6 +295,11 @@ class BroadcastServer {
   MCI_HOT void encodeReportInto(const report::Report& r, report::BitWriter& w);
 
   Reactor& reactor_;
+  /// This daemon's registration-owner generation: every addFd/addTimer is
+  /// tagged with it and the destructor retires it last, so a reshard that
+  /// destroys a retired daemon gets a debug-build abort if any callback
+  /// capturing `this` survives teardown.
+  Reactor::OwnerId owner_ = 0;
   ServerOptions opts_;
   LiveClock clock_;
   report::SizeModel sizes_;
@@ -307,6 +314,7 @@ class BroadcastServer {
   sim::Rng updateRng_;
 
   int listenFd_ = -1;
+  Reactor::FdHandle listenReg_;
   int udpFd_ = -1;
   std::uint16_t tcpPort_ = 0;
   ShardEndpoint self_;
@@ -329,8 +337,8 @@ class BroadcastServer {
   std::function<void()> handoffDone_;
   wire::FrameArena controlArena_;  ///< kMapUpdate/kHandoff encode-once
 
-  Reactor::TimerId broadcastTimer_ = 0;
-  Reactor::TimerId updateTimer_ = 0;
+  Reactor::TimerHandle broadcastTimer_;
+  Reactor::TimerHandle updateTimer_;
   std::uint64_t lastUpdateTick_ = 0;
   std::uint64_t lastBroadcastTick_ = 0;
   ServerStats stats_;

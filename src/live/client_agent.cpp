@@ -30,7 +30,7 @@ int makeNonBlocking(int fd) {
 // --- ClientAgent -------------------------------------------------------
 
 ClientAgent::ClientAgent(ClientPool& pool, std::size_t index)
-    : pool_(pool), index_(index) {}
+    : pool_(pool), index_(index), owner_(pool.reactor_.makeOwner()) {}
 
 ClientAgent::~ClientAgent() {
   cancelTimer();
@@ -38,15 +38,16 @@ ClientAgent::~ClientAgent() {
     for (auto& link : *linkSet) {
       if (!link) continue;
       if (link->tcpFd >= 0) {
-        pool_.reactor_.removeFd(link->tcpFd);
+        pool_.reactor_.removeFd(link->tcpReg);
         ::close(link->tcpFd);
       }
       if (link->udpFd >= 0) {
-        pool_.reactor_.removeFd(link->udpFd);
+        pool_.reactor_.removeFd(link->udpReg);
         ::close(link->udpFd);
       }
     }
   }
+  pool_.reactor_.retireOwner(owner_);
 }
 
 int ClientAgent::openDownlinkUdp(std::uint32_t ipv4, std::uint32_t mcastIpv4,
@@ -122,10 +123,12 @@ std::unique_ptr<ClientAgent::Link> ClientAgent::makeLink(
   }
 
   Link* lp = link.get();
-  pool_.reactor_.addFd(link->tcpFd, EPOLLIN,
-                       [this, lp](std::uint32_t ev) { onTcp(*lp, ev); });
-  pool_.reactor_.addFd(link->udpFd, EPOLLIN,
-                       [this, lp](std::uint32_t ev) { onUdp(*lp, ev); });
+  link->tcpReg = pool_.reactor_.addFd(
+      link->tcpFd, EPOLLIN, [this, lp](std::uint32_t ev) { onTcp(*lp, ev); },
+      owner_);
+  link->udpReg = pool_.reactor_.addFd(
+      link->udpFd, EPOLLIN, [this, lp](std::uint32_t ev) { onUdp(*lp, ev); },
+      owner_);
   return link;
 }
 
@@ -173,12 +176,12 @@ bool ClientAgent::connectionAlive() const {
 }
 
 void ClientAgent::cancelTimer() {
-  if (timer_ != 0) {
-    // One-shot handlers zero timer_ before anything else, so a nonzero
+  if (timer_.valid()) {
+    // One-shot handlers zero timer_ before anything else, so a valid
     // timer_ always names a pending timer.
     MCI_CHECK(pool_.reactor_.cancelTimer(timer_))
-        << "agent timer " << timer_ << " already gone";
-    timer_ = 0;
+        << "agent timer " << timer_.id << " already gone";
+    timer_ = {};
   }
 }
 
@@ -190,12 +193,12 @@ void ClientAgent::dropAgent() {
       if (!link) continue;
       if (link->tcpFd >= 0) {
         if (!link->draining) hadLive = true;
-        pool_.reactor_.removeFd(link->tcpFd);
+        pool_.reactor_.removeFd(link->tcpReg);
         ::close(link->tcpFd);
         link->tcpFd = -1;
       }
       if (link->udpFd >= 0) {
-        pool_.reactor_.removeFd(link->udpFd);
+        pool_.reactor_.removeFd(link->udpReg);
         ::close(link->udpFd);
         link->udpFd = -1;
       }
@@ -363,13 +366,14 @@ void ClientAgent::onWelcome(Link& link, const wire::Welcome& w) {
       // unicast — but this shard broadcasts only to its group. Swap in a
       // group-joined socket; no re-Hello needed, a multicast shard never
       // uses the Hello's per-client UDP port.
-      pool_.reactor_.removeFd(link.udpFd);
+      pool_.reactor_.removeFd(link.udpReg);
       ::close(link.udpFd);
       link.udpFd =
           openDownlinkUdp(seedEp.ipv4, seedEp.multicastIpv4, seedEp.multicastPort);
       Link* lp = &link;
-      pool_.reactor_.addFd(link.udpFd, EPOLLIN,
-                           [this, lp](std::uint32_t ev) { onUdp(*lp, ev); });
+      link.udpReg = pool_.reactor_.addFd(
+          link.udpFd, EPOLLIN,
+          [this, lp](std::uint32_t ev) { onUdp(*lp, ev); }, owner_);
     }
 
     std::vector<std::unique_ptr<Link>> byShard(map.shardCount());
@@ -520,11 +524,13 @@ void ClientAgent::onValidityReply(Link& link, const wire::ValidityReplyMsg& vr) 
 void ClientAgent::startThink(double modelSeconds) {
   state_ = State::kThinking;
   thinkDeadline_ = pool_.clock_->nowModel() + modelSeconds;
-  timer_ = pool_.reactor_.addTimer(pool_.clock_->wallDelay(modelSeconds), 0,
-                                   [this] {
-                                     timer_ = 0;
-                                     issueQuery();
-                                   });
+  timer_ = pool_.reactor_.addTimer(
+      pool_.clock_->wallDelay(modelSeconds), 0,
+      [this] {
+        timer_ = {};
+        issueQuery();
+      },
+      owner_);
 }
 
 void ClientAgent::issueQuery() {
@@ -628,11 +634,13 @@ void ClientAgent::beginDoze(bool queryAfterWake) {
   dozeStart_ = pool_.clock_->nowModel();
   queryAfterWake_ = queryAfterWake;
   pool_.collector_->onDisconnect();
-  timer_ = pool_.reactor_.addTimer(pool_.clock_->wallDelay(disc_->duration()),
-                                   0, [this] {
-                                     timer_ = 0;
-                                     wake();
-                                   });
+  timer_ = pool_.reactor_.addTimer(
+      pool_.clock_->wallDelay(disc_->duration()), 0,
+      [this] {
+        timer_ = {};
+        wake();
+      },
+      owner_);
 }
 
 void ClientAgent::wake() {
@@ -868,12 +876,12 @@ void ClientAgent::closeDrainingLinks() {
   for (auto& link : draining_) {
     if (!link) continue;
     if (link->tcpFd >= 0) {
-      pool_.reactor_.removeFd(link->tcpFd);
+      pool_.reactor_.removeFd(link->tcpReg);
       ::close(link->tcpFd);
       link->tcpFd = -1;
     }
     if (link->udpFd >= 0) {
-      pool_.reactor_.removeFd(link->udpFd);
+      pool_.reactor_.removeFd(link->udpReg);
       ::close(link->udpFd);
       link->udpFd = -1;
     }

@@ -135,6 +135,8 @@ class ClientAgent {
     bool draining = false;        ///< endpoint left the map; finish + close
     int tcpFd = -1;
     int udpFd = -1;
+    Reactor::FdHandle tcpReg;  ///< uplink registration (removeFd on close)
+    Reactor::FdHandle udpReg;  ///< downlink registration
     wire::FrameBuffer in;
     std::vector<std::uint8_t> out;
     std::size_t outOff = 0;
@@ -192,6 +194,10 @@ class ClientAgent {
 
   ClientPool& pool_;
   std::size_t index_;
+  /// Registration-owner generation for every addFd/addTimer this agent
+  /// makes; retired at the end of ~ClientAgent (debug builds abort if any
+  /// callback capturing `this` survives).
+  Reactor::OwnerId owner_ = 0;
   /// Indexed by shard once the map is known; a lone unknown-shard entry
   /// while the seed Welcome is in flight. Heap-allocated so the reactor
   /// handlers' captured pointers survive the reindexing.
@@ -215,7 +221,7 @@ class ClientAgent {
 
   State state_ = State::kIdle;
   bool radioOn_ = true;  ///< false while dozing: UDP frames are not heard
-  Reactor::TimerId timer_ = 0;
+  Reactor::TimerHandle timer_;
   sim::SimTime thinkDeadline_ = 0;  ///< pool-clock model time
   sim::SimTime dozeStart_ = 0;
   sim::SimTime queryStart_ = 0;

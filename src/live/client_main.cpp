@@ -61,13 +61,14 @@ int main(int argc, char** argv) {
   // The pool's model clock starts at the first Welcome, so the deadline is
   // polled rather than scheduled: a cheap periodic tick that also bails out
   // if the server went away.
-  reactor.addTimer(0.05, 0.05, [&] {
+  const live::Reactor::TimerHandle poll = reactor.addTimer(0.05, 0.05, [&] {
     if (pool.modelNow() >= duration || pool.aliveCount() == 0) {
       pool.shutdown();
       reactor.stop();
     }
   });
   reactor.run();
+  (void)reactor.cancelTimer(poll);
 
   const std::size_t agents = opts.numAgents;
   const metrics::SimResult r = pool.finalize();

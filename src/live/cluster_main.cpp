@@ -200,7 +200,8 @@ int main(int argc, char** argv) {
   sigaddset(&mask, SIGHUP);
   sigprocmask(SIG_BLOCK, &mask, nullptr);
   const int sigFd = signalfd(-1, &mask, SFD_NONBLOCK | SFD_CLOEXEC);
-  reactor.addFd(sigFd, EPOLLIN, [&reactor, &cluster, sigFd](std::uint32_t) {
+  const live::Reactor::FdHandle sigReg = reactor.addFd(
+      sigFd, EPOLLIN, [&reactor, &cluster, sigFd](std::uint32_t) {
     signalfd_siginfo si;
     while (::read(sigFd, &si, sizeof si) == static_cast<ssize_t>(sizeof si)) {
       switch (si.ssi_signo) {
@@ -220,17 +221,25 @@ int main(int argc, char** argv) {
     }
   });
 
+  std::vector<live::Reactor::TimerHandle> stepTimers;
+  stepTimers.reserve(script.size());
   for (const ReshardStep& step : script) {
-    reactor.addTimer(
+    stepTimers.push_back(reactor.addTimer(
         cluster.server(0).clock().wallDelay(step.atModelSeconds), 0,
-        [&cluster, step] { runStep(cluster, step); });
+        [&cluster, step] { runStep(cluster, step); }));
   }
 
+  live::Reactor::TimerHandle stopTimer;
   if (duration > 0) {
-    reactor.addTimer(cluster.server(0).clock().wallDelay(duration), 0,
-                     [&reactor] { reactor.stop(); });
+    stopTimer = reactor.addTimer(cluster.server(0).clock().wallDelay(duration),
+                                 0, [&reactor] { reactor.stop(); });
   }
   reactor.run();
+  reactor.removeFd(sigReg);
+  for (const live::Reactor::TimerHandle& t : stepTimers) {
+    (void)reactor.cancelTimer(t);  // unfired steps die with the run
+  }
+  (void)reactor.cancelTimer(stopTimer);
 
   const live::ServerStats t = cluster.totalStats();
   std::printf("shards=%u reports=%" PRIu64 " updates=%" PRIu64

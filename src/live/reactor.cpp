@@ -7,6 +7,7 @@
 #include <cmath>
 #include <cstdint>
 
+#include "core/check.hpp"
 #include "live/udp_batch.hpp"
 
 namespace mci::live {
@@ -29,12 +30,42 @@ Reactor::~Reactor() {
   if (epollFd_ >= 0) ::close(epollFd_);
 }
 
-void Reactor::addFd(int fd, std::uint32_t events, FdHandler handler) {
+Reactor::OwnerId Reactor::makeOwner() {
+  const OwnerId id = nextOwnerId_++;
+  liveOwners_.insert(id);
+  return id;
+}
+
+void Reactor::retireOwner(OwnerId owner) {
+  if (owner == 0) return;
+  // The owning object is going away: any registration still tagged with it
+  // is a callback that can fire into freed memory.
+  MCI_DCHECK(ownedCount(owner) == 0)
+      << "retireOwner(" << owner << ") with " << ownedCount(owner)
+      << " registration(s) still live";
+  liveOwners_.erase(owner);
+}
+
+std::size_t Reactor::ownedCount(OwnerId owner) const {
+  std::size_t n = 0;
+  for (const auto& [fd, entry] : fds_) {
+    if (entry.owner == owner) ++n;
+  }
+  for (const auto& [id, timer] : timers_) {
+    if (timer.owner == owner) ++n;
+  }
+  return n;
+}
+
+Reactor::FdHandle Reactor::addFd(int fd, std::uint32_t events,
+                                 FdHandler handler, OwnerId owner) {
+  MCI_DCHECK(ownerLive(owner)) << "addFd with retired owner " << owner;
   ::epoll_event ev{};
   ev.events = events;
   ev.data.fd = fd;
   ::epoll_ctl(epollFd_, EPOLL_CTL_ADD, fd, &ev);
-  fds_[fd] = std::move(handler);
+  fds_[fd] = FdEntry{std::move(handler), owner};
+  return FdHandle{fd};
 }
 
 void Reactor::modifyFd(int fd, std::uint32_t events) {
@@ -49,16 +80,18 @@ void Reactor::removeFd(int fd) {
   fds_.erase(fd);
 }
 
-Reactor::TimerId Reactor::addTimer(double delaySeconds, double periodSeconds,
-                                   TimerHandler handler) {
+Reactor::TimerHandle Reactor::addTimer(double delaySeconds,
+                                       double periodSeconds,
+                                       TimerHandler handler, OwnerId owner) {
+  MCI_DCHECK(ownerLive(owner)) << "addTimer with retired owner " << owner;
   const TimerId id = nextTimerId_++;
   const double deadline = nowSeconds() + std::max(0.0, delaySeconds);
   timers_[id] = Timer{deadline, std::max(0.0, periodSeconds),
-                      std::move(handler)};
+                      std::move(handler), owner};
   heap_.emplace_back(deadline, id);
   std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
   armTimerFd();
-  return id;
+  return TimerHandle{id};
 }
 
 bool Reactor::cancelTimer(TimerId id) {
@@ -101,6 +134,9 @@ void Reactor::fireDueTimers() {
     std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
     heap_.pop_back();
     if (!live) continue;
+    MCI_DCHECK(ownerLive(it->second.owner))
+        << "timer " << id << " fired after owner " << it->second.owner
+        << " was retired";
     TimerHandler handler;
     if (it->second.period > 0) {
       // Catch up in whole periods so a stalled loop fires once, not a burst.
@@ -132,7 +168,10 @@ void Reactor::runOnce(int timeoutMs) {
     // removed this fd.
     const auto it = fds_.find(fd);
     if (it == fds_.end()) continue;
-    FdHandler handler = it->second;  // copy: handler may remove itself
+    MCI_DCHECK(ownerLive(it->second.owner))
+        << "fd " << fd << " handler dispatched after owner "
+        << it->second.owner << " was retired";
+    FdHandler handler = it->second.handler;  // copy: handler may remove itself
     handler(events[i].events);
   }
 }

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -21,11 +22,35 @@ namespace mci::live {
 /// Handlers may freely add/remove fds and timers from within a callback
 /// (removal of an fd whose event is already harvested suppresses the
 /// pending dispatch).
+///
+/// Lifetime discipline: addFd/addTimer return [[nodiscard]] handles so
+/// every registration has a named owner of its cancellation (the
+/// callback-lifetime analysis pass matches registration -> removal by the
+/// stored handle). Objects that register callbacks capturing `this` should
+/// additionally tag registrations with an OwnerId from makeOwner() and
+/// call retireOwner() at the end of their destructor: in MCI_ENABLE_DCHECKS
+/// builds the reactor then aborts on any registration that outlives its
+/// owner — the static rule's dynamic counterpart.
 class Reactor {
  public:
   using FdHandler = std::function<void(std::uint32_t epollEvents)>;
   using TimerHandler = std::function<void()>;
   using TimerId = std::uint64_t;
+  /// Registration-owner generation; 0 = unowned (free-function callbacks
+  /// whose captures outlive the reactor, e.g. main()-scope locals).
+  using OwnerId = std::uint32_t;
+
+  /// Proof of an fd registration; pass back to removeFd().
+  struct [[nodiscard]] FdHandle {
+    int fd = -1;
+    [[nodiscard]] bool valid() const { return fd >= 0; }
+  };
+
+  /// Proof of a timer registration; pass back to cancelTimer().
+  struct [[nodiscard]] TimerHandle {
+    TimerId id = 0;
+    [[nodiscard]] bool valid() const { return id != 0; }
+  };
 
   Reactor();
   ~Reactor();
@@ -33,23 +58,40 @@ class Reactor {
   Reactor(const Reactor&) = delete;
   Reactor& operator=(const Reactor&) = delete;
 
+  /// Mints a live owner generation for an object about to register
+  /// callbacks that capture it.
+  [[nodiscard]] OwnerId makeOwner();
+
+  /// Declares every registration tagged `owner` dead. Call at the END of
+  /// the owning object's destructor: in MCI_ENABLE_DCHECKS builds this
+  /// aborts if any fd or timer tagged with `owner` is still registered
+  /// (a callback that could fire into a destroyed object), and dispatch
+  /// aborts on any callback whose owner was already retired.
+  void retireOwner(OwnerId owner);
+
   /// Registers `fd` for `events` (EPOLLIN / EPOLLOUT / ...). The reactor
   /// does not own the fd; callers close it after removeFd().
-  void addFd(int fd, std::uint32_t events, FdHandler handler);
+  [[nodiscard]] FdHandle addFd(int fd, std::uint32_t events,
+                               FdHandler handler, OwnerId owner = 0);
 
   /// Changes the interest mask of a registered fd (handler unchanged).
   void modifyFd(int fd, std::uint32_t events);
 
   void removeFd(int fd);
+  void removeFd(FdHandle handle) { removeFd(handle.fd); }
 
   /// Schedules `handler` to fire `delaySeconds` from now; `periodSeconds`
-  /// > 0 makes it periodic. Returns an id for cancelTimer().
-  TimerId addTimer(double delaySeconds, double periodSeconds,
-                   TimerHandler handler);
+  /// > 0 makes it periodic. Returns a handle for cancelTimer().
+  [[nodiscard]] TimerHandle addTimer(double delaySeconds,
+                                     double periodSeconds,
+                                     TimerHandler handler, OwnerId owner = 0);
 
   /// Cancels a pending timer. Returns false if it already fired (one-shot)
   /// or was never valid.
   [[nodiscard]] bool cancelTimer(TimerId id);
+  [[nodiscard]] bool cancelTimer(TimerHandle handle) {
+    return cancelTimer(handle.id);
+  }
 
   /// Dispatches until stop() is called from within a handler.
   void run();
@@ -71,27 +113,40 @@ class Reactor {
 
   [[nodiscard]] std::size_t fdCount() const { return fds_.size(); }
   [[nodiscard]] std::size_t timerCount() const { return timers_.size(); }
+  /// Live fd + timer registrations tagged `owner` (teardown audit hook).
+  [[nodiscard]] std::size_t ownedCount(OwnerId owner) const;
 
  private:
+  struct FdEntry {
+    FdHandler handler;
+    OwnerId owner = 0;
+  };
+
   struct Timer {
     double deadline = 0;  ///< absolute, in nowSeconds() terms
     double period = 0;    ///< 0 = one-shot
     TimerHandler handler;
+    OwnerId owner = 0;
   };
 
   void armTimerFd();
   void fireDueTimers();
+  [[nodiscard]] bool ownerLive(OwnerId owner) const {
+    return owner == 0 || liveOwners_.count(owner) > 0;
+  }
 
   int epollFd_ = -1;
   int timerFd_ = -1;
   bool running_ = false;
   metrics::WallTimer clock_;
-  std::map<int, FdHandler> fds_;
+  std::map<int, FdEntry> fds_;
   std::map<TimerId, Timer> timers_;
   /// Min-heap of (deadline, id) with lazy deletion: an entry is live only
   /// while timers_[id].deadline matches it exactly.
   std::vector<std::pair<double, TimerId>> heap_;
   TimerId nextTimerId_ = 1;
+  std::set<OwnerId> liveOwners_;
+  OwnerId nextOwnerId_ = 1;
 };
 
 }  // namespace mci::live

@@ -13,6 +13,7 @@ ReshardCoordinator::ReshardCoordinator(Reactor& reactor,
                                        ReshardOptions options,
                                        std::function<void()> onComplete)
     : reactor_(reactor),
+      owner_(reactor.makeOwner()),
       members_(std::move(members)),
       oldMap_(std::move(oldMap)),
       newMap_(std::move(newMap)),
@@ -29,6 +30,7 @@ ReshardCoordinator::~ReshardCoordinator() {
     MCI_CHECK(reactor_.cancelTimer(graceTimer_))
         << "grace timer vanished before coordinator teardown";
   }
+  reactor_.retireOwner(owner_);
 }
 
 void ReshardCoordinator::start() {
@@ -71,10 +73,13 @@ void ReshardCoordinator::cutover() {
   }
   phase_ = Phase::kGrace;
   graceArmed_ = true;
-  graceTimer_ = reactor_.addTimer(opts_.graceWallSeconds, 0, [this] {
-    graceArmed_ = false;
-    finish();
-  });
+  graceTimer_ = reactor_.addTimer(
+      opts_.graceWallSeconds, 0,
+      [this] {
+        graceArmed_ = false;
+        finish();
+      },
+      owner_);
 }
 
 void ReshardCoordinator::finish() {

@@ -64,6 +64,9 @@ class ReshardCoordinator {
   void finish();
 
   Reactor& reactor_;
+  /// Registration-owner generation for the grace timer; retired at the end
+  /// of ~ReshardCoordinator.
+  Reactor::OwnerId owner_ = 0;
   std::vector<BroadcastServer*> members_;
   ShardMap oldMap_;
   ShardMap newMap_;
@@ -71,7 +74,7 @@ class ReshardCoordinator {
   std::function<void()> onComplete_;
   Phase phase_ = Phase::kIdle;
   std::size_t pendingHandoffs_ = 0;
-  Reactor::TimerId graceTimer_ = 0;
+  Reactor::TimerHandle graceTimer_;
   bool graceArmed_ = false;
 };
 

@@ -133,13 +133,17 @@ int main(int argc, char** argv) {
   sigaddset(&mask, SIGTERM);
   sigprocmask(SIG_BLOCK, &mask, nullptr);
   const int sigFd = signalfd(-1, &mask, SFD_NONBLOCK | SFD_CLOEXEC);
-  reactor.addFd(sigFd, EPOLLIN, [&reactor](std::uint32_t) { reactor.stop(); });
+  const live::Reactor::FdHandle sigReg = reactor.addFd(
+      sigFd, EPOLLIN, [&reactor](std::uint32_t) { reactor.stop(); });
 
+  live::Reactor::TimerHandle stopTimer;
   if (duration > 0) {
-    reactor.addTimer(server.clock().wallDelay(duration), 0,
-                     [&reactor] { reactor.stop(); });
+    stopTimer = reactor.addTimer(server.clock().wallDelay(duration), 0,
+                                 [&reactor] { reactor.stop(); });
   }
   reactor.run();
+  reactor.removeFd(sigReg);
+  (void)reactor.cancelTimer(stopTimer);  // already fired when it stopped us
 
   const live::ServerStats& s = server.stats();
   std::printf("reports=%" PRIu64 " updates=%" PRIu64 " thinned=%" PRIu64

@@ -183,7 +183,7 @@ SwarmPhaseResult runSwarm(const core::SimConfig& cfg, double timeScale,
   bool tailMarked = false;
   std::uint64_t tailHits = 0;
   std::uint64_t tailMisses = 0;
-  reactor.addTimer(0.02, 0.02, [&] {
+  const live::Reactor::TimerHandle tick = reactor.addTimer(0.02, 0.02, [&] {
     if (!em.ready()) {
       if (timer.seconds() > 60.0) {  // connect stall guard
         timedOut = true;
@@ -216,6 +216,7 @@ SwarmPhaseResult runSwarm(const core::SimConfig& cfg, double timeScale,
     }
   });
   reactor.run();
+  (void)reactor.cancelTimer(tick);
   const std::uint64_t steadyAllocsEnd = em.mux().stats().hotAllocs;
 
   SwarmPhaseResult r;
@@ -295,7 +296,7 @@ PoolPhaseResult runPool(core::SimConfig cfg, double timeScale,
 
   metrics::WallTimer timer;
   bool timedOut = false;
-  reactor.addTimer(0.02, 0.02, [&] {
+  const live::Reactor::TimerHandle tick = reactor.addTimer(0.02, 0.02, [&] {
     if (pool.welcomedCount() < agents && timer.seconds() > 60.0) {
       timedOut = true;
       reactor.stop();
@@ -307,6 +308,7 @@ PoolPhaseResult runPool(core::SimConfig cfg, double timeScale,
     }
   });
   reactor.run();
+  (void)reactor.cancelTimer(tick);
 
   PoolPhaseResult r;
   const metrics::SimResult res = pool.finalize();

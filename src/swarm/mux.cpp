@@ -27,13 +27,19 @@ int makeNonBlocking(int fd) {
 }  // namespace
 
 UplinkMux::UplinkMux(live::Reactor& reactor, SwarmSink& sink, Options opts)
-    : reactor_(reactor), sink_(sink), opts_(std::move(opts)) {
+    : reactor_(reactor),
+      owner_(reactor.makeOwner()),
+      sink_(sink),
+      opts_(std::move(opts)) {
   MCI_CHECK(opts_.endpointsPerShard >= 1);
   MCI_CHECK(opts_.maxItemsPerQueryFrame >= 1 &&
             opts_.maxItemsPerQueryFrame <= 0xFFFF);
 }
 
-UplinkMux::~UplinkMux() { closeAll(); }
+UplinkMux::~UplinkMux() {
+  closeAll();
+  reactor_.retireOwner(owner_);
+}
 
 std::uint16_t UplinkMux::boundPort(int fd) {
   sockaddr_in addr{};
@@ -117,8 +123,9 @@ std::unique_ptr<UplinkMux::Conn> UplinkMux::dialConn(std::uint32_t shard,
   }
 
   Conn* cp = conn.get();
-  reactor_.addFd(conn->fd, EPOLLIN,
-                 [this, cp](std::uint32_t ev) { onTcp(*cp, ev); });
+  conn->reg = reactor_.addFd(
+      conn->fd, EPOLLIN, [this, cp](std::uint32_t ev) { onTcp(*cp, ev); },
+      owner_);
   return conn;
 }
 
@@ -146,8 +153,9 @@ void UplinkMux::connect() {
   link->shard = kUnknownShard;
   link->udpFd = openDownlinkUdp(ntohl(seed.s_addr), 0, 0);
   Link* lp = link.get();
-  reactor_.addFd(link->udpFd, EPOLLIN,
-                 [this, lp](std::uint32_t ev) { onUdp(*lp, ev); });
+  link->udpReg = reactor_.addFd(
+      link->udpFd, EPOLLIN, [this, lp](std::uint32_t ev) { onUdp(*lp, ev); },
+      owner_);
   link->conns.push_back(dialConn(kUnknownShard, 0, ntohl(seed.s_addr),
                                  opts_.port));
   const std::uint16_t port = boundPort(link->udpFd);
@@ -170,13 +178,14 @@ void UplinkMux::buildCluster(const live::wire::Welcome& w) {
   if (seedEp.multicastIpv4 != 0) {
     // The seed downlink was dialed unicast before the map was known, but
     // this shard only broadcasts to its group: swap in a joined socket.
-    reactor_.removeFd(seedLink->udpFd);
+    reactor_.removeFd(seedLink->udpReg);
     ::close(seedLink->udpFd);
     seedLink->udpFd = openDownlinkUdp(seedEp.ipv4, seedEp.multicastIpv4,
                                       seedEp.multicastPort);
     Link* lp = seedLink.get();
-    reactor_.addFd(seedLink->udpFd, EPOLLIN,
-                   [this, lp](std::uint32_t ev) { onUdp(*lp, ev); });
+    seedLink->udpReg = reactor_.addFd(
+        seedLink->udpFd, EPOLLIN,
+        [this, lp](std::uint32_t ev) { onUdp(*lp, ev); }, owner_);
   }
   links_[w.shardIndex] = std::move(seedLink);
 
@@ -188,8 +197,9 @@ void UplinkMux::buildCluster(const live::wire::Welcome& w) {
       link->udpFd = openDownlinkUdp(ep.ipv4, ep.multicastIpv4,
                                     ep.multicastPort);
       Link* lp = link.get();
-      reactor_.addFd(link->udpFd, EPOLLIN,
-                     [this, lp](std::uint32_t ev) { onUdp(*lp, ev); });
+      link->udpReg = reactor_.addFd(
+          link->udpFd, EPOLLIN,
+          [this, lp](std::uint32_t ev) { onUdp(*lp, ev); }, owner_);
       links_[s] = std::move(link);
     }
     Link& link = *links_[s];
@@ -518,7 +528,7 @@ void UplinkMux::applyMapUpdate(const live::ShardMap& map) {
       // their in-flight replies (grace-served by the retiring daemon).
       l->shard = kUnknownShard;
       if (l->udpFd >= 0) {
-        reactor_.removeFd(l->udpFd);
+        reactor_.removeFd(l->udpReg);
         ::close(l->udpFd);
         l->udpFd = -1;
       }
@@ -541,8 +551,9 @@ void UplinkMux::applyMapUpdate(const live::ShardMap& map) {
     link->udpFd = openDownlinkUdp(ep.ipv4, ep.multicastIpv4,
                                   ep.multicastPort);
     Link* lp = link.get();
-    reactor_.addFd(link->udpFd, EPOLLIN,
-                   [this, lp](std::uint32_t ev) { onUdp(*lp, ev); });
+    link->udpReg = reactor_.addFd(
+        link->udpFd, EPOLLIN, [this, lp](std::uint32_t ev) { onUdp(*lp, ev); },
+        owner_);
     links_[s] = std::move(link);
     Link& lnk = *links_[s];
     const bool multicast = ep.multicastIpv4 != 0;
@@ -569,7 +580,7 @@ void UplinkMux::maybeCloseDrained(Conn& conn) {
   if (!conn.draining || conn.fd < 0) return;
   if (!conn.fetchQueue.empty() || !conn.ackQueue.empty()) return;
   // Quiet close, no Bye: the retiring daemon may already be gone.
-  reactor_.removeFd(conn.fd);
+  reactor_.removeFd(conn.reg);
   ::close(conn.fd);
   conn.fd = -1;
 }
@@ -628,7 +639,7 @@ void UplinkMux::flushOut(Conn& conn) {
 
 void UplinkMux::dropConn(Conn& conn) {
   if (conn.fd < 0) return;
-  reactor_.removeFd(conn.fd);
+  reactor_.removeFd(conn.reg);
   ::close(conn.fd);
   conn.fd = -1;
   // A draining conn's EOF is the retiring daemon going away on schedule,
@@ -661,13 +672,13 @@ void UplinkMux::closeAll() {
       if (link == nullptr) continue;
       for (auto& connPtr : link->conns) {
         if (connPtr->fd >= 0) {
-          reactor_.removeFd(connPtr->fd);
+          reactor_.removeFd(connPtr->reg);
           ::close(connPtr->fd);
           connPtr->fd = -1;
         }
       }
       if (link->udpFd >= 0) {
-        reactor_.removeFd(link->udpFd);
+        reactor_.removeFd(link->udpReg);
         ::close(link->udpFd);
         link->udpFd = -1;
       }

@@ -222,6 +222,7 @@ class UplinkMux {
     /// queues drain (in-flight replies are grace-served by the retiring
     /// daemon). Never counted as a lost connection.
     bool draining = false;
+    live::Reactor::FdHandle reg;  ///< reactor registration of fd
     live::wire::FrameBuffer in;
     std::vector<std::uint8_t> out;  ///< unsent tail; high-water capacity
     std::size_t outOff = 0;
@@ -235,6 +236,7 @@ class UplinkMux {
   struct Link {
     std::uint32_t shard = kUnknownShard;
     int udpFd = -1;
+    live::Reactor::FdHandle udpReg;  ///< downlink registration
     std::vector<std::unique_ptr<Conn>> conns;
   };
 
@@ -275,6 +277,10 @@ class UplinkMux {
   void closeAll();
 
   live::Reactor& reactor_;
+  /// Registration-owner generation for every addFd this mux makes; retired
+  /// at the end of ~UplinkMux (debug builds abort if any callback capturing
+  /// `this` survives closeAll()).
+  live::Reactor::OwnerId owner_ = 0;
   SwarmSink& sink_;
   Options opts_;
 

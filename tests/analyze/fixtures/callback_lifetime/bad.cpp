@@ -1,0 +1,92 @@
+// callback-lifetime fixture: every marked registration below must be
+// reported. Hermetic: the Reactor is a stand-in exposing the production
+// surface the rule keys on — addFd/addTimer returning handles, an
+// OwnerId tag, and removeFd/cancelTimer/retireOwner teardown calls.
+
+struct Callback {
+  template <typename F>
+  Callback(F) {}
+};
+
+struct Reactor {
+  struct FdHandle {
+    int fd;
+  };
+  struct TimerHandle {
+    unsigned long long id;
+  };
+  using OwnerId = unsigned;
+  OwnerId makeOwner();
+  void retireOwner(OwnerId owner);
+  FdHandle addFd(int fd, unsigned events, Callback cb, OwnerId owner = 0);
+  TimerHandle addTimer(double delaySec, double periodSec, Callback cb,
+                       OwnerId owner = 0);
+  void removeFd(int fd);
+  void cancelTimer(unsigned long long id);
+};
+
+// BAD 1: `this` capture with the handle stored, but the destructor never
+// removes the registration — the reactor keeps dispatching into a dead
+// object.
+struct LeakyServer {
+  Reactor& reactor_;
+  Reactor::FdHandle reg_{-1};
+  int hits_ = 0;
+  explicit LeakyServer(Reactor& r) : reactor_(r) {
+    reg_ = reactor_.addFd(3, 1, [this] { ++hits_; });  // BAD
+  }
+  ~LeakyServer() {}  // forgets reactor_.removeFd(reg_.fd)
+};
+
+// BAD 2: handle discarded AND no OwnerId — nothing can ever deregister
+// the callback.
+struct FireAndForget {
+  Reactor& reactor_;
+  int ticks_ = 0;
+  explicit FireAndForget(Reactor& r) : reactor_(r) {
+    reactor_.addTimer(0.0, 1.0, [this] { ++ticks_; });  // BAD
+  }
+  ~FireAndForget() {}
+};
+
+// BAD 3: no destructor at all, so there is no teardown path to verify.
+struct NoTeardown {
+  Reactor& reactor_;
+  Reactor::TimerHandle timer_{0};
+  long count_ = 0;
+  explicit NoTeardown(Reactor& r) : reactor_(r) {
+    timer_ = reactor_.addTimer(1.0, 1.0, [this] { ++count_; });  // BAD
+  }
+};
+
+// BAD 4: owner-tagged, but the destructor never calls retireOwner — the
+// tag is decoration, not a lifetime proof.
+struct ForgetsRetire {
+  Reactor& reactor_;
+  Reactor::OwnerId owner_;
+  int polls_ = 0;
+  explicit ForgetsRetire(Reactor& r)
+      : reactor_(r), owner_(r.makeOwner()) {
+    reactor_.addFd(4, 1, [this] { ++polls_; }, owner_);  // BAD
+  }
+  ~ForgetsRetire() {}  // never reactor_.retireOwner(owner_)
+};
+
+// BAD 5: registration made from inside another callback without an
+// OwnerId — the capturing class is not statically known, so only the
+// owner tag (and its runtime DCHECK) can vouch for the lifetime.
+struct NestedRegistrar {
+  Reactor& reactor_;
+  Reactor::OwnerId owner_;
+  int events_ = 0;
+  explicit NestedRegistrar(Reactor& r)
+      : reactor_(r), owner_(r.makeOwner()) {
+    reactor_.addTimer(
+        0.0, 1.0,
+        [this] {
+          reactor_.addFd(5, 1, [this] { ++events_; });  // BAD: no OwnerId
+        },
+        owner_);
+  }
+  ~NestedRegistrar() { reactor_.retireOwner(owner_); }
+};

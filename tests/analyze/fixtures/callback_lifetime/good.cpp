@@ -1,0 +1,90 @@
+// callback-lifetime fixture: nothing here may be reported. Each class
+// shows a sanctioned lifetime discipline: stored handles matched by
+// destructor-reachable removeFd/cancelTimer calls, owner tagging retired
+// in the destructor (directly or through a helper), value-only captures,
+// free-function registrations, and owner-tagged nested registrations.
+
+struct Callback {
+  template <typename F>
+  Callback(F) {}
+};
+
+struct Reactor {
+  struct FdHandle {
+    int fd;
+  };
+  struct TimerHandle {
+    unsigned long long id;
+  };
+  using OwnerId = unsigned;
+  OwnerId makeOwner();
+  void retireOwner(OwnerId owner);
+  FdHandle addFd(int fd, unsigned events, Callback cb, OwnerId owner = 0);
+  TimerHandle addTimer(double delaySec, double periodSec, Callback cb,
+                       OwnerId owner = 0);
+  void removeFd(int fd);
+  void cancelTimer(unsigned long long id);
+};
+
+// GOOD: handle discipline — both registrations are undone by name in the
+// destructor.
+struct HandleServer {
+  Reactor& reactor_;
+  Reactor::FdHandle reg_{-1};
+  Reactor::TimerHandle timer_{0};
+  int hits_ = 0;
+  explicit HandleServer(Reactor& r) : reactor_(r) {
+    reg_ = reactor_.addFd(3, 1, [this] { ++hits_; });
+    timer_ = reactor_.addTimer(0.0, 1.0, [this] { ++hits_; });
+  }
+  ~HandleServer() {
+    reactor_.cancelTimer(timer_.id);
+    reactor_.removeFd(reg_.fd);
+  }
+};
+
+// GOOD: owner discipline — the destructor reaches retireOwner through a
+// shutdown helper (one hop on the call graph).
+struct OwnerServer {
+  Reactor& reactor_;
+  Reactor::OwnerId owner_;
+  int polls_ = 0;
+  explicit OwnerServer(Reactor& r) : reactor_(r), owner_(r.makeOwner()) {
+    reactor_.addFd(4, 1, [this] { ++polls_; }, owner_);
+    reactor_.addTimer(0.5, 0.5, [this] { ++polls_; }, owner_);
+  }
+  void shutdown() { reactor_.retireOwner(owner_); }
+  ~OwnerServer() { shutdown(); }
+};
+
+// GOOD: value-only capture — the callback owns a copy; nothing dangles
+// even though the class has no destructor.
+struct ValueCapture {
+  Reactor& reactor_;
+  explicit ValueCapture(Reactor& r, int seed) : reactor_(r) {
+    reactor_.addTimer(1.0, 1.0, [seed] { (void)seed; });
+  }
+};
+
+// GOOD: free-function registration — reactor and captures share one
+// scope and die together; the *_main entry points look like this.
+void runOnce(Reactor& r) {
+  int spins = 0;
+  r.addFd(6, 1, [&spins] { ++spins; });
+  r.removeFd(6);
+}
+
+// GOOD: registration from inside a callback, vouched for by the OwnerId
+// tag (and retired in the destructor).
+struct NestedOwner {
+  Reactor& reactor_;
+  Reactor::OwnerId owner_;
+  int events_ = 0;
+  explicit NestedOwner(Reactor& r) : reactor_(r), owner_(r.makeOwner()) {
+    reactor_.addTimer(
+        0.0, 1.0,
+        [this] { reactor_.addFd(7, 1, [this] { ++events_; }, owner_); },
+        owner_);
+  }
+  ~NestedOwner() { reactor_.retireOwner(owner_); }
+};

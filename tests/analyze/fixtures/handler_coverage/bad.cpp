@@ -1,0 +1,42 @@
+// handler-coverage fixture: both defects below must be reported. The
+// directive line tells the rule which schema directions terminate here
+// (the real dispatch files get this from the built-in table instead).
+//
+// handler-coverage-receives: server -> client
+//
+// Defect 1: the schema also sends this endpoint a validity-reply frame
+// (value 8), but there is no dispatch arm and no named opt-out below.
+// Defect 2: the default-free switch handles a type the schema never
+// named.
+
+enum class FrameType : unsigned char {
+  kWelcome = 2,
+  kReport = 3,
+  kDataItem = 5,
+  kCheckAck = 7,
+  kMapUpdate = 11,
+  kLegacyPing = 99
+};
+
+struct Frame {
+  FrameType type;
+};
+
+int dispatch(const Frame& f) {
+  switch (f.type) {
+    case FrameType::kWelcome:
+      return 1;
+    case FrameType::kReport:
+      return 2;
+    case FrameType::kDataItem:
+      return 3;
+    case FrameType::kCheckAck:
+      return 4;
+    case FrameType::kMapUpdate:
+      return 5;
+    case FrameType::kLegacyPing:  // BAD: the schema never named this type
+      return 6;
+    default:
+      return 0;
+  }
+}

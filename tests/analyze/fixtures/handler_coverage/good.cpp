@@ -1,0 +1,44 @@
+// handler-coverage fixture: nothing here may be reported. Every schema
+// frame type addressed to this endpoint either has a dispatch arm (case
+// label or header-type comparison) or is opted out by name next to the
+// default arm.
+//
+// handler-coverage-receives: server -> client
+
+enum class FrameType : unsigned char {
+  kWelcome = 2,
+  kReport = 3,
+  kDataItem = 5,
+  kCheckAck = 7,
+  kValidityReply = 8,
+  kMapUpdate = 11
+};
+
+struct Frame {
+  FrameType type;
+};
+
+bool isAnnounce(const Frame& f) {
+  // Comparison-style dispatch counts the same as a case label.
+  return f.type == FrameType::kMapUpdate;
+}
+
+int dispatch(const Frame& f) {
+  if (isAnnounce(f)) {
+    return 5;
+  }
+  switch (f.type) {
+    case FrameType::kWelcome:
+      return 1;
+    case FrameType::kReport:
+      return 2;
+    case FrameType::kDataItem:
+      return 3;
+    case FrameType::kCheckAck:
+      return 4;
+    default:
+      // kValidityReply (checking schemes only) and anything else this
+      // endpoint has no use for.
+      return 0;
+  }
+}

@@ -72,3 +72,39 @@ void badHandoffReserve(BitReader& r, Vec& times) {
   const unsigned long long count = r.read(32);
   times.reserve(count);  // tainted reservation
 }
+
+// -- interprocedural cases: each flow crosses a call edge and is only
+// visible through the per-function summaries. ------------------------------
+
+// Helper whose return value is raw wire data; its summary taints callers.
+unsigned long long readRawIndex(BitReader& r) { return r.read(16); }
+
+// BAD 7: two-hop flow — the read happens in the helper, the sink here.
+unsigned badTwoHopIndex(BitReader& r, Vec& table) {
+  const unsigned long long idx = readRawIndex(r);
+  return table[idx];  // tainted through the helper's summary
+}
+
+// Helper holding the sink; a tainted argument must fire at the call site.
+unsigned sinkInHelper(Vec& table, unsigned long long idx) {
+  return table[idx];
+}
+
+// BAD 8: the decode is here, the subscript one frame down.
+unsigned badArgIntoHelperSink(BitReader& r, Vec& table) {
+  const unsigned long long idx = r.read(16);
+  return sinkInHelper(table, idx);  // tainted argument reaches callee sink
+}
+
+// Self-recursive helper: the bounded summary rounds must converge on the
+// cycle and still see the base case's read.
+unsigned long long readNestedValue(BitReader& r, int depth) {
+  if (depth > 0) return readNestedValue(r, depth - 1);
+  return r.read(32);
+}
+
+// BAD 9: taint surviving a recursive cycle in the call graph.
+unsigned badRecursiveHelper(BitReader& r, Vec& table) {
+  const unsigned long long idx = readNestedValue(r, 2);
+  return table[idx];  // tainted through the recursive summary
+}

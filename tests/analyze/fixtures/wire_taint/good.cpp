@@ -80,3 +80,33 @@ void goodHandoffStream(BitReader& r, Vec& times) {
     times.push_back(static_cast<unsigned>(r.read(64)));
   }
 }
+
+// -- interprocedural cases: the summary pass must PROVE these clean, not
+// merely fail to see across the call edge. ---------------------------------
+
+// Helper that guards its own return (the frameSize() shape): its summary
+// records an untainted return, so callers need no local check.
+unsigned long long readBoundedIndex(BitReader& r) {
+  const unsigned long long n = r.read(16);
+  if (n >= kMaxItems) return 0;
+  return n;
+}
+
+// GOOD: the helper's summary proves the index bounded.
+unsigned goodSummaryProvenIndex(BitReader& r, Vec& table) {
+  const unsigned long long idx = readBoundedIndex(r);
+  return table[idx];
+}
+
+// Helper that bounds its parameter before the sink: no parameter sink in
+// the summary, so tainted arguments are fine.
+unsigned guardedSinkHelper(Vec& table, unsigned long long idx) {
+  if (idx >= kMaxItems) return 0;
+  return table[idx];
+}
+
+// GOOD: the callee bounds the argument itself.
+unsigned goodArgIntoGuardedHelper(BitReader& r, Vec& table) {
+  const unsigned long long idx = r.read(16);
+  return guardedSinkHelper(table, idx);
+}

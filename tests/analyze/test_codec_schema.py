@@ -186,9 +186,19 @@ class RealTreeTest(unittest.TestCase):
         self.assertEqual(welcome[-1],
                          {"name": "shardMap", "submessage": "ShardMap"})
 
+    def test_frame_table_has_all_enumerators_with_directions(self):
+        frames = codec_schema.extract_frames_path(_REPO)
+        self.assertEqual(len(frames), 13)
+        self.assertEqual(frames["kHello"]["value"], 1)
+        self.assertEqual(frames["kHello"]["direction"], "client -> server")
+        self.assertEqual(frames["kHandoff"]["direction"], "shard -> shard")
+        values = [f["value"] for f in frames.values()]
+        self.assertEqual(len(values), len(set(values)), "duplicate values")
+
     def test_checked_in_schema_and_docs_match_the_code(self):
         import json
-        schema = codec_schema.build_schema(self.extracted)
+        schema = codec_schema.build_schema(
+            self.extracted, codec_schema.extract_frames_path(_REPO))
         with open(os.path.join(_REPO, codec_schema.SCHEMA_PATH)) as fh:
             self.assertEqual(json.load(fh), schema,
                              "docs/wire_schema.json is stale: run "
@@ -199,6 +209,30 @@ class RealTreeTest(unittest.TestCase):
         self.assertIn(rendered, text,
                       "docs/protocols.md generated block is stale: run "
                       "tools/analyze/codec_schema.py --write")
+
+
+class FrameExtractionTest(unittest.TestCase):
+    _ENUM = """
+enum class FrameType : std::uint8_t {
+  kPing = 1,  /< client -> server: are you there
+  kPong = 2,  /< server -> client: yes
+};
+"""
+
+    def test_value_direction_and_doc_are_parsed(self):
+        frames = codec_schema.extract_frames(self._ENUM)
+        self.assertEqual(frames["kPing"],
+                         {"value": 1, "direction": "client -> server",
+                          "doc": "are you there"})
+        self.assertEqual(frames["kPong"]["value"], 2)
+
+    def test_undocumented_enumerator_is_a_hard_error(self):
+        with self.assertRaises(ValueError):
+            codec_schema.extract_frames(self._ENUM.replace(
+                "kPong = 2,  /< server -> client: yes", "kPong = 2,"))
+
+    def test_no_enum_yields_empty_table(self):
+        self.assertEqual(codec_schema.extract_frames("int x;"), {})
 
 
 class DocsTest(unittest.TestCase):

@@ -10,6 +10,7 @@ cases run everywhere.
 """
 
 import os
+import re
 import subprocess
 import sys
 import unittest
@@ -28,6 +29,8 @@ RULES = [
     "ordered-iteration",
     "wire-taint",
     "codec-symmetry",
+    "callback-lifetime",
+    "handler-coverage",
 ]
 
 _probe_result = None
@@ -127,7 +130,8 @@ class FixtureCorpusTest(unittest.TestCase, FixtureCaseMixin):
         self.assertIn("sumAliasBad", proc.stdout)
 
     def test_wire_taint_fires_on_every_seeded_bug(self):
-        """All six seeded flows report, each exactly once."""
+        """All nine seeded flows report, each exactly once — the last
+        three only exist across call edges (summary propagation)."""
         proc = _run("wire-taint", "bad.cpp")
         self.assertEqual(
             proc.returncode, 1,
@@ -135,7 +139,8 @@ class FixtureCorpusTest(unittest.TestCase, FixtureCaseMixin):
             % (proc.stdout, proc.stderr))
         for fn in ("badUnguardedIndex", "badGuardedThenReused",
                    "badTaintThroughCopy", "badMemcpyLength", "badLoopBound",
-                   "badHandoffReserve"):
+                   "badHandoffReserve", "badTwoHopIndex",
+                   "badArgIntoHelperSink", "badRecursiveHelper"):
             self.assertEqual(
                 proc.stdout.count("[in %s]" % fn), 1,
                 "%s should report exactly once\nstdout:\n%s"
@@ -146,8 +151,54 @@ class FixtureCorpusTest(unittest.TestCase, FixtureCaseMixin):
         self.assertIn("BitReader::read", proc.stdout)
         self.assertIn("source -> sink", proc.stdout)
 
+    def test_wire_taint_helpers_report_no_findings_of_their_own(self):
+        """The helpers behind the interproc cases are not themselves
+        defective: the source-free sink helper and the read-returning
+        helper must not fire at their own definition lines."""
+        proc = _run("wire-taint", "bad.cpp")
+        for fn in ("sinkInHelper", "readRawIndex", "readNestedValue"):
+            self.assertNotIn("[in %s]" % fn, proc.stdout)
+
     def test_wire_taint_quiet(self):
+        """good.cpp includes the summary-proven cross-function flows (a
+        bounded helper return and a callee-guarded argument)."""
         self._assert_quiet("wire-taint")
+
+    def test_callback_lifetime_fires_on_every_escape_route(self):
+        proc = _run("callback-lifetime", "bad.cpp")
+        self.assertEqual(
+            proc.returncode, 1,
+            "callback-lifetime should fire on bad.cpp\nstdout:\n%s\n"
+            "stderr:\n%s" % (proc.stdout, proc.stderr))
+        for cls, needle in (
+                ("LeakyServer", "no removeFd"),
+                ("FireAndForget", "handle discarded"),
+                ("NoTeardown", "no destructor"),
+                ("ForgetsRetire", "retireOwner is not reachable"),
+                ("NestedRegistrar", "inside a callback without an OwnerId")):
+            self.assertEqual(
+                proc.stdout.count(needle), 1,
+                "%s (%r) should report exactly once\nstdout:\n%s"
+                % (cls, needle, proc.stdout))
+
+    def test_callback_lifetime_quiet(self):
+        self._assert_quiet("callback-lifetime")
+
+    def test_explain_prints_the_cross_function_chain(self):
+        """--explain on a two-hop wire-taint finding prints every hop,
+        including the callee-side step the one-line render elides."""
+        proc = _run("wire-taint", "bad.cpp")
+        m = re.search(r"\[in badTwoHopIndex\].*?id: ([0-9a-f]{12})",
+                      proc.stdout, re.DOTALL)
+        self.assertIsNotNone(m, proc.stdout)
+        path = os.path.join(_FIXTURES, "wire_taint", "bad.cpp")
+        explained = subprocess.run(
+            [sys.executable, _ANALYZE, "--rule", "wire-taint",
+             "--no-baseline", "--explain", m.group(1), path],
+            capture_output=True, text=True, cwd=_REPO)
+        self.assertEqual(explained.returncode, 0, explained.stderr)
+        self.assertIn("chain (source -> sink", explained.stdout)
+        self.assertIn("readRawIndex", explained.stdout)
 
 
 class CodecSymmetryFixtureTest(unittest.TestCase, FixtureCaseMixin):
@@ -164,6 +215,47 @@ class CodecSymmetryFixtureTest(unittest.TestCase, FixtureCaseMixin):
 
     def test_quiet_on_symmetric_pair(self):
         self._assert_quiet("codec-symmetry")
+
+
+class HandlerCoverageFixtureTest(unittest.TestCase, FixtureCaseMixin):
+    """handler-coverage is textual: these run without libclang."""
+
+    def test_fires_on_missing_arm_and_unknown_type(self):
+        proc = _run("handler-coverage", "bad.cpp")
+        self.assertEqual(
+            proc.returncode, 1,
+            "handler-coverage should fire on bad.cpp\nstdout:\n%s\n"
+            "stderr:\n%s" % (proc.stdout, proc.stderr))
+        self.assertIn("kValidityReply", proc.stdout)
+        self.assertIn("no dispatch arm", proc.stdout)
+        self.assertIn("kLegacyPing", proc.stdout)
+        self.assertIn("does not name", proc.stdout)
+
+    def test_quiet_when_covered_or_named_opt_out(self):
+        self._assert_quiet("handler-coverage")
+
+    def test_explain_round_trips_a_printed_id(self):
+        """Every finding line advertises an id; --explain with a prefix of
+        it reprints the finding in full. Textual rule, so libclang-free."""
+        proc = _run("handler-coverage", "bad.cpp")
+        m = re.search(r"id: ([0-9a-f]{12})", proc.stdout)
+        self.assertIsNotNone(m, proc.stdout)
+        path = os.path.join(_FIXTURES, "handler_coverage", "bad.cpp")
+        explained = subprocess.run(
+            [sys.executable, _ANALYZE, "--rule", "handler-coverage",
+             "--no-baseline", "--explain", m.group(1)[:8], path],
+            capture_output=True, text=True, cwd=_REPO)
+        self.assertEqual(explained.returncode, 0, explained.stderr)
+        self.assertIn(m.group(1), explained.stdout)
+        self.assertIn("handler-coverage", explained.stdout)
+
+    def test_explain_unknown_id_is_setup_error(self):
+        path = os.path.join(_FIXTURES, "handler_coverage", "bad.cpp")
+        proc = subprocess.run(
+            [sys.executable, _ANALYZE, "--rule", "handler-coverage",
+             "--no-baseline", "--explain", "ffffffffffff", path],
+            capture_output=True, text=True, cwd=_REPO)
+        self.assertEqual(proc.returncode, 2)
 
 
 class SkipContractTest(unittest.TestCase):

@@ -1,0 +1,271 @@
+"""Unit tests for the interprocedural summary layer (tools/analyze/
+summaries.py) over hand-built CFGs — no libclang required.
+
+These pin the transfer-relation semantics the interprocedural wire-taint
+rule relies on: intrinsic vs guarded return taint, parameter-to-return
+flow, parameter-to-sink facts net of intrinsic hits, specialization of
+caller CFGs (both directions: de-tainting proven-guarded calls and
+synthesizing callee sinks with via chains), the monotone merge, bounded
+recursive convergence, and the round-level summary cache.
+"""
+
+import os
+import sys
+import unittest
+
+_TOOLS = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "tools",
+    "analyze",
+)
+if _TOOLS not in sys.path:
+    sys.path.insert(0, _TOOLS)
+
+import engine  # noqa: E402
+from engine import CallFact, Cfg, Def, Guard, Sink, Stmt  # noqa: E402
+import summaries  # noqa: E402
+from callgraph import FunctionCfg  # noqa: E402
+
+RET = engine.RETURN_PATH
+
+
+def _fn(name, cfg, params=(), file="f.cpp", line=1):
+    return FunctionCfg(name=name, file=file, line=line, cfg=cfg,
+                       params=tuple(params))
+
+
+def _subscript(*paths):
+    return Sink(kind="subscript", desc="table[%s]" % ",".join(paths),
+                paths=paths)
+
+
+def _returns_read_cfg():
+    """unsigned f(r) { return r.read(16); }"""
+    cfg = Cfg()
+    cfg.add(Stmt(sid=1, defs=(Def(path=RET, has_source=True,
+                                  source_desc="BitReader::read"),)))
+    return cfg
+
+
+class ReturnTaintTest(unittest.TestCase):
+    def test_intrinsic_source_taints_the_return(self):
+        s = summaries.compute_summary(_fn("f", _returns_read_cfg()), {})
+        self.assertTrue(s.ret_tainted)
+        self.assertEqual(s.ret_source_desc, "BitReader::read")
+        self.assertFalse(s.truncated)
+
+    def test_guarded_return_is_clean(self):
+        # n = read; if (n >= kMax) return 0; return n;  — the early exit
+        # kills n on the fall-through edge, so the summary must NOT mark
+        # the return tainted (the frameSize() shape behind the deleted
+        # wire.cpp ALLOWs).
+        cfg = Cfg()
+        cfg.add(Stmt(sid=1, defs=(Def(path="n", has_source=True,
+                                      source_desc="BitReader::read"),)))
+        cfg.add(Stmt(sid=2, uses=("n",),
+                     guards=(Guard(kills=("n",), edge="false"),)))
+        cfg.add(Stmt(sid=3, defs=(Def(path=RET),)))          # return 0
+        cfg.add(Stmt(sid=4, defs=(Def(path=RET, uses=("n",)),)))  # return n
+        cfg.edge(1, 2)
+        cfg.edge(2, 3, "true")
+        cfg.edge(2, 4, "false")
+        s = summaries.compute_summary(_fn("f", cfg), {})
+        self.assertFalse(s.ret_tainted)
+
+    def test_param_flows_to_return(self):
+        # f(p) { return p; } — clean intrinsically, tainted when seeded.
+        cfg = Cfg()
+        cfg.add(Stmt(sid=1, defs=(Def(path=RET, uses=("p",)),)))
+        s = summaries.compute_summary(_fn("f", cfg, params=("p",)), {})
+        self.assertFalse(s.ret_tainted)
+        self.assertEqual(s.ret_from_params, (0,))
+
+
+class ParamSinkTest(unittest.TestCase):
+    def test_param_reaching_sink_is_recorded(self):
+        # f(table, idx) { return table[idx]; }
+        cfg = Cfg()
+        cfg.add(Stmt(sid=1, uses=("idx",), sinks=(_subscript("idx"),),
+                     line=7))
+        s = summaries.compute_summary(
+            _fn("f", cfg, params=("table", "idx")), {})
+        self.assertEqual(len(s.param_sinks), 1)
+        ps = s.param_sinks[0]
+        self.assertEqual((ps.param, ps.kind, ps.line), (1, "subscript", 7))
+
+    def test_intrinsic_hit_is_not_blamed_on_params(self):
+        # f(p) { idx = read; table[idx]; } — fires with or without the
+        # seed, so it is the function's own bug, not a parameter fact.
+        cfg = Cfg()
+        cfg.add(Stmt(sid=1, defs=(Def(path="idx", has_source=True,
+                                      source_desc="BitReader::read"),)))
+        cfg.add(Stmt(sid=2, uses=("idx",), sinks=(_subscript("idx"),)))
+        cfg.edge(1, 2)
+        s = summaries.compute_summary(_fn("f", cfg, params=("p",)), {})
+        self.assertEqual(s.param_sinks, ())
+
+    def test_guarded_param_produces_no_sink_fact(self):
+        # f(table, idx) { if (idx >= kMax) return 0; return table[idx]; }
+        cfg = Cfg()
+        cfg.add(Stmt(sid=1, uses=("idx",),
+                     guards=(Guard(kills=("idx",), edge="false"),)))
+        cfg.add(Stmt(sid=2, defs=(Def(path=RET),)))
+        cfg.add(Stmt(sid=3, uses=("idx",), sinks=(_subscript("idx"),),
+                     defs=(Def(path=RET, uses=("idx",)),)))
+        cfg.edge(1, 2, "true")
+        cfg.edge(1, 3, "false")
+        s = summaries.compute_summary(
+            _fn("f", cfg, params=("table", "idx")), {})
+        self.assertEqual(s.param_sinks, ())
+        self.assertEqual(s.ret_from_params, ())
+
+
+class SpecializeTest(unittest.TestCase):
+    def _caller_cfg(self):
+        """idx = helper(r); table[idx];"""
+        cfg = Cfg()
+        cfg.add(Stmt(sid=1,
+                     defs=(Def(path="idx", uses=("r",),
+                               from_call="helper"),),
+                     calls=(CallFact(callee="helper",
+                                     args=((("r",), False),)),)))
+        cfg.add(Stmt(sid=2, uses=("idx",), sinks=(_subscript("idx"),)))
+        cfg.edge(1, 2)
+        return cfg
+
+    def test_tainted_return_summary_taints_the_caller(self):
+        table = {"helper": summaries.FunctionSummary(
+            name="helper", ret_tainted=True,
+            ret_source_desc="BitReader::read")}
+        solved = engine.solve_taint(summaries.specialize(
+            self._caller_cfg(), table))
+        self.assertEqual(len(solved.hits), 1)
+
+    def test_clean_return_summary_detaints_the_caller(self):
+        # With a summary proving the return guarded, the conservative
+        # all-args def is REPLACED: no taint, no hit. This is the
+        # false-positive-removal direction the ALLOW burn-down uses.
+        table = {"helper": summaries.FunctionSummary(name="helper")}
+        solved = engine.solve_taint(summaries.specialize(
+            self._caller_cfg(), table))
+        self.assertEqual(solved.hits, [])
+
+    def test_unsummarized_call_keeps_the_conservative_def(self):
+        cfg = summaries.specialize(self._caller_cfg(),
+                                   {"other": summaries.FunctionSummary(
+                                       name="other")})
+        d = cfg.nodes[1].stmt.defs[0]
+        self.assertEqual(d.uses, ("r",))
+
+    def test_callee_sink_synthesized_at_call_site_with_via(self):
+        # idx = read; sink_fn(table, idx);  — the callee's parameter-sink
+        # fact becomes a caller-side sink carrying the chain step.
+        cfg = Cfg()
+        cfg.add(Stmt(sid=1, defs=(Def(path="idx", has_source=True,
+                                      source_desc="BitReader::read"),)))
+        cfg.add(Stmt(sid=2, uses=("idx",),
+                     calls=(CallFact(callee="sink_fn",
+                                     args=((("table",), False),
+                                           (("idx",), False))),)))
+        cfg.edge(1, 2)
+        table = {"sink_fn": summaries.FunctionSummary(
+            name="sink_fn", file="h.cpp", line=5,
+            params=("table", "idx"),
+            param_sinks=(summaries.ParamSink(
+                param=1, kind="subscript", desc="table[i]", line=7),))}
+        solved = engine.solve_taint(summaries.specialize(cfg, table))
+        self.assertEqual(len(solved.hits), 1)
+        hit = solved.hits[0]
+        self.assertEqual(hit.sink.via, ("h.cpp:7: in sink_fn: table[i]",))
+        self.assertIn("argument 2 of sink_fn()", hit.sink.desc)
+
+
+class MergeTest(unittest.TestCase):
+    def test_merge_is_a_monotone_union(self):
+        a = summaries.FunctionSummary(
+            name="f", ret_tainted=False, ret_from_params=(0,),
+            param_sinks=(summaries.ParamSink(0, "subscript", "t[i]"),))
+        b = summaries.FunctionSummary(
+            name="f", ret_tainted=True, ret_source_desc="read",
+            ret_from_params=(1,))
+        m = summaries.merge_summaries(a, b)
+        self.assertTrue(m.ret_tainted)
+        self.assertEqual(m.ret_from_params, (0, 1))
+        self.assertEqual(len(m.param_sinks), 1)
+        # Merging again changes nothing (fixpoint-friendly).
+        self.assertEqual(summaries.merge_summaries(m, b), m)
+
+    def test_merge_none_returns_new(self):
+        b = summaries.FunctionSummary(name="f", ret_tainted=True)
+        self.assertEqual(summaries.merge_summaries(None, b), b)
+
+
+class BuildSummariesTest(unittest.TestCase):
+    def _two_hop(self):
+        helper = _fn("helper", _returns_read_cfg(), file="a.cpp", line=1)
+        caller_cfg = Cfg()
+        caller_cfg.add(Stmt(
+            sid=1,
+            defs=(Def(path="idx", uses=("r",), from_call="helper"),),
+            calls=(CallFact(callee="helper", args=((("r",), False),)),)))
+        caller_cfg.add(Stmt(sid=2, uses=("idx",),
+                            sinks=(_subscript("idx"),),
+                            defs=(Def(path=RET, uses=("idx",)),)))
+        caller_cfg.edge(1, 2)
+        caller = _fn("caller", caller_cfg, file="a.cpp", line=10)
+        return helper, caller
+
+    def test_two_hop_flow_resolves_bottom_up(self):
+        helper, caller = self._two_hop()
+        table, stats = summaries.build_summaries([caller, helper])
+        self.assertTrue(table["helper"].ret_tainted)
+        solved = engine.solve_taint(
+            summaries.specialize(caller.cfg, table))
+        self.assertEqual(len(solved.hits), 1)
+        self.assertEqual(stats.functions, 2)
+
+    def test_recursive_cycle_converges_within_rounds(self):
+        # rec(r, d) { if (d) return rec(r, d-1); return r.read(32); }
+        cfg = Cfg()
+        cfg.add(Stmt(sid=1, uses=("d",)))
+        cfg.add(Stmt(sid=2,
+                     defs=(Def(path=RET, from_call="rec"),),
+                     calls=(CallFact(callee="rec",
+                                     args=((("r",), False),
+                                           (("d",), False))),)))
+        cfg.add(Stmt(sid=3, defs=(Def(path=RET, has_source=True,
+                                      source_desc="BitReader::read"),)))
+        cfg.edge(1, 2, "true")
+        cfg.edge(1, 3, "false")
+        rec = _fn("rec", cfg, params=("r", "d"))
+        table, stats = summaries.build_summaries([rec])
+        self.assertTrue(table["rec"].ret_tainted)
+        self.assertLessEqual(stats.rounds, 4)
+
+    def test_fixpoint_reuses_cached_summaries(self):
+        # Round 2 recomputes nothing: every function's callee summaries
+        # are unchanged, so the cache answers and the loop stops.
+        helper, caller = self._two_hop()
+        table, stats = summaries.build_summaries([caller, helper])
+        self.assertGreaterEqual(stats.cache_hits, 2)
+        self.assertEqual(stats.rounds, 2)
+
+    def test_compute_summary_cache_key_includes_deps(self):
+        helper, caller = self._two_hop()
+        cache = summaries.SummaryCache()
+        s1 = summaries.compute_summary(caller, {}, cache)
+        s2 = summaries.compute_summary(caller, {}, cache)
+        self.assertEqual(s1, s2)
+        self.assertEqual((cache.hits, cache.misses), (1, 1))
+        # A new helper summary changes the key: miss, and the result now
+        # reflects the callee facts.
+        table = {"helper": summaries.FunctionSummary(
+            name="helper", ret_tainted=True, ret_source_desc="read")}
+        s3 = summaries.compute_summary(caller, table, cache)
+        self.assertEqual((cache.hits, cache.misses), (1, 2))
+        self.assertFalse(s2.ret_tainted)
+        self.assertTrue(s3.ret_tainted)  # helper's facts flowed through
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -65,13 +65,14 @@ metrics::SimResult runLive(const core::SimConfig& cfg, double timeScale) {
   ClientPool pool(reactor, agentOpts);
   pool.start();
 
-  reactor.addTimer(0.02, 0.02, [&] {
+  const Reactor::TimerHandle tick = reactor.addTimer(0.02, 0.02, [&] {
     if (pool.modelNow() >= cfg.simTime) {
       pool.shutdown();
       reactor.stop();
     }
   });
   reactor.run();
+  (void)reactor.cancelTimer(tick);
 
   EXPECT_EQ(pool.welcomedCount(), cfg.numClients);
   EXPECT_EQ(pool.staleReads(), 0u);
@@ -303,13 +304,14 @@ metrics::SimResult runClusterLive(const core::SimConfig& cfg, double timeScale,
   ClientPool pool(reactor, agentOpts);
   pool.start();
 
-  reactor.addTimer(0.02, 0.02, [&] {
+  const Reactor::TimerHandle tick = reactor.addTimer(0.02, 0.02, [&] {
     if (pool.modelNow() >= cfg.simTime) {
       pool.shutdown();
       reactor.stop();
     }
   });
   reactor.run();
+  (void)reactor.cancelTimer(tick);
 
   EXPECT_EQ(pool.welcomedCount(), cfg.numClients);
   EXPECT_EQ(pool.staleReads(), 0u);
@@ -389,7 +391,7 @@ TEST(LiveLoopback, MulticastDownlinkDeliversReports) {
     GTEST_SKIP() << "multicast unavailable here: " << e.what();
   }
 
-  reactor.addTimer(0.02, 0.02, [&] {
+  const Reactor::TimerHandle tick = reactor.addTimer(0.02, 0.02, [&] {
     if (pool->modelNow() >= cfg.simTime) {
       pool->shutdown();
       reactor.stop();
@@ -397,6 +399,7 @@ TEST(LiveLoopback, MulticastDownlinkDeliversReports) {
   });
   try {
     reactor.run();  // agents join the group at Welcome time, mid-run
+    (void)reactor.cancelTimer(tick);
   } catch (const std::runtime_error& e) {
     GTEST_SKIP() << "multicast unavailable here: " << e.what();
   }

@@ -14,8 +14,8 @@ namespace {
 TEST(Reactor, OneShotTimerFiresOnce) {
   Reactor r;
   int fired = 0;
-  r.addTimer(0.002, 0, [&] { ++fired; });
-  r.addTimer(0.02, 0, [&r] { r.stop(); });
+  (void)r.addTimer(0.002, 0, [&] { ++fired; });
+  (void)r.addTimer(0.02, 0, [&r] { r.stop(); });
   r.run();
   EXPECT_EQ(fired, 1);
   EXPECT_EQ(r.timerCount(), 0u);
@@ -24,8 +24,8 @@ TEST(Reactor, OneShotTimerFiresOnce) {
 TEST(Reactor, PeriodicTimerFiresRepeatedlyAndCancels) {
   Reactor r;
   int fired = 0;
-  Reactor::TimerId id = r.addTimer(0.002, 0.002, [&] { ++fired; });
-  r.addTimer(0.02, 0, [&] {
+  Reactor::TimerHandle id = r.addTimer(0.002, 0.002, [&] { ++fired; });
+  (void)r.addTimer(0.02, 0, [&] {
     EXPECT_TRUE(r.cancelTimer(id));
     r.stop();
   });
@@ -37,10 +37,10 @@ TEST(Reactor, PeriodicTimerFiresRepeatedlyAndCancels) {
 TEST(Reactor, TimersFireInDeadlineOrder) {
   Reactor r;
   std::vector<int> order;
-  r.addTimer(0.009, 0, [&] { order.push_back(3); });
-  r.addTimer(0.001, 0, [&] { order.push_back(1); });
-  r.addTimer(0.005, 0, [&] { order.push_back(2); });
-  r.addTimer(0.015, 0, [&r] { r.stop(); });
+  (void)r.addTimer(0.009, 0, [&] { order.push_back(3); });
+  (void)r.addTimer(0.001, 0, [&] { order.push_back(1); });
+  (void)r.addTimer(0.005, 0, [&] { order.push_back(2); });
+  (void)r.addTimer(0.015, 0, [&r] { r.stop(); });
   r.run();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
@@ -51,13 +51,13 @@ TEST(Reactor, HandlerMayCancelItselfAndAddNewTimers) {
   // A one-shot timer that re-arms itself from inside its own handler is the
   // update-workload pattern in BroadcastServer.
   std::function<void()> rearm;
-  Reactor::TimerId id = 0;
+  Reactor::TimerHandle id;
   rearm = [&] {
     if (++chained < 3) id = r.addTimer(0.001, 0, rearm);
   };
   id = r.addTimer(0.001, 0, rearm);
   (void)id;
-  r.addTimer(0.02, 0, [&r] { r.stop(); });
+  (void)r.addTimer(0.02, 0, [&r] { r.stop(); });
   r.run();
   EXPECT_EQ(chained, 3);
 }
@@ -65,11 +65,11 @@ TEST(Reactor, HandlerMayCancelItselfAndAddNewTimers) {
 TEST(Reactor, LatePeriodicTimerCatchesUpWithoutABurst) {
   Reactor r;
   int fired = 0;
-  r.addTimer(0.001, 0.001, [&] {
+  (void)r.addTimer(0.001, 0.001, [&] {
     ++fired;
     if (fired == 1) ::usleep(10000);  // stall 10 periods
   });
-  r.addTimer(0.015, 0, [&r] { r.stop(); });
+  (void)r.addTimer(0.015, 0, [&r] { r.stop(); });
   r.run();
   // The stall covered ~10 periods; catch-up must coalesce them into one
   // fire, not replay every missed deadline.
@@ -82,7 +82,8 @@ TEST(Reactor, FdHandlerSeesReadableEvents) {
   int fds[2];
   ASSERT_EQ(::pipe(fds), 0);
   std::string got;
-  r.addFd(fds[0], EPOLLIN, [&](std::uint32_t events) {
+  const Reactor::FdHandle reg =
+      r.addFd(fds[0], EPOLLIN, [&](std::uint32_t events) {
     EXPECT_TRUE(events & EPOLLIN);
     char buf[16];
     const ssize_t n = ::read(fds[0], buf, sizeof buf);
@@ -93,7 +94,7 @@ TEST(Reactor, FdHandlerSeesReadableEvents) {
   ASSERT_EQ(::write(fds[1], "ping", 4), 4);
   r.run();
   EXPECT_EQ(got, "ping");
-  r.removeFd(fds[0]);
+  r.removeFd(reg);
   EXPECT_EQ(r.fdCount(), 0u);
   ::close(fds[0]);
   ::close(fds[1]);
@@ -104,15 +105,34 @@ TEST(Reactor, HandlerMayRemoveItsOwnFd) {
   int fds[2];
   ASSERT_EQ(::pipe(fds), 0);
   int calls = 0;
-  r.addFd(fds[0], EPOLLIN, [&](std::uint32_t) {
+  (void)r.addFd(fds[0], EPOLLIN, [&](std::uint32_t) {
     ++calls;
     r.removeFd(fds[0]);
     ::close(fds[0]);
   });
   ASSERT_EQ(::write(fds[1], "x", 1), 1);
-  r.addTimer(0.01, 0, [&r] { r.stop(); });
+  (void)r.addTimer(0.01, 0, [&r] { r.stop(); });
   r.run();
   EXPECT_EQ(calls, 1);
+  ::close(fds[1]);
+}
+
+TEST(Reactor, OwnerCountsRegistrationsAndRetiresClean) {
+  Reactor r;
+  const Reactor::OwnerId owner = r.makeOwner();
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const Reactor::FdHandle reg =
+      r.addFd(fds[0], EPOLLIN, [](std::uint32_t) {}, owner);
+  const Reactor::TimerHandle t = r.addTimer(1.0, 0, [] {}, owner);
+  EXPECT_EQ(r.ownedCount(owner), 2u);
+  r.removeFd(reg);
+  EXPECT_TRUE(r.cancelTimer(t));
+  EXPECT_EQ(r.ownedCount(owner), 0u);
+  // Clean teardown: in MCI_ENABLE_DCHECKS builds this aborts if any
+  // registration tagged with `owner` were still live.
+  r.retireOwner(owner);
+  ::close(fds[0]);
   ::close(fds[1]);
 }
 

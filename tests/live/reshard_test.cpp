@@ -78,7 +78,7 @@ ReshardRunResult runAcrossReshard(const core::SimConfig& cfg,
 
   ReshardRunResult r;
   bool mutated = false;
-  reactor.addTimer(0.02, 0.02, [&] {
+  const Reactor::TimerHandle tick = reactor.addTimer(0.02, 0.02, [&] {
     if (!mutated && pool.welcomedCount() == cfg.numClients &&
         pool.modelNow() >= cfg.simTime * 0.3) {
       mutated = true;
@@ -91,6 +91,7 @@ ReshardRunResult runAcrossReshard(const core::SimConfig& cfg,
     }
   });
   reactor.run();
+  (void)reactor.cancelTimer(tick);
 
   r.pool = pool.finalize();
   r.poolStats = pool.stats();

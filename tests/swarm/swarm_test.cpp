@@ -69,13 +69,14 @@ SwarmRun runSwarm(const core::SimConfig& cfg, double timeScale,
   SwarmEmulator em(reactor, so);
   em.start();
 
-  reactor.addTimer(0.01, 0.01, [&] {
+  const live::Reactor::TimerHandle tick = reactor.addTimer(0.01, 0.01, [&] {
     if (em.ready() && em.modelNow() >= cfg.simTime) {
       em.shutdown();
       reactor.stop();
     }
   });
   reactor.run();
+  (void)reactor.cancelTimer(tick);
 
   SwarmRun r;
   r.stats = em.stats();
@@ -104,13 +105,14 @@ double runPool(const core::SimConfig& cfg, double timeScale,
   live::ClientPool pool(reactor, ao);
   pool.start();
 
-  reactor.addTimer(0.01, 0.01, [&] {
+  const live::Reactor::TimerHandle tick = reactor.addTimer(0.01, 0.01, [&] {
     if (pool.modelNow() >= cfg.simTime) {
       pool.shutdown();
       reactor.stop();
     }
   });
   reactor.run();
+  (void)reactor.cancelTimer(tick);
   EXPECT_EQ(pool.staleReads(), 0u);
   EXPECT_EQ(cluster.staleReads(), 0u);
   return pool.finalize().hitRatio();

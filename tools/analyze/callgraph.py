@@ -28,6 +28,10 @@ class CallSite:
     file: str  # repo-relative
     line: int
     column: int
+    # Source text of the call, recorded only for lifetime-relevant calls
+    # (removeFd / cancelTimer / retireOwner) so callback-lifetime can match
+    # a deregistration to the handle member it releases.
+    text: str = ""
 
 
 @dataclasses.dataclass
@@ -49,13 +53,27 @@ class Node:
 @dataclasses.dataclass
 class Registration:
     """A call like reactor.addFd(fd, ev, <lambda>) — the lambda becomes a
-    reachability root for the reactor-blocking rule."""
+    reachability root for the reactor-blocking rule, and the registration
+    itself a liability for the callback-lifetime rule."""
 
     method: str  # addFd / addTimer
     receiver_class: str
     callback_usrs: List[str]  # lambdas passed in the argument list
     file: str
     line: int
+    column: int = 0
+    # Textual capture list of the first lambda argument ("this", "&x", "=",
+    # ...); the lifetime rule keys risk off it.
+    captures: Tuple[str, ...] = ()
+    # The function containing the registration (usr + display name, e.g.
+    # "BroadcastServer::setupSockets") — "" when unresolved.
+    enclosing_usr: str = ""
+    enclosing_name: str = ""
+    # LHS the returned handle is stored into ("link->tcpReg"), textual;
+    # "" when the result is discarded.
+    handle_text: str = ""
+    # Spelling of the OwnerId argument ("owner_"); "" when defaulted.
+    owner_arg: str = ""
 
 
 @dataclasses.dataclass
@@ -129,6 +147,16 @@ class CallGraph:
 _FUNCTION_KINDS = None  # initialised per builder (needs the cindex module)
 
 _REGISTRATION_METHODS = {"addFd", "addTimer"}
+
+# Calls whose source text matters to callback-lifetime: deregistrations
+# and owner retirement, matched back to handle members / owner discipline.
+_LIFETIME_CALLS = {"removeFd", "cancelTimer", "retireOwner"}
+
+# LHS of `x = <registration call>`: the last assignable expression before
+# the '=' that ends the prefix ("link->tcpReg", "emplaced.first->second.reg").
+_HANDLE_LHS_RE = re.compile(
+    r"([A-Za-z_](?:[\w.]|->|\[\w*\])*)\s*=\s*$"
+)
 
 
 def _lambda_usr(file: str, line: int, column: int) -> str:
@@ -258,6 +286,69 @@ class CallGraphBuilder:
             self._visit_body(child, node)
         return node
 
+    def _call_text(self, cursor, rel: str, line: int) -> str:
+        ext = cursor.extent
+        end = ext.end.line if ext and ext.end else line
+        return " ".join(self.ctx.extent_text(rel, line, end).split())[:160]
+
+    def _lambda_captures(self, lam_cursor) -> Tuple[str, ...]:
+        """The textual capture list of a lambda ("this", "&", "&x", "=").
+        Token-based: libclang's capture API is unstable across pins."""
+        try:
+            toks = [t.spelling for t in lam_cursor.get_tokens()]
+        except Exception:
+            return ()
+        if not toks or toks[0] != "[":
+            return ()
+        depth = 0
+        inner: List[str] = []
+        for t in toks:
+            if t == "[":
+                depth += 1
+                if depth == 1:
+                    continue
+            if t == "]":
+                depth -= 1
+                if depth == 0:
+                    break
+            inner.append(t)
+        captures: List[str] = []
+        cur = ""
+        for t in inner:
+            if t == ",":
+                if cur:
+                    captures.append(cur)
+                cur = ""
+            else:
+                cur += t
+        if cur:
+            captures.append(cur)
+        return tuple(captures)
+
+    def _owner_arg_text(self, call_cursor, method: str) -> str:
+        # addFd(fd, events, handler, owner) / addTimer(delay, period,
+        # handler, owner): the 4th argument is the OwnerId.
+        try:
+            args = list(call_cursor.get_arguments())
+        except Exception:
+            return ""
+        if len(args) < 4:
+            return ""
+        try:
+            return " ".join(t.spelling for t in args[3].get_tokens())[:40]
+        except Exception:
+            return ""
+
+    def _handle_lhs(self, call_cursor, rel: str, line: int, col: int) -> str:
+        """Textual LHS when the registration's returned handle is stored
+        (``x = reactor.addFd(...)``); "" when the result is discarded."""
+        text = self.ctx.extent_text(rel, line, line)
+        if not text or col < 1:
+            return ""
+        prefix = text[:col - 1]
+        m = _HANDLE_LHS_RE.search(prefix)
+        return m.group(1) if m is not None else ""
+
     def _record_call(self, cursor, node: Node) -> None:
         ref = cursor.referenced
         name = ref.spelling if ref is not None and ref.spelling else (
@@ -265,28 +356,43 @@ class CallGraphBuilder:
         )
         usr = ref.get_usr() if ref is not None else ""
         rel, line, col = self.ctx.location(cursor)
+        text = ""
+        if name in _LIFETIME_CALLS:
+            text = self._call_text(cursor, rel, line)
         node.calls.append(
             CallSite(callee_usr=usr or "", callee_name=name, file=rel,
-                     line=line, column=col)
+                     line=line, column=col, text=text)
         )
         if name in _REGISTRATION_METHODS and ref is not None:
             parent = ref.semantic_parent
             recv = parent.spelling if parent is not None else ""
             lambdas = self._collect_lambda_args(cursor)
             if lambdas:
+                first_lam = self._lambda_cursors[0] \
+                    if self._lambda_cursors else None
                 self.graph.registrations.append(
-                    Registration(method=name, receiver_class=recv,
-                                 callback_usrs=lambdas, file=rel, line=line)
+                    Registration(
+                        method=name, receiver_class=recv,
+                        callback_usrs=lambdas, file=rel, line=line,
+                        column=col,
+                        captures=self._lambda_captures(first_lam)
+                        if first_lam is not None else (),
+                        enclosing_usr=node.usr,
+                        enclosing_name=node.name,
+                        handle_text=self._handle_lhs(cursor, rel, line, col),
+                        owner_arg=self._owner_arg_text(cursor, name))
                 )
 
     def _collect_lambda_args(self, call_cursor) -> List[str]:
         ck = self.ci.CursorKind
         out: List[str] = []
+        self._lambda_cursors = []
 
         def walk(c):
             if c.kind == ck.LAMBDA_EXPR:
                 rel, line, col = self.ctx.location(c)
                 out.append(_lambda_usr(rel, line, col))
+                self._lambda_cursors.append(c)
                 return  # nested lambdas belong to the outer lambda's body
             for ch in c.get_children():
                 walk(ch)
@@ -341,6 +447,12 @@ class FunctionCfg:
     file: str
     line: int
     cfg: engine.Cfg
+    # Parameter names in declaration order — the seeds for per-parameter
+    # summary runs (summaries.compute_summary).
+    params: Tuple[str, ...] = ()
+    # Display name with enclosing classes ("BroadcastServer::onFrame");
+    # diagnostics only, summary lookup stays on the simple name.
+    qualified: str = ""
 
 
 class _LoopFrame:
@@ -375,6 +487,7 @@ class TaintLowering:
     def lower(self, func_cursor) -> engine.Cfg:
         self.cfg = engine.Cfg()
         self._sid = 0
+        self._pending_calls = []
         ck = self.ci.CursorKind
         body = None
         for child in func_cursor.get_children():
@@ -401,8 +514,13 @@ class TaintLowering:
 
     def _add(self, cursor, **kw) -> int:
         rel, line, col = self.ctx.location(cursor)
+        # Calls recorded since the previous statement belong to this one:
+        # every statement lowering path evaluates its expressions (via
+        # _expr, which records CallFacts) immediately before its one _add.
+        calls = tuple(self._pending_calls)
+        self._pending_calls = []
         stmt = engine.Stmt(sid=self._new_sid(), line=line, column=col,
-                           text=self._text(cursor)[:160], **kw)
+                           text=self._text(cursor)[:160], calls=calls, **kw)
         self.cfg.add(stmt)
         return stmt.sid
 
@@ -460,7 +578,18 @@ class TaintLowering:
         if kind == ck.RETURN_STMT:
             kids = list(c.get_children())
             info = self._expr(kids[0]) if kids else ExprInfo()
-            sid = self._add(c, uses=info.paths, sinks=info.sinks)
+            defs = ()
+            if kids and (info.paths or info.has_source
+                         or self._call_name(kids[0])):
+                # The return value is a definition of the synthetic
+                # RETURN_PATH; summaries read its taint at exit.
+                defs = (engine.Def(
+                    path=engine.RETURN_PATH, uses=info.paths,
+                    has_source=info.has_source,
+                    source_desc=info.source_desc,
+                    from_call=self._call_name(kids[0])),)
+            sid = self._add(c, uses=info.paths, sinks=info.sinks,
+                            defs=defs)
             return sid, []
         if kind == ck.BREAK_STMT:
             sid = self._add(c)
@@ -491,11 +620,13 @@ class TaintLowering:
                 continue
             info = self._expr(init)
             sinks.extend(info.sinks)
-            if info.has_source or info.paths:
+            from_call = self._call_name(init)
+            if info.has_source or info.paths or from_call:
                 defs.append(engine.Def(
                     path=var.spelling, uses=info.paths,
                     has_source=info.has_source,
-                    source_desc=info.source_desc))
+                    source_desc=info.source_desc,
+                    from_call=from_call))
             else:
                 defs.append(engine.Def(path=var.spelling))
         sid = self._add(c, defs=tuple(defs), sinks=tuple(sinks))
@@ -517,12 +648,16 @@ class TaintLowering:
                 if lhs.kind in (ck.DECL_REF_EXPR, ck.MEMBER_REF_EXPR) \
                         and lhs_info.paths:
                     uses = rhs_info.paths
+                    from_call = ""
                     if kind == ck.COMPOUND_ASSIGNMENT_OPERATOR:
                         uses = lhs_info.paths + uses
+                    else:
+                        from_call = self._call_name(kids[1])
                     defs = (engine.Def(
                         path=lhs_info.paths[0], uses=uses,
                         has_source=rhs_info.has_source,
-                        source_desc=rhs_info.source_desc),)
+                        source_desc=rhs_info.source_desc,
+                        from_call=from_call),)
                     sid = self._add(c, defs=defs, sinks=sinks)
                     return sid, [(sid, "")]
                 # Element / deref store: weak update, no strong def.
@@ -749,6 +884,19 @@ class TaintLowering:
             cursor = kids[0]
         return cursor
 
+    def _call_name(self, cursor) -> str:
+        """Callee name when (peeled) ``cursor`` is exactly one call — the
+        only shape where a summary may safely replace the conservative
+        intraprocedural approximation of a definition."""
+        if cursor is None:
+            return ""
+        cursor = self._peel(cursor)
+        if cursor.kind != self.ci.CursorKind.CALL_EXPR:
+            return ""
+        ref = cursor.referenced
+        return cursor.spelling or (
+            ref.spelling if ref is not None else "") or ""
+
     # -- expressions -------------------------------------------------------
 
     def _expr(self, cursor) -> ExprInfo:
@@ -862,6 +1010,13 @@ class TaintLowering:
         child_sinks: Tuple[engine.Sink, ...] = recv_info.sinks
         for ai in arg_infos:
             child_sinks += ai.sinks
+
+        if name:
+            rel, line, col = self.ctx.location(cursor)
+            self._pending_calls.append(engine.CallFact(
+                callee=name,
+                args=tuple((ai.paths, ai.has_source) for ai in arg_infos),
+                line=line, column=col))
 
         def union(infos, extra_sinks=()):
             out = ExprInfo(sinks=tuple(extra_sinks))
@@ -1060,6 +1215,22 @@ def lower_functions(ctx, scope_check,
     out: List[FunctionCfg] = []
     seen: Set[Tuple[str, int, str]] = set()
 
+    def qualified_name(cursor) -> str:
+        parts = [cursor.spelling or "<anon>"]
+        parent = cursor.semantic_parent
+        while parent is not None and parent.kind in (
+                ck.CLASS_DECL, ck.STRUCT_DECL, ck.CLASS_TEMPLATE):
+            parts.append(parent.spelling)
+            parent = parent.semantic_parent
+        return "::".join(reversed(parts))
+
+    def param_names(cursor) -> Tuple[str, ...]:
+        names = [a.spelling for a in cursor.get_arguments() if a.spelling]
+        if not names:  # function templates don't expose get_arguments
+            names = [c.spelling for c in cursor.get_children()
+                     if c.kind == ck.PARM_DECL and c.spelling]
+        return tuple(names)
+
     def visit(cursor):
         loc = cursor.location
         if loc.file is not None and not ctx.in_repo(loc.file.name):
@@ -1073,7 +1244,9 @@ def lower_functions(ctx, scope_check,
                     ctx.load_suppressions_for(cursor)
                     out.append(FunctionCfg(
                         name=cursor.spelling, file=rel, line=line,
-                        cfg=lowering.lower(cursor)))
+                        cfg=lowering.lower(cursor),
+                        params=param_names(cursor),
+                        qualified=qualified_name(cursor)))
         for child in cursor.get_children():
             visit(child)
 

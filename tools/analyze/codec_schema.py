@@ -38,6 +38,11 @@ SCHEMA_VERSION = 1
 # Codec files the real-tree schema is extracted from.
 WIRE_SOURCES = ("src/live/wire.cpp", "src/live/shard_map.cpp")
 
+# Header holding the FrameType enum; each enumerator's doc comment names
+# the direction the frame travels ("client -> server: my UDP port"), and
+# the extracted table feeds the handler-coverage rule.
+WIRE_HEADER = "src/live/wire.hpp"
+
 # Messages excluded from pairing: the frame envelope has a hand-rolled
 # byte-level encoder (encodeFrame does not use BitWriter), so its decoder
 # is not expected to have a BitWriter mirror. FrameView is the in-place
@@ -81,6 +86,9 @@ _MOVE_ASSIGN_RE = re.compile(
     r"(?:m\.)?(\w+)\s*=\s*std::move\(\*(\w+)\)")
 _ELEM_DECL_RE = re.compile(r"^\s*[\w:]+\s+(\w+)\s*;\s*$")
 _KCONST_RE = re.compile(r"^k([A-Z]\w*)$")
+_FRAME_ENUM_BEGIN_RE = re.compile(r"enum\s+class\s+FrameType\b")
+_FRAME_ENUMERATOR_RE = re.compile(
+    r"^\s*(k[A-Z]\w*)\s*=\s*(\d+)\s*,?\s*/+<?\s*([^:]+?)\s*:\s*(.*?)\s*$")
 _COUNTLIKE_RE = re.compile(r"(?:([\w.]+?)_?\.size\(\)|(\w*[Cc]ount)\(\))$")
 
 
@@ -335,6 +343,41 @@ def extract_text(text: str, into: Dict[str, Dict[str, List[dict]]],
         sides.setdefault("locs", {})[role] = (rel, line)
 
 
+def extract_frames(text: str) -> Dict[str, dict]:
+    """FrameType enumerators with wire value, direction, and doc from the
+    enum's per-enumerator comments. An enumerator without a
+    "direction: doc" comment is a hard error — the handler-coverage rule
+    cannot place an undocumented frame, so the gate refuses to guess."""
+    frames: Dict[str, dict] = {}
+    m = _FRAME_ENUM_BEGIN_RE.search(text)
+    if m is None:
+        return frames
+    body_end = text.find("};", m.end())
+    body = text[m.end():body_end if body_end >= 0 else len(text)]
+    for line in body.splitlines():
+        em = _FRAME_ENUMERATOR_RE.match(line)
+        if em:
+            frames[em.group(1)] = {
+                "value": int(em.group(2)),
+                "direction": em.group(3),
+                "doc": em.group(4),
+            }
+        elif re.match(r"^\s*k[A-Z]\w*\s*=", line):
+            raise ValueError(
+                "FrameType enumerator lacks a 'direction: doc' comment: %r"
+                % line.strip())
+    return frames
+
+
+def extract_frames_path(repo_root: str) -> Dict[str, dict]:
+    path = os.path.join(repo_root, WIRE_HEADER)
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as fh:
+            return extract_frames(fh.read())
+    except OSError:
+        return {}
+
+
 def extract_paths(repo_root: str, rels) -> Dict[str, Dict[str, List[dict]]]:
     out: Dict[str, Dict[str, List[dict]]] = {}
     for rel in rels:
@@ -401,9 +444,12 @@ def compare(extracted: Dict[str, Dict[str, List[dict]]]) \
     return problems
 
 
-def build_schema(extracted: Dict[str, Dict[str, List[dict]]]) -> dict:
+def build_schema(extracted: Dict[str, Dict[str, List[dict]]],
+                 frames: Optional[Dict[str, dict]] = None) -> dict:
     """Canonical schema from the encoder sequences (the writer defines the
-    wire; compare() guarantees the reader agrees)."""
+    wire; compare() guarantees the reader agrees). ``frames`` adds the
+    FrameType table (value/direction/doc) the handler-coverage rule keys
+    off."""
     messages = {}
     for msg in sorted(extracted):
         if msg in ENVELOPE_MESSAGES:
@@ -422,7 +468,10 @@ def build_schema(extracted: Dict[str, Dict[str, List[dict]]]) -> dict:
                 out["submessage"] = dec[i]["submessage"]
             fields.append(out)
         messages[msg] = {"fields": fields}
-    return {"version": SCHEMA_VERSION, "messages": messages}
+    schema = {"version": SCHEMA_VERSION, "messages": messages}
+    if frames:
+        schema["frames"] = frames
+    return schema
 
 
 # -- docs -------------------------------------------------------------------
@@ -433,6 +482,17 @@ def render_docs(schema: dict) -> str:
     lines.append("Field tables below are extracted from the codec code by "
                  "`tools/analyze/codec_schema.py`; `--check` fails CI when "
                  "code and table disagree. Regenerate with `--write`.")
+    frames = schema.get("frames")
+    if frames:
+        lines.append("")
+        lines.append("#### Frame types")
+        lines.append("")
+        lines.append("| value | type | direction | carries |")
+        lines.append("|-------|------|-----------|---------|")
+        for name in sorted(frames, key=lambda n: frames[n]["value"]):
+            f = frames[name]
+            lines.append("| %d | `%s` | %s | %s |"
+                         % (f["value"], name, f["direction"], f["doc"]))
     for msg in sorted(schema["messages"]):
         lines.append("")
         lines.append("#### %s" % msg)
@@ -483,7 +543,7 @@ def main(argv=None) -> int:
     problems = compare(extracted)
     for msg, why in problems:
         print("codec-symmetry: %s: %s" % (msg, why), file=sys.stderr)
-    schema = build_schema(extracted)
+    schema = build_schema(extracted, extract_frames_path(args.repo))
 
     if args.json:
         json.dump(schema, sys.stdout, indent=2, sort_keys=True)

@@ -19,6 +19,7 @@ only the rules must skip.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import os
 import re
@@ -53,6 +54,10 @@ class Finding:
     message: str
     symbol: str = ""  # enclosing function, when known
     detail: str = ""  # e.g. the call chain that made something reachable
+    # Cross-function steps behind the finding, source first:
+    # {"file": ..., "line": ..., "message": ...}. Rendered as SARIF
+    # relatedLocations; not part of the baseline key.
+    related: List[dict] = dataclasses.field(default_factory=list)
 
     def key(self) -> str:
         """Line-number-free identity used for baseline diffing."""
@@ -67,7 +72,15 @@ class Finding:
         return out
 
     def to_json(self) -> dict:
-        return dataclasses.asdict(self)
+        d = dataclasses.asdict(self)
+        d["id"] = finding_id(self)
+        return d
+
+
+def finding_id(f: Finding) -> str:
+    """Short stable id for --explain: a hash of the baseline key, so it
+    survives line drift exactly as long as the baseline entry would."""
+    return hashlib.sha1(f.key().encode("utf-8")).hexdigest()[:12]
 
 
 def dedupe(findings: List[Finding]) -> List[Finding]:
@@ -421,17 +434,40 @@ def any_alias(path: str, state: Dict[str, tuple]) -> Optional[str]:
     return None
 
 
+# The synthetic access path holding a function's return value. Lowering
+# assigns it at every ``return expr``; summary computation reads its taint
+# at exit to decide whether the function's result is attacker-derived.
+RETURN_PATH = "__ret"
+
+
 @dataclasses.dataclass(frozen=True)
 class Def:
     """One definition inside a statement: ``path = f(uses)``.
 
     ``has_source`` marks a taint source appearing directly in the defining
-    expression (a ``BitReader::read`` / ``decode*`` call result)."""
+    expression (a ``BitReader::read`` / ``decode*`` call result).
+    ``from_call`` names the callee whose return value produced this def
+    (when the RHS is dominated by one call) so interprocedural summaries
+    can replace the intraprocedural approximation."""
 
     path: str
     uses: Tuple[str, ...] = ()
     has_source: bool = False
     source_desc: str = ""
+    from_call: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class CallFact:
+    """One call inside a statement, with per-argument taint inputs:
+    ``args[i]`` is ``(access paths read by argument i, argument i contains
+    a direct source call)``. Summaries use these to map callee parameter
+    facts back onto caller state."""
+
+    callee: str
+    args: Tuple[Tuple[Tuple[str, ...], bool], ...] = ()
+    line: int = 0
+    column: int = 0
 
 
 @dataclasses.dataclass(frozen=True)
@@ -446,6 +482,9 @@ class Sink:
     desc: str
     paths: Tuple[str, ...] = ()
     direct: bool = False
+    # Cross-function provenance, outermost call first: each entry is one
+    # "file:line callee(param)" step a summary folded into this sink.
+    via: Tuple[str, ...] = ()
 
 
 @dataclasses.dataclass(frozen=True)
@@ -474,6 +513,7 @@ class Stmt:
     sinks: Tuple[Sink, ...] = ()
     kills: Tuple[str, ...] = ()  # unconditional from here on (MCI_CHECK)
     guards: Tuple[Guard, ...] = ()  # meaningful on branch statements only
+    calls: Tuple[CallFact, ...] = ()  # calls appearing in this statement
 
 
 @dataclasses.dataclass
@@ -563,6 +603,10 @@ class SinkHit:
 class TaintResult:
     hits: List[SinkHit]
     truncated: bool
+    # Per-node taint state at entry (node id -> path -> origin chain).
+    # Summary computation reads return/exit states from here; empty for
+    # nodes never reached.
+    ins: Dict[int, Dict[str, tuple]] = dataclasses.field(default_factory=dict)
 
 
 def _transfer(stmt: Stmt, state: Dict[str, tuple]) -> Dict[str, tuple]:
@@ -614,7 +658,7 @@ def solve_taint(cfg: Cfg, seed: Optional[Dict[str, tuple]] = None,
     Guards kill taint on the sanitized branch edge only, so a bound checked
     inside one ``if`` does not launder later unguarded uses."""
     if cfg.entry is None:
-        return TaintResult(hits=[], truncated=False)
+        return TaintResult(hits=[], truncated=False, ins={})
     max_steps = max_steps or 64 * max(1, len(cfg.nodes))
     ins: Dict[int, Dict[str, tuple]] = {cfg.entry: dict(seed or {})}
     work = [cfg.entry]
@@ -665,7 +709,7 @@ def solve_taint(cfg: Cfg, seed: Optional[Dict[str, tuple]] = None,
                                         chain=state[key] + (nid,),
                                         tainted_path=path))
                     break
-    return TaintResult(hits=hits, truncated=truncated)
+    return TaintResult(hits=hits, truncated=truncated, ins=ins)
 
 
 # -- the wire-taint vocabulary ---------------------------------------------
@@ -704,7 +748,7 @@ def to_sarif(findings: List[Finding], descriptions: Optional[Dict[str, str]]
             text += " [in %s]" % f.symbol
         if f.detail:
             text += "\n" + f.detail
-        results.append({
+        result = {
             "ruleId": f.rule,
             "level": "error",
             "message": {"text": text},
@@ -720,7 +764,22 @@ def to_sarif(findings: List[Finding], descriptions: Optional[Dict[str, str]]
                     },
                 },
             }],
-        })
+        }
+        if f.related:
+            # The cross-function source->sink chain, one step per location,
+            # so the PR annotation shows every hop rather than just the
+            # sink. Source first, matching Finding.related.
+            result["relatedLocations"] = [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": step.get("file", f.file),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {"startLine": max(1, step.get("line", 1))},
+                },
+                "message": {"text": step.get("message", "")},
+            } for step in f.related]
+        results.append(result)
     driver = {
         "name": "mci-analyze",
         "informationUri": "https://example.invalid/mci-analyze",

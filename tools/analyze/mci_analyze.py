@@ -93,6 +93,35 @@ def _parse_targets(ctx, targets, compdb, fallback, jobs: int) -> int:
     return parsed
 
 
+def _explain(findings, wanted: str) -> int:
+    """Prints one finding in full: location, message, detail, and the
+    cross-function source -> sink chain (Finding.related, source first)."""
+    matches = [f for f in findings
+               if engine.finding_id(f).startswith(wanted)]
+    if not matches:
+        print("mci-analyze: no finding matches id %r in this run "
+              "(ids are printed next to each finding; re-run with the "
+              "same rules and paths)" % wanted, file=sys.stderr)
+        return engine.EXIT_SETUP_ERROR
+    for f in matches:
+        sym = (" [in %s]" % f.symbol) if f.symbol else ""
+        print("%s: %s" % (engine.finding_id(f), f.rule))
+        print("  %s:%d:%d%s" % (f.file, f.line, f.column, sym))
+        print("  %s" % f.message)
+        if f.detail:
+            print("  note: %s" % f.detail)
+        if f.related:
+            print("  chain (source -> sink, %d step(s)):" % len(f.related))
+            for i, step in enumerate(f.related, 1):
+                print("    %d. %s:%d  %s"
+                      % (i, step.get("file", f.file), step.get("line", 0),
+                         step.get("message", "")))
+    if len(matches) > 1:
+        print("mci-analyze: note: id prefix %r matched %d finding(s); "
+              "use more digits to narrow" % (wanted, len(matches)))
+    return engine.EXIT_OK
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(prog="mci_analyze.py",
                                  description=__doc__.split("\n\n")[0])
@@ -125,6 +154,10 @@ def main(argv=None) -> int:
                     help="language standard for files outside the compile db")
     ap.add_argument("--json", metavar="PATH",
                     help="also write findings as JSON ('-' = stdout)")
+    ap.add_argument("--explain", metavar="ID",
+                    help="print the full cross-function source -> sink "
+                    "chain for one finding id (ids are printed next to "
+                    "each finding; a unique prefix is enough)")
     ap.add_argument("--sarif", metavar="PATH",
                     help="write NEW findings (post-baseline) as SARIF 2.1.0")
     ap.add_argument("--skip-exit-zero", action="store_true",
@@ -229,6 +262,10 @@ def main(argv=None) -> int:
     findings.extend(ctx.suppressions.errors)
     findings = engine.dedupe(findings)
 
+    if args.explain:
+        # Explain pre-baseline so baselined findings stay addressable.
+        return _explain(findings, args.explain)
+
     if args.json:
         import json as _json
 
@@ -259,6 +296,8 @@ def main(argv=None) -> int:
 
     for f in new:
         print(f.render())
+        print("    id: %s (--explain %s for the full chain)"
+              % (engine.finding_id(f), engine.finding_id(f)))
     baselined = len(findings) - len(new)
     if baselined:
         print("mci-analyze: %d finding(s) suppressed by baseline %s"

@@ -2,9 +2,11 @@
 DESCRIPTION and check(ctx) -> [Finding]."""
 
 from rules import (  # noqa: F401
+    callback_lifetime,
     checked_return,
     codec_bounds,
     codec_symmetry,
+    handler_coverage,
     hot_path_alloc,
     ordered_iteration,
     reactor_blocking,
@@ -21,6 +23,8 @@ ALL_RULES = {
         ordered_iteration,
         wire_taint,
         codec_symmetry,
+        callback_lifetime,
+        handler_coverage,
     )
 }
 
@@ -30,4 +34,8 @@ SYNTACTIC_RULES = tuple(sorted(
     name for name, mod in ALL_RULES.items()
     if not getattr(mod, "REQUIRES_CLANG", True)
 ))
-DATAFLOW_RULES = ("wire-taint", "codec-symmetry")
+# The heavier pass the analyze_dataflow CTest job runs: the
+# summary-based interprocedural rules plus the schema-driven gates they
+# keep honest.
+DATAFLOW_RULES = ("wire-taint", "codec-symmetry", "callback-lifetime",
+                  "handler-coverage")

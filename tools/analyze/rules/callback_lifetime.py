@@ -1,0 +1,161 @@
+"""callback-lifetime: a Reactor callback must not outlive the object it
+captures.
+
+Every lambda registered on ``Reactor::addFd`` / ``Reactor::addTimer`` that
+captures ``this``, a reference, or a default capture is a dangling-dispatch
+liability: if the capturing object dies first, the reactor invokes a
+callback over freed memory. The rule demands one of two disciplines,
+verified over the budget-bounded call graph:
+
+* **owner discipline** — the registration passes an ``OwnerId`` (4th
+  argument) minted by ``makeOwner()``, and ``retireOwner`` is reachable
+  from the capturing class's destructor. Debug builds then also enforce
+  the property at dispatch time (``MCI_DCHECK`` in the reactor), so the
+  static check and the runtime check witness the same contract.
+* **handle discipline** — the returned ``[[nodiscard]]`` handle is stored,
+  and a matching ``removeFd`` / ``cancelTimer`` naming that handle member
+  is reachable from the capturing class's destructor.
+
+Registrations made from free functions (the ``*_main.cpp`` entry points)
+are exempt: the reactor and the captures share one scope and die
+together. Findings are keyed by registration site and escape route; they
+are never baselined (baseline.NEVER_BASELINE) — an intentional exception
+needs a written lifetime argument in an MCI-ANALYZE-ALLOW.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from engine import Finding
+
+RULE_NAME = "callback-lifetime"
+DESCRIPTION = (
+    "Reactor callbacks capturing this/references must be deregistered "
+    "(owner retire or handle removal) on every destructor path of the "
+    "capturing object"
+)
+REQUIRES_CLANG = True
+
+SCOPE_PREFIXES = (
+    "src/",
+    "tests/analyze/fixtures/callback_lifetime/",  # the rule's test corpus
+)
+
+_REMOVAL_OF = {"addFd": "removeFd", "addTimer": "cancelTimer"}
+
+
+def _in_scope(rel: str) -> bool:
+    return any(rel.startswith(p) for p in SCOPE_PREFIXES)
+
+
+def _risky_capture(captures: Tuple[str, ...]) -> str:
+    """Escape-route description when the capture list can dangle, else ''.
+    ``[*this]`` copies and is safe; ``[=]`` copies too but still captures
+    the raw ``this`` pointer inside a member function, so it counts."""
+    for cap in captures:
+        if cap == "this":
+            return "captures this"
+        if cap == "=":
+            return "captures this (default [=] copy capture)"
+        if cap == "&":
+            return "captures by reference (default [&])"
+        if cap.startswith("&"):
+            return "captures %s by reference" % cap
+    return ""
+
+
+def _split_class(enclosing_name: str) -> Optional[Tuple[str, str]]:
+    """(qualified class, simple class) for a method display name, or None
+    for free functions / unresolved enclosers."""
+    if "::" not in enclosing_name or enclosing_name.startswith("lambda@"):
+        return None
+    cls = enclosing_name.rsplit("::", 1)[0]
+    return cls, cls.rsplit("::", 1)[-1]
+
+
+def check(ctx) -> List[Finding]:
+    graph = ctx.callgraph()
+
+    def dtor_usrs(cls: str, simple: str) -> List[str]:
+        want = "%s::~%s" % (cls, simple)
+        return [usr for usr, node in graph.nodes.items()
+                if node.name == want]
+
+    def reached_calls(roots: List[str]):
+        result = graph.reachable(roots, budget=ctx.call_budget,
+                                 max_depth=ctx.call_depth)
+        calls = []
+        for usr in result.reached:
+            node = graph.node(usr)
+            if node is not None:
+                calls.extend(node.calls)
+        return calls, result.truncated
+
+    findings: List[Finding] = []
+    for reg in graph.registrations:
+        if "Reactor" not in reg.receiver_class:
+            continue
+        if not _in_scope(reg.file):
+            continue
+        escape = _risky_capture(reg.captures)
+        if not escape:
+            continue  # value captures only: nothing to dangle
+
+        split = _split_class(reg.enclosing_name)
+        if split is None and not reg.enclosing_name.startswith("lambda@"):
+            continue  # free function: reactor and captures share one scope
+
+        owner_ok = bool(reg.owner_arg) and reg.owner_arg.strip() != "0"
+        why = ""
+        if split is not None:
+            cls, simple = split
+            dtors = dtor_usrs(cls, simple)
+            if not dtors:
+                why = ("%s has no destructor deregistering it" % cls)
+            else:
+                calls, truncated = reached_calls(dtors)
+                if owner_ok:
+                    if not any(c.callee_name == "retireOwner"
+                               for c in calls):
+                        why = ("owner-tagged (%s) but retireOwner is not "
+                               "reachable from ~%s" % (reg.owner_arg,
+                                                       simple))
+                else:
+                    removal = _REMOVAL_OF.get(reg.method, "removeFd")
+                    member = reg.handle_text.replace("->", ".") \
+                        .rsplit(".", 1)[-1] if reg.handle_text else ""
+                    matched = member and any(
+                        c.callee_name == removal and member in c.text
+                        for c in calls)
+                    if not reg.handle_text:
+                        why = ("registration handle discarded and no "
+                               "OwnerId passed")
+                    elif not matched:
+                        why = ("no %s(...%s...) reachable from ~%s"
+                               % (removal, member, simple))
+                if not why and truncated:
+                    why = ("destructor walk truncated by budget; raise "
+                           "--call-budget/--call-depth")
+        else:
+            # Registration made from inside another callback: the class is
+            # not statically known. Owner tagging is accepted (the reactor
+            # DCHECKs owner liveness at dispatch); anything else dangles.
+            if not owner_ok:
+                why = ("registered inside a callback without an OwnerId; "
+                       "lifetime not verifiable")
+
+        if why:
+            findings.append(Finding(
+                rule=RULE_NAME,
+                file=reg.file,
+                line=reg.line,
+                column=reg.column,
+                message="%s callback %s: %s"
+                        % (reg.method, escape, why),
+                symbol=reg.enclosing_name,
+                detail="registration in %s; handle '%s'; owner '%s'"
+                       % (reg.enclosing_name, reg.handle_text or "<none>",
+                          reg.owner_arg or "<none>"),
+            ))
+    return findings

@@ -31,6 +31,8 @@ WATCHED: List[Tuple[str, Optional[str]]] = [
     ("next", "FrameBuffer"),
     ("cancel", "EventQueue"),
     ("cancelTimer", "Reactor"),
+    ("addFd", "Reactor"),
+    ("addTimer", "Reactor"),
     ("encodeInto", None),
     ("encodeFrame", None),
     ("decodeFrame", None),

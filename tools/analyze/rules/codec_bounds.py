@@ -9,6 +9,16 @@ src/report/) are findings. The frame *envelope* (CRC + length header) is
 the designed trust boundary below the cursor; its handful of raw reads
 carry MCI-ANALYZE-ALLOW justifications instead of an exemption the rule
 can't audit.
+
+Since the interprocedural summary pass (summaries.py), a raw access is
+additionally accepted without an ALLOW when the taint proof discharges
+it: the enclosing function's summary-specialized solve is complete (not
+truncated) and no access path read by the flagged statement is ever
+attacker-derived — under hardened semantics where a call *without* a
+summary is assumed to return tainted data, so the proof never leans on
+an unanalyzed helper. This is what let the "checked on entry" ALLOWs in
+decodeFrameView be deleted: frameSize's summary proves its return value
+is guarded by its own kMaxPayloadBytes check.
 """
 
 from __future__ import annotations
@@ -113,4 +123,34 @@ def check(ctx) -> List[Finding]:
     for _, tu in ctx.tus:
         for child in tu.cursor.get_children():
             visit(child, "")
-    return findings
+    return _discharge_proven(ctx, findings)
+
+
+def _discharge_proven(ctx, findings: List[Finding]) -> List[Finding]:
+    """Drops findings the interprocedural taint proof discharges (see
+    module docstring). Any failure to build the proof keeps every
+    finding — the proof can only ever remove, never add."""
+    try:
+        from rules import wire_taint
+
+        proofs = wire_taint.codec_proof(ctx)
+    except Exception:
+        return findings
+    import engine as eng
+
+    kept: List[Finding] = []
+    for f in findings:
+        proven = False
+        for fp in proofs.get(f.file, ()):
+            if not (fp.start <= f.line <= fp.end) or fp.truncated:
+                continue
+            reads = fp.line_paths.get(f.line)
+            if reads is None:
+                continue  # no IR statement here: stay conservative
+            if not any(eng.paths_alias(r, t)
+                       for r in reads for t in fp.tainted):
+                proven = True
+                break
+        if not proven:
+            kept.append(f)
+    return kept

@@ -1,0 +1,149 @@
+"""handler-coverage: every frame type that can arrive at an endpoint must
+have a dispatch arm there, and no endpoint may handle a type the schema
+does not name.
+
+Pure-text rule (REQUIRES_CLANG = False): the frame table comes from the
+``frames`` section of docs/wire_schema.json (extracted from the FrameType
+enum's direction doc-comments by codec_schema.py — the codec_schema_drift
+gate keeps it honest), so this runs even where the libclang rules skip.
+
+For each dispatch file the rule knows which directions terminate there:
+
+* ``broadcast_server.cpp`` receives ``client -> server`` and the
+  ``shard -> shard`` backfill stream;
+* ``client_agent.cpp`` and ``swarm/mux.cpp`` receive everything the
+  server emits (``server -> client`` / ``server -> clients``).
+
+A frame is *handled* when ``FrameType::kX`` appears in code (a case
+label or a header.type comparison). An endpoint may opt out of a type it
+deliberately ignores, but only by naming it in a comment next to the
+default arm — silence is a finding, because a silently-dropped frame is
+exactly how a new message type ships half-wired. Handling a ``kX`` the
+schema does not know is the inverse finding.
+
+Fixture files declare their expectations in-file with
+``// handler-coverage-receives: <direction prefix>`` so bad/good pairs
+stay hermetic.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Dict, List, Tuple
+
+from engine import Finding
+
+RULE_NAME = "handler-coverage"
+DESCRIPTION = (
+    "every schema frame type arriving at an endpoint needs a dispatch "
+    "arm (or a named opt-out comment); no arm may handle an unknown type"
+)
+REQUIRES_CLANG = False
+
+# file -> direction prefixes that terminate there. A frame whose
+# direction starts with any listed prefix must be dispatched in the file.
+DISPATCH_FILES: Dict[str, Tuple[str, ...]] = {
+    "src/live/broadcast_server.cpp": ("client -> server", "shard -> shard"),
+    "src/live/client_agent.cpp": ("server -> client",),
+    "src/swarm/mux.cpp": ("server -> client",),
+}
+
+FIXTURE_PREFIX = "tests/analyze/fixtures/handler_coverage/"
+
+_DIRECTIVE_RE = re.compile(
+    r"//\s*handler-coverage-receives:\s*(.+?)\s*$", re.MULTILINE)
+_MENTION_RE = re.compile(r"FrameType::(k[A-Z]\w*)")
+_COMMENT_RE = re.compile(r"//[^\n]*|/\*.*?\*/", re.DOTALL)
+
+
+def _load_frames(ctx) -> Dict[str, dict]:
+    """The frames table, preferring the checked-in schema (what CI
+    reviews) and falling back to live extraction from the header."""
+    import codec_schema
+
+    try:
+        with open(os.path.join(ctx.repo_root, codec_schema.SCHEMA_PATH),
+                  "r", encoding="utf-8") as fh:
+            frames = json.load(fh).get("frames")
+        if frames:
+            return frames
+    except (OSError, ValueError):
+        pass
+    return codec_schema.extract_frames_path(ctx.repo_root)
+
+
+def _split_mentions(text: str) -> Tuple[Dict[str, int], Dict[str, int]]:
+    """(code mentions, comment mentions) of FrameType enumerators and
+    bare kX names, each mapping name -> first line."""
+    comments: Dict[str, int] = {}
+    for m in _COMMENT_RE.finditer(text):
+        for name in re.findall(r"\bk[A-Z]\w*\b", m.group(0)):
+            comments.setdefault(name, text.count("\n", 0, m.start()) + 1)
+    code_text = _COMMENT_RE.sub(lambda m: "\n" * m.group(0).count("\n"),
+                                text)
+    code: Dict[str, int] = {}
+    for m in _MENTION_RE.finditer(code_text):
+        code.setdefault(m.group(1),
+                        code_text.count("\n", 0, m.start()) + 1)
+    return code, comments
+
+
+def check(ctx) -> List[Finding]:
+    frames = _load_frames(ctx)
+    findings: List[Finding] = []
+    if not frames:
+        findings.append(Finding(
+            rule=RULE_NAME, file="docs/wire_schema.json", line=1, column=1,
+            message="schema has no frames table; run "
+                    "tools/analyze/codec_schema.py --write",
+        ))
+        return findings
+
+    targets: List[Tuple[str, Tuple[str, ...]]] = []
+    for rel in getattr(ctx, "targets", []):
+        if rel in DISPATCH_FILES:
+            targets.append((rel, DISPATCH_FILES[rel]))
+        elif rel.startswith(FIXTURE_PREFIX):
+            targets.append((rel, ()))  # directions read from the file
+
+    for rel, expects in targets:
+        path = os.path.join(ctx.repo_root, rel)
+        try:
+            with open(path, "r", encoding="utf-8", errors="replace") as fh:
+                text = fh.read()
+        except OSError:
+            continue
+        ctx.suppressions.load_file(path, rel)
+        if not expects:
+            expects = tuple(_DIRECTIVE_RE.findall(text))
+            if not expects:
+                continue  # fixture without a directive: out of scope
+        code, comments = _split_mentions(text)
+
+        for name in sorted(frames, key=lambda n: frames[n]["value"]):
+            direction = frames[name]["direction"]
+            if not any(direction.startswith(p) for p in expects):
+                continue
+            if name in code:
+                continue
+            if name in comments:
+                continue  # named opt-out next to the default arm
+            findings.append(Finding(
+                rule=RULE_NAME, file=rel, line=1, column=1,
+                message="frame %s (%s) has no dispatch arm and no named "
+                        "opt-out comment" % (name, direction),
+                symbol=name,
+                detail="schema value %d: %s"
+                       % (frames[name]["value"], frames[name]["doc"]),
+            ))
+        for name, line in sorted(code.items()):
+            if name not in frames:
+                findings.append(Finding(
+                    rule=RULE_NAME, file=rel, line=line, column=1,
+                    message="dispatch arm handles FrameType::%s, which "
+                            "the wire schema does not name" % name,
+                    symbol=name,
+                ))
+    return findings

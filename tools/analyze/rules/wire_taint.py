@@ -1,7 +1,7 @@
 """wire-taint: untrusted wire bytes must be bounds-checked before they
 become indices, lengths, or allocation sizes.
 
-Intraprocedural, flow-sensitive taint analysis over the decode paths.
+Interprocedural, flow-sensitive taint analysis over the decode paths.
 Sources are ``BitReader::read`` results and ``decode*`` call results;
 sinks are subscripts, ``memcpy``-family lengths, container
 ``resize``/``reserve``/``assign`` sizes, loop bounds, and
@@ -9,7 +9,13 @@ sinks are subscripts, ``memcpy``-family lengths, container
 constant or ``kMax*`` bound, ``MCI_CHECK``, ``std::min`` clamps and
 ``BitReader::fits`` — with taint killed only on the guarded branch edge,
 so a bound checked in one ``if`` does not launder a later unguarded use.
-Findings carry the source -> sink statement chain.
+
+Cross-function flows go through per-function transfer summaries
+(summaries.py): a helper whose return value is attacker-derived taints its
+callers, a helper that guards its own result does NOT (so the summary pass
+*removes* false positives the intraprocedural pass could only ALLOW), and
+an argument flowing into a callee's sink is reported at the call site with
+the full source -> sink chain across both functions.
 
 The CFG construction and fixpoint solver live in engine.py (pure Python,
 unit-tested without libclang); callgraph.TaintLowering is the cindex
@@ -18,7 +24,8 @@ front-end that feeds them.
 
 from __future__ import annotations
 
-from typing import List
+import re
+from typing import Dict, List
 
 import engine
 from engine import Finding
@@ -26,14 +33,16 @@ from engine import Finding
 RULE_NAME = "wire-taint"
 DESCRIPTION = (
     "decoded wire values must be bounds-checked before use as an index, "
-    "length, size, or loop bound"
+    "length, size, or loop bound (cross-function via summaries)"
 )
 REQUIRES_CLANG = True
 
 SCOPE_PREFIXES = (
     "src/live/wire.",
     "src/live/shard_map.",
+    "src/live/reshard.",
     "src/report/codec.",
+    "src/swarm/mux.",
     "tests/analyze/fixtures/wire_taint/",  # the rule's own test corpus
 )
 
@@ -45,28 +54,148 @@ _SINK_MESSAGES = {
     "shard-index": "tainted wire value used as a shard/endpoint index",
 }
 
+_VIA_RE = re.compile(r"^([^:]+):(\d+):\s*(.*)$")
+
 
 def _in_scope(rel: str) -> bool:
     return any(rel.startswith(p) for p in SCOPE_PREFIXES)
 
 
-def _chain_note(fn, hit) -> str:
+def interproc(ctx):
+    """Lowered functions + the propagated summary table, computed once per
+    process and shared with codec-bounds (which uses the specialized taint
+    solution as a proof that an access path is never attacker-derived)."""
+    cached = getattr(ctx, "_wire_taint_interproc", None)
+    if cached is not None:
+        return cached
+    import callgraph as cg
+    import summaries as sm
+
+    functions = cg.lower_functions(ctx, _in_scope)
+    table, stats = sm.build_summaries(functions)
+    solved = []
+    for fn in functions:
+        cfg = sm.specialize(fn.cfg, table)
+        solved.append((fn, cfg, engine.solve_taint(cfg)))
+    cached = (solved, table, stats)
+    ctx._wire_taint_interproc = cached
+    return cached
+
+
+class FnProof:
+    """The taint-proof view of one analyzed function for codec-bounds:
+    which access paths are ever attacker-derived inside it, under the
+    *hardened* semantics where a call without a summary is assumed to
+    return tainted data. A raw access whose statement reads only paths
+    disjoint from ``tainted`` is mechanically proven guarded — and the
+    proof genuinely needs the summary pass, because before it every
+    helper's return value was an unknown."""
+
+    def __init__(self, start: int, end: int, truncated: bool,
+                 tainted: frozenset, line_paths: Dict[int, frozenset]):
+        self.start = start
+        self.end = end
+        self.truncated = truncated
+        self.tainted = tainted
+        self.line_paths = line_paths
+
+
+def _harden(cfg: engine.Cfg, table) -> engine.Cfg:
+    """Defs produced by calls with no summary become sources: the proof
+    must not assume an unanalyzed helper returns bounded data."""
+    import dataclasses as dc
+
+    out = engine.Cfg()
+    for sid in cfg.nodes:
+        stmt = cfg.nodes[sid].stmt
+        new_defs = tuple(
+            dc.replace(d, has_source=True,
+                       source_desc="unsummarized call %s()" % d.from_call)
+            if d.from_call and d.from_call not in table else d
+            for d in stmt.defs)
+        if new_defs != stmt.defs:
+            stmt = dc.replace(stmt, defs=new_defs)
+        out.add(stmt)
+    out.entry = cfg.entry
+    for sid, node in cfg.nodes.items():
+        for dst, label in node.succs:
+            out.edge(sid, dst, label)
+    return out
+
+
+def codec_proof(ctx) -> Dict[str, List[FnProof]]:
+    """file -> per-function proofs (see FnProof), for codec-bounds."""
+    cached = getattr(ctx, "_wire_taint_proof", None)
+    if cached is not None:
+        return cached
+    solved, table, _stats = interproc(ctx)
+    out: Dict[str, List[FnProof]] = {}
+    for fn, cfg, _result in solved:
+        hardened = _harden(cfg, table)
+        res = engine.solve_taint(hardened)
+        tainted = set()
+        for nid, state in res.ins.items():
+            tainted.update(state)
+            tainted.update(
+                engine._transfer(hardened.nodes[nid].stmt, state))
+        end = fn.line
+        line_paths: Dict[int, set] = {}
+        for node in hardened.nodes.values():
+            stmt = node.stmt
+            end = max(end, stmt.line)
+            reads = set(stmt.uses)
+            for d in stmt.defs:
+                reads.update(d.uses)
+            for s in stmt.sinks:
+                reads.update(s.paths)
+            if reads:
+                line_paths.setdefault(stmt.line, set()).update(reads)
+        out.setdefault(fn.file, []).append(FnProof(
+            start=fn.line, end=end, truncated=res.truncated,
+            tainted=frozenset(tainted),
+            line_paths={ln: frozenset(ps)
+                        for ln, ps in line_paths.items()}))
+    ctx._wire_taint_proof = out
+    return out
+
+
+def _chain_note(fn, cfg, hit) -> str:
     parts: List[str] = []
+    for step in hit.sink.via:
+        parts.append(step)
     for sid in hit.chain:
-        stmt = fn.cfg.nodes[sid].stmt
+        stmt = cfg.nodes[sid].stmt
         frag = stmt.text if len(stmt.text) <= 60 else stmt.text[:57] + "..."
         parts.append("%s:%d `%s`" % (fn.file, stmt.line, frag))
     label = "source -> sink: " if len(parts) > 1 else "sink: "
     return label + " ; ".join(parts)
 
 
-def check(ctx) -> List[Finding]:
-    import callgraph as cg
+def _related(fn, cfg, hit) -> List[dict]:
+    """The cross-function chain as structured locations (source first) for
+    SARIF relatedLocations and --explain."""
+    steps: List[dict] = []
+    for sid in hit.chain:
+        stmt = cfg.nodes[sid].stmt
+        steps.append({"file": fn.file, "line": stmt.line,
+                      "message": stmt.text[:120]})
+    # via steps are deeper callee hops, outermost first; append after the
+    # caller-side chain so the printed order follows the data.
+    for step in hit.sink.via:
+        m = _VIA_RE.match(step)
+        if m:
+            steps.append({"file": m.group(1), "line": int(m.group(2)),
+                          "message": m.group(3)})
+        else:
+            steps.append({"file": fn.file, "line": hit.stmt.line,
+                          "message": step})
+    return steps
 
-    functions = cg.lower_functions(ctx, _in_scope)
+
+def check(ctx) -> List[Finding]:
+    solved, _table, _stats = interproc(ctx)
     findings: List[Finding] = []
-    for fn in functions:
-        result = engine.solve_taint(fn.cfg)
+    for fn, cfg, result in solved:
         for hit in result.hits:
             message = _SINK_MESSAGES.get(
                 hit.sink.kind, "tainted wire value reaches a sink")
@@ -78,7 +207,8 @@ def check(ctx) -> List[Finding]:
                 column=hit.stmt.column,
                 message="%s: %s (%s)" % (message, what, hit.sink.desc),
                 symbol=fn.name,
-                detail=_chain_note(fn, hit),
+                detail=_chain_note(fn, cfg, hit),
+                related=_related(fn, cfg, hit),
             ))
         if result.truncated:
             findings.append(Finding(

@@ -1,0 +1,323 @@
+"""Interprocedural taint via per-function transfer summaries.
+
+A ``FunctionSummary`` is the function's taint transfer relation, computed
+from its lowered CFG with a handful of ``engine.solve_taint`` runs:
+
+* one unseeded run — does a source *inside* the function taint its return
+  value (``ret_tainted``), net of the function's own guards?
+* one run per parameter, seeded with that parameter tainted — does the
+  parameter flow to the return value (``ret_from_params``) or into a sink
+  (``param_sinks``)?
+
+Summaries propagate bottom-up over the (name-resolved) call structure:
+``specialize`` rewrites a caller's CFG so that calls to summarized
+functions use the summary instead of the conservative intraprocedural
+approximation — a call whose summary proves the return value guarded stops
+tainting the caller, and a call that passes a tainted argument into a
+callee sink becomes a sink in the caller, carrying the cross-function
+chain in ``Sink.via``. Recursive cycles converge by bounded rounds: the
+lattice is finite and every merge is monotone, so ``max_rounds`` caps work
+without losing soundness (a missing summary just leaves the conservative
+intraprocedural treatment in place).
+
+Everything here is pure Python over ``engine`` IR — no libclang — so the
+whole layer is unit-testable on hand-built CFGs (tests/analyze).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+import engine
+
+
+@dataclasses.dataclass(frozen=True)
+class ParamSink:
+    """Parameter ``param`` (0-based) reaches a ``kind`` sink inside the
+    function. ``via`` holds deeper cross-function steps when the sink was
+    itself folded in from a callee's summary."""
+
+    param: int
+    kind: str
+    desc: str
+    line: int = 0
+    via: Tuple[str, ...] = ()
+
+
+@dataclasses.dataclass(frozen=True)
+class FunctionSummary:
+    """One function's taint transfer facts, keyed by simple name."""
+
+    name: str
+    file: str = ""
+    line: int = 0
+    params: Tuple[str, ...] = ()
+    # A source inside the function taints the return value (net of the
+    # function's own guards — a fully-guarded read does NOT set this).
+    ret_tainted: bool = False
+    ret_source_desc: str = ""
+    # Parameter indices whose taint flows through to the return value.
+    ret_from_params: Tuple[int, ...] = ()
+    param_sinks: Tuple[ParamSink, ...] = ()
+    # Any solve hit its step budget; callers should not treat absence of
+    # facts as proof.
+    truncated: bool = False
+
+
+class SummaryCache:
+    """Memoizes ``compute_summary`` keyed by the function identity plus
+    the exact callee summaries it depended on. Across propagation rounds a
+    function whose callees did not change re-uses its summary — the
+    ``hits`` counter is surfaced in the rule's stats line."""
+
+    def __init__(self) -> None:
+        self._store: Dict[tuple, FunctionSummary] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple) -> Optional[FunctionSummary]:
+        found = self._store.get(key)
+        if found is not None:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return found
+
+    def put(self, key: tuple, summary: FunctionSummary) -> None:
+        self._store[key] = summary
+
+
+def _callee_names(cfg: engine.Cfg) -> List[str]:
+    names = set()
+    for node in cfg.nodes.values():
+        for cf in node.stmt.calls:
+            names.add(cf.callee)
+    return sorted(names)
+
+
+def _specialize_stmt(stmt: engine.Stmt,
+                     table: Dict[str, FunctionSummary]) -> engine.Stmt:
+    calls_by_name: Dict[str, engine.CallFact] = {}
+    for cf in stmt.calls:
+        calls_by_name.setdefault(cf.callee, cf)
+
+    new_sinks = list(stmt.sinks)
+    changed = False
+    for cf in stmt.calls:
+        s = table.get(cf.callee)
+        if s is None:
+            continue
+        for ps in s.param_sinks:
+            if ps.param >= len(cf.args):
+                continue
+            paths, direct = cf.args[ps.param]
+            if not paths and not direct:
+                continue  # the argument can't carry caller taint
+            step = "%s:%d: in %s: %s" % (s.file, ps.line, s.name, ps.desc)
+            new_sinks.append(engine.Sink(
+                kind=ps.kind,
+                desc="%s [argument %d of %s()]" % (
+                    ps.desc, ps.param + 1, s.name),
+                paths=paths, direct=direct and not paths,
+                via=(step,) + ps.via))
+            changed = True
+
+    new_defs = list(stmt.defs)
+    for i, d in enumerate(new_defs):
+        s = table.get(d.from_call) if d.from_call else None
+        if s is None:
+            continue
+        cf = calls_by_name.get(d.from_call)
+        if cf is None:
+            continue
+        # The def's RHS is exactly this call (from_call is only set then):
+        # replace the conservative all-args approximation with the
+        # summary's transfer. An unsummarized callee keeps the old Def.
+        uses: List[str] = []
+        has_source = s.ret_tainted
+        desc = s.ret_source_desc if s.ret_tainted else ""
+        for pi in s.ret_from_params:
+            if pi >= len(cf.args):
+                continue
+            for p in cf.args[pi][0]:
+                if p not in uses:
+                    uses.append(p)
+            if cf.args[pi][1]:
+                has_source = True
+                desc = desc or "%s() argument %d" % (s.name, pi + 1)
+        if s.ret_tainted and not desc:
+            desc = "%s() [summary]" % s.name
+        new_defs[i] = dataclasses.replace(
+            d, uses=tuple(uses), has_source=has_source, source_desc=desc)
+        changed = True
+
+    if not changed:
+        return stmt
+    return dataclasses.replace(stmt, sinks=tuple(new_sinks),
+                               defs=tuple(new_defs))
+
+
+def specialize(cfg: engine.Cfg,
+               table: Dict[str, FunctionSummary]) -> engine.Cfg:
+    """A copy of ``cfg`` with every call to a summarized function replaced
+    by the summary's transfer facts. ``cfg`` itself is never mutated."""
+    if not table:
+        return cfg
+    out = engine.Cfg()
+    for sid in cfg.nodes:  # insertion order == lowering order
+        out.add(_specialize_stmt(cfg.nodes[sid].stmt, table))
+    out.entry = cfg.entry
+    for sid, node in cfg.nodes.items():
+        for dst, label in node.succs:
+            out.edge(sid, dst, label)
+    return out
+
+
+def _ret_taint(cfg: engine.Cfg,
+               result: engine.TaintResult) -> Optional[str]:
+    """Source description when any reachable ``return expr`` leaves the
+    synthetic RETURN_PATH tainted, else None."""
+    for sid in sorted(cfg.nodes):
+        node = cfg.nodes[sid]
+        ret_defs = [d for d in node.stmt.defs
+                    if d.path == engine.RETURN_PATH]
+        if not ret_defs:
+            continue
+        state = result.ins.get(sid)
+        if state is None:
+            continue  # unreachable return
+        out = engine._transfer(node.stmt, state)
+        if engine.any_alias(engine.RETURN_PATH, out) is not None:
+            return ret_defs[0].source_desc or "returned decoded value"
+    return None
+
+
+def compute_summary(fcfg, table: Dict[str, FunctionSummary],
+                    cache: Optional[SummaryCache] = None) -> FunctionSummary:
+    """Summary of one ``callgraph.FunctionCfg`` given the callee summaries
+    currently in ``table`` (missing callees stay conservative)."""
+    # Self-recursive calls use the previous round's summary of this very
+    # function — that is the bounded-rounds fixpoint for cycles.
+    deps = tuple((n, table[n]) for n in _callee_names(fcfg.cfg)
+                 if n in table)
+    key = (fcfg.file, fcfg.line, fcfg.name, deps)
+    if cache is not None:
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+
+    cfg = specialize(fcfg.cfg, dict(deps))
+    base = engine.solve_taint(cfg)
+    base_idents = {(h.stmt.sid, h.sink.kind, h.sink.desc)
+                   for h in base.hits}
+    truncated = base.truncated
+    ret_desc = _ret_taint(cfg, base)
+    ret_tainted = ret_desc is not None
+
+    ret_from: List[int] = []
+    psinks: List[ParamSink] = []
+    for i, p in enumerate(fcfg.params):
+        seeded = engine.solve_taint(cfg, seed={p: ()})
+        truncated = truncated or seeded.truncated
+        if not ret_tainted and _ret_taint(cfg, seeded) is not None:
+            ret_from.append(i)
+        for h in seeded.hits:
+            ident = (h.stmt.sid, h.sink.kind, h.sink.desc)
+            if ident in base_idents:
+                continue  # fires without the seed: intrinsic, not param
+            psinks.append(ParamSink(
+                param=i, kind=h.sink.kind, desc=h.sink.desc,
+                line=h.stmt.line, via=h.sink.via))
+
+    summary = FunctionSummary(
+        name=fcfg.name, file=fcfg.file, line=fcfg.line,
+        params=tuple(fcfg.params), ret_tainted=ret_tainted,
+        ret_source_desc=ret_desc or "",
+        ret_from_params=tuple(ret_from),
+        param_sinks=tuple(dict.fromkeys(psinks)),
+        truncated=truncated)
+    if cache is not None:
+        cache.put(key, summary)
+    return summary
+
+
+def merge_summaries(old: Optional[FunctionSummary],
+                    new: FunctionSummary) -> FunctionSummary:
+    """Monotone merge for same-name definitions (overloads, methods of
+    different classes) and across propagation rounds: facts only grow."""
+    if old is None:
+        return new
+    ret_from = tuple(sorted(set(old.ret_from_params)
+                            | set(new.ret_from_params)))
+    psinks = tuple(dict.fromkeys(old.param_sinks + new.param_sinks))
+    return FunctionSummary(
+        name=old.name, file=old.file, line=old.line,
+        params=old.params if len(old.params) >= len(new.params)
+        else new.params,
+        ret_tainted=old.ret_tainted or new.ret_tainted,
+        ret_source_desc=old.ret_source_desc or new.ret_source_desc,
+        ret_from_params=ret_from, param_sinks=psinks,
+        truncated=old.truncated or new.truncated)
+
+
+@dataclasses.dataclass
+class BuildStats:
+    functions: int = 0
+    rounds: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+def build_summaries(fcfgs, max_rounds: int = 4) \
+        -> Tuple[Dict[str, FunctionSummary], BuildStats]:
+    """Bottom-up summary table over all lowered functions.
+
+    Functions are visited callees-first (postorder over name-level call
+    edges) so most of the graph converges in round one; rounds repeat only
+    until a fixpoint or ``max_rounds`` (recursive cycles stop growing by
+    monotonicity, typically in two rounds)."""
+    by_name: Dict[str, List] = {}
+    for f in fcfgs:
+        by_name.setdefault(f.name, []).append(f)
+
+    calls: Dict[str, List[str]] = {}
+    for name, funcs in by_name.items():
+        outs = set()
+        for f in funcs:
+            outs.update(n for n in _callee_names(f.cfg) if n in by_name)
+        calls[name] = sorted(outs)
+
+    order: List[str] = []
+    state: Dict[str, int] = {}  # 0 in-stack, 1 done
+
+    def dfs(name: str) -> None:
+        state[name] = 0
+        for callee in calls[name]:
+            if callee not in state:
+                dfs(callee)
+        state[name] = 1
+        order.append(name)
+
+    for name in sorted(by_name):
+        if name not in state:
+            dfs(name)
+
+    table: Dict[str, FunctionSummary] = {}
+    cache = SummaryCache()
+    stats = BuildStats(functions=len(fcfgs))
+    for _ in range(max(1, max_rounds)):
+        stats.rounds += 1
+        changed = False
+        for name in order:
+            for f in by_name[name]:
+                s = compute_summary(f, table, cache)
+                merged = merge_summaries(table.get(name), s)
+                if merged != table.get(name):
+                    table[name] = merged
+                    changed = True
+        if not changed:
+            break
+    stats.cache_hits = cache.hits
+    stats.cache_misses = cache.misses
+    return table, stats
